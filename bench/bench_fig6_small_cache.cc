@@ -1,0 +1,86 @@
+// Figure 6: the Figure-5 experiment with 1M keys and index caches limited to
+// 5 MiB of system-specific metadata, so not all key locations fit and the
+// latency distributions turn bimodal (cache hit vs. miss).
+//
+// Per §7.1: DM-ABD and FUSEE cache entries are 24 B (≈21.8% of keys cached),
+// SWARM-KV entries are 32 B as they include In-n-Out's metadata (≈16.4%
+// cached); replacement is approximate LFU. SWARM-KV's miss rate only rises
+// to ~45.6% (vs 42.5%) because LFU keeps the hottest keys, and its average
+// latency remains best. On misses all systems pay +1 RT for the index;
+// SWARM-KV updates pay +2 (index + latest metadata buffer).
+
+#include <cstdio>
+
+#include "bench/common/harness.h"
+#include "bench/common/options.h"
+#include "bench/common/report.h"
+
+namespace swarm::bench {
+namespace {
+
+constexpr uint64_t kCacheBudgetBytes = 5ull << 20;
+constexpr uint64_t kKeys = 1000000;
+
+int Main() {
+  PrintHeader("Figure 6: 1M keys, 5 MiB caches (approximate LFU), YCSB B, Zipfian");
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"system", "op", "p50_us", "p90_us", "p99_us", "mean_us", "miss_rate",
+                  "cached_keys"});
+  std::vector<stats::LatencyHistogram> cdfs;
+  std::vector<std::string> cdf_names;
+  for (const char* store : {"swarm", "dmabd", "fusee"}) {
+    const uint64_t entry = std::string(store) == "swarm" ? 32 : 24;
+    HarnessConfig cfg;
+    cfg.store = store;
+    cfg.workload = ycsb::WorkloadB(kKeys, 64);
+    cfg.num_clients = 4;
+    cfg.cache_capacity = index::ClientCache::EntriesForBudget(kCacheBudgetBytes, entry);
+    // §7.1 footnote: warm-up extended (8M ops) to stabilize the cache policy;
+    // scaled with the configured op count here.
+    cfg.warmup_ops = WarmupOps() * 4;
+    cfg.measure_ops = MeasureOps();
+    KvHarness harness(cfg);
+    harness.Load();
+    double miss_rate = 0;
+    for (int c = 0; c < cfg.num_clients; ++c) {
+      harness.client_cache(c).ResetStats();
+    }
+    RunResults r = harness.Run();
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    for (int c = 0; c < cfg.num_clients; ++c) {
+      hits += harness.client_cache(c).stats().hits;
+      misses += harness.client_cache(c).stats().misses;
+    }
+    miss_rate = hits + misses == 0 ? 0 : 100.0 * static_cast<double>(misses) /
+                                             static_cast<double>(hits + misses);
+    const double frac_cached = 100.0 * static_cast<double>(cfg.cache_capacity) /
+                               static_cast<double>(kKeys);
+    rows.push_back({store, "GET", Fmt("%.2f", r.get_latency.PercentileUs(50)),
+                    Fmt("%.2f", r.get_latency.PercentileUs(90)),
+                    Fmt("%.2f", r.get_latency.PercentileUs(99)),
+                    Fmt("%.2f", r.get_latency.MeanUs()), Fmt("%.1f%%", miss_rate),
+                    Fmt("%.1f%%", frac_cached)});
+    rows.push_back({store, "UPDATE", Fmt("%.2f", r.update_latency.PercentileUs(50)),
+                    Fmt("%.2f", r.update_latency.PercentileUs(90)),
+                    Fmt("%.2f", r.update_latency.PercentileUs(99)),
+                    Fmt("%.2f", r.update_latency.MeanUs()), "", ""});
+    cdfs.push_back(r.get_latency);
+    cdf_names.push_back(std::string(store) + "/GET");
+    cdfs.push_back(r.update_latency);
+    cdf_names.push_back(std::string(store) + "/UPDATE");
+  }
+  PrintTable(rows);
+  std::printf("\nPaper: caches cover 21.8%% (DM-ABD/FUSEE, 24B entries) vs 16.4%% (SWARM-KV, 32B);\n"
+              "miss rates 42.5%% vs 45.6%%; bimodal latency; SWARM-KV keeps the best average.\n");
+  PrintHeader("Figure 6 CDF series");
+  for (size_t i = 0; i < cdfs.size(); ++i) {
+    PrintCdf(cdf_names[i], cdfs[i]);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace swarm::bench
+
+int main() { return swarm::bench::Main(); }

@@ -1,0 +1,52 @@
+// Table 2: number of network roundtrips for gets and updates, common case
+// (mode) and 99th percentile, for RAW / SWARM-KV / DM-ABD / FUSEE under the
+// standard workload (§7.1: YCSB B, Zipfian, 4 clients, 100 K keys, warm
+// caches).
+//
+// Paper's Table 2:
+//            common get/update   p99 get/update
+//   RAW            1 / 1              1 / 1
+//   SWARM-KV       1 / 1              1 / 1
+//   DM-ABD         2 / 2              2 / 2
+//   FUSEE        1–2 / 4              2 / 5
+
+#include <cstdio>
+
+#include "bench/common/harness.h"
+#include "bench/common/options.h"
+#include "bench/common/report.h"
+
+namespace swarm::bench {
+namespace {
+
+int Main() {
+  PrintHeader("Table 2: roundtrips for gets and updates (common case and 99th percentile)");
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"system", "get_common", "update_common", "get_p99", "update_p99",
+                  "get_rtt_mix", "update_rtt_mix"});
+  for (const char* store : {"raw", "swarm", "dmabd", "fusee"}) {
+    HarnessConfig cfg;
+    cfg.store = store;
+    cfg.workload = ycsb::WorkloadB(100000, 64);
+    cfg.num_clients = 4;
+    cfg.warmup_ops = WarmupOps();
+    cfg.measure_ops = MeasureOps();
+    KvHarness harness(cfg);
+    harness.Load();
+    RunResults r = harness.Run();
+    auto [get_common, get_p99] = RttCommonAndP99(r.get_rtts);
+    auto [up_common, up_p99] = RttCommonAndP99(r.update_rtts);
+    rows.push_back({store, FmtU(static_cast<uint64_t>(get_common)),
+                    FmtU(static_cast<uint64_t>(up_common)), FmtU(static_cast<uint64_t>(get_p99)),
+                    FmtU(static_cast<uint64_t>(up_p99)), RttMix(r.get_rtts),
+                    RttMix(r.update_rtts)});
+  }
+  PrintTable(rows);
+  std::printf("\nPaper: RAW 1/1 1/1; SWARM-KV 1/1 1/1; DM-ABD 2/2 2/2; FUSEE 1-2/4 2/5\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace swarm::bench
+
+int main() { return swarm::bench::Main(); }

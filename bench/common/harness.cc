@@ -1,0 +1,211 @@
+#include "bench/common/harness.h"
+
+#include <algorithm>
+
+#include "src/sim/task.h"
+
+namespace swarm::bench {
+
+KvHarness::KvHarness(HarnessConfig cfg) : cfg_(std::move(cfg)) {
+  cfg_.proto.max_value = std::max(cfg_.proto.max_value, cfg_.workload.value_size);
+  const int total_workers = cfg_.num_clients * cfg_.workers_per_client;
+  if (cfg_.proto.max_writers <= 0) {
+    cfg_.proto.max_writers = std::min(total_workers, static_cast<int>(kMaxTid) + 1);
+  }
+  if (cfg_.proto.meta_slots <= 0) {
+    cfg_.proto.meta_slots = std::min(total_workers, 64);
+  }
+  sim_ = std::make_unique<sim::Simulator>(cfg_.seed);
+  fabric_ = std::make_unique<fabric::Fabric>(sim_.get(), cfg_.fabric);
+  index_ = std::make_unique<index::IndexService>(sim_.get(), cfg_.fabric.one_way_delay,
+                                                 cfg_.fabric.delay_jitter, cfg_.fabric.submit_cost);
+  membership_ = std::make_unique<membership::MembershipService>(sim_.get(), fabric_.get());
+  fusee_ = std::make_unique<kv::FuseeStore>(fabric_.get());
+  BuildClients();
+}
+
+void KvHarness::BuildClients() {
+  uint32_t tid = 0;
+  for (int c = 0; c < cfg_.num_clients; ++c) {
+    cpus_.push_back(std::make_unique<fabric::ClientCpu>(sim_.get()));
+    caches_.push_back(std::make_unique<index::ClientCache>(
+        cfg_.cache_capacity, cfg_.store == "swarm" ? 32 : 24, cfg_.seed + static_cast<uint64_t>(c)));
+    const int64_t max_skew = cfg_.max_clock_skew_ns;
+    const int64_t skew = max_skew > 0 ? sim_->rng().Range(-max_skew, max_skew) : 0;
+    auto known_failed = std::make_shared<std::vector<bool>>(
+        static_cast<size_t>(cfg_.fabric.num_nodes), false);
+    membership_->Subscribe(known_failed);
+    for (int w = 0; w < cfg_.workers_per_client; ++w) {
+      clocks_.push_back(std::make_unique<GuessClock>(sim_.get(), skew));
+      workers_.push_back(std::make_unique<Worker>(fabric_.get(), tid, cpus_.back().get(),
+                                                  clocks_.back().get(), cfg_.proto, known_failed));
+      Worker* worker = workers_.back().get();
+      index::ClientCache* cache = caches_.back().get();
+      if (cfg_.store == "swarm") {
+        sessions_.push_back(std::make_unique<kv::SwarmKvSession>(worker, index_.get(), cache));
+      } else if (cfg_.store == "raw") {
+        sessions_.push_back(std::make_unique<kv::RawKvSession>(worker, index_.get(), cache));
+      } else if (cfg_.store == "dmabd") {
+        sessions_.push_back(std::make_unique<kv::DmAbdKvSession>(worker, index_.get(), cache));
+      } else {
+        sessions_.push_back(std::make_unique<kv::FuseeKvSession>(worker, fusee_.get(), cache));
+      }
+      workloads_.push_back(std::make_unique<ycsb::Workload>(
+          cfg_.workload, cfg_.seed * 7919 + static_cast<uint64_t>(tid)));
+      ++tid;
+    }
+  }
+}
+
+sim::Task<void> KvHarness::LoadRange(int session_idx, uint64_t first, uint64_t last) {
+  ycsb::Workload& wl = *workloads_[static_cast<size_t>(session_idx)];
+  kv::KvSession& kv = session(session_idx);
+  for (uint64_t key = first; key < last; ++key) {
+    (void)co_await kv.Insert(key, wl.ValueFor(key, 0));
+  }
+}
+
+void KvHarness::Load() {
+  const int n = num_sessions();
+  const uint64_t keys = cfg_.workload.num_keys;
+  const uint64_t share = (keys + static_cast<uint64_t>(n) - 1) / static_cast<uint64_t>(n);
+  for (int s = 0; s < n; ++s) {
+    const uint64_t first = static_cast<uint64_t>(s) * share;
+    const uint64_t last = std::min(keys, first + share);
+    if (first < last) {
+      sim::Spawn(LoadRange(s, first, last));
+    }
+  }
+  sim_->Run();
+  if (cfg_.prewarm_caches && cfg_.cache_capacity == 0) {
+    PrewarmCaches();
+  }
+}
+
+void KvHarness::PrewarmCaches() {
+  for (uint64_t key = 0; key < cfg_.workload.num_keys; ++key) {
+    if (cfg_.store == "fusee") {
+      kv::FuseeStore::KeyMeta& meta = fusee_->MetaFor(key);
+      const uint64_t word = fabric_->node(meta.primary).LoadWord(meta.index_addr_primary);
+      if (word == 0) {
+        continue;
+      }
+      for (auto& cache : caches_) {
+        index::CacheEntry entry;
+        entry.generation = word;
+        cache->Put(key, entry);
+      }
+      continue;
+    }
+    const index::IndexEntry* e = index_->Peek(key);
+    if (e == nullptr) {
+      continue;
+    }
+    for (auto& cache : caches_) {
+      index::CacheEntry entry;
+      entry.layout = e->layout;
+      entry.generation = e->generation;
+      cache->Put(key, entry);
+    }
+  }
+}
+
+sim::Task<void> KvHarness::WorkerLoop(int session_idx, uint64_t warmup, uint64_t measured) {
+  ycsb::Workload& wl = *workloads_[static_cast<size_t>(session_idx)];
+  kv::KvSession& kv = session(session_idx);
+  for (uint64_t i = 0; i < warmup + measured; ++i) {
+    const ycsb::Workload::Op op = wl.Next();
+    const sim::Time start = sim_->Now();
+    kv::KvResult result;
+    if (op.type == ycsb::OpType::kGet) {
+      result = co_await kv.Get(op.key);
+    } else {
+      result = co_await kv.Update(op.key, wl.ValueFor(op.key, version_counter_++));
+    }
+    const sim::Time latency = sim_->Now() - start;
+    if (i < warmup || !measuring_) {
+      continue;
+    }
+    if (op.type == ycsb::OpType::kGet) {
+      results_.get_latency.Record(latency);
+      results_.get_rtts[result.rtts]++;
+      results_.gets++;
+      results_.get_inplace += result.used_inplace ? 1 : 0;
+    } else {
+      results_.update_latency.Record(latency);
+      results_.update_rtts[result.rtts]++;
+      results_.updates++;
+    }
+    if (result.status == kv::KvStatus::kNotFound) {
+      results_.not_found++;
+    } else if (result.status == kv::KvStatus::kUnavailable) {
+      results_.unavailable++;
+    }
+    if (op_hook_) {
+      op_hook_(sim_->Now(), op.type, latency, result);
+    }
+  }
+}
+
+RunResults KvHarness::Run() {
+  results_ = RunResults{};
+  const int n = num_sessions();
+  const uint64_t warmup_each = cfg_.warmup_ops / static_cast<uint64_t>(n);
+  const uint64_t measured_each = cfg_.measure_ops / static_cast<uint64_t>(n);
+
+  // Warm-up phase (caches, in-place data, clock skews settle).
+  measuring_ = false;
+  if (warmup_each > 0) {
+    for (int s = 0; s < n; ++s) {
+      sim::Spawn(WorkerLoop(s, warmup_each, 0));
+    }
+    sim_->Run();
+  }
+
+  // Measurement phase.
+  measuring_ = true;
+  const uint64_t fabric_bytes_before = fabric_->stats().total_io();
+  ResetCpu();
+  const sim::Time start = sim_->Now();
+  for (int s = 0; s < n; ++s) {
+    sim::Spawn(WorkerLoop(s, 0, measured_each));
+  }
+  sim_->Run();
+  results_.measure_duration = sim_->Now() - start;
+  results_.fabric_bytes = fabric_->stats().total_io() - fabric_bytes_before;
+  results_.cpu_busy = TotalCpuBusy();
+  results_.cpu_wall = results_.measure_duration * cfg_.num_clients;
+  return results_;
+}
+
+uint64_t KvHarness::TotalClockResyncs() const {
+  uint64_t total = 0;
+  for (const auto& c : clocks_) {
+    total += c->resyncs();
+  }
+  return total;
+}
+
+uint64_t KvHarness::TotalCacheBytes() const {
+  uint64_t total = 0;
+  for (const auto& c : caches_) {
+    total += c->ModeledBytes();
+  }
+  return total;
+}
+
+sim::Time KvHarness::TotalCpuBusy() const {
+  sim::Time total = 0;
+  for (const auto& c : cpus_) {
+    total += c->busy_ns();
+  }
+  return total;
+}
+
+void KvHarness::ResetCpu() {
+  for (auto& c : cpus_) {
+    c->ResetBusy();
+  }
+}
+
+}  // namespace swarm::bench

@@ -1,0 +1,148 @@
+// Shared benchmark harness: wires a simulated fabric, index, membership,
+// clients and workers to one of the four KV stores, loads keys, runs YCSB
+// phases, and collects per-operation statistics.
+//
+// Defaults mirror the paper's setup (§7): 4 memory nodes, 3 replicas, 100 K
+// keys of 64 B values, 4 clients with one outstanding operation each,
+// Zipfian(.99), warm-up then measurement, caches large enough for all keys.
+
+#ifndef SWARM_BENCH_COMMON_HARNESS_H_
+#define SWARM_BENCH_COMMON_HARNESS_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/fabric/fabric.h"
+#include "src/index/client_cache.h"
+#include "src/index/index_service.h"
+#include "src/kv/dm_abd_kv.h"
+#include "src/kv/fusee_kv.h"
+#include "src/kv/raw_kv.h"
+#include "src/kv/swarm_kv.h"
+#include "src/membership/membership.h"
+#include "src/sim/simulator.h"
+#include "src/stats/histogram.h"
+#include "src/swarm/clock.h"
+#include "src/swarm/worker.h"
+#include "src/ycsb/workload.h"
+
+namespace swarm::bench {
+
+struct HarnessConfig {
+  uint64_t seed = 1;
+  std::string store = "swarm";  // swarm | raw | dmabd | fusee
+  fabric::FabricConfig fabric;
+  ProtocolConfig proto;
+  ycsb::WorkloadConfig workload;
+  int num_clients = 4;
+  int workers_per_client = 1;  // Concurrent operations per client (§7.2).
+  uint64_t warmup_ops = 100000;
+  uint64_t measure_ops = 100000;
+  size_t cache_capacity = 0;  // Entries; 0 = unbounded.
+  int64_t max_clock_skew_ns = 400;  // Clients draw skew uniformly in ±this.
+  // Fill every client's cache with all key locations after loading,
+  // emulating the paper's "index caches large enough to cache all key
+  // locations" after a long warm-up. Ignored for bounded caches.
+  bool prewarm_caches = true;
+
+  HarnessConfig() {
+    fabric.num_nodes = 4;
+    fabric.node_capacity_bytes = 2ull << 30;
+    proto.replicas = 3;
+    proto.max_value = workload.value_size;
+    // 0 = auto: one In-n-Out metadata buffer per writer (§7.9's recommended
+    // configuration) and one timestamp lock per writer.
+    proto.meta_slots = 0;
+    proto.max_writers = 0;
+  }
+};
+
+struct RunResults {
+  stats::LatencyHistogram get_latency;
+  stats::LatencyHistogram update_latency;
+  std::map<int, uint64_t> get_rtts;     // roundtrips -> count
+  std::map<int, uint64_t> update_rtts;
+  uint64_t gets = 0;
+  uint64_t updates = 0;
+  uint64_t get_inplace = 0;
+  uint64_t not_found = 0;
+  uint64_t unavailable = 0;
+  sim::Time measure_duration = 0;
+  double ThroughputMops() const {
+    return measure_duration == 0
+               ? 0.0
+               : static_cast<double>(gets + updates) / sim::ToSeconds(measure_duration) / 1e6;
+  }
+
+  // Resource accounting deltas over the measurement phase.
+  uint64_t fabric_bytes = 0;
+  sim::Time cpu_busy = 0;
+  sim::Time cpu_wall = 0;  // measure_duration * clients (for utilization).
+};
+
+class KvHarness {
+ public:
+  explicit KvHarness(HarnessConfig cfg);
+
+  // Inserts all keys (version 0 values) and drains the simulator.
+  void Load();
+
+  // Runs warm-up + measurement; returns per-op statistics.
+  RunResults Run();
+
+  // Optional per-measured-op hook (e.g. Fig. 11's availability timeline):
+  // called with (virtual completion time, op type, latency, result).
+  using OpHook = std::function<void(sim::Time, ycsb::OpType, sim::Time, const kv::KvResult&)>;
+  void set_op_hook(OpHook hook) { op_hook_ = std::move(hook); }
+
+  sim::Simulator& sim() { return *sim_; }
+  fabric::Fabric& fabric() { return *fabric_; }
+  index::IndexService& index() { return *index_; }
+  membership::MembershipService& membership() { return *membership_; }
+  kv::FuseeStore& fusee_store() { return *fusee_; }
+  const HarnessConfig& config() const { return cfg_; }
+
+  int num_sessions() const { return static_cast<int>(sessions_.size()); }
+  kv::KvSession& session(int i) { return *sessions_[static_cast<size_t>(i)]; }
+  index::ClientCache& client_cache(int c) { return *caches_[static_cast<size_t>(c)]; }
+
+  // Aggregate modeled client-cache bytes (Table 3).
+  uint64_t TotalCacheBytes() const;
+  // Total clock re-synchronizations across all workers (§6).
+  uint64_t TotalClockResyncs() const;
+  // Aggregate client CPU busy-ns since the last reset.
+  sim::Time TotalCpuBusy() const;
+  void ResetCpu();
+
+ private:
+  void BuildClients();
+  void PrewarmCaches();
+  sim::Task<void> WorkerLoop(int session_idx, uint64_t warmup, uint64_t measured);
+  sim::Task<void> LoadRange(int session_idx, uint64_t first, uint64_t last);
+
+  HarnessConfig cfg_;
+  std::unique_ptr<sim::Simulator> sim_;
+  std::unique_ptr<fabric::Fabric> fabric_;
+  std::unique_ptr<index::IndexService> index_;
+  std::unique_ptr<membership::MembershipService> membership_;
+  std::unique_ptr<kv::FuseeStore> fusee_;
+
+  std::vector<std::unique_ptr<fabric::ClientCpu>> cpus_;
+  std::vector<std::unique_ptr<index::ClientCache>> caches_;
+  std::vector<std::unique_ptr<GuessClock>> clocks_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::unique_ptr<kv::KvSession>> sessions_;
+  std::vector<std::unique_ptr<ycsb::Workload>> workloads_;
+
+  RunResults results_;
+  bool measuring_ = false;
+  uint64_t version_counter_ = 1;
+  OpHook op_hook_;
+};
+
+}  // namespace swarm::bench
+
+#endif  // SWARM_BENCH_COMMON_HARNESS_H_

@@ -1,0 +1,29 @@
+// Benchmark-scale knobs, overridable from the environment so the whole suite
+// can be dialed up to paper-scale op counts (SWARM_BENCH_OPS=1000000) or down
+// for a quick smoke run.
+
+#ifndef SWARM_BENCH_COMMON_OPTIONS_H_
+#define SWARM_BENCH_COMMON_OPTIONS_H_
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+namespace swarm::bench {
+
+inline uint64_t EnvU64(const char* name, uint64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') {
+    return fallback;
+  }
+  return std::strtoull(v, nullptr, 10);
+}
+
+// Measured operations per experiment point (paper: 1M; default here keeps
+// the full suite fast while leaving distributions stable).
+inline uint64_t MeasureOps() { return EnvU64("SWARM_BENCH_OPS", 120000); }
+inline uint64_t WarmupOps() { return EnvU64("SWARM_BENCH_WARMUP", 60000); }
+
+}  // namespace swarm::bench
+
+#endif  // SWARM_BENCH_COMMON_OPTIONS_H_

@@ -1,0 +1,122 @@
+// Plain-text reporting helpers: aligned tables, latency summaries, CDF
+// series — the textual equivalents of the paper's tables and figures.
+
+#ifndef SWARM_BENCH_COMMON_REPORT_H_
+#define SWARM_BENCH_COMMON_REPORT_H_
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/stats/histogram.h"
+
+namespace swarm::bench {
+
+inline void PrintRule(size_t width = 86) {
+  std::string rule(width, '-');
+  std::printf("%s\n", rule.c_str());
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n");
+  PrintRule();
+  std::printf("%s\n", title.c_str());
+  PrintRule();
+}
+
+// Prints rows of pre-formatted cells with aligned columns.
+inline void PrintTable(const std::vector<std::vector<std::string>>& rows) {
+  if (rows.empty()) {
+    return;
+  }
+  std::vector<size_t> widths;
+  for (const auto& row : rows) {
+    if (row.size() > widths.size()) {
+      widths.resize(row.size(), 0);
+    }
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  for (const auto& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      std::printf("%-*s  ", static_cast<int>(widths[i]), row[i].c_str());
+    }
+    std::printf("\n");
+  }
+}
+
+inline std::string Fmt(const char* fmt, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+
+inline std::string FmtU(uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+// One-line latency summary: median / p1 / p99 / mean in microseconds.
+inline std::string LatencySummary(const stats::LatencyHistogram& h) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "p50=%6.2fus p1=%6.2fus p99=%6.2fus mean=%6.2fus n=%llu",
+                h.PercentileUs(50), h.PercentileUs(1), h.PercentileUs(99), h.MeanUs(),
+                static_cast<unsigned long long>(h.count()));
+  return buf;
+}
+
+// CDF as rows of "latency_us percentile" (plottable with any tool).
+inline void PrintCdf(const std::string& name, const stats::LatencyHistogram& h,
+                     size_t max_points = 40) {
+  std::printf("# CDF %s (latency_us -> percentile)\n", name.c_str());
+  for (const auto& [us, pct] : h.Cdf(max_points)) {
+    std::printf("  %-10s %8.2f %7.2f\n", name.c_str(), us, pct);
+  }
+}
+
+// Roundtrip distribution: "rtts: share%".
+inline std::string RttMix(const std::map<int, uint64_t>& rtts) {
+  uint64_t total = 0;
+  for (const auto& [k, v] : rtts) {
+    total += v;
+  }
+  std::string out;
+  for (const auto& [k, v] : rtts) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%d:%5.1f%% ", k,
+                  100.0 * static_cast<double>(v) / static_cast<double>(total == 0 ? 1 : total));
+    out += buf;
+  }
+  return out;
+}
+
+// Common-case (mode) and tail (p99) roundtrip counts, Table-2 style.
+inline std::pair<int, int> RttCommonAndP99(const std::map<int, uint64_t>& rtts) {
+  uint64_t total = 0;
+  uint64_t best = 0;
+  int common = 0;
+  for (const auto& [k, v] : rtts) {
+    total += v;
+    if (v > best) {
+      best = v;
+      common = k;
+    }
+  }
+  uint64_t seen = 0;
+  int p99 = common;
+  for (const auto& [k, v] : rtts) {
+    seen += v;
+    if (static_cast<double>(seen) >= 0.99 * static_cast<double>(total)) {
+      p99 = k;
+      break;
+    }
+  }
+  return {common, p99};
+}
+
+}  // namespace swarm::bench
+
+#endif  // SWARM_BENCH_COMMON_REPORT_H_

@@ -1,0 +1,165 @@
+// Trading tick store: the paper's motivating low-latency scenario ("data
+// stores in trading systems", §1).
+//
+// A market-data publisher streams ticks for a set of instruments into
+// SWARM-KV while several trading strategies concurrently read the latest
+// tick of the instruments they track. Each tick must be visible with
+// microsecond latency, reads must be strongly consistent (a strategy must
+// never act on a price older than one it already saw), and the feed must
+// survive a memory-node crash without a halt — exactly the combination
+// SWARM provides (1-RTT ops, linearizability, no-downtime failover).
+//
+// The demo crashes a memory node mid-stream and shows the publisher and the
+// strategies sail through it.
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "src/fabric/fabric.h"
+#include "src/index/client_cache.h"
+#include "src/index/index_service.h"
+#include "src/kv/swarm_kv.h"
+#include "src/membership/membership.h"
+#include "src/sim/simulator.h"
+#include "src/stats/histogram.h"
+#include "src/swarm/clock.h"
+#include "src/swarm/worker.h"
+
+namespace {
+
+using namespace swarm;
+
+constexpr int kInstruments = 16;
+constexpr int kTicksPerInstrument = 400;
+constexpr sim::Time kTickInterval = 2 * sim::kMicrosecond;
+
+struct Tick {
+  uint64_t sequence;
+  int64_t price_e6;  // Price in millionths.
+};
+
+std::vector<uint8_t> Pack(const Tick& t) {
+  std::vector<uint8_t> bytes(sizeof(Tick));
+  std::memcpy(bytes.data(), &t, sizeof(Tick));
+  return bytes;
+}
+
+Tick Unpack(const std::vector<uint8_t>& bytes) {
+  Tick t{};
+  if (bytes.size() == sizeof(Tick)) {
+    std::memcpy(&t, bytes.data(), sizeof(Tick));
+  }
+  return t;
+}
+
+struct Stats {
+  stats::LatencyHistogram publish;
+  stats::LatencyHistogram read;
+  uint64_t stale_reads = 0;  // Monotonicity violations (must stay 0).
+  uint64_t reads = 0;
+};
+
+sim::Task<void> Publisher(sim::Simulator* sim, kv::SwarmKvSession* kv, Stats* stats) {
+  // Seed all instruments.
+  for (int i = 0; i < kInstruments; ++i) {
+    (void)co_await kv->Insert(static_cast<uint64_t>(i), Pack(Tick{0, 100'000'000 + i}));
+  }
+  // Stream ticks round-robin.
+  for (int seq = 1; seq <= kTicksPerInstrument; ++seq) {
+    for (int i = 0; i < kInstruments; ++i) {
+      co_await sim->Delay(kTickInterval);
+      Tick tick{static_cast<uint64_t>(seq), 100'000'000 + i + seq * 25};
+      const sim::Time t0 = sim->Now();
+      kv::KvResult r = co_await kv->Update(static_cast<uint64_t>(i), Pack(tick));
+      if (r.ok()) {
+        stats->publish.Record(sim->Now() - t0);
+      }
+    }
+  }
+}
+
+sim::Task<void> Strategy(sim::Simulator* sim, kv::SwarmKvSession* kv, int first_instrument,
+                         Stats* stats) {
+  std::vector<uint64_t> last_seen(kInstruments, 0);
+  for (int round = 0; round < kTicksPerInstrument * 2; ++round) {
+    const auto instrument =
+        static_cast<uint64_t>((first_instrument + round) % kInstruments);
+    co_await sim->Delay(3 * sim::kMicrosecond);
+    const sim::Time t0 = sim->Now();
+    kv::KvResult r = co_await kv->Get(instrument);
+    if (r.status != kv::KvStatus::kOk) {
+      continue;
+    }
+    stats->read.Record(sim->Now() - t0);
+    ++stats->reads;
+    const Tick tick = Unpack(r.value);
+    // Linearizability at work: the sequence a strategy observes for an
+    // instrument never goes backwards.
+    if (tick.sequence < last_seen[instrument]) {
+      ++stats->stale_reads;
+    }
+    last_seen[instrument] = tick.sequence;
+  }
+}
+
+}  // namespace
+
+int main() {
+  sim::Simulator sim(2024);
+  fabric::FabricConfig fcfg;
+  fcfg.num_nodes = 4;
+  fcfg.node_capacity_bytes = 256ull << 20;
+  fabric::Fabric fabric(&sim, fcfg);
+  index::IndexService index(&sim);
+  membership::MembershipService membership(&sim, &fabric);
+
+  ProtocolConfig proto;
+  proto.max_writers = 8;
+  proto.meta_slots = 8;
+  proto.inplace_copies = 2;  // Failover spare for in-place data.
+
+  Stats stats;
+  std::vector<std::unique_ptr<fabric::ClientCpu>> cpus;
+  std::vector<std::unique_ptr<GuessClock>> clocks;
+  std::vector<std::unique_ptr<index::ClientCache>> caches;
+  std::vector<std::unique_ptr<Worker>> workers;
+  std::vector<std::unique_ptr<kv::SwarmKvSession>> sessions;
+  for (uint32_t i = 0; i < 4; ++i) {
+    cpus.push_back(std::make_unique<fabric::ClientCpu>(&sim));
+    clocks.push_back(std::make_unique<GuessClock>(&sim, 100 * static_cast<int64_t>(i)));
+    caches.push_back(std::make_unique<index::ClientCache>());
+    auto known_failed = std::make_shared<std::vector<bool>>(4, false);
+    membership.Subscribe(known_failed);
+    workers.push_back(std::make_unique<Worker>(&fabric, i, cpus.back().get(), clocks.back().get(),
+                                               proto, known_failed));
+    sessions.push_back(
+        std::make_unique<kv::SwarmKvSession>(workers.back().get(), &index, caches.back().get()));
+  }
+
+  sim::Spawn(Publisher(&sim, sessions[0].get(), &stats));
+  sim::Spawn(Strategy(&sim, sessions[1].get(), 0, &stats));
+  sim::Spawn(Strategy(&sim, sessions[2].get(), 5, &stats));
+  sim::Spawn(Strategy(&sim, sessions[3].get(), 11, &stats));
+
+  // Crash a memory node mid-stream: the feed must not pause.
+  sim.At(5 * sim::kMillisecond, [&] {
+    std::printf("t=5ms: memory node 2 crashes\n");
+    membership.CrashNode(2);
+  });
+
+  sim.Run();
+
+  std::printf("\npublished %" PRIu64 " ticks: publish p50=%.2fus p99=%.2fus max=%.2fus\n",
+              stats.publish.count(), stats.publish.PercentileUs(50),
+              stats.publish.PercentileUs(99), sim::ToMicros(stats.publish.max()));
+  std::printf("%" PRIu64 " strategy reads:  read    p50=%.2fus p99=%.2fus max=%.2fus\n",
+              stats.reads, stats.read.PercentileUs(50), stats.read.PercentileUs(99),
+              sim::ToMicros(stats.read.max()));
+  std::printf("monotonicity violations: %" PRIu64 " (must be 0)\n", stats.stale_reads);
+  std::printf("=> the node crash cost at most ~%.0fus on the worst op — no downtime.\n",
+              sim::ToMicros(stats.publish.max()));
+  return stats.stale_reads == 0 ? 0 : 1;
+}

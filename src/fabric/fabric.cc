@@ -1,0 +1,280 @@
+#include "src/fabric/fabric.h"
+
+#include <algorithm>
+#include <memory>
+
+namespace swarm::fabric {
+
+sim::Task<void> ClientCpu::Consume(sim::Time cost) {
+  const sim::Time start = std::max(sim_->Now(), busy_until_);
+  busy_until_ = start + cost;
+  busy_ns_ += cost;
+  if (busy_until_ > sim_->Now()) {
+    co_await sim_->WaitUntil(busy_until_);
+  }
+}
+
+Fabric::Fabric(sim::Simulator* sim, FabricConfig config) : sim_(sim), config_(config) {
+  nodes_.reserve(static_cast<size_t>(config_.num_nodes));
+  for (int i = 0; i < config_.num_nodes; ++i) {
+    nodes_.push_back(std::make_unique<MemoryNode>(config_.node_capacity_bytes));
+  }
+  nic_free_.assign(static_cast<size_t>(config_.num_nodes), 0);
+}
+
+sim::Time Fabric::ReserveNic(int node, sim::Time earliest, sim::Time service) {
+  sim::Time& free_at = nic_free_[static_cast<size_t>(node)];
+  const sim::Time start = std::max(earliest, free_at);
+  free_at = start + service;
+  return start;
+}
+
+sim::Time Fabric::SampleDelay() {
+  const sim::Time j = config_.delay_jitter;
+  sim::Time d = config_.one_way_delay;
+  if (j > 0) {
+    d += sim_->rng().Range(-j, j);
+  }
+  return std::max<sim::Time>(d, 1);
+}
+
+uint64_t Fabric::TotalAllocated() const {
+  uint64_t total = 0;
+  for (const auto& n : nodes_) {
+    total += n->bytes_allocated();
+  }
+  return total;
+}
+
+namespace {
+
+struct OpState {
+  OpResult result;
+};
+
+}  // namespace
+
+sim::Task<OpResult> Qp::Read(uint64_t addr, std::span<uint8_t> out) {
+  Fabric& f = *fabric_;
+  const FabricConfig& cfg = f.config();
+  if (cpu_ != nullptr) {
+    co_await cpu_->Consume(cfg.submit_cost);
+  }
+  f.stats().ops_issued++;
+  f.stats().reads++;
+  f.stats().bytes_to_nodes += kVerbHeaderBytes;
+
+  sim::Simulator* sim = f.sim();
+  const sim::Time departure = sim->Now();
+  sim::Time arrival = departure + f.SampleDelay() + f.node(node_).extra_delay();
+  arrival = std::max(arrival, last_arrival_ + 1);
+  arrival = f.ReserveNic(node_, arrival, cfg.node_op_cost);
+  last_arrival_ = arrival;
+
+  auto st = std::make_shared<OpState>();
+  sim::Counter done(sim);
+  const int node_id = node_;
+  uint8_t* out_ptr = out.data();
+  const size_t out_len = out.size();
+
+  sim->At(arrival, [&f, sim, st, done, node_id, addr, out_ptr, out_len, departure,
+                    arrival]() mutable {
+    MemoryNode& node = f.node(node_id);
+    const FabricConfig& cfg = f.config();
+    if (node.failed()) {
+      st->result.status = Status::kNodeFailed;
+      sim->At(std::max(sim->Now(), departure + cfg.failure_detect_delay),
+              [done]() mutable { done.Add(1); });
+      return;
+    }
+    node.ReadInto(addr, std::span<uint8_t>(out_ptr, out_len));
+    f.stats().bytes_from_nodes += kVerbHeaderBytes + out_len;
+    const sim::Time complete =
+        arrival + cfg.node_op_cost + cfg.read_extra + f.SampleDelay() + f.TransferTime(out_len);
+    sim->At(complete, [done]() mutable { done.Add(1); });
+  });
+
+  co_await done.WaitFor(1);
+  co_return st->result;
+}
+
+sim::Task<OpResult> Qp::Write(uint64_t addr, std::span<const uint8_t> data) {
+  Fabric& f = *fabric_;
+  const FabricConfig& cfg = f.config();
+  if (cpu_ != nullptr) {
+    co_await cpu_->Consume(cfg.submit_cost);
+  }
+  f.stats().ops_issued++;
+  f.stats().writes++;
+  f.stats().bytes_to_nodes += kVerbHeaderBytes + data.size();
+
+  sim::Simulator* sim = f.sim();
+  const sim::Time departure = sim->Now();
+  const sim::Time xfer = f.TransferTime(data.size());
+  sim::Time start = departure + f.SampleDelay() + f.node(node_).extra_delay();
+  start = std::max(start, last_arrival_ + 1);
+  start = f.ReserveNic(node_, start, cfg.node_op_cost);
+  const sim::Time finish = start + xfer;  // Last byte lands at `finish`.
+  last_arrival_ = finish;
+
+  auto st = std::make_shared<OpState>();
+  sim::Counter done(sim);
+  const int node_id = node_;
+  const uint8_t* src = data.data();
+  const size_t len = data.size();
+
+  const bool staged = cfg.staged_large_writes && len > 8 && xfer > 0;
+  if (staged) {
+    const size_t half = len / 2;
+    sim->At(start, [&f, node_id, addr, src, half] {
+      if (!f.node(node_id).failed()) {
+        f.node(node_id).WriteFrom(addr, std::span<const uint8_t>(src, half));
+      }
+    });
+    sim->At(finish, [&f, sim, st, done, node_id, addr, src, half, len, departure]() mutable {
+      MemoryNode& node = f.node(node_id);
+      const FabricConfig& cfg = f.config();
+      if (node.failed()) {
+        st->result.status = Status::kNodeFailed;
+        sim->At(std::max(sim->Now(), departure + cfg.failure_detect_delay),
+                [done]() mutable { done.Add(1); });
+        return;
+      }
+      node.WriteFrom(addr + half, std::span<const uint8_t>(src + half, len - half));
+      f.stats().bytes_from_nodes += kAckBytes;
+      const sim::Time complete = sim->Now() + cfg.node_op_cost + f.SampleDelay();
+      sim->At(complete, [done]() mutable { done.Add(1); });
+    });
+  } else {
+    sim->At(finish, [&f, sim, st, done, node_id, addr, src, len, departure]() mutable {
+      MemoryNode& node = f.node(node_id);
+      const FabricConfig& cfg = f.config();
+      if (node.failed()) {
+        st->result.status = Status::kNodeFailed;
+        sim->At(std::max(sim->Now(), departure + cfg.failure_detect_delay),
+                [done]() mutable { done.Add(1); });
+        return;
+      }
+      node.WriteFrom(addr, std::span<const uint8_t>(src, len));
+      f.stats().bytes_from_nodes += kAckBytes;
+      const sim::Time complete = sim->Now() + cfg.node_op_cost + f.SampleDelay();
+      sim->At(complete, [done]() mutable { done.Add(1); });
+    });
+  }
+
+  co_await done.WaitFor(1);
+  co_return st->result;
+}
+
+sim::Task<OpResult> Qp::Cas(uint64_t addr, uint64_t expected, uint64_t desired) {
+  Fabric& f = *fabric_;
+  const FabricConfig& cfg = f.config();
+  if (cpu_ != nullptr) {
+    co_await cpu_->Consume(cfg.submit_cost);
+  }
+  f.stats().ops_issued++;
+  f.stats().casses++;
+  f.stats().bytes_to_nodes += kVerbHeaderBytes + 16;
+
+  sim::Simulator* sim = f.sim();
+  const sim::Time departure = sim->Now();
+  sim::Time arrival = departure + f.SampleDelay() + f.node(node_).extra_delay();
+  arrival = std::max(arrival, last_arrival_ + 1);
+  arrival = f.ReserveNic(node_, arrival, cfg.node_op_cost);
+  last_arrival_ = arrival;
+
+  auto st = std::make_shared<OpState>();
+  sim::Counter done(sim);
+  const int node_id = node_;
+
+  sim->At(arrival, [&f, sim, st, done, node_id, addr, expected, desired, departure]() mutable {
+    MemoryNode& node = f.node(node_id);
+    const FabricConfig& cfg = f.config();
+    if (node.failed()) {
+      st->result.status = Status::kNodeFailed;
+      sim->At(std::max(sim->Now(), departure + cfg.failure_detect_delay),
+              [done]() mutable { done.Add(1); });
+      return;
+    }
+    st->result.old_value = node.CasWord(addr, expected, desired);
+    f.stats().bytes_from_nodes += kAckBytes + 8;
+    const sim::Time complete = sim->Now() + cfg.node_op_cost + f.SampleDelay();
+    sim->At(complete, [done]() mutable { done.Add(1); });
+  });
+
+  co_await done.WaitFor(1);
+  co_return st->result;
+}
+
+sim::Task<OpResult> Qp::WriteThenCas(uint64_t waddr, std::span<const uint8_t> data, uint64_t caddr,
+                                     uint64_t expected, uint64_t desired) {
+  Fabric& f = *fabric_;
+  const FabricConfig& cfg = f.config();
+  if (cpu_ != nullptr) {
+    // One submission covers the whole pipelined series (§7.2: the fixed cost
+    // is per series of RDMA operations to a memory node).
+    co_await cpu_->Consume(cfg.submit_cost);
+  }
+  f.stats().ops_issued += 2;
+  f.stats().writes++;
+  f.stats().casses++;
+  f.stats().bytes_to_nodes += 2 * kVerbHeaderBytes + data.size() + 16;
+
+  sim::Simulator* sim = f.sim();
+  const sim::Time departure = sim->Now();
+  const sim::Time xfer = f.TransferTime(data.size());
+  sim::Time start = departure + f.SampleDelay() + f.node(node_).extra_delay();
+  start = std::max(start, last_arrival_ + 1);
+  start = f.ReserveNic(node_, start, 2 * cfg.node_op_cost);
+  const sim::Time write_done = start + xfer;
+  const sim::Time cas_at = write_done + cfg.node_op_cost;
+  last_arrival_ = cas_at;
+
+  auto st = std::make_shared<OpState>();
+  sim::Counter done(sim);
+  const int node_id = node_;
+  const uint8_t* src = data.data();
+  const size_t len = data.size();
+
+  if (cfg.staged_large_writes && len > 8 && xfer > 0) {
+    const size_t half = len / 2;
+    sim->At(start, [&f, node_id, waddr, src, half] {
+      if (!f.node(node_id).failed()) {
+        f.node(node_id).WriteFrom(waddr, std::span<const uint8_t>(src, half));
+      }
+    });
+    sim->At(write_done, [&f, node_id, waddr, src, half, len] {
+      if (!f.node(node_id).failed()) {
+        f.node(node_id).WriteFrom(waddr + half, std::span<const uint8_t>(src + half, len - half));
+      }
+    });
+  } else {
+    sim->At(write_done, [&f, node_id, waddr, src, len] {
+      if (!f.node(node_id).failed()) {
+        f.node(node_id).WriteFrom(waddr, std::span<const uint8_t>(src, len));
+      }
+    });
+  }
+
+  // FIFO pipelining: the CAS executes only after the write has fully applied
+  // (if the CAS's effect is visible, so is the write).
+  sim->At(cas_at, [&f, sim, st, done, node_id, caddr, expected, desired, departure]() mutable {
+    MemoryNode& node = f.node(node_id);
+    const FabricConfig& cfg = f.config();
+    if (node.failed()) {
+      st->result.status = Status::kNodeFailed;
+      sim->At(std::max(sim->Now(), departure + cfg.failure_detect_delay),
+              [done]() mutable { done.Add(1); });
+      return;
+    }
+    st->result.old_value = node.CasWord(caddr, expected, desired);
+    f.stats().bytes_from_nodes += kAckBytes + 8;
+    const sim::Time complete = sim->Now() + cfg.node_op_cost + f.SampleDelay();
+    sim->At(complete, [done]() mutable { done.Add(1); });
+  });
+
+  co_await done.WaitFor(1);
+  co_return st->result;
+}
+
+}  // namespace swarm::fabric

@@ -1,0 +1,172 @@
+// Simulated RDMA fabric: latency/bandwidth model, queue pairs, failure
+// injection, and IO accounting.
+//
+// This module is the hardware substitution for the paper's testbed (4 client
+// servers + 4 memory nodes, ConnectX NICs, 100 Gbps switch). Timing model for
+// one verb issued by a client:
+//
+//   submit:   the issuing worker consumes `submit_cost` on its client CPU
+//             (models the 200+ ns cost of posting a series of RDMA work
+//             requests, which causes the throughput wall of §7.2),
+//   request:  one-way delay + jitter + payload/bandwidth,
+//   execute:  the raw memory access at the node. Large writes apply in two
+//             stages spread across the transfer window, so concurrent reads
+//             can observe torn data (the non-atomicity In-n-Out handles),
+//   response: one-way delay + jitter + payload/bandwidth,
+//   complete: the awaiting coroutine resumes with the result.
+//
+// Ops on the same queue pair execute at the node in issue order (RDMA FIFO),
+// which is what makes the pipelined WRITE→CAS of In-n-Out (§4.3) correct in a
+// single roundtrip.
+
+#ifndef SWARM_SRC_FABRIC_FABRIC_H_
+#define SWARM_SRC_FABRIC_FABRIC_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/fabric/memory_node.h"
+#include "src/fabric/verbs.h"
+#include "src/sim/simulator.h"
+#include "src/sim/sync.h"
+#include "src/sim/task.h"
+#include "src/sim/time.h"
+
+namespace swarm::fabric {
+
+struct FabricConfig {
+  int num_nodes = 4;
+  uint64_t node_capacity_bytes = 1ull << 30;
+
+  // Latency model, calibrated so a small READ round-trips in ~1.9 us and a
+  // small WRITE in ~1.6 us, matching the paper's RAW baseline (§7.1).
+  sim::Time one_way_delay = 680;      // ns
+  sim::Time delay_jitter = 90;        // uniform +/- per direction
+  sim::Time node_op_cost = 50;        // ns per verb at the node
+  sim::Time read_extra = 250;         // extra ns for READs (PCIe read round at the node)
+  sim::Time submit_cost = 200;        // ns of client CPU per issued verb batch
+  double bandwidth_bytes_per_ns = 12.5;  // 100 Gbps each direction
+
+  // Virtual time after which an op against a crashed node completes locally
+  // with kNodeFailed (models RC QP retry exhaustion / uKharon notification).
+  sim::Time failure_detect_delay = 4000;
+
+  // If true, writes larger than 8 B apply in two stages across the transfer
+  // window so concurrent readers can tear.
+  bool staged_large_writes = true;
+};
+
+struct FabricStats {
+  uint64_t ops_issued = 0;
+  uint64_t bytes_to_nodes = 0;    // request headers + write payloads
+  uint64_t bytes_from_nodes = 0;  // response headers + read payloads
+  uint64_t casses = 0;
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+
+  void Reset() { *this = FabricStats{}; }
+  uint64_t total_io() const { return bytes_to_nodes + bytes_from_nodes; }
+};
+
+// Per-client CPU model. Worker coroutines that share a ClientCpu serialize
+// their verb submissions on it; `busy_ns` accumulates for Table 3's CPU
+// utilization metric.
+class ClientCpu {
+ public:
+  explicit ClientCpu(sim::Simulator* sim) : sim_(sim) {}
+
+  // Consumes `cost` ns of CPU, queueing behind earlier consumers.
+  sim::Task<void> Consume(sim::Time cost);
+
+  sim::Time busy_ns() const { return busy_ns_; }
+  void ResetBusy() { busy_ns_ = 0; }
+
+ private:
+  sim::Simulator* sim_;
+  sim::Time busy_until_ = 0;
+  sim::Time busy_ns_ = 0;
+};
+
+class Fabric;
+
+// Client-side endpoint of a queue pair to one memory node. Each logical
+// worker (one outstanding application operation) uses its own Qp set, as a
+// real client would use a dedicated QP context per issuing thread.
+class Qp {
+ public:
+  Qp(Fabric* fabric, int node, ClientCpu* cpu) : fabric_(fabric), node_(node), cpu_(cpu) {}
+
+  // One-sided READ of [addr, addr+out.size()). The bytes are sampled at the
+  // op's execution instant at the node and delivered at completion.
+  sim::Task<OpResult> Read(uint64_t addr, std::span<uint8_t> out);
+
+  // One-sided WRITE. Not atomic for payloads larger than 8 B.
+  sim::Task<OpResult> Write(uint64_t addr, std::span<const uint8_t> data);
+
+  // Atomic 64-bit compare-and-swap; OpResult::old_value holds the prior word.
+  sim::Task<OpResult> Cas(uint64_t addr, uint64_t expected, uint64_t desired);
+
+  // Pipelined WRITE followed by CAS on the same QP: executes in order at the
+  // node, completes in ONE roundtrip total (§2.1 property 3; used by
+  // In-n-Out's write, Fig. 3).
+  sim::Task<OpResult> WriteThenCas(uint64_t waddr, std::span<const uint8_t> data, uint64_t caddr,
+                                   uint64_t expected, uint64_t desired);
+
+  int node() const { return node_; }
+
+ private:
+  friend class Fabric;
+  Fabric* fabric_;
+  int node_;
+  ClientCpu* cpu_;
+  sim::Time last_arrival_ = 0;  // FIFO ordering of executions at the node.
+};
+
+class Fabric {
+ public:
+  Fabric(sim::Simulator* sim, FabricConfig config);
+
+  sim::Simulator* sim() { return sim_; }
+  const FabricConfig& config() const { return config_; }
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  MemoryNode& node(int i) { return *nodes_[static_cast<size_t>(i)]; }
+
+  FabricStats& stats() { return stats_; }
+
+  // Crashes node `i`: in-flight requests that have not yet executed and all
+  // future ops fail after `failure_detect_delay`; memory contents are lost.
+  void Crash(int i) { node(i).Crash(); }
+  void Recover(int i) { node(i).Recover(); }
+
+  // One direction of network latency including jitter.
+  sim::Time SampleDelay();
+
+  // NIC occupancy model: each verb occupies the target node's NIC engine for
+  // its fixed processing cost, so offered verb rates beyond the per-node
+  // service rate queue up (the fabric-saturation wall of §7.3). Payload
+  // transfers overlap (DMA engines), so concurrent large ops still interleave
+  // — and tear — at the memory. Returns the execution start time.
+  sim::Time ReserveNic(int node, sim::Time earliest, sim::Time service);
+
+  // Total bytes of disaggregated memory allocated across all nodes.
+  uint64_t TotalAllocated() const;
+
+ private:
+  friend class Qp;
+
+  sim::Time TransferTime(uint64_t bytes) const {
+    return static_cast<sim::Time>(static_cast<double>(bytes) / config_.bandwidth_bytes_per_ns);
+  }
+
+  sim::Simulator* sim_;
+  FabricConfig config_;
+  std::vector<std::unique_ptr<MemoryNode>> nodes_;
+  std::vector<sim::Time> nic_free_;
+  FabricStats stats_;
+};
+
+}  // namespace swarm::fabric
+
+#endif  // SWARM_SRC_FABRIC_FABRIC_H_

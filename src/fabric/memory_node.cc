@@ -1,0 +1,57 @@
+#include "src/fabric/memory_node.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace swarm::fabric {
+
+MemoryNode::MemoryNode(uint64_t capacity_bytes)
+    : mem_(static_cast<uint8_t*>(std::calloc(capacity_bytes, 1))), capacity_(capacity_bytes) {
+  assert(mem_ != nullptr);
+}
+
+void MemoryNode::ReadInto(uint64_t addr, std::span<uint8_t> out) const {
+  assert(addr + out.size() <= capacity_);
+  std::memcpy(out.data(), mem_.get() + addr, out.size());
+}
+
+void MemoryNode::WriteFrom(uint64_t addr, std::span<const uint8_t> data) {
+  assert(addr + data.size() <= capacity_);
+  std::memcpy(mem_.get() + addr, data.data(), data.size());
+}
+
+uint64_t MemoryNode::LoadWord(uint64_t addr) const {
+  assert(addr % 8 == 0 && addr + 8 <= capacity_);
+  uint64_t v;
+  std::memcpy(&v, mem_.get() + addr, 8);
+  return v;
+}
+
+void MemoryNode::StoreWord(uint64_t addr, uint64_t value) {
+  assert(addr % 8 == 0 && addr + 8 <= capacity_);
+  std::memcpy(mem_.get() + addr, &value, 8);
+}
+
+uint64_t MemoryNode::CasWord(uint64_t addr, uint64_t expected, uint64_t desired) {
+  const uint64_t prev = LoadWord(addr);
+  if (prev == expected) {
+    StoreWord(addr, desired);
+  }
+  return prev;
+}
+
+uint64_t MemoryNode::Allocate(uint64_t size, uint64_t align) {
+  assert((align & (align - 1)) == 0 && "alignment must be a power of two");
+  const uint64_t aligned = (next_free_ + align - 1) & ~(align - 1);
+  assert(aligned + size <= capacity_ && "memory node out of capacity");
+  next_free_ = aligned + size;
+  return aligned;
+}
+
+void MemoryNode::Recover() {
+  failed_ = false;
+  std::memset(mem_.get(), 0, next_free_);  // Only touched pages need clearing.
+  next_free_ = 64;
+}
+
+}  // namespace swarm::fabric

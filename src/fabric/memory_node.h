@@ -1,0 +1,66 @@
+// A passive disaggregated-memory node.
+//
+// The node is a byte array plus a bump allocator. It runs no protocol logic
+// whatsoever — all intelligence lives in the clients, as required by SWARM's
+// setting (CXL-style memory, or RDMA NICs without two-sided ops). The fabric
+// layer decides *when* (in virtual time) each access executes; the node only
+// performs the raw memory operation at that instant.
+
+#ifndef SWARM_SRC_FABRIC_MEMORY_NODE_H_
+#define SWARM_SRC_FABRIC_MEMORY_NODE_H_
+
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <span>
+
+#include "src/sim/time.h"
+
+namespace swarm::fabric {
+
+class MemoryNode {
+ public:
+  explicit MemoryNode(uint64_t capacity_bytes);
+
+  // --- Raw access (invoked by the fabric at an op's execution event). ---
+  void ReadInto(uint64_t addr, std::span<uint8_t> out) const;
+  void WriteFrom(uint64_t addr, std::span<const uint8_t> data);
+  uint64_t LoadWord(uint64_t addr) const;
+  void StoreWord(uint64_t addr, uint64_t value);
+  // Atomic 64-bit CAS. Returns the previous value; swaps iff it == expected.
+  uint64_t CasWord(uint64_t addr, uint64_t expected, uint64_t desired);
+
+  // --- Allocation (setup-time / client pre-allocation; zero-initialized). ---
+  // Returns the base address of a fresh region of `size` bytes with the given
+  // power-of-two alignment (default 8).
+  uint64_t Allocate(uint64_t size, uint64_t align = 8);
+  uint64_t bytes_allocated() const { return next_free_; }
+  uint64_t capacity() const { return capacity_; }
+
+  // --- Failure injection. ---
+  void Crash() { failed_ = true; }
+  // A recovered node comes back empty: disaggregated DRAM loses its contents.
+  void Recover();
+  bool failed() const { return failed_; }
+
+  // Extra per-op delay (simulates an overloaded or distant node).
+  void set_extra_delay(sim::Time d) { extra_delay_ = d; }
+  sim::Time extra_delay() const { return extra_delay_; }
+
+ private:
+  struct FreeDeleter {
+    void operator()(uint8_t* p) const { std::free(p); }
+  };
+
+  // calloc-backed so untouched pages cost nothing (multi-GiB nodes are cheap
+  // to model) and memory starts zeroed ("cleared buffers", §5.3.1).
+  std::unique_ptr<uint8_t[], FreeDeleter> mem_;
+  uint64_t capacity_;
+  uint64_t next_free_ = 64;  // Address 0 is reserved as a null pointer.
+  bool failed_ = false;
+  sim::Time extra_delay_ = 0;
+};
+
+}  // namespace swarm::fabric
+
+#endif  // SWARM_SRC_FABRIC_MEMORY_NODE_H_

@@ -1,0 +1,41 @@
+// Common types for the simulated one-sided verb interface.
+//
+// The fabric exposes exactly the capabilities SWARM assumes of disaggregated
+// memory (§2.1 of the paper):
+//   1. READ / WRITE of arbitrary buffers, with NO atomicity for buffers larger
+//      than a word (concurrent large ops may tear / clobber),
+//   2. an atomic 64-bit compare-and-swap,
+//   3. FIFO pipelining of operations on the same queue pair, so that a WRITE
+//      followed by a CAS executes in order at the node within one roundtrip.
+// Memory nodes have no compute: every verb is a plain memory access.
+
+#ifndef SWARM_SRC_FABRIC_VERBS_H_
+#define SWARM_SRC_FABRIC_VERBS_H_
+
+#include <cstdint>
+
+namespace swarm::fabric {
+
+enum class Status : uint8_t {
+  kOk = 0,
+  // The target node crashed (or is unreachable); the op completed locally
+  // with an error after the configured detection timeout.
+  kNodeFailed = 1,
+};
+
+struct OpResult {
+  Status status = Status::kOk;
+  // For CAS: the value the word held just before the CAS executed.
+  uint64_t old_value = 0;
+
+  bool ok() const { return status == Status::kOk; }
+};
+
+// Wire-overhead model used for IO accounting (Table 3): every verb carries a
+// fixed header each way in addition to its payload.
+constexpr uint64_t kVerbHeaderBytes = 40;
+constexpr uint64_t kAckBytes = 16;
+
+}  // namespace swarm::fabric
+
+#endif  // SWARM_SRC_FABRIC_VERBS_H_

@@ -1,0 +1,112 @@
+#include "src/hash/xxhash.h"
+
+#include <cstring>
+
+namespace swarm::hash {
+namespace {
+
+constexpr uint64_t kPrime1 = 0x9e3779b185ebca87ull;
+constexpr uint64_t kPrime2 = 0xc2b2ae3d27d4eb4full;
+constexpr uint64_t kPrime3 = 0x165667b19e3779f9ull;
+constexpr uint64_t kPrime4 = 0x85ebca77c2b2ae63ull;
+constexpr uint64_t kPrime5 = 0x27d4eb2f165667c5ull;
+
+uint64_t Rotl(uint64_t x, int r) { return (x << r) | (x >> (64 - r)); }
+
+uint64_t Read64(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+uint32_t Read32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+uint64_t Round(uint64_t acc, uint64_t input) {
+  acc += input * kPrime2;
+  acc = Rotl(acc, 31);
+  acc *= kPrime1;
+  return acc;
+}
+
+uint64_t MergeRound(uint64_t acc, uint64_t val) {
+  val = Round(0, val);
+  acc ^= val;
+  acc = acc * kPrime1 + kPrime4;
+  return acc;
+}
+
+uint64_t Avalanche(uint64_t h) {
+  h ^= h >> 33;
+  h *= kPrime2;
+  h ^= h >> 29;
+  h *= kPrime3;
+  h ^= h >> 32;
+  return h;
+}
+
+}  // namespace
+
+uint64_t Xxh64(std::span<const uint8_t> data, uint64_t seed) {
+  const uint8_t* p = data.data();
+  const uint8_t* end = p + data.size();
+  uint64_t h;
+
+  if (data.size() >= 32) {
+    uint64_t v1 = seed + kPrime1 + kPrime2;
+    uint64_t v2 = seed + kPrime2;
+    uint64_t v3 = seed;
+    uint64_t v4 = seed - kPrime1;
+    const uint8_t* limit = end - 32;
+    do {
+      v1 = Round(v1, Read64(p));
+      v2 = Round(v2, Read64(p + 8));
+      v3 = Round(v3, Read64(p + 16));
+      v4 = Round(v4, Read64(p + 24));
+      p += 32;
+    } while (p <= limit);
+
+    h = Rotl(v1, 1) + Rotl(v2, 7) + Rotl(v3, 12) + Rotl(v4, 18);
+    h = MergeRound(h, v1);
+    h = MergeRound(h, v2);
+    h = MergeRound(h, v3);
+    h = MergeRound(h, v4);
+  } else {
+    h = seed + kPrime5;
+  }
+
+  h += static_cast<uint64_t>(data.size());
+
+  while (p + 8 <= end) {
+    h ^= Round(0, Read64(p));
+    h = Rotl(h, 27) * kPrime1 + kPrime4;
+    p += 8;
+  }
+  if (p + 4 <= end) {
+    h ^= static_cast<uint64_t>(Read32(p)) * kPrime1;
+    h = Rotl(h, 23) * kPrime2 + kPrime3;
+    p += 4;
+  }
+  while (p < end) {
+    h ^= static_cast<uint64_t>(*p) * kPrime5;
+    h = Rotl(h, 11) * kPrime1;
+    ++p;
+  }
+
+  return Avalanche(h);
+}
+
+uint64_t HashMetaAndValue(uint64_t metadata, std::span<const uint8_t> value) {
+  // Equivalent to hashing the concatenation, but avoids a copy: seed the
+  // value hash with an avalanche of the metadata word.
+  return Xxh64(value, Avalanche(metadata * kPrime1 + kPrime5));
+}
+
+uint64_t Mix64(uint64_t a, uint64_t b) {
+  return Avalanche(a * kPrime1 + b * kPrime2 + kPrime4);
+}
+
+}  // namespace swarm::hash

@@ -1,0 +1,31 @@
+// From-scratch implementation of the xxHash64 algorithm (Yann Collet).
+//
+// The paper's artifact uses xxHash3 to validate In-n-Out's in-place data;
+// any fast 64-bit non-cryptographic hash with good avalanche works. We
+// implement classic XXH64, verified against the reference test vectors in
+// tests/hash_test.cc, plus a convenience mixer for hashing a (metadata,
+// value) pair as In-n-Out does (§4.3).
+
+#ifndef SWARM_SRC_HASH_XXHASH_H_
+#define SWARM_SRC_HASH_XXHASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace swarm::hash {
+
+// XXH64 of `data` with the given seed.
+uint64_t Xxh64(std::span<const uint8_t> data, uint64_t seed = 0);
+
+// Hash of an 8-byte metadata word concatenated (logically) with a value
+// buffer. This is In-n-Out's integrity hash: the in-place copy of a value is
+// valid only if it matches the (timestamp, out-of-place pointer) metadata.
+uint64_t HashMetaAndValue(uint64_t metadata, std::span<const uint8_t> value);
+
+// Stateless 64-bit mix of two words (used for key placement / slot hashing).
+uint64_t Mix64(uint64_t a, uint64_t b);
+
+}  // namespace swarm::hash
+
+#endif  // SWARM_SRC_HASH_XXHASH_H_

@@ -1,0 +1,54 @@
+#include "src/index/index_service.h"
+
+#include <utility>
+
+namespace swarm::index {
+
+sim::Task<void> IndexService::Roundtrip(fabric::ClientCpu* cpu) {
+  if (cpu != nullptr) {
+    co_await cpu->Consume(submit_cost_);
+  }
+  sim::Time delay = 2 * one_way_;
+  if (jitter_ > 0) {
+    delay += sim_->rng().Range(-jitter_, jitter_);
+  }
+  co_await sim_->Delay(delay);
+}
+
+sim::Task<std::optional<IndexEntry>> IndexService::Lookup(uint64_t key, fabric::ClientCpu* cpu) {
+  co_await Roundtrip(cpu);
+  ++stats_.lookups;
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    co_return std::nullopt;
+  }
+  co_return it->second;
+}
+
+sim::Task<std::pair<bool, IndexEntry>> IndexService::InsertIfAbsent(
+    uint64_t key, std::shared_ptr<const ObjectLayout> layout, fabric::ClientCpu* cpu) {
+  co_await Roundtrip(cpu);
+  ++stats_.inserts;
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    co_return std::pair<bool, IndexEntry>{false, it->second};
+  }
+  IndexEntry entry{std::move(layout), next_generation_++};
+  map_.emplace(key, entry);
+  co_return std::pair<bool, IndexEntry>{true, entry};
+}
+
+sim::Task<bool> IndexService::RemoveIfGeneration(uint64_t key, uint64_t generation,
+                                                 fabric::ClientCpu* cpu) {
+  co_await Roundtrip(cpu);
+  ++stats_.removes;
+  auto it = map_.find(key);
+  if (it == map_.end() || it->second.generation != generation) {
+    co_return false;
+  }
+  Retire(std::move(it->second.layout));
+  map_.erase(it);
+  co_return true;
+}
+
+}  // namespace swarm::index

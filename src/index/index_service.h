@@ -1,0 +1,98 @@
+// Reliable index service (§5.1/§5.2).
+//
+// SWARM-KV needs "a fast index ... which can run on traditional servers and
+// [is] fault-tolerant", reachable in one roundtrip, mapping keys to the
+// locations of their replicas. SWARM-KV is oblivious to the index's
+// implementation (the paper reuses FUSEE's resizable index hardened to strong
+// consistency), so we model it as a linearizable map service with
+// fabric-like access latency: every operation costs one client submission
+// plus a network roundtrip.
+//
+// Entries carry a generation number so that a delete's background unmap
+// (§5.3.2) cannot erase a newer mapping racing in from a re-insert.
+
+#ifndef SWARM_SRC_INDEX_INDEX_SERVICE_H_
+#define SWARM_SRC_INDEX_INDEX_SERVICE_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/fabric/fabric.h"
+#include "src/sim/simulator.h"
+#include "src/sim/task.h"
+#include "src/swarm/layout.h"
+
+namespace swarm::index {
+
+struct IndexEntry {
+  std::shared_ptr<const ObjectLayout> layout;
+  uint64_t generation = 0;
+};
+
+struct IndexStats {
+  uint64_t lookups = 0;
+  uint64_t inserts = 0;
+  uint64_t removes = 0;
+};
+
+class IndexService {
+ public:
+  IndexService(sim::Simulator* sim, sim::Time one_way_delay = 680, sim::Time jitter = 90,
+               sim::Time submit_cost = 200)
+      : sim_(sim), one_way_(one_way_delay), jitter_(jitter), submit_cost_(submit_cost) {}
+
+  // One-roundtrip lookup. nullopt = key not mapped.
+  sim::Task<std::optional<IndexEntry>> Lookup(uint64_t key, fabric::ClientCpu* cpu);
+
+  // Insert-if-absent (§5.3.1). Returns {true, entry-as-inserted} on success,
+  // or {false, existing entry} when a mapping already exists (the caller then
+  // recycles its buffers and turns the insert into an update).
+  sim::Task<std::pair<bool, IndexEntry>> InsertIfAbsent(
+      uint64_t key, std::shared_ptr<const ObjectLayout> layout, fabric::ClientCpu* cpu);
+
+  // Removes the mapping only if its generation still matches (used by the
+  // background unmap after a delete). Returns true if removed.
+  sim::Task<bool> RemoveIfGeneration(uint64_t key, uint64_t generation, fabric::ClientCpu* cpu);
+
+  // Keeps a layout alive for the remainder of the simulation even after its
+  // mapping is removed: background straggler tasks (verified promotions,
+  // write-backs) may still reference it. Mirrors the fact that real memory
+  // is only recycled through the §4.5 protocol.
+  void Retire(std::shared_ptr<const ObjectLayout> layout) {
+    retired_.push_back(std::move(layout));
+  }
+
+  // Direct (zero-roundtrip) inspection, used by the benchmark harness to
+  // pre-warm client caches as an infinitely long warm-up phase would.
+  const IndexEntry* Peek(uint64_t key) const {
+    auto it = map_.find(key);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+
+  const IndexStats& stats() const { return stats_; }
+  size_t size() const { return map_.size(); }
+
+  // Approximate per-key memory footprint on the index servers (24 B location
+  // record, as §5.2), for the resource accounting of Table 3.
+  uint64_t ModeledBytes() const { return map_.size() * 24; }
+
+ private:
+  // One network roundtrip to the index server, including client submission.
+  sim::Task<void> Roundtrip(fabric::ClientCpu* cpu);
+
+  sim::Simulator* sim_;
+  sim::Time one_way_;
+  sim::Time jitter_;
+  sim::Time submit_cost_;
+  uint64_t next_generation_ = 1;
+  std::unordered_map<uint64_t, IndexEntry> map_;
+  std::vector<std::shared_ptr<const ObjectLayout>> retired_;
+  IndexStats stats_;
+};
+
+}  // namespace swarm::index
+
+#endif  // SWARM_SRC_INDEX_INDEX_SERVICE_H_

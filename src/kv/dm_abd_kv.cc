@@ -1,0 +1,194 @@
+#include "src/kv/dm_abd_kv.h"
+
+#include "src/hash/xxhash.h"
+#include "src/sim/sync.h"
+
+namespace swarm::kv {
+namespace {
+
+sim::Task<void> UnmapLater(index::IndexService* index, uint64_t key, uint64_t generation) {
+  (void)co_await index->RemoveIfGeneration(key, generation, nullptr);
+}
+
+KvStatus MapStatus(SgStatus s) {
+  switch (s) {
+    case SgStatus::kOk:
+      return KvStatus::kOk;
+    case SgStatus::kNotFound:
+    case SgStatus::kDeleted:
+      return KvStatus::kNotFound;
+    case SgStatus::kUnavailable:
+      return KvStatus::kUnavailable;
+  }
+  return KvStatus::kUnavailable;
+}
+
+}  // namespace
+
+std::shared_ptr<const ObjectLayout> DmAbdKvSession::AllocateForKey(uint64_t key) {
+  const ProtocolConfig& cfg = worker_->config();
+  const int n = worker_->fabric()->num_nodes();
+  int nodes[kMaxReplicas];
+  const uint64_t h = hash::Mix64(key, 0x414244);  // "ABD"
+  for (int i = 0; i < cfg.replicas; ++i) {
+    nodes[i] = static_cast<int>((h + static_cast<uint64_t>(i)) % static_cast<uint64_t>(n));
+  }
+  // One shared metadata word, no in-place region: pure out-of-place ABD.
+  return std::make_shared<ObjectLayout>(AllocateObject(*worker_->fabric(), nodes, cfg.replicas,
+                                                       /*meta_slots=*/1, /*max_writers=*/1,
+                                                       cfg.max_value, /*inplace_copies=*/0));
+}
+
+sim::Task<DmAbdKvSession::Located> DmAbdKvSession::Locate(uint64_t key, KvResult* result) {
+  Located loc;
+  if (index::CacheEntry* e = cache_->Lookup(key)) {
+    loc.found = true;
+    loc.cache_hit = true;
+    loc.layout = e->layout;
+    loc.obj_cache = worker_->SlotCacheFor(e->layout.get());
+    loc.generation = e->generation;
+    result->cache_hit = true;
+    co_return loc;
+  }
+  auto idx = co_await index_->Lookup(key, worker_->cpu());
+  ++result->rtts;
+  if (!idx.has_value()) {
+    co_return loc;
+  }
+  loc.found = true;
+  loc.layout = idx->layout;
+  loc.obj_cache = worker_->SlotCacheFor(idx->layout.get());
+  loc.generation = idx->generation;
+  index::CacheEntry entry;
+  entry.layout = loc.layout;
+  entry.generation = loc.generation;
+  entry.obj_cache = loc.obj_cache;
+  cache_->Put(key, std::move(entry));
+  co_return loc;
+}
+
+sim::Task<DmAbdKvSession::Located> DmAbdKvSession::HandleDeleted(uint64_t key,
+                                                                 uint64_t stale_generation,
+                                                                 KvResult* result) {
+  Located loc;
+  cache_->Invalidate(key);
+  auto idx = co_await index_->Lookup(key, worker_->cpu());
+  ++result->rtts;
+  if (!idx.has_value()) {
+    co_return loc;
+  }
+  if (idx->generation == stale_generation) {
+    sim::Spawn(UnmapLater(index_, key, idx->generation));
+    co_return loc;
+  }
+  loc.found = true;
+  loc.layout = idx->layout;
+  loc.obj_cache = worker_->SlotCacheFor(idx->layout.get());
+  loc.generation = idx->generation;
+  index::CacheEntry entry;
+  entry.layout = loc.layout;
+  entry.generation = loc.generation;
+  entry.obj_cache = loc.obj_cache;
+  cache_->Put(key, std::move(entry));
+  co_return loc;
+}
+
+sim::Task<KvResult> DmAbdKvSession::Get(uint64_t key) {
+  KvResult result;
+  Located loc = co_await Locate(key, &result);
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    if (!loc.found) {
+      result.status = KvStatus::kNotFound;
+      co_return result;
+    }
+    AbdObject obj(worker_, loc.layout.get(), loc.obj_cache);
+    SgReadResult r = co_await obj.Read();
+    result.rtts += r.rtts;
+    if (r.status == SgStatus::kDeleted) {
+      loc = co_await HandleDeleted(key, loc.generation, &result);
+      continue;
+    }
+    result.status = MapStatus(r.status);
+    if (r.status == SgStatus::kOk) {
+      result.value = std::move(r.value);
+    }
+    co_return result;
+  }
+  result.status = KvStatus::kNotFound;
+  co_return result;
+}
+
+sim::Task<KvResult> DmAbdKvSession::Update(uint64_t key, std::span<const uint8_t> value) {
+  KvResult result;
+  Located loc = co_await Locate(key, &result);
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    if (!loc.found) {
+      result.status = KvStatus::kNotFound;
+      co_return result;
+    }
+    AbdObject obj(worker_, loc.layout.get(), loc.obj_cache);
+    SgWriteResult r = co_await obj.Write(value);
+    result.rtts += r.rtts;
+    if (r.status == SgStatus::kDeleted) {
+      loc = co_await HandleDeleted(key, loc.generation, &result);
+      continue;
+    }
+    result.status = MapStatus(r.status);
+    co_return result;
+  }
+  result.status = KvStatus::kNotFound;
+  co_return result;
+}
+
+sim::Task<KvResult> DmAbdKvSession::Insert(uint64_t key, std::span<const uint8_t> value) {
+  KvResult result;
+  std::shared_ptr<const ObjectLayout> layout = AllocateForKey(key);
+  auto obj_cache = worker_->SlotCacheFor(layout.get());
+  AbdObject obj(worker_, layout.get(), obj_cache);
+  auto [wr, ins] = co_await sim::WhenBoth(worker_->sim(), obj.Write(value),
+                                          index_->InsertIfAbsent(key, layout, worker_->cpu()));
+  result.rtts += wr.rtts;
+  if (ins.first) {
+    index::CacheEntry entry;
+    entry.layout = layout;
+    entry.generation = ins.second.generation;
+    entry.obj_cache = obj_cache;
+    cache_->Put(key, std::move(entry));
+    result.status = MapStatus(wr.status);
+    co_return result;
+  }
+  index_->Retire(std::move(layout));
+  Located loc;
+  loc.found = true;
+  loc.layout = ins.second.layout;
+  loc.obj_cache = worker_->SlotCacheFor(ins.second.layout.get());
+  loc.generation = ins.second.generation;
+  index::CacheEntry entry;
+  entry.layout = loc.layout;
+  entry.generation = loc.generation;
+  entry.obj_cache = loc.obj_cache;
+  cache_->Put(key, std::move(entry));
+  AbdObject existing(worker_, loc.layout.get(), loc.obj_cache);
+  SgWriteResult wr2 = co_await existing.Write(value);
+  result.rtts += wr2.rtts;
+  result.status = wr2.status == SgStatus::kOk ? KvStatus::kExists : MapStatus(wr2.status);
+  co_return result;
+}
+
+sim::Task<KvResult> DmAbdKvSession::Remove(uint64_t key) {
+  KvResult result;
+  Located loc = co_await Locate(key, &result);
+  if (!loc.found) {
+    result.status = KvStatus::kNotFound;
+    co_return result;
+  }
+  AbdObject obj(worker_, loc.layout.get(), loc.obj_cache);
+  SgWriteResult del = co_await obj.Delete();
+  result.rtts += del.rtts;
+  cache_->Invalidate(key);
+  sim::Spawn(UnmapLater(index_, key, loc.generation));
+  result.status = del.status == SgStatus::kOk ? KvStatus::kOk : MapStatus(del.status);
+  co_return result;
+}
+
+}  // namespace swarm::kv

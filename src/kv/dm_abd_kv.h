@@ -1,0 +1,51 @@
+// DM-ABD key-value store (§7, "Baselines"): values replicated with the ABD
+// protocol using pure out-of-place updates. Strongly consistent and
+// fault-tolerant like SWARM-KV, but gets and updates commonly take two
+// roundtrips (Table 2): gets chase a pointer, updates first discover a
+// fresh timestamp (hidden behind the out-of-place data write) and then
+// install it with a CAS.
+
+#ifndef SWARM_SRC_KV_DM_ABD_KV_H_
+#define SWARM_SRC_KV_DM_ABD_KV_H_
+
+#include <memory>
+
+#include "src/index/client_cache.h"
+#include "src/index/index_service.h"
+#include "src/kv/kv_types.h"
+#include "src/swarm/abd.h"
+#include "src/swarm/worker.h"
+
+namespace swarm::kv {
+
+class DmAbdKvSession : public KvSession {
+ public:
+  DmAbdKvSession(Worker* worker, index::IndexService* index, index::ClientCache* cache)
+      : worker_(worker), index_(index), cache_(cache) {}
+
+  sim::Task<KvResult> Get(uint64_t key) override;
+  sim::Task<KvResult> Update(uint64_t key, std::span<const uint8_t> value) override;
+  sim::Task<KvResult> Insert(uint64_t key, std::span<const uint8_t> value) override;
+  sim::Task<KvResult> Remove(uint64_t key) override;
+
+ private:
+  struct Located {
+    bool found = false;
+    bool cache_hit = false;
+    std::shared_ptr<const ObjectLayout> layout;
+    std::shared_ptr<ObjectCache> obj_cache;
+    uint64_t generation = 0;
+  };
+
+  sim::Task<Located> Locate(uint64_t key, KvResult* result);
+  sim::Task<Located> HandleDeleted(uint64_t key, uint64_t stale_generation, KvResult* result);
+  std::shared_ptr<const ObjectLayout> AllocateForKey(uint64_t key);
+
+  Worker* worker_;
+  index::IndexService* index_;
+  index::ClientCache* cache_;
+};
+
+}  // namespace swarm::kv
+
+#endif  // SWARM_SRC_KV_DM_ABD_KV_H_

@@ -1,0 +1,452 @@
+#include "src/kv/fusee_kv.h"
+
+#include <cstring>
+
+#include "src/hash/xxhash.h"
+#include "src/sim/sync.h"
+
+namespace swarm::kv {
+namespace {
+
+// Index slot word: [generation:40][block oop:24]; 0 = key absent.
+uint64_t PackIndexWord(uint64_t gen, uint32_t oop) {
+  return (gen << kOopBits) | (oop & kOopMask);
+}
+uint64_t GenOf(uint64_t word) { return word >> kOopBits; }
+uint32_t OopOf(uint64_t word) { return static_cast<uint32_t>(word & kOopMask); }
+
+// Block header word: [generation:56][flags:8].
+constexpr uint64_t kBlockValid = 1;
+constexpr uint64_t kBlockForwarded = 2;
+
+uint64_t PackHeader(uint64_t gen, uint64_t flags) { return (gen << 8) | flags; }
+uint64_t HeaderGen(uint64_t hdr) { return hdr >> 8; }
+bool HeaderHas(uint64_t hdr, uint64_t flag) { return (hdr & flag) != 0; }
+
+sim::Task<void> SmallWrite(fabric::Qp* qp, uint64_t addr, std::vector<uint8_t> data) {
+  (void)co_await qp->Write(addr, data);
+}
+
+}  // namespace
+
+FuseeStore::KeyMeta& FuseeStore::MetaFor(uint64_t key) {
+  auto it = directory_.find(key);
+  if (it != directory_.end()) {
+    return it->second;
+  }
+  KeyMeta meta;
+  const int n = fabric_->num_nodes();
+  const uint64_t h = hash::Mix64(key, 0x465553454545);  // "FUSEE"
+  meta.primary = static_cast<int>(h % static_cast<uint64_t>(n));
+  meta.backup = (meta.primary + 1) % n;
+  meta.index_addr_primary = fabric_->node(meta.primary).Allocate(8);
+  meta.index_addr_backup = fabric_->node(meta.backup).Allocate(8);
+  return directory_.emplace(key, meta).first->second;
+}
+
+void FuseeStore::StartRecovery(int failed_node) {
+  if (static_cast<size_t>(failed_node) < failed_nodes_.size()) {
+    failed_nodes_[static_cast<size_t>(failed_node)] = true;
+  }
+  const sim::Time until = fabric_->sim()->Now() + recovery_duration_;
+  if (until > recovering_until_) {
+    recovering_until_ = until;
+  }
+}
+
+uint32_t FuseeKvSession::LogSlot(int node) {
+  if (log_slots_.empty()) {
+    log_slots_.assign(static_cast<size_t>(worker_->fabric()->num_nodes()), 0);
+  }
+  uint32_t& slot = log_slots_[static_cast<size_t>(node)];
+  if (slot == 0) {
+    slot = worker_->pool(node).AllocIdx();
+  }
+  return slot;
+}
+
+int FuseeKvSession::ActingPrimary(const FuseeStore::KeyMeta& meta) const {
+  return store_->NodeFailed(meta.primary) ? meta.backup : meta.primary;
+}
+
+sim::Task<void> FuseeKvSession::OnNodeFailure(int node) {
+  // Synchronous replication: accurate failure detection + multi-phase
+  // recovery (log scan, state transfer, role change) before any progress.
+  store_->StartRecovery(node);
+  co_await worker_->sim()->WaitUntil(store_->recovering_until());
+}
+
+sim::Task<bool> FuseeKvSession::AwaitUsable(const FuseeStore::KeyMeta& meta) {
+  if (store_->InRecovery()) {
+    co_await worker_->sim()->WaitUntil(store_->recovering_until());
+  }
+  co_return !(store_->NodeFailed(meta.primary) && store_->NodeFailed(meta.backup));
+}
+
+namespace {
+
+struct BlockParse {
+  bool ok = false;
+  uint64_t hdr = 0;
+  uint64_t aux = 0;
+  std::vector<uint8_t> bytes;
+};
+
+BlockParse ParseBlock(std::vector<uint8_t> block, uint32_t max_value, uint64_t word) {
+  BlockParse p;
+  std::memcpy(&p.hdr, block.data(), 8);
+  std::memcpy(&p.aux, block.data() + 8, 8);
+  if (HeaderHas(p.hdr, kBlockValid) && !HeaderHas(p.hdr, kBlockForwarded) &&
+      HeaderGen(p.hdr) == GenOf(word) && p.aux <= max_value) {
+    p.ok = true;
+    p.bytes.assign(block.begin() + kOopHeaderBytes,
+                   block.begin() + kOopHeaderBytes + static_cast<long>(p.aux));
+  }
+  return p;
+}
+
+}  // namespace
+
+sim::Task<KvResult> FuseeKvSession::Get(uint64_t key) {
+  KvResult result;
+  FuseeStore::KeyMeta& meta = store_->MetaFor(key);
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    if (!co_await AwaitUsable(meta)) {
+      result.status = KvStatus::kUnavailable;
+      co_return result;
+    }
+    const int node = ActingPrimary(meta);
+    const uint64_t index_addr =
+        node == meta.primary ? meta.index_addr_primary : meta.index_addr_backup;
+    fabric::Qp& qp = worker_->qp(node);
+    const uint32_t max_value = worker_->config().max_value;
+
+    uint64_t word = 0;
+    index::CacheEntry* cached = cache_->Lookup(key);
+    bool node_error = false;
+    if (cached != nullptr) {
+      // Cache hit: optimistically read the cached block while validating the
+      // cached location against the on-node index slot, in one roundtrip.
+      // Fresh caches finish here; keys recently modified by other clients
+      // need a second roundtrip for the relocated block (§7.1: FUSEE's
+      // bimodal gets).
+      result.cache_hit = true;
+      word = cached->generation;
+      std::vector<uint8_t> block(kOopHeaderBytes + max_value);
+      std::array<uint8_t, 8> ibuf{};
+      auto [br, ir] = co_await sim::WhenBoth(
+          worker_->sim(), qp.Read(static_cast<uint64_t>(OopOf(word)) * kOopGranuleBytes, block),
+          qp.Read(index_addr, ibuf));
+      ++result.rtts;
+      if (!br.ok() || !ir.ok()) {
+        node_error = true;
+      } else {
+        uint64_t index_word;
+        std::memcpy(&index_word, ibuf.data(), 8);
+        if (index_word == 0) {
+          cache_->Invalidate(key);
+          result.status = KvStatus::kNotFound;
+          co_return result;
+        }
+        if (index_word == word) {
+          BlockParse p = ParseBlock(std::move(block), max_value, word);
+          if (p.ok) {
+            result.status = KvStatus::kOk;
+            result.value = std::move(p.bytes);
+            result.fast_path = true;
+            co_return result;
+          }
+        }
+        // Stale cache: the index moved on; fetch the new block (+1 RT).
+        word = index_word;
+        index::CacheEntry entry;
+        entry.generation = word;
+        cache_->Put(key, std::move(entry));
+      }
+    } else {
+      // Uncached: read the on-node index slot first (+1 RT).
+      std::array<uint8_t, 8> buf{};
+      fabric::OpResult r = co_await qp.Read(index_addr, buf);
+      ++result.rtts;
+      if (!r.ok()) {
+        node_error = true;
+      } else {
+        std::memcpy(&word, buf.data(), 8);
+        if (word == 0) {
+          result.status = KvStatus::kNotFound;
+          co_return result;
+        }
+        index::CacheEntry entry;
+        entry.generation = word;
+        cache_->Put(key, std::move(entry));
+      }
+    }
+
+    if (!node_error) {
+      std::vector<uint8_t> block(kOopHeaderBytes + max_value);
+      fabric::OpResult r =
+          co_await qp.Read(static_cast<uint64_t>(OopOf(word)) * kOopGranuleBytes, block);
+      ++result.rtts;
+      if (r.ok()) {
+        BlockParse p = ParseBlock(std::move(block), max_value, word);
+        if (p.ok) {
+          result.status = KvStatus::kOk;
+          result.value = std::move(p.bytes);
+          co_return result;
+        }
+        // Torn or concurrently replaced block: retry from scratch.
+        cache_->Invalidate(key);
+        continue;
+      }
+      node_error = true;
+    }
+    if (node_error) {
+      co_await OnNodeFailure(node);
+    }
+  }
+  result.status = KvStatus::kUnavailable;
+  co_return result;
+}
+
+sim::Task<KvResult> FuseeKvSession::WriteInternal(uint64_t key, std::span<const uint8_t> value,
+                                                  bool expect_new) {
+  KvResult result;
+  FuseeStore::KeyMeta& meta = store_->MetaFor(key);
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    if (!co_await AwaitUsable(meta)) {
+      result.status = KvStatus::kUnavailable;
+      co_return result;
+    }
+    const int primary = ActingPrimary(meta);
+    const bool backup_alive = !store_->NodeFailed(meta.backup) && primary != meta.backup;
+    const uint64_t index_addr =
+        primary == meta.primary ? meta.index_addr_primary : meta.index_addr_backup;
+    fabric::Qp& qp = worker_->qp(primary);
+
+    const uint64_t gen = store_->NextGeneration();
+    const uint32_t oop_primary = worker_->pool(primary).AllocIdx();
+    const uint32_t oop_backup = backup_alive ? worker_->pool(meta.backup).AllocIdx() : 0;
+    const uint64_t new_word = PackIndexWord(gen, oop_primary);
+    const uint64_t new_word_backup = PackIndexWord(gen, oop_backup);
+
+    // Phase 1 (1 RT): write the new KV blocks to both replicas in parallel.
+    std::vector<uint8_t> block(kOopHeaderBytes + value.size());
+    const uint64_t hdr = PackHeader(gen, kBlockValid);
+    const uint64_t len = value.size();
+    std::memcpy(block.data(), &hdr, 8);
+    std::memcpy(block.data() + 8, &len, 8);
+    std::memcpy(block.data() + 16, value.data(), value.size());
+    fabric::OpResult w1;
+    int failed_node = primary;
+    if (backup_alive) {
+      auto [a, b] = co_await sim::WhenBoth(
+          worker_->sim(),
+          qp.Write(static_cast<uint64_t>(oop_primary) * kOopGranuleBytes, block),
+          worker_->qp(meta.backup)
+              .Write(static_cast<uint64_t>(oop_backup) * kOopGranuleBytes, block));
+      if (!a.ok()) {
+        w1 = a;  // The acting primary failed.
+      } else if (!b.ok()) {
+        w1 = b;
+        failed_node = meta.backup;  // Attribute the failure correctly.
+      } else {
+        w1 = a;
+      }
+    } else {
+      w1 = co_await qp.Write(static_cast<uint64_t>(oop_primary) * kOopGranuleBytes, block);
+    }
+    ++result.rtts;
+    if (!w1.ok()) {
+      co_await OnNodeFailure(failed_node);
+      continue;
+    }
+
+    // Phase 2 (1 RT, +1 on conflict): CAS the primary index slot.
+    uint64_t expected = 0;
+    if (index::CacheEntry* cached = cache_->Lookup(key)) {
+      result.cache_hit = true;
+      expected = cached->generation;
+    } else if (!expect_new) {
+      // Uncached update: consult the on-node index slot first; updating a
+      // key that does not exist fails.
+      std::array<uint8_t, 8> buf{};
+      fabric::OpResult ir = co_await qp.Read(index_addr, buf);
+      ++result.rtts;
+      if (!ir.ok()) {
+        co_await OnNodeFailure(primary);
+        continue;
+      }
+      std::memcpy(&expected, buf.data(), 8);
+      if (expected == 0) {
+        result.status = KvStatus::kNotFound;
+        co_return result;
+      }
+    }
+    uint64_t old_word = 0;
+    bool cas_done = false;
+    for (int tries = 0; tries < 4 && !cas_done; ++tries) {
+      fabric::OpResult c = co_await qp.Cas(index_addr, expected, new_word);
+      ++result.rtts;
+      if (!c.ok()) {
+        break;
+      }
+      if (c.old_value == expected) {
+        old_word = expected;
+        cas_done = true;
+      } else if (!expect_new && c.old_value == 0) {
+        // The key vanished (deleted concurrently): roll back our slot install
+        // attempt is unnecessary (CAS did not apply); fail the update.
+        result.status = KvStatus::kNotFound;
+        co_return result;
+      } else {
+        expected = c.old_value;
+      }
+    }
+    if (!cas_done) {
+      co_await OnNodeFailure(primary);
+      continue;
+    }
+    if (!expect_new && old_word == 0) {
+      // Raced with a delete: undo the install and fail.
+      (void)co_await qp.Cas(index_addr, new_word, 0);
+      ++result.rtts;
+      result.status = KvStatus::kNotFound;
+      co_return result;
+    }
+    if (expect_new && old_word != 0) {
+      result.status = KvStatus::kExists;
+    }
+
+    // Phase 3 (1 RT): update the backup index slot and invalidate the old
+    // block (forwarding pointer), in parallel.
+    {
+      std::vector<sim::Task<void>> tasks;
+      if (backup_alive) {
+        std::vector<uint8_t> wbuf(8);
+        std::memcpy(wbuf.data(), &new_word_backup, 8);
+        tasks.push_back(
+            SmallWrite(&worker_->qp(meta.backup), meta.index_addr_backup, std::move(wbuf)));
+      }
+      if (old_word != 0) {
+        std::vector<uint8_t> fwd(16);
+        const uint64_t fhdr = PackHeader(GenOf(old_word), kBlockForwarded);
+        std::memcpy(fwd.data(), &fhdr, 8);
+        std::memcpy(fwd.data() + 8, &new_word, 8);
+        tasks.push_back(SmallWrite(
+            &qp, static_cast<uint64_t>(OopOf(old_word)) * kOopGranuleBytes, std::move(fwd)));
+      }
+      if (!tasks.empty()) {
+        co_await sim::WhenAll(worker_->sim(), std::move(tasks));
+      }
+      ++result.rtts;
+    }
+
+    // Phase 4 (1 RT): commit record (metadata log) on the primary.
+    {
+      const uint32_t log_oop = LogSlot(primary);
+      std::vector<uint8_t> commit(16);
+      std::memcpy(commit.data(), &gen, 8);
+      std::memcpy(commit.data() + 8, &new_word, 8);
+      (void)co_await qp.Write(static_cast<uint64_t>(log_oop) * kOopGranuleBytes, commit);
+      ++result.rtts;
+    }
+
+    // GC (modeled, §7.6 "running garbage collection once per second"): the
+    // superseded version's blocks are recyclable now. In degraded
+    // single-copy mode the acting primary IS the backup node, so the
+    // superseded block and the old backup copy are the SAME buffer — freeing
+    // both would hand the slot out twice and corrupt live data.
+    if (old_word != 0) {
+      worker_->pool(primary).Free(OopOf(old_word));
+    }
+    if (backup_alive) {
+      if (meta.last_backup_oop != 0 && meta.last_backup_oop != OopOf(old_word)) {
+        worker_->pool(meta.backup).Free(meta.last_backup_oop);
+      }
+      meta.last_backup_oop = oop_backup;
+    } else {
+      meta.last_backup_oop = 0;  // Lost with the node, or freed as old_word.
+    }
+
+    index::CacheEntry entry;
+    entry.generation = new_word;
+    cache_->Put(key, std::move(entry));
+    if (result.status != KvStatus::kExists) {
+      result.status = KvStatus::kOk;
+    }
+    result.fast_path = result.rtts <= 4;
+    co_return result;
+  }
+  result.status = KvStatus::kUnavailable;
+  co_return result;
+}
+
+sim::Task<KvResult> FuseeKvSession::Update(uint64_t key, std::span<const uint8_t> value) {
+  KvResult r = co_await WriteInternal(key, value, /*expect_new=*/false);
+  co_return r;
+}
+
+sim::Task<KvResult> FuseeKvSession::Insert(uint64_t key, std::span<const uint8_t> value) {
+  KvResult r = co_await WriteInternal(key, value, /*expect_new=*/true);
+  co_return r;
+}
+
+sim::Task<KvResult> FuseeKvSession::Remove(uint64_t key) {
+  KvResult result;
+  FuseeStore::KeyMeta& meta = store_->MetaFor(key);
+  if (!co_await AwaitUsable(meta)) {
+    result.status = KvStatus::kUnavailable;
+    co_return result;
+  }
+  const int primary = ActingPrimary(meta);
+  const uint64_t index_addr =
+      primary == meta.primary ? meta.index_addr_primary : meta.index_addr_backup;
+  fabric::Qp& qp = worker_->qp(primary);
+
+  uint64_t expected = 0;
+  if (index::CacheEntry* cached = cache_->Lookup(key)) {
+    result.cache_hit = true;
+    expected = cached->generation;
+  }
+  uint64_t old_word = 0;
+  for (int tries = 0; tries < 4; ++tries) {
+    fabric::OpResult c = co_await qp.Cas(index_addr, expected, 0);
+    ++result.rtts;
+    if (!c.ok()) {
+      result.status = KvStatus::kUnavailable;
+      co_return result;
+    }
+    if (c.old_value == expected) {
+      old_word = expected;
+      break;
+    }
+    expected = c.old_value;
+  }
+  cache_->Invalidate(key);
+  if (old_word == 0) {
+    result.status = KvStatus::kNotFound;
+    co_return result;
+  }
+  // Invalidate the old block (forward to nothing) + clear backup slot.
+  {
+    std::vector<uint8_t> fwd(16, 0);
+    const uint64_t fhdr = PackHeader(GenOf(old_word), kBlockForwarded);
+    std::memcpy(fwd.data(), &fhdr, 8);
+    (void)co_await qp.Write(static_cast<uint64_t>(OopOf(old_word)) * kOopGranuleBytes, fwd);
+    ++result.rtts;
+  }
+  worker_->pool(primary).Free(OopOf(old_word));
+  if (meta.last_backup_oop != 0 && meta.last_backup_oop != OopOf(old_word)) {
+    worker_->pool(meta.backup).Free(meta.last_backup_oop);
+  }
+  meta.last_backup_oop = 0;
+  if (!store_->NodeFailed(meta.backup) && primary == meta.primary) {
+    std::vector<uint8_t> zero(8, 0);
+    (void)co_await worker_->qp(meta.backup).Write(meta.index_addr_backup, zero);
+    ++result.rtts;
+  }
+  result.status = KvStatus::kOk;
+  co_return result;
+}
+
+}  // namespace swarm::kv

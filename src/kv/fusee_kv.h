@@ -1,0 +1,108 @@
+// FUSEE baseline (§7, "Baselines"; Shen et al., FAST '23): a fully
+// memory-disaggregated key-value store with a synchronous replication
+// scheme, re-implemented as a roundtrip-faithful model on our fabric.
+//
+// Characteristics reproduced from the paper's description and Table 2:
+//  * 2 replicas tolerate 1 failure (synchronous replication needs only f+1).
+//  * updates are out-of-place and take 4 roundtrips (write blocks to both
+//    replicas; CAS the primary index slot; update backup slot + invalidate
+//    the old block; commit), 5 on CAS conflicts (hot keys).
+//  * gets take 1 roundtrip when the client's cached block location is
+//    fresh; keys recently modified by other clients cost a second roundtrip
+//    (the old block forwards to the index/new block). Uncached gets read
+//    the on-node index slot first: 2 roundtrips.
+//  * a memory-node failure stops progress until a multi-phase recovery
+//    (log scanning, state transfer, role changes) completes — tens of
+//    milliseconds (§7.7), vs. SWARM-KV's no-downtime failover.
+
+#ifndef SWARM_SRC_KV_FUSEE_KV_H_
+#define SWARM_SRC_KV_FUSEE_KV_H_
+
+#include <memory>
+#include <unordered_map>
+
+#include "src/index/client_cache.h"
+#include "src/kv/kv_types.h"
+#include "src/swarm/worker.h"
+
+namespace swarm::kv {
+
+// State shared by every FUSEE client: key directory (bucket addresses are
+// computable from key hashes in real FUSEE, so lookups cost no roundtrip),
+// and the recovery state machine.
+class FuseeStore {
+ public:
+  FuseeStore(fabric::Fabric* fabric, sim::Time recovery_duration = 40 * sim::kMillisecond)
+      : fabric_(fabric), recovery_duration_(recovery_duration) {}
+
+  struct KeyMeta {
+    int primary = -1;
+    int backup = -1;
+    uint64_t index_addr_primary = 0;  // 8 B index slot on the primary node.
+    uint64_t index_addr_backup = 0;
+    // Bookkeeping stand-in for FUSEE's log-based GC: the backup-side block of
+    // the current version, recycled when the next update supersedes it.
+    uint32_t last_backup_oop = 0;
+  };
+
+  fabric::Fabric* fabric() { return fabric_; }
+  sim::Time recovery_duration() const { return recovery_duration_; }
+
+  // Finds or creates the per-key metadata (bucket allocation).
+  KeyMeta& MetaFor(uint64_t key);
+
+  // --- Recovery state machine (§7.7) ---
+  bool InRecovery() const { return fabric_->sim()->Now() < recovering_until_; }
+  sim::Time recovering_until() const { return recovering_until_; }
+  void StartRecovery(int failed_node);
+  bool NodeFailed(int node) const { return failed_nodes_[static_cast<size_t>(node)]; }
+
+  uint64_t NextGeneration() { return next_gen_++; }
+
+  uint64_t ModeledIndexBytes() const { return directory_.size() * 2 * 8; }
+
+ private:
+  fabric::Fabric* fabric_;
+  sim::Time recovery_duration_;
+  sim::Time recovering_until_ = 0;
+  std::vector<bool> failed_nodes_ = std::vector<bool>(16, false);
+  uint64_t next_gen_ = 1;
+  std::unordered_map<uint64_t, KeyMeta> directory_;
+};
+
+class FuseeKvSession : public KvSession {
+ public:
+  FuseeKvSession(Worker* worker, FuseeStore* store, index::ClientCache* cache)
+      : worker_(worker), store_(store), cache_(cache) {}
+
+  sim::Task<KvResult> Get(uint64_t key) override;
+  sim::Task<KvResult> Update(uint64_t key, std::span<const uint8_t> value) override;
+  sim::Task<KvResult> Insert(uint64_t key, std::span<const uint8_t> value) override;
+  sim::Task<KvResult> Remove(uint64_t key) override;
+
+ private:
+  // Blocks until any ongoing recovery completes; returns false if the key is
+  // wholly unavailable (both replicas failed).
+  sim::Task<bool> AwaitUsable(const FuseeStore::KeyMeta& meta);
+
+  // The node currently serving a key's index + primary blocks.
+  int ActingPrimary(const FuseeStore::KeyMeta& meta) const;
+
+  // Reacts to a failed fabric op: kicks off recovery.
+  sim::Task<void> OnNodeFailure(int node);
+
+  sim::Task<KvResult> WriteInternal(uint64_t key, std::span<const uint8_t> value, bool expect_new);
+
+  // The per-node commit-log slot this session reuses (FUSEE's log is
+  // circular; one slot models its tail).
+  uint32_t LogSlot(int node);
+
+  Worker* worker_;
+  FuseeStore* store_;
+  index::ClientCache* cache_;
+  std::vector<uint32_t> log_slots_;
+};
+
+}  // namespace swarm::kv
+
+#endif  // SWARM_SRC_KV_FUSEE_KV_H_

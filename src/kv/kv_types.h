@@ -1,0 +1,48 @@
+// Common key-value store interface shared by SWARM-KV and the three
+// baselines (RAW, DM-ABD, FUSEE), so benchmarks and examples can drive any
+// of them interchangeably.
+
+#ifndef SWARM_SRC_KV_KV_TYPES_H_
+#define SWARM_SRC_KV_KV_TYPES_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/sim/task.h"
+
+namespace swarm::kv {
+
+enum class KvStatus : uint8_t {
+  kOk = 0,
+  kNotFound,     // Key absent (never inserted, or deleted).
+  kExists,       // Insert found an existing live mapping and updated it.
+  kUnavailable,  // Quorum lost / store recovering.
+};
+
+struct KvResult {
+  KvStatus status = KvStatus::kUnavailable;
+  std::vector<uint8_t> value;  // For gets.
+  int rtts = 0;                // Network roundtrips this op consumed.
+  bool fast_path = false;      // Completed in the protocol's fast path.
+  bool used_inplace = false;   // Gets: value served from in-place data.
+  bool cache_hit = false;      // Location served from the client cache.
+
+  bool ok() const { return status == KvStatus::kOk || status == KvStatus::kExists; }
+};
+
+// One client worker's session with a store: supports one outstanding
+// operation at a time (run several sessions for concurrent operations).
+class KvSession {
+ public:
+  virtual ~KvSession() = default;
+
+  virtual sim::Task<KvResult> Get(uint64_t key) = 0;
+  virtual sim::Task<KvResult> Update(uint64_t key, std::span<const uint8_t> value) = 0;
+  virtual sim::Task<KvResult> Insert(uint64_t key, std::span<const uint8_t> value) = 0;
+  virtual sim::Task<KvResult> Remove(uint64_t key) = 0;
+};
+
+}  // namespace swarm::kv
+
+#endif  // SWARM_SRC_KV_KV_TYPES_H_

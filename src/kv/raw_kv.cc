@@ -1,0 +1,145 @@
+#include "src/kv/raw_kv.h"
+
+#include <cstring>
+
+#include "src/hash/xxhash.h"
+
+namespace swarm::kv {
+namespace {
+
+sim::Task<void> UnmapLater(index::IndexService* index, uint64_t key, uint64_t generation) {
+  (void)co_await index->RemoveIfGeneration(key, generation, nullptr);
+}
+
+}  // namespace
+
+sim::Task<RawKvSession::Located> RawKvSession::Locate(uint64_t key, KvResult* result) {
+  Located loc;
+  if (index::CacheEntry* e = cache_->Lookup(key)) {
+    loc.found = true;
+    loc.cache_hit = true;
+    loc.layout = e->layout;
+    loc.generation = e->generation;
+    result->cache_hit = true;
+    co_return loc;
+  }
+  auto idx = co_await index_->Lookup(key, worker_->cpu());
+  ++result->rtts;
+  if (!idx.has_value()) {
+    co_return loc;
+  }
+  loc.found = true;
+  loc.layout = idx->layout;
+  loc.generation = idx->generation;
+  index::CacheEntry entry;
+  entry.layout = loc.layout;
+  entry.generation = loc.generation;
+  cache_->Put(key, std::move(entry));
+  co_return loc;
+}
+
+sim::Task<KvResult> RawKvSession::Get(uint64_t key) {
+  KvResult result;
+  Located loc = co_await Locate(key, &result);
+  if (!loc.found) {
+    result.status = KvStatus::kNotFound;
+    co_return result;
+  }
+  const ReplicaLayout& rep = loc.layout->replicas[0];
+  std::vector<uint8_t> buf(8 + loc.layout->max_value);
+  fabric::OpResult r = co_await worker_->qp(rep.node).Read(rep.meta_addr, buf);
+  ++result.rtts;
+  if (!r.ok()) {
+    result.status = KvStatus::kUnavailable;
+    co_return result;
+  }
+  uint64_t len;
+  std::memcpy(&len, buf.data(), 8);
+  if (len == 0 || len > loc.layout->max_value) {
+    result.status = KvStatus::kNotFound;  // Deleted (or garbage under a torn write).
+    co_return result;
+  }
+  result.status = KvStatus::kOk;
+  result.fast_path = result.cache_hit;
+  result.value.assign(buf.begin() + 8, buf.begin() + 8 + static_cast<long>(len));
+  co_return result;
+}
+
+sim::Task<KvResult> RawKvSession::Update(uint64_t key, std::span<const uint8_t> value) {
+  KvResult result;
+  Located loc = co_await Locate(key, &result);
+  if (!loc.found) {
+    result.status = KvStatus::kNotFound;
+    co_return result;
+  }
+  const ReplicaLayout& rep = loc.layout->replicas[0];
+  std::vector<uint8_t> buf(8 + value.size());
+  const uint64_t len = value.size();
+  std::memcpy(buf.data(), &len, 8);
+  std::memcpy(buf.data() + 8, value.data(), value.size());
+  fabric::OpResult r = co_await worker_->qp(rep.node).Write(rep.meta_addr, buf);
+  ++result.rtts;
+  result.status = r.ok() ? KvStatus::kOk : KvStatus::kUnavailable;
+  result.fast_path = result.cache_hit;
+  co_return result;
+}
+
+sim::Task<KvResult> RawKvSession::Insert(uint64_t key, std::span<const uint8_t> value) {
+  KvResult result;
+  // Allocate a single region on a hash-chosen node (client pre-allocation:
+  // no roundtrip), then in parallel write the value and insert the mapping.
+  const int node = static_cast<int>(hash::Mix64(key, 0x524157) %
+                                    static_cast<uint64_t>(worker_->fabric()->num_nodes()));
+  ObjectLayout l;
+  l.num_replicas = 1;
+  l.meta_slots = 1;
+  l.max_writers = 1;
+  l.max_value = worker_->config().max_value;
+  l.replicas[0].node = node;
+  l.replicas[0].meta_addr = worker_->fabric()->node(node).Allocate(8 + l.max_value);
+  std::shared_ptr<const ObjectLayout> layout = std::make_shared<ObjectLayout>(l);
+
+  auto ins = co_await index_->InsertIfAbsent(key, layout, worker_->cpu());
+  ++result.rtts;
+  Located loc;
+  loc.found = true;
+  loc.layout = ins.second.layout;
+  loc.generation = ins.second.generation;
+  if (!ins.first) {
+    index_->Retire(layout);
+  }
+  index::CacheEntry entry;
+  entry.layout = loc.layout;
+  entry.generation = loc.generation;
+  cache_->Put(key, std::move(entry));
+
+  const ReplicaLayout& rep = loc.layout->replicas[0];
+  std::vector<uint8_t> buf(8 + value.size());
+  const uint64_t len = value.size();
+  std::memcpy(buf.data(), &len, 8);
+  std::memcpy(buf.data() + 8, value.data(), value.size());
+  fabric::OpResult r = co_await worker_->qp(rep.node).Write(rep.meta_addr, buf);
+  result.status = !r.ok()              ? KvStatus::kUnavailable
+                  : ins.first          ? KvStatus::kOk
+                                       : KvStatus::kExists;
+  co_return result;
+}
+
+sim::Task<KvResult> RawKvSession::Remove(uint64_t key) {
+  KvResult result;
+  Located loc = co_await Locate(key, &result);
+  if (!loc.found) {
+    result.status = KvStatus::kNotFound;
+    co_return result;
+  }
+  const ReplicaLayout& rep = loc.layout->replicas[0];
+  std::vector<uint8_t> zero(8, 0);
+  fabric::OpResult r = co_await worker_->qp(rep.node).Write(rep.meta_addr, zero);
+  ++result.rtts;
+  cache_->Invalidate(key);
+  sim::Spawn(UnmapLater(index_, key, loc.generation));
+  result.status = r.ok() ? KvStatus::kOk : KvStatus::kUnavailable;
+  co_return result;
+}
+
+}  // namespace swarm::kv

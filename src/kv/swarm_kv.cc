@@ -1,0 +1,241 @@
+#include "src/kv/swarm_kv.h"
+
+#include <utility>
+
+#include "src/hash/xxhash.h"
+#include "src/sim/sync.h"
+
+namespace swarm::kv {
+namespace {
+
+sim::Task<void> UnmapLater(index::IndexService* index, uint64_t key, uint64_t generation) {
+  (void)co_await index->RemoveIfGeneration(key, generation, nullptr);
+}
+
+KvStatus MapStatus(SgStatus s) {
+  switch (s) {
+    case SgStatus::kOk:
+      return KvStatus::kOk;
+    case SgStatus::kNotFound:
+    case SgStatus::kDeleted:
+      return KvStatus::kNotFound;
+    case SgStatus::kUnavailable:
+      return KvStatus::kUnavailable;
+  }
+  return KvStatus::kUnavailable;
+}
+
+}  // namespace
+
+sim::Task<SwarmKvSession::Located> SwarmKvSession::Locate(uint64_t key, bool seed_metadata,
+                                                          KvResult* result) {
+  Located loc;
+  if (index::CacheEntry* e = cache_->Lookup(key)) {
+    loc.found = true;
+    loc.cache_hit = true;
+    loc.layout = e->layout;
+    loc.obj_cache = worker_->SlotCacheFor(e->layout.get());
+    loc.generation = e->generation;
+    result->cache_hit = true;
+    co_return loc;
+  }
+  auto idx = co_await index_->Lookup(key, worker_->cpu());
+  ++result->rtts;
+  if (!idx.has_value()) {
+    co_return loc;
+  }
+  loc.found = true;
+  loc.layout = idx->layout;
+  loc.obj_cache = worker_->SlotCacheFor(idx->layout.get());
+  loc.generation = idx->generation;
+  if (seed_metadata) {
+    // §7.1: on a cache miss, updates pay one more roundtrip to fetch the
+    // latest metadata buffers (seeding the In-n-Out slot caches for the
+    // one-roundtrip CAS-max).
+    QuorumMax reg(worker_, loc.layout.get(), loc.obj_cache);
+    (void)co_await reg.ReadQuorum(/*strong=*/false);
+    ++result->rtts;
+  }
+  index::CacheEntry entry;
+  entry.layout = loc.layout;
+  entry.generation = loc.generation;
+  entry.obj_cache = loc.obj_cache;
+  cache_->Put(key, std::move(entry));
+  co_return loc;
+}
+
+std::shared_ptr<const ObjectLayout> SwarmKvSession::AllocateForKey(uint64_t key) {
+  const ProtocolConfig& cfg = worker_->config();
+  const int n = worker_->fabric()->num_nodes();
+  int nodes[kMaxReplicas];
+  const uint64_t h = hash::Mix64(key, 0x535741524d); // "SWARM"
+  for (int i = 0; i < cfg.replicas; ++i) {
+    nodes[i] = static_cast<int>((h + static_cast<uint64_t>(i)) % static_cast<uint64_t>(n));
+  }
+  return std::make_shared<ObjectLayout>(
+      AllocateObject(*worker_->fabric(), nodes, cfg.replicas, cfg.meta_slots, cfg.max_writers,
+                     cfg.max_value, cfg.inplace_copies));
+}
+
+sim::Task<SwarmKvSession::Located> SwarmKvSession::HandleDeleted(uint64_t key,
+                                                                 uint64_t stale_generation,
+                                                                 KvResult* result) {
+  // §5.3.3/§5.3.4: flush the cache, re-consult the index; remove the stale
+  // mapping if the deleter failed to unmap it.
+  Located loc;
+  cache_->Invalidate(key);
+  auto idx = co_await index_->Lookup(key, worker_->cpu());
+  ++result->rtts;
+  if (!idx.has_value()) {
+    co_return loc;
+  }
+  if (idx->generation == stale_generation) {
+    sim::Spawn(UnmapLater(index_, key, idx->generation));
+    co_return loc;
+  }
+  // The key was re-inserted with new replicas: use them.
+  loc.found = true;
+  loc.layout = idx->layout;
+  loc.obj_cache = worker_->SlotCacheFor(idx->layout.get());
+  loc.generation = idx->generation;
+  index::CacheEntry entry;
+  entry.layout = loc.layout;
+  entry.generation = loc.generation;
+  entry.obj_cache = loc.obj_cache;
+  cache_->Put(key, std::move(entry));
+  co_return loc;
+}
+
+sim::Task<KvResult> SwarmKvSession::Get(uint64_t key) {
+  KvResult result;
+  Located loc = co_await Locate(key, /*seed_metadata=*/false, &result);
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    if (!loc.found) {
+      result.status = KvStatus::kNotFound;
+      co_return result;
+    }
+    SafeGuessObject obj(worker_, loc.layout.get(), loc.obj_cache);
+    SgReadResult r = co_await obj.Read();
+    result.rtts += r.rtts;
+    if (r.status == SgStatus::kDeleted) {
+      loc = co_await HandleDeleted(key, loc.generation, &result);
+      continue;
+    }
+    result.status = MapStatus(r.status);
+    if (r.status == SgStatus::kOk) {
+      result.value = std::move(r.value);
+      result.fast_path = r.fast_path && result.cache_hit && attempt == 0;
+      result.used_inplace = r.used_inplace;
+    }
+    co_return result;
+  }
+  result.status = KvStatus::kNotFound;
+  co_return result;
+}
+
+sim::Task<KvResult> SwarmKvSession::Update(uint64_t key, std::span<const uint8_t> value) {
+  KvResult result;
+  Located loc = co_await Locate(key, /*seed_metadata=*/true, &result);
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    if (!loc.found) {
+      result.status = KvStatus::kNotFound;  // §5.3.3: not indexed → fail.
+      co_return result;
+    }
+    SafeGuessObject obj(worker_, loc.layout.get(), loc.obj_cache);
+    SgWriteResult r = co_await obj.Write(value);
+    result.rtts += r.rtts;
+    if (r.status == SgStatus::kDeleted) {
+      loc = co_await HandleDeleted(key, loc.generation, &result);
+      continue;
+    }
+    result.status = MapStatus(r.status);
+    result.fast_path = r.fast_path && result.cache_hit && attempt == 0;
+    co_return result;
+  }
+  result.status = KvStatus::kNotFound;
+  co_return result;
+}
+
+sim::Task<KvResult> SwarmKvSession::Insert(uint64_t key, std::span<const uint8_t> value) {
+  KvResult result;
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    // §5.3.1: pick replicas, allocate cleared buffers (clients pre-allocate,
+    // so this costs no roundtrip), then IN PARALLEL replicate the value and
+    // insert the location into the index — one roundtrip total.
+    std::shared_ptr<const ObjectLayout> layout = AllocateForKey(key);
+    auto obj_cache = worker_->SlotCacheFor(layout.get());
+    SafeGuessObject obj(worker_, layout.get(), obj_cache);
+    auto [wr, ins] = co_await sim::WhenBoth(
+        worker_->sim(), obj.Write(value),
+        index_->InsertIfAbsent(key, layout, worker_->cpu()));
+    result.rtts += wr.rtts > 1 ? wr.rtts : 1;
+
+    if (ins.first) {
+      // Fresh mapping: the parallel SWARM write targeted exactly these
+      // replicas, so we are done.
+      index::CacheEntry entry;
+      entry.layout = layout;
+      entry.generation = ins.second.generation;
+      entry.obj_cache = obj_cache;
+      cache_->Put(key, std::move(entry));
+      result.status = MapStatus(wr.status);
+      result.fast_path = wr.fast_path;
+      co_return result;
+    }
+
+    // A mapping already exists: recycle our buffers and turn the insert
+    // into an update on the existing replicas (§5.3.1).
+    index_->Retire(std::move(layout));
+    Located loc;
+    loc.found = true;
+    loc.layout = ins.second.layout;
+    loc.obj_cache = worker_->SlotCacheFor(ins.second.layout.get());
+    loc.generation = ins.second.generation;
+    index::CacheEntry entry;
+    entry.layout = loc.layout;
+    entry.generation = loc.generation;
+    entry.obj_cache = loc.obj_cache;
+    cache_->Put(key, std::move(entry));
+
+    SafeGuessObject existing(worker_, loc.layout.get(), loc.obj_cache);
+    SgWriteResult wr2 = co_await existing.Write(value);
+    result.rtts += wr2.rtts;
+    if (wr2.status == SgStatus::kDeleted) {
+      // The existing mapping is tombstoned: overwrite it (§5.3.1) by
+      // unmapping and retrying the insert with fresh replicas.
+      cache_->Invalidate(key);
+      (void)co_await index_->RemoveIfGeneration(key, loc.generation, worker_->cpu());
+      ++result.rtts;
+      continue;
+    }
+    result.status = wr2.status == SgStatus::kOk ? KvStatus::kExists : MapStatus(wr2.status);
+    co_return result;
+  }
+  result.status = KvStatus::kUnavailable;
+  co_return result;
+}
+
+sim::Task<KvResult> SwarmKvSession::Remove(uint64_t key) {
+  KvResult result;
+  Located loc = co_await Locate(key, /*seed_metadata=*/false, &result);
+  if (!loc.found) {
+    result.status = KvStatus::kNotFound;
+    co_return result;
+  }
+  SafeGuessObject obj(worker_, loc.layout.get(), loc.obj_cache);
+  SgWriteResult del = co_await obj.Delete();
+  result.rtts += del.rtts;
+  result.fast_path = del.fast_path && result.cache_hit;
+  cache_->Invalidate(key);
+  if (del.status == SgStatus::kOk) {
+    // §5.3.2: the delete is over once the tombstone is replicated; unmapping
+    // the index entry happens in the background.
+    sim::Spawn(UnmapLater(index_, key, loc.generation));
+    result.status = KvStatus::kOk;
+  } else {
+    result.status = MapStatus(del.status);
+  }
+  co_return result;
+}
+
+}  // namespace swarm::kv

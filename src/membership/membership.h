@@ -1,0 +1,98 @@
+// Membership service (a uKharon [22] stand-in).
+//
+// The paper relies on uKharon, a microsecond-scale membership manager, for
+// two things: letting clients learn about memory-node failures without
+// waiting for per-operation timeouts, and fencing suspected clients so that
+// out-of-place buffers can be recycled safely (§4.5, §5.4).
+//
+// We model it as a centralized observer with a configurable detection delay:
+// when a node crashes, every subscribed client's known-failed set is updated
+// `detection_delay` later; clients that queried earlier learn through their
+// own op timeouts, exactly as in the paper's failover experiment (§7.7).
+// Client leases support the recycler extension: a client that stops renewing
+// its lease is suspected and (in the model) fenced from the fabric.
+
+#ifndef SWARM_SRC_MEMBERSHIP_MEMBERSHIP_H_
+#define SWARM_SRC_MEMBERSHIP_MEMBERSHIP_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/fabric/fabric.h"
+#include "src/sim/simulator.h"
+#include "src/sim/time.h"
+
+namespace swarm::membership {
+
+class MembershipService {
+ public:
+  MembershipService(sim::Simulator* sim, fabric::Fabric* fabric,
+                    sim::Time detection_delay = 50 * sim::kMicrosecond,
+                    sim::Time lease_duration = 1 * sim::kMillisecond)
+      : sim_(sim), fabric_(fabric), detection_delay_(detection_delay),
+        lease_duration_(lease_duration) {}
+
+  // --- Memory-node monitoring ---
+
+  // Registers a client's known-failed vector for push notification.
+  void Subscribe(std::shared_ptr<std::vector<bool>> known_failed) {
+    subscribers_.push_back(std::move(known_failed));
+  }
+
+  // Crashes `node` on the fabric and notifies subscribers after the
+  // detection delay.
+  void CrashNode(int node) {
+    fabric_->Crash(node);
+    sim_->After(detection_delay_, [this, node] {
+      for (auto& s : subscribers_) {
+        (*s)[static_cast<size_t>(node)] = true;
+      }
+    });
+  }
+
+  void RecoverNode(int node) {
+    fabric_->Recover(node);
+    sim_->After(detection_delay_, [this, node] {
+      for (auto& s : subscribers_) {
+        (*s)[static_cast<size_t>(node)] = false;
+      }
+    });
+  }
+
+  // --- Client leases (for the memory recycler, §4.5/§5.4) ---
+
+  void RegisterClient(uint32_t client_id) {
+    leases_[client_id] = sim_->Now() + lease_duration_;
+  }
+
+  void RenewLease(uint32_t client_id) {
+    auto it = leases_.find(client_id);
+    if (it != leases_.end()) {
+      it->second = sim_->Now() + lease_duration_;
+    }
+  }
+
+  // A client whose lease expired is suspected; the membership service would
+  // instruct memory nodes to disconnect it so it can no longer access freed
+  // memory (§5.4).
+  bool IsSuspected(uint32_t client_id) const {
+    auto it = leases_.find(client_id);
+    return it == leases_.end() || it->second < sim_->Now();
+  }
+
+  sim::Time detection_delay() const { return detection_delay_; }
+
+ private:
+  sim::Simulator* sim_;
+  fabric::Fabric* fabric_;
+  sim::Time detection_delay_;
+  sim::Time lease_duration_;
+  std::vector<std::shared_ptr<std::vector<bool>>> subscribers_;
+  std::unordered_map<uint32_t, sim::Time> leases_;
+};
+
+}  // namespace swarm::membership
+
+#endif  // SWARM_SRC_MEMBERSHIP_MEMBERSHIP_H_

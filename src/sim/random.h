@@ -1,0 +1,44 @@
+// Deterministic pseudo-random number generation for the simulator.
+//
+// A single Rng instance is owned by the Simulator so that an entire run is
+// reproducible from one seed. Protocol code and workload generators must draw
+// randomness from it (or from generators seeded by it) rather than from
+// std::random_device.
+
+#ifndef SWARM_SRC_SIM_RANDOM_H_
+#define SWARM_SRC_SIM_RANDOM_H_
+
+#include <cstdint>
+
+namespace swarm::sim {
+
+// splitmix64-seeded xoshiro256** generator. Small, fast, and good enough for
+// workload generation and latency jitter; not cryptographic.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 1) { Seed(seed); }
+
+  void Seed(uint64_t seed);
+
+  // Uniform over the full 64-bit range.
+  uint64_t U64();
+
+  // Uniform integer in [0, bound). bound must be > 0.
+  uint64_t Below(uint64_t bound);
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t Range(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double Double();
+
+  // True with probability p.
+  bool Chance(double p) { return Double() < p; }
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace swarm::sim
+
+#endif  // SWARM_SRC_SIM_RANDOM_H_

@@ -1,0 +1,44 @@
+#include "src/sim/simulator.h"
+
+namespace swarm::sim {
+
+void Simulator::At(Time when, std::function<void()> fn) {
+  if (when < now_) {
+    when = now_;
+  }
+  queue_.push(Event{when, seq_++, std::move(fn)});
+}
+
+void Simulator::ResumeAt(Time when, std::coroutine_handle<> h) {
+  At(when, [h] { h.resume(); });
+}
+
+bool Simulator::Step() {
+  if (queue_.empty()) {
+    return false;
+  }
+  // priority_queue::top() returns a const ref; move out via const_cast is
+  // well-defined here because we pop immediately and never reuse the slot.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.at;
+  ++events_processed_;
+  ev.fn();
+  return true;
+}
+
+void Simulator::Run() {
+  while (Step()) {
+  }
+}
+
+void Simulator::RunUntil(Time t) {
+  while (!queue_.empty() && queue_.top().at <= t) {
+    Step();
+  }
+  if (now_ < t) {
+    now_ = t;
+  }
+}
+
+}  // namespace swarm::sim

@@ -1,0 +1,91 @@
+// Discrete-event simulator core.
+//
+// The simulator owns a virtual clock and a min-heap of timed events. Actors
+// (clients, protocol operations, background tasks) are C++20 coroutines that
+// suspend on awaitables which schedule their resumption at a future virtual
+// time. Execution is strictly single-threaded: exactly one event runs at a
+// time, events with equal timestamps run in scheduling order, and the whole
+// run is reproducible from the Rng seed.
+
+#ifndef SWARM_SRC_SIM_SIMULATOR_H_
+#define SWARM_SRC_SIM_SIMULATOR_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "src/sim/random.h"
+#include "src/sim/time.h"
+
+namespace swarm::sim {
+
+class Simulator {
+ public:
+  explicit Simulator(uint64_t seed = 1) : rng_(seed) {}
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  Time Now() const { return now_; }
+  Rng& rng() { return rng_; }
+
+  // Schedules `fn` to run at virtual time `when` (clamped to Now()).
+  void At(Time when, std::function<void()> fn);
+
+  // Schedules `fn` to run `delay` ns from now.
+  void After(Time delay, std::function<void()> fn) { At(now_ + delay, std::move(fn)); }
+
+  // Schedules resumption of a suspended coroutine.
+  void ResumeAt(Time when, std::coroutine_handle<> h);
+
+  // Runs events until the queue is empty.
+  void Run();
+
+  // Runs events with timestamp <= `t`, then sets the clock to `t`.
+  void RunUntil(Time t);
+
+  // Runs a single event. Returns false if the queue was empty.
+  bool Step();
+
+  uint64_t events_processed() const { return events_processed_; }
+
+  // Awaitable: suspends the current coroutine for `delay` virtual ns.
+  auto Delay(Time delay) {
+    struct Awaiter {
+      Simulator* sim;
+      Time at;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) { sim->ResumeAt(at, h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this, now_ + (delay > 0 ? delay : 0)};
+  }
+
+  // Awaitable: suspends the current coroutine until virtual time `t`.
+  auto WaitUntil(Time t) { return Delay(t - now_); }
+
+ private:
+  struct Event {
+    Time at;
+    uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+    }
+  };
+
+  Time now_ = 0;
+  uint64_t seq_ = 0;
+  uint64_t events_processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  Rng rng_;
+};
+
+}  // namespace swarm::sim
+
+#endif  // SWARM_SRC_SIM_SIMULATOR_H_

@@ -1,0 +1,144 @@
+// Coroutine synchronization primitives for quorum-style protocols.
+//
+// The replication protocols in this repository constantly follow the pattern
+// "issue one op per memory node, wait for a majority, let the rest finish in
+// the background". Counter implements that: spawned per-node ops Add(1) on
+// completion and the issuing coroutine awaits a threshold, optionally with a
+// timeout (used for the optimistic-majority escalation of SWARM §6).
+//
+// Counter is a shared handle (copyable); its state outlives the awaiting
+// scope so that straggler ops completing later never touch freed memory.
+
+#ifndef SWARM_SRC_SIM_SYNC_H_
+#define SWARM_SRC_SIM_SYNC_H_
+
+#include <coroutine>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/sim/simulator.h"
+#include "src/sim/task.h"
+#include "src/sim/time.h"
+
+namespace swarm::sim {
+
+class Counter {
+ public:
+  explicit Counter(Simulator* sim) : state_(std::make_shared<State>()) { state_->sim = sim; }
+
+  void Add(int delta = 1) {
+    state_->count += delta;
+    WakeReady();
+  }
+
+  int count() const { return state_->count; }
+
+  // Suspends until count() >= threshold. If `timeout` >= 0 and the threshold
+  // is not reached within `timeout` virtual ns, resumes returning false.
+  Task<bool> WaitFor(int threshold, Time timeout = kNoTimeout) {
+    State& s = *state_;
+    if (s.count >= threshold) {
+      co_return true;
+    }
+    auto w = std::make_shared<Waiter>();
+    w->threshold = threshold;
+    s.waiters.push_back(w);
+    if (timeout >= 0) {
+      auto state = state_;
+      s.sim->After(timeout, [state, w] {
+        if (!w->settled) {
+          w->settled = true;
+          w->reached = false;
+          state->sim->At(state->sim->Now(), [w] { w->handle.resume(); });
+        }
+      });
+    }
+    co_await SuspendInto{w.get()};
+    co_return w->reached;
+  }
+
+ private:
+  struct Waiter {
+    int threshold = 0;
+    bool settled = false;
+    bool reached = false;
+    std::coroutine_handle<> handle;
+  };
+
+  struct State {
+    Simulator* sim = nullptr;
+    int count = 0;
+    std::vector<std::shared_ptr<Waiter>> waiters;
+  };
+
+  struct SuspendInto {
+    Waiter* w;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) { w->handle = h; }
+    void await_resume() const noexcept {}
+  };
+
+  void WakeReady() {
+    State& s = *state_;
+    for (size_t i = 0; i < s.waiters.size();) {
+      auto& w = s.waiters[i];
+      if (!w->settled && w->handle && s.count >= w->threshold) {
+        auto ready = w;
+        s.waiters.erase(s.waiters.begin() + static_cast<long>(i));
+        ready->settled = true;
+        ready->reached = true;
+        // Resume via the event queue so Add() never reenters protocol code.
+        s.sim->At(s.sim->Now(), [ready] { ready->handle.resume(); });
+      } else if (w->settled) {
+        s.waiters.erase(s.waiters.begin() + static_cast<long>(i));
+      } else {
+        ++i;
+      }
+    }
+  }
+
+  std::shared_ptr<State> state_;
+};
+
+namespace internal {
+
+template <typename T>
+Task<void> StoreInto(Task<T> t, std::shared_ptr<T> out, Counter done) {
+  *out = co_await std::move(t);
+  done.Add(1);
+}
+
+inline Task<void> SignalWhenDone(Task<void> t, Counter done) {
+  co_await std::move(t);
+  done.Add(1);
+}
+
+}  // namespace internal
+
+// Runs two tasks concurrently and resumes when both have completed, returning
+// both results. Used for Safe-Guess's parallel {m = M.READ(), M.WRITE(w)}.
+template <typename A, typename B>
+Task<std::pair<A, B>> WhenBoth(Simulator* sim, Task<A> a, Task<B> b) {
+  Counter done(sim);
+  auto ra = std::make_shared<A>();
+  auto rb = std::make_shared<B>();
+  Spawn(internal::StoreInto(std::move(a), ra, done));
+  Spawn(internal::StoreInto(std::move(b), rb, done));
+  co_await done.WaitFor(2);
+  co_return std::pair<A, B>{std::move(*ra), std::move(*rb)};
+}
+
+// Runs all tasks concurrently and resumes when every one has completed.
+inline Task<void> WhenAll(Simulator* sim, std::vector<Task<void>> tasks) {
+  Counter done(sim);
+  const int n = static_cast<int>(tasks.size());
+  for (auto& t : tasks) {
+    Spawn(internal::SignalWhenDone(std::move(t), done));
+  }
+  co_await done.WaitFor(n);
+}
+
+}  // namespace swarm::sim
+
+#endif  // SWARM_SRC_SIM_SYNC_H_

@@ -1,0 +1,33 @@
+// Virtual-time definitions for the discrete-event simulator.
+//
+// All latencies in the simulated RDMA fabric and all measurements reported by
+// the benchmark harness are expressed in virtual nanoseconds. Virtual time is
+// advanced only by the event loop in sim::Simulator, never by the host clock,
+// which makes every run deterministic for a given seed.
+
+#ifndef SWARM_SRC_SIM_TIME_H_
+#define SWARM_SRC_SIM_TIME_H_
+
+#include <cstdint>
+
+namespace swarm::sim {
+
+// Virtual nanoseconds since simulation start.
+using Time = int64_t;
+
+// Duration literal helpers (virtual time).
+constexpr Time kNanosecond = 1;
+constexpr Time kMicrosecond = 1000;
+constexpr Time kMillisecond = 1000 * 1000;
+constexpr Time kSecond = 1000 * 1000 * 1000;
+
+constexpr double ToMicros(Time t) { return static_cast<double>(t) / 1e3; }
+constexpr double ToMillis(Time t) { return static_cast<double>(t) / 1e6; }
+constexpr double ToSeconds(Time t) { return static_cast<double>(t) / 1e9; }
+
+// Sentinel meaning "no timeout".
+constexpr Time kNoTimeout = -1;
+
+}  // namespace swarm::sim
+
+#endif  // SWARM_SRC_SIM_TIME_H_

@@ -1,0 +1,91 @@
+#include "src/stats/histogram.h"
+
+#include <bit>
+
+namespace swarm::stats {
+
+size_t LatencyHistogram::BucketFor(uint64_t v) {
+  if (v < (1u << kMinorBits)) {
+    return static_cast<size_t>(v);
+  }
+  const int msb = 63 - std::countl_zero(v);
+  const int shift = msb - kMinorBits;
+  const uint64_t minor = (v >> shift) & ((1u << kMinorBits) - 1);
+  const size_t bucket = static_cast<size_t>((msb - kMinorBits + 1) << kMinorBits) +
+                        static_cast<size_t>(minor);
+  return bucket < kNumBuckets ? bucket : kNumBuckets - 1;
+}
+
+uint64_t LatencyHistogram::BucketLow(size_t bucket) {
+  if (bucket < (1u << kMinorBits)) {
+    return bucket;
+  }
+  const size_t major = (bucket >> kMinorBits) - 1;
+  const uint64_t minor = bucket & ((1u << kMinorBits) - 1);
+  return ((1ull << kMinorBits) | minor) << major;
+}
+
+sim::Time LatencyHistogram::Percentile(double p) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  const auto target = static_cast<uint64_t>(p / 100.0 * static_cast<double>(count_ - 1)) + 1;
+  uint64_t seen = 0;
+  for (size_t b = 0; b < buckets_.size(); ++b) {
+    seen += buckets_[b];
+    if (seen >= target) {
+      return static_cast<sim::Time>(BucketLow(b));
+    }
+  }
+  return max_;
+}
+
+std::vector<std::pair<double, double>> LatencyHistogram::Cdf(size_t max_points) const {
+  std::vector<std::pair<double, double>> points;
+  if (count_ == 0) {
+    return points;
+  }
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < buckets_.size(); ++b) {
+    if (buckets_[b] == 0) {
+      continue;
+    }
+    cumulative += buckets_[b];
+    points.emplace_back(static_cast<double>(BucketLow(b)) / 1e3,
+                        100.0 * static_cast<double>(cumulative) / static_cast<double>(count_));
+  }
+  if (points.size() > max_points) {
+    std::vector<std::pair<double, double>> thinned;
+    const double step = static_cast<double>(points.size()) / static_cast<double>(max_points);
+    for (double i = 0; i < static_cast<double>(points.size()); i += step) {
+      thinned.push_back(points[static_cast<size_t>(i)]);
+    }
+    thinned.push_back(points.back());
+    return thinned;
+  }
+  return points;
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  for (size_t b = 0; b < buckets_.size(); ++b) {
+    buckets_[b] += other.buckets_[b];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  if (other.max_ > max_) {
+    max_ = other.max_;
+  }
+  if (other.count_ > 0 && (count_ == other.count_ || other.min_ < min_)) {
+    min_ = other.min_;
+  }
+}
+
+void LatencyHistogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = 0;
+  max_ = 0;
+}
+
+}  // namespace swarm::stats

@@ -1,0 +1,73 @@
+// Latency recording and summary statistics for the benchmark harness.
+//
+// LatencyHistogram records virtual-time latencies with fixed relative
+// precision (log-linear buckets, HdrHistogram-style) and produces
+// percentiles, means, and CDF series like the ones plotted in the paper's
+// figures.
+
+#ifndef SWARM_SRC_STATS_HISTOGRAM_H_
+#define SWARM_SRC_STATS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace swarm::stats {
+
+class LatencyHistogram {
+ public:
+  LatencyHistogram() : buckets_(kNumBuckets, 0) {}
+
+  void Record(sim::Time latency_ns) {
+    if (latency_ns < 0) {
+      latency_ns = 0;
+    }
+    ++buckets_[BucketFor(static_cast<uint64_t>(latency_ns))];
+    ++count_;
+    sum_ += static_cast<uint64_t>(latency_ns);
+    if (latency_ns > max_) {
+      max_ = latency_ns;
+    }
+    if (count_ == 1 || latency_ns < min_) {
+      min_ = latency_ns;
+    }
+  }
+
+  uint64_t count() const { return count_; }
+  sim::Time min() const { return count_ == 0 ? 0 : min_; }
+  sim::Time max() const { return max_; }
+  double MeanUs() const {
+    return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_) / 1e3;
+  }
+
+  // p in [0, 100].
+  sim::Time Percentile(double p) const;
+  double PercentileUs(double p) const { return static_cast<double>(Percentile(p)) / 1e3; }
+
+  // CDF points (latency_us, percentile) suitable for plotting; at most
+  // `max_points` entries.
+  std::vector<std::pair<double, double>> Cdf(size_t max_points = 200) const;
+
+  void Merge(const LatencyHistogram& other);
+  void Reset();
+
+ private:
+  // Log-linear: 64 major (power-of-two) buckets x 32 minor = <3.2% error.
+  static constexpr int kMinorBits = 5;
+  static constexpr int kNumBuckets = 64 << kMinorBits;
+
+  static size_t BucketFor(uint64_t v);
+  static uint64_t BucketLow(size_t bucket);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  sim::Time min_ = 0;
+  sim::Time max_ = 0;
+};
+
+}  // namespace swarm::stats
+
+#endif  // SWARM_SRC_STATS_HISTOGRAM_H_

@@ -1,0 +1,373 @@
+#include "src/swarm/abd.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/hash/xxhash.h"
+#include "src/sim/sync.h"
+
+namespace swarm {
+namespace {
+
+// Out-of-place image for ABD: self-validating [hash][len][data]. The hash is
+// seeded with the object's per-replica metadata address so that a recycled
+// buffer serving a DIFFERENT object never validates (DM-ABD writes buffers
+// before their timestamp exists, so the timestamp cannot be in the hash).
+uint64_t AbdHash(uint64_t meta_addr, uint64_t len, std::span<const uint8_t> data) {
+  return hash::HashMetaAndValue(hash::Mix64(meta_addr, len), data);
+}
+
+std::vector<uint8_t> AbdOopImage(uint64_t meta_addr, std::span<const uint8_t> value) {
+  std::vector<uint8_t> image(kOopHeaderBytes + value.size());
+  const uint64_t len = value.size();
+  const uint64_t h = AbdHash(meta_addr, len, value);
+  std::memcpy(image.data(), &h, 8);
+  std::memcpy(image.data() + 8, &len, 8);
+  std::memcpy(image.data() + 16, value.data(), value.size());
+  return image;
+}
+
+struct Phase1State {
+  sim::Counter ok;
+  std::array<Meta, kMaxReplicas> words{};
+  std::array<bool, kMaxReplicas> oks{};
+  std::array<uint32_t, kMaxReplicas> oop_idx{};
+  std::vector<uint8_t> value;  // Images are built per replica (per-node hash).
+
+  explicit Phase1State(sim::Simulator* s) : ok(s) {}
+};
+
+// Phase 1 of an update at one replica: write the value out-of-place while
+// reading the metadata word, in one roundtrip.
+sim::Task<void> Phase1One(Worker* worker, const ObjectLayout* layout, int r,
+                          std::shared_ptr<Phase1State> ph) {
+  const ReplicaLayout& rep = layout->replicas[static_cast<size_t>(r)];
+  fabric::Qp& qp = worker->qp(rep.node);
+  const auto idx = static_cast<size_t>(r);
+
+  const uint32_t oop = worker->pool(rep.node).AllocIdx();
+  ph->oop_idx[idx] = oop;
+
+  std::array<uint8_t, 8> word_buf{};
+  std::vector<uint8_t> image = AbdOopImage(rep.meta_addr, ph->value);
+  auto wr = qp.Write(static_cast<uint64_t>(oop) * kOopGranuleBytes, image);
+  auto rd = qp.Read(rep.meta_addr, word_buf);
+  auto [w_res, r_res] = co_await sim::WhenBoth(worker->sim(), std::move(wr), std::move(rd));
+  if (!w_res.ok() || !r_res.ok()) {
+    if (w_res.status == fabric::Status::kNodeFailed || r_res.status == fabric::Status::kNodeFailed) {
+      worker->MarkNodeFailed(rep.node);
+    }
+    co_return;
+  }
+  uint64_t word;
+  std::memcpy(&word, word_buf.data(), 8);
+  ph->words[idx] = Meta(word);
+  ph->oks[idx] = true;
+  ph->ok.Add(1);
+}
+
+struct CasState {
+  sim::Counter ok;
+  int max_retries = 0;
+
+  explicit CasState(sim::Simulator* s) : ok(s) {}
+};
+
+// Installs `desired` at one replica with Algorithm 7's CAS-max loop,
+// recycling the superseded (or unused) out-of-place buffer.
+sim::Task<void> CasMaxOne(Worker* worker, const ObjectLayout* layout, int r, Meta expected,
+                          Meta desired, std::shared_ptr<CasState> ph) {
+  const ReplicaLayout& rep = layout->replicas[static_cast<size_t>(r)];
+  fabric::Qp& qp = worker->qp(rep.node);
+  OopPool& pool = worker->pool(rep.node);
+  Meta prev = expected;
+  int retries = -1;
+  bool installed = false;
+  while (TsLess(prev, desired)) {
+    fabric::OpResult res = co_await qp.Cas(rep.meta_addr, prev.raw(), desired.raw());
+    ++retries;
+    if (!res.ok()) {
+      co_return;
+    }
+    const Meta seen(res.old_value);
+    if (seen == prev) {
+      installed = true;
+      if (!prev.empty() && !prev.deleted()) {
+        pool.Free(prev.oop());  // Superseded buffer.
+      }
+      break;
+    }
+    prev = seen;
+  }
+  if (!installed && !desired.deleted()) {
+    pool.Free(desired.oop());  // Our buffer never became reachable.
+  }
+  ph->max_retries = std::max(ph->max_retries, std::max(retries, 0));
+  ph->ok.Add(1);
+}
+
+// Write-back at one replica: out-of-place image + CAS, pipelined.
+sim::Task<void> RepairOne(Worker* worker, const ObjectLayout* layout, int r, Meta base,
+                          std::shared_ptr<Phase1State> img, std::shared_ptr<CasState> ph) {
+  const ReplicaLayout& rep = layout->replicas[static_cast<size_t>(r)];
+  fabric::Qp& qp = worker->qp(rep.node);
+  OopPool& pool = worker->pool(rep.node);
+  const uint32_t oop = pool.AllocIdx();
+  const Meta desired = base.WithOop(oop);
+  std::vector<uint8_t> image = AbdOopImage(rep.meta_addr, img->value);
+  Meta prev;
+  bool installed = false;
+  fabric::OpResult res = co_await qp.WriteThenCas(static_cast<uint64_t>(oop) * kOopGranuleBytes,
+                                                  image, rep.meta_addr, 0, desired.raw());
+  if (!res.ok()) {
+    co_return;
+  }
+  prev = Meta(res.old_value);
+  installed = prev.raw() == 0;
+  while (!installed && TsLess(prev, desired)) {
+    res = co_await qp.Cas(rep.meta_addr, prev.raw(), desired.raw());
+    if (!res.ok()) {
+      co_return;
+    }
+    const Meta seen(res.old_value);
+    if (seen == prev) {
+      installed = true;
+      if (!prev.empty() && !prev.deleted()) {
+        pool.Free(prev.oop());
+      }
+      break;
+    }
+    prev = seen;
+  }
+  if (!installed) {
+    pool.Free(desired.oop());
+  }
+  ph->ok.Add(1);
+}
+
+int LivePreferred(Worker* worker, const ObjectLayout* layout, std::array<int, kMaxReplicas>& order) {
+  int live = 0;
+  std::array<int, kMaxReplicas> dead{};
+  int num_dead = 0;
+  for (int r = 0; r < layout->num_replicas; ++r) {
+    const int node = layout->replicas[static_cast<size_t>(r)].node;
+    if (worker->NodeKnownFailed(node)) {
+      dead[static_cast<size_t>(num_dead++)] = r;
+    } else {
+      order[static_cast<size_t>(live++)] = r;
+    }
+  }
+  for (int i = 0; i < num_dead; ++i) {
+    order[static_cast<size_t>(live + i)] = dead[static_cast<size_t>(i)];
+  }
+  return live;
+}
+
+}  // namespace
+
+sim::Task<SgWriteResult> AbdObject::Write(std::span<const uint8_t> value) {
+  SgWriteResult result;
+  auto ph = std::make_shared<Phase1State>(worker_->sim());
+  ph->value.assign(value.begin(), value.end());
+
+  std::array<int, kMaxReplicas> order{};
+  LivePreferred(worker_, layout_, order);
+  const int maj = layout_->majority();
+
+  // Phase 1: out-of-place writes in parallel with the timestamp discovery
+  // read (DM-ABD "hides latency by writing out-of-place data in parallel to
+  // finding a fresh timestamp").
+  for (int i = 0; i < maj; ++i) {
+    sim::Spawn(Phase1One(worker_, layout_, order[static_cast<size_t>(i)], ph));
+  }
+  bool got = co_await ph->ok.WaitFor(maj, worker_->config().escalation_timeout);
+  result.rtts = 1;
+  if (!got) {
+    for (int i = maj; i < layout_->num_replicas; ++i) {
+      sim::Spawn(Phase1One(worker_, layout_, order[static_cast<size_t>(i)], ph));
+    }
+    ++result.rtts;
+    got = co_await ph->ok.WaitFor(maj, worker_->config().quorum_timeout);
+  }
+  if (!got) {
+    co_return result;
+  }
+
+  Meta m;
+  for (int r = 0; r < layout_->num_replicas; ++r) {
+    if (ph->oks[static_cast<size_t>(r)]) {
+      m = TsMax(m, ph->words[static_cast<size_t>(r)]);
+    }
+  }
+  if (m.deleted()) {
+    result.status = SgStatus::kDeleted;
+    co_return result;
+  }
+
+  // Phase 2: install (m.counter + 1, tid) at a majority.
+  const Meta fresh = Meta::Pack(m.counter() + 1, worker_->tid(), /*verified=*/true, 0);
+  auto cs = std::make_shared<CasState>(worker_->sim());
+  int launched = 0;
+  for (int r = 0; r < layout_->num_replicas; ++r) {
+    const auto idx = static_cast<size_t>(r);
+    if (!ph->oks[idx]) {
+      continue;  // Only replicas whose out-of-place buffer we populated.
+    }
+    sim::Spawn(CasMaxOne(worker_, layout_, r, ph->words[idx], fresh.WithOop(ph->oop_idx[idx]), cs));
+    ++launched;
+  }
+  ++result.rtts;
+  got = co_await cs->ok.WaitFor(std::min(maj, launched), worker_->config().quorum_timeout);
+  result.rtts += cs->max_retries;
+  result.status = got ? SgStatus::kOk : SgStatus::kUnavailable;
+  co_return result;
+}
+
+sim::Task<SgWriteResult> AbdObject::Delete() {
+  SgWriteResult result;
+  const Meta tombstone = Meta::Tombstone(worker_->tid());
+  auto cs = std::make_shared<CasState>(worker_->sim());
+  std::array<int, kMaxReplicas> order{};
+  LivePreferred(worker_, layout_, order);
+  const int maj = layout_->majority();
+  for (int i = 0; i < layout_->num_replicas; ++i) {
+    sim::Spawn(CasMaxOne(worker_, layout_, order[static_cast<size_t>(i)],
+                         cache_->slot[static_cast<size_t>(order[static_cast<size_t>(i)])],
+                         tombstone, cs));
+  }
+  result.rtts = 1;
+  const bool got = co_await cs->ok.WaitFor(maj, worker_->config().quorum_timeout);
+  result.rtts += cs->max_retries;
+  result.status = got ? SgStatus::kOk : SgStatus::kUnavailable;
+  co_return result;
+}
+
+sim::Task<SgReadResult> AbdObject::Read() {
+  SgReadResult result;
+  constexpr int kMaxAttempts = 8;
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    ++result.iterations;
+    // Phase 1: read the metadata word at a majority.
+    auto ph = std::make_shared<Phase1State>(worker_->sim());
+    auto rd_one = [](Worker* worker, const ObjectLayout* layout, int r,
+                     std::shared_ptr<Phase1State> st) -> sim::Task<void> {
+      const ReplicaLayout& rep = layout->replicas[static_cast<size_t>(r)];
+      std::array<uint8_t, 8> buf{};
+      fabric::OpResult res = co_await worker->qp(rep.node).Read(rep.meta_addr, buf);
+      if (!res.ok()) {
+        if (res.status == fabric::Status::kNodeFailed) {
+          worker->MarkNodeFailed(rep.node);
+        }
+        co_return;
+      }
+      uint64_t word;
+      std::memcpy(&word, buf.data(), 8);
+      st->words[static_cast<size_t>(r)] = Meta(word);
+      st->oks[static_cast<size_t>(r)] = true;
+      st->ok.Add(1);
+    };
+
+    std::array<int, kMaxReplicas> order{};
+    LivePreferred(worker_, layout_, order);
+    const int maj = layout_->majority();
+    for (int i = 0; i < maj; ++i) {
+      sim::Spawn(rd_one(worker_, layout_, order[static_cast<size_t>(i)], ph));
+    }
+    bool got = co_await ph->ok.WaitFor(maj, worker_->config().escalation_timeout);
+    ++result.rtts;
+    if (!got) {
+      for (int i = maj; i < layout_->num_replicas; ++i) {
+        sim::Spawn(rd_one(worker_, layout_, order[static_cast<size_t>(i)], ph));
+      }
+      ++result.rtts;
+      got = co_await ph->ok.WaitFor(maj, worker_->config().quorum_timeout);
+    }
+    if (!got) {
+      co_return result;  // No live majority.
+    }
+
+    Meta m;
+    int holders = 0;
+    for (int r = 0; r < layout_->num_replicas; ++r) {
+      const auto idx = static_cast<size_t>(r);
+      if (ph->oks[idx]) {
+        m = TsMax(m, ph->words[idx]);
+      }
+    }
+    for (int r = 0; r < layout_->num_replicas; ++r) {
+      const auto idx = static_cast<size_t>(r);
+      if (ph->oks[idx] && ph->words[idx].ts_order_key() == m.ts_order_key()) {
+        ++holders;
+      }
+    }
+    if (m.empty()) {
+      result.status = SgStatus::kNotFound;
+      co_return result;
+    }
+    if (m.deleted()) {
+      result.status = SgStatus::kDeleted;
+      co_return result;
+    }
+
+    // Phase 2: chase the out-of-place pointer at a replica holding m.
+    bool value_ok = false;
+    std::vector<uint8_t> value;
+    for (int r = 0; r < layout_->num_replicas && !value_ok; ++r) {
+      const auto idx = static_cast<size_t>(r);
+      if (!ph->oks[idx] || ph->words[idx].same_write_key() != m.same_write_key() ||
+          ph->words[idx].oop() == 0) {
+        continue;
+      }
+      const ReplicaLayout& rep = layout_->replicas[idx];
+      std::vector<uint8_t> buf(kOopHeaderBytes + layout_->max_value);
+      fabric::OpResult res =
+          co_await worker_->qp(rep.node).Read(ph->words[idx].oop_addr(), buf);
+      ++result.rtts;
+      if (!res.ok()) {
+        continue;
+      }
+      uint64_t h;
+      uint64_t len;
+      std::memcpy(&h, buf.data(), 8);
+      std::memcpy(&len, buf.data() + 8, 8);
+      if (len <= layout_->max_value) {
+        std::span<const uint8_t> data(buf.data() + kOopHeaderBytes, static_cast<size_t>(len));
+        if (AbdHash(rep.meta_addr, len, data) == h) {
+          value_ok = true;
+          value.assign(data.begin(), data.end());
+        }
+      }
+    }
+    if (!value_ok) {
+      continue;  // Buffer torn or recycled: retry the whole read.
+    }
+
+    // Phase 3 (rare): write-back so a majority holds m before returning.
+    if (holders < maj) {
+      auto img = std::make_shared<Phase1State>(worker_->sim());
+      img->value = value;
+      auto cs = std::make_shared<CasState>(worker_->sim());
+      const Meta base = Meta::Pack(m.counter(), m.tid(), true, 0);
+      for (int r = 0; r < layout_->num_replicas; ++r) {
+        const auto idx = static_cast<size_t>(r);
+        if (ph->oks[idx] && ph->words[idx].ts_order_key() == m.ts_order_key()) {
+          continue;
+        }
+        sim::Spawn(RepairOne(worker_, layout_, r, base, img, cs));
+      }
+      ++result.rtts;
+      got = co_await cs->ok.WaitFor(maj - holders, worker_->config().quorum_timeout);
+      if (!got) {
+        co_return result;
+      }
+    }
+
+    result.status = SgStatus::kOk;
+    result.value = std::move(value);
+    result.fast_path = false;  // ABD gets always pay the pointer chase.
+    co_return result;
+  }
+  co_return result;
+}
+
+}  // namespace swarm

@@ -1,0 +1,77 @@
+// Loosely synchronized timestamp guessing (§3.2, §6).
+//
+// Safe-Guess writers guess a fresh timestamp instead of paying a roundtrip to
+// discover one. The paper's clients derive guesses from a TSC-based clock
+// that is loosely synchronized across machines and re-synchronized whenever a
+// guess turns out stale. We model each client's clock as the virtual time
+// plus a bounded skew; ObserveStale() implements the re-synchronization by
+// jumping the local skew forward to the freshest timestamp observed.
+//
+// Guarantees (required by Safe-Guess): Guess() is strictly monotonic per
+// client, and never reaches the delete tombstone counter.
+
+#ifndef SWARM_SRC_SWARM_CLOCK_H_
+#define SWARM_SRC_SWARM_CLOCK_H_
+
+#include <cstdint>
+
+#include "src/sim/simulator.h"
+#include "src/swarm/timestamp.h"
+
+namespace swarm {
+
+// Virtual nanoseconds per counter unit: guesses advance every 256 ns.
+inline constexpr int kCounterShiftNs = 8;
+
+class GuessClock {
+ public:
+  // `skew_ns` is this client's initial clock error relative to true virtual
+  // time (positive = fast clock). Real deployments see ~sub-microsecond skew
+  // after PTP-style sync; benchmarks draw it from the config.
+  GuessClock(sim::Simulator* sim, int64_t skew_ns) : sim_(sim), skew_ns_(skew_ns) {}
+
+  // Returns a fresh-looking counter, strictly greater than all previous
+  // guesses by this client.
+  uint32_t Guess() {
+    int64_t t = sim_->Now() + skew_ns_;
+    if (t < 0) {
+      t = 0;
+    }
+    uint32_t c = static_cast<uint32_t>(static_cast<uint64_t>(t) >> kCounterShiftNs);
+    if (c <= last_) {
+      c = last_ + 1;
+    }
+    if (c >= kDeleteCounter) {
+      c = kDeleteCounter - 1;
+    }
+    last_ = c;
+    return c;
+  }
+
+  // Called when a guess proved stale against `observed_counter`: re-sync the
+  // local clock so the next guess lands beyond what was observed (§6).
+  void ObserveStale(uint32_t observed_counter) {
+    ++resyncs_;
+    const int64_t observed_ns = static_cast<int64_t>(observed_counter) << kCounterShiftNs;
+    const int64_t min_skew = observed_ns - sim_->Now();
+    if (skew_ns_ < min_skew) {
+      skew_ns_ = min_skew;
+    }
+    if (last_ < observed_counter) {
+      last_ = observed_counter;
+    }
+  }
+
+  int64_t skew_ns() const { return skew_ns_; }
+  uint64_t resyncs() const { return resyncs_; }
+
+ private:
+  sim::Simulator* sim_;
+  int64_t skew_ns_;
+  uint32_t last_ = 0;
+  uint64_t resyncs_ = 0;
+};
+
+}  // namespace swarm
+
+#endif  // SWARM_SRC_SWARM_CLOCK_H_

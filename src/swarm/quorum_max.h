@@ -1,0 +1,104 @@
+// Reliable max register over failure-prone In-n-Out replicas (Algorithm 8,
+// Appendix A, plus the §6 engineering optimizations).
+//
+// The register's value is the ts-maximal metadata word across a majority of
+// replicas, together with the bytes that word denotes. Operations contact an
+// optimistic majority first (the first `majority` live replicas of the
+// object) and broaden to all replicas if some preferred replica does not
+// answer within the escalation timeout — this is what gives SWARM its
+// no-downtime failover (§7.7).
+//
+// Roundtrip behaviour (Appendix A.2):
+//  * Write: 1 RT when the slot caches are fresh.
+//  * Read:  1 RT when a majority agrees on the max and in-place data
+//           validates; +1 RT for an out-of-place chase; +1 RT when the max
+//           must be written back to complete a majority (inner_write).
+
+#ifndef SWARM_SRC_SWARM_QUORUM_MAX_H_
+#define SWARM_SRC_SWARM_QUORUM_MAX_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/sim/task.h"
+#include "src/swarm/inout.h"
+#include "src/swarm/layout.h"
+#include "src/swarm/timestamp.h"
+#include "src/swarm/worker.h"
+
+namespace swarm {
+
+struct WriteReadOutcome {
+  bool ok = false;  // A majority acknowledged the write.
+  // ts-max across the quorum EXCLUDING the write itself — the `m` that
+  // Safe-Guess compares against its guess (Algorithm 2 line 7).
+  Meta m;
+  // Per-replica word this write installed (empty where it lost or was not
+  // attempted); needed for the background VERIFIED promotion.
+  std::array<Meta, kMaxReplicas> installed{};
+  int rtts = 0;
+};
+
+struct ReadOutcome {
+  bool ok = false;        // A majority answered.
+  Meta m;                 // Global ts-max (full word as seen at some replica).
+  bool value_ok = false;  // Bytes for `m` were resolved (meaningless for empty/tombstone).
+  bool used_inplace = false;
+  std::vector<uint8_t> value;
+  std::array<Meta, kMaxReplicas> node_words{};  // Per-replica local max.
+  std::array<bool, kMaxReplicas> node_ok{};
+  int rtts = 0;
+};
+
+class QuorumMax {
+ public:
+  // `cache` is shared because straggler per-replica tasks may update slot
+  // caches after the caller's op (and even the cache entry's owner) is gone.
+  QuorumMax(Worker* worker, const ObjectLayout* layout, std::shared_ptr<ObjectCache> cache)
+      : worker_(worker), layout_(layout), cache_(std::move(cache)) {}
+
+  // Safe-Guess's combined fast-path phase (Algorithm 2 line 6): per replica,
+  // pipeline the In-n-Out max-write of `w` and a read of the metadata array
+  // in the same roundtrip; wait for a majority.
+  sim::Task<WriteReadOutcome> WriteAndRead(Meta w, std::span<const uint8_t> value);
+
+  // Reliable max-register read. If `strong`, performs the write-back step
+  // (inner_write) whenever fewer than a majority of replicas already hold the
+  // max, and resolves the max's bytes (in-place fast path, else out-of-place
+  // chase). A weak read skips write-back and byte resolution.
+  sim::Task<ReadOutcome> ReadQuorum(bool strong);
+
+  // Direct VERIFIED quorum write (Safe-Guess slow path, §5.3.2 deletes, and
+  // quorum repair): one roundtrip to a majority when caches are fresh.
+  sim::Task<bool> WriteVerified(Meta w, std::span<const uint8_t> value, int* rtts = nullptr);
+
+  // Background promotion of a completed guessed write to VERIFIED (Algorithm
+  // 2 line 8): flips the installed words and refreshes in-place data at the
+  // designated replica. Fire-and-forget. When the promoter owns the words
+  // (a writer promoting its own write), pass its ObjectCache so the slot
+  // caches track the flipped words and the next write's CAS stays 1-RT.
+  static sim::Task<void> Promote(Worker* worker, const ObjectLayout* layout,
+                                 std::array<Meta, kMaxReplicas> installed,
+                                 std::vector<uint8_t> value,
+                                 std::shared_ptr<ObjectCache> cache = nullptr);
+
+  // Repairs replicas holding stale words so that at least a majority carry
+  // `m` (Algorithm 8's inner_write). Exposed for the read path and tests.
+  sim::Task<bool> WriteBack(Meta m, std::span<const uint8_t> value, const ReadOutcome& from);
+
+ private:
+  // Preferred replica order: live replicas first, in index order (replica 0
+  // is the designated in-place holder and must lead).
+  void PreferredOrder(std::array<int, kMaxReplicas>& order, int* num_live) const;
+
+  Worker* worker_;
+  const ObjectLayout* layout_;
+  std::shared_ptr<ObjectCache> cache_;
+};
+
+}  // namespace swarm
+
+#endif  // SWARM_SRC_SWARM_QUORUM_MAX_H_

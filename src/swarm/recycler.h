@@ -1,0 +1,155 @@
+// Memory recycling coordination (§4.5, §5.4) — an extension the paper
+// describes but its artifact does not implement ("We did not implement
+// memory recycling").
+//
+// Out-of-place buffers can only be reused once no reader can still chase a
+// stale pointer into them. The paper's design: before recycling, a client
+// asks all readers to stop accessing the to-be-recycled buffers; readers
+// acknowledge; clients that fail to respond are suspected by the membership
+// service (uKharon), which instructs memory nodes to disconnect them so they
+// can no longer access freed memory. Recycling therefore relies on partial
+// synchrony, while the read/write protocol itself stays wait-free — the
+// trade-off §4.5 argues for.
+//
+// This module implements that protocol as an epoch-based grace period:
+//   * every participant (client) keeps a published epoch: "all my in-flight
+//     reads started at or after this epoch",
+//   * a recycling round advances the global epoch and collects
+//     acknowledgements from all live participants,
+//   * participants that do not acknowledge within their lease are suspected
+//     and fenced via the membership service; the round then completes
+//     without them (they can never touch memory again),
+//   * buffers freed before the last fully-acknowledged epoch are safe to
+//     reuse: SafeReclaimBefore() returns that horizon.
+//
+// OopPool's fixed time quarantine (layout.h) is the conservative stand-in
+// used by the data path; the Recycler provides the protocol that justifies
+// and bounds it.
+
+#ifndef SWARM_SRC_SWARM_RECYCLER_H_
+#define SWARM_SRC_SWARM_RECYCLER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/membership/membership.h"
+#include "src/sim/simulator.h"
+#include "src/sim/sync.h"
+#include "src/sim/task.h"
+
+namespace swarm {
+
+// A client's side of the recycling protocol. Real clients would hook
+// `drain` to wait for their outstanding chases; the simulation models that
+// as a bounded virtual delay.
+class RecyclerParticipant {
+ public:
+  RecyclerParticipant(sim::Simulator* sim, uint32_t client_id, sim::Time ack_delay)
+      : sim_(sim), client_id_(client_id), ack_delay_(ack_delay) {}
+
+  uint32_t client_id() const { return client_id_; }
+  uint64_t published_epoch() const { return published_epoch_; }
+  bool crashed() const { return crashed_; }
+
+  // Simulates a client crash: it will never acknowledge again.
+  void Crash() { crashed_ = true; }
+
+  // Called (over the network) by the coordinator: drain reads older than
+  // `epoch`, then publish.
+  sim::Task<void> AckEpoch(uint64_t epoch, sim::Counter acks) {
+    if (crashed_) {
+      co_return;  // Never answers; the lease will expire.
+    }
+    co_await sim_->Delay(ack_delay_);
+    if (epoch > published_epoch_) {
+      published_epoch_ = epoch;
+    }
+    acks.Add(1);
+  }
+
+ private:
+  sim::Simulator* sim_;
+  uint32_t client_id_;
+  sim::Time ack_delay_;
+  uint64_t published_epoch_ = 0;
+  bool crashed_ = false;
+};
+
+class Recycler {
+ public:
+  Recycler(sim::Simulator* sim, membership::MembershipService* membership,
+           sim::Time rpc_delay = 2 * 680)
+      : sim_(sim), membership_(membership), rpc_delay_(rpc_delay) {}
+
+  void Register(RecyclerParticipant* participant) {
+    membership_->RegisterClient(participant->client_id());
+    participants_.push_back(participant);
+  }
+
+  uint64_t current_epoch() const { return epoch_; }
+
+  // Buffers freed in epochs strictly below this are safe to reuse: every
+  // live client acknowledged a later epoch, and everyone else is fenced.
+  uint64_t SafeReclaimBefore() const { return safe_before_; }
+  uint64_t fenced_clients() const { return fenced_; }
+
+  // One recycling round (§5.4: run periodically in the background): advance
+  // the epoch, gather acknowledgements, fence stragglers via membership.
+  sim::Task<void> RunRound() {
+    const uint64_t target = ++epoch_;
+    sim::Counter acks(sim_);
+    int expected = 0;
+    for (RecyclerParticipant* p : participants_) {
+      if (membership_->IsSuspected(p->client_id())) {
+        continue;  // Already fenced: memory nodes reject its accesses.
+      }
+      ++expected;
+      sim::Spawn(AskOne(p, target, acks));
+    }
+    // Wait for all live participants, but no longer than the lease: a client
+    // that cannot answer within its lease is suspected and fenced.
+    const bool all = co_await acks.WaitFor(expected, lease_grace_);
+    if (!all) {
+      for (RecyclerParticipant* p : participants_) {
+        if (p->published_epoch() < target && membership_->IsSuspected(p->client_id())) {
+          // The straggler's lease expired while we waited: membership now
+          // instructs memory nodes to disconnect it, so it can never touch
+          // recycled memory again and the round may complete without it.
+          ++fenced_;
+        }
+      }
+    }
+    // Everyone still in the system has drained reads older than `target`.
+    safe_before_ = target;
+  }
+
+  // Keeps live participants' leases fresh (clients heartbeat; crashed ones
+  // silently stop).
+  void HeartbeatAll() {
+    for (RecyclerParticipant* p : participants_) {
+      if (!p->crashed()) {
+        membership_->RenewLease(p->client_id());
+      }
+    }
+  }
+
+ private:
+  sim::Task<void> AskOne(RecyclerParticipant* p, uint64_t epoch, sim::Counter acks) {
+    co_await sim_->Delay(rpc_delay_);  // Request over the network.
+    co_await p->AckEpoch(epoch, acks);
+  }
+
+  sim::Simulator* sim_;
+  membership::MembershipService* membership_;
+  sim::Time rpc_delay_;
+  sim::Time lease_grace_ = 2 * sim::kMillisecond;
+  uint64_t epoch_ = 0;
+  uint64_t safe_before_ = 0;
+  uint64_t fenced_ = 0;
+  std::vector<RecyclerParticipant*> participants_;
+};
+
+}  // namespace swarm
+
+#endif  // SWARM_SRC_SWARM_RECYCLER_H_

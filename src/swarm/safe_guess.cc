@@ -1,0 +1,173 @@
+#include "src/swarm/safe_guess.h"
+
+#include <array>
+
+#include "src/swarm/timestamp_lock.h"
+
+namespace swarm {
+
+sim::Task<SgWriteResult> SafeGuessObject::Write(std::span<const uint8_t> value) {
+  SgWriteResult result;
+  QuorumMax reg(worker_, layout_, cache_);
+
+  // Line 5: guess a fresh timestamp; the GUESSED word to install.
+  const uint32_t guess = worker_->clock().Guess();
+  const Meta w = Meta::Pack(guess, worker_->tid(), /*verified=*/false, 0);
+
+  // Line 6: in parallel, write w and read M — one roundtrip.
+  WriteReadOutcome out = co_await reg.WriteAndRead(w, value);
+  result.rtts += out.rtts;
+  if (!out.ok) {
+    co_return result;
+  }
+
+  if (out.m.deleted()) {
+    // The object carries a tombstone higher than any guess: the write cannot
+    // take effect (§5.3.3 turns this into a cache flush + retry upstream).
+    result.status = SgStatus::kDeleted;
+    co_return result;
+  }
+
+  if (TsLessEq(out.m, w)) {
+    // Line 7: fast path — the guess was fresh and our write linearized.
+    // Line 8: promote to VERIFIED in the background to speed up readers.
+    result.status = SgStatus::kOk;
+    result.fast_path = true;
+    sim::Spawn(QuorumMax::Promote(worker_, layout_, out.installed,
+                                  std::vector<uint8_t>(value.begin(), value.end()), cache_));
+    co_return result;
+  }
+
+  // Line 9: slow path — the guess may be stale. Re-sync the clock (§6).
+  worker_->clock().ObserveStale(out.m.counter());
+
+  // Line 10: try to lock readers out of the guessed timestamp.
+  TimestampLock lock(worker_, layout_, worker_->tid());
+  TryLockResult locked = co_await lock.TryLock(guess, LockMode::kWrite);
+  result.rtts += locked.rtts;
+  if (!locked.quorum_ok) {
+    co_return result;  // No live majority.
+  }
+  if (!locked.acquired) {
+    // A reader locked our guessed timestamp in READ mode: it deemed the
+    // guess fresh and committed to (or already returned) our value. The
+    // write stands as-is.
+    result.status = SgStatus::kOk;
+    result.lock_lost = true;
+    co_return result;
+  }
+
+  // Line 11: no reader can ever observe the guessed timestamp now; re-execute
+  // with a provably fresh timestamp, directly VERIFIED.
+  // clock().Guess() is now > out.m.counter() thanks to ObserveStale, which
+  // also keeps per-writer timestamps strictly monotonic (Assumption 1).
+  const uint32_t fresh = worker_->clock().Guess();
+  const Meta w2 = Meta::Pack(fresh, worker_->tid(), /*verified=*/true, 0);
+  int vw_rtts = 0;
+  const bool ok = co_await reg.WriteVerified(w2, value, &vw_rtts);
+  result.rtts += vw_rtts;
+  result.status = ok ? SgStatus::kOk : SgStatus::kUnavailable;
+  co_return result;
+}
+
+sim::Task<SgWriteResult> SafeGuessObject::Delete() {
+  SgWriteResult result;
+  QuorumMax reg(worker_, layout_, cache_);
+  const Meta tombstone = Meta::Tombstone(worker_->tid());
+  int rtts = 0;
+  const bool ok = co_await reg.WriteVerified(tombstone, {}, &rtts);
+  result.rtts = rtts;
+  result.fast_path = rtts <= 1;
+  result.status = ok ? SgStatus::kOk : SgStatus::kUnavailable;
+  co_return result;
+}
+
+sim::Task<SgReadResult> SafeGuessObject::Read() {
+  SgReadResult result;
+  QuorumMax reg(worker_, layout_, cache_);
+
+  // Line 15: tuples seen so far, keyed by writer id (bounded by W).
+  struct Seen {
+    bool present = false;
+    uint64_t write_key = 0;
+    std::vector<uint8_t> value;
+  };
+  std::array<Seen, kMaxTid + 1> seen{};
+
+  const int max_iters = 2 * layout_->max_writers + 1;
+  for (int iter = 0; iter < max_iters; ++iter) {
+    ++result.iterations;
+    // Line 16: read M (reliable max-register read with write-back).
+    ReadOutcome m = co_await reg.ReadQuorum(/*strong=*/true);
+    result.rtts += m.rtts;
+    if (!m.ok) {
+      // Includes the unlucky case where the max's out-of-place buffer was
+      // recycled mid-read; retry unless the fabric has lost a majority.
+      continue;
+    }
+    if (m.m.empty()) {
+      result.status = SgStatus::kNotFound;
+      co_return result;
+    }
+    if (m.m.deleted()) {
+      result.status = SgStatus::kDeleted;
+      co_return result;
+    }
+    if (!m.value_ok) {
+      continue;
+    }
+    result.used_inplace = m.used_inplace;
+
+    // Line 18: VERIFIED tuples are immediately safe.
+    if (m.m.verified()) {
+      result.status = SgStatus::kOk;
+      result.value = std::move(m.value);
+      result.fast_path = (iter == 0 && m.rtts <= 1);
+      co_return result;
+    }
+
+    Seen& s = seen[m.m.tid()];
+    if (s.present && s.write_key == m.m.same_write_key()) {
+      // Line 19: same GUESSED tuple seen in two sequential reads — its
+      // timestamp was fresh. Try to lock out a re-execution (line 20).
+      TimestampLock lock(worker_, layout_, m.m.tid());
+      TryLockResult locked = co_await lock.TryLock(m.m.counter(), LockMode::kRead);
+      result.rtts += locked.rtts;
+      if (locked.acquired) {
+        // Line 21: mark VERIFIED in the background to speed up future reads.
+        std::array<Meta, kMaxReplicas> words{};
+        for (int r = 0; r < layout_->num_replicas; ++r) {
+          const auto idx = static_cast<size_t>(r);
+          if (m.node_ok[idx] &&
+              m.node_words[idx].same_write_key() == m.m.same_write_key()) {
+            words[idx] = m.node_words[idx];
+          }
+        }
+        sim::Spawn(QuorumMax::Promote(worker_, layout_, words, m.value));
+        // Line 22.
+        result.status = SgStatus::kOk;
+        result.value = std::move(m.value);
+        co_return result;
+      }
+      // Lock failed: the writer saw a higher timestamp; the next iteration
+      // is guaranteed to discover a new tuple (Appendix C.2).
+    } else if (s.present) {
+      // Line 23–24: a second, different tuple from the same writer — the
+      // first write must have completed, so its value is safe to return.
+      result.status = SgStatus::kOk;
+      result.value = std::move(s.value);
+      co_return result;
+    }
+
+    // Line 25.
+    s.present = true;
+    s.write_key = m.m.same_write_key();
+    s.value = std::move(m.value);
+  }
+
+  // Unreachable for well-formed configurations (Appendix C.2 bounds the loop
+  // at 2W+1 iterations); report unavailability rather than looping forever.
+  co_return result;
+}
+
+}  // namespace swarm

@@ -1,0 +1,81 @@
+#include "src/swarm/timestamp_lock.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "src/sim/sync.h"
+
+namespace swarm {
+namespace {
+
+struct LockPhase {
+  sim::Counter ok;
+  sim::Counter any;
+  bool higher_seen = false;    // some CAS word held a timestamp > ts
+  bool opposite_seen = false;  // some CAS word held (ts, ¬mode)
+  int max_rtts = 0;
+
+  explicit LockPhase(sim::Simulator* sim) : ok(sim), any(sim) {}
+};
+
+// One CAS word's loop (Algorithm 9, lines 5–9): CAS until the word holds a
+// timestamp >= ts, remembering what was observed.
+sim::Task<void> LockOneReplica(Worker* worker, const ObjectLayout* layout, int replica,
+                               uint32_t owner_tid, uint32_t counter, LockMode mode,
+                               std::shared_ptr<LockPhase> phase) {
+  const ReplicaLayout& rep = layout->replicas[static_cast<size_t>(replica)];
+  const uint64_t addr = rep.tsl_addr + static_cast<uint64_t>(owner_tid) * 8;
+  fabric::Qp& qp = worker->qp(rep.node);
+  const TslWord want = TslWord::Pack(counter, mode);
+
+  TslWord seen;  // read[c], starts at bottom.
+  int rtts = 0;
+  bool ok = true;
+  while (seen.counter() < counter) {
+    const TslWord expected = seen;
+    fabric::OpResult r = co_await qp.Cas(addr, expected.raw(), want.raw());
+    ++rtts;
+    if (!r.ok()) {
+      ok = false;
+      break;
+    }
+    seen = TslWord(r.old_value);
+    if (seen == expected) {
+      break;  // Our CAS applied; this word now records (ts, mode).
+    }
+  }
+
+  if (ok) {
+    if (seen.counter() > counter) {
+      phase->higher_seen = true;
+    }
+    if (seen.counter() == counter && seen.mode() == Opposite(mode)) {
+      phase->opposite_seen = true;
+    }
+    phase->max_rtts = std::max(phase->max_rtts, rtts);
+    phase->ok.Add(1);
+  }
+  phase->any.Add(1);
+}
+
+}  // namespace
+
+sim::Task<TryLockResult> TimestampLock::TryLock(uint32_t counter, LockMode mode) {
+  TryLockResult result;
+  auto phase = std::make_shared<LockPhase>(worker_->sim());
+  const int n = layout_->num_replicas;
+  for (int r = 0; r < n; ++r) {
+    sim::Spawn(LockOneReplica(worker_, layout_, r, owner_tid_, counter, mode, phase));
+  }
+  const bool reached =
+      co_await phase->ok.WaitFor(layout_->majority(), worker_->config().quorum_timeout);
+  if (!reached) {
+    co_return result;  // No live majority: not acquired (safe).
+  }
+  result.quorum_ok = true;
+  result.rtts = phase->max_rtts;
+  result.acquired = !phase->higher_seen && !phase->opposite_seen;
+  co_return result;
+}
+
+}  // namespace swarm

@@ -1,0 +1,99 @@
+// Per-worker client context.
+//
+// A Worker models one outstanding application operation stream: it owns a
+// queue pair and an out-of-place buffer pool per memory node, a timestamp
+// clock, and shares a ClientCpu (submission serialization, §7.2) and a
+// known-failed node set with the other workers of the same client process.
+
+#ifndef SWARM_SRC_SWARM_WORKER_H_
+#define SWARM_SRC_SWARM_WORKER_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/fabric/fabric.h"
+#include "src/swarm/clock.h"
+#include "src/swarm/layout.h"
+
+namespace swarm {
+
+struct ProtocolConfig {
+  int replicas = 3;
+  int meta_slots = 1;          // K metadata buffers per object (§4.4).
+  int max_writers = 8;         // W timestamp locks per object.
+  uint32_t max_value = 64;     // value-buffer capacity, bytes.
+  int oop_pool_slots = 512;    // pre-allocated out-of-place buffers per worker per node.
+  int inplace_copies = 1;      // replicas holding in-place data (§6 uses 1).
+
+  // How long an optimistic-majority phase waits for its preferred replicas
+  // before broadening to all replicas (§6).
+  sim::Time escalation_timeout = 3000;
+  // Upper bound on waiting for a lock/write quorum; fires only when a
+  // majority of replicas is unreachable (safety is preserved either way).
+  sim::Time quorum_timeout = 200 * sim::kMicrosecond;
+};
+
+class Worker {
+ public:
+  Worker(fabric::Fabric* fabric, uint32_t tid, fabric::ClientCpu* cpu, GuessClock* clock,
+         const ProtocolConfig& config, std::shared_ptr<std::vector<bool>> known_failed)
+      : fabric_(fabric), tid_(tid), cpu_(cpu), clock_(clock), config_(config),
+        known_failed_(std::move(known_failed)) {
+    qps_.reserve(static_cast<size_t>(fabric->num_nodes()));
+    pools_.reserve(static_cast<size_t>(fabric->num_nodes()));
+    for (int n = 0; n < fabric->num_nodes(); ++n) {
+      qps_.emplace_back(fabric, n, cpu);
+      pools_.emplace_back(&fabric->node(n), fabric->sim(), config.max_value, config.oop_pool_slots);
+    }
+  }
+
+  fabric::Fabric* fabric() { return fabric_; }
+  sim::Simulator* sim() { return fabric_->sim(); }
+  uint32_t tid() const { return tid_; }
+  GuessClock& clock() { return *clock_; }
+  const ProtocolConfig& config() const { return config_; }
+
+  fabric::ClientCpu* cpu() { return cpu_; }
+  fabric::Qp& qp(int node) { return qps_[static_cast<size_t>(node)]; }
+  OopPool& pool(int node) { return pools_[static_cast<size_t>(node)]; }
+
+  // This worker's In-n-Out slot-cache words for one object (Algorithm 7's
+  // cached previous value, 8 B per replica). Slot caches are per-WRITER
+  // state: each writer CASes its own metadata buffer (§4.4), so only its own
+  // history predicts the slot's content. shared_ptr so straggler background
+  // tasks can keep updating them safely.
+  std::shared_ptr<ObjectCache> SlotCacheFor(const void* layout) {
+    auto& entry = slot_caches_[layout];
+    if (entry == nullptr) {
+      entry = std::make_shared<ObjectCache>();
+    }
+    return entry;
+  }
+
+  uint64_t SlotCacheBytes() const {
+    // 8 B per replica per object actually touched (the "In-n-Out metadata"
+    // of a SWARM-KV cache entry, §7.1).
+    return slot_caches_.size() * 8;
+  }
+
+  bool NodeKnownFailed(int node) const { return (*known_failed_)[static_cast<size_t>(node)]; }
+  void MarkNodeFailed(int node) { (*known_failed_)[static_cast<size_t>(node)] = true; }
+  void MarkNodeRecovered(int node) { (*known_failed_)[static_cast<size_t>(node)] = false; }
+
+ private:
+  fabric::Fabric* fabric_;
+  uint32_t tid_;
+  fabric::ClientCpu* cpu_;
+  GuessClock* clock_;
+  ProtocolConfig config_;
+  std::shared_ptr<std::vector<bool>> known_failed_;
+  std::vector<fabric::Qp> qps_;
+  std::vector<OopPool> pools_;
+  std::unordered_map<const void*, std::shared_ptr<ObjectCache>> slot_caches_;
+};
+
+}  // namespace swarm
+
+#endif  // SWARM_SRC_SWARM_WORKER_H_

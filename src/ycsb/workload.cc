@@ -1,0 +1,66 @@
+#include "src/ycsb/workload.h"
+
+#include "src/hash/xxhash.h"
+
+namespace swarm::ycsb {
+
+double ZipfianGenerator::Zeta(uint64_t n, double theta) {
+  // Exact sum for small n, Euler-Maclaurin style approximation beyond: the
+  // YCSB core computes zeta incrementally; for our key counts (<= 16M) the
+  // approximation error is far below the noise of the experiments.
+  constexpr uint64_t kExact = 1 << 20;
+  double sum = 0;
+  const uint64_t limit = n < kExact ? n : kExact;
+  for (uint64_t i = 1; i <= limit; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  if (n > kExact) {
+    // ∫ x^-theta dx from kExact to n.
+    sum += (std::pow(static_cast<double>(n), 1 - theta) -
+            std::pow(static_cast<double>(kExact), 1 - theta)) /
+           (1 - theta);
+  }
+  return sum;
+}
+
+ZipfianGenerator::ZipfianGenerator(uint64_t n, double theta) : n_(n), theta_(theta) {
+  zetan_ = Zeta(n, theta);
+  const double zeta2 = Zeta(2, theta);
+  alpha_ = 1.0 / (1.0 - theta);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) / (1.0 - zeta2 / zetan_);
+  threshold_ = 1.0 + std::pow(0.5, theta);
+}
+
+uint64_t ZipfianGenerator::Next(sim::Rng& rng) {
+  const double u = rng.Double();
+  const double uz = u * zetan_;
+  uint64_t rank;
+  if (uz < 1.0) {
+    rank = 0;
+  } else if (uz < threshold_) {
+    rank = 1;
+  } else {
+    rank = static_cast<uint64_t>(static_cast<double>(n_) *
+                                 std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    if (rank >= n_) {
+      rank = n_ - 1;
+    }
+  }
+  // Scramble so popular keys spread over the keyspace (fnv-style scatter,
+  // like YCSB's ScrambledZipfian).
+  return hash::Mix64(rank, 0x59435342) % n_;
+}
+
+std::vector<uint8_t> Workload::ValueFor(uint64_t key, uint64_t version) const {
+  std::vector<uint8_t> value(cfg_.value_size);
+  uint64_t state = hash::Mix64(key, version);
+  for (size_t i = 0; i < value.size(); ++i) {
+    if (i % 8 == 0) {
+      state = hash::Mix64(state, i);
+    }
+    value[i] = static_cast<uint8_t>(state >> ((i % 8) * 8));
+  }
+  return value;
+}
+
+}  // namespace swarm::ycsb

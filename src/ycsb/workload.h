@@ -1,0 +1,110 @@
+// YCSB workload generation (§7, "Workloads").
+//
+// The paper evaluates with YCSB A (50% gets / 50% updates) and B (95% / 5%)
+// under a Zipfian(0.99) key popularity distribution. We implement the
+// standard YCSB Zipfian generator (Gray et al.'s rejection-free method used
+// by the YCSB core), a uniform alternative, and deterministic value
+// generation keyed by (key, version).
+
+#ifndef SWARM_SRC_YCSB_WORKLOAD_H_
+#define SWARM_SRC_YCSB_WORKLOAD_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/random.h"
+
+namespace swarm::ycsb {
+
+// Zipfian generator over [0, n) with exponent theta (YCSB default 0.99).
+// Popular items are spread across the keyspace by a multiplicative hash so
+// that hot keys do not cluster on one memory node.
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(uint64_t n, double theta = 0.99);
+
+  uint64_t Next(sim::Rng& rng);
+
+  double theta() const { return theta_; }
+
+ private:
+  static double Zeta(uint64_t n, double theta);
+
+  uint64_t n_;
+  double theta_;
+  double zetan_;
+  double alpha_;
+  double eta_;
+  double threshold_;  // zeta(2, theta) precomputed pieces.
+};
+
+class UniformGenerator {
+ public:
+  explicit UniformGenerator(uint64_t n) : n_(n) {}
+  uint64_t Next(sim::Rng& rng) { return rng.Below(n_); }
+
+ private:
+  uint64_t n_;
+};
+
+enum class OpType : uint8_t { kGet = 0, kUpdate = 1, kInsert = 2, kRemove = 3 };
+
+struct WorkloadConfig {
+  uint64_t num_keys = 100000;
+  double get_fraction = 0.95;  // Workload B; A uses 0.5.
+  bool zipfian = true;
+  double zipf_theta = 0.99;
+  uint32_t value_size = 64;
+};
+
+inline WorkloadConfig WorkloadA(uint64_t keys = 100000, uint32_t value_size = 64) {
+  WorkloadConfig cfg;
+  cfg.num_keys = keys;
+  cfg.get_fraction = 0.5;
+  cfg.value_size = value_size;
+  return cfg;
+}
+
+inline WorkloadConfig WorkloadB(uint64_t keys = 100000, uint32_t value_size = 64) {
+  WorkloadConfig cfg;
+  cfg.num_keys = keys;
+  cfg.get_fraction = 0.95;
+  cfg.value_size = value_size;
+  return cfg;
+}
+
+// Per-worker operation stream.
+class Workload {
+ public:
+  Workload(const WorkloadConfig& cfg, uint64_t seed)
+      : cfg_(cfg), rng_(seed), zipf_(cfg.num_keys, cfg.zipf_theta), uniform_(cfg.num_keys) {}
+
+  struct Op {
+    OpType type;
+    uint64_t key;
+  };
+
+  Op Next() {
+    Op op;
+    op.type = rng_.Chance(cfg_.get_fraction) ? OpType::kGet : OpType::kUpdate;
+    op.key = cfg_.zipfian ? zipf_.Next(rng_) : uniform_.Next(rng_);
+    return op;
+  }
+
+  // Deterministic value payload for a (key, version) pair.
+  std::vector<uint8_t> ValueFor(uint64_t key, uint64_t version) const;
+
+  const WorkloadConfig& config() const { return cfg_; }
+  sim::Rng& rng() { return rng_; }
+
+ private:
+  WorkloadConfig cfg_;
+  sim::Rng rng_;
+  ZipfianGenerator zipf_;
+  UniformGenerator uniform_;
+};
+
+}  // namespace swarm::ycsb
+
+#endif  // SWARM_SRC_YCSB_WORKLOAD_H_

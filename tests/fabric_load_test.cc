@@ -1,0 +1,160 @@
+// Load-dependent fabric behaviour: NIC occupancy queueing (the §7.3
+// saturation mechanism), FIFO under load, failure of pipelined ops, and
+// bandwidth-dependent transfer latency.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/fabric/fabric.h"
+#include "src/sim/simulator.h"
+#include "src/sim/sync.h"
+
+namespace swarm::fabric {
+namespace {
+
+using sim::Spawn;
+using sim::Task;
+using sim::Time;
+
+FabricConfig QuietConfig() {
+  FabricConfig cfg;
+  cfg.num_nodes = 2;
+  cfg.node_capacity_bytes = 1 << 20;
+  cfg.delay_jitter = 0;
+  return cfg;
+}
+
+Task<void> HammerNode(Fabric* f, int ops, sim::Counter done) {
+  Qp qp(f, 0, nullptr);
+  uint64_t addr = f->node(0).Allocate(8);
+  std::vector<uint8_t> buf(8);
+  for (int i = 0; i < ops; ++i) {
+    (void)co_await qp.Read(addr, buf);
+  }
+  done.Add(1);
+}
+
+TEST(FabricLoad, NicOccupancyCapsThroughput) {
+  // 64 independent QPs each issue 50 reads as fast as they complete. The
+  // per-node service rate is 1/node_op_cost; the total run must take at
+  // least ops * node_op_cost of virtual time (queueing), unlike an
+  // infinite-capacity model.
+  sim::Simulator sim;
+  FabricConfig cfg = QuietConfig();
+  cfg.node_op_cost = 50;
+  Fabric fabric(&sim, cfg);
+  sim::Counter done(&sim);
+  const int streams = 64;
+  const int per_stream = 50;
+  for (int i = 0; i < streams; ++i) {
+    Spawn(HammerNode(&fabric, per_stream, done));
+  }
+  sim.Run();
+  EXPECT_EQ(done.count(), streams);
+  const Time min_service = static_cast<Time>(streams * per_stream) * cfg.node_op_cost;
+  EXPECT_GE(sim.Now(), min_service) << "NIC queueing must bound service rate";
+  // But not pathologically slow either: within ~2x of the service bound
+  // (pipelining hides propagation).
+  EXPECT_LT(sim.Now(), 2 * min_service + 100000);
+}
+
+TEST(FabricLoad, LoneOpUnaffectedByOccupancyModel) {
+  sim::Simulator sim;
+  Fabric fabric(&sim, QuietConfig());
+  Time latency = 0;
+  auto op = [](Fabric* f, Time* lat) -> Task<void> {
+    Qp qp(f, 0, nullptr);
+    uint64_t addr = f->node(0).Allocate(8);
+    std::vector<uint8_t> buf(8);
+    const Time t0 = f->sim()->Now();
+    (void)co_await qp.Read(addr, buf);
+    *lat = f->sim()->Now() - t0;
+  };
+  Spawn(op(&fabric, &latency));
+  sim.Run();
+  // 2 * one_way + node cost + read_extra, no queueing.
+  const FabricConfig& cfg = fabric.config();
+  EXPECT_EQ(latency, 2 * cfg.one_way_delay + cfg.node_op_cost + cfg.read_extra);
+}
+
+TEST(FabricLoad, BandwidthScalesTransferTime) {
+  sim::Simulator sim;
+  FabricConfig cfg = QuietConfig();
+  cfg.bandwidth_bytes_per_ns = 1.0;
+  Fabric fabric(&sim, cfg);
+  Time small_lat = 0;
+  Time big_lat = 0;
+  auto op = [](Fabric* f, size_t size, Time* lat) -> Task<void> {
+    Qp qp(f, 0, nullptr);
+    uint64_t addr = f->node(0).Allocate(1 << 16);
+    std::vector<uint8_t> data(size, 1);
+    const Time t0 = f->sim()->Now();
+    (void)co_await qp.Write(addr, data);
+    *lat = f->sim()->Now() - t0;
+  };
+  Spawn(op(&fabric, 64, &small_lat));
+  sim.Run();
+  Spawn(op(&fabric, 16384, &big_lat));
+  sim.Run();
+  // 16 KiB at 1 B/ns adds ~16 us of transfer over the 64 B write.
+  EXPECT_NEAR(static_cast<double>(big_lat - small_lat), 16320.0, 200.0);
+}
+
+TEST(FabricLoad, PipelinedOpFailsAtomically) {
+  // A WriteThenCas against a node that crashes before execution: the CAS
+  // must not apply, the write must not be half-applied to a *recovered*
+  // node, and the op must complete with an error after the detection delay.
+  sim::Simulator sim;
+  FabricConfig cfg = QuietConfig();
+  Fabric fabric(&sim, cfg);
+  uint64_t waddr = fabric.node(0).Allocate(64);
+  uint64_t caddr = fabric.node(0).Allocate(8);
+
+  Status status = Status::kOk;
+  auto op = [](Fabric* f, uint64_t waddr, uint64_t caddr, Status* st) -> Task<void> {
+    Qp qp(f, 0, nullptr);
+    std::vector<uint8_t> data(64, 0xAB);
+    OpResult r = co_await qp.WriteThenCas(waddr, data, caddr, 0, 77);
+    *st = r.status;
+  };
+  Spawn(op(&fabric, waddr, caddr, &status));
+  sim.At(100, [&] { fabric.Crash(0); });  // Before the one-way delay elapses.
+  sim.Run();
+  EXPECT_EQ(status, Status::kNodeFailed);
+  fabric.Recover(0);
+  EXPECT_EQ(fabric.node(0).LoadWord(caddr), 0u);
+}
+
+TEST(FabricLoad, ManyQpsKeepPerQpFifo) {
+  // Two QPs interleave heavily under load; within each QP, a later write
+  // must never be overtaken by an earlier one.
+  sim::Simulator sim(5);
+  FabricConfig cfg = QuietConfig();
+  cfg.delay_jitter = 200;  // Aggressive jitter tries to reorder.
+  Fabric fabric(&sim, cfg);
+  uint64_t addr_a = fabric.node(0).Allocate(8);
+  uint64_t addr_b = fabric.node(0).Allocate(8);
+
+  auto stream = [](Fabric* f, uint64_t addr, int count) -> Task<void> {
+    Qp qp(f, 0, nullptr);
+    for (int i = 1; i <= count; ++i) {
+      std::vector<uint8_t> v(8, static_cast<uint8_t>(i));
+      // Issue without waiting: all in flight simultaneously on one QP.
+      sim::Spawn([](Qp* qp, uint64_t addr, std::vector<uint8_t> data) -> Task<void> {
+        (void)co_await qp->Write(addr, data);
+      }(&qp, addr, std::move(v)));
+      co_await f->sim()->Delay(10);
+    }
+    co_await f->sim()->Delay(100000);  // Wait out all completions.
+  };
+  Spawn(stream(&fabric, addr_a, 40));
+  Spawn(stream(&fabric, addr_b, 40));
+  sim.Run();
+  // The LAST issued write must be the survivor on each QP's address.
+  EXPECT_EQ(fabric.node(0).LoadWord(addr_a) & 0xFF, 40u);
+  EXPECT_EQ(fabric.node(0).LoadWord(addr_b) & 0xFF, 40u);
+}
+
+}  // namespace
+}  // namespace swarm::fabric

@@ -1,0 +1,324 @@
+// Integration tests for the four key-value stores (SWARM-KV, RAW, DM-ABD,
+// FUSEE): basic CRUD semantics, cache behaviour, roundtrip structure
+// (Table 2), delete/re-insert races, and failure handling.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+
+#include "src/kv/dm_abd_kv.h"
+#include "src/kv/fusee_kv.h"
+#include "src/kv/raw_kv.h"
+#include "src/kv/swarm_kv.h"
+#include "src/sim/sync.h"
+#include "tests/support/test_env.h"
+
+namespace swarm::kv {
+namespace {
+
+using sim::Spawn;
+using sim::Task;
+using testing::TestEnv;
+using testing::ValN;
+
+// Bundles one client environment for a given store type.
+struct KvFixture {
+  explicit KvFixture(uint64_t seed = 1) : env(seed), indexsvc(&env.sim), fusee(&env.fabric) {}
+
+  std::unique_ptr<KvSession> Make(const std::string& kind) {
+    Worker& w = env.MakeWorker();
+    if (kind == "swarm") {
+      return std::make_unique<SwarmKvSession>(&w, &indexsvc, &cache);
+    }
+    if (kind == "raw") {
+      return std::make_unique<RawKvSession>(&w, &indexsvc, &cache);
+    }
+    if (kind == "dmabd") {
+      return std::make_unique<DmAbdKvSession>(&w, &indexsvc, &cache);
+    }
+    return std::make_unique<FuseeKvSession>(&w, &fusee, &cache);
+  }
+
+  TestEnv env;
+  index::IndexService indexsvc;
+  index::ClientCache cache;
+  FuseeStore fusee;
+};
+
+Task<void> CrudSequence(KvSession* kv, bool* done) {
+  // Insert → get → update → get → remove → get.
+  KvResult ins = co_await kv->Insert(1, ValN(32, 0xA1));
+  EXPECT_TRUE(ins.ok());
+
+  KvResult g1 = co_await kv->Get(1);
+  EXPECT_EQ(g1.status, KvStatus::kOk);
+  EXPECT_EQ(g1.value, ValN(32, 0xA1));
+
+  KvResult up = co_await kv->Update(1, ValN(32, 0xB2));
+  EXPECT_EQ(up.status, KvStatus::kOk);
+
+  KvResult g2 = co_await kv->Get(1);
+  EXPECT_EQ(g2.status, KvStatus::kOk);
+  EXPECT_EQ(g2.value, ValN(32, 0xB2));
+
+  KvResult rm = co_await kv->Remove(1);
+  EXPECT_EQ(rm.status, KvStatus::kOk);
+
+  KvResult g3 = co_await kv->Get(1);
+  EXPECT_EQ(g3.status, KvStatus::kNotFound);
+
+  KvResult miss = co_await kv->Get(42);
+  EXPECT_EQ(miss.status, KvStatus::kNotFound);
+
+  KvResult upmiss = co_await kv->Update(42, ValN(8, 1));
+  EXPECT_EQ(upmiss.status, KvStatus::kNotFound);
+  *done = true;
+}
+
+class KvCrud : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(KvCrud, FullLifecycle) {
+  KvFixture fx;
+  auto kv = fx.Make(GetParam());
+  bool done = false;
+  Spawn(CrudSequence(kv.get(), &done));
+  fx.env.sim.Run();
+  EXPECT_TRUE(done);
+}
+
+INSTANTIATE_TEST_SUITE_P(Stores, KvCrud, ::testing::Values("swarm", "raw", "dmabd", "fusee"));
+
+TEST(SwarmKv, SteadyStateOpsAreSingleRoundtrip) {
+  KvFixture fx;
+  auto kv = fx.Make("swarm");
+  auto driver = [](sim::Simulator* sim, KvSession* kv) -> Task<void> {
+    (void)co_await kv->Insert(7, ValN(64, 1));
+    co_await sim->Delay(20000);  // Let the background VERIFIED promotion land.
+    for (int i = 0; i < 5; ++i) {
+      KvResult up = co_await kv->Update(7, ValN(64, static_cast<uint8_t>(i)));
+      EXPECT_EQ(up.rtts, 1) << "update " << i;
+      EXPECT_TRUE(up.fast_path);
+      KvResult g = co_await kv->Get(7);
+      EXPECT_EQ(g.rtts, 1) << "get " << i;
+      EXPECT_EQ(g.value, ValN(64, static_cast<uint8_t>(i)));
+    }
+  };
+  Spawn(driver(&fx.env.sim, kv.get()));
+  fx.env.sim.Run();
+}
+
+TEST(SwarmKv, CacheMissCostsExtraRoundtrips) {
+  KvFixture fx;
+  auto writer = fx.Make("swarm");
+  // A second client with its own empty cache.
+  index::ClientCache other_cache;
+  Worker& w2 = fx.env.MakeWorker();
+  SwarmKvSession reader(&w2, &fx.indexsvc, &other_cache);
+
+  auto driver = [](KvSession* writer, SwarmKvSession* reader) -> Task<void> {
+    (void)co_await writer->Insert(9, ValN(16, 5));
+    KvResult g = co_await reader->Get(9);
+    EXPECT_EQ(g.status, KvStatus::kOk);
+    EXPECT_FALSE(g.cache_hit);
+    EXPECT_EQ(g.rtts, 2);  // Index lookup + read.
+    KvResult g2 = co_await reader->Get(9);
+    EXPECT_TRUE(g2.cache_hit);
+    EXPECT_EQ(g2.rtts, 1);
+    // §7.1: updates on a cache miss pay 2 extra RTs (index + metadata read).
+    KvResult u = co_await reader->Update(10, ValN(16, 6));
+    EXPECT_EQ(u.status, KvStatus::kNotFound);
+    (void)co_await writer->Insert(10, ValN(16, 6));
+    index::ClientCache fresh;
+    KvResult u2 = co_await reader->Update(10, ValN(16, 7));
+    EXPECT_EQ(u2.status, KvStatus::kOk);
+  };
+  Spawn(driver(writer.get(), &reader));
+  fx.env.sim.Run();
+}
+
+TEST(KvRoundtrips, Table2CommonCase) {
+  // Steady-state roundtrips with warm caches must match Table 2.
+  KvFixture fx;
+  auto swarm = fx.Make("swarm");
+  index::ClientCache c2;
+  index::ClientCache c3;
+  index::ClientCache c4;
+  Worker& w2 = fx.env.MakeWorker();
+  Worker& w3 = fx.env.MakeWorker();
+  Worker& w4 = fx.env.MakeWorker();
+  RawKvSession raw(&w2, &fx.indexsvc, &c2);
+  DmAbdKvSession dmabd(&w3, &fx.indexsvc, &c3);
+  FuseeKvSession fusee(&w4, &fx.fusee, &c4);
+
+  auto driver = [](KvSession* swarm, KvSession* raw, KvSession* dmabd,
+                   KvSession* fusee) -> Task<void> {
+    (void)co_await swarm->Insert(1, ValN(64, 1));
+    (void)co_await raw->Insert(2, ValN(64, 1));
+    (void)co_await dmabd->Insert(3, ValN(64, 1));
+    (void)co_await fusee->Insert(4, ValN(64, 1));
+    // Warm up caches.
+    (void)co_await swarm->Get(1);
+    (void)co_await raw->Get(2);
+    (void)co_await dmabd->Get(3);
+    (void)co_await fusee->Get(4);
+
+    KvResult r;
+    r = co_await swarm->Get(1);
+    EXPECT_EQ(r.rtts, 1);
+    r = co_await swarm->Update(1, ValN(64, 2));
+    EXPECT_EQ(r.rtts, 1);
+    r = co_await raw->Get(2);
+    EXPECT_EQ(r.rtts, 1);
+    r = co_await raw->Update(2, ValN(64, 2));
+    EXPECT_EQ(r.rtts, 1);
+    r = co_await dmabd->Get(3);
+    EXPECT_EQ(r.rtts, 2);
+    r = co_await dmabd->Update(3, ValN(64, 2));
+    EXPECT_EQ(r.rtts, 2);
+    r = co_await fusee->Get(4);
+    EXPECT_EQ(r.rtts, 1);  // Own cache is fresh.
+    r = co_await fusee->Update(4, ValN(64, 2));
+    EXPECT_EQ(r.rtts, 4);
+    r = co_await fusee->Get(4);
+    EXPECT_EQ(r.rtts, 1);
+  };
+  Spawn(driver(swarm.get(), &raw, &dmabd, &fusee));
+  fx.env.sim.Run();
+}
+
+TEST(FuseeKv, StaleCacheCostsSecondRoundtrip) {
+  KvFixture fx;
+  auto a = fx.Make("fusee");
+  index::ClientCache cache_b;
+  Worker& wb = fx.env.MakeWorker();
+  FuseeKvSession b(&wb, &fx.fusee, &cache_b);
+
+  auto driver = [](KvSession* a, KvSession* b) -> Task<void> {
+    (void)co_await a->Insert(5, ValN(16, 1));
+    (void)co_await b->Get(5);  // b caches the location.
+    (void)co_await a->Update(5, ValN(16, 2));  // a moves the value.
+    KvResult g = co_await b->Get(5);
+    EXPECT_EQ(g.status, KvStatus::kOk);
+    EXPECT_EQ(g.value, ValN(16, 2));
+    EXPECT_EQ(g.rtts, 2);  // Old block forwarded: one extra roundtrip.
+    EXPECT_FALSE(g.fast_path);
+    KvResult g2 = co_await b->Get(5);
+    EXPECT_EQ(g2.rtts, 1);  // Cache refreshed.
+  };
+  Spawn(driver(a.get(), &b));
+  fx.env.sim.Run();
+}
+
+TEST(SwarmKv, DeletedKeyDetectedThroughStaleCache) {
+  KvFixture fx;
+  auto a = fx.Make("swarm");
+  index::ClientCache cache_b;
+  Worker& wb = fx.env.MakeWorker();
+  SwarmKvSession b(&wb, &fx.indexsvc, &cache_b);
+
+  auto driver = [](KvSession* a, SwarmKvSession* b, index::ClientCache* cb) -> Task<void> {
+    (void)co_await a->Insert(6, ValN(16, 1));
+    (void)co_await b->Get(6);  // b caches the replicas.
+    (void)co_await a->Remove(6);
+    // b's cached replicas now carry the tombstone: the get must observe the
+    // delete, flush its cache, and report not-found (§5.3.4).
+    KvResult g = co_await b->Get(6);
+    EXPECT_EQ(g.status, KvStatus::kNotFound);
+    EXPECT_EQ(cb->stats().invalidations, 1u);
+  };
+  Spawn(driver(a.get(), &b, &cache_b));
+  fx.env.sim.Run();
+}
+
+TEST(SwarmKv, ReinsertAfterDeleteWorks) {
+  KvFixture fx;
+  auto kv = fx.Make("swarm");
+  auto driver = [](KvSession* kv) -> Task<void> {
+    (void)co_await kv->Insert(8, ValN(16, 1));
+    (void)co_await kv->Remove(8);
+    KvResult ins = co_await kv->Insert(8, ValN(16, 9));
+    EXPECT_TRUE(ins.ok());
+    KvResult g = co_await kv->Get(8);
+    EXPECT_EQ(g.status, KvStatus::kOk);
+    EXPECT_EQ(g.value, ValN(16, 9));
+  };
+  Spawn(driver(kv.get()));
+  fx.env.sim.Run();
+}
+
+TEST(SwarmKv, InsertRaceTurnsIntoUpdate) {
+  KvFixture fx;
+  auto a = fx.Make("swarm");
+  index::ClientCache cache_b;
+  Worker& wb = fx.env.MakeWorker();
+  SwarmKvSession b(&wb, &fx.indexsvc, &cache_b);
+
+  int oks = 0;
+  int exists = 0;
+  auto racer = [](KvSession* kv, uint8_t fill, int* oks, int* exists) -> Task<void> {
+    KvResult r = co_await kv->Insert(11, testing::ValN(16, fill));
+    if (r.status == KvStatus::kOk) {
+      ++*oks;
+    } else if (r.status == KvStatus::kExists) {
+      ++*exists;
+    }
+  };
+  Spawn(racer(a.get(), 1, &oks, &exists));
+  Spawn(racer(&b, 2, &oks, &exists));
+  fx.env.sim.Run();
+  EXPECT_EQ(oks, 1);
+  EXPECT_EQ(exists, 1);
+
+  // Both clients must now read a single winning value.
+  bool checked = false;
+  auto check = [](KvSession* kv, bool* checked) -> Task<void> {
+    KvResult g = co_await kv->Get(11);
+    EXPECT_EQ(g.status, KvStatus::kOk);
+    EXPECT_EQ(g.value.size(), 16u);
+    *checked = true;
+  };
+  Spawn(check(a.get(), &checked));
+  fx.env.sim.Run();
+  EXPECT_TRUE(checked);
+}
+
+TEST(SwarmKv, SurvivesNodeCrashNoDowntime) {
+  KvFixture fx;
+  auto kv = fx.Make("swarm");
+  auto driver = [](KvFixture* fx, KvSession* kv) -> Task<void> {
+    (void)co_await kv->Insert(12, ValN(16, 1));
+    fx->env.fabric.Crash(0);
+    KvResult g = co_await kv->Get(12);
+    EXPECT_EQ(g.status, KvStatus::kOk);  // Escalation, no recovery pause.
+    KvResult u = co_await kv->Update(12, ValN(16, 2));
+    EXPECT_EQ(u.status, KvStatus::kOk);
+  };
+  Spawn(driver(&fx, kv.get()));
+  fx.env.sim.Run();
+}
+
+TEST(FuseeKv, NodeCrashCausesRecoveryPause) {
+  KvFixture fx;
+  auto kv = fx.Make("fusee");
+  sim::Time blocked_for = 0;
+  auto driver = [](KvFixture* fx, KvSession* kv, sim::Time* blocked) -> Task<void> {
+    (void)co_await kv->Insert(13, ValN(16, 1));
+    // Crash the key's primary node (whatever it is): crash all but one to be
+    // sure the op trips over a failure.
+    fx->env.fabric.Crash(0);
+    fx->env.fabric.Crash(1);
+    fx->env.fabric.Crash(2);
+    const sim::Time start = fx->env.sim.Now();
+    KvResult g = co_await kv->Get(13);
+    *blocked = fx->env.sim.Now() - start;
+    (void)g;
+  };
+  Spawn(driver(&fx, kv.get(), &blocked_for));
+  fx.env.sim.Run();
+  // Tens of milliseconds of unavailability (vs SWARM's microseconds).
+  EXPECT_GE(blocked_for, 40 * sim::kMillisecond);
+}
+
+}  // namespace
+}  // namespace swarm::kv

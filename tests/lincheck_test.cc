@@ -1,0 +1,113 @@
+// Self-tests for the linearizability checker: it must accept known-good
+// histories and reject classic violations, otherwise the protocol stress
+// tests prove nothing.
+
+#include "tests/support/lincheck.h"
+
+#include <gtest/gtest.h>
+
+namespace swarm::testing {
+namespace {
+
+HistoryOp W(uint64_t v, sim::Time inv, sim::Time resp) { return {true, v, inv, resp}; }
+HistoryOp R(uint64_t v, sim::Time inv, sim::Time resp) { return {false, v, inv, resp}; }
+
+TEST(Lincheck, EmptyHistoryIsLinearizable) {
+  EXPECT_TRUE(LinearizabilityChecker::Check({}));
+}
+
+TEST(Lincheck, SequentialWriteRead) {
+  EXPECT_TRUE(LinearizabilityChecker::Check({W(1, 0, 10), R(1, 20, 30)}));
+}
+
+TEST(Lincheck, ReadOfInitialValue) {
+  EXPECT_TRUE(LinearizabilityChecker::Check({R(0, 0, 10), W(1, 20, 30)}));
+}
+
+TEST(Lincheck, StaleReadAfterWriteCompletesIsRejected) {
+  // W(1) finished at 10; a read invoked at 20 must not return 0.
+  EXPECT_FALSE(LinearizabilityChecker::Check({W(1, 0, 10), R(0, 20, 30)}));
+}
+
+TEST(Lincheck, ConcurrentReadMayReturnEitherValue) {
+  EXPECT_TRUE(LinearizabilityChecker::Check({W(1, 0, 100), R(0, 10, 20)}));
+  EXPECT_TRUE(LinearizabilityChecker::Check({W(1, 0, 100), R(1, 10, 20)}));
+}
+
+TEST(Lincheck, ReadValueNeverWrittenIsRejected) {
+  EXPECT_FALSE(LinearizabilityChecker::Check({W(1, 0, 10), R(7, 20, 30)}));
+}
+
+TEST(Lincheck, NewOldInversionIsRejected) {
+  // Two sequential reads must not observe values in an order contradicting
+  // write order: R(2) then R(1) where W(1) precedes W(2).
+  EXPECT_FALSE(LinearizabilityChecker::Check({
+      W(1, 0, 10),
+      W(2, 20, 30),
+      R(2, 40, 50),
+      R(1, 60, 70),
+  }));
+}
+
+TEST(Lincheck, ConcurrentWritesAllowEitherOrder) {
+  EXPECT_TRUE(LinearizabilityChecker::Check({
+      W(1, 0, 100),
+      W(2, 0, 100),
+      R(1, 200, 210),
+  }));
+  EXPECT_TRUE(LinearizabilityChecker::Check({
+      W(1, 0, 100),
+      W(2, 0, 100),
+      R(2, 200, 210),
+  }));
+}
+
+TEST(Lincheck, OrderPinnedByIntermediateRead) {
+  // A read of 2 between the writes' responses and a later read of 1 is a
+  // violation: once 2 was observed, 1 cannot come back.
+  EXPECT_FALSE(LinearizabilityChecker::Check({
+      W(1, 0, 100),
+      W(2, 0, 100),
+      R(2, 150, 160),
+      R(1, 170, 180),
+  }));
+}
+
+TEST(Lincheck, ReadsSplittingConcurrentWritesAreAllowed) {
+  // Both writes are concurrent with both reads, so W2, R(2), W1, R(1) is a
+  // valid linearization: the reads may observe the writes in either order.
+  EXPECT_TRUE(LinearizabilityChecker::Check({
+      W(1, 0, 300),
+      W(2, 0, 300),
+      R(2, 50, 60),
+      R(1, 70, 80),
+  }));
+}
+
+TEST(Lincheck, LongValidHistory) {
+  std::vector<HistoryOp> h;
+  sim::Time t = 0;
+  for (uint64_t i = 1; i <= 20; ++i) {
+    h.push_back(W(i, t, t + 10));
+    h.push_back(R(i, t + 20, t + 30));
+    t += 40;
+  }
+  EXPECT_TRUE(LinearizabilityChecker::Check(h));
+}
+
+TEST(Lincheck, InterleavedConcurrentBatchIsCheckedExhaustively) {
+  // 6 concurrent writes and 3 reads that observe a consistent order.
+  std::vector<HistoryOp> h;
+  for (uint64_t i = 1; i <= 6; ++i) {
+    h.push_back(W(i, 0, 1000));
+  }
+  h.push_back(R(3, 1100, 1200));
+  h.push_back(R(3, 1300, 1400));
+  EXPECT_TRUE(LinearizabilityChecker::Check(h));
+  h.push_back(R(5, 1500, 1600));  // 3 then 5: fine (5 linearized later? no —
+  // once 3 observed after all writes responded, the final value is 3).
+  EXPECT_FALSE(LinearizabilityChecker::Check(h));
+}
+
+}  // namespace
+}  // namespace swarm::testing

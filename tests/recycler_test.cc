@@ -1,0 +1,125 @@
+// Tests for the memory-recycling extension (§4.5/§5.4): epoch rounds,
+// responsiveness, and fencing of crashed clients through the membership
+// service — recycling must not block forever on a dead client.
+
+#include "src/swarm/recycler.h"
+
+#include <gtest/gtest.h>
+
+#include "src/fabric/fabric.h"
+#include "src/sim/simulator.h"
+
+namespace swarm {
+namespace {
+
+struct RecyclerEnv {
+  RecyclerEnv() : fabric(&sim, fabric::FabricConfig{}), membership(&sim, &fabric),
+                  recycler(&sim, &membership) {}
+
+  sim::Simulator sim;
+  fabric::Fabric fabric;
+  membership::MembershipService membership;
+  Recycler recycler;
+};
+
+TEST(Recycler, RoundAdvancesSafeHorizonWithLiveClients) {
+  RecyclerEnv env;
+  RecyclerParticipant a(&env.sim, 1, 5000);
+  RecyclerParticipant b(&env.sim, 2, 9000);
+  env.recycler.Register(&a);
+  env.recycler.Register(&b);
+
+  EXPECT_EQ(env.recycler.SafeReclaimBefore(), 0u);
+  sim::Spawn(env.recycler.RunRound());
+  env.sim.Run();
+  EXPECT_EQ(env.recycler.current_epoch(), 1u);
+  EXPECT_EQ(env.recycler.SafeReclaimBefore(), 1u);
+  EXPECT_EQ(a.published_epoch(), 1u);
+  EXPECT_EQ(b.published_epoch(), 1u);
+  EXPECT_EQ(env.recycler.fenced_clients(), 0u);
+}
+
+TEST(Recycler, MultipleRoundsKeepAdvancing) {
+  RecyclerEnv env;
+  RecyclerParticipant a(&env.sim, 1, 2000);
+  env.recycler.Register(&a);
+  for (int i = 0; i < 5; ++i) {
+    env.recycler.HeartbeatAll();
+    sim::Spawn(env.recycler.RunRound());
+    env.sim.Run();
+  }
+  EXPECT_EQ(env.recycler.SafeReclaimBefore(), 5u);
+}
+
+TEST(Recycler, CrashedClientIsFencedNotWaitedForForever) {
+  RecyclerEnv env;
+  RecyclerParticipant alive(&env.sim, 1, 2000);
+  RecyclerParticipant dead(&env.sim, 2, 2000);
+  env.recycler.Register(&alive);
+  env.recycler.Register(&dead);
+  dead.Crash();
+
+  const sim::Time start = env.sim.Now();
+  sim::Spawn(env.recycler.RunRound());
+  env.sim.Run();
+  // The round completed despite the dead client (bounded by the lease
+  // grace), and the horizon still advanced: §5.4's liveness argument.
+  EXPECT_EQ(env.recycler.SafeReclaimBefore(), 1u);
+  EXPECT_EQ(env.recycler.fenced_clients(), 1u);
+  EXPECT_LE(env.sim.Now() - start, 3 * sim::kMillisecond);
+  EXPECT_EQ(dead.published_epoch(), 0u);
+}
+
+TEST(Recycler, SuspectedClientSkippedInLaterRounds) {
+  RecyclerEnv env;
+  RecyclerParticipant alive(&env.sim, 1, 2000);
+  RecyclerParticipant dead(&env.sim, 2, 2000);
+  env.recycler.Register(&alive);
+  env.recycler.Register(&dead);
+  dead.Crash();
+
+  sim::Spawn(env.recycler.RunRound());
+  env.sim.Run();
+  // Let the dead client's lease expire, then heartbeat the live one (real
+  // clients renew continuously; the dead one has stopped).
+  env.sim.RunUntil(env.sim.Now() + 5 * sim::kMillisecond);
+  env.membership.RenewLease(1);
+  EXPECT_TRUE(env.membership.IsSuspected(2));
+  EXPECT_FALSE(env.membership.IsSuspected(1));
+
+  // Later rounds no longer wait for the fenced client at all.
+  const sim::Time start = env.sim.Now();
+  sim::Time round_done = 0;
+  auto timed = [](RecyclerEnv* env, sim::Time* done) -> sim::Task<void> {
+    co_await env->recycler.RunRound();
+    *done = env->sim.Now();
+  };
+  sim::Spawn(timed(&env, &round_done));
+  env.sim.Run();
+  EXPECT_EQ(env.recycler.SafeReclaimBefore(), 2u);
+  EXPECT_LT(round_done - start, sim::kMillisecond);
+}
+
+TEST(Membership, NodeCrashNotificationReachesSubscribers) {
+  sim::Simulator sim;
+  fabric::Fabric fabric(&sim, fabric::FabricConfig{});
+  membership::MembershipService membership(&sim, &fabric, 50 * sim::kMicrosecond);
+  auto known = std::make_shared<std::vector<bool>>(4, false);
+  membership.Subscribe(known);
+
+  membership.CrashNode(2);
+  EXPECT_TRUE(fabric.node(2).failed());  // The crash itself is immediate.
+  EXPECT_FALSE((*known)[2]);             // Detection takes a while.
+  sim.RunUntil(sim.Now() + 40 * sim::kMicrosecond);
+  EXPECT_FALSE((*known)[2]);
+  sim.RunUntil(sim.Now() + 20 * sim::kMicrosecond);
+  EXPECT_TRUE((*known)[2]);
+
+  membership.RecoverNode(2);
+  sim.RunUntil(sim.Now() + 60 * sim::kMicrosecond);
+  EXPECT_FALSE((*known)[2]);
+  EXPECT_FALSE(fabric.node(2).failed());
+}
+
+}  // namespace
+}  // namespace swarm

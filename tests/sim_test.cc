@@ -1,0 +1,305 @@
+// Unit tests for the discrete-event simulation kernel: virtual clock, event
+// ordering, coroutine tasks, spawning, and quorum counters.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/sim/simulator.h"
+#include "src/sim/sync.h"
+#include "src/sim/task.h"
+
+namespace swarm::sim {
+namespace {
+
+TEST(Simulator, StartsAtTimeZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.Now(), 0);
+}
+
+TEST(Simulator, EventsRunInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.At(30, [&] { order.push_back(3); });
+  sim.At(10, [&] { order.push_back(1); });
+  sim.At(20, [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), 30);
+}
+
+TEST(Simulator, TiedEventsRunInSchedulingOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 16; ++i) {
+    sim.At(5, [&, i] { order.push_back(i); });
+  }
+  sim.Run();
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(Simulator, PastEventsClampToNow) {
+  Simulator sim;
+  Time observed = -1;
+  sim.At(100, [&] {
+    sim.At(50, [&] { observed = sim.Now(); });  // In the past.
+  });
+  sim.Run();
+  EXPECT_EQ(observed, 100);
+}
+
+TEST(Simulator, RunUntilAdvancesClockWithoutLaterEvents) {
+  Simulator sim;
+  int ran = 0;
+  sim.At(10, [&] { ran++; });
+  sim.At(500, [&] { ran++; });
+  sim.RunUntil(100);
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(sim.Now(), 100);
+  sim.Run();
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.U64(), b.U64());
+  }
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Below(17), 17u);
+  }
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(7);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    int64_t v = rng.Range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+Task<int> Return42() { co_return 42; }
+
+Task<int> AddAfterDelay(Simulator* sim, int a, int b) {
+  co_await sim->Delay(100);
+  co_return a + b;
+}
+
+Task<void> RunAndStore(Simulator* sim, int* out) {
+  int v = co_await Return42();
+  int w = co_await AddAfterDelay(sim, v, 8);
+  *out = w;
+}
+
+TEST(Task, AwaitChainsAndDelays) {
+  Simulator sim;
+  int out = 0;
+  Spawn(RunAndStore(&sim, &out));
+  sim.Run();
+  EXPECT_EQ(out, 50);
+  EXPECT_EQ(sim.Now(), 100);
+}
+
+TEST(Task, LazyUntilAwaited) {
+  Simulator sim;
+  bool started = false;
+  auto body = [](bool* s) -> Task<void> {
+    *s = true;
+    co_return;
+  };
+  {
+    Task<void> t = body(&started);
+    EXPECT_FALSE(started);  // Lazy: not started, and safely destroyed below.
+  }
+  EXPECT_FALSE(started);
+  Spawn(body(&started));
+  EXPECT_TRUE(started);  // Spawn starts eagerly.
+}
+
+Task<void> DeepChain(Simulator* sim, int depth, int* out) {
+  if (depth == 0) {
+    *out += 1;
+    co_return;
+  }
+  co_await DeepChain(sim, depth - 1, out);
+}
+
+TEST(Task, DeepAwaitChainDoesNotOverflowStack) {
+  Simulator sim;
+  int out = 0;
+  Spawn(DeepChain(&sim, 100000, &out));
+  sim.Run();
+  EXPECT_EQ(out, 1);
+}
+
+TEST(Counter, ThresholdWakesWaiter) {
+  Simulator sim;
+  Counter c(&sim);
+  bool reached = false;
+  auto waiter = [](Counter c, bool* r) -> Task<void> {
+    *r = co_await c.WaitFor(3);
+  };
+  Spawn(waiter(c, &reached));
+  sim.Run();
+  EXPECT_FALSE(reached);
+  c.Add(2);
+  sim.Run();
+  EXPECT_FALSE(reached);
+  c.Add(1);
+  sim.Run();
+  EXPECT_TRUE(reached);
+}
+
+TEST(Counter, AlreadyReachedReturnsImmediately) {
+  Simulator sim;
+  Counter c(&sim);
+  c.Add(5);
+  bool reached = false;
+  auto waiter = [](Counter c, bool* r) -> Task<void> {
+    *r = co_await c.WaitFor(3);
+  };
+  Spawn(waiter(c, &reached));
+  sim.Run();
+  EXPECT_TRUE(reached);
+}
+
+TEST(Counter, TimeoutReturnsFalse) {
+  Simulator sim;
+  Counter c(&sim);
+  bool result = true;
+  Time when = -1;
+  auto waiter = [](Simulator* sim, Counter c, bool* r, Time* w) -> Task<void> {
+    *r = co_await c.WaitFor(2, 1000);
+    *w = sim->Now();
+  };
+  Spawn(waiter(&sim, c, &result, &when));
+  c.Add(1);
+  sim.Run();
+  EXPECT_FALSE(result);
+  EXPECT_EQ(when, 1000);
+}
+
+TEST(Counter, ReachedBeforeTimeoutReturnsTrue) {
+  Simulator sim;
+  Counter c(&sim);
+  bool result = false;
+  auto waiter = [](Counter c, bool* r) -> Task<void> {
+    *r = co_await c.WaitFor(2, 1000);
+  };
+  Spawn(waiter(c, &result));
+  sim.At(500, [&] { c.Add(2); });
+  sim.Run();
+  EXPECT_TRUE(result);
+  EXPECT_EQ(sim.Now(), 1000);  // The stale timeout event still fires harmlessly.
+}
+
+TEST(Counter, LateSignalAfterTimeoutIsHarmless) {
+  Simulator sim;
+  Counter c(&sim);
+  bool result = true;
+  auto waiter = [](Counter c, bool* r) -> Task<void> {
+    *r = co_await c.WaitFor(1, 100);
+  };
+  Spawn(waiter(c, &result));
+  sim.At(5000, [&] { c.Add(1); });
+  sim.Run();
+  EXPECT_FALSE(result);
+  EXPECT_EQ(c.count(), 1);
+}
+
+TEST(Counter, MultipleWaitersDifferentThresholds) {
+  Simulator sim;
+  Counter c(&sim);
+  int wakes = 0;
+  auto waiter = [](Counter c, int threshold, int* wakes) -> Task<void> {
+    co_await c.WaitFor(threshold);
+    ++*wakes;
+  };
+  for (int t = 1; t <= 5; ++t) {
+    Spawn(waiter(c, t, &wakes));
+  }
+  c.Add(3);
+  sim.Run();
+  EXPECT_EQ(wakes, 3);
+  c.Add(2);
+  sim.Run();
+  EXPECT_EQ(wakes, 5);
+}
+
+TEST(WhenBoth, RunsConcurrently) {
+  Simulator sim;
+  int sum = 0;
+  auto slow = [](Simulator* sim, Time d, int v) -> Task<int> {
+    co_await sim->Delay(d);
+    co_return v;
+  };
+  auto driver = [](Simulator* sim, Task<int> a, Task<int> b, int* out) -> Task<void> {
+    auto [x, y] = co_await WhenBoth(sim, std::move(a), std::move(b));
+    *out = x + y;
+  };
+  Spawn(driver(&sim, slow(&sim, 300, 1), slow(&sim, 200, 2), &sum));
+  sim.Run();
+  EXPECT_EQ(sum, 3);
+  EXPECT_EQ(sim.Now(), 300);  // max, not sum: the tasks overlapped.
+}
+
+TEST(WhenAll, WaitsForEveryTask) {
+  Simulator sim;
+  int done = 0;
+  auto slow = [](Simulator* sim, Time d, int* n) -> Task<void> {
+    co_await sim->Delay(d);
+    ++*n;
+  };
+  auto driver = [](Simulator* sim, std::vector<Task<void>> ts, int* n) -> Task<void> {
+    co_await WhenAll(sim, std::move(ts));
+    EXPECT_EQ(*n, 3);
+  };
+  std::vector<Task<void>> tasks;
+  tasks.push_back(slow(&sim, 100, &done));
+  tasks.push_back(slow(&sim, 50, &done));
+  tasks.push_back(slow(&sim, 150, &done));
+  Spawn(driver(&sim, std::move(tasks), &done));
+  sim.Run();
+  EXPECT_EQ(done, 3);
+  EXPECT_EQ(sim.Now(), 150);
+}
+
+TEST(Task, BackgroundSpawnOutlivesParent) {
+  Simulator sim;
+  int bg_done = 0;
+  auto background = [](Simulator* sim, int* flag) -> Task<void> {
+    co_await sim->Delay(1000);
+    *flag = 1;
+  };
+  auto parent = [](Simulator* sim, int* flag) -> Task<void> {
+    Spawn([](Simulator* s, int* f) -> Task<void> {
+      co_await s->Delay(1000);
+      *f = 1;
+    }(sim, flag));
+    co_return;  // Parent finishes immediately; background continues.
+  };
+  (void)background;
+  Spawn(parent(&sim, &bg_done));
+  EXPECT_EQ(bg_done, 0);
+  sim.Run();
+  EXPECT_EQ(bg_done, 1);
+  EXPECT_EQ(sim.Now(), 1000);
+}
+
+}  // namespace
+}  // namespace swarm::sim

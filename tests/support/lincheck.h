@@ -1,0 +1,93 @@
+// A linearizability checker for register histories.
+//
+// Histories are collections of operations (reads and writes on one register)
+// with invocation/response timestamps from the simulator's virtual clock.
+// The checker runs a Wing&Gong-style DFS: repeatedly pick an operation that
+// is "enabled" (its invocation precedes every unlinearized operation's
+// response), apply register semantics, and backtrack on dead ends. States
+// (chosen-set, current-value) are memoized. Histories are kept small (≤ 63
+// ops) by the stress tests, so the worst case stays tractable.
+//
+// Values are plain uint64 (0 = the initial/empty value ⊥). Writes must use
+// distinct values for the strongest discrimination.
+
+#ifndef SWARM_TESTS_SUPPORT_LINCHECK_H_
+#define SWARM_TESTS_SUPPORT_LINCHECK_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace swarm::testing {
+
+struct HistoryOp {
+  bool is_write = false;
+  uint64_t value = 0;  // Written value, or value returned by the read.
+  sim::Time invoked = 0;
+  sim::Time responded = 0;
+};
+
+class LinearizabilityChecker {
+ public:
+  // Returns true iff the history has a linearization consistent with
+  // register semantics (reads return the latest linearized write, or 0 if
+  // none).
+  static bool Check(const std::vector<HistoryOp>& ops) {
+    if (ops.size() > 63) {
+      return false;  // Caller bug: keep histories small.
+    }
+    LinearizabilityChecker checker(ops);
+    return checker.Dfs(0, 0);
+  }
+
+ private:
+  explicit LinearizabilityChecker(const std::vector<HistoryOp>& ops) : ops_(ops) {}
+
+  bool Dfs(uint64_t mask, uint64_t value) {
+    const uint64_t full = (1ull << ops_.size()) - 1;
+    if (mask == full) {
+      return true;
+    }
+    if (!visited_.insert({mask, value}).second) {
+      return false;
+    }
+    // An op is enabled if no unlinearized op responded before it was invoked.
+    sim::Time min_resp = std::numeric_limits<sim::Time>::max();
+    for (size_t i = 0; i < ops_.size(); ++i) {
+      if ((mask & (1ull << i)) == 0) {
+        min_resp = std::min(min_resp, ops_[i].responded);
+      }
+    }
+    for (size_t i = 0; i < ops_.size(); ++i) {
+      if ((mask & (1ull << i)) != 0) {
+        continue;
+      }
+      const HistoryOp& op = ops_[i];
+      if (op.invoked > min_resp) {
+        continue;  // Some other pending op must linearize first.
+      }
+      if (op.is_write) {
+        if (Dfs(mask | (1ull << i), op.value)) {
+          return true;
+        }
+      } else if (op.value == value) {
+        if (Dfs(mask | (1ull << i), value)) {
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  const std::vector<HistoryOp>& ops_;
+  std::set<std::pair<uint64_t, uint64_t>> visited_;
+};
+
+}  // namespace swarm::testing
+
+#endif  // SWARM_TESTS_SUPPORT_LINCHECK_H_
