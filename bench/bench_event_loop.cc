@@ -1,0 +1,260 @@
+// Event-core microbenchmark: host-side events/sec of the allocation-free
+// tagged-event loop vs. the seed's std::function + std::priority_queue loop
+// (replicated inline below as the baseline), plus end-to-end verbs/sec of a
+// SWARM-KV run with doorbell batching on and off.
+//
+//   ./build/bench_event_loop [callback_events] [coroutine_resumes] [kv_ops]
+
+#include <chrono>
+#include <coroutine>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "bench/common/harness.h"
+#include "bench/common/report.h"
+#include "src/sim/simulator.h"
+#include "src/sim/task.h"
+
+namespace swarm::bench {
+namespace {
+
+// --- The seed's event loop, verbatim in shape: one std::function per event
+// (heap-allocating whenever the capture outgrows the small-buffer
+// optimization, i.e. for every fabric completion), in a std::priority_queue.
+class LegacyLoop {
+ public:
+  sim::Time Now() const { return now_; }
+
+  void At(sim::Time when, std::function<void()> fn) {
+    if (when < now_) {
+      when = now_;
+    }
+    queue_.push(Event{when, seq_++, std::move(fn)});
+  }
+
+  void ResumeAt(sim::Time when, std::coroutine_handle<> h) {
+    At(when, [h] { h.resume(); });
+  }
+
+  bool Step() {
+    if (queue_.empty()) {
+      return false;
+    }
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.at;
+    ++events_;
+    ev.fn();
+    return true;
+  }
+
+  void Run() {
+    while (Step()) {
+    }
+  }
+
+  uint64_t events() const { return events_; }
+
+  auto Delay(sim::Time delay) {
+    struct Awaiter {
+      LegacyLoop* loop;
+      sim::Time at;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) { loop->ResumeAt(at, h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this, now_ + (delay > 0 ? delay : 0)};
+  }
+
+ private:
+  struct Event {
+    sim::Time at;
+    uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+    }
+  };
+
+  sim::Time now_ = 0;
+  uint64_t seq_ = 0;
+  uint64_t events_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+};
+
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+// The capture profile of a fabric completion callback: ~12 words of op state
+// (node id, addresses, lengths, shared completion state, departure times).
+struct Capture {
+  uint64_t w[12];
+};
+
+// `chains` concurrent event chains, each rescheduling itself `per_chain`
+// times with a fabric-sized capture — the steady-state shape of a
+// replication benchmark's event queue.
+template <typename Loop>
+double CallbackChains(Loop* loop, int chains, uint64_t per_chain, uint64_t* sink) {
+  const auto t0 = std::chrono::steady_clock::now();
+  struct Chain {
+    Loop* loop;
+    uint64_t left;
+    uint64_t* sink;
+    void Fire(const Capture& c) {
+      *sink += c.w[0];
+      if (left-- == 0) {
+        return;
+      }
+      Capture next = c;
+      next.w[0] ^= left;
+      loop->At(loop->Now() + 1 + static_cast<sim::Time>(left & 7),
+               [this, next] { Fire(next); });
+    }
+  };
+  std::vector<Chain> state(static_cast<size_t>(chains));
+  for (int c = 0; c < chains; ++c) {
+    state[static_cast<size_t>(c)] = Chain{loop, per_chain, sink};
+    Capture seed{};
+    seed.w[0] = static_cast<uint64_t>(c);
+    loop->At(static_cast<sim::Time>(c), [chain = &state[static_cast<size_t>(c)], seed] {
+      chain->Fire(seed);
+    });
+  }
+  loop->Run();
+  return SecondsSince(t0);
+}
+
+template <typename Loop>
+sim::Task<void> ResumeChain(Loop* loop, uint64_t iters, uint64_t* sink) {
+  for (uint64_t i = 0; i < iters; ++i) {
+    co_await loop->Delay(1 + static_cast<sim::Time>(i & 7));
+    ++*sink;
+  }
+}
+
+// `chains` coroutines ping-ponging through the scheduler — the ResumeAt fast
+// path that dominates protocol execution.
+template <typename Loop>
+double CoroutineChains(Loop* loop, int chains, uint64_t per_chain, uint64_t* sink) {
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int c = 0; c < chains; ++c) {
+    sim::Spawn(ResumeChain(loop, per_chain, sink));
+  }
+  loop->Run();
+  return SecondsSince(t0);
+}
+
+RunResults KvRun(bool batching, uint64_t ops, uint64_t seed, uint64_t* events_out,
+                 uint64_t* coroutine_events_out, fabric::FabricStats* stats_out,
+                 double* wall_out) {
+  HarnessConfig cfg;
+  cfg.seed = seed;
+  cfg.store = "swarm";
+  cfg.fabric.doorbell_batching = batching;
+  cfg.workload.num_keys = 10000;
+  cfg.warmup_ops = ops / 4;
+  cfg.measure_ops = ops;
+  KvHarness harness(cfg);
+  harness.Load();
+  const uint64_t events_before = harness.sim().events_processed();
+  const uint64_t coroutine_before = harness.sim().coroutine_events();
+  const fabric::FabricStats before = harness.fabric().stats();
+  const auto t0 = std::chrono::steady_clock::now();
+  RunResults results = harness.Run();
+  *wall_out = SecondsSince(t0);
+  *events_out = harness.sim().events_processed() - events_before;
+  *coroutine_events_out = harness.sim().coroutine_events() - coroutine_before;
+  // Measure-phase delta, so Load/warmup traffic does not inflate the table.
+  fabric::FabricStats delta = harness.fabric().stats();
+  delta.ops_issued -= before.ops_issued;
+  delta.bytes_to_nodes -= before.bytes_to_nodes;
+  delta.bytes_from_nodes -= before.bytes_from_nodes;
+  delta.casses -= before.casses;
+  delta.reads -= before.reads;
+  delta.writes -= before.writes;
+  delta.doorbells -= before.doorbells;
+  delta.batches -= before.batches;
+  delta.batched_verbs -= before.batched_verbs;
+  *stats_out = delta;
+  return results;
+}
+
+int Main(int argc, char** argv) {
+  const uint64_t callback_events = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 2000000;
+  const uint64_t coroutine_resumes = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 2000000;
+  const uint64_t kv_ops = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 40000;
+  constexpr int kChains = 4096;
+  uint64_t sink = 0;
+
+  PrintHeader("Event core: callback events (fabric-sized ~96 B captures)");
+  LegacyLoop legacy_cb;
+  const double legacy_cb_s =
+      CallbackChains(&legacy_cb, kChains, callback_events / kChains, &sink);
+  sim::Simulator tagged_cb;
+  const double tagged_cb_s =
+      CallbackChains(&tagged_cb, kChains, callback_events / kChains, &sink);
+  const double legacy_cb_rate = static_cast<double>(legacy_cb.events()) / legacy_cb_s;
+  const double tagged_cb_rate = static_cast<double>(tagged_cb.events_processed()) / tagged_cb_s;
+  PrintTable({
+      {"loop", "events", "wall_s", "events/sec"},
+      {"std::function+priority_queue", FmtU(legacy_cb.events()), Fmt("%.3f", legacy_cb_s),
+       Fmt("%.0f", legacy_cb_rate)},
+      {"tagged-event slab heap", FmtU(tagged_cb.events_processed()), Fmt("%.3f", tagged_cb_s),
+       Fmt("%.0f", tagged_cb_rate)},
+      {"speedup", "", "", Fmt("%.2fx", tagged_cb_rate / legacy_cb_rate)},
+  });
+
+  PrintHeader("Event core: coroutine resumes (ResumeAt fast path)");
+  LegacyLoop legacy_co;
+  const double legacy_co_s =
+      CoroutineChains(&legacy_co, kChains, coroutine_resumes / kChains, &sink);
+  sim::Simulator tagged_co;
+  const double tagged_co_s =
+      CoroutineChains(&tagged_co, kChains, coroutine_resumes / kChains, &sink);
+  const double legacy_co_rate = static_cast<double>(legacy_co.events()) / legacy_co_s;
+  const double tagged_co_rate = static_cast<double>(tagged_co.events_processed()) / tagged_co_s;
+  PrintTable({
+      {"loop", "events", "wall_s", "events/sec"},
+      {"std::function+priority_queue", FmtU(legacy_co.events()), Fmt("%.3f", legacy_co_s),
+       Fmt("%.0f", legacy_co_rate)},
+      {"tagged-event slab heap", FmtU(tagged_co.events_processed()), Fmt("%.3f", tagged_co_s),
+       Fmt("%.0f", tagged_co_rate)},
+      {"speedup", "", "", Fmt("%.2fx", tagged_co_rate / legacy_co_rate)},
+  });
+
+  PrintHeader("SWARM-KV (YCSB-B) with doorbell batching off vs. on");
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"batching", "Mops/s(virt)", "p50 get us", "p50 upd us", "doorbells",
+                  "verbs/batch", "host events/s"});
+  for (bool batching : {false, true}) {
+    uint64_t events = 0;
+    uint64_t coroutine_events = 0;
+    fabric::FabricStats stats;
+    double wall = 0;
+    RunResults r = KvRun(batching, kv_ops, 1, &events, &coroutine_events, &stats, &wall);
+    rows.push_back({batching ? "on" : "off", Fmt("%.3f", r.ThroughputMops()),
+                    Fmt("%.2f", r.get_latency.PercentileUs(50)),
+                    Fmt("%.2f", r.update_latency.PercentileUs(50)), FmtU(stats.doorbells),
+                    Fmt("%.2f", stats.verbs_per_batch()),
+                    Fmt("%.0f", static_cast<double>(events) / wall)});
+    std::printf("batching=%-3s %s | %s\n", batching ? "on" : "off",
+                EventLoopSummary(events, coroutine_events, wall).c_str(),
+                BatchSummary(stats).c_str());
+  }
+  PrintTable(rows);
+  std::printf("\n(sink=%llu)\n", static_cast<unsigned long long>(sink));
+  return 0;
+}
+
+}  // namespace
+}  // namespace swarm::bench
+
+int main(int argc, char** argv) { return swarm::bench::Main(argc, argv); }

@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "src/fabric/fabric.h"
+#include "src/sim/simulator.h"
 #include "src/stats/histogram.h"
 
 namespace swarm::bench {
@@ -75,6 +77,31 @@ inline void PrintCdf(const std::string& name, const stats::LatencyHistogram& h,
   for (const auto& [us, pct] : h.Cdf(max_points)) {
     std::printf("  %-10s %8.2f %7.2f\n", name.c_str(), us, pct);
   }
+}
+
+// One-line event-loop summary: events processed, coroutine/callback split,
+// and host-side events/sec over `wall_seconds` (pass the measured phase's
+// event delta and wall time).
+inline std::string EventLoopSummary(uint64_t events, uint64_t coroutine_events,
+                                    double wall_seconds) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "events=%llu (%.0f%% coroutine) rate=%.2fM events/s",
+                static_cast<unsigned long long>(events),
+                events == 0 ? 0.0
+                            : 100.0 * static_cast<double>(coroutine_events) /
+                                  static_cast<double>(events),
+                wall_seconds <= 0 ? 0.0 : static_cast<double>(events) / wall_seconds / 1e6);
+  return buf;
+}
+
+// One-line doorbell summary: submit charges, batches, and verbs per batch.
+inline std::string BatchSummary(const fabric::FabricStats& st) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "doorbells=%llu batches=%llu batched_verbs=%llu (%.2f verbs/batch)",
+                static_cast<unsigned long long>(st.doorbells),
+                static_cast<unsigned long long>(st.batches),
+                static_cast<unsigned long long>(st.batched_verbs), st.verbs_per_batch());
+  return buf;
 }
 
 // Roundtrip distribution: "rtts: share%".

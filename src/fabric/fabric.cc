@@ -14,6 +14,86 @@ sim::Task<void> ClientCpu::Consume(sim::Time cost) {
   }
 }
 
+sim::Task<void> ClientCpu::Submit(sim::Time cost) {
+  if (batch_depth_ == 0) {
+    if (stats_ != nullptr) {
+      ++stats_->doorbells;
+    }
+    co_await Consume(cost);
+    co_return;
+  }
+  // Batched: the first verb rings the doorbell (charging the CPU once); the
+  // rest join it. `batch_ready_ < Now()` guards a guard held open across
+  // virtual time (sequential verbs under one guard): a fresh doorbell rings.
+  if (!batch_charged_ || batch_ready_ < sim_->Now()) {
+    batch_charged_ = true;
+    const sim::Time start = std::max(sim_->Now(), busy_until_);
+    busy_until_ = start + cost;
+    busy_ns_ += cost;
+    batch_ready_ = busy_until_;
+    if (stats_ != nullptr) {
+      ++stats_->doorbells;
+    }
+  }
+  ++batch_verbs_;
+  if (stats_ != nullptr) {
+    ++stats_->batched_verbs;
+  }
+  if (batch_ready_ > sim_->Now()) {
+    co_await sim_->WaitUntil(batch_ready_);
+  }
+}
+
+void ClientCpu::EndBatch() {
+  if (!enabled_ || batch_depth_ == 0) {
+    return;
+  }
+  if (--batch_depth_ == 0) {
+    if (batch_verbs_ > 0 && stats_ != nullptr) {
+      ++stats_->batches;
+    }
+    batch_charged_ = false;
+    batch_verbs_ = 0;
+  }
+}
+
+sim::Task<void> PostAll(ClientCpu* cpu, sim::Simulator* sim, std::vector<sim::Task<void>> verbs) {
+  sim::Counter done(sim);
+  const int n = static_cast<int>(verbs.size());
+  {
+    CpuBatch batch(cpu);
+    for (auto& v : verbs) {
+      sim::Spawn(sim::SignalWhenDone(std::move(v), done));
+    }
+  }
+  co_await done.WaitFor(n);
+}
+
+namespace {
+
+sim::Task<void> StoreResultAt(sim::Task<OpResult> verb, std::shared_ptr<std::vector<OpResult>> out,
+                              size_t idx, sim::Counter done) {
+  (*out)[idx] = co_await std::move(verb);
+  done.Add(1);
+}
+
+}  // namespace
+
+sim::Task<std::vector<OpResult>> PostMany(ClientCpu* cpu, sim::Simulator* sim,
+                                          std::vector<sim::Task<OpResult>> verbs) {
+  sim::Counter done(sim);
+  const int n = static_cast<int>(verbs.size());
+  auto results = std::make_shared<std::vector<OpResult>>(verbs.size());
+  {
+    CpuBatch batch(cpu);
+    for (size_t i = 0; i < verbs.size(); ++i) {
+      sim::Spawn(StoreResultAt(std::move(verbs[i]), results, i, done));
+    }
+  }
+  co_await done.WaitFor(n);
+  co_return std::move(*results);
+}
+
 Fabric::Fabric(sim::Simulator* sim, FabricConfig config) : sim_(sim), config_(config) {
   nodes_.reserve(static_cast<size_t>(config_.num_nodes));
   for (int i = 0; i < config_.num_nodes; ++i) {
@@ -58,7 +138,7 @@ sim::Task<OpResult> Qp::Read(uint64_t addr, std::span<uint8_t> out) {
   Fabric& f = *fabric_;
   const FabricConfig& cfg = f.config();
   if (cpu_ != nullptr) {
-    co_await cpu_->Consume(cfg.submit_cost);
+    co_await cpu_->Submit(cfg.submit_cost);
   }
   f.stats().ops_issued++;
   f.stats().reads++;
@@ -102,7 +182,7 @@ sim::Task<OpResult> Qp::Write(uint64_t addr, std::span<const uint8_t> data) {
   Fabric& f = *fabric_;
   const FabricConfig& cfg = f.config();
   if (cpu_ != nullptr) {
-    co_await cpu_->Consume(cfg.submit_cost);
+    co_await cpu_->Submit(cfg.submit_cost);
   }
   f.stats().ops_issued++;
   f.stats().writes++;
@@ -170,7 +250,7 @@ sim::Task<OpResult> Qp::Cas(uint64_t addr, uint64_t expected, uint64_t desired) 
   Fabric& f = *fabric_;
   const FabricConfig& cfg = f.config();
   if (cpu_ != nullptr) {
-    co_await cpu_->Consume(cfg.submit_cost);
+    co_await cpu_->Submit(cfg.submit_cost);
   }
   f.stats().ops_issued++;
   f.stats().casses++;
@@ -213,7 +293,7 @@ sim::Task<OpResult> Qp::WriteThenCas(uint64_t waddr, std::span<const uint8_t> da
   if (cpu_ != nullptr) {
     // One submission covers the whole pipelined series (§7.2: the fixed cost
     // is per series of RDMA operations to a memory node).
-    co_await cpu_->Consume(cfg.submit_cost);
+    co_await cpu_->Submit(cfg.submit_cost);
   }
   f.stats().ops_issued += 2;
   f.stats().writes++;

@@ -1,5 +1,5 @@
-// Simulated RDMA fabric: latency/bandwidth model, queue pairs, failure
-// injection, and IO accounting.
+// Simulated RDMA fabric: latency/bandwidth model, queue pairs, doorbell
+// batching, failure injection, and IO accounting.
 //
 // This module is the hardware substitution for the paper's testbed (4 client
 // servers + 4 memory nodes, ConnectX NICs, 100 Gbps switch). Timing model for
@@ -15,6 +15,19 @@
 //   response: one-way delay + jitter + payload/bandwidth,
 //   complete: the awaiting coroutine resumes with the result.
 //
+// Doorbell batching (§7.2): posting a work request is dominated by the fixed
+// cost of building WQEs and ringing the NIC doorbell, and real NICs let a
+// client post MANY work requests — even to different destinations — under a
+// single doorbell. The model mirrors that: while a CpuBatch is open on a
+// ClientCpu, the FIRST verb submitted charges `submit_cost` once and every
+// other verb in the batch rides the same doorbell; all of them depart
+// together when that single submission completes. A quorum-of-R write
+// therefore consumes one `submit_cost`, not R, and its verbs leave the
+// client simultaneously instead of staggered 200 ns apart. Everything after
+// departure (delay, NIC occupancy, FIFO per QP) is unchanged, and batching
+// can be disabled wholesale with FabricConfig::doorbell_batching for A/B
+// comparisons.
+//
 // Ops on the same queue pair execute at the node in issue order (RDMA FIFO),
 // which is what makes the pipelined WRITE→CAS of In-n-Out (§4.3) correct in a
 // single roundtrip.
@@ -25,6 +38,7 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "src/fabric/memory_node.h"
@@ -46,7 +60,7 @@ struct FabricConfig {
   sim::Time delay_jitter = 90;        // uniform +/- per direction
   sim::Time node_op_cost = 50;        // ns per verb at the node
   sim::Time read_extra = 250;         // extra ns for READs (PCIe read round at the node)
-  sim::Time submit_cost = 200;        // ns of client CPU per issued verb batch
+  sim::Time submit_cost = 200;        // ns of client CPU per doorbell (verb or batch)
   double bandwidth_bytes_per_ns = 12.5;  // 100 Gbps each direction
 
   // Virtual time after which an op against a crashed node completes locally
@@ -56,6 +70,10 @@ struct FabricConfig {
   // If true, writes larger than 8 B apply in two stages across the transfer
   // window so concurrent readers can tear.
   bool staged_large_writes = true;
+
+  // If false, CpuBatch is inert and every verb pays its own submit_cost
+  // (the sequential-submission model of the seed; kept for A/B benches).
+  bool doorbell_batching = true;
 };
 
 struct FabricStats {
@@ -66,8 +84,20 @@ struct FabricStats {
   uint64_t reads = 0;
   uint64_t writes = 0;
 
+  // Doorbell accounting: `doorbells` counts submit_cost charges (one per
+  // unbatched verb, one per batch); `batches` counts closed CpuBatches that
+  // carried at least one verb; `batched_verbs` counts verbs that rode a
+  // batch. Mean verbs per doorbell-batch = batched_verbs / batches.
+  uint64_t doorbells = 0;
+  uint64_t batches = 0;
+  uint64_t batched_verbs = 0;
+
   void Reset() { *this = FabricStats{}; }
   uint64_t total_io() const { return bytes_to_nodes + bytes_from_nodes; }
+  double verbs_per_batch() const {
+    return batches == 0 ? 0.0
+                        : static_cast<double>(batched_verbs) / static_cast<double>(batches);
+  }
 };
 
 // Per-client CPU model. Worker coroutines that share a ClientCpu serialize
@@ -77,16 +107,65 @@ class ClientCpu {
  public:
   explicit ClientCpu(sim::Simulator* sim) : sim_(sim) {}
 
-  // Consumes `cost` ns of CPU, queueing behind earlier consumers.
+  // Consumes `cost` ns of CPU, queueing behind earlier consumers. Used for
+  // non-verb work (RPC marshalling); never joins a doorbell batch.
   sim::Task<void> Consume(sim::Time cost);
+
+  // Verb-submission consumption. Standalone, behaves like Consume(cost) and
+  // counts one doorbell. While a batch is open (see CpuBatch), the first
+  // verb charges `cost` once and every later verb rides the same doorbell
+  // for free; all of them resume when the shared submission completes.
+  sim::Task<void> Submit(sim::Time cost);
+
+  void BeginBatch() { batch_depth_ += enabled_ ? 1 : 0; }
+  void EndBatch();
+  bool batching() const { return batch_depth_ > 0; }
+
+  // Wires doorbell accounting and the config switch; done by Worker (and
+  // tests) once the owning fabric is known. Idempotent.
+  void Configure(FabricStats* stats, bool batching_enabled) {
+    stats_ = stats;
+    enabled_ = batching_enabled;
+  }
 
   sim::Time busy_ns() const { return busy_ns_; }
   void ResetBusy() { busy_ns_ = 0; }
 
  private:
   sim::Simulator* sim_;
+  FabricStats* stats_ = nullptr;
   sim::Time busy_until_ = 0;
   sim::Time busy_ns_ = 0;
+  bool enabled_ = true;
+  int batch_depth_ = 0;
+  bool batch_charged_ = false;
+  sim::Time batch_ready_ = 0;
+  uint64_t batch_verbs_ = 0;
+};
+
+// RAII doorbell batch: every verb submitted on `cpu` while this guard is
+// alive shares one amortized submit_cost. The intended pattern is to open
+// the guard, Spawn the coroutines that post the verbs (Spawn runs each until
+// its first suspension, which is the verb's Submit), and close the guard
+// before co_awaiting completions — i.e. the guard brackets the POSTING of
+// work, not its completion. Nested guards join the outermost doorbell.
+class CpuBatch {
+ public:
+  explicit CpuBatch(ClientCpu* cpu) : cpu_(cpu) {
+    if (cpu_ != nullptr) {
+      cpu_->BeginBatch();
+    }
+  }
+  ~CpuBatch() {
+    if (cpu_ != nullptr) {
+      cpu_->EndBatch();
+    }
+  }
+  CpuBatch(const CpuBatch&) = delete;
+  CpuBatch& operator=(const CpuBatch&) = delete;
+
+ private:
+  ClientCpu* cpu_;
 };
 
 class Fabric;
@@ -166,6 +245,41 @@ class Fabric {
   std::vector<sim::Time> nic_free_;
   FabricStats stats_;
 };
+
+// --- Doorbell-batched posting helpers. -------------------------------------
+//
+// All three open a CpuBatch, start every verb task (each runs until its
+// Submit suspension, joining the shared doorbell), close the batch, and then
+// await completions. Lazy tasks are required: the verbs must not have been
+// started by the caller.
+
+// Posts two verb tasks under one doorbell and resumes when both completed.
+// The workhorse for pipelined pairs like [oop WRITE → slot CAS] next to an
+// in-place WRITE, or DM-ABD's "write out-of-place while reading the word".
+template <typename A, typename B>
+sim::Task<std::pair<A, B>> PostBoth(ClientCpu* cpu, sim::Simulator* sim, sim::Task<A> a,
+                                    sim::Task<B> b) {
+  sim::Counter done(sim);
+  auto ra = std::make_shared<A>();
+  auto rb = std::make_shared<B>();
+  {
+    CpuBatch batch(cpu);
+    sim::Spawn(sim::StoreInto(std::move(a), ra, done));
+    sim::Spawn(sim::StoreInto(std::move(b), rb, done));
+  }
+  co_await done.WaitFor(2);
+  co_return std::pair<A, B>{std::move(*ra), std::move(*rb)};
+}
+
+// Posts all verb tasks under one doorbell and resumes when every one has
+// completed.
+sim::Task<void> PostAll(ClientCpu* cpu, sim::Simulator* sim, std::vector<sim::Task<void>> verbs);
+
+// Posts N result-bearing verbs (possibly to different nodes) under one
+// doorbell; resumes when all have completed, returning their results in
+// order. The generic many-verb entry point for application code.
+sim::Task<std::vector<OpResult>> PostMany(ClientCpu* cpu, sim::Simulator* sim,
+                                          std::vector<sim::Task<OpResult>> verbs);
 
 }  // namespace swarm::fabric
 

@@ -6,7 +6,9 @@ namespace swarm::index {
 
 sim::Task<void> IndexService::Roundtrip(fabric::ClientCpu* cpu) {
   if (cpu != nullptr) {
-    co_await cpu->Consume(submit_cost_);
+    // Posting the RPC's send WQE rides the same doorbell as any verbs batched
+    // alongside it (e.g. an insert's parallel replica writes, §5.3.1).
+    co_await cpu->Submit(submit_cost_);
   }
   sim::Time delay = 2 * one_way_;
   if (jitter_ > 0) {

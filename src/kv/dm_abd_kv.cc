@@ -145,8 +145,10 @@ sim::Task<KvResult> DmAbdKvSession::Insert(uint64_t key, std::span<const uint8_t
   std::shared_ptr<const ObjectLayout> layout = AllocateForKey(key);
   auto obj_cache = worker_->SlotCacheFor(layout.get());
   AbdObject obj(worker_, layout.get(), obj_cache);
-  auto [wr, ins] = co_await sim::WhenBoth(worker_->sim(), obj.Write(value),
-                                          index_->InsertIfAbsent(key, layout, worker_->cpu()));
+  // One doorbell covers the phase-1 replica writes AND the index insert RPC.
+  auto [wr, ins] =
+      co_await fabric::PostBoth(worker_->cpu(), worker_->sim(), obj.Write(value),
+                                index_->InsertIfAbsent(key, layout, worker_->cpu()));
   result.rtts += wr.rtts;
   if (ins.first) {
     index::CacheEntry entry;

@@ -134,8 +134,9 @@ sim::Task<KvResult> FuseeKvSession::Get(uint64_t key) {
       word = cached->generation;
       std::vector<uint8_t> block(kOopHeaderBytes + max_value);
       std::array<uint8_t, 8> ibuf{};
-      auto [br, ir] = co_await sim::WhenBoth(
-          worker_->sim(), qp.Read(static_cast<uint64_t>(OopOf(word)) * kOopGranuleBytes, block),
+      auto [br, ir] = co_await fabric::PostBoth(
+          worker_->cpu(), worker_->sim(),
+          qp.Read(static_cast<uint64_t>(OopOf(word)) * kOopGranuleBytes, block),
           qp.Read(index_addr, ibuf));
       ++result.rtts;
       if (!br.ok() || !ir.ok()) {
@@ -239,8 +240,8 @@ sim::Task<KvResult> FuseeKvSession::WriteInternal(uint64_t key, std::span<const 
     fabric::OpResult w1;
     int failed_node = primary;
     if (backup_alive) {
-      auto [a, b] = co_await sim::WhenBoth(
-          worker_->sim(),
+      auto [a, b] = co_await fabric::PostBoth(
+          worker_->cpu(), worker_->sim(),
           qp.Write(static_cast<uint64_t>(oop_primary) * kOopGranuleBytes, block),
           worker_->qp(meta.backup)
               .Write(static_cast<uint64_t>(oop_backup) * kOopGranuleBytes, block));
@@ -336,7 +337,7 @@ sim::Task<KvResult> FuseeKvSession::WriteInternal(uint64_t key, std::span<const 
             &qp, static_cast<uint64_t>(OopOf(old_word)) * kOopGranuleBytes, std::move(fwd)));
       }
       if (!tasks.empty()) {
-        co_await sim::WhenAll(worker_->sim(), std::move(tasks));
+        co_await fabric::PostAll(worker_->cpu(), worker_->sim(), std::move(tasks));
       }
       ++result.rtts;
     }

@@ -165,8 +165,9 @@ sim::Task<KvResult> SwarmKvSession::Insert(uint64_t key, std::span<const uint8_t
     std::shared_ptr<const ObjectLayout> layout = AllocateForKey(key);
     auto obj_cache = worker_->SlotCacheFor(layout.get());
     SafeGuessObject obj(worker_, layout.get(), obj_cache);
-    auto [wr, ins] = co_await sim::WhenBoth(
-        worker_->sim(), obj.Write(value),
+    // One doorbell covers the replica writes AND the index insert RPC.
+    auto [wr, ins] = co_await fabric::PostBoth(
+        worker_->cpu(), worker_->sim(), obj.Write(value),
         index_->InsertIfAbsent(key, layout, worker_->cpu()));
     result.rtts += wr.rtts > 1 ? wr.rtts : 1;
 

@@ -1,29 +1,147 @@
 #include "src/sim/simulator.h"
 
+#include <bit>
+
 namespace swarm::sim {
 
-void Simulator::At(Time when, std::function<void()> fn) {
-  if (when < now_) {
-    when = now_;
+Simulator::~Simulator() {
+  // Destroy (without running) any callables still queued, so their captured
+  // state (shared_ptrs, buffers) is released. Pending coroutine resumptions
+  // need no action here: suspended frames are owned by their Task chains.
+  for (const Event& ev : heap_) {
+    if (IsCallback(ev.payload)) {
+      CallbackSlot* slot = SlotOf(ev.payload);
+      slot->op(slot, /*run=*/false);
+    }
   }
-  queue_.push(Event{when, seq_++, std::move(fn)});
+  for (Bucket& b : buckets_) {
+    for (size_t i = b.head; i < b.items.size(); ++i) {
+      if (IsCallback(b.items[i])) {
+        CallbackSlot* slot = SlotOf(b.items[i]);
+        slot->op(slot, /*run=*/false);
+      }
+    }
+  }
 }
 
-void Simulator::ResumeAt(Time when, std::coroutine_handle<> h) {
-  At(when, [h] { h.resume(); });
+Simulator::CallbackSlot* Simulator::AllocSlot() {
+  if (free_slots_ == nullptr) {
+    auto slab = std::make_unique<CallbackSlot[]>(kSlabSlots);
+    for (size_t i = 0; i < kSlabSlots; ++i) {
+      slab[i].next_free = free_slots_;
+      free_slots_ = &slab[i];
+    }
+    pool_slots_ += kSlabSlots;
+    slabs_.push_back(std::move(slab));
+  }
+  CallbackSlot* slot = free_slots_;
+  free_slots_ = slot->next_free;
+  return slot;
+}
+
+// The far-event heap is 4-ary with hole-based sifting: half the levels of a
+// binary heap and one 24-byte move per level instead of a three-move swap.
+
+void Simulator::HeapPush(Event ev) {
+  heap_.push_back(ev);  // Placeholder; the hole sifts up from the back.
+  size_t i = heap_.size() - 1;
+  while (i > 0) {
+    const size_t parent = (i - 1) / 4;
+    if (!Before(ev, heap_[parent])) {
+      break;
+    }
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = ev;
+}
+
+Simulator::Event Simulator::HeapPopTop() {
+  const Event top = heap_.front();
+  const Event last = heap_.back();
+  heap_.pop_back();
+  const size_t n = heap_.size();
+  if (n == 0) {
+    return top;
+  }
+  size_t i = 0;
+  while (true) {
+    const size_t first_child = 4 * i + 1;
+    if (first_child >= n) {
+      break;
+    }
+    const size_t end = first_child + 4 < n ? first_child + 4 : n;
+    size_t best = first_child;
+    for (size_t c = first_child + 1; c < end; ++c) {
+      if (Before(heap_[c], heap_[best])) {
+        best = c;
+      }
+    }
+    if (!Before(heap_[best], last)) {
+      break;
+    }
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = last;
+  return top;
+}
+
+void Simulator::Rebase() {
+  // Precondition: wheel empty, heap nonempty. Anchor the window so that
+  // bucket index == at & kWheelMask needs no wrap handling.
+  base_ = heap_.front().at & ~kWheelMask;
+  const Time end = base_ + static_cast<Time>(kWheelSize);
+  while (!heap_.empty() && heap_.front().at < end) {
+    const Event ev = HeapPopTop();  // (time, seq) order => FIFO per bucket.
+    WheelAppend(ev.at, ev.payload);
+  }
+}
+
+Time Simulator::NextBucketTime(Time from) const {
+  size_t idx = static_cast<size_t>(from - base_);
+  size_t word = idx >> 6;
+  uint64_t bits = bitmap_[word] & (~uint64_t{0} << (idx & 63));
+  while (bits == 0) {
+    bits = bitmap_[++word];  // wheel_count_ > 0 guarantees termination.
+  }
+  return base_ + static_cast<Time>((word << 6) + static_cast<size_t>(std::countr_zero(bits)));
+}
+
+void Simulator::Dispatch(uintptr_t payload) {
+  ++events_processed_;
+  if (IsCallback(payload)) {
+    CallbackSlot* slot = SlotOf(payload);
+    // Run + destroy, then recycle the slot. The callable may schedule new
+    // events (and thus allocate slots) while it runs; recycling afterwards
+    // keeps the slot out of its own reach.
+    slot->op(slot, /*run=*/true);
+    FreeSlot(slot);
+  } else {
+    ++coroutine_events_;
+    std::coroutine_handle<>::from_address(reinterpret_cast<void*>(payload)).resume();
+  }
 }
 
 bool Simulator::Step() {
-  if (queue_.empty()) {
-    return false;
+  if (wheel_count_ == 0) {
+    if (heap_.empty()) {
+      return false;
+    }
+    Rebase();
   }
-  // priority_queue::top() returns a const ref; move out via const_cast is
-  // well-defined here because we pop immediately and never reuse the slot.
-  Event ev = std::move(const_cast<Event&>(queue_.top()));
-  queue_.pop();
-  now_ = ev.at;
-  ++events_processed_;
-  ev.fn();
+  const Time t = NextBucketTime(now_ > base_ ? now_ : base_);
+  Bucket& b = buckets_[static_cast<size_t>(t & kWheelMask)];
+  const uintptr_t payload = b.items[b.head];
+  if (++b.head == b.items.size()) {
+    b.items.clear();  // Keeps capacity: steady state reallocates nothing.
+    b.head = 0;
+    const size_t idx = static_cast<size_t>(t - base_);
+    bitmap_[idx >> 6] &= ~(uint64_t{1} << (idx & 63));
+  }
+  --wheel_count_;
+  now_ = t;
+  Dispatch(payload);
   return true;
 }
 
@@ -33,7 +151,21 @@ void Simulator::Run() {
 }
 
 void Simulator::RunUntil(Time t) {
-  while (!queue_.empty() && queue_.top().at <= t) {
+  // Peek without rebasing: Rebase() must stay coupled to an immediate Step,
+  // otherwise the wheel could hold events while now_ < base_, breaking the
+  // invariant Push relies on (wheel nonempty => pushes land at >= base_).
+  while (true) {
+    Time next;
+    if (wheel_count_ > 0) {
+      next = NextBucketTime(now_ > base_ ? now_ : base_);
+    } else if (!heap_.empty()) {
+      next = heap_.front().at;
+    } else {
+      break;
+    }
+    if (next > t) {
+      break;
+    }
     Step();
   }
   if (now_ < t) {

@@ -1,19 +1,41 @@
 // Discrete-event simulator core.
 //
-// The simulator owns a virtual clock and a min-heap of timed events. Actors
-// (clients, protocol operations, background tasks) are C++20 coroutines that
-// suspend on awaitables which schedule their resumption at a future virtual
-// time. Execution is strictly single-threaded: exactly one event runs at a
-// time, events with equal timestamps run in scheduling order, and the whole
-// run is reproducible from the Rng seed.
+// The simulator owns a virtual clock and a timer queue. Actors (clients,
+// protocol operations, background tasks) are C++20 coroutines that suspend on
+// awaitables which schedule their resumption at a future virtual time.
+// Execution is strictly single-threaded: exactly one event runs at a time,
+// events with equal timestamps run in scheduling order, and the whole run is
+// reproducible from the Rng seed.
+//
+// Hot-path design (the event loop dominates every benchmark's host time):
+//  * An event's payload is a tagged pointer: either a coroutine handle
+//    (ResumeAt — the overwhelmingly common case, scheduled with ZERO
+//    allocations) or a type-erased callback stored in a pooled slab slot.
+//    Callback slots are recycled through a free list; slabs grow in chunks,
+//    so steady-state scheduling never touches the allocator. Callables
+//    larger than the inline slot storage (rare) fall back to one heap
+//    allocation held inside the slot.
+//  * Near events — almost everything, since fabric RTTs are ~2 us — live in
+//    a timing wheel: one FIFO bucket per virtual nanosecond over a 2048 ns
+//    window, with an occupancy bitmap for cursor advancement. Push and pop
+//    are O(1); bucket FIFO order IS (time, seq) order because a bucket holds
+//    a single timestamp and appends happen in scheduling order.
+//  * Far events (timeouts, quarantine expiries) overflow into a flat 4-ary
+//    min-heap of 24-byte PODs ordered by (time, seq); when the wheel drains,
+//    the window is re-based onto the earliest far event and every event
+//    inside the new window migrates into the wheel in (time, seq) order, so
+//    the global dispatch order is exactly the seed's.
 
 #ifndef SWARM_SRC_SIM_SIMULATOR_H_
 #define SWARM_SRC_SIM_SIMULATOR_H_
 
+#include <array>
 #include <coroutine>
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <memory>
+#include <new>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -24,7 +46,8 @@ namespace swarm::sim {
 
 class Simulator {
  public:
-  explicit Simulator(uint64_t seed = 1) : rng_(seed) {}
+  explicit Simulator(uint64_t seed = 1) : rng_(seed) { heap_.reserve(1024); }
+  ~Simulator();
 
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
@@ -32,14 +55,25 @@ class Simulator {
   Time Now() const { return now_; }
   Rng& rng() { return rng_; }
 
-  // Schedules `fn` to run at virtual time `when` (clamped to Now()).
-  void At(Time when, std::function<void()> fn);
+  // Schedules `fn` to run at virtual time `when` (clamped to Now()). The
+  // callable is moved into a pooled slot; scheduling allocates only when the
+  // callable outgrows the inline slot storage or every slab slot is in use.
+  template <typename F>
+  void At(Time when, F&& fn) {
+    Push(when, TagCallback(MakeSlot(std::forward<F>(fn))));
+  }
 
   // Schedules `fn` to run `delay` ns from now.
-  void After(Time delay, std::function<void()> fn) { At(now_ + delay, std::move(fn)); }
+  template <typename F>
+  void After(Time delay, F&& fn) {
+    At(now_ + delay, std::forward<F>(fn));
+  }
 
-  // Schedules resumption of a suspended coroutine.
-  void ResumeAt(Time when, std::coroutine_handle<> h);
+  // Schedules resumption of a suspended coroutine. Never allocates: the
+  // handle itself is the event payload.
+  void ResumeAt(Time when, std::coroutine_handle<> h) {
+    Push(when, reinterpret_cast<uintptr_t>(h.address()));
+  }
 
   // Runs events until the queue is empty.
   void Run();
@@ -51,6 +85,11 @@ class Simulator {
   bool Step();
 
   uint64_t events_processed() const { return events_processed_; }
+  uint64_t coroutine_events() const { return coroutine_events_; }
+  uint64_t callback_events() const { return events_processed_ - coroutine_events_; }
+  size_t queue_depth() const { return wheel_count_ + heap_.size(); }
+  // Callback slots ever carved from slabs (pool high-water mark).
+  size_t callback_pool_slots() const { return pool_slots_; }
 
   // Awaitable: suspends the current coroutine for `delay` virtual ns.
   auto Delay(Time delay) {
@@ -68,21 +107,129 @@ class Simulator {
   auto WaitUntil(Time t) { return Delay(t - now_); }
 
  private:
+  // Sized so every callback the fabric and protocol layers schedule (the
+  // largest captures ~10 words of completion state) stays inline.
+  static constexpr size_t kInlineCallbackBytes = 120;
+  static constexpr size_t kSlabSlots = 256;
+
+  // Wheel geometry: 1 ns buckets over a 2048 ns window, base-aligned so
+  // bucket index == at & kWheelMask with no wrap inside a window.
+  static constexpr size_t kWheelBits = 11;
+  static constexpr size_t kWheelSize = size_t{1} << kWheelBits;
+  static constexpr Time kWheelMask = static_cast<Time>(kWheelSize - 1);
+  static constexpr size_t kBitmapWords = kWheelSize / 64;
+
+  struct CallbackSlot {
+    // Invokes (when `run`) and destroys the stored callable. Set by MakeSlot.
+    void (*op)(CallbackSlot*, bool run);
+    CallbackSlot* next_free;
+    alignas(std::max_align_t) unsigned char storage[kInlineCallbackBytes];
+  };
+
   struct Event {
     Time at;
     uint64_t seq;
-    std::function<void()> fn;
-  };
-  struct EventOrder {
-    bool operator()(const Event& a, const Event& b) const {
-      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
-    }
+    // Low bit set: CallbackSlot*. Low bit clear: coroutine frame address.
+    // Both are at least 8-byte aligned, so the bit is free for the tag.
+    uintptr_t payload;
   };
 
+  struct Bucket {
+    std::vector<uintptr_t> items;  // FIFO: appended in scheduling order.
+    size_t head = 0;
+  };
+
+  static bool IsCallback(uintptr_t payload) { return (payload & 1) != 0; }
+  static uintptr_t TagCallback(CallbackSlot* s) { return reinterpret_cast<uintptr_t>(s) | 1; }
+  static CallbackSlot* SlotOf(uintptr_t payload) {
+    return reinterpret_cast<CallbackSlot*>(payload & ~uintptr_t{1});
+  }
+
+  template <typename F>
+  CallbackSlot* MakeSlot(F&& fn) {
+    using Fn = std::decay_t<F>;
+    CallbackSlot* slot = AllocSlot();
+    if constexpr (sizeof(Fn) <= kInlineCallbackBytes && alignof(Fn) <= alignof(std::max_align_t)) {
+      ::new (static_cast<void*>(slot->storage)) Fn(std::forward<F>(fn));
+      slot->op = [](CallbackSlot* s, bool run) {
+        Fn* f = std::launder(reinterpret_cast<Fn*>(s->storage));
+        if (run) {
+          (*f)();
+        }
+        f->~Fn();
+      };
+    } else {
+      // Oversized callable: one heap allocation, owned by the slot.
+      ::new (static_cast<void*>(slot->storage)) Fn*(new Fn(std::forward<F>(fn)));
+      slot->op = [](CallbackSlot* s, bool run) {
+        Fn* f = *std::launder(reinterpret_cast<Fn**>(s->storage));
+        if (run) {
+          (*f)();
+        }
+        delete f;
+      };
+    }
+    return slot;
+  }
+
+  CallbackSlot* AllocSlot();
+  void FreeSlot(CallbackSlot* slot) {
+    slot->next_free = free_slots_;
+    free_slots_ = slot;
+  }
+
+  static bool Before(const Event& a, const Event& b) {
+    return a.at != b.at ? a.at < b.at : a.seq < b.seq;
+  }
+
+  // Wheel events need no seq: bucket order is scheduling order. Heap events
+  // get one so far-future ties dispatch in scheduling order after migration.
+  void Push(Time when, uintptr_t payload) {
+    if (when < now_) {
+      when = now_;
+    }
+    // The wheel only accepts events inside its window. `when >= base_` holds
+    // whenever the wheel is nonempty (pushes clamp to now_, and now_ >= base_
+    // then); it is checked anyway so an invariant break cannot write outside
+    // the bitmap.
+    if (wheel_count_ > 0 && when >= base_ && when < base_ + static_cast<Time>(kWheelSize)) {
+      WheelAppend(when, payload);
+    } else {
+      HeapPush(Event{when, seq_++, payload});
+    }
+  }
+
+  void WheelAppend(Time at, uintptr_t payload) {
+    Bucket& b = buckets_[static_cast<size_t>(at & kWheelMask)];
+    b.items.push_back(payload);
+    const size_t idx = static_cast<size_t>(at - base_);
+    bitmap_[idx >> 6] |= uint64_t{1} << (idx & 63);
+    ++wheel_count_;
+  }
+
+  // Re-anchors the (empty) wheel at the earliest far event and migrates
+  // every event inside the new window, in (time, seq) order.
+  void Rebase();
+
+  // First nonempty bucket time at or after `from` (wheel must be nonempty).
+  Time NextBucketTime(Time from) const;
+
+  void HeapPush(Event ev);
+  Event HeapPopTop();
+  void Dispatch(uintptr_t payload);
+
   Time now_ = 0;
+  Time base_ = 0;
   uint64_t seq_ = 0;
   uint64_t events_processed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  uint64_t coroutine_events_ = 0;
+  size_t wheel_count_ = 0;
+  size_t pool_slots_ = 0;
+  std::vector<Event> heap_;
+  std::array<Bucket, kWheelSize> buckets_;
+  std::array<uint64_t, kBitmapWords> bitmap_{};
+  std::vector<std::unique_ptr<CallbackSlot[]>> slabs_;
+  CallbackSlot* free_slots_ = nullptr;
   Rng rng_;
 };
 

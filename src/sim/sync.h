@@ -101,7 +101,9 @@ class Counter {
   std::shared_ptr<State> state_;
 };
 
-namespace internal {
+// Building blocks for fan-out/join combinators (WhenBoth/WhenAll here, the
+// doorbell-batched PostBoth/PostAll/PostMany in the fabric layer): run a
+// task, deposit its result, signal a completion counter.
 
 template <typename T>
 Task<void> StoreInto(Task<T> t, std::shared_ptr<T> out, Counter done) {
@@ -114,8 +116,6 @@ inline Task<void> SignalWhenDone(Task<void> t, Counter done) {
   done.Add(1);
 }
 
-}  // namespace internal
-
 // Runs two tasks concurrently and resumes when both have completed, returning
 // both results. Used for Safe-Guess's parallel {m = M.READ(), M.WRITE(w)}.
 template <typename A, typename B>
@@ -123,8 +123,8 @@ Task<std::pair<A, B>> WhenBoth(Simulator* sim, Task<A> a, Task<B> b) {
   Counter done(sim);
   auto ra = std::make_shared<A>();
   auto rb = std::make_shared<B>();
-  Spawn(internal::StoreInto(std::move(a), ra, done));
-  Spawn(internal::StoreInto(std::move(b), rb, done));
+  Spawn(StoreInto(std::move(a), ra, done));
+  Spawn(StoreInto(std::move(b), rb, done));
   co_await done.WaitFor(2);
   co_return std::pair<A, B>{std::move(*ra), std::move(*rb)};
 }
@@ -134,7 +134,7 @@ inline Task<void> WhenAll(Simulator* sim, std::vector<Task<void>> tasks) {
   Counter done(sim);
   const int n = static_cast<int>(tasks.size());
   for (auto& t : tasks) {
-    Spawn(internal::SignalWhenDone(std::move(t), done));
+    Spawn(SignalWhenDone(std::move(t), done));
   }
   co_await done.WaitFor(n);
 }

@@ -52,7 +52,8 @@ sim::Task<void> Phase1One(Worker* worker, const ObjectLayout* layout, int r,
   std::vector<uint8_t> image = AbdOopImage(rep.meta_addr, ph->value);
   auto wr = qp.Write(static_cast<uint64_t>(oop) * kOopGranuleBytes, image);
   auto rd = qp.Read(rep.meta_addr, word_buf);
-  auto [w_res, r_res] = co_await sim::WhenBoth(worker->sim(), std::move(wr), std::move(rd));
+  auto [w_res, r_res] =
+      co_await fabric::PostBoth(worker->cpu(), worker->sim(), std::move(wr), std::move(rd));
   if (!w_res.ok() || !r_res.ok()) {
     if (w_res.status == fabric::Status::kNodeFailed || r_res.status == fabric::Status::kNodeFailed) {
       worker->MarkNodeFailed(rep.node);
@@ -176,18 +177,17 @@ sim::Task<SgWriteResult> AbdObject::Write(std::span<const uint8_t> value) {
 
   // Phase 1: out-of-place writes in parallel with the timestamp discovery
   // read (DM-ABD "hides latency by writing out-of-place data in parallel to
-  // finding a fresh timestamp").
-  for (int i = 0; i < maj; ++i) {
-    sim::Spawn(Phase1One(worker_, layout_, order[static_cast<size_t>(i)], ph));
-  }
-  bool got = co_await ph->ok.WaitFor(maj, worker_->config().escalation_timeout);
+  // finding a fresh timestamp") — one doorbell per wave.
+  auto phase1 = [&](int i) {
+    return Phase1One(worker_, layout_, order[static_cast<size_t>(i)], ph);
+  };
+  bool got = co_await worker_->BatchedQuorum(ph->ok, maj, worker_->config().escalation_timeout, 0,
+                                             maj, phase1);
   result.rtts = 1;
   if (!got) {
-    for (int i = maj; i < layout_->num_replicas; ++i) {
-      sim::Spawn(Phase1One(worker_, layout_, order[static_cast<size_t>(i)], ph));
-    }
     ++result.rtts;
-    got = co_await ph->ok.WaitFor(maj, worker_->config().quorum_timeout);
+    got = co_await worker_->BatchedQuorum(ph->ok, maj, worker_->config().quorum_timeout, maj,
+                                          layout_->num_replicas - maj, phase1);
   }
   if (!got) {
     co_return result;
@@ -208,13 +208,17 @@ sim::Task<SgWriteResult> AbdObject::Write(std::span<const uint8_t> value) {
   const Meta fresh = Meta::Pack(m.counter() + 1, worker_->tid(), /*verified=*/true, 0);
   auto cs = std::make_shared<CasState>(worker_->sim());
   int launched = 0;
-  for (int r = 0; r < layout_->num_replicas; ++r) {
-    const auto idx = static_cast<size_t>(r);
-    if (!ph->oks[idx]) {
-      continue;  // Only replicas whose out-of-place buffer we populated.
+  {
+    fabric::CpuBatch batch(worker_->cpu());  // One doorbell for all installs.
+    for (int r = 0; r < layout_->num_replicas; ++r) {
+      const auto idx = static_cast<size_t>(r);
+      if (!ph->oks[idx]) {
+        continue;  // Only replicas whose out-of-place buffer we populated.
+      }
+      sim::Spawn(
+          CasMaxOne(worker_, layout_, r, ph->words[idx], fresh.WithOop(ph->oop_idx[idx]), cs));
+      ++launched;
     }
-    sim::Spawn(CasMaxOne(worker_, layout_, r, ph->words[idx], fresh.WithOop(ph->oop_idx[idx]), cs));
-    ++launched;
   }
   ++result.rtts;
   got = co_await cs->ok.WaitFor(std::min(maj, launched), worker_->config().quorum_timeout);
@@ -230,13 +234,13 @@ sim::Task<SgWriteResult> AbdObject::Delete() {
   std::array<int, kMaxReplicas> order{};
   LivePreferred(worker_, layout_, order);
   const int maj = layout_->majority();
-  for (int i = 0; i < layout_->num_replicas; ++i) {
-    sim::Spawn(CasMaxOne(worker_, layout_, order[static_cast<size_t>(i)],
-                         cache_->slot[static_cast<size_t>(order[static_cast<size_t>(i)])],
-                         tombstone, cs));
-  }
   result.rtts = 1;
-  const bool got = co_await cs->ok.WaitFor(maj, worker_->config().quorum_timeout);
+  const bool got = co_await worker_->BatchedQuorum(
+      cs->ok, maj, worker_->config().quorum_timeout, 0, layout_->num_replicas, [&](int i) {
+        return CasMaxOne(worker_, layout_, order[static_cast<size_t>(i)],
+                         cache_->slot[static_cast<size_t>(order[static_cast<size_t>(i)])],
+                         tombstone, cs);
+      });
   result.rtts += cs->max_retries;
   result.status = got ? SgStatus::kOk : SgStatus::kUnavailable;
   co_return result;
@@ -270,17 +274,17 @@ sim::Task<SgReadResult> AbdObject::Read() {
     std::array<int, kMaxReplicas> order{};
     LivePreferred(worker_, layout_, order);
     const int maj = layout_->majority();
-    for (int i = 0; i < maj; ++i) {
-      sim::Spawn(rd_one(worker_, layout_, order[static_cast<size_t>(i)], ph));
-    }
-    bool got = co_await ph->ok.WaitFor(maj, worker_->config().escalation_timeout);
+    auto read_wave = [&](int i) {
+      return rd_one(worker_, layout_, order[static_cast<size_t>(i)], ph);
+    };
+    bool got = co_await worker_->BatchedQuorum(ph->ok, maj,
+                                               worker_->config().escalation_timeout, 0, maj,
+                                               read_wave);
     ++result.rtts;
     if (!got) {
-      for (int i = maj; i < layout_->num_replicas; ++i) {
-        sim::Spawn(rd_one(worker_, layout_, order[static_cast<size_t>(i)], ph));
-      }
       ++result.rtts;
-      got = co_await ph->ok.WaitFor(maj, worker_->config().quorum_timeout);
+      got = co_await worker_->BatchedQuorum(ph->ok, maj, worker_->config().quorum_timeout, maj,
+                                            layout_->num_replicas - maj, read_wave);
     }
     if (!got) {
       co_return result;  // No live majority.
@@ -348,12 +352,15 @@ sim::Task<SgReadResult> AbdObject::Read() {
       img->value = value;
       auto cs = std::make_shared<CasState>(worker_->sim());
       const Meta base = Meta::Pack(m.counter(), m.tid(), true, 0);
-      for (int r = 0; r < layout_->num_replicas; ++r) {
-        const auto idx = static_cast<size_t>(r);
-        if (ph->oks[idx] && ph->words[idx].ts_order_key() == m.ts_order_key()) {
-          continue;
+      {
+        fabric::CpuBatch batch(worker_->cpu());
+        for (int r = 0; r < layout_->num_replicas; ++r) {
+          const auto idx = static_cast<size_t>(r);
+          if (ph->oks[idx] && ph->words[idx].ts_order_key() == m.ts_order_key()) {
+            continue;
+          }
+          sim::Spawn(RepairOne(worker_, layout_, r, base, img, cs));
         }
-        sim::Spawn(RepairOne(worker_, layout_, r, base, img, cs));
       }
       ++result.rtts;
       got = co_await cs->ok.WaitFor(maj - holders, worker_->config().quorum_timeout);

@@ -57,8 +57,8 @@ sim::Task<NodeMaxResult> InOutReplica::WriteMaxImpl(Meta w, std::span<const uint
     auto cas_op = qp.WriteThenCas(w_full.oop_addr(), image, slot_addr, slot_expected.raw(),
                                   desired.raw());
     auto inp_op = qp.Write(rep_->inplace_addr, inplace_image);
-    auto [cr, ir] =
-        co_await sim::WhenBoth(worker_->sim(), std::move(cas_op), std::move(inp_op));
+    auto [cr, ir] = co_await fabric::PostBoth(worker_->cpu(), worker_->sim(), std::move(cas_op),
+                                              std::move(inp_op));
     (void)ir;
     r = cr;
   } else if (has_payload) {

@@ -29,10 +29,12 @@ sim::Task<void> WriteAndReadOne(Worker* worker, const ObjectLayout* layout,
   InOutReplica rep(worker, layout, r);
   // Pipeline the In-n-Out max-write and the metadata read on the same QP:
   // both are in flight simultaneously, one roundtrip total (Algorithm 2
-  // line 6: "in parallel {m = M.READ(), M.WRITE(w)}").
+  // line 6: "in parallel {m = M.READ(), M.WRITE(w)}") — and posted under one
+  // doorbell (which joins the surrounding quorum batch when there is one).
   auto wt = rep.WriteMax(ph->w, ph->value, &cache->slot[static_cast<size_t>(r)]);
   auto rd = rep.ReadNode(/*want_inplace=*/false, worker->tid());
-  auto [mr, view] = co_await sim::WhenBoth(worker->sim(), std::move(wt), std::move(rd));
+  auto [mr, view] =
+      co_await fabric::PostBoth(worker->cpu(), worker->sim(), std::move(wt), std::move(rd));
   if (!mr.ok() || !view.ok()) {
     if (IsNodeFailure(mr.status) || IsNodeFailure(view.status)) {
       worker->MarkNodeFailed(rep.node());
@@ -175,17 +177,18 @@ sim::Task<WriteReadOutcome> QuorumMax::WriteAndRead(Meta w, std::span<const uint
   const int maj = layout_->majority();
   const int first_wave = std::min(maj, layout_->num_replicas);
 
-  for (int i = 0; i < first_wave; ++i) {
-    sim::Spawn(WriteAndReadOne(worker_, layout_, cache_, order[static_cast<size_t>(i)], ph));
-  }
-  bool got = co_await ph->ok.WaitFor(maj, worker_->config().escalation_timeout);
+  // Each wave is one doorbell: all replicas' pipelined [WRITE→CAS] + READ
+  // pairs ride a single amortized submit_cost (§7.2).
+  auto one = [&](int i) {
+    return WriteAndReadOne(worker_, layout_, cache_, order[static_cast<size_t>(i)], ph);
+  };
+  bool got = co_await worker_->BatchedQuorum(ph->ok, maj, worker_->config().escalation_timeout, 0,
+                                             first_wave, one);
   int rtts = 1;
   if (!got) {
-    for (int i = first_wave; i < layout_->num_replicas; ++i) {
-      sim::Spawn(WriteAndReadOne(worker_, layout_, cache_, order[static_cast<size_t>(i)], ph));
-    }
     ++rtts;
-    got = co_await ph->ok.WaitFor(maj, worker_->config().quorum_timeout);
+    got = co_await worker_->BatchedQuorum(ph->ok, maj, worker_->config().quorum_timeout,
+                                          first_wave, layout_->num_replicas - first_wave, one);
   }
 
   WriteReadOutcome out;
@@ -205,18 +208,17 @@ sim::Task<ReadOutcome> QuorumMax::ReadQuorum(bool strong) {
   const int maj = layout_->majority();
   const int first_wave = std::min(maj, layout_->num_replicas);
 
-  for (int i = 0; i < first_wave; ++i) {
-    sim::Spawn(ReadOne(worker_, layout_, cache_, order[static_cast<size_t>(i)], ph));
-  }
-  bool got = co_await ph->ok.WaitFor(maj, worker_->config().escalation_timeout);
+  auto one = [&](int i) {
+    return ReadOne(worker_, layout_, cache_, order[static_cast<size_t>(i)], ph);
+  };
+  bool got = co_await worker_->BatchedQuorum(ph->ok, maj, worker_->config().escalation_timeout, 0,
+                                             first_wave, one);
   ReadOutcome out;
   out.rtts = 1;
   if (!got) {
-    for (int i = first_wave; i < layout_->num_replicas; ++i) {
-      sim::Spawn(ReadOne(worker_, layout_, cache_, order[static_cast<size_t>(i)], ph));
-    }
     ++out.rtts;
-    got = co_await ph->ok.WaitFor(maj, worker_->config().quorum_timeout);
+    got = co_await worker_->BatchedQuorum(ph->ok, maj, worker_->config().quorum_timeout,
+                                          first_wave, layout_->num_replicas - first_wave, one);
   }
   if (!got) {
     co_return out;  // No live majority.
@@ -277,18 +279,21 @@ sim::Task<ReadOutcome> QuorumMax::ReadQuorum(bool strong) {
       rp->base = Meta::Pack(out.m.counter(), out.m.tid(), out.m.verified(), 0);
       rp->value = out.value;
       int launched = 0;
-      for (int i = 0; i < layout_->num_replicas; ++i) {
-        const int r = order[static_cast<size_t>(i)];
-        const auto idx = static_cast<size_t>(r);
-        if (ph->oks[idx] && ph->words[idx].ts_order_key() == out.m.ts_order_key()) {
-          continue;  // Already a holder.
+      {
+        fabric::CpuBatch batch(worker_->cpu());  // All repairs, one doorbell.
+        for (int i = 0; i < layout_->num_replicas; ++i) {
+          const int r = order[static_cast<size_t>(i)];
+          const auto idx = static_cast<size_t>(r);
+          if (ph->oks[idx] && ph->words[idx].ts_order_key() == out.m.ts_order_key()) {
+            continue;  // Already a holder.
+          }
+          Meta seed;
+          if (ph->oks[idx] && !ph->slots[idx].empty()) {
+            seed = ph->slots[idx][static_cast<size_t>(SlotOf(out.m.tid(), layout_->meta_slots))];
+          }
+          sim::Spawn(RepairOne(worker_, layout_, r, seed, rp));
+          ++launched;
         }
-        Meta seed;
-        if (ph->oks[idx] && !ph->slots[idx].empty()) {
-          seed = ph->slots[idx][static_cast<size_t>(SlotOf(out.m.tid(), layout_->meta_slots))];
-        }
-        sim::Spawn(RepairOne(worker_, layout_, r, seed, rp));
-        ++launched;
       }
       ++out.rtts;
       const bool fixed =
@@ -313,17 +318,16 @@ sim::Task<bool> QuorumMax::WriteVerified(Meta w, std::span<const uint8_t> value,
   const int maj = layout_->majority();
   const int first_wave = std::min(maj, layout_->num_replicas);
 
-  for (int i = 0; i < first_wave; ++i) {
-    sim::Spawn(WriteVerifiedOne(worker_, layout_, cache_, order[static_cast<size_t>(i)], ph));
-  }
-  bool got = co_await ph->ok.WaitFor(maj, worker_->config().escalation_timeout);
+  auto one = [&](int i) {
+    return WriteVerifiedOne(worker_, layout_, cache_, order[static_cast<size_t>(i)], ph);
+  };
+  bool got = co_await worker_->BatchedQuorum(ph->ok, maj, worker_->config().escalation_timeout, 0,
+                                             first_wave, one);
   int phases = 1;
   if (!got) {
-    for (int i = first_wave; i < layout_->num_replicas; ++i) {
-      sim::Spawn(WriteVerifiedOne(worker_, layout_, cache_, order[static_cast<size_t>(i)], ph));
-    }
     ++phases;
-    got = co_await ph->ok.WaitFor(maj, worker_->config().quorum_timeout);
+    got = co_await worker_->BatchedQuorum(ph->ok, maj, worker_->config().quorum_timeout,
+                                          first_wave, layout_->num_replicas - first_wave, one);
   }
   if (rtts != nullptr) {
     *rtts = phases + ph->max_retries;
@@ -336,6 +340,7 @@ sim::Task<void> QuorumMax::Promote(Worker* worker, const ObjectLayout* layout,
                                    std::vector<uint8_t> value,
                                    std::shared_ptr<ObjectCache> cache) {
   auto shared_value = std::make_shared<std::vector<uint8_t>>(std::move(value));
+  fabric::CpuBatch batch(worker->cpu());  // All promotions, one doorbell.
   for (int r = 0; r < layout->num_replicas; ++r) {
     const Meta word = installed[static_cast<size_t>(r)];
     if (!word.empty()) {
@@ -352,12 +357,15 @@ sim::Task<bool> QuorumMax::WriteBack(Meta m, std::span<const uint8_t> value,
   rp->value.assign(value.begin(), value.end());
   const int maj = layout_->majority();
   int holders = 0;
-  for (int r = 0; r < layout_->num_replicas; ++r) {
-    const auto idx = static_cast<size_t>(r);
-    if (from.node_ok[idx] && from.node_words[idx].ts_order_key() == m.ts_order_key()) {
-      ++holders;
-    } else {
-      sim::Spawn(RepairOne(worker_, layout_, r, Meta(), rp));
+  {
+    fabric::CpuBatch batch(worker_->cpu());
+    for (int r = 0; r < layout_->num_replicas; ++r) {
+      const auto idx = static_cast<size_t>(r);
+      if (from.node_ok[idx] && from.node_words[idx].ts_order_key() == m.ts_order_key()) {
+        ++holders;
+      } else {
+        sim::Spawn(RepairOne(worker_, layout_, r, Meta(), rp));
+      }
     }
   }
   if (holders >= maj) {

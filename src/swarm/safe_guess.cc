@@ -29,8 +29,11 @@ sim::Task<SgWriteResult> SafeGuessObject::Write(std::span<const uint8_t> value) 
   }
 
   if (TsLessEq(out.m, w)) {
-    // Line 7: fast path — the guess was fresh and our write linearized.
-    // Line 8: promote to VERIFIED in the background to speed up readers.
+    // Line 7: fast path — the guess was fresh and our write linearized. The
+    // whole phase cost ONE amortized submit_cost: the per-replica verb pairs
+    // rode a single doorbell inside WriteAndRead (§7.2).
+    // Line 8: promote to VERIFIED in the background to speed up readers (the
+    // promotion CASes ride one doorbell too).
     result.status = SgStatus::kOk;
     result.fast_path = true;
     sim::Spawn(QuorumMax::Promote(worker_, layout_, out.installed,

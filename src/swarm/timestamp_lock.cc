@@ -64,11 +64,12 @@ sim::Task<TryLockResult> TimestampLock::TryLock(uint32_t counter, LockMode mode)
   TryLockResult result;
   auto phase = std::make_shared<LockPhase>(worker_->sim());
   const int n = layout_->num_replicas;
-  for (int r = 0; r < n; ++r) {
-    sim::Spawn(LockOneReplica(worker_, layout_, r, owner_tid_, counter, mode, phase));
-  }
-  const bool reached =
-      co_await phase->ok.WaitFor(layout_->majority(), worker_->config().quorum_timeout);
+  // One doorbell rings the lock CAS at every replica (Algorithm 9 contacts
+  // all of them; only a majority must answer).
+  const bool reached = co_await worker_->BatchedQuorum(
+      phase->ok, layout_->majority(), worker_->config().quorum_timeout, 0, n, [&](int r) {
+        return LockOneReplica(worker_, layout_, r, owner_tid_, counter, mode, phase);
+      });
   if (!reached) {
     co_return result;  // No live majority: not acquired (safe).
   }

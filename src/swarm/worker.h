@@ -41,6 +41,9 @@ class Worker {
          const ProtocolConfig& config, std::shared_ptr<std::vector<bool>> known_failed)
       : fabric_(fabric), tid_(tid), cpu_(cpu), clock_(clock), config_(config),
         known_failed_(std::move(known_failed)) {
+    if (cpu != nullptr) {
+      cpu->Configure(&fabric->stats(), fabric->config().doorbell_batching);
+    }
     qps_.reserve(static_cast<size_t>(fabric->num_nodes()));
     pools_.reserve(static_cast<size_t>(fabric->num_nodes()));
     for (int n = 0; n < fabric->num_nodes(); ++n) {
@@ -76,6 +79,25 @@ class Worker {
     // 8 B per replica per object actually touched (the "In-n-Out metadata"
     // of a SWARM-KV cache entry, §7.1).
     return slot_caches_.size() * 8;
+  }
+
+  // Quorum multicast (the doorbell-batched quorum pattern): spawns
+  // `make(i)` for i in [first, first+count) under ONE doorbell batch — every
+  // verb those per-replica tasks post before their first completion shares a
+  // single amortized submit_cost — then awaits `done` reaching `quorum`
+  // within `timeout`. The per-replica tasks signal `done` themselves, so the
+  // caller can keep waiting on the same counter for stragglers or a second
+  // escalation wave.
+  template <typename OpFactory>
+  sim::Task<bool> BatchedQuorum(sim::Counter done, int quorum, sim::Time timeout, int first,
+                                int count, OpFactory make) {
+    {
+      fabric::CpuBatch batch(cpu_);
+      for (int i = first; i < first + count; ++i) {
+        sim::Spawn(make(i));
+      }
+    }
+    co_return co_await done.WaitFor(quorum, timeout);
   }
 
   bool NodeKnownFailed(int node) const { return (*known_failed_)[static_cast<size_t>(node)]; }

@@ -140,9 +140,21 @@ Task<void> DeepChain(Simulator* sim, int depth, int* out) {
 }
 
 TEST(Task, DeepAwaitChainDoesNotOverflowStack) {
+  // ASan's instrumentation defeats the symmetric-transfer tail calls this
+  // test exercises, so the chain must stay shallow enough for a real stack.
+#if !defined(SWARM_ASAN_BUILD) && defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define SWARM_ASAN_BUILD 1
+#endif
+#endif
+#if defined(__SANITIZE_ADDRESS__) || defined(SWARM_ASAN_BUILD)
+  constexpr int kDepth = 2000;
+#else
+  constexpr int kDepth = 100000;
+#endif
   Simulator sim;
   int out = 0;
-  Spawn(DeepChain(&sim, 100000, &out));
+  Spawn(DeepChain(&sim, kDepth, &out));
   sim.Run();
   EXPECT_EQ(out, 1);
 }
