@@ -14,12 +14,12 @@ sim::Task<void> ClientCpu::Consume(sim::Time cost) {
   }
 }
 
-sim::Task<void> ClientCpu::Submit(sim::Time cost) {
+sim::Task<void> ClientCpu::Submit(sim::Time cost, sim::Time wqe_cost) {
   if (batch_depth_ == 0) {
     if (stats_ != nullptr) {
       ++stats_->doorbells;
     }
-    co_await Consume(cost);
+    co_await Consume(cost + wqe_cost);
     co_return;
   }
   // Batched: the first verb rings the doorbell (charging the CPU once); the
@@ -34,6 +34,14 @@ sim::Task<void> ClientCpu::Submit(sim::Time cost) {
     if (stats_ != nullptr) {
       ++stats_->doorbells;
     }
+  }
+  if (wqe_cost > 0) {
+    // Per-WQE build cost: WQEs of one doorbell are built serially, so each
+    // verb departs when its own WQE is done and the CPU stays busy for the
+    // whole list (submit_cost + K*per_verb_cost for a K-verb doorbell).
+    busy_until_ = std::max(busy_until_, batch_ready_) + wqe_cost;
+    busy_ns_ += wqe_cost;
+    batch_ready_ = busy_until_;
   }
   ++batch_verbs_;
   if (stats_ != nullptr) {
@@ -138,7 +146,7 @@ sim::Task<OpResult> Qp::Read(uint64_t addr, std::span<uint8_t> out) {
   Fabric& f = *fabric_;
   const FabricConfig& cfg = f.config();
   if (cpu_ != nullptr) {
-    co_await cpu_->Submit(cfg.submit_cost);
+    co_await cpu_->Submit(cfg.submit_cost, cfg.per_verb_cost);
   }
   f.stats().ops_issued++;
   f.stats().reads++;
@@ -146,7 +154,16 @@ sim::Task<OpResult> Qp::Read(uint64_t addr, std::span<uint8_t> out) {
 
   sim::Simulator* sim = f.sim();
   const sim::Time departure = sim->Now();
-  sim::Time arrival = departure + f.SampleDelay() + f.node(node_).extra_delay();
+  // A READ has no node-side effect, so a dropped request and a dropped
+  // response are indistinguishable to everyone: the bytes never arrive.
+  if (f.DropMessage(node_, false) || f.DropMessage(node_, true)) {
+    co_await sim->WaitUntil(departure + cfg.failure_detect_delay);
+    OpResult lost;
+    lost.status = Status::kNodeFailed;
+    co_return lost;
+  }
+  sim::Time arrival =
+      departure + f.SampleDelay() + f.LinkExtraDelay(node_, false) + f.node(node_).extra_delay();
   arrival = std::max(arrival, last_arrival_ + 1);
   arrival = f.ReserveNic(node_, arrival, cfg.node_op_cost);
   last_arrival_ = arrival;
@@ -169,8 +186,8 @@ sim::Task<OpResult> Qp::Read(uint64_t addr, std::span<uint8_t> out) {
     }
     node.ReadInto(addr, std::span<uint8_t>(out_ptr, out_len));
     f.stats().bytes_from_nodes += kVerbHeaderBytes + out_len;
-    const sim::Time complete =
-        arrival + cfg.node_op_cost + cfg.read_extra + f.SampleDelay() + f.TransferTime(out_len);
+    const sim::Time complete = arrival + cfg.node_op_cost + cfg.read_extra + f.SampleDelay() +
+                               f.LinkExtraDelay(node_id, true) + f.TransferTime(out_len);
     sim->At(complete, [done]() mutable { done.Add(1); });
   });
 
@@ -182,7 +199,7 @@ sim::Task<OpResult> Qp::Write(uint64_t addr, std::span<const uint8_t> data) {
   Fabric& f = *fabric_;
   const FabricConfig& cfg = f.config();
   if (cpu_ != nullptr) {
-    co_await cpu_->Submit(cfg.submit_cost);
+    co_await cpu_->Submit(cfg.submit_cost, cfg.per_verb_cost);
   }
   f.stats().ops_issued++;
   f.stats().writes++;
@@ -190,8 +207,19 @@ sim::Task<OpResult> Qp::Write(uint64_t addr, std::span<const uint8_t> data) {
 
   sim::Simulator* sim = f.sim();
   const sim::Time departure = sim->Now();
+  if (f.DropMessage(node_, false)) {
+    // Request lost: the write never reaches the node.
+    co_await sim->WaitUntil(departure + cfg.failure_detect_delay);
+    OpResult lost;
+    lost.status = Status::kNodeFailed;
+    co_return lost;
+  }
+  // Response lost: the write APPLIES at the node, only the ack is missing —
+  // the possibly-applied case quorum protocols must survive.
+  const bool drop_resp = f.DropMessage(node_, true);
   const sim::Time xfer = f.TransferTime(data.size());
-  sim::Time start = departure + f.SampleDelay() + f.node(node_).extra_delay();
+  sim::Time start =
+      departure + f.SampleDelay() + f.LinkExtraDelay(node_, false) + f.node(node_).extra_delay();
   start = std::max(start, last_arrival_ + 1);
   start = f.ReserveNic(node_, start, cfg.node_op_cost);
   const sim::Time finish = start + xfer;  // Last byte lands at `finish`.
@@ -211,7 +239,8 @@ sim::Task<OpResult> Qp::Write(uint64_t addr, std::span<const uint8_t> data) {
         f.node(node_id).WriteFrom(addr, std::span<const uint8_t>(src, half));
       }
     });
-    sim->At(finish, [&f, sim, st, done, node_id, addr, src, half, len, departure]() mutable {
+    sim->At(finish,
+            [&f, sim, st, done, node_id, addr, src, half, len, departure, drop_resp]() mutable {
       MemoryNode& node = f.node(node_id);
       const FabricConfig& cfg = f.config();
       if (node.failed()) {
@@ -221,12 +250,19 @@ sim::Task<OpResult> Qp::Write(uint64_t addr, std::span<const uint8_t> data) {
         return;
       }
       node.WriteFrom(addr + half, std::span<const uint8_t>(src + half, len - half));
+      if (drop_resp) {
+        st->result.status = Status::kNodeFailed;
+        sim->At(std::max(sim->Now(), departure + cfg.failure_detect_delay),
+                [done]() mutable { done.Add(1); });
+        return;
+      }
       f.stats().bytes_from_nodes += kAckBytes;
-      const sim::Time complete = sim->Now() + cfg.node_op_cost + f.SampleDelay();
+      const sim::Time complete =
+          sim->Now() + cfg.node_op_cost + f.SampleDelay() + f.LinkExtraDelay(node_id, true);
       sim->At(complete, [done]() mutable { done.Add(1); });
     });
   } else {
-    sim->At(finish, [&f, sim, st, done, node_id, addr, src, len, departure]() mutable {
+    sim->At(finish, [&f, sim, st, done, node_id, addr, src, len, departure, drop_resp]() mutable {
       MemoryNode& node = f.node(node_id);
       const FabricConfig& cfg = f.config();
       if (node.failed()) {
@@ -236,8 +272,15 @@ sim::Task<OpResult> Qp::Write(uint64_t addr, std::span<const uint8_t> data) {
         return;
       }
       node.WriteFrom(addr, std::span<const uint8_t>(src, len));
+      if (drop_resp) {
+        st->result.status = Status::kNodeFailed;
+        sim->At(std::max(sim->Now(), departure + cfg.failure_detect_delay),
+                [done]() mutable { done.Add(1); });
+        return;
+      }
       f.stats().bytes_from_nodes += kAckBytes;
-      const sim::Time complete = sim->Now() + cfg.node_op_cost + f.SampleDelay();
+      const sim::Time complete =
+          sim->Now() + cfg.node_op_cost + f.SampleDelay() + f.LinkExtraDelay(node_id, true);
       sim->At(complete, [done]() mutable { done.Add(1); });
     });
   }
@@ -250,7 +293,7 @@ sim::Task<OpResult> Qp::Cas(uint64_t addr, uint64_t expected, uint64_t desired) 
   Fabric& f = *fabric_;
   const FabricConfig& cfg = f.config();
   if (cpu_ != nullptr) {
-    co_await cpu_->Submit(cfg.submit_cost);
+    co_await cpu_->Submit(cfg.submit_cost, cfg.per_verb_cost);
   }
   f.stats().ops_issued++;
   f.stats().casses++;
@@ -258,7 +301,16 @@ sim::Task<OpResult> Qp::Cas(uint64_t addr, uint64_t expected, uint64_t desired) 
 
   sim::Simulator* sim = f.sim();
   const sim::Time departure = sim->Now();
-  sim::Time arrival = departure + f.SampleDelay() + f.node(node_).extra_delay();
+  if (f.DropMessage(node_, false)) {
+    co_await sim->WaitUntil(departure + cfg.failure_detect_delay);
+    OpResult lost;
+    lost.status = Status::kNodeFailed;
+    co_return lost;
+  }
+  // Response lost: the CAS takes effect but the old value never comes back.
+  const bool drop_resp = f.DropMessage(node_, true);
+  sim::Time arrival =
+      departure + f.SampleDelay() + f.LinkExtraDelay(node_, false) + f.node(node_).extra_delay();
   arrival = std::max(arrival, last_arrival_ + 1);
   arrival = f.ReserveNic(node_, arrival, cfg.node_op_cost);
   last_arrival_ = arrival;
@@ -267,7 +319,8 @@ sim::Task<OpResult> Qp::Cas(uint64_t addr, uint64_t expected, uint64_t desired) 
   sim::Counter done(sim);
   const int node_id = node_;
 
-  sim->At(arrival, [&f, sim, st, done, node_id, addr, expected, desired, departure]() mutable {
+  sim->At(arrival,
+          [&f, sim, st, done, node_id, addr, expected, desired, departure, drop_resp]() mutable {
     MemoryNode& node = f.node(node_id);
     const FabricConfig& cfg = f.config();
     if (node.failed()) {
@@ -276,9 +329,17 @@ sim::Task<OpResult> Qp::Cas(uint64_t addr, uint64_t expected, uint64_t desired) 
               [done]() mutable { done.Add(1); });
       return;
     }
-    st->result.old_value = node.CasWord(addr, expected, desired);
+    const uint64_t old = node.CasWord(addr, expected, desired);
+    if (drop_resp) {
+      st->result.status = Status::kNodeFailed;
+      sim->At(std::max(sim->Now(), departure + cfg.failure_detect_delay),
+              [done]() mutable { done.Add(1); });
+      return;
+    }
+    st->result.old_value = old;
     f.stats().bytes_from_nodes += kAckBytes + 8;
-    const sim::Time complete = sim->Now() + cfg.node_op_cost + f.SampleDelay();
+    const sim::Time complete =
+        sim->Now() + cfg.node_op_cost + f.SampleDelay() + f.LinkExtraDelay(node_id, true);
     sim->At(complete, [done]() mutable { done.Add(1); });
   });
 
@@ -292,8 +353,9 @@ sim::Task<OpResult> Qp::WriteThenCas(uint64_t waddr, std::span<const uint8_t> da
   const FabricConfig& cfg = f.config();
   if (cpu_ != nullptr) {
     // One submission covers the whole pipelined series (§7.2: the fixed cost
-    // is per series of RDMA operations to a memory node).
-    co_await cpu_->Submit(cfg.submit_cost);
+    // is per series of RDMA operations to a memory node), but the series
+    // carries two WQEs.
+    co_await cpu_->Submit(cfg.submit_cost, 2 * cfg.per_verb_cost);
   }
   f.stats().ops_issued += 2;
   f.stats().writes++;
@@ -302,8 +364,18 @@ sim::Task<OpResult> Qp::WriteThenCas(uint64_t waddr, std::span<const uint8_t> da
 
   sim::Simulator* sim = f.sim();
   const sim::Time departure = sim->Now();
+  if (f.DropMessage(node_, false)) {
+    // The pipelined series is one network message: neither verb applies.
+    co_await sim->WaitUntil(departure + cfg.failure_detect_delay);
+    OpResult lost;
+    lost.status = Status::kNodeFailed;
+    co_return lost;
+  }
+  // Response lost: BOTH the write and the CAS apply; the ack is missing.
+  const bool drop_resp = f.DropMessage(node_, true);
   const sim::Time xfer = f.TransferTime(data.size());
-  sim::Time start = departure + f.SampleDelay() + f.node(node_).extra_delay();
+  sim::Time start =
+      departure + f.SampleDelay() + f.LinkExtraDelay(node_, false) + f.node(node_).extra_delay();
   start = std::max(start, last_arrival_ + 1);
   start = f.ReserveNic(node_, start, 2 * cfg.node_op_cost);
   const sim::Time write_done = start + xfer;
@@ -338,7 +410,8 @@ sim::Task<OpResult> Qp::WriteThenCas(uint64_t waddr, std::span<const uint8_t> da
 
   // FIFO pipelining: the CAS executes only after the write has fully applied
   // (if the CAS's effect is visible, so is the write).
-  sim->At(cas_at, [&f, sim, st, done, node_id, caddr, expected, desired, departure]() mutable {
+  sim->At(cas_at,
+          [&f, sim, st, done, node_id, caddr, expected, desired, departure, drop_resp]() mutable {
     MemoryNode& node = f.node(node_id);
     const FabricConfig& cfg = f.config();
     if (node.failed()) {
@@ -347,9 +420,17 @@ sim::Task<OpResult> Qp::WriteThenCas(uint64_t waddr, std::span<const uint8_t> da
               [done]() mutable { done.Add(1); });
       return;
     }
-    st->result.old_value = node.CasWord(caddr, expected, desired);
+    const uint64_t old = node.CasWord(caddr, expected, desired);
+    if (drop_resp) {
+      st->result.status = Status::kNodeFailed;
+      sim->At(std::max(sim->Now(), departure + cfg.failure_detect_delay),
+              [done]() mutable { done.Add(1); });
+      return;
+    }
+    st->result.old_value = old;
     f.stats().bytes_from_nodes += kAckBytes + 8;
-    const sim::Time complete = sim->Now() + cfg.node_op_cost + f.SampleDelay();
+    const sim::Time complete =
+        sim->Now() + cfg.node_op_cost + f.SampleDelay() + f.LinkExtraDelay(node_id, true);
     sim->At(complete, [done]() mutable { done.Add(1); });
   });
 

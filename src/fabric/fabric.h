@@ -36,6 +36,7 @@
 #define SWARM_SRC_FABRIC_FABRIC_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <utility>
@@ -61,6 +62,10 @@ struct FabricConfig {
   sim::Time node_op_cost = 50;        // ns per verb at the node
   sim::Time read_extra = 250;         // extra ns for READs (PCIe read round at the node)
   sim::Time submit_cost = 200;        // ns of client CPU per doorbell (verb or batch)
+  // ns of client CPU per WQE on top of the doorbell's fixed cost (real NICs
+  // pay a small per-WQE increment; a pipelined series like WriteThenCas
+  // carries two WQEs). Default 0 preserves the pure-doorbell model.
+  sim::Time per_verb_cost = 0;
   double bandwidth_bytes_per_ns = 12.5;  // 100 Gbps each direction
 
   // Virtual time after which an op against a crashed node completes locally
@@ -74,6 +79,23 @@ struct FabricConfig {
   // If false, CpuBatch is inert and every verb pays its own submit_cost
   // (the sequential-submission model of the seed; kept for A/B benches).
   bool doorbell_batching = true;
+
+  // --- Fault-injection hooks (the chaos engine, src/sim/chaos.h). ---
+  //
+  // Both are consulted once per NETWORK MESSAGE per direction (`response` =
+  // false for the request leg, true for the completion leg) — a pipelined
+  // WriteThenCas series is ONE message, and a READ whose request leg drops
+  // never samples its response leg. A dropped request never reaches the
+  // node; a dropped response applies the verb's effect at the node but
+  // loses the completion — either way the client observes kNodeFailed after
+  // failure_detect_delay, exactly like an op against a crashed node (RC
+  // retry exhaustion). link_delay_fn returns extra one-way delay for the
+  // given leg, sampled at that leg's scheduling instant. Unset hooks cost
+  // nothing on the verb path.
+  using LinkDelayFn = std::function<sim::Time(int node, bool response)>;
+  using DropFn = std::function<bool(int node, bool response)>;
+  LinkDelayFn link_delay_fn;
+  DropFn drop_fn;
 };
 
 struct FabricStats {
@@ -111,11 +133,15 @@ class ClientCpu {
   // non-verb work (RPC marshalling); never joins a doorbell batch.
   sim::Task<void> Consume(sim::Time cost);
 
-  // Verb-submission consumption. Standalone, behaves like Consume(cost) and
-  // counts one doorbell. While a batch is open (see CpuBatch), the first
-  // verb charges `cost` once and every later verb rides the same doorbell
-  // for free; all of them resume when the shared submission completes.
-  sim::Task<void> Submit(sim::Time cost);
+  // Verb-submission consumption. Standalone, behaves like
+  // Consume(cost + wqe_cost) and counts one doorbell. While a batch is open
+  // (see CpuBatch), the first verb charges `cost` once and every later verb
+  // rides the same doorbell for free; all of them resume when the shared
+  // submission completes. `wqe_cost` (FabricConfig::per_verb_cost times the
+  // WQE count of this call) is charged per verb even inside a batch: a
+  // K-verb doorbell consumes cost + K*per_verb_cost of CPU, with verbs
+  // departing as their WQEs finish building.
+  sim::Task<void> Submit(sim::Time cost, sim::Time wqe_cost = 0);
 
   void BeginBatch() { batch_depth_ += enabled_ ? 1 : 0; }
   void EndBatch();
@@ -218,6 +244,18 @@ class Fabric {
   // future ops fail after `failure_detect_delay`; memory contents are lost.
   void Crash(int i) { node(i).Crash(); }
   void Recover(int i) { node(i).Recover(); }
+
+  // Installs/replaces the chaos hooks after construction (the chaos engine
+  // is built around an existing fabric). Pass {} to uninstall.
+  void set_link_delay_fn(FabricConfig::LinkDelayFn fn) { config_.link_delay_fn = std::move(fn); }
+  void set_drop_fn(FabricConfig::DropFn fn) { config_.drop_fn = std::move(fn); }
+
+  sim::Time LinkExtraDelay(int node, bool response) {
+    return config_.link_delay_fn ? config_.link_delay_fn(node, response) : 0;
+  }
+  bool DropMessage(int node, bool response) {
+    return config_.drop_fn && config_.drop_fn(node, response);
+  }
 
   // One direction of network latency including jitter.
   sim::Time SampleDelay();

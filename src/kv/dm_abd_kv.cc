@@ -180,16 +180,49 @@ sim::Task<KvResult> DmAbdKvSession::Insert(uint64_t key, std::span<const uint8_t
 sim::Task<KvResult> DmAbdKvSession::Remove(uint64_t key) {
   KvResult result;
   Located loc = co_await Locate(key, &result);
-  if (!loc.found) {
-    result.status = KvStatus::kNotFound;
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    if (!loc.found) {
+      result.status = KvStatus::kNotFound;
+      co_return result;
+    }
+    AbdObject obj(worker_, loc.layout.get(), loc.obj_cache);
+    SgWriteResult del = co_await obj.Delete();
+    result.rtts += del.rtts;
+    if (del.status == SgStatus::kDeleted) {
+      // Another deleter's tombstone is on this object too. If the index
+      // still maps OUR generation (concurrent removes racing on the live
+      // object) or nothing at all, our replicated tombstone stands and the
+      // delete succeeded; only a NEWER generation means our mapping was
+      // stale (deleted + re-inserted) and the live object remains.
+      cache_->Invalidate(key);
+      auto idx = co_await index_->Lookup(key, worker_->cpu());
+      ++result.rtts;
+      if (idx.has_value() && idx->generation != loc.generation) {
+        loc.found = true;
+        loc.layout = idx->layout;
+        loc.obj_cache = worker_->SlotCacheFor(idx->layout.get());
+        loc.generation = idx->generation;
+        continue;
+      }
+      if (idx.has_value()) {
+        sim::Spawn(UnmapLater(index_, key, idx->generation));
+      }
+      result.status = KvStatus::kOk;
+      co_return result;
+    }
+    cache_->Invalidate(key);
+    if (del.status == SgStatus::kOk) {
+      // Unmap only once the tombstone is replicated: unmapping after a
+      // failed delete would hide the still-live object from cache-miss
+      // clients while cached clients keep operating on it.
+      sim::Spawn(UnmapLater(index_, key, loc.generation));
+      result.status = KvStatus::kOk;
+    } else {
+      result.status = MapStatus(del.status);
+    }
     co_return result;
   }
-  AbdObject obj(worker_, loc.layout.get(), loc.obj_cache);
-  SgWriteResult del = co_await obj.Delete();
-  result.rtts += del.rtts;
-  cache_->Invalidate(key);
-  sim::Spawn(UnmapLater(index_, key, loc.generation));
-  result.status = del.status == SgStatus::kOk ? KvStatus::kOk : MapStatus(del.status);
+  result.status = KvStatus::kNotFound;
   co_return result;
 }
 

@@ -23,10 +23,6 @@ uint64_t PackHeader(uint64_t gen, uint64_t flags) { return (gen << 8) | flags; }
 uint64_t HeaderGen(uint64_t hdr) { return hdr >> 8; }
 bool HeaderHas(uint64_t hdr, uint64_t flag) { return (hdr & flag) != 0; }
 
-sim::Task<void> SmallWrite(fabric::Qp* qp, uint64_t addr, std::vector<uint8_t> data) {
-  (void)co_await qp->Write(addr, data);
-}
-
 }  // namespace
 
 FuseeStore::KeyMeta& FuseeStore::MetaFor(uint64_t key) {
@@ -213,6 +209,12 @@ sim::Task<KvResult> FuseeKvSession::WriteInternal(uint64_t key, std::span<const 
                                                   bool expect_new) {
   KvResult result;
   FuseeStore::KeyMeta& meta = store_->MetaFor(key);
+  // Index word this op's PREVIOUS attempt tried to install (0 on the first
+  // attempt). A failed attempt may still have committed its phase-2 CAS —
+  // and readers may have seen it — so a retry must never re-install over a
+  // foreign commit that interleaved: that would resurrect our
+  // already-observable value on top of it.
+  uint64_t prior_word = 0;
   for (int attempt = 0; attempt < 3; ++attempt) {
     if (!co_await AwaitUsable(meta)) {
       result.status = KvStatus::kUnavailable;
@@ -264,7 +266,11 @@ sim::Task<KvResult> FuseeKvSession::WriteInternal(uint64_t key, std::span<const 
 
     // Phase 2 (1 RT, +1 on conflict): CAS the primary index slot.
     uint64_t expected = 0;
-    if (index::CacheEntry* cached = cache_->Lookup(key)) {
+    if (prior_word != 0) {
+      // Retry of a possibly-applied install: target our own previous word.
+      // The caller's cache is useless here — it predates that install.
+      expected = prior_word;
+    } else if (index::CacheEntry* cached = cache_->Lookup(key)) {
       result.cache_hit = true;
       expected = cached->generation;
     } else if (!expect_new) {
@@ -295,14 +301,33 @@ sim::Task<KvResult> FuseeKvSession::WriteInternal(uint64_t key, std::span<const 
         old_word = expected;
         cas_done = true;
       } else if (!expect_new && c.old_value == 0) {
-        // The key vanished (deleted concurrently): roll back our slot install
-        // attempt is unnecessary (CAS did not apply); fail the update.
-        result.status = KvStatus::kNotFound;
+        // The key vanished (deleted concurrently). On a RETRY our previous
+        // attempt's install may have applied (ack dropped) and been read
+        // before the delete zeroed the slot, so the write happened — it
+        // linearizes just before that delete. Only a first attempt can
+        // truthfully report "key was never there".
+        result.status = prior_word != 0 ? KvStatus::kOk : KvStatus::kNotFound;
+        co_return result;
+      } else if (prior_word != 0 && c.old_value != prior_word &&
+                 GenOf(c.old_value) > GenOf(prior_word)) {
+        // Resurrection guard: a retry that finds a commit NEWER than our
+        // previous attempt's install must not re-install — readers may
+        // already have ordered our (possibly applied) value before that
+        // commit, so installing again would resurrect it on top. Our write
+        // linearizes just before the commit we observed: declare success
+        // without touching the slot. OLDER words are a different story —
+        // after a failover the acting slot holds the backup's stale
+        // pre-state, which we must simply overwrite.
+        result.status = expect_new ? KvStatus::kExists : KvStatus::kOk;
         co_return result;
       } else {
         expected = c.old_value;
       }
     }
+    // From here on this attempt's word MAY be installed (even a failed CAS
+    // can have applied with its ack dropped), so the next attempt must
+    // treat it as potentially visible.
+    prior_word = new_word;
     if (!cas_done) {
       co_await OnNodeFailure(primary);
       continue;
@@ -319,27 +344,36 @@ sim::Task<KvResult> FuseeKvSession::WriteInternal(uint64_t key, std::span<const 
     }
 
     // Phase 3 (1 RT): update the backup index slot and invalidate the old
-    // block (forwarding pointer), in parallel.
+    // block (forwarding pointer), in parallel. The backup index update is
+    // commit-critical: swallowing its failure would strand the backup with a
+    // stale slot and lose this write at the next failover. The forwarding
+    // pointer stays best-effort (a stale cache only pays the index
+    // roundtrip).
     {
-      std::vector<sim::Task<void>> tasks;
+      std::vector<uint8_t> wbuf(8);
+      std::memcpy(wbuf.data(), &new_word_backup, 8);
+      std::vector<uint8_t> fwd(16);
+      const uint64_t fhdr = PackHeader(GenOf(old_word), kBlockForwarded);
+      std::memcpy(fwd.data(), &fhdr, 8);
+      std::memcpy(fwd.data() + 8, &new_word, 8);
+      std::vector<sim::Task<fabric::OpResult>> verbs;
       if (backup_alive) {
-        std::vector<uint8_t> wbuf(8);
-        std::memcpy(wbuf.data(), &new_word_backup, 8);
-        tasks.push_back(
-            SmallWrite(&worker_->qp(meta.backup), meta.index_addr_backup, std::move(wbuf)));
+        verbs.push_back(worker_->qp(meta.backup).Write(meta.index_addr_backup, wbuf));
       }
       if (old_word != 0) {
-        std::vector<uint8_t> fwd(16);
-        const uint64_t fhdr = PackHeader(GenOf(old_word), kBlockForwarded);
-        std::memcpy(fwd.data(), &fhdr, 8);
-        std::memcpy(fwd.data() + 8, &new_word, 8);
-        tasks.push_back(SmallWrite(
-            &qp, static_cast<uint64_t>(OopOf(old_word)) * kOopGranuleBytes, std::move(fwd)));
+        verbs.push_back(qp.Write(static_cast<uint64_t>(OopOf(old_word)) * kOopGranuleBytes, fwd));
       }
-      if (!tasks.empty()) {
-        co_await fabric::PostAll(worker_->cpu(), worker_->sim(), std::move(tasks));
+      if (!verbs.empty()) {
+        std::vector<fabric::OpResult> rs =
+            co_await fabric::PostMany(worker_->cpu(), worker_->sim(), std::move(verbs));
+        ++result.rtts;
+        if (backup_alive && !rs[0].ok()) {
+          co_await OnNodeFailure(meta.backup);
+          continue;  // Re-run the write against the degraded replica set.
+        }
+      } else {
+        ++result.rtts;
       }
-      ++result.rtts;
     }
 
     // Phase 4 (1 RT): commit record (metadata log) on the primary.

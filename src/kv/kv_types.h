@@ -27,6 +27,12 @@ struct KvResult {
   bool fast_path = false;      // Completed in the protocol's fast path.
   bool used_inplace = false;   // Gets: value served from in-place data.
   bool cache_hit = false;      // Location served from the client cache.
+  // kNotFound only: the op's write may nonetheless have taken effect — a
+  // Safe-Guess update that discovered a tombstone AFTER installing its
+  // guessed word, which a concurrent reader may still commit. Testing
+  // harnesses must treat such an op as possibly-applied, not as a definite
+  // observation of absence.
+  bool ambiguous = false;
 
   bool ok() const { return status == KvStatus::kOk || status == KvStatus::kExists; }
 };

@@ -136,15 +136,22 @@ sim::Task<KvResult> SwarmKvSession::Get(uint64_t key) {
 sim::Task<KvResult> SwarmKvSession::Update(uint64_t key, std::span<const uint8_t> value) {
   KvResult result;
   Located loc = co_await Locate(key, /*seed_metadata=*/true, &result);
+  // Set once a Write bounced off a tombstone: the bounced attempt INSTALLED
+  // its guessed word before observing the tombstone, and a reader that had
+  // already fetched metadata may commit it — so a kNotFound from here on is
+  // "possibly applied", not a definite observation of absence.
+  bool bounced = false;
   for (int attempt = 0; attempt < 3; ++attempt) {
     if (!loc.found) {
       result.status = KvStatus::kNotFound;  // §5.3.3: not indexed → fail.
+      result.ambiguous = bounced;
       co_return result;
     }
     SafeGuessObject obj(worker_, loc.layout.get(), loc.obj_cache);
     SgWriteResult r = co_await obj.Write(value);
     result.rtts += r.rtts;
     if (r.status == SgStatus::kDeleted) {
+      bounced = true;
       loc = co_await HandleDeleted(key, loc.generation, &result);
       continue;
     }
@@ -153,6 +160,7 @@ sim::Task<KvResult> SwarmKvSession::Update(uint64_t key, std::span<const uint8_t
     co_return result;
   }
   result.status = KvStatus::kNotFound;
+  result.ambiguous = bounced;
   co_return result;
 }
 
@@ -219,23 +227,52 @@ sim::Task<KvResult> SwarmKvSession::Insert(uint64_t key, std::span<const uint8_t
 sim::Task<KvResult> SwarmKvSession::Remove(uint64_t key) {
   KvResult result;
   Located loc = co_await Locate(key, /*seed_metadata=*/false, &result);
-  if (!loc.found) {
-    result.status = KvStatus::kNotFound;
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    if (!loc.found) {
+      result.status = KvStatus::kNotFound;
+      co_return result;
+    }
+    SafeGuessObject obj(worker_, loc.layout.get(), loc.obj_cache);
+    SgWriteResult del = co_await obj.Delete();
+    result.rtts += del.rtts;
+    if (del.status == SgStatus::kDeleted) {
+      // Another deleter's tombstone is on this object too. Consult the
+      // index: if it still maps OUR generation (concurrent removes racing on
+      // the live object) or nothing at all, our replicated tombstone stands
+      // and the delete succeeded. Only a NEWER generation means our mapping
+      // was stale (deleted + re-inserted since we cached it, §5.3.4) and the
+      // live object still needs deleting.
+      cache_->Invalidate(key);
+      auto idx = co_await index_->Lookup(key, worker_->cpu());
+      ++result.rtts;
+      if (idx.has_value() && idx->generation != loc.generation) {
+        loc.found = true;
+        loc.layout = idx->layout;
+        loc.obj_cache = worker_->SlotCacheFor(idx->layout.get());
+        loc.generation = idx->generation;
+        continue;
+      }
+      if (idx.has_value()) {
+        sim::Spawn(UnmapLater(index_, key, idx->generation));
+      }
+      result.status = KvStatus::kOk;
+      co_return result;
+    }
+    result.fast_path = del.fast_path && result.cache_hit && attempt == 0;
+    cache_->Invalidate(key);
+    if (del.status == SgStatus::kOk) {
+      // §5.3.2: the delete is over once the tombstone is replicated;
+      // unmapping the index entry happens in the background.
+      sim::Spawn(UnmapLater(index_, key, loc.generation));
+      result.status = KvStatus::kOk;
+    } else {
+      result.status = MapStatus(del.status);
+    }
     co_return result;
   }
-  SafeGuessObject obj(worker_, loc.layout.get(), loc.obj_cache);
-  SgWriteResult del = co_await obj.Delete();
-  result.rtts += del.rtts;
-  result.fast_path = del.fast_path && result.cache_hit;
-  cache_->Invalidate(key);
-  if (del.status == SgStatus::kOk) {
-    // §5.3.2: the delete is over once the tombstone is replicated; unmapping
-    // the index entry happens in the background.
-    sim::Spawn(UnmapLater(index_, key, loc.generation));
-    result.status = KvStatus::kOk;
-  } else {
-    result.status = MapStatus(del.status);
-  }
+  // Every attempt found the mapped object already tombstoned: the key kept
+  // being deleted under us, so "absent" was certainly observable.
+  result.status = KvStatus::kNotFound;
   co_return result;
 }
 

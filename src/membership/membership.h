@@ -15,9 +15,11 @@
 #ifndef SWARM_SRC_MEMBERSHIP_MEMBERSHIP_H_
 #define SWARM_SRC_MEMBERSHIP_MEMBERSHIP_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "src/fabric/fabric.h"
@@ -42,24 +44,32 @@ class MembershipService {
   }
 
   // Crashes `node` on the fabric and notifies subscribers after the
-  // detection delay.
-  void CrashNode(int node) {
+  // detection delay. The overload with an explicit delay scripts a slow (or
+  // fast) detection sweep for this one event — the chaos engine uses it to
+  // model uKharon under load.
+  void CrashNode(int node) { CrashNode(node, detection_delay_); }
+  void CrashNode(int node, sim::Time detection_delay) {
     fabric_->Crash(node);
-    sim_->After(detection_delay_, [this, node] {
+    sim_->After(detection_delay, [this, node] {
       for (auto& s : subscribers_) {
         (*s)[static_cast<size_t>(node)] = true;
       }
     });
   }
 
-  void RecoverNode(int node) {
+  void RecoverNode(int node) { RecoverNode(node, detection_delay_); }
+  void RecoverNode(int node, sim::Time detection_delay) {
     fabric_->Recover(node);
-    sim_->After(detection_delay_, [this, node] {
+    sim_->After(detection_delay, [this, node] {
       for (auto& s : subscribers_) {
         (*s)[static_cast<size_t>(node)] = false;
       }
     });
   }
+
+  // Scripts the baseline detection delay for subsequent crash/recover
+  // notifications (a chaos "detection sweep" slows or speeds the service).
+  void set_detection_delay(sim::Time d) { detection_delay_ = d; }
 
   // --- Client leases (for the memory recycler, §4.5/§5.4) ---
 
@@ -68,21 +78,60 @@ class MembershipService {
   }
 
   void RenewLease(uint32_t client_id) {
+    if (fenced_.count(client_id) != 0) {
+      return;  // Disconnected: renewals can no longer reach the service.
+    }
     auto it = leases_.find(client_id);
     if (it != leases_.end()) {
       it->second = sim_->Now() + lease_duration_;
     }
   }
 
-  // A client whose lease expired is suspected; the membership service would
-  // instruct memory nodes to disconnect it so it can no longer access freed
-  // memory (§5.4).
+  // A client whose lease expired (or who was fenced) is suspected; the
+  // membership service would instruct memory nodes to disconnect it so it
+  // can no longer access freed memory (§5.4).
   bool IsSuspected(uint32_t client_id) const {
+    if (fenced_.count(client_id) != 0) {
+      return true;
+    }
     auto it = leases_.find(client_id);
     return it == leases_.end() || it->second < sim_->Now();
   }
 
+  // Permanently disconnects a suspected client (§5.4: memory nodes reject
+  // its accesses). Fencing is STICKY: once someone acted on the suspicion —
+  // e.g. the recycler reused memory the client could still reference — a
+  // late lease renewal must not resurrect it.
+  void Fence(uint32_t client_id) { fenced_.insert(client_id); }
+  bool IsFenced(uint32_t client_id) const { return fenced_.count(client_id) != 0; }
+
+  // Scripted lease expiry: immediately suspects `client_id` as if its lease
+  // had run out (chaos's "client appears dead to the membership service").
+  // A later RenewLease resurrects it — unless it was fenced meanwhile —
+  // modeling a network-partitioned client coming back.
+  void ExpireLease(uint32_t client_id) {
+    auto it = leases_.find(client_id);
+    if (it != leases_.end()) {
+      it->second = sim_->Now() - 1;
+    }
+  }
+
+  bool HasRegisteredClients() const { return !leases_.empty(); }
+
+  // Registered lease holders, sorted by id — a deterministic order for the
+  // chaos engine's target picks (unordered_map iteration is not).
+  std::vector<uint32_t> RegisteredClients() const {
+    std::vector<uint32_t> ids;
+    ids.reserve(leases_.size());
+    for (const auto& [id, expiry] : leases_) {
+      ids.push_back(id);
+    }
+    std::sort(ids.begin(), ids.end());
+    return ids;
+  }
+
   sim::Time detection_delay() const { return detection_delay_; }
+  sim::Time lease_duration() const { return lease_duration_; }
 
  private:
   sim::Simulator* sim_;
@@ -91,6 +140,7 @@ class MembershipService {
   sim::Time lease_duration_;
   std::vector<std::shared_ptr<std::vector<bool>>> subscribers_;
   std::unordered_map<uint32_t, sim::Time> leases_;
+  std::unordered_set<uint32_t> fenced_;
 };
 
 }  // namespace swarm::membership

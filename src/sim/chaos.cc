@@ -1,0 +1,257 @@
+#include "src/sim/chaos.h"
+
+#include <algorithm>
+#include <array>
+
+namespace swarm::chaos {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCrash:
+      return "crash";
+    case FaultKind::kRestart:
+      return "restart";
+    case FaultKind::kDelaySpike:
+      return "spike";
+    case FaultKind::kDelayClear:
+      return "spike_clear";
+    case FaultKind::kDropBurst:
+      return "drop";
+    case FaultKind::kDropStop:
+      return "drop_stop";
+    case FaultKind::kLeaseExpiry:
+      return "lease_expiry";
+    case FaultKind::kDetectionSweep:
+      return "detection_sweep";
+    case FaultKind::kEpochChurn:
+      return "epoch_churn";
+  }
+  return "?";
+}
+
+ChaosEngine::ChaosEngine(fabric::Fabric* fabric, membership::MembershipService* membership,
+                         ChaosConfig config)
+    : sim_(fabric->sim()), fabric_(fabric), membership_(membership), config_(config) {
+  const size_t n = static_cast<size_t>(fabric_->num_nodes());
+  spike_delay_.assign(n, 0);
+  spike_gen_.assign(n, 0);
+  drop_p_.assign(n, 0.0);
+  drop_gen_.assign(n, 0);
+  crashed_.assign(n, false);
+  fabric_->set_link_delay_fn(
+      [this](int node, bool /*response*/) { return spike_delay_[static_cast<size_t>(node)]; });
+  fabric_->set_drop_fn([this](int node, bool /*response*/) {
+    // Consumes Rng only while a burst is active, so installing the engine
+    // does not perturb fault-free runs.
+    const double p = drop_p_[static_cast<size_t>(node)];
+    return p > 0.0 && sim_->rng().Chance(p);
+  });
+}
+
+ChaosEngine::~ChaosEngine() {
+  fabric_->set_link_delay_fn({});
+  fabric_->set_drop_fn({});
+}
+
+void ChaosEngine::Start() { sim::Spawn(RunLoop()); }
+
+sim::Task<void> ChaosEngine::RunLoop() {
+  while (sim_->Now() < config_.horizon) {
+    const sim::Time gap = 1 + static_cast<sim::Time>(
+                                  sim_->rng().Below(static_cast<uint64_t>(2 * config_.mean_gap)));
+    co_await sim_->Delay(gap);
+    if (sim_->Now() >= config_.horizon) {
+      break;
+    }
+    InjectOne();
+  }
+}
+
+void ChaosEngine::InjectOne() {
+  struct Class {
+    double weight;
+    void (ChaosEngine::*inject)();
+  };
+  const int crash_limit = config_.crashable_nodes > 0
+                              ? std::min(config_.crashable_nodes, fabric_->num_nodes())
+                              : fabric_->num_nodes();
+  bool crash_candidate = false;
+  for (int i = 0; i < crash_limit; ++i) {
+    if (!crashed_[static_cast<size_t>(i)]) {
+      crash_candidate = true;
+      break;
+    }
+  }
+  const bool lease_ok = membership_ != nullptr && membership_->HasRegisteredClients();
+  std::array<Class, 6> classes{{
+      {crash_candidate && crashed_count_ < config_.max_crashed ? config_.crash_weight : 0.0,
+       &ChaosEngine::InjectCrash},
+      {config_.delay_weight, &ChaosEngine::InjectDelaySpike},
+      {config_.drop_weight, &ChaosEngine::InjectDropBurst},
+      {lease_ok ? config_.lease_weight : 0.0, &ChaosEngine::InjectLeaseExpiry},
+      {membership_ != nullptr ? config_.detection_weight : 0.0,
+       &ChaosEngine::InjectDetectionSweep},
+      {churn_fn_ ? config_.churn_weight : 0.0, &ChaosEngine::InjectEpochChurn},
+  }};
+  double total = 0.0;
+  for (const Class& c : classes) {
+    total += c.weight;
+  }
+  if (total <= 0.0) {
+    return;
+  }
+  double pick = sim_->rng().Double() * total;
+  const Class* chosen = nullptr;
+  for (const Class& c : classes) {
+    if (c.weight <= 0.0) {
+      continue;
+    }
+    chosen = &c;  // FP residue fallback: the last positive-weight class.
+    pick -= c.weight;
+    if (pick <= 0.0) {
+      break;
+    }
+  }
+  (this->*chosen->inject)();
+}
+
+void ChaosEngine::InjectCrash() {
+  const int limit = config_.crashable_nodes > 0
+                        ? std::min(config_.crashable_nodes, fabric_->num_nodes())
+                        : fabric_->num_nodes();
+  std::vector<int> candidates;
+  for (int i = 0; i < limit; ++i) {
+    if (!crashed_[static_cast<size_t>(i)]) {
+      candidates.push_back(i);
+    }
+  }
+  if (candidates.empty()) {
+    return;
+  }
+  const int node = candidates[sim_->rng().Below(candidates.size())];
+  const sim::Time detection =
+      config_.min_detection +
+      static_cast<sim::Time>(sim_->rng().Below(
+          static_cast<uint64_t>(config_.max_detection - config_.min_detection) + 1));
+  crashed_[static_cast<size_t>(node)] = true;
+  ++crashed_count_;
+  if (membership_ != nullptr) {
+    membership_->CrashNode(node, detection);
+  } else {
+    fabric_->Crash(node);
+  }
+  Record(FaultKind::kCrash, node, static_cast<uint64_t>(detection));
+  if (!config_.restart) {
+    return;  // Crash-stop: the node never comes back within this scenario.
+  }
+  const sim::Time down =
+      config_.min_down + static_cast<sim::Time>(sim_->rng().Below(
+                             static_cast<uint64_t>(config_.max_down - config_.min_down) + 1));
+  sim_->After(down, [this, node] {
+    crashed_[static_cast<size_t>(node)] = false;
+    --crashed_count_;
+    if (membership_ != nullptr) {
+      membership_->RecoverNode(node);
+    } else {
+      fabric_->Recover(node);
+    }
+    Record(FaultKind::kRestart, node, 0);
+  });
+}
+
+void ChaosEngine::InjectDelaySpike() {
+  const int node = static_cast<int>(sim_->rng().Below(static_cast<uint64_t>(fabric_->num_nodes())));
+  const sim::Time spike =
+      1 + static_cast<sim::Time>(sim_->rng().Below(static_cast<uint64_t>(config_.max_spike)));
+  const sim::Time duration = 1 + static_cast<sim::Time>(sim_->rng().Below(
+                                     static_cast<uint64_t>(config_.max_spike_duration)));
+  spike_delay_[static_cast<size_t>(node)] = spike;
+  const uint64_t gen = ++spike_gen_[static_cast<size_t>(node)];
+  Record(FaultKind::kDelaySpike, node, static_cast<uint64_t>(spike));
+  sim_->After(duration, [this, node, gen] {
+    // A newer spike on the same link supersedes this clear.
+    if (spike_gen_[static_cast<size_t>(node)] == gen) {
+      spike_delay_[static_cast<size_t>(node)] = 0;
+      Record(FaultKind::kDelayClear, node, 0);
+    }
+  });
+}
+
+void ChaosEngine::InjectDropBurst() {
+  const int node = static_cast<int>(sim_->rng().Below(static_cast<uint64_t>(fabric_->num_nodes())));
+  const double p = std::max(0.02, config_.max_drop_p * sim_->rng().Double());
+  const sim::Time duration = 1 + static_cast<sim::Time>(sim_->rng().Below(
+                                     static_cast<uint64_t>(config_.max_drop_duration)));
+  drop_p_[static_cast<size_t>(node)] = p;
+  const uint64_t gen = ++drop_gen_[static_cast<size_t>(node)];
+  Record(FaultKind::kDropBurst, node, static_cast<uint64_t>(p * 1000.0));
+  sim_->After(duration, [this, node, gen] {
+    if (drop_gen_[static_cast<size_t>(node)] == gen) {
+      drop_p_[static_cast<size_t>(node)] = 0.0;
+      Record(FaultKind::kDropStop, node, 0);
+    }
+  });
+}
+
+void ChaosEngine::InjectLeaseExpiry() {
+  const std::vector<uint32_t> ids = membership_->RegisteredClients();
+  const uint32_t id = ids[sim_->rng().Below(ids.size())];
+  membership_->ExpireLease(id);
+  Record(FaultKind::kLeaseExpiry, -1, id);
+}
+
+void ChaosEngine::InjectDetectionSweep() {
+  const sim::Time d =
+      config_.min_detection +
+      static_cast<sim::Time>(sim_->rng().Below(
+          static_cast<uint64_t>(config_.max_detection - config_.min_detection) + 1));
+  membership_->set_detection_delay(d);
+  Record(FaultKind::kDetectionSweep, -1, static_cast<uint64_t>(d));
+}
+
+void ChaosEngine::InjectEpochChurn() {
+  Record(FaultKind::kEpochChurn, -1, 0);
+  sim::Spawn(churn_fn_());
+}
+
+uint64_t ChaosEngine::TraceHash() const {
+  // FNV-1a over every event's fields, in trace order.
+  uint64_t h = 0xcbf29ce484222325ull;
+  auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 0x100000001b3ull;
+    }
+  };
+  for (const FaultEvent& e : trace_) {
+    mix(static_cast<uint64_t>(e.at));
+    mix(static_cast<uint64_t>(e.kind));
+    mix(static_cast<uint64_t>(static_cast<int64_t>(e.node)));
+    mix(e.param);
+  }
+  return h;
+}
+
+std::string ChaosEngine::TraceSummary() const {
+  std::array<int, 16> counts{};
+  for (const FaultEvent& e : trace_) {
+    ++counts[static_cast<size_t>(e.kind) % counts.size()];
+  }
+  std::string out;
+  for (uint8_t k = static_cast<uint8_t>(FaultKind::kCrash);
+       k <= static_cast<uint8_t>(FaultKind::kEpochChurn); ++k) {
+    const int c = counts[k];
+    if (c == 0) {
+      continue;
+    }
+    if (!out.empty()) {
+      out += ' ';
+    }
+    out += FaultKindName(static_cast<FaultKind>(k));
+    out += '=';
+    out += std::to_string(c);
+  }
+  return out.empty() ? "none" : out;
+}
+
+}  // namespace swarm::chaos

@@ -1,0 +1,166 @@
+// Deterministic chaos engine: seed-replayable fault injection in the style
+// of FoundationDB-like simulation testing.
+//
+// The engine runs as one more actor inside the discrete-event simulator. At
+// randomized (but seed-determined) instants it injects faults against the
+// fabric and membership service while an application workload runs:
+//
+//   * node crashes (and optional restarts) with randomized membership
+//     detection delays — the §7.7 failover scenario, machine-generated,
+//   * per-link delay spikes and message-drop bursts through the fabric's
+//     link_delay_fn / drop_fn hooks (a dropped response APPLIES the verb's
+//     effect at the node, the possibly-applied case quorum protocols must
+//     survive),
+//   * scripted membership events: lease expiries and detection-delay sweeps,
+//   * recycler epoch churn through a caller-provided hook.
+//
+// Everything the engine does is drawn from the simulator's single Rng, so a
+// scenario is fully determined by (ScenarioSpec, seed): replaying a failing
+// seed reproduces the exact event trace, which TraceHash() fingerprints.
+// Every injected fault is appended to an in-order trace for failure
+// diagnosis and for the replay-identity tests.
+
+#ifndef SWARM_SRC_SIM_CHAOS_H_
+#define SWARM_SRC_SIM_CHAOS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/fabric/fabric.h"
+#include "src/membership/membership.h"
+#include "src/sim/simulator.h"
+#include "src/sim/task.h"
+#include "src/sim/time.h"
+
+namespace swarm::chaos {
+
+enum class FaultKind : uint8_t {
+  kCrash = 1,       // node crashed (param = detection delay used)
+  kRestart,         // node restarted (recovered memory comes back EMPTY)
+  kDelaySpike,      // per-link delay spike began (param = extra ns)
+  kDelayClear,      // spike ended
+  kDropBurst,       // message-drop burst began (param = probability, permille)
+  kDropStop,        // burst ended
+  kLeaseExpiry,     // a client's membership lease was force-expired (param = id)
+  kDetectionSweep,  // membership detection delay re-scripted (param = new ns)
+  kEpochChurn,      // recycler epoch churn hook fired
+};
+
+const char* FaultKindName(FaultKind kind);
+
+struct FaultEvent {
+  sim::Time at = 0;
+  FaultKind kind{};
+  int32_t node = -1;  // Target memory node, -1 when not node-scoped.
+  uint64_t param = 0;
+};
+
+struct ChaosConfig {
+  // Injection stops after `horizon` virtual ns. Already-scheduled clears and
+  // restarts still fire, so the workload's tail runs on a clean fabric.
+  sim::Time horizon = 2 * sim::kMillisecond;
+  // Mean virtual gap between injected faults (gaps uniform in [1, 2*mean]).
+  sim::Time mean_gap = 30 * sim::kMicrosecond;
+
+  // Fault-mix weights; 0 disables a class. Classes whose dependency is
+  // absent (no membership service / clients, no churn hook) self-disable.
+  double crash_weight = 1.0;
+  double delay_weight = 1.0;
+  double drop_weight = 1.0;
+  double lease_weight = 0.0;
+  double detection_weight = 0.5;
+  double churn_weight = 0.0;
+
+  // Crash lifecycle. A restarted node comes back EMPTY (disaggregated DRAM
+  // loses its contents), which no quorum protocol without state transfer can
+  // survive — the linearizability suites therefore run crash-stop
+  // (restart = false), while determinism/replay suites exercise restarts.
+  int max_crashed = 1;      // Simultaneously crashed nodes.
+  int crashable_nodes = 0;  // Only nodes [0, n) may crash; 0 = all nodes.
+  bool restart = false;
+  sim::Time min_down = 200 * sim::kMicrosecond;
+  sim::Time max_down = 800 * sim::kMicrosecond;
+  // Randomized per-crash membership detection delay (slow-detection sweeps).
+  sim::Time min_detection = 2 * sim::kMicrosecond;
+  sim::Time max_detection = 120 * sim::kMicrosecond;
+
+  // Per-link delay spikes.
+  sim::Time max_spike = 25 * sim::kMicrosecond;
+  sim::Time max_spike_duration = 120 * sim::kMicrosecond;
+
+  // Message-drop bursts.
+  double max_drop_p = 0.4;
+  sim::Time max_drop_duration = 60 * sim::kMicrosecond;
+};
+
+// The engine installs itself into the fabric's chaos hooks on construction
+// and uninstalls on destruction. It must outlive the simulation run (its
+// scheduled clear/restart callbacks reference it).
+class ChaosEngine {
+ public:
+  // `membership` may be null: crashes then hit the fabric directly and the
+  // lease/detection classes self-disable.
+  ChaosEngine(fabric::Fabric* fabric, membership::MembershipService* membership,
+              ChaosConfig config);
+  ~ChaosEngine();
+
+  ChaosEngine(const ChaosEngine&) = delete;
+  ChaosEngine& operator=(const ChaosEngine&) = delete;
+
+  // Binds the kEpochChurn fault class (typically Recycler::HeartbeatAll
+  // followed by RunRound). Enable with ChaosConfig::churn_weight > 0.
+  void set_epoch_churn(std::function<sim::Task<void>()> fn) { churn_fn_ = std::move(fn); }
+
+  // Spawns the injection driver. Call once, before (or after) starting the
+  // workload actors but before Simulator::Run.
+  void Start();
+
+  const ChaosConfig& config() const { return config_; }
+  const std::vector<FaultEvent>& trace() const { return trace_; }
+  int crashed_count() const { return crashed_count_; }
+
+  // Order-and-content fingerprint of the injected trace: two runs of the
+  // same (spec, seed) must produce equal hashes — the replay guarantee.
+  uint64_t TraceHash() const;
+
+  // Human-readable per-kind counts, e.g. "crash=1 spike=4 drop=2" (for
+  // failure messages next to the seed).
+  std::string TraceSummary() const;
+
+ private:
+  sim::Task<void> RunLoop();
+  void InjectOne();
+
+  void InjectCrash();
+  void InjectDelaySpike();
+  void InjectDropBurst();
+  void InjectLeaseExpiry();
+  void InjectDetectionSweep();
+  void InjectEpochChurn();
+
+  void Record(FaultKind kind, int node, uint64_t param) {
+    trace_.push_back(FaultEvent{sim_->Now(), kind, node, param});
+  }
+
+  sim::Simulator* sim_;
+  fabric::Fabric* fabric_;
+  membership::MembershipService* membership_;
+  ChaosConfig config_;
+  std::function<sim::Task<void>()> churn_fn_;
+
+  // Per-node live fault state consulted by the fabric hooks.
+  std::vector<sim::Time> spike_delay_;
+  std::vector<uint64_t> spike_gen_;
+  std::vector<double> drop_p_;
+  std::vector<uint64_t> drop_gen_;
+  std::vector<bool> crashed_;
+  int crashed_count_ = 0;
+
+  std::vector<FaultEvent> trace_;
+};
+
+}  // namespace swarm::chaos
+
+#endif  // SWARM_SRC_SIM_CHAOS_H_

@@ -70,6 +70,9 @@ sim::Task<void> Phase1One(Worker* worker, const ObjectLayout* layout, int r,
 struct CasState {
   sim::Counter ok;
   int max_retries = 0;
+  // ts-max over the register words the CAS loops found already installed
+  // (never our own `desired`): lets Delete detect a preceding tombstone.
+  Meta seen_max;
 
   explicit CasState(sim::Simulator* s) : ok(s) {}
 };
@@ -91,6 +94,9 @@ sim::Task<void> CasMaxOne(Worker* worker, const ObjectLayout* layout, int r, Met
       co_return;
     }
     const Meta seen(res.old_value);
+    // Only words the node itself returned count as observed — the caller's
+    // cached `expected` may be stale and must never feed detection logic.
+    ph->seen_max = TsMax(ph->seen_max, seen);
     if (seen == prev) {
       installed = true;
       if (!prev.empty() && !prev.deleted()) {
@@ -144,6 +150,35 @@ sim::Task<void> RepairOne(Worker* worker, const ObjectLayout* layout, int r, Met
     pool.Free(desired.oop());
   }
   ph->ok.Add(1);
+}
+
+// Ensures the tombstone `m` — observed in `ph` at possibly only a minority
+// (a deleter that died mid-delete) — reaches a majority before the caller
+// acts on the deletion. Without this, quorums that miss the tombstone keep
+// resurrecting the overwritten (or a concurrently written) value. Returns
+// false when no majority acked; `rtts` is bumped iff a repair wave ran.
+sim::Task<bool> FenceTombstone(Worker* worker, const ObjectLayout* layout,
+                               const std::array<int, kMaxReplicas>& order,
+                               std::shared_ptr<Phase1State> ph, Meta m, int* rtts) {
+  const int maj = layout->majority();
+  int holders = 0;
+  for (int r = 0; r < layout->num_replicas; ++r) {
+    const auto idx = static_cast<size_t>(r);
+    if (ph->oks[idx] && ph->words[idx].ts_order_key() == m.ts_order_key()) {
+      ++holders;
+    }
+  }
+  if (holders >= maj) {
+    co_return true;
+  }
+  const Meta repair = Meta::Pack(m.counter(), m.tid(), m.verified(), 0);
+  auto cs = std::make_shared<CasState>(worker->sim());
+  ++*rtts;
+  co_return co_await worker->BatchedQuorum(
+      cs->ok, maj, worker->config().quorum_timeout, 0, layout->num_replicas, [&](int i) {
+        const int r = order[static_cast<size_t>(i)];
+        return CasMaxOne(worker, layout, r, ph->words[static_cast<size_t>(r)], repair, cs);
+      });
 }
 
 int LivePreferred(Worker* worker, const ObjectLayout* layout, std::array<int, kMaxReplicas>& order) {
@@ -200,7 +235,10 @@ sim::Task<SgWriteResult> AbdObject::Write(std::span<const uint8_t> value) {
     }
   }
   if (m.deleted()) {
-    result.status = SgStatus::kDeleted;
+    // Same repair as the read path: the tombstone must reach a majority
+    // before the caller unmaps/fails, or disjoint quorums resurrect values.
+    const bool fenced = co_await FenceTombstone(worker_, layout_, order, ph, m, &result.rtts);
+    result.status = fenced ? SgStatus::kDeleted : SgStatus::kUnavailable;
     co_return result;
   }
 
@@ -235,14 +273,30 @@ sim::Task<SgWriteResult> AbdObject::Delete() {
   LivePreferred(worker_, layout_, order);
   const int maj = layout_->majority();
   result.rtts = 1;
+  // Delete needs every replica's actual pre-delete word (fed to seen_max
+  // from CAS results only) to tell "we deleted the live object" from "this
+  // object was already dead". A non-tombstone cache seed is safe: the
+  // tombstone compares above it, so the loop always issues at least one CAS
+  // and observes the node's word. A CACHED TOMBSTONE would short-circuit
+  // the loop with no observation, so fall back to the empty seed there.
   const bool got = co_await worker_->BatchedQuorum(
       cs->ok, maj, worker_->config().quorum_timeout, 0, layout_->num_replicas, [&](int i) {
-        return CasMaxOne(worker_, layout_, order[static_cast<size_t>(i)],
-                         cache_->slot[static_cast<size_t>(order[static_cast<size_t>(i)])],
-                         tombstone, cs);
+        const auto idx = static_cast<size_t>(order[static_cast<size_t>(i)]);
+        const Meta seed = cache_->slot[idx].deleted() ? Meta() : cache_->slot[idx];
+        return CasMaxOne(worker_, layout_, order[static_cast<size_t>(i)], seed, tombstone, cs);
       });
   result.rtts += cs->max_retries;
-  result.status = got ? SgStatus::kOk : SgStatus::kUnavailable;
+  if (got && cs->seen_max.deleted() &&
+      cs->seen_max.same_write_key() != tombstone.same_write_key()) {
+    // Another deleter's tombstone was already installed: this object was
+    // dead before our op, so the caller's mapping may be stale (deleted and
+    // re-inserted) and must be re-validated against the index. Quorum
+    // intersection guarantees a fully deleted object shows the foreign
+    // tombstone to at least one of our acked CASes.
+    result.status = SgStatus::kDeleted;
+  } else {
+    result.status = got ? SgStatus::kOk : SgStatus::kUnavailable;
+  }
   co_return result;
 }
 
@@ -309,6 +363,11 @@ sim::Task<SgReadResult> AbdObject::Read() {
       co_return result;
     }
     if (m.deleted()) {
+      // ABD read-repair applies to tombstones too (see FenceTombstone):
+      // report "deleted" only once a majority carries it.
+      if (!co_await FenceTombstone(worker_, layout_, order, ph, m, &result.rtts)) {
+        co_return result;  // Cannot stabilize the deletion: unavailable.
+      }
       result.status = SgStatus::kDeleted;
       co_return result;
     }

@@ -29,6 +29,7 @@
 #ifndef SWARM_SRC_SWARM_RECYCLER_H_
 #define SWARM_SRC_SWARM_RECYCLER_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -99,29 +100,60 @@ class Recycler {
   sim::Task<void> RunRound() {
     const uint64_t target = ++epoch_;
     sim::Counter acks(sim_);
-    int expected = 0;
+    std::vector<RecyclerParticipant*> asked;
     for (RecyclerParticipant* p : participants_) {
       if (membership_->IsSuspected(p->client_id())) {
-        continue;  // Already fenced: memory nodes reject its accesses.
-      }
-      ++expected;
-      sim::Spawn(AskOne(p, target, acks));
-    }
-    // Wait for all live participants, but no longer than the lease: a client
-    // that cannot answer within its lease is suspected and fenced.
-    const bool all = co_await acks.WaitFor(expected, lease_grace_);
-    if (!all) {
-      for (RecyclerParticipant* p : participants_) {
-        if (p->published_epoch() < target && membership_->IsSuspected(p->client_id())) {
-          // The straggler's lease expired while we waited: membership now
-          // instructs memory nodes to disconnect it, so it can never touch
-          // recycled memory again and the round may complete without it.
+        // Suspected at round start: fence it STICKILY before this round can
+        // move the horizon past it. Merely skipping would let a late lease
+        // renewal resurrect a client that may still hold pre-epoch reads
+        // into memory we are about to declare recyclable.
+        if (!membership_->IsFenced(p->client_id())) {
+          membership_->Fence(p->client_id());
           ++fenced_;
         }
+        continue;
+      }
+      asked.push_back(p);
+      sim::Spawn(AskOne(p, target, acks));
+    }
+    // Wait for all live participants, but no longer than the lease grace: a
+    // client that cannot answer within it is expected to lose its lease.
+    (void)co_await acks.WaitFor(static_cast<int>(asked.size()), lease_grace_);
+    // SAFETY: the horizon may only move past a participant that either
+    // acknowledged `target` or is fenced. A client that crashed mid-epoch
+    // while holding a still-fresh lease may have reads from before the epoch
+    // bump in flight, and memory nodes have not disconnected it yet — so
+    // keep waiting for its lease to run out instead of recycling under it.
+    for (;;) {
+      bool blocked = false;
+      for (RecyclerParticipant* p : asked) {
+        if (p->published_epoch() < target && !membership_->IsSuspected(p->client_id())) {
+          blocked = true;
+          break;
+        }
+      }
+      if (!blocked) {
+        break;
+      }
+      co_await sim_->Delay(suspect_poll_);
+    }
+    for (RecyclerParticipant* p : asked) {
+      if (p->published_epoch() < target && membership_->IsSuspected(p->client_id()) &&
+          !membership_->IsFenced(p->client_id())) {
+        // The straggler's lease expired while we waited. Fence it STICKILY
+        // before moving the horizon: once buffers it might reference are
+        // recyclable, a late lease renewal must not resurrect it — the
+        // membership service has already told memory nodes to disconnect it.
+        // (The IsFenced guard keeps the count exact when churn overlaps
+        // rounds.)
+        membership_->Fence(p->client_id());
+        ++fenced_;
       }
     }
     // Everyone still in the system has drained reads older than `target`.
-    safe_before_ = target;
+    // max(): rounds may overlap (chaos fires them concurrently) and a
+    // slow round must never regress the published horizon.
+    safe_before_ = std::max(safe_before_, target);
   }
 
   // Keeps live participants' leases fresh (clients heartbeat; crashed ones
@@ -144,6 +176,9 @@ class Recycler {
   membership::MembershipService* membership_;
   sim::Time rpc_delay_;
   sim::Time lease_grace_ = 2 * sim::kMillisecond;
+  // How often a round re-checks whether a non-acking straggler has finally
+  // lost its lease (bounded staleness of the fencing decision).
+  sim::Time suspect_poll_ = 100 * sim::kMicrosecond;
   uint64_t epoch_ = 0;
   uint64_t safe_before_ = 0;
   uint64_t fenced_ = 0;

@@ -24,7 +24,16 @@ sim::Task<SgWriteResult> SafeGuessObject::Write(std::span<const uint8_t> value) 
   if (out.m.deleted()) {
     // The object carries a tombstone higher than any guess: the write cannot
     // take effect (§5.3.3 turns this into a cache flush + retry upstream).
-    result.status = SgStatus::kDeleted;
+    // Stabilize the tombstone at a MAJORITY before reporting the deletion:
+    // it may sit at a minority (a deleter that died mid-delete), and acting
+    // on it while our just-installed guessed word stays readable elsewhere
+    // would let readers commit this very write after the key reported
+    // not-found. ReadQuorum's inner_write does the same for reads.
+    int fence_rtts = 0;
+    const Meta fence = Meta::Pack(out.m.counter(), out.m.tid(), true, 0);
+    const bool fenced = co_await reg.WriteVerified(fence, {}, &fence_rtts);
+    result.rtts += fence_rtts;
+    result.status = fenced ? SgStatus::kDeleted : SgStatus::kUnavailable;
     co_return result;
   }
 
@@ -77,11 +86,23 @@ sim::Task<SgWriteResult> SafeGuessObject::Delete() {
   SgWriteResult result;
   QuorumMax reg(worker_, layout_, cache_);
   const Meta tombstone = Meta::Tombstone(worker_->tid());
-  int rtts = 0;
-  const bool ok = co_await reg.WriteVerified(tombstone, {}, &rtts);
-  result.rtts = rtts;
-  result.fast_path = rtts <= 1;
-  result.status = ok ? SgStatus::kOk : SgStatus::kUnavailable;
+  // The combined write+read phase installs the tombstone AND returns the
+  // quorum's ts-max excluding our own write, in the same roundtrip. If that
+  // max is already a tombstone, another deleter finished before us — this
+  // object was dead when we hit it, so the caller's mapping may be stale
+  // (the key can live on under a newer generation, §5.3.4) and the caller
+  // must re-locate. Quorum intersection makes the detection reliable: a
+  // fully deleted object carries the foreign tombstone at a majority.
+  WriteReadOutcome wr = co_await reg.WriteAndRead(tombstone, {});
+  result.rtts = wr.rtts;
+  result.fast_path = wr.rtts <= 1;
+  if (!wr.ok) {
+    result.status = SgStatus::kUnavailable;
+  } else if (wr.m.deleted()) {
+    result.status = SgStatus::kDeleted;
+  } else {
+    result.status = SgStatus::kOk;
+  }
   co_return result;
 }
 

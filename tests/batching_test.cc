@@ -114,6 +114,50 @@ TEST(DoorbellBatching, PostManySpansNodes) {
   EXPECT_EQ(env.fabric.stats().batches, 1u);
 }
 
+// FabricConfig::per_verb_cost models the per-WQE CPU increment on top of the
+// fixed doorbell cost: a K-verb doorbell charges submit_cost + K*per_verb_cost
+// (ROADMAP follow-up; real NICs pay a small per-WQE build cost).
+TEST(DoorbellBatching, PerVerbCostChargesPerWqe) {
+  fabric::FabricConfig fcfg = TestEnv::DefaultFabric();
+  fcfg.per_verb_cost = 25;
+  TestEnv env(1, fcfg);
+  Worker& w = env.MakeWorker();
+  const int n = env.fabric.num_nodes();
+  std::vector<uint64_t> addrs;
+  for (int i = 0; i < n; ++i) {
+    addrs.push_back(env.fabric.node(i).Allocate(8));
+  }
+  const sim::Time submit = env.fabric.config().submit_cost;
+
+  auto driver = [](TestEnv* env, Worker* w, std::vector<uint64_t> addrs, int n,
+                   sim::Time submit) -> Task<void> {
+    // K-verb doorbell: submit_cost + K*per_verb_cost, still ONE doorbell.
+    std::vector<std::vector<uint8_t>> bufs(static_cast<size_t>(n), std::vector<uint8_t>(8));
+    std::vector<sim::Task<fabric::OpResult>> verbs;
+    for (int i = 0; i < n; ++i) {
+      verbs.push_back(w->qp(i).Read(addrs[static_cast<size_t>(i)], bufs[static_cast<size_t>(i)]));
+    }
+    const sim::Time busy0 = w->cpu()->busy_ns();
+    const uint64_t doorbells0 = env->fabric.stats().doorbells;
+    (void)co_await fabric::PostMany(w->cpu(), &env->sim, std::move(verbs));
+    EXPECT_EQ(w->cpu()->busy_ns() - busy0, submit + static_cast<sim::Time>(n) * 25);
+    EXPECT_EQ(env->fabric.stats().doorbells - doorbells0, 1u);
+
+    // Unbatched single verb: submit_cost + one per_verb_cost.
+    std::vector<uint8_t> buf(8);
+    const sim::Time busy1 = w->cpu()->busy_ns();
+    (void)co_await w->qp(0).Read(addrs[0], buf);
+    EXPECT_EQ(w->cpu()->busy_ns() - busy1, submit + 25);
+
+    // A pipelined WRITE->CAS series is one doorbell but TWO WQEs.
+    const sim::Time busy2 = w->cpu()->busy_ns();
+    (void)co_await w->qp(0).WriteThenCas(addrs[0], buf, addrs[0], 0, 1);
+    EXPECT_EQ(w->cpu()->busy_ns() - busy2, submit + 2 * 25);
+  };
+  Spawn(driver(&env, &w, addrs, n, submit));
+  env.sim.Run();
+}
+
 // --- Batched vs. unbatched determinism. ------------------------------------
 
 struct KvTrace {

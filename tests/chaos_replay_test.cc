@@ -1,0 +1,270 @@
+// The chaos engine's two meta-guarantees:
+//
+//  1. REPLAY: (ScenarioSpec, seed) fully determines the execution. Running
+//     the same scenario twice — with the full fault mix, including node
+//     restarts, lease expiries, detection sweeps and recycler churn —
+//     produces the identical fault trace (asserted via TraceHash), event
+//     count, end time, and per-op history.
+//
+//  2. SENSITIVITY (the canary): a deliberately broken protocol — a "quorum"
+//     write that returns after ONE replica ack — is caught by the chaos
+//     suites' linearizability check within a modest number of scenarios, its
+//     seed is reported, and replaying that seed reproduces the identical
+//     violation. If this test ever fails, the chaos harness has lost its
+//     teeth and the green suites prove nothing.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/index/client_cache.h"
+#include "src/index/index_service.h"
+#include "src/kv/swarm_kv.h"
+#include "src/swarm/inout.h"
+#include "src/swarm/quorum_max.h"
+#include "src/swarm/recycler.h"
+#include "tests/support/scenario.h"
+
+namespace swarm {
+namespace {
+
+using sim::Spawn;
+using sim::Task;
+using testing::ChaosEnv;
+using testing::ChaosHistories;
+using testing::CheckHistories;
+using testing::DecodeValue;
+using testing::EncodeValue;
+using testing::HistoryOp;
+using testing::KvChaosClient;
+using testing::ScenarioSpec;
+
+// ---------- Replay identity ----------
+
+uint64_t Fnv1a(uint64_t h, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+struct RunDigest {
+  uint64_t trace_hash = 0;
+  uint64_t history_hash = 0;
+  uint64_t events = 0;
+  sim::Time end_time = 0;
+  size_t faults = 0;
+
+  bool operator==(const RunDigest&) const = default;
+};
+
+// One SWARM-KV scenario under the FULL fault mix — crashes WITH restarts
+// (wiped nodes), lease expiries, detection sweeps, recycler churn — purely
+// for determinism: restarted-empty replicas void the linearizability
+// contract, so no history checking here.
+RunDigest RunFullMixScenario(uint64_t seed) {
+  ScenarioSpec spec;
+  spec.seed = seed;
+  spec.clients = 4;
+  spec.keys = 4;
+  spec.ops_per_client = 10;
+  spec.mean_think = 8000;
+  spec.faults.horizon = 150 * sim::kMicrosecond;
+  spec.faults.mean_gap = 7 * sim::kMicrosecond;
+  spec.faults.restart = true;
+  spec.faults.max_crashed = 2;
+  spec.faults.lease_weight = 0.7;
+  spec.faults.churn_weight = 0.7;
+
+  ChaosEnv c(spec);
+  index::IndexService index(&c.env.sim);
+  Recycler recycler(&c.env.sim, &c.membership);
+  std::vector<std::unique_ptr<RecyclerParticipant>> participants;
+  std::vector<std::unique_ptr<index::ClientCache>> caches;
+  std::vector<std::unique_ptr<kv::SwarmKvSession>> sessions;
+  ChaosHistories hist;
+  for (int i = 0; i < spec.clients; ++i) {
+    Worker& w = c.MakeSkewedWorker(spec);
+    caches.push_back(std::make_unique<index::ClientCache>());
+    sessions.push_back(std::make_unique<kv::SwarmKvSession>(&w, &index, caches.back().get()));
+    participants.push_back(std::make_unique<RecyclerParticipant>(
+        &c.env.sim, 100 + static_cast<uint32_t>(i), 1500 + 137 * static_cast<sim::Time>(i)));
+    recycler.Register(participants.back().get());
+  }
+  c.engine.set_epoch_churn([&recycler]() -> Task<void> {
+    recycler.HeartbeatAll();
+    return recycler.RunRound();
+  });
+  for (int i = 0; i < spec.clients; ++i) {
+    Spawn(KvChaosClient(&c.env, sessions[static_cast<size_t>(i)].get(),
+                        spec.seed * 131 + static_cast<uint64_t>(i), spec, &hist));
+  }
+  c.engine.Start();
+  c.env.sim.Run();
+
+  RunDigest d;
+  d.trace_hash = c.engine.TraceHash();
+  d.events = c.env.sim.events_processed();
+  d.end_time = c.env.sim.Now();
+  d.faults = c.engine.trace().size();
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (const auto& [key, ops] : hist.per_key) {
+    h = Fnv1a(h, key);
+    for (const HistoryOp& op : ops) {
+      h = Fnv1a(h, op.value);
+      h = Fnv1a(h, static_cast<uint64_t>(op.invoked));
+      h = Fnv1a(h, static_cast<uint64_t>(op.responded));
+      h = Fnv1a(h, (op.is_write ? 2u : 0u) | (op.pending ? 1u : 0u));
+    }
+  }
+  d.history_hash = h;
+  return d;
+}
+
+TEST(ChaosReplay, SameSeedReproducesIdenticalExecution) {
+  for (uint64_t seed : {42ull, 43ull, 44ull}) {
+    const RunDigest a = RunFullMixScenario(seed);
+    const RunDigest b = RunFullMixScenario(seed);
+    EXPECT_EQ(a.trace_hash, b.trace_hash) << "seed " << seed;
+    EXPECT_EQ(a.history_hash, b.history_hash) << "seed " << seed;
+    EXPECT_EQ(a.events, b.events) << "seed " << seed;
+    EXPECT_EQ(a.end_time, b.end_time) << "seed " << seed;
+    EXPECT_GT(a.faults, 0u) << "seed " << seed << ": the engine injected nothing";
+  }
+}
+
+TEST(ChaosReplay, DifferentSeedsProduceDifferentSchedules) {
+  const RunDigest a = RunFullMixScenario(1001);
+  const RunDigest b = RunFullMixScenario(1002);
+  EXPECT_NE(a.trace_hash, b.trace_hash);
+}
+
+// ---------- The weak-quorum canary ----------
+
+Task<void> WeakWriteOne(Worker* w, const ObjectLayout* layout, int r, Meta word,
+                        std::vector<uint8_t> value, sim::Counter done) {
+  InOutReplica rep(w, layout, r);
+  NodeMaxResult res = co_await rep.WriteVerifiedNode(word, value, Meta());
+  if (res.ok()) {
+    done.Add(1);
+  }
+}
+
+// The injected bug: a "replicated" write that returns as soon as ONE replica
+// acked. Under drop bursts the other replicas may never receive it, and a
+// majority read that misses the acked replica returns stale data.
+Task<bool> WeakQuorumWrite(Worker* w, const ObjectLayout* layout, Meta word,
+                           std::vector<uint8_t> value) {
+  sim::Counter done(w->sim());
+  {
+    fabric::CpuBatch batch(w->cpu());
+    for (int r = 0; r < layout->num_replicas; ++r) {
+      Spawn(WeakWriteOne(w, layout, r, word, value, done));
+    }
+  }
+  co_return co_await done.WaitFor(1, 100 * sim::kMicrosecond);
+}
+
+struct CanaryOutcome {
+  bool violated = false;
+  std::string violation;
+  uint64_t trace_hash = 0;
+};
+
+CanaryOutcome RunCanaryScenario(uint64_t seed) {
+  ScenarioSpec spec;
+  spec.seed = seed;
+  spec.ops_per_client = 14;
+  spec.mean_think = 5000;
+  spec.value_size = 16;
+  spec.faults.horizon = 220 * sim::kMicrosecond;
+  spec.faults.mean_gap = 6 * sim::kMicrosecond;
+  spec.faults.crash_weight = 0;  // Keep all replicas up: drops do the work.
+  spec.faults.max_drop_p = 0.6;
+  spec.faults.max_drop_duration = 120 * sim::kMicrosecond;
+
+  ChaosEnv c(spec);
+  ObjectLayout layout = c.env.MakeObject();
+  ChaosHistories hist;
+
+  auto writer = [](ChaosEnv* c, Worker* w, const ObjectLayout* layout, uint64_t rng_seed,
+                   const ScenarioSpec* spec, ChaosHistories* hist) -> Task<void> {
+    sim::Rng rng(rng_seed);
+    for (uint32_t i = 1; i <= static_cast<uint32_t>(spec->ops_per_client); ++i) {
+      co_await c->env.sim.Delay(1 + static_cast<sim::Time>(
+                                        rng.Below(static_cast<uint64_t>(2 * spec->mean_think))));
+      const uint64_t v = hist->next_value++;
+      HistoryOp op;
+      op.is_write = true;
+      op.value = v;
+      op.invoked = c->env.sim.Now();
+      const bool ok = co_await WeakQuorumWrite(w, layout, Meta::Pack(i * 8, w->tid(), true, 0),
+                                               EncodeValue(v, spec->value_size));
+      op.responded = c->env.sim.Now();
+      op.pending = !ok;
+      hist->per_key[0].push_back(op);
+    }
+  };
+  auto reader = [](ChaosEnv* c, Worker* w, const ObjectLayout* layout, uint64_t rng_seed,
+                   const ScenarioSpec* spec, ChaosHistories* hist) -> Task<void> {
+    QuorumMax reg(w, layout, w->SlotCacheFor(layout));
+    sim::Rng rng(rng_seed);
+    for (int i = 0; i < spec->ops_per_client; ++i) {
+      co_await c->env.sim.Delay(1 + static_cast<sim::Time>(
+                                        rng.Below(static_cast<uint64_t>(2 * spec->mean_think))));
+      HistoryOp op;
+      op.invoked = c->env.sim.Now();
+      ReadOutcome r = co_await reg.ReadQuorum(/*strong=*/true);
+      op.responded = c->env.sim.Now();
+      if (!r.ok || (!r.m.empty() && !r.value_ok)) {
+        continue;  // No majority / unresolved bytes: no constraint.
+      }
+      op.value = r.m.empty() ? 0 : DecodeValue(r.value);
+      hist->per_key[0].push_back(op);
+    }
+  };
+
+  Spawn(writer(&c, &c.MakeSkewedWorker(spec), &layout, spec.seed * 31 + 1, &spec, &hist));
+  Spawn(reader(&c, &c.MakeSkewedWorker(spec), &layout, spec.seed * 31 + 2, &spec, &hist));
+  Spawn(reader(&c, &c.MakeSkewedWorker(spec), &layout, spec.seed * 31 + 3, &spec, &hist));
+  c.engine.Start();
+  c.env.sim.Run();
+
+  CanaryOutcome out;
+  out.violation = CheckHistories(hist);
+  out.violated = !out.violation.empty();
+  out.trace_hash = c.engine.TraceHash();
+  return out;
+}
+
+TEST(ChaosCanary, WeakQuorumBugIsCaughtAndItsSeedReplays) {
+  constexpr uint64_t kBase = 9000;
+  constexpr int kMaxScenarios = 80;
+  uint64_t failing_seed = 0;
+  CanaryOutcome first;
+  for (int i = 0; i < kMaxScenarios; ++i) {
+    const uint64_t seed = kBase + static_cast<uint64_t>(i);
+    CanaryOutcome out = RunCanaryScenario(seed);
+    if (out.violated) {
+      failing_seed = seed;
+      first = out;
+      break;
+    }
+  }
+  ASSERT_NE(failing_seed, 0u)
+      << "the weak-quorum canary survived " << kMaxScenarios
+      << " scenarios: the chaos engine can no longer catch quorum bugs";
+
+  // The printed seed replays byte-identically: same fault trace, same
+  // violation.
+  CanaryOutcome replay = RunCanaryScenario(failing_seed);
+  EXPECT_TRUE(replay.violated) << "seed " << failing_seed << " did not reproduce";
+  EXPECT_EQ(replay.trace_hash, first.trace_hash) << "seed " << failing_seed;
+  EXPECT_EQ(replay.violation, first.violation) << "seed " << failing_seed;
+}
+
+}  // namespace
+}  // namespace swarm

@@ -9,8 +9,12 @@
 namespace swarm::testing {
 namespace {
 
-HistoryOp W(uint64_t v, sim::Time inv, sim::Time resp) { return {true, v, inv, resp}; }
-HistoryOp R(uint64_t v, sim::Time inv, sim::Time resp) { return {false, v, inv, resp}; }
+HistoryOp W(uint64_t v, sim::Time inv, sim::Time resp) { return {true, v, inv, resp, false}; }
+HistoryOp R(uint64_t v, sim::Time inv, sim::Time resp) { return {false, v, inv, resp, false}; }
+// An op whose response was never recorded (timeout / crash mid-call): it may
+// have applied at any point after `inv`, or never.
+HistoryOp PW(uint64_t v, sim::Time inv) { return {true, v, inv, 0, true}; }
+HistoryOp PR(sim::Time inv) { return {false, 0, inv, 0, true}; }
 
 TEST(Lincheck, EmptyHistoryIsLinearizable) {
   EXPECT_TRUE(LinearizabilityChecker::Check({}));
@@ -93,6 +97,90 @@ TEST(Lincheck, LongValidHistory) {
     t += 40;
   }
   EXPECT_TRUE(LinearizabilityChecker::Check(h));
+}
+
+// ---------- Pending operations (crash-truncated histories) ----------
+
+TEST(Lincheck, PendingWriteMayApply) {
+  // The write's ack was lost, but a later read observed it: the checker must
+  // linearize the pending write before the read.
+  EXPECT_TRUE(LinearizabilityChecker::Check({PW(2, 0), R(2, 100, 110)}));
+}
+
+TEST(Lincheck, PendingWriteMayNeverApply) {
+  // The pending write is never observed: reads keep seeing the old value
+  // forever, which is fine — the dropped request case.
+  EXPECT_TRUE(LinearizabilityChecker::Check({
+      W(1, 0, 10),
+      PW(2, 20),
+      R(1, 100, 110),
+      R(1, 200, 210),
+  }));
+}
+
+TEST(Lincheck, PendingWriteOnceObservedStaysApplied) {
+  // Once a completed read returned the pending write's value, the write is
+  // in the linearization; a later read reverting to the old value is a
+  // violation.
+  EXPECT_FALSE(LinearizabilityChecker::Check({
+      W(1, 0, 10),
+      PW(2, 20),
+      R(2, 100, 110),
+      R(1, 200, 210),
+  }));
+}
+
+TEST(Lincheck, PendingWriteCannotApplyBeforeItsInvocation) {
+  // The read COMPLETED before the pending write was even invoked, so the
+  // write cannot explain it.
+  EXPECT_FALSE(LinearizabilityChecker::Check({R(2, 0, 10), PW(2, 20)}));
+}
+
+TEST(Lincheck, PendingWriteDoesNotBlockLaterOps) {
+  // A pending op has no response, so it must never gate the enabling rule:
+  // ops invoked long after it still linearize freely around it.
+  EXPECT_TRUE(LinearizabilityChecker::Check({
+      PW(9, 0),
+      W(1, 100, 110),
+      R(1, 200, 210),
+      W(2, 300, 310),
+      R(2, 400, 410),
+  }));
+}
+
+TEST(Lincheck, PendingReadIsUnconstrained) {
+  EXPECT_TRUE(LinearizabilityChecker::Check({W(1, 0, 10), PR(5), R(1, 20, 30)}));
+}
+
+TEST(Lincheck, CrashTruncatedHistoryMix) {
+  // Two clients crash mid-call (one write observed, one not) while a third
+  // keeps operating: the completed suffix must still linearize.
+  EXPECT_TRUE(LinearizabilityChecker::Check({
+      W(1, 0, 10),
+      PW(2, 20),   // Observed below: applied.
+      PW(3, 20),   // Never observed: dropped.
+      R(2, 100, 110),
+      W(4, 200, 210),
+      R(4, 300, 310),
+  }));
+  // But the completed suffix alone still rejects violations.
+  EXPECT_FALSE(LinearizabilityChecker::Check({
+      W(1, 0, 10),
+      PW(2, 20),
+      R(2, 100, 110),
+      W(4, 200, 210),
+      R(1, 300, 310),  // 1 cannot resurface after 2 and 4.
+  }));
+}
+
+TEST(Lincheck, ConcurrentAmbiguityWithPendingWrites) {
+  // Two pending writes concurrent with two completed reads: any subset of
+  // the pending writes may have applied, in either order.
+  EXPECT_TRUE(LinearizabilityChecker::Check({PW(1, 0), PW(2, 0), R(2, 50, 60), R(1, 70, 80)}));
+  EXPECT_TRUE(LinearizabilityChecker::Check({PW(1, 0), PW(2, 0), R(1, 50, 60), R(2, 70, 80)}));
+  EXPECT_TRUE(LinearizabilityChecker::Check({PW(1, 0), PW(2, 0), R(0, 50, 60), R(2, 70, 80)}));
+  // A value nobody ever wrote is still impossible.
+  EXPECT_FALSE(LinearizabilityChecker::Check({PW(1, 0), PW(2, 0), R(3, 50, 60)}));
 }
 
 TEST(Lincheck, InterleavedConcurrentBatchIsCheckedExhaustively) {

@@ -100,6 +100,38 @@ TEST(Recycler, SuspectedClientSkippedInLaterRounds) {
   EXPECT_LT(round_done - start, sim::kMillisecond);
 }
 
+TEST(Recycler, ClientCrashingMidEpochWithFreshLeaseBlocksUntilFenced) {
+  // A client that crashes mid-epoch while its lease is still fresh (leases
+  // here outlive the round's grace period) may hold reads from before the
+  // epoch bump, and memory nodes have not disconnected it yet. The round
+  // must NOT advance the safe horizon at grace expiry — that would recycle
+  // buffers under the crashed client — but wait for membership suspicion,
+  // fence it, and only then advance.
+  sim::Simulator sim;
+  fabric::Fabric fabric(&sim, fabric::FabricConfig{});
+  membership::MembershipService membership(&sim, &fabric, 50 * sim::kMicrosecond,
+                                           /*lease_duration=*/5 * sim::kMillisecond);
+  Recycler recycler(&sim, &membership);
+  RecyclerParticipant alive(&sim, 1, 2000);
+  RecyclerParticipant doomed(&sim, 2, 2000);
+  recycler.Register(&alive);
+  recycler.Register(&doomed);
+  sim.After(500, [&doomed] { doomed.Crash(); });  // Mid-epoch, post-renewal.
+
+  sim::Spawn(recycler.RunRound());
+  sim.Run();
+  // The horizon did advance (liveness) ...
+  EXPECT_EQ(recycler.SafeReclaimBefore(), 1u);
+  // ... but only after the crashed client was fenced via lease expiry —
+  // i.e. not before its 5 ms lease ran out, even though the round's grace
+  // period ended at 2 ms.
+  EXPECT_EQ(recycler.fenced_clients(), 1u);
+  EXPECT_TRUE(membership.IsSuspected(2));
+  EXPECT_GE(sim.Now(), 5 * sim::kMillisecond);
+  EXPECT_EQ(doomed.published_epoch(), 0u);
+  EXPECT_EQ(alive.published_epoch(), 1u);
+}
+
 TEST(Membership, NodeCrashNotificationReachesSubscribers) {
   sim::Simulator sim;
   fabric::Fabric fabric(&sim, fabric::FabricConfig{});

@@ -1,0 +1,246 @@
+// Chaos scenario scaffolding: ScenarioSpec + the machinery shared by the
+// chaos suites (tests/chaos_*_test.cc).
+//
+// A scenario is a randomized multi-client open-loop workload interleaved
+// with ChaosEngine fault injection. (ScenarioSpec, seed) fully determines
+// the execution: every random choice — client think times, key picks, fault
+// instants, drop coin-flips, latency jitter — is drawn either from the
+// simulator's seeded Rng or from client Rngs derived from the seed. A
+// failing seed printed by a suite replays byte-identically via the
+// CHAOS_SEED environment variable (or tests/chaos_replay_test.cc, which
+// asserts trace-hash identity).
+//
+// Environment knobs:
+//   CHAOS_SCENARIOS=N  run N scenarios per suite (CI uses 200)
+//   CHAOS_SEED=S       run only seed S (replay of a reported failure)
+
+#ifndef SWARM_TESTS_SUPPORT_SCENARIO_H_
+#define SWARM_TESTS_SUPPORT_SCENARIO_H_
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/kv/kv_types.h"
+#include "src/membership/membership.h"
+#include "src/sim/chaos.h"
+#include "tests/support/lincheck.h"
+#include "tests/support/test_env.h"
+
+namespace swarm::testing {
+
+// Scenarios per suite: CHAOS_SCENARIOS overrides the built-in default.
+inline int ScenarioCount(int fallback) {
+  if (const char* s = std::getenv("CHAOS_SCENARIOS")) {
+    const long v = std::strtol(s, nullptr, 10);
+    if (v > 0) {
+      return static_cast<int>(v);
+    }
+  }
+  return fallback;
+}
+
+// Replay mode: CHAOS_SEED pins every suite to one seed.
+inline bool ForcedSeed(uint64_t* seed) {
+  if (const char* s = std::getenv("CHAOS_SEED")) {
+    *seed = std::strtoull(s, nullptr, 10);
+    return true;
+  }
+  return false;
+}
+
+// A scenario: workload shape + fault mix. Together with `seed` this fully
+// determines the execution.
+struct ScenarioSpec {
+  uint64_t seed = 1;
+  int clients = 4;
+  uint64_t keys = 4;          // Key space (KV suites); protocol suites use 1 register.
+  int ops_per_client = 10;
+  uint32_t value_size = 16;
+  sim::Time mean_think = 6000;     // Mean gap between a client's ops.
+  int64_t max_clock_skew = 5000;   // Per-client GuessClock skew bound, ns.
+  chaos::ChaosConfig faults;
+};
+
+// Simulator + fabric + membership + chaos engine wired the way a chaos
+// scenario needs them. Workers subscribe to membership notifications.
+struct ChaosEnv {
+  explicit ChaosEnv(const ScenarioSpec& spec,
+                    fabric::FabricConfig fcfg = TestEnv::DefaultFabric(),
+                    ProtocolConfig pcfg = TestEnv::DefaultProtocol())
+      : env(spec.seed, fcfg, pcfg),
+        membership(&env.sim, &env.fabric, /*detection_delay=*/50 * sim::kMicrosecond),
+        engine(&env.fabric, &membership, spec.faults) {
+    membership.Subscribe(env.known_failed);
+  }
+
+  Worker& MakeSkewedWorker(const ScenarioSpec& spec) {
+    return env.MakeWorker(env.sim.rng().Range(-spec.max_clock_skew, spec.max_clock_skew));
+  }
+
+  TestEnv env;
+  membership::MembershipService membership;
+  chaos::ChaosEngine engine;
+};
+
+inline std::vector<uint8_t> EncodeValue(uint64_t v, uint32_t size) {
+  std::vector<uint8_t> b(std::max<uint32_t>(size, 8));
+  std::memcpy(b.data(), &v, 8);
+  return b;
+}
+
+inline uint64_t DecodeValue(const std::vector<uint8_t>& b) {
+  uint64_t v = 0;
+  if (b.size() >= 8) {
+    std::memcpy(&v, b.data(), 8);
+  }
+  return v;
+}
+
+// Per-key recorded histories. Value 0 models "absent" (never inserted or
+// deleted); writes use globally unique nonzero values.
+struct ChaosHistories {
+  std::map<uint64_t, std::vector<HistoryOp>> per_key;
+  uint64_t next_value = 1;
+  int pending_ops = 0;   // Ops recorded as possibly-applied.
+  int failed_reads = 0;  // Unavailable reads (no constraint, not recorded).
+};
+
+// One KV chaos client: randomized gets/updates/inserts/removes against a
+// shared small key space, recording every op's invocation/response. Ops
+// whose outcome the client never learned (unavailable quorum, node timeouts)
+// are recorded as PENDING writes — possibly applied — which is exactly the
+// ambiguity LinearizabilityChecker::Check resolves.
+inline sim::Task<void> KvChaosClient(TestEnv* env, kv::KvSession* kv, uint64_t rng_seed,
+                                     const ScenarioSpec& spec, ChaosHistories* hist) {
+  sim::Rng rng(rng_seed);
+  for (int i = 0; i < spec.ops_per_client; ++i) {
+    co_await env->sim.Delay(1 + static_cast<sim::Time>(
+                                    rng.Below(static_cast<uint64_t>(2 * spec.mean_think))));
+    const uint64_t key = rng.Below(spec.keys);
+    const double dice = rng.Double();
+    HistoryOp op;
+    op.invoked = env->sim.Now();
+    if (dice < 0.40) {
+      // Get. A failed read constrains nothing and is dropped entirely.
+      kv::KvResult r = co_await kv->Get(key);
+      op.responded = env->sim.Now();
+      if (r.status == kv::KvStatus::kUnavailable) {
+        ++hist->failed_reads;
+        continue;
+      }
+      op.is_write = false;
+      op.value = r.status == kv::KvStatus::kOk ? DecodeValue(r.value) : 0;
+    } else if (dice < 0.70) {
+      // Update. kNotFound is a read of "absent"; an unavailable outcome is a
+      // possibly-applied write (some replicas may hold it).
+      const uint64_t v = hist->next_value++;
+      kv::KvResult r = co_await kv->Update(key, EncodeValue(v, spec.value_size));
+      op.responded = env->sim.Now();
+      op.is_write = true;
+      op.value = v;
+      if (r.status == kv::KvStatus::kUnavailable ||
+          (r.status == kv::KvStatus::kNotFound && r.ambiguous)) {
+        // Unknown outcome — including the tombstone-bounce case where the
+        // guessed word was installed and a racing reader may commit it.
+        op.pending = true;
+        ++hist->pending_ops;
+      } else if (r.status == kv::KvStatus::kNotFound) {
+        op.is_write = false;
+        op.value = 0;
+      }
+    } else if (dice < 0.90) {
+      // Insert (updates when the key exists).
+      const uint64_t v = hist->next_value++;
+      kv::KvResult r = co_await kv->Insert(key, EncodeValue(v, spec.value_size));
+      op.responded = env->sim.Now();
+      op.is_write = true;
+      op.value = v;
+      if (!r.ok()) {
+        op.pending = true;
+        ++hist->pending_ops;
+      }
+    } else {
+      // Remove: a write of "absent". Not-found removes read "absent".
+      kv::KvResult r = co_await kv->Remove(key);
+      op.responded = env->sim.Now();
+      op.is_write = true;
+      op.value = 0;
+      if (r.status == kv::KvStatus::kUnavailable) {
+        op.pending = true;
+        ++hist->pending_ops;
+      } else if (r.status == kv::KvStatus::kNotFound) {
+        op.is_write = false;
+      }
+    }
+    hist->per_key[key].push_back(op);
+  }
+}
+
+// Checks every per-key history; returns "" or a violation description.
+inline std::string CheckHistories(const ChaosHistories& hist) {
+  for (const auto& [key, ops] : hist.per_key) {
+    if (ops.size() > 63) {
+      return "key " + std::to_string(key) + " history too large (" +
+             std::to_string(ops.size()) + " ops) — shrink the ScenarioSpec";
+    }
+    if (!LinearizabilityChecker::Check(ops)) {
+      int pending = 0;
+      for (const HistoryOp& op : ops) {
+        pending += op.pending ? 1 : 0;
+      }
+      std::string msg = "key " + std::to_string(key) + " NON-LINEARIZABLE (" +
+                        std::to_string(ops.size()) + " ops, " + std::to_string(pending) +
+                        " pending)";
+      for (const HistoryOp& op : ops) {
+        msg += "\n    " + std::string(op.is_write ? "W" : "R") + "(" +
+               std::to_string(op.value) + ") @" + std::to_string(op.invoked) +
+               (op.pending ? " pending" : ".." + std::to_string(op.responded));
+      }
+      return msg;
+    }
+  }
+  return "";
+}
+
+// Drives `run(make_spec(seed))` over ScenarioCount seeds starting at
+// `seed_base`, honoring CHAOS_SEED replay mode, stopping at the first
+// failing seed (the one to replay). `kDefaultChaosScenarios` is the local
+// default; CI raises it via CHAOS_SCENARIOS.
+inline constexpr int kDefaultChaosScenarios = 40;
+
+template <typename RunFn, typename SpecFn>
+void DriveScenarios(uint64_t seed_base, RunFn run, SpecFn make_spec) {
+  uint64_t forced = 0;
+  if (ForcedSeed(&forced)) {
+    run(make_spec(forced));
+    return;
+  }
+  const int n = ScenarioCount(kDefaultChaosScenarios);
+  for (int i = 0; i < n; ++i) {
+    run(make_spec(seed_base + static_cast<uint64_t>(i)));
+    if (::testing::Test::HasFailure()) {
+      break;  // The first failing seed is the one to replay.
+    }
+  }
+}
+
+// Failure annotation: the seed, how to replay it, and what was injected.
+inline std::string SeedMessage(const ScenarioSpec& spec, const chaos::ChaosEngine& engine) {
+  std::string filter = "*";
+  if (const ::testing::TestInfo* info =
+          ::testing::UnitTest::GetInstance()->current_test_info()) {
+    filter = std::string(info->test_suite_name()) + "." + info->name();
+  }
+  return "seed=" + std::to_string(spec.seed) + " faults=[" + engine.TraceSummary() +
+         "]  replay: CHAOS_SEED=" + std::to_string(spec.seed) +
+         " <binary> --gtest_filter=" + filter;
+}
+
+}  // namespace swarm::testing
+
+#endif  // SWARM_TESTS_SUPPORT_SCENARIO_H_
