@@ -17,7 +17,8 @@ KvHarness::KvHarness(HarnessConfig cfg) : cfg_(std::move(cfg)) {
   }
   sim_ = std::make_unique<sim::Simulator>(cfg_.seed);
   fabric_ = std::make_unique<fabric::Fabric>(sim_.get(), cfg_.fabric);
-  index_ = std::make_unique<index::IndexService>(sim_.get(), cfg_.fabric.one_way_delay,
+  index_ = std::make_unique<index::IndexService>(sim_.get(), fabric_.get(),
+                                                 cfg_.fabric.one_way_delay,
                                                  cfg_.fabric.delay_jitter, cfg_.fabric.submit_cost);
   membership_ = std::make_unique<membership::MembershipService>(sim_.get(), fabric_.get());
   fusee_ = std::make_unique<kv::FuseeStore>(fabric_.get());

@@ -171,14 +171,15 @@ sim::Task<OpResult> Qp::Read(uint64_t addr, std::span<uint8_t> out) {
   auto st = std::make_shared<OpState>();
   sim::Counter done(sim);
   const int node_id = node_;
+  const bool repair_ch = repair_channel_;
   uint8_t* out_ptr = out.data();
   const size_t out_len = out.size();
 
-  sim->At(arrival, [&f, sim, st, done, node_id, addr, out_ptr, out_len, departure,
+  sim->At(arrival, [&f, sim, st, done, node_id, repair_ch, addr, out_ptr, out_len, departure,
                     arrival]() mutable {
     MemoryNode& node = f.node(node_id);
     const FabricConfig& cfg = f.config();
-    if (node.failed()) {
+    if (node.Rejects(repair_ch)) {
       st->result.status = Status::kNodeFailed;
       sim->At(std::max(sim->Now(), departure + cfg.failure_detect_delay),
               [done]() mutable { done.Add(1); });
@@ -228,22 +229,24 @@ sim::Task<OpResult> Qp::Write(uint64_t addr, std::span<const uint8_t> data) {
   auto st = std::make_shared<OpState>();
   sim::Counter done(sim);
   const int node_id = node_;
+  const bool repair_ch = repair_channel_;
   const uint8_t* src = data.data();
   const size_t len = data.size();
 
   const bool staged = cfg.staged_large_writes && len > 8 && xfer > 0;
   if (staged) {
     const size_t half = len / 2;
-    sim->At(start, [&f, node_id, addr, src, half] {
-      if (!f.node(node_id).failed()) {
+    sim->At(start, [&f, node_id, repair_ch, addr, src, half] {
+      if (!f.node(node_id).Rejects(repair_ch)) {
         f.node(node_id).WriteFrom(addr, std::span<const uint8_t>(src, half));
       }
     });
     sim->At(finish,
-            [&f, sim, st, done, node_id, addr, src, half, len, departure, drop_resp]() mutable {
+            [&f, sim, st, done, node_id, repair_ch, addr, src, half, len, departure,
+             drop_resp]() mutable {
       MemoryNode& node = f.node(node_id);
       const FabricConfig& cfg = f.config();
-      if (node.failed()) {
+      if (node.Rejects(repair_ch)) {
         st->result.status = Status::kNodeFailed;
         sim->At(std::max(sim->Now(), departure + cfg.failure_detect_delay),
                 [done]() mutable { done.Add(1); });
@@ -262,10 +265,11 @@ sim::Task<OpResult> Qp::Write(uint64_t addr, std::span<const uint8_t> data) {
       sim->At(complete, [done]() mutable { done.Add(1); });
     });
   } else {
-    sim->At(finish, [&f, sim, st, done, node_id, addr, src, len, departure, drop_resp]() mutable {
+    sim->At(finish, [&f, sim, st, done, node_id, repair_ch, addr, src, len, departure,
+                     drop_resp]() mutable {
       MemoryNode& node = f.node(node_id);
       const FabricConfig& cfg = f.config();
-      if (node.failed()) {
+      if (node.Rejects(repair_ch)) {
         st->result.status = Status::kNodeFailed;
         sim->At(std::max(sim->Now(), departure + cfg.failure_detect_delay),
                 [done]() mutable { done.Add(1); });
@@ -318,12 +322,14 @@ sim::Task<OpResult> Qp::Cas(uint64_t addr, uint64_t expected, uint64_t desired) 
   auto st = std::make_shared<OpState>();
   sim::Counter done(sim);
   const int node_id = node_;
+  const bool repair_ch = repair_channel_;
 
   sim->At(arrival,
-          [&f, sim, st, done, node_id, addr, expected, desired, departure, drop_resp]() mutable {
+          [&f, sim, st, done, node_id, repair_ch, addr, expected, desired, departure,
+           drop_resp]() mutable {
     MemoryNode& node = f.node(node_id);
     const FabricConfig& cfg = f.config();
-    if (node.failed()) {
+    if (node.Rejects(repair_ch)) {
       st->result.status = Status::kNodeFailed;
       sim->At(std::max(sim->Now(), departure + cfg.failure_detect_delay),
               [done]() mutable { done.Add(1); });
@@ -385,24 +391,25 @@ sim::Task<OpResult> Qp::WriteThenCas(uint64_t waddr, std::span<const uint8_t> da
   auto st = std::make_shared<OpState>();
   sim::Counter done(sim);
   const int node_id = node_;
+  const bool repair_ch = repair_channel_;
   const uint8_t* src = data.data();
   const size_t len = data.size();
 
   if (cfg.staged_large_writes && len > 8 && xfer > 0) {
     const size_t half = len / 2;
-    sim->At(start, [&f, node_id, waddr, src, half] {
-      if (!f.node(node_id).failed()) {
+    sim->At(start, [&f, node_id, repair_ch, waddr, src, half] {
+      if (!f.node(node_id).Rejects(repair_ch)) {
         f.node(node_id).WriteFrom(waddr, std::span<const uint8_t>(src, half));
       }
     });
-    sim->At(write_done, [&f, node_id, waddr, src, half, len] {
-      if (!f.node(node_id).failed()) {
+    sim->At(write_done, [&f, node_id, repair_ch, waddr, src, half, len] {
+      if (!f.node(node_id).Rejects(repair_ch)) {
         f.node(node_id).WriteFrom(waddr + half, std::span<const uint8_t>(src + half, len - half));
       }
     });
   } else {
-    sim->At(write_done, [&f, node_id, waddr, src, len] {
-      if (!f.node(node_id).failed()) {
+    sim->At(write_done, [&f, node_id, repair_ch, waddr, src, len] {
+      if (!f.node(node_id).Rejects(repair_ch)) {
         f.node(node_id).WriteFrom(waddr, std::span<const uint8_t>(src, len));
       }
     });
@@ -411,10 +418,11 @@ sim::Task<OpResult> Qp::WriteThenCas(uint64_t waddr, std::span<const uint8_t> da
   // FIFO pipelining: the CAS executes only after the write has fully applied
   // (if the CAS's effect is visible, so is the write).
   sim->At(cas_at,
-          [&f, sim, st, done, node_id, caddr, expected, desired, departure, drop_resp]() mutable {
+          [&f, sim, st, done, node_id, repair_ch, caddr, expected, desired, departure,
+           drop_resp]() mutable {
     MemoryNode& node = f.node(node_id);
     const FabricConfig& cfg = f.config();
-    if (node.failed()) {
+    if (node.Rejects(repair_ch)) {
       st->result.status = Status::kNodeFailed;
       sim->At(std::max(sim->Now(), departure + cfg.failure_detect_delay),
               [done]() mutable { done.Add(1); });

@@ -203,6 +203,10 @@ class Qp {
  public:
   Qp(Fabric* fabric, int node, ClientCpu* cpu) : fabric_(fabric), node_(node), cpu_(cpu) {}
 
+  // Marks this QP as the repair coordinator's channel: its verbs pass a
+  // node's repair fence (MemoryNode::set_repair_fenced).
+  void set_repair_channel(bool on) { repair_channel_ = on; }
+
   // One-sided READ of [addr, addr+out.size()). The bytes are sampled at the
   // op's execution instant at the node and delivered at completion.
   sim::Task<OpResult> Read(uint64_t addr, std::span<uint8_t> out);
@@ -226,6 +230,7 @@ class Qp {
   Fabric* fabric_;
   int node_;
   ClientCpu* cpu_;
+  bool repair_channel_ = false;
   sim::Time last_arrival_ = 0;  // FIFO ordering of executions at the node.
 };
 
@@ -244,6 +249,18 @@ class Fabric {
   // future ops fail after `failure_detect_delay`; memory contents are lost.
   void Crash(int i) { node(i).Crash(); }
   void Recover(int i) { node(i).Recover(); }
+  // Crash-recover model: the node rejoins empty but with its allocation map
+  // intact, so a repair coordinator (src/repair/) can write replica state
+  // back into the pre-crash addresses.
+  void RecoverPreservingLayout(int i) { node(i).Recover(/*preserve_reservations=*/true); }
+
+  // Pseudo-link id for the index service's RPC channel: the chaos hooks
+  // (link_delay_fn / drop_fn) are keyed by link, and the index server rides
+  // one more link beyond the memory nodes so fault scenarios can open
+  // index/data inconsistency windows. chaos_link_count() sizes per-link
+  // fault state.
+  int index_link() const { return num_nodes(); }
+  int chaos_link_count() const { return num_nodes() + 1; }
 
   // Installs/replaces the chaos hooks after construction (the chaos engine
   // is built around an existing fabric). Pass {} to uninstall.

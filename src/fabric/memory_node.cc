@@ -48,10 +48,12 @@ uint64_t MemoryNode::Allocate(uint64_t size, uint64_t align) {
   return aligned;
 }
 
-void MemoryNode::Recover() {
+void MemoryNode::Recover(bool preserve_reservations) {
   failed_ = false;
   std::memset(mem_.get(), 0, next_free_);  // Only touched pages need clearing.
-  next_free_ = 64;
+  if (!preserve_reservations) {
+    next_free_ = 64;
+  }
 }
 
 }  // namespace swarm::fabric

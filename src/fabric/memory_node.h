@@ -40,8 +40,26 @@ class MemoryNode {
   // --- Failure injection. ---
   void Crash() { failed_ = true; }
   // A recovered node comes back empty: disaggregated DRAM loses its contents.
-  void Recover();
+  // With `preserve_reservations` the allocation map survives (the cluster's
+  // control plane remembers which regions belong to which objects), so every
+  // pre-crash address stays reserved and a repair coordinator can write the
+  // replicas' state back into the SAME locations — the crash-recover model.
+  // Without it the bump pointer resets too (the crash-stop "replacement node"
+  // model, where nothing will ever reference the old addresses again).
+  void Recover(bool preserve_reservations = false);
   bool failed() const { return failed_; }
+
+  // Repair fence: while set, the node rejects every verb except the repair
+  // coordinator's (Qp::set_repair_channel). Closes the in-flight window
+  // where a verb issued against the crashed node executes after its restart
+  // and would observe wiped memory — clients must keep seeing kNodeFailed
+  // until the node is repaired and readmitted.
+  void set_repair_fenced(bool fenced) { repair_fenced_ = fenced; }
+  bool repair_fenced() const { return repair_fenced_; }
+  // Whether a verb on a (non-)repair channel is rejected at execution.
+  bool Rejects(bool repair_channel) const {
+    return failed_ || (repair_fenced_ && !repair_channel);
+  }
 
   // Extra per-op delay (simulates an overloaded or distant node).
   void set_extra_delay(sim::Time d) { extra_delay_ = d; }
@@ -58,6 +76,7 @@ class MemoryNode {
   uint64_t capacity_;
   uint64_t next_free_ = 64;  // Address 0 is reserved as a null pointer.
   bool failed_ = false;
+  bool repair_fenced_ = false;
   sim::Time extra_delay_ = 0;
 };
 

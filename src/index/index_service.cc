@@ -1,8 +1,31 @@
 #include "src/index/index_service.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace swarm::index {
+
+sim::Task<void> IndexService::Leg(bool response) {
+  if (fabric_ != nullptr) {
+    // Reliable transport over a faulty link: every drop costs one
+    // retransmission timeout before the leg finally goes through. This keeps
+    // the RPC's at-most-once apply semantics while letting chaos stretch the
+    // window between an index mutation and its acknowledgement (or between a
+    // client's request and the mutation).
+    const int link = fabric_->index_link();
+    while (fabric_->DropMessage(link, response)) {
+      co_await sim_->Delay(fabric_->config().failure_detect_delay);
+    }
+  }
+  sim::Time delay = one_way_;
+  if (jitter_ > 0) {
+    delay += sim_->rng().Range(-jitter_, jitter_);
+  }
+  if (fabric_ != nullptr) {
+    delay += fabric_->LinkExtraDelay(fabric_->index_link(), response);
+  }
+  co_await sim_->Delay(std::max<sim::Time>(delay, 1));
+}
 
 sim::Task<void> IndexService::Roundtrip(fabric::ClientCpu* cpu) {
   if (cpu != nullptr) {
@@ -10,47 +33,58 @@ sim::Task<void> IndexService::Roundtrip(fabric::ClientCpu* cpu) {
     // alongside it (e.g. an insert's parallel replica writes, §5.3.1).
     co_await cpu->Submit(submit_cost_);
   }
-  sim::Time delay = 2 * one_way_;
-  if (jitter_ > 0) {
-    delay += sim_->rng().Range(-jitter_, jitter_);
-  }
-  co_await sim_->Delay(delay);
+  co_await Leg(/*response=*/false);
 }
 
 sim::Task<std::optional<IndexEntry>> IndexService::Lookup(uint64_t key, fabric::ClientCpu* cpu) {
   co_await Roundtrip(cpu);
   ++stats_.lookups;
+  std::optional<IndexEntry> result;
   auto it = map_.find(key);
-  if (it == map_.end()) {
-    co_return std::nullopt;
+  if (it != map_.end()) {
+    result = it->second;
   }
-  co_return it->second;
+  co_await Leg(/*response=*/true);
+  co_return result;
 }
 
 sim::Task<std::pair<bool, IndexEntry>> IndexService::InsertIfAbsent(
     uint64_t key, std::shared_ptr<const ObjectLayout> layout, fabric::ClientCpu* cpu) {
   co_await Roundtrip(cpu);
   ++stats_.inserts;
+  std::pair<bool, IndexEntry> result;
   auto it = map_.find(key);
   if (it != map_.end()) {
-    co_return std::pair<bool, IndexEntry>{false, it->second};
+    result = {false, it->second};
+  } else {
+    IndexEntry entry{std::move(layout), next_generation_++};
+    map_.emplace(key, entry);
+    result = {true, entry};
   }
-  IndexEntry entry{std::move(layout), next_generation_++};
-  map_.emplace(key, entry);
-  co_return std::pair<bool, IndexEntry>{true, entry};
+  co_await Leg(/*response=*/true);
+  co_return result;
 }
 
 sim::Task<bool> IndexService::RemoveIfGeneration(uint64_t key, uint64_t generation,
                                                  fabric::ClientCpu* cpu) {
   co_await Roundtrip(cpu);
   ++stats_.removes;
+  bool removed = false;
   auto it = map_.find(key);
-  if (it == map_.end() || it->second.generation != generation) {
-    co_return false;
+  if (it != map_.end() && it->second.generation == generation) {
+    Retire(std::move(it->second.layout));
+    map_.erase(it);
+    removed = true;
   }
-  Retire(std::move(it->second.layout));
-  map_.erase(it);
-  co_return true;
+  co_await Leg(/*response=*/true);
+  co_return removed;
+}
+
+std::vector<std::pair<uint64_t, IndexEntry>> IndexService::SnapshotSorted() const {
+  std::vector<std::pair<uint64_t, IndexEntry>> entries(map_.begin(), map_.end());
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return entries;
 }
 
 }  // namespace swarm::index

@@ -40,9 +40,17 @@ struct IndexStats {
 
 class IndexService {
  public:
-  IndexService(sim::Simulator* sim, sim::Time one_way_delay = 680, sim::Time jitter = 90,
+  // With `fabric` set, index RPCs ride the chaos fault hooks on the fabric's
+  // dedicated index link (Fabric::index_link()): delay spikes stretch each
+  // leg and drop bursts trigger RPC retransmissions (the transport is
+  // reliable, so a drop costs a retransmission timeout rather than losing
+  // the operation — but the fault windows it opens between the data path and
+  // the index are real). Null keeps the service fault-free.
+  IndexService(sim::Simulator* sim, fabric::Fabric* fabric = nullptr,
+               sim::Time one_way_delay = 680, sim::Time jitter = 90,
                sim::Time submit_cost = 200)
-      : sim_(sim), one_way_(one_way_delay), jitter_(jitter), submit_cost_(submit_cost) {}
+      : sim_(sim), fabric_(fabric), one_way_(one_way_delay), jitter_(jitter),
+        submit_cost_(submit_cost) {}
 
   // One-roundtrip lookup. nullopt = key not mapped.
   sim::Task<std::optional<IndexEntry>> Lookup(uint64_t key, fabric::ClientCpu* cpu);
@@ -65,6 +73,12 @@ class IndexService {
     retired_.push_back(std::move(layout));
   }
 
+  // Unmapped-but-still-referenceable layouts, in retirement order. Repair
+  // must restore these too: a stale-cached client can still read a retired
+  // object, and a rejoined replica that misses its tombstone would pair with
+  // a stale survivor and resurrect the deleted value.
+  const std::vector<std::shared_ptr<const ObjectLayout>>& retired() const { return retired_; }
+
   // Direct (zero-roundtrip) inspection, used by the benchmark harness to
   // pre-warm client caches as an infinitely long warm-up phase would.
   const IndexEntry* Peek(uint64_t key) const {
@@ -75,15 +89,27 @@ class IndexService {
   const IndexStats& stats() const { return stats_; }
   size_t size() const { return map_.size(); }
 
+  // Deterministic (key-sorted) snapshot of the live mappings — the repair
+  // coordinator walks this to find every replica slot a recovering node
+  // hosts. Entries inserted after the snapshot need no repair: their writes
+  // quorum-excluded the recovering node, so any future majority intersects
+  // the replicas that did ack.
+  std::vector<std::pair<uint64_t, IndexEntry>> SnapshotSorted() const;
+
   // Approximate per-key memory footprint on the index servers (24 B location
   // record, as §5.2), for the resource accounting of Table 3.
   uint64_t ModeledBytes() const { return map_.size() * 24; }
 
  private:
   // One network roundtrip to the index server, including client submission.
+  // The request leg completes before the caller's map access; the response
+  // leg after it — so chaos faults can delay a mutation's acknowledgement
+  // past the instant the mapping became visible to other clients.
   sim::Task<void> Roundtrip(fabric::ClientCpu* cpu);
+  sim::Task<void> Leg(bool response);
 
   sim::Simulator* sim_;
+  fabric::Fabric* fabric_;
   sim::Time one_way_;
   sim::Time jitter_;
   sim::Time submit_cost_;

@@ -1,5 +1,7 @@
 #include "src/kv/fusee_kv.h"
 
+#include <algorithm>
+#include <array>
 #include <cstring>
 
 #include "src/hash/xxhash.h"
@@ -73,8 +75,15 @@ sim::Task<void> FuseeKvSession::OnNodeFailure(int node) {
 }
 
 sim::Task<bool> FuseeKvSession::AwaitUsable(const FuseeStore::KeyMeta& meta) {
-  if (store_->InRecovery()) {
-    co_await worker_->sim()->WaitUntil(store_->recovering_until());
+  while (store_->InRecovery()) {
+    const sim::Time until = store_->recovering_until();
+    if (until > worker_->sim()->Now()) {
+      co_await worker_->sim()->WaitUntil(until);
+    } else {
+      // Repair-driven recovery has no scripted end time: poll until the
+      // coordinator readmits (or abandons) the node.
+      co_await worker_->sim()->Delay(5 * sim::kMicrosecond);
+    }
   }
   co_return !(store_->NodeFailed(meta.primary) && store_->NodeFailed(meta.backup));
 }
@@ -102,6 +111,138 @@ BlockParse ParseBlock(std::vector<uint8_t> block, uint32_t max_value, uint64_t w
 }
 
 }  // namespace
+
+sim::Task<repair::RepairOutcome> FuseeStore::RepairNode(int node, Worker* worker,
+                                                        const repair::RepairConfig& config) {
+  (void)config;  // FUSEE keeps no tombstones: a removed key IS the zero slot.
+  repair::RepairOutcome out;
+  out.complete = true;
+  // Index-guided log scan: the directory names every slot the node hosts;
+  // key-sorted for deterministic replay.
+  std::vector<uint64_t> keys;
+  keys.reserve(directory_.size());
+  for (const auto& [key, meta] : directory_) {
+    if (meta.primary == node || meta.backup == node) {
+      keys.push_back(key);
+    }
+  }
+  std::sort(keys.begin(), keys.end());
+  const uint32_t max_value = worker->config().max_value;
+  for (uint64_t key : keys) {
+    KeyMeta& meta = directory_.find(key)->second;
+    const int src = meta.primary == node ? meta.backup : meta.primary;
+    if (NodeFailed(src)) {
+      ++out.slots_failed;  // Both replicas down: nothing to copy from.
+      out.complete = false;
+      continue;
+    }
+    const uint64_t src_addr =
+        src == meta.primary ? meta.index_addr_primary : meta.index_addr_backup;
+    const uint64_t dst_addr =
+        node == meta.primary ? meta.index_addr_primary : meta.index_addr_backup;
+    bool done = false;
+    uint32_t installed_oop = 0;
+    for (int attempt = 0; attempt < 4 && !done; ++attempt) {
+      std::array<uint8_t, 8> ibuf{};
+      fabric::OpResult ir = co_await worker->qp(src).Read(src_addr, ibuf);
+      if (!ir.ok()) {
+        break;
+      }
+      uint64_t word;
+      std::memcpy(&word, ibuf.data(), 8);
+      if (word == 0) {
+        // Key deleted (possibly after an earlier attempt installed a copy):
+        // the recovered slot must read absent, and any earlier attempt's
+        // block is unreachable and recyclable.
+        if (installed_oop != 0) {
+          worker->pool(node).Free(installed_oop);
+          installed_oop = 0;
+        }
+        std::vector<uint8_t> zero(8, 0);
+        fabric::OpResult zr = co_await worker->qp(node).Write(dst_addr, zero);
+        if (!zr.ok()) {
+          break;
+        }
+        // Re-validate like the non-zero path: an insert already past the
+        // recovery gate may have re-created the key on the source meanwhile,
+        // and finalizing the zero would lose its acknowledged write at the
+        // next failover.
+        std::array<uint8_t, 8> rbuf{};
+        fabric::OpResult rr = co_await worker->qp(src).Read(src_addr, rbuf);
+        if (!rr.ok()) {
+          break;
+        }
+        uint64_t word2;
+        std::memcpy(&word2, rbuf.data(), 8);
+        done = word2 == 0;
+        continue;
+      }
+      std::vector<uint8_t> block(kOopHeaderBytes + max_value);
+      fabric::OpResult br = co_await worker->qp(src).Read(
+          static_cast<uint64_t>(OopOf(word)) * kOopGranuleBytes, block);
+      if (!br.ok()) {
+        break;
+      }
+      BlockParse p = ParseBlock(std::move(block), max_value, word);
+      if (!p.ok) {
+        continue;  // Concurrent in-flight update forwarded the block: redo.
+      }
+      // Fresh block on the recovering node + its index slot entry.
+      if (installed_oop != 0) {
+        worker->pool(node).Free(installed_oop);  // Superseded earlier attempt.
+      }
+      const uint32_t dst_oop = worker->pool(node).AllocIdx();
+      installed_oop = dst_oop;
+      std::vector<uint8_t> image(kOopHeaderBytes + p.bytes.size());
+      const uint64_t hdr = PackHeader(GenOf(word), kBlockValid);
+      const uint64_t len = p.bytes.size();
+      std::memcpy(image.data(), &hdr, 8);
+      std::memcpy(image.data() + 8, &len, 8);
+      std::memcpy(image.data() + 16, p.bytes.data(), p.bytes.size());
+      fabric::OpResult wr = co_await worker->qp(node).Write(
+          static_cast<uint64_t>(dst_oop) * kOopGranuleBytes, image);
+      if (!wr.ok()) {
+        break;
+      }
+      const uint64_t new_word = PackIndexWord(GenOf(word), dst_oop);
+      std::vector<uint8_t> wbuf(8);
+      std::memcpy(wbuf.data(), &new_word, 8);
+      fabric::OpResult iw = co_await worker->qp(node).Write(dst_addr, wbuf);
+      if (!iw.ok()) {
+        break;
+      }
+      // Re-validate: an op that was already past the recovery gate may have
+      // committed on the source meanwhile — copy again if so.
+      std::array<uint8_t, 8> rbuf{};
+      fabric::OpResult rr = co_await worker->qp(src).Read(src_addr, rbuf);
+      if (!rr.ok()) {
+        break;
+      }
+      uint64_t word2;
+      std::memcpy(&word2, rbuf.data(), 8);
+      if (word2 == word) {
+        done = true;
+        if (node == meta.backup) {
+          meta.last_backup_oop = dst_oop;  // Future updates GC this copy.
+        }
+      }
+    }
+    if (done) {
+      ++out.slots_repaired;
+    } else {
+      if (installed_oop != 0) {
+        // The key failed terminally this round; the next round re-allocates,
+        // so reclaim this round's block (the node is fenced — no reader can
+        // be chasing it, and a canary-mode racer is caught by the block's
+        // generation check).
+        worker->pool(node).Free(installed_oop);
+      }
+      ++out.slots_failed;
+      out.complete = false;
+    }
+  }
+  co_return out;
+}
 
 sim::Task<KvResult> FuseeKvSession::Get(uint64_t key) {
   KvResult result;
@@ -215,6 +356,36 @@ sim::Task<KvResult> FuseeKvSession::WriteInternal(uint64_t key, std::span<const 
   // foreign commit that interleaved: that would resurrect our
   // already-observable value on top of it.
   uint64_t prior_word = 0;
+  // NODE-sourced observations of the current acting slot within this op
+  // (uncached index reads and CAS responses; a cached expectation proves
+  // nothing — it may predate the op). They order foreign words by
+  // (generation, observation time) lexicographically relative to our
+  // install: a slot observed to hold X at some instant of this op can only
+  // hold a different word later because that word committed IN-WINDOW — so
+  // a retry that finds an unobserved generation knows it landed after our
+  // (possibly applied) install even when it is numerically LOWER (a writer
+  // that allocated its generation before ours but committed after: the
+  // gen/time inversion the old "GenOf(old) > GenOf(prior)" guard
+  // re-installed over). Observations reset on failover: the backup's slot
+  // is a different register whose lagging pre-state we have never seen.
+  int observed_node = -1;
+  bool slot_observed = false;
+  std::array<uint64_t, 12> seen_gens{};
+  size_t num_seen = 0;
+  auto observed_pre = [&](uint64_t word) {
+    slot_observed = true;
+    if (word != 0 && num_seen < seen_gens.size()) {
+      seen_gens[num_seen++] = GenOf(word);
+    }
+  };
+  auto was_pre_state = [&](uint64_t word) {
+    for (size_t i = 0; i < num_seen; ++i) {
+      if (seen_gens[i] == GenOf(word)) {
+        return true;
+      }
+    }
+    return false;
+  };
   for (int attempt = 0; attempt < 3; ++attempt) {
     if (!co_await AwaitUsable(meta)) {
       result.status = KvStatus::kUnavailable;
@@ -225,6 +396,13 @@ sim::Task<KvResult> FuseeKvSession::WriteInternal(uint64_t key, std::span<const 
     const uint64_t index_addr =
         primary == meta.primary ? meta.index_addr_primary : meta.index_addr_backup;
     fabric::Qp& qp = worker_->qp(primary);
+    if (primary != observed_node) {
+      // Failover: the acting slot moved; observations of the old one say
+      // nothing about the new one's pre-state.
+      observed_node = primary;
+      slot_observed = false;
+      num_seen = 0;
+    }
 
     const uint64_t gen = store_->NextGeneration();
     const uint32_t oop_primary = worker_->pool(primary).AllocIdx();
@@ -272,7 +450,7 @@ sim::Task<KvResult> FuseeKvSession::WriteInternal(uint64_t key, std::span<const 
       expected = prior_word;
     } else if (index::CacheEntry* cached = cache_->Lookup(key)) {
       result.cache_hit = true;
-      expected = cached->generation;
+      expected = cached->generation;  // Cache-sourced: NOT a slot observation.
     } else if (!expect_new) {
       // Uncached update: consult the on-node index slot first; updating a
       // key that does not exist fails.
@@ -288,6 +466,7 @@ sim::Task<KvResult> FuseeKvSession::WriteInternal(uint64_t key, std::span<const 
         result.status = KvStatus::kNotFound;
         co_return result;
       }
+      observed_pre(expected);
     }
     uint64_t old_word = 0;
     bool cas_done = false;
@@ -308,19 +487,36 @@ sim::Task<KvResult> FuseeKvSession::WriteInternal(uint64_t key, std::span<const 
         // truthfully report "key was never there".
         result.status = prior_word != 0 ? KvStatus::kOk : KvStatus::kNotFound;
         co_return result;
-      } else if (prior_word != 0 && c.old_value != prior_word &&
-                 GenOf(c.old_value) > GenOf(prior_word)) {
-        // Resurrection guard: a retry that finds a commit NEWER than our
-        // previous attempt's install must not re-install — readers may
+      } else if (prior_word != 0 && c.old_value != 0 && c.old_value != prior_word &&
+                 (GenOf(c.old_value) >= GenOf(prior_word) ||
+                  (slot_observed && !was_pre_state(c.old_value)))) {
+        // Resurrection guard: a retry that finds a commit that landed AFTER
+        // our previous attempt's install must not re-install — readers may
         // already have ordered our (possibly applied) value before that
         // commit, so installing again would resurrect it on top. Our write
         // linearizes just before the commit we observed: declare success
-        // without touching the slot. OLDER words are a different story —
-        // after a failover the acting slot holds the backup's stale
-        // pre-state, which we must simply overwrite.
+        // without touching the slot. "After ours" is decided by comparing
+        // (generation, observation time) lexicographically, not raw
+        // generation order:
+        //  * a HIGHER generation was allocated after our attempt began, so
+        //    it certainly committed inside our op (the classic case);
+        //  * our OWN generation under a different pointer is our backup-slot
+        //    install surfacing through a failover — equally ours;
+        //  * a LOWER generation that this op never OBSERVED in the acting
+        //    slot — while it HAS observed that slot hold something else —
+        //    must have committed after that observation, i.e. after our
+        //    install: a writer that allocated its generation before ours but
+        //    committed later. This is the gen/time inversion the old
+        //    "GenOf(old) > GenOf(prior)" guard re-installed over.
+        // A lower-generation word already observed as pre-state, or any
+        // word when this op never observed the acting slot (e.g. right
+        // after a failover, where the backup lags behind state we only ever
+        // saw on the dead primary), proves nothing and falls through to be
+        // overwritten.
         result.status = expect_new ? KvStatus::kExists : KvStatus::kOk;
         co_return result;
       } else {
+        observed_pre(c.old_value);
         expected = c.old_value;
       }
     }

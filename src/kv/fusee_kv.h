@@ -23,6 +23,7 @@
 
 #include "src/index/client_cache.h"
 #include "src/kv/kv_types.h"
+#include "src/repair/repair.h"
 #include "src/swarm/worker.h"
 
 namespace swarm::kv {
@@ -30,7 +31,14 @@ namespace swarm::kv {
 // State shared by every FUSEE client: key directory (bucket addresses are
 // computable from key hashes in real FUSEE, so lookups cost no roundtrip),
 // and the recovery state machine.
-class FuseeStore {
+//
+// As a RepairableStore, FUSEE's crash-recover repair is the paper's
+// log-scan recovery made index-guided: the directory names every index slot
+// and block the recovered node hosted, and each is rebuilt from the
+// surviving replica. All client progress blocks while a repair runs —
+// FUSEE's synchronous-replication recovery semantics (§7.7) — and the node
+// resumes its roles only when the repair completed.
+class FuseeStore : public repair::RepairableStore {
  public:
   FuseeStore(fabric::Fabric* fabric, sim::Time recovery_duration = 40 * sim::kMillisecond)
       : fabric_(fabric), recovery_duration_(recovery_duration) {}
@@ -52,10 +60,26 @@ class FuseeStore {
   KeyMeta& MetaFor(uint64_t key);
 
   // --- Recovery state machine (§7.7) ---
-  bool InRecovery() const { return fabric_->sim()->Now() < recovering_until_; }
+  bool InRecovery() const {
+    return fabric_->sim()->Now() < recovering_until_ || repairing_;
+  }
   sim::Time recovering_until() const { return recovering_until_; }
   void StartRecovery(int failed_node);
   bool NodeFailed(int node) const { return failed_nodes_[static_cast<size_t>(node)]; }
+
+  // --- Crash-recover repair (src/repair/repair.h) ---
+  sim::Task<repair::RepairOutcome> RepairNode(int node, Worker* worker,
+                                              const repair::RepairConfig& config) override;
+  void OnRepairBegin(int node) override {
+    (void)node;
+    repairing_ = true;  // Synchronous replication: all progress stops.
+  }
+  void OnRepairComplete(int node, bool readmitted) override {
+    repairing_ = false;
+    if (readmitted) {
+      failed_nodes_[static_cast<size_t>(node)] = false;  // Roles restored.
+    }
+  }
 
   uint64_t NextGeneration() { return next_gen_++; }
 
@@ -65,6 +89,7 @@ class FuseeStore {
   fabric::Fabric* fabric_;
   sim::Time recovery_duration_;
   sim::Time recovering_until_ = 0;
+  bool repairing_ = false;
   std::vector<bool> failed_nodes_ = std::vector<bool>(16, false);
   uint64_t next_gen_ = 1;
   std::unordered_map<uint64_t, KeyMeta> directory_;

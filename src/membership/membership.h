@@ -34,7 +34,9 @@ class MembershipService {
                     sim::Time detection_delay = 50 * sim::kMicrosecond,
                     sim::Time lease_duration = 1 * sim::kMillisecond)
       : sim_(sim), fabric_(fabric), detection_delay_(detection_delay),
-        lease_duration_(lease_duration) {}
+        lease_duration_(lease_duration),
+        repairing_(std::make_shared<std::vector<bool>>(
+            static_cast<size_t>(fabric->num_nodes()), false)) {}
 
   // --- Memory-node monitoring ---
 
@@ -70,6 +72,45 @@ class MembershipService {
   // Scripts the baseline detection delay for subsequent crash/recover
   // notifications (a chaos "detection sweep" slows or speeds the service).
   void set_detection_delay(sim::Time d) { detection_delay_ = d; }
+
+  // --- Crash-recover repair lifecycle (src/repair/repair.h) ---
+  //
+  // A restarted memory node must not serve quorum operations until a repair
+  // coordinator has rebuilt its replica slots from surviving quorums. The
+  // per-node `repairing` flag is that gate: Workers share the vector and
+  // quorum selection (src/swarm/) excludes flagged nodes entirely — they
+  // neither receive protocol verbs nor count toward any majority. Only the
+  // repair coordinator itself addresses a repairing node (directly, replica
+  // by replica).
+
+  // Restarts `node` with its allocation map preserved, marks it repairing,
+  // and FENCES it: every verb except the repair coordinator's keeps failing
+  // (an in-flight verb issued against the crashed node must not execute
+  // against the wiped-but-alive memory). Subscribers are NOT notified — the
+  // node stays in their known-failed sets until CompleteRepair.
+  void BeginRepair(int node) {
+    fabric_->RecoverPreservingLayout(node);
+    fabric_->node(node).set_repair_fenced(true);
+    (*repairing_)[static_cast<size_t>(node)] = true;
+  }
+
+  // Readmits a repaired node: lifts the fence, clears the repairing flag
+  // immediately and pushes the recovery notification after the detection
+  // delay.
+  void CompleteRepair(int node) {
+    fabric_->node(node).set_repair_fenced(false);
+    (*repairing_)[static_cast<size_t>(node)] = false;
+    sim_->After(detection_delay_, [this, node] {
+      for (auto& s : subscribers_) {
+        (*s)[static_cast<size_t>(node)] = false;
+      }
+    });
+  }
+
+  // A repair that gave up (no surviving quorum within its retry budget)
+  // leaves the node permanently excluded — safe, merely unavailable.
+  bool IsRepairing(int node) const { return (*repairing_)[static_cast<size_t>(node)]; }
+  const std::shared_ptr<std::vector<bool>>& repairing() const { return repairing_; }
 
   // --- Client leases (for the memory recycler, §4.5/§5.4) ---
 
@@ -141,6 +182,7 @@ class MembershipService {
   std::vector<std::shared_ptr<std::vector<bool>>> subscribers_;
   std::unordered_map<uint32_t, sim::Time> leases_;
   std::unordered_set<uint32_t> fenced_;
+  std::shared_ptr<std::vector<bool>> repairing_;
 };
 
 }  // namespace swarm::membership

@@ -1,0 +1,209 @@
+#include "src/repair/repair.h"
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+
+#include "src/swarm/abd.h"
+#include "src/swarm/inout.h"
+#include "src/swarm/quorum_max.h"
+#include "src/swarm/timestamp.h"
+
+namespace swarm::repair {
+namespace {
+
+// Merge rule for restoring a wiped timestamp-lock word from the survivors'
+// copies: lock words only ever grow, so the higher counter wins; on a
+// counter tie between modes, prefer READ — it blocks the writer's
+// re-execution, i.e. the guessed write stands, which is the direction a
+// reader that already committed the guess requires. (READ mode has the lower
+// raw encoding at equal counters.)
+uint64_t MergeTslWord(uint64_t a, uint64_t b) {
+  const TslWord wa(a);
+  const TslWord wb(b);
+  if (wa.counter() != wb.counter()) {
+    return wa.counter() > wb.counter() ? a : b;
+  }
+  return std::min(a, b);
+}
+
+// Restores one replica's timestamp-lock array from the surviving replicas.
+// Lock state may live at a bare majority that INCLUDED the wiped node, so a
+// single survivor can be the only holder — every usable replica must be
+// read, not just a majority.
+sim::Task<bool> RestoreLocks(Worker* worker, const ObjectLayout* layout, int target) {
+  const size_t region = static_cast<size_t>(layout->tsl_region_bytes());
+  const int writers = layout->max_writers;
+  std::vector<uint64_t> merged(static_cast<size_t>(writers), 0);
+  bool any = false;
+  for (int r = 0; r < layout->num_replicas; ++r) {
+    const ReplicaLayout& rep = layout->replicas[static_cast<size_t>(r)];
+    if (worker->NodeQuorumExcluded(rep.node)) {
+      continue;  // The node under repair itself.
+    }
+    std::vector<uint8_t> buf(region);
+    fabric::OpResult res = co_await worker->qp(rep.node).Read(rep.tsl_addr, buf);
+    if (!res.ok()) {
+      co_return false;
+    }
+    for (int i = 0; i < writers; ++i) {
+      uint64_t word;
+      std::memcpy(&word, buf.data() + static_cast<size_t>(i) * 8, 8);
+      merged[static_cast<size_t>(i)] = MergeTslWord(merged[static_cast<size_t>(i)], word);
+      any = any || word != 0;
+    }
+  }
+  if (!any) {
+    co_return true;  // No lock was ever taken on this object.
+  }
+  std::vector<uint8_t> out(region);
+  std::memcpy(out.data(), merged.data(), region);
+  const ReplicaLayout& dst = layout->replicas[static_cast<size_t>(target)];
+  fabric::OpResult res = co_await worker->qp(dst.node).Write(dst.tsl_addr, out);
+  co_return res.ok();
+}
+
+// Repairs one Safe-Guess replica: ABD-style quorum read with write-back
+// among the survivors (ReadQuorum(strong) re-installs the max at a majority
+// before trusting it), then a direct install of the max — exact word,
+// GUESSED flag and tombstones preserved — into the rejoining replica.
+sim::Task<bool> RepairSafeGuessReplica(Worker* worker,
+                                       std::shared_ptr<const ObjectLayout> layout_sp, int target,
+                                       bool skip_tombstones) {
+  const ObjectLayout* layout = layout_sp.get();
+  QuorumMax reg(worker, layout, worker->SlotCacheFor(layout));
+  if (skip_tombstones) {
+    // CANARY: deleted objects are not repaired AT ALL — the probe must be a
+    // weak read, because the strong read below write-backs the max (i.e.
+    // stabilizes the tombstone at the survivors) as a side effect, which
+    // would mask the injected bug.
+    ReadOutcome probe = co_await reg.ReadQuorum(/*strong=*/false);
+    if (probe.ok && probe.m.deleted()) {
+      co_return true;
+    }
+  }
+  ReadOutcome m = co_await reg.ReadQuorum(/*strong=*/true);
+  if (!m.ok) {
+    co_return false;  // No surviving quorum (or unstabilizable state) yet.
+  }
+  if (!m.m.empty()) {
+    InOutReplica rep(worker, layout, target);
+    const Meta word = Meta::Pack(m.m.counter(), m.m.tid(), m.m.verified(), 0);
+    if (m.m.deleted()) {
+      if (!skip_tombstones) {
+        NodeMaxResult res = co_await rep.WriteVerifiedNode(word, {}, Meta());
+        if (!res.ok()) {
+          co_return false;
+        }
+      }
+    } else {
+      if (!m.value_ok) {
+        co_return false;  // Out-of-place chase lost a race; retry the round.
+      }
+      NodeMaxResult res = co_await rep.WriteVerifiedNode(word, m.value, Meta());
+      if (!res.ok()) {
+        co_return false;
+      }
+    }
+  }
+  // Timestamp-lock state arbitrates guessed writes and must survive the
+  // crash too, or a lock majority that included the wiped node silently
+  // dissolves and both modes can acquire.
+  co_return co_await RestoreLocks(worker, layout, target);
+}
+
+}  // namespace
+
+sim::Task<RepairOutcome> IndexRepairSource::RepairNode(int node, Worker* worker,
+                                                       const RepairConfig& config) {
+  RepairOutcome out;
+  out.complete = true;
+  // Key-sorted snapshot of live mappings plus every retired layout, in a
+  // deterministic walk order for seed replay. Mappings inserted after the
+  // snapshot wrote to quorums that excluded `node`. Retired layouts matter
+  // too: stale-cached clients still read them, and a rejoined replica that
+  // misses its tombstone would pair with a stale survivor and resurrect the
+  // deleted value.
+  std::vector<std::shared_ptr<const ObjectLayout>> layouts;
+  for (auto& [key, entry] : index_->SnapshotSorted()) {
+    layouts.push_back(entry.layout);
+  }
+  for (const auto& retired : index_->retired()) {
+    layouts.push_back(retired);
+  }
+  for (const auto& layout_sp : layouts) {
+    const ObjectLayout* layout = layout_sp.get();
+    for (int r = 0; r < layout->num_replicas; ++r) {
+      if (layout->replicas[static_cast<size_t>(r)].node != node) {
+        continue;
+      }
+      bool ok;
+      if (protocol_ == LayoutProtocol::kAbd) {
+        AbdObject obj(worker, layout, worker->SlotCacheFor(layout));
+        ok = co_await obj.RepairReplica(r, config.skip_tombstone_repair);
+      } else {
+        ok = co_await RepairSafeGuessReplica(worker, layout_sp, r,
+                                             config.skip_tombstone_repair);
+      }
+      if (ok) {
+        ++out.slots_repaired;
+      } else {
+        ++out.slots_failed;
+        out.complete = false;
+      }
+    }
+  }
+  co_return out;
+}
+
+sim::Task<bool> RepairService::RecoverAndRepair(int node) {
+  ++in_flight_;
+  membership_->BeginRepair(node);
+  for (RepairableStore* s : stores_) {
+    s->OnRepairBegin(node);
+  }
+  if (config_.readmit_before_repair) {
+    // CANARY: the node rejoins quorums with empty replicas while the repair
+    // below is still running — the bug the chaos suites must catch.
+    for (RepairableStore* s : stores_) {
+      s->OnRepairComplete(node, /*readmitted=*/true);
+    }
+    membership_->CompleteRepair(node);
+  }
+  // No registered stores means nobody can vouch for the node's (wiped)
+  // contents — almost certainly a mis-wired coordinator. Treat it as an
+  // aborted repair: the node stays excluded, which is safe.
+  bool complete = false;
+  for (int round = 0; round < config_.max_rounds && !complete && !stores_.empty(); ++round) {
+    if (round > 0) {
+      co_await worker_->sim()->Delay(config_.round_retry_delay);
+    }
+    complete = true;
+    for (RepairableStore* s : stores_) {
+      RepairOutcome out = co_await s->RepairNode(node, worker_, config_);
+      slots_repaired_ += out.slots_repaired;
+      complete = complete && out.complete;
+    }
+  }
+  if (config_.readmit_before_repair) {
+    --in_flight_;
+    ++repairs_completed_;
+    co_return true;  // Already (wrongly) readmitted above.
+  }
+  if (complete) {
+    for (RepairableStore* s : stores_) {
+      s->OnRepairComplete(node, /*readmitted=*/true);
+    }
+    membership_->CompleteRepair(node);
+    ++repairs_completed_;
+  } else {
+    for (RepairableStore* s : stores_) {
+      s->OnRepairComplete(node, /*readmitted=*/false);
+    }
+    ++repairs_aborted_;
+  }
+  --in_flight_;
+  co_return complete;
+}
+
+}  // namespace swarm::repair

@@ -25,6 +25,8 @@ const char* FaultKindName(FaultKind kind) {
       return "detection_sweep";
     case FaultKind::kEpochChurn:
       return "epoch_churn";
+    case FaultKind::kRepairDone:
+      return "repair_done";
   }
   return "?";
 }
@@ -32,18 +34,21 @@ const char* FaultKindName(FaultKind kind) {
 ChaosEngine::ChaosEngine(fabric::Fabric* fabric, membership::MembershipService* membership,
                          ChaosConfig config)
     : sim_(fabric->sim()), fabric_(fabric), membership_(membership), config_(config) {
-  const size_t n = static_cast<size_t>(fabric_->num_nodes());
+  // One fault-state slot per link: every memory node plus the index RPC link.
+  const size_t n = static_cast<size_t>(fabric_->chaos_link_count());
   spike_delay_.assign(n, 0);
   spike_gen_.assign(n, 0);
-  drop_p_.assign(n, 0.0);
+  drop_req_p_.assign(n, 0.0);
+  drop_ack_p_.assign(n, 0.0);
   drop_gen_.assign(n, 0);
-  crashed_.assign(n, false);
+  crashed_.assign(static_cast<size_t>(fabric_->num_nodes()), false);
   fabric_->set_link_delay_fn(
       [this](int node, bool /*response*/) { return spike_delay_[static_cast<size_t>(node)]; });
-  fabric_->set_drop_fn([this](int node, bool /*response*/) {
+  fabric_->set_drop_fn([this](int node, bool response) {
     // Consumes Rng only while a burst is active, so installing the engine
     // does not perturb fault-free runs.
-    const double p = drop_p_[static_cast<size_t>(node)];
+    const double p = response ? drop_ack_p_[static_cast<size_t>(node)]
+                              : drop_req_p_[static_cast<size_t>(node)];
     return p > 0.0 && sim_->rng().Chance(p);
   });
 }
@@ -147,6 +152,16 @@ void ChaosEngine::InjectCrash() {
   const sim::Time down =
       config_.min_down + static_cast<sim::Time>(sim_->rng().Below(
                              static_cast<uint64_t>(config_.max_down - config_.min_down) + 1));
+  if (config_.repair && repair_fn_) {
+    // kRecoverWithRepair: restart → repair → readmit. The node keeps
+    // counting against max_crashed until the lifecycle completes, so a
+    // surviving quorum exists for the repair reads throughout.
+    sim_->After(down, [this, node] {
+      Record(FaultKind::kRestart, node, 1);
+      sim::Spawn(RepairCycle(node));
+    });
+    return;
+  }
   sim_->After(down, [this, node] {
     crashed_[static_cast<size_t>(node)] = false;
     --crashed_count_;
@@ -159,8 +174,16 @@ void ChaosEngine::InjectCrash() {
   });
 }
 
+sim::Task<void> ChaosEngine::RepairCycle(int node) {
+  const bool readmitted = co_await repair_fn_(node);
+  crashed_[static_cast<size_t>(node)] = false;
+  --crashed_count_;
+  Record(FaultKind::kRepairDone, node, readmitted ? 0 : 1);
+}
+
 void ChaosEngine::InjectDelaySpike() {
-  const int node = static_cast<int>(sim_->rng().Below(static_cast<uint64_t>(fabric_->num_nodes())));
+  const int links = config_.fault_index_link ? fabric_->chaos_link_count() : fabric_->num_nodes();
+  const int node = static_cast<int>(sim_->rng().Below(static_cast<uint64_t>(links)));
   const sim::Time spike =
       1 + static_cast<sim::Time>(sim_->rng().Below(static_cast<uint64_t>(config_.max_spike)));
   const sim::Time duration = 1 + static_cast<sim::Time>(sim_->rng().Below(
@@ -178,16 +201,24 @@ void ChaosEngine::InjectDelaySpike() {
 }
 
 void ChaosEngine::InjectDropBurst() {
-  const int node = static_cast<int>(sim_->rng().Below(static_cast<uint64_t>(fabric_->num_nodes())));
+  const int links = config_.fault_index_link ? fabric_->chaos_link_count() : fabric_->num_nodes();
+  const int node = static_cast<int>(sim_->rng().Below(static_cast<uint64_t>(links)));
   const double p = std::max(0.02, config_.max_drop_p * sim_->rng().Double());
   const sim::Time duration = 1 + static_cast<sim::Time>(sim_->rng().Below(
                                      static_cast<uint64_t>(config_.max_drop_duration)));
-  drop_p_[static_cast<size_t>(node)] = p;
+  // Per-direction split: the heavier-weighted direction drops at the full
+  // sampled p, the other is scaled down by the weight ratio.
+  const double wmax = std::max(config_.drop_req_weight, config_.drop_ack_weight);
+  const double req_scale = wmax > 0.0 ? config_.drop_req_weight / wmax : 0.0;
+  const double ack_scale = wmax > 0.0 ? config_.drop_ack_weight / wmax : 0.0;
+  drop_req_p_[static_cast<size_t>(node)] = p * req_scale;
+  drop_ack_p_[static_cast<size_t>(node)] = p * ack_scale;
   const uint64_t gen = ++drop_gen_[static_cast<size_t>(node)];
   Record(FaultKind::kDropBurst, node, static_cast<uint64_t>(p * 1000.0));
   sim_->After(duration, [this, node, gen] {
     if (drop_gen_[static_cast<size_t>(node)] == gen) {
-      drop_p_[static_cast<size_t>(node)] = 0.0;
+      drop_req_p_[static_cast<size_t>(node)] = 0.0;
+      drop_ack_p_[static_cast<size_t>(node)] = 0.0;
       Record(FaultKind::kDropStop, node, 0);
     }
   });
@@ -239,7 +270,7 @@ std::string ChaosEngine::TraceSummary() const {
   }
   std::string out;
   for (uint8_t k = static_cast<uint8_t>(FaultKind::kCrash);
-       k <= static_cast<uint8_t>(FaultKind::kEpochChurn); ++k) {
+       k <= static_cast<uint8_t>(FaultKind::kRepairDone); ++k) {
     const int c = counts[k];
     if (c == 0) {
       continue;

@@ -38,7 +38,8 @@ namespace swarm::chaos {
 
 enum class FaultKind : uint8_t {
   kCrash = 1,       // node crashed (param = detection delay used)
-  kRestart,         // node restarted (recovered memory comes back EMPTY)
+  kRestart,         // node restarted (param: 0 = came back EMPTY, 1 = entered
+                    // the kRecoverWithRepair lifecycle)
   kDelaySpike,      // per-link delay spike began (param = extra ns)
   kDelayClear,      // spike ended
   kDropBurst,       // message-drop burst began (param = probability, permille)
@@ -46,6 +47,9 @@ enum class FaultKind : uint8_t {
   kLeaseExpiry,     // a client's membership lease was force-expired (param = id)
   kDetectionSweep,  // membership detection delay re-scripted (param = new ns)
   kEpochChurn,      // recycler epoch churn hook fired
+  kRepairDone,      // a kRecoverWithRepair lifecycle completed (param: 0 = the
+                    // node was repaired and readmitted, 1 = repair gave up and
+                    // the node stays quorum-excluded)
 };
 
 const char* FaultKindName(FaultKind kind);
@@ -75,11 +79,18 @@ struct ChaosConfig {
 
   // Crash lifecycle. A restarted node comes back EMPTY (disaggregated DRAM
   // loses its contents), which no quorum protocol without state transfer can
-  // survive — the linearizability suites therefore run crash-stop
+  // survive — plain-restart linearizability suites therefore run crash-stop
   // (restart = false), while determinism/replay suites exercise restarts.
-  int max_crashed = 1;      // Simultaneously crashed nodes.
+  // With `repair` set (and a repair hook installed, set_repair_fn) a restart
+  // becomes the full kRecoverWithRepair lifecycle instead: the node rejoins
+  // with its allocation map intact but quorum-EXCLUDED, a repair coordinator
+  // rebuilds its replica slots from surviving quorums, and only then is it
+  // readmitted — the crash-recover regime the linearizability suites CAN
+  // check. The node counts against max_crashed until readmission.
+  int max_crashed = 1;      // Simultaneously crashed/repairing nodes.
   int crashable_nodes = 0;  // Only nodes [0, n) may crash; 0 = all nodes.
   bool restart = false;
+  bool repair = false;
   sim::Time min_down = 200 * sim::kMicrosecond;
   sim::Time max_down = 800 * sim::kMicrosecond;
   // Randomized per-crash membership detection delay (slow-detection sweeps).
@@ -90,9 +101,23 @@ struct ChaosConfig {
   sim::Time max_spike = 25 * sim::kMicrosecond;
   sim::Time max_spike_duration = 120 * sim::kMicrosecond;
 
-  // Message-drop bursts.
+  // Message-drop bursts. A burst's sampled probability p is split per
+  // direction by the request/ack weights: the heavier direction drops at p,
+  // the lighter at p scaled by its weight ratio. Equal weights (default)
+  // reproduce the old symmetric model; drop_req_weight = 0 yields pure
+  // ack-loss bursts — the applied-but-unacknowledged case quorum commits and
+  // repair are most sensitive to.
   double max_drop_p = 0.4;
+  double drop_req_weight = 1.0;
+  double drop_ack_weight = 1.0;
   sim::Time max_drop_duration = 60 * sim::kMicrosecond;
+
+  // Whether spikes/drops may also hit the index service's RPC link
+  // (fabric::Fabric::index_link()), opening index/data inconsistency
+  // windows. Opt-in: enable it only when an IndexService is actually wired
+  // to the fabric, or the diverted events silently thin the fault pressure
+  // on the data links. Data-node links are unaffected by this switch.
+  bool fault_index_link = false;
 };
 
 // The engine installs itself into the fabric's chaos hooks on construction
@@ -113,6 +138,15 @@ class ChaosEngine {
   // followed by RunRound). Enable with ChaosConfig::churn_weight > 0.
   void set_epoch_churn(std::function<sim::Task<void>()> fn) { churn_fn_ = std::move(fn); }
 
+  // Binds the kRecoverWithRepair lifecycle (typically
+  // repair::RepairService::RecoverAndRepair): invoked at a crashed node's
+  // restart instant; the node stays counted against max_crashed until the
+  // returned task — restart, repair, readmission — completes. The task must
+  // co_return true when the node was readmitted, false when repair gave up
+  // (the node then stays quorum-excluded for the rest of the scenario).
+  // Enable with ChaosConfig::restart + ChaosConfig::repair.
+  void set_repair_fn(std::function<sim::Task<bool>(int)> fn) { repair_fn_ = std::move(fn); }
+
   // Spawns the injection driver. Call once, before (or after) starting the
   // workload actors but before Simulator::Run.
   void Start();
@@ -131,6 +165,7 @@ class ChaosEngine {
 
  private:
   sim::Task<void> RunLoop();
+  sim::Task<void> RepairCycle(int node);
   void InjectOne();
 
   void InjectCrash();
@@ -149,11 +184,14 @@ class ChaosEngine {
   membership::MembershipService* membership_;
   ChaosConfig config_;
   std::function<sim::Task<void>()> churn_fn_;
+  std::function<sim::Task<bool>(int)> repair_fn_;
 
-  // Per-node live fault state consulted by the fabric hooks.
+  // Per-link live fault state consulted by the fabric hooks; one entry per
+  // memory node plus one for the index service's RPC link.
   std::vector<sim::Time> spike_delay_;
   std::vector<uint64_t> spike_gen_;
-  std::vector<double> drop_p_;
+  std::vector<double> drop_req_p_;
+  std::vector<double> drop_ack_p_;
   std::vector<uint64_t> drop_gen_;
   std::vector<bool> crashed_;
   int crashed_count_ = 0;

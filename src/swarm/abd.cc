@@ -158,7 +158,7 @@ sim::Task<void> RepairOne(Worker* worker, const ObjectLayout* layout, int r, Met
 // resurrecting the overwritten (or a concurrently written) value. Returns
 // false when no majority acked; `rtts` is bumped iff a repair wave ran.
 sim::Task<bool> FenceTombstone(Worker* worker, const ObjectLayout* layout,
-                               const std::array<int, kMaxReplicas>& order,
+                               const std::array<int, kMaxReplicas>& order, int usable,
                                std::shared_ptr<Phase1State> ph, Meta m, int* rtts) {
   const int maj = layout->majority();
   int holders = 0;
@@ -175,18 +175,24 @@ sim::Task<bool> FenceTombstone(Worker* worker, const ObjectLayout* layout,
   auto cs = std::make_shared<CasState>(worker->sim());
   ++*rtts;
   co_return co_await worker->BatchedQuorum(
-      cs->ok, maj, worker->config().quorum_timeout, 0, layout->num_replicas, [&](int i) {
+      cs->ok, maj, worker->config().quorum_timeout, 0, usable, [&](int i) {
         const int r = order[static_cast<size_t>(i)];
         return CasMaxOne(worker, layout, r, ph->words[static_cast<size_t>(r)], repair, cs);
       });
 }
 
-int LivePreferred(Worker* worker, const ObjectLayout* layout, std::array<int, kMaxReplicas>& order) {
+// Live replicas first, known-failed last; repair-excluded replicas dropped
+// entirely (only order[0..usable) may be contacted). Returns the live count.
+int LivePreferred(Worker* worker, const ObjectLayout* layout, std::array<int, kMaxReplicas>& order,
+                  int* usable) {
   int live = 0;
   std::array<int, kMaxReplicas> dead{};
   int num_dead = 0;
   for (int r = 0; r < layout->num_replicas; ++r) {
     const int node = layout->replicas[static_cast<size_t>(r)].node;
+    if (worker->NodeQuorumExcluded(node)) {
+      continue;
+    }
     if (worker->NodeKnownFailed(node)) {
       dead[static_cast<size_t>(num_dead++)] = r;
     } else {
@@ -196,6 +202,7 @@ int LivePreferred(Worker* worker, const ObjectLayout* layout, std::array<int, kM
   for (int i = 0; i < num_dead; ++i) {
     order[static_cast<size_t>(live + i)] = dead[static_cast<size_t>(i)];
   }
+  *usable = live + num_dead;
   return live;
 }
 
@@ -207,8 +214,10 @@ sim::Task<SgWriteResult> AbdObject::Write(std::span<const uint8_t> value) {
   ph->value.assign(value.begin(), value.end());
 
   std::array<int, kMaxReplicas> order{};
-  LivePreferred(worker_, layout_, order);
+  int usable = 0;
+  LivePreferred(worker_, layout_, order, &usable);
   const int maj = layout_->majority();
+  const int first_wave = std::min(maj, usable);
 
   // Phase 1: out-of-place writes in parallel with the timestamp discovery
   // read (DM-ABD "hides latency by writing out-of-place data in parallel to
@@ -217,12 +226,12 @@ sim::Task<SgWriteResult> AbdObject::Write(std::span<const uint8_t> value) {
     return Phase1One(worker_, layout_, order[static_cast<size_t>(i)], ph);
   };
   bool got = co_await worker_->BatchedQuorum(ph->ok, maj, worker_->config().escalation_timeout, 0,
-                                             maj, phase1);
+                                             first_wave, phase1);
   result.rtts = 1;
   if (!got) {
     ++result.rtts;
-    got = co_await worker_->BatchedQuorum(ph->ok, maj, worker_->config().quorum_timeout, maj,
-                                          layout_->num_replicas - maj, phase1);
+    got = co_await worker_->BatchedQuorum(ph->ok, maj, worker_->config().quorum_timeout,
+                                          first_wave, usable - first_wave, phase1);
   }
   if (!got) {
     co_return result;
@@ -237,7 +246,8 @@ sim::Task<SgWriteResult> AbdObject::Write(std::span<const uint8_t> value) {
   if (m.deleted()) {
     // Same repair as the read path: the tombstone must reach a majority
     // before the caller unmaps/fails, or disjoint quorums resurrect values.
-    const bool fenced = co_await FenceTombstone(worker_, layout_, order, ph, m, &result.rtts);
+    const bool fenced =
+        co_await FenceTombstone(worker_, layout_, order, usable, ph, m, &result.rtts);
     result.status = fenced ? SgStatus::kDeleted : SgStatus::kUnavailable;
     co_return result;
   }
@@ -270,7 +280,8 @@ sim::Task<SgWriteResult> AbdObject::Delete() {
   const Meta tombstone = Meta::Tombstone(worker_->tid());
   auto cs = std::make_shared<CasState>(worker_->sim());
   std::array<int, kMaxReplicas> order{};
-  LivePreferred(worker_, layout_, order);
+  int usable = 0;
+  LivePreferred(worker_, layout_, order, &usable);
   const int maj = layout_->majority();
   result.rtts = 1;
   // Delete needs every replica's actual pre-delete word (fed to seen_max
@@ -280,7 +291,7 @@ sim::Task<SgWriteResult> AbdObject::Delete() {
   // and observes the node's word. A CACHED TOMBSTONE would short-circuit
   // the loop with no observation, so fall back to the empty seed there.
   const bool got = co_await worker_->BatchedQuorum(
-      cs->ok, maj, worker_->config().quorum_timeout, 0, layout_->num_replicas, [&](int i) {
+      cs->ok, maj, worker_->config().quorum_timeout, 0, usable, [&](int i) {
         const auto idx = static_cast<size_t>(order[static_cast<size_t>(i)]);
         const Meta seed = cache_->slot[idx].deleted() ? Meta() : cache_->slot[idx];
         return CasMaxOne(worker_, layout_, order[static_cast<size_t>(i)], seed, tombstone, cs);
@@ -298,6 +309,93 @@ sim::Task<SgWriteResult> AbdObject::Delete() {
     result.status = got ? SgStatus::kOk : SgStatus::kUnavailable;
   }
   co_return result;
+}
+
+sim::Task<bool> AbdObject::RepairReplica(int target, bool skip_tombstones) {
+  // Phase 1: the surviving quorum's metadata words (the caller's worker has
+  // the target's node repair-excluded, so `order` never includes it).
+  auto ph = std::make_shared<Phase1State>(worker_->sim());
+  auto rd_one = [](Worker* worker, const ObjectLayout* layout, int r,
+                   std::shared_ptr<Phase1State> st) -> sim::Task<void> {
+    const ReplicaLayout& rep = layout->replicas[static_cast<size_t>(r)];
+    std::array<uint8_t, 8> buf{};
+    fabric::OpResult res = co_await worker->qp(rep.node).Read(rep.meta_addr, buf);
+    if (!res.ok()) {
+      co_return;
+    }
+    uint64_t word;
+    std::memcpy(&word, buf.data(), 8);
+    st->words[static_cast<size_t>(r)] = Meta(word);
+    st->oks[static_cast<size_t>(r)] = true;
+    st->ok.Add(1);
+  };
+  std::array<int, kMaxReplicas> order{};
+  int usable = 0;
+  LivePreferred(worker_, layout_, order, &usable);
+  const int maj = layout_->majority();
+  const bool got = co_await worker_->BatchedQuorum(
+      ph->ok, maj, worker_->config().quorum_timeout, 0, usable,
+      [&](int i) { return rd_one(worker_, layout_, order[static_cast<size_t>(i)], ph); });
+  if (!got) {
+    co_return false;  // No surviving quorum right now.
+  }
+  Meta m;
+  for (int r = 0; r < layout_->num_replicas; ++r) {
+    const auto idx = static_cast<size_t>(r);
+    if (ph->oks[idx]) {
+      m = TsMax(m, ph->words[idx]);
+    }
+  }
+  if (m.empty()) {
+    co_return true;  // Nothing ever committed: the wiped replica is correct.
+  }
+  auto cs = std::make_shared<CasState>(worker_->sim());
+  if (m.deleted()) {
+    if (skip_tombstones) {
+      co_return true;  // Canary bug: the tombstone never reaches the node.
+    }
+    // Tombstone stabilization: restore the EXACT tombstone word so deleted
+    // objects cannot resurrect through a quorum that pairs the rejoined
+    // replica with a stale survivor.
+    co_await CasMaxOne(worker_, layout_, target, Meta(), m, cs);
+    co_return cs->ok.count() > 0;
+  }
+
+  // Phase 2: resolve m's bytes from a surviving holder.
+  auto img = std::make_shared<Phase1State>(worker_->sim());
+  bool value_ok = false;
+  for (int r = 0; r < layout_->num_replicas && !value_ok; ++r) {
+    const auto idx = static_cast<size_t>(r);
+    if (!ph->oks[idx] || ph->words[idx].same_write_key() != m.same_write_key() ||
+        ph->words[idx].oop() == 0) {
+      continue;
+    }
+    const ReplicaLayout& rep = layout_->replicas[idx];
+    std::vector<uint8_t> buf(kOopHeaderBytes + layout_->max_value);
+    fabric::OpResult res = co_await worker_->qp(rep.node).Read(ph->words[idx].oop_addr(), buf);
+    if (!res.ok()) {
+      continue;
+    }
+    uint64_t h;
+    uint64_t len;
+    std::memcpy(&h, buf.data(), 8);
+    std::memcpy(&len, buf.data() + 8, 8);
+    if (len <= layout_->max_value) {
+      std::span<const uint8_t> data(buf.data() + kOopHeaderBytes, static_cast<size_t>(len));
+      if (AbdHash(rep.meta_addr, len, data) == h) {
+        value_ok = true;
+        img->value.assign(data.begin(), data.end());
+      }
+    }
+  }
+  if (!value_ok) {
+    co_return false;  // Buffer torn or recycled under us: caller retries.
+  }
+
+  // Phase 3: install (word, fresh image) at the rejoining replica.
+  const Meta base = Meta::Pack(m.counter(), m.tid(), m.verified(), 0);
+  co_await RepairOne(worker_, layout_, target, base, img, cs);
+  co_return cs->ok.count() > 0;
 }
 
 sim::Task<SgReadResult> AbdObject::Read() {
@@ -326,19 +424,21 @@ sim::Task<SgReadResult> AbdObject::Read() {
     };
 
     std::array<int, kMaxReplicas> order{};
-    LivePreferred(worker_, layout_, order);
+    int usable = 0;
+    LivePreferred(worker_, layout_, order, &usable);
     const int maj = layout_->majority();
+    const int first_wave = std::min(maj, usable);
     auto read_wave = [&](int i) {
       return rd_one(worker_, layout_, order[static_cast<size_t>(i)], ph);
     };
     bool got = co_await worker_->BatchedQuorum(ph->ok, maj,
-                                               worker_->config().escalation_timeout, 0, maj,
-                                               read_wave);
+                                               worker_->config().escalation_timeout, 0,
+                                               first_wave, read_wave);
     ++result.rtts;
     if (!got) {
       ++result.rtts;
-      got = co_await worker_->BatchedQuorum(ph->ok, maj, worker_->config().quorum_timeout, maj,
-                                            layout_->num_replicas - maj, read_wave);
+      got = co_await worker_->BatchedQuorum(ph->ok, maj, worker_->config().quorum_timeout,
+                                            first_wave, usable - first_wave, read_wave);
     }
     if (!got) {
       co_return result;  // No live majority.
@@ -365,7 +465,7 @@ sim::Task<SgReadResult> AbdObject::Read() {
     if (m.deleted()) {
       // ABD read-repair applies to tombstones too (see FenceTombstone):
       // report "deleted" only once a majority carries it.
-      if (!co_await FenceTombstone(worker_, layout_, order, ph, m, &result.rtts)) {
+      if (!co_await FenceTombstone(worker_, layout_, order, usable, ph, m, &result.rtts)) {
         co_return result;  // Cannot stabilize the deletion: unavailable.
       }
       result.status = SgStatus::kDeleted;
@@ -413,7 +513,8 @@ sim::Task<SgReadResult> AbdObject::Read() {
       const Meta base = Meta::Pack(m.counter(), m.tid(), true, 0);
       {
         fabric::CpuBatch batch(worker_->cpu());
-        for (int r = 0; r < layout_->num_replicas; ++r) {
+        for (int i = 0; i < usable; ++i) {
+          const int r = order[static_cast<size_t>(i)];
           const auto idx = static_cast<size_t>(r);
           if (ph->oks[idx] && ph->words[idx].ts_order_key() == m.ts_order_key()) {
             continue;

@@ -41,6 +41,15 @@ class AbdObject {
   sim::Task<SgWriteResult> Delete();
   sim::Task<SgReadResult> Read();
 
+  // Crash-recover rejoin repair (src/repair/): reads the register state back
+  // from a surviving quorum (the target's node must be repair-excluded on
+  // the calling worker) and CAS-maxes it into replica `target` — the exact
+  // observed word for tombstones, a freshly written out-of-place image for
+  // values. Returns false when no surviving quorum answered or the value
+  // bytes could not be resolved (caller retries). `skip_tombstones` is the
+  // canary-gallery bug knob (repair::RepairConfig::skip_tombstone_repair).
+  sim::Task<bool> RepairReplica(int target, bool skip_tombstones = false);
+
  private:
   sim::Task<SgWriteResult> WriteWord(Meta base, std::span<const uint8_t> value);
 

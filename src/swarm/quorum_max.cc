@@ -148,12 +148,16 @@ sim::Task<void> PromoteOne(Worker* worker, const ObjectLayout* layout, int r, Me
 
 }  // namespace
 
-void QuorumMax::PreferredOrder(std::array<int, kMaxReplicas>& order, int* num_live) const {
+void QuorumMax::PreferredOrder(std::array<int, kMaxReplicas>& order, int* num_live,
+                               int* num_usable) const {
   int live = 0;
   std::array<int, kMaxReplicas> dead{};
   int num_dead = 0;
   for (int r = 0; r < layout_->num_replicas; ++r) {
     const int node = layout_->replicas[static_cast<size_t>(r)].node;
+    if (worker_->NodeQuorumExcluded(node)) {
+      continue;  // Mid-repair: not contacted, never counted.
+    }
     if (worker_->NodeKnownFailed(node)) {
       dead[static_cast<size_t>(num_dead++)] = r;
     } else {
@@ -164,6 +168,7 @@ void QuorumMax::PreferredOrder(std::array<int, kMaxReplicas>& order, int* num_li
     order[static_cast<size_t>(live + i)] = dead[static_cast<size_t>(i)];
   }
   *num_live = live;
+  *num_usable = live + num_dead;
 }
 
 sim::Task<WriteReadOutcome> QuorumMax::WriteAndRead(Meta w, std::span<const uint8_t> value) {
@@ -173,9 +178,10 @@ sim::Task<WriteReadOutcome> QuorumMax::WriteAndRead(Meta w, std::span<const uint
 
   std::array<int, kMaxReplicas> order{};
   int live = 0;
-  PreferredOrder(order, &live);
+  int usable = 0;
+  PreferredOrder(order, &live, &usable);
   const int maj = layout_->majority();
-  const int first_wave = std::min(maj, layout_->num_replicas);
+  const int first_wave = std::min(maj, usable);
 
   // Each wave is one doorbell: all replicas' pipelined [WRITE→CAS] + READ
   // pairs ride a single amortized submit_cost (§7.2).
@@ -186,9 +192,11 @@ sim::Task<WriteReadOutcome> QuorumMax::WriteAndRead(Meta w, std::span<const uint
                                              first_wave, one);
   int rtts = 1;
   if (!got) {
+    // Broaden to the remaining usable replicas (a pure grace wait when the
+    // first wave already covered them all).
     ++rtts;
     got = co_await worker_->BatchedQuorum(ph->ok, maj, worker_->config().quorum_timeout,
-                                          first_wave, layout_->num_replicas - first_wave, one);
+                                          first_wave, usable - first_wave, one);
   }
 
   WriteReadOutcome out;
@@ -204,9 +212,10 @@ sim::Task<ReadOutcome> QuorumMax::ReadQuorum(bool strong) {
 
   std::array<int, kMaxReplicas> order{};
   int live = 0;
-  PreferredOrder(order, &live);
+  int usable = 0;
+  PreferredOrder(order, &live, &usable);
   const int maj = layout_->majority();
-  const int first_wave = std::min(maj, layout_->num_replicas);
+  const int first_wave = std::min(maj, usable);
 
   auto one = [&](int i) {
     return ReadOne(worker_, layout_, cache_, order[static_cast<size_t>(i)], ph);
@@ -218,7 +227,7 @@ sim::Task<ReadOutcome> QuorumMax::ReadQuorum(bool strong) {
   if (!got) {
     ++out.rtts;
     got = co_await worker_->BatchedQuorum(ph->ok, maj, worker_->config().quorum_timeout,
-                                          first_wave, layout_->num_replicas - first_wave, one);
+                                          first_wave, usable - first_wave, one);
   }
   if (!got) {
     co_return out;  // No live majority.
@@ -281,7 +290,7 @@ sim::Task<ReadOutcome> QuorumMax::ReadQuorum(bool strong) {
       int launched = 0;
       {
         fabric::CpuBatch batch(worker_->cpu());  // All repairs, one doorbell.
-        for (int i = 0; i < layout_->num_replicas; ++i) {
+        for (int i = 0; i < usable; ++i) {
           const int r = order[static_cast<size_t>(i)];
           const auto idx = static_cast<size_t>(r);
           if (ph->oks[idx] && ph->words[idx].ts_order_key() == out.m.ts_order_key()) {
@@ -314,9 +323,10 @@ sim::Task<bool> QuorumMax::WriteVerified(Meta w, std::span<const uint8_t> value,
 
   std::array<int, kMaxReplicas> order{};
   int live = 0;
-  PreferredOrder(order, &live);
+  int usable = 0;
+  PreferredOrder(order, &live, &usable);
   const int maj = layout_->majority();
-  const int first_wave = std::min(maj, layout_->num_replicas);
+  const int first_wave = std::min(maj, usable);
 
   auto one = [&](int i) {
     return WriteVerifiedOne(worker_, layout_, cache_, order[static_cast<size_t>(i)], ph);
@@ -327,7 +337,7 @@ sim::Task<bool> QuorumMax::WriteVerified(Meta w, std::span<const uint8_t> value,
   if (!got) {
     ++phases;
     got = co_await worker_->BatchedQuorum(ph->ok, maj, worker_->config().quorum_timeout,
-                                          first_wave, layout_->num_replicas - first_wave, one);
+                                          first_wave, usable - first_wave, one);
   }
   if (rtts != nullptr) {
     *rtts = phases + ph->max_retries;
@@ -361,6 +371,9 @@ sim::Task<bool> QuorumMax::WriteBack(Meta m, std::span<const uint8_t> value,
     fabric::CpuBatch batch(worker_->cpu());
     for (int r = 0; r < layout_->num_replicas; ++r) {
       const auto idx = static_cast<size_t>(r);
+      if (worker_->NodeQuorumExcluded(layout_->replicas[idx].node)) {
+        continue;  // Mid-repair: the repair coordinator owns its state.
+      }
       if (from.node_ok[idx] && from.node_words[idx].ts_order_key() == m.ts_order_key()) {
         ++holders;
       } else {

@@ -91,8 +91,11 @@ class QuorumMax {
 
  private:
   // Preferred replica order: live replicas first, in index order (replica 0
-  // is the designated in-place holder and must lead).
-  void PreferredOrder(std::array<int, kMaxReplicas>& order, int* num_live) const;
+  // is the designated in-place holder and must lead), known-failed last.
+  // Repair-excluded replicas (Worker::NodeQuorumExcluded) are dropped from
+  // the order entirely; only the first `num_usable` entries may be contacted.
+  void PreferredOrder(std::array<int, kMaxReplicas>& order, int* num_live,
+                      int* num_usable) const;
 
   Worker* worker_;
   const ObjectLayout* layout_;

@@ -31,7 +31,9 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "src/membership/membership.h"
@@ -95,6 +97,13 @@ class Recycler {
   uint64_t SafeReclaimBefore() const { return safe_before_; }
   uint64_t fenced_clients() const { return fenced_; }
 
+  // Crash-recover repair gate (repair::RepairService::InFlight): a repair
+  // coordinator chases survivors' out-of-place pointers exactly like a
+  // reader, but holds no lease and publishes no epoch — so the safe horizon
+  // must not advance past a repair that is still in flight, or the buffers
+  // it is reading could be declared recyclable under it.
+  void set_repair_gate(std::function<bool()> gate) { repair_gate_ = std::move(gate); }
+
   // One recycling round (§5.4: run periodically in the background): advance
   // the epoch, gather acknowledgements, fence stragglers via membership.
   sim::Task<void> RunRound() {
@@ -150,6 +159,11 @@ class Recycler {
         ++fenced_;
       }
     }
+    // An in-flight node repair reads like a client but acks no epochs: hold
+    // the horizon until it completes (see set_repair_gate).
+    while (repair_gate_ && repair_gate_()) {
+      co_await sim_->Delay(suspect_poll_);
+    }
     // Everyone still in the system has drained reads older than `target`.
     // max(): rounds may overlap (chaos fires them concurrently) and a
     // slow round must never regress the published horizon.
@@ -175,6 +189,7 @@ class Recycler {
   sim::Simulator* sim_;
   membership::MembershipService* membership_;
   sim::Time rpc_delay_;
+  std::function<bool()> repair_gate_;
   sim::Time lease_grace_ = 2 * sim::kMillisecond;
   // How often a round re-checks whether a non-acking straggler has finally
   // lost its lease (bounded staleness of the fencing decision).

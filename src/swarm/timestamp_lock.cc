@@ -1,6 +1,7 @@
 #include "src/swarm/timestamp_lock.h"
 
 #include <algorithm>
+#include <array>
 #include <memory>
 
 #include "src/sim/sync.h"
@@ -63,12 +64,22 @@ sim::Task<void> LockOneReplica(Worker* worker, const ObjectLayout* layout, int r
 sim::Task<TryLockResult> TimestampLock::TryLock(uint32_t counter, LockMode mode) {
   TryLockResult result;
   auto phase = std::make_shared<LockPhase>(worker_->sim());
-  const int n = layout_->num_replicas;
-  // One doorbell rings the lock CAS at every replica (Algorithm 9 contacts
-  // all of them; only a majority must answer).
+  // Algorithm 9 contacts every replica; only a majority must answer. A
+  // repairing replica is skipped outright: its CAS words are mid-restore and
+  // counting it could manufacture a majority the opposite mode already holds
+  // among the survivors.
+  std::array<int, kMaxReplicas> usable{};
+  int n = 0;
+  for (int r = 0; r < layout_->num_replicas; ++r) {
+    if (!worker_->NodeQuorumExcluded(layout_->replicas[static_cast<size_t>(r)].node)) {
+      usable[static_cast<size_t>(n++)] = r;
+    }
+  }
+  // One doorbell rings the lock CAS at every usable replica.
   const bool reached = co_await worker_->BatchedQuorum(
-      phase->ok, layout_->majority(), worker_->config().quorum_timeout, 0, n, [&](int r) {
-        return LockOneReplica(worker_, layout_, r, owner_tid_, counter, mode, phase);
+      phase->ok, layout_->majority(), worker_->config().quorum_timeout, 0, n, [&](int i) {
+        return LockOneReplica(worker_, layout_, usable[static_cast<size_t>(i)], owner_tid_,
+                              counter, mode, phase);
       });
   if (!reached) {
     co_return result;  // No live majority: not acquired (safe).

@@ -104,6 +104,26 @@ class Worker {
   void MarkNodeFailed(int node) { (*known_failed_)[static_cast<size_t>(node)] = true; }
   void MarkNodeRecovered(int node) { (*known_failed_)[static_cast<size_t>(node)] = false; }
 
+  // Repair exclusion (MembershipService::repairing()): a node flagged here is
+  // dropped from quorum selection entirely — unlike known-failed nodes, which
+  // merely sort last in the preferred order, a repairing node must not be
+  // contacted and must not count toward any majority, because its replica
+  // slots are mid-rebuild and reads from it would miss committed writes.
+  void set_repair_excluded(std::shared_ptr<const std::vector<bool>> excluded) {
+    repair_excluded_ = std::move(excluded);
+  }
+  bool NodeQuorumExcluded(int node) const {
+    return repair_excluded_ != nullptr && (*repair_excluded_)[static_cast<size_t>(node)];
+  }
+
+  // Marks this worker as the repair coordinator: its verbs pass the repair
+  // fence of a node mid-rejoin (everyone else keeps seeing kNodeFailed).
+  void MarkRepairChannel() {
+    for (auto& qp : qps_) {
+      qp.set_repair_channel(true);
+    }
+  }
+
  private:
   fabric::Fabric* fabric_;
   uint32_t tid_;
@@ -111,6 +131,7 @@ class Worker {
   GuessClock* clock_;
   ProtocolConfig config_;
   std::shared_ptr<std::vector<bool>> known_failed_;
+  std::shared_ptr<const std::vector<bool>> repair_excluded_;
   std::vector<fabric::Qp> qps_;
   std::vector<OopPool> pools_;
   std::unordered_map<const void*, std::shared_ptr<ObjectCache>> slot_caches_;

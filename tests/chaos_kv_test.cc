@@ -16,6 +16,7 @@
 #include "src/kv/dm_abd_kv.h"
 #include "src/kv/fusee_kv.h"
 #include "src/kv/swarm_kv.h"
+#include "src/repair/repair.h"
 #include "src/swarm/recycler.h"
 #include "tests/support/scenario.h"
 
@@ -53,7 +54,7 @@ ScenarioSpec KvSpec(uint64_t seed) {
 
 void RunSwarmKvScenario(const ScenarioSpec& spec) {
   ChaosEnv c(spec);
-  index::IndexService index(&c.env.sim);
+  index::IndexService index(&c.env.sim, &c.env.fabric);
   // Recycler epoch churn rides along: synthetic participants heartbeat and
   // acknowledge while chaos expires leases and fires rounds mid-workload.
   Recycler recycler(&c.env.sim, &c.membership);
@@ -90,7 +91,7 @@ void RunSwarmKvScenario(const ScenarioSpec& spec) {
 
 void RunDmAbdScenario(const ScenarioSpec& spec) {
   ChaosEnv c(spec);
-  index::IndexService index(&c.env.sim);
+  index::IndexService index(&c.env.sim, &c.env.fabric);
   std::vector<std::unique_ptr<index::ClientCache>> caches;
   std::vector<std::unique_ptr<kv::DmAbdKvSession>> sessions;
   ChaosHistories hist;
@@ -132,19 +133,141 @@ void RunFuseeScenario(const ScenarioSpec& spec) {
   EXPECT_TRUE(violation.empty()) << violation << "\n  " << SeedMessage(spec, c.engine);
 }
 
+// ---------- Crash-recover scenarios (restart → repair → readmit) ----------
+//
+// The nastiest regime: a memory node crashes MID-WORKLOAD, restarts empty,
+// is rebuilt from the surviving quorum by the RepairService while reads race
+// the repair, and rejoins quorums — all under ack-loss-biased drop bursts
+// (the possibly-applied case repair and quorum commits are most sensitive
+// to). Histories must stay linearizable across the whole cycle.
+
+ScenarioSpec CrashRecoverSpec(uint64_t seed) {
+  ScenarioSpec spec;
+  spec.seed = seed;
+  spec.clients = 4;
+  spec.keys = 4;
+  spec.ops_per_client = 14;
+  spec.mean_think = 16000;  // Stretch the workload past restart + repair.
+  spec.faults.horizon = 220 * sim::kMicrosecond;
+  spec.faults.mean_gap = 8 * sim::kMicrosecond;
+  spec.faults.max_crashed = 1;
+  spec.faults.restart = true;
+  spec.faults.repair = true;
+  spec.faults.min_down = 60 * sim::kMicrosecond;
+  spec.faults.max_down = 200 * sim::kMicrosecond;
+  spec.faults.max_drop_p = 0.35;
+  spec.faults.drop_req_weight = 1.0;
+  spec.faults.drop_ack_weight = 3.0;  // Target ack loss (satellite: per-direction weights).
+  return spec;
+}
+
+void RunCrashRecoverSwarmScenario(const ScenarioSpec& spec) {
+  ChaosEnv c(spec);
+  index::IndexService index(&c.env.sim, &c.env.fabric);
+  Recycler recycler(&c.env.sim, &c.membership);
+  std::vector<std::unique_ptr<RecyclerParticipant>> participants;
+  std::vector<std::unique_ptr<index::ClientCache>> caches;
+  std::vector<std::unique_ptr<kv::SwarmKvSession>> sessions;
+  ChaosHistories hist;
+  for (int i = 0; i < spec.clients; ++i) {
+    Worker& w = c.MakeSkewedWorker(spec);
+    caches.push_back(std::make_unique<index::ClientCache>());
+    sessions.push_back(std::make_unique<kv::SwarmKvSession>(&w, &index, caches.back().get()));
+    participants.push_back(std::make_unique<RecyclerParticipant>(
+        &c.env.sim, 100 + static_cast<uint32_t>(i),
+        /*ack_delay=*/1500 + 137 * static_cast<sim::Time>(i)));
+    recycler.Register(participants.back().get());
+  }
+  repair::RepairService repair(&c.membership, &c.env.MakeWorker(0));
+  repair::IndexRepairSource source(&index, repair::LayoutProtocol::kSafeGuess);
+  repair.RegisterStore(&source);
+  recycler.set_repair_gate([&repair] { return repair.InFlight(); });
+  c.engine.set_repair_fn(
+      [&repair](int node) { return repair.RecoverAndRepair(node); });
+  c.engine.set_epoch_churn([&recycler]() -> sim::Task<void> {
+    recycler.HeartbeatAll();
+    return recycler.RunRound();
+  });
+  for (int i = 0; i < spec.clients; ++i) {
+    Spawn(KvChaosClient(&c.env, sessions[static_cast<size_t>(i)].get(),
+                        spec.seed * 131 + static_cast<uint64_t>(i), spec, &hist));
+  }
+  c.engine.Start();
+  c.env.sim.Run();
+  const std::string violation = CheckHistories(hist);
+  EXPECT_TRUE(violation.empty()) << violation << "\n  " << SeedMessage(spec, c.engine);
+}
+
+void RunCrashRecoverDmAbdScenario(const ScenarioSpec& spec) {
+  ChaosEnv c(spec);
+  index::IndexService index(&c.env.sim, &c.env.fabric);
+  std::vector<std::unique_ptr<index::ClientCache>> caches;
+  std::vector<std::unique_ptr<kv::DmAbdKvSession>> sessions;
+  ChaosHistories hist;
+  for (int i = 0; i < spec.clients; ++i) {
+    Worker& w = c.MakeSkewedWorker(spec);
+    caches.push_back(std::make_unique<index::ClientCache>());
+    sessions.push_back(std::make_unique<kv::DmAbdKvSession>(&w, &index, caches.back().get()));
+  }
+  repair::RepairService repair(&c.membership, &c.env.MakeWorker(0));
+  repair::IndexRepairSource source(&index, repair::LayoutProtocol::kAbd);
+  repair.RegisterStore(&source);
+  c.engine.set_repair_fn(
+      [&repair](int node) { return repair.RecoverAndRepair(node); });
+  for (int i = 0; i < spec.clients; ++i) {
+    Spawn(KvChaosClient(&c.env, sessions[static_cast<size_t>(i)].get(),
+                        spec.seed * 131 + static_cast<uint64_t>(i), spec, &hist));
+  }
+  c.engine.Start();
+  c.env.sim.Run();
+  const std::string violation = CheckHistories(hist);
+  EXPECT_TRUE(violation.empty()) << violation << "\n  " << SeedMessage(spec, c.engine);
+}
+
+void RunCrashRecoverFuseeScenario(const ScenarioSpec& spec) {
+  ChaosEnv c(spec);
+  kv::FuseeStore store(&c.env.fabric, /*recovery_duration=*/300 * sim::kMicrosecond);
+  std::vector<std::unique_ptr<index::ClientCache>> caches;
+  std::vector<std::unique_ptr<kv::FuseeKvSession>> sessions;
+  ChaosHistories hist;
+  for (int i = 0; i < spec.clients; ++i) {
+    Worker& w = c.MakeSkewedWorker(spec);
+    caches.push_back(std::make_unique<index::ClientCache>());
+    sessions.push_back(std::make_unique<kv::FuseeKvSession>(&w, &store, caches.back().get()));
+  }
+  repair::RepairService repair(&c.membership, &c.env.MakeWorker(0));
+  repair.RegisterStore(&store);  // FUSEE: index-guided log-scan repair.
+  c.engine.set_repair_fn(
+      [&repair](int node) { return repair.RecoverAndRepair(node); });
+  for (int i = 0; i < spec.clients; ++i) {
+    Spawn(KvChaosClient(&c.env, sessions[static_cast<size_t>(i)].get(),
+                        spec.seed * 131 + static_cast<uint64_t>(i), spec, &hist));
+  }
+  c.engine.Start();
+  c.env.sim.Run();
+  const std::string violation = CheckHistories(hist);
+  EXPECT_TRUE(violation.empty()) << violation << "\n  " << SeedMessage(spec, c.engine);
+}
+
 TEST(ChaosSwarmKv, RandomFaultScenariosStayLinearizable) {
   DriveScenarios(1000, RunSwarmKvScenario, [](uint64_t seed) {
     ScenarioSpec spec = KvSpec(seed);
     // SWARM-KV also rides recycler epoch churn and scripted lease expiries
-    // (the participants are registered in RunSwarmKvScenario).
+    // (the participants are registered in RunSwarmKvScenario), and faults on
+    // the index RPC link (the index service is fabric-connected here).
     spec.faults.lease_weight = 0.6;
     spec.faults.churn_weight = 0.6;
+    spec.faults.fault_index_link = true;
     return spec;
   });
 }
 
 TEST(ChaosDmAbdKv, RandomFaultScenariosStayLinearizable) {
-  DriveScenarios(2000, RunDmAbdScenario, KvSpec);
+  DriveScenarios(2000, RunDmAbdScenario, [](uint64_t seed) {
+    ScenarioSpec spec = KvSpec(seed);
+    spec.faults.fault_index_link = true;
+    return spec;
+  });
 }
 
 TEST(ChaosFuseeKv, RandomFaultScenariosStayLinearizable) {
@@ -155,6 +278,34 @@ TEST(ChaosFuseeKv, RandomFaultScenariosStayLinearizable) {
     // the workload room for the recovery stalls.
     spec.faults.max_drop_p = 0.15;
     spec.faults.horizon = 120 * sim::kMicrosecond;
+    return spec;
+  });
+}
+
+TEST(ChaosSwarmKv, CrashRecoverRepairStaysLinearizable) {
+  DriveScenarios(4000, RunCrashRecoverSwarmScenario, [](uint64_t seed) {
+    ScenarioSpec spec = CrashRecoverSpec(seed);
+    spec.faults.lease_weight = 0.4;
+    spec.faults.churn_weight = 0.4;  // Recycler rounds race the repair gate.
+    spec.faults.fault_index_link = true;
+    return spec;
+  });
+}
+
+TEST(ChaosDmAbdKv, CrashRecoverRepairStaysLinearizable) {
+  DriveScenarios(5000, RunCrashRecoverDmAbdScenario, [](uint64_t seed) {
+    ScenarioSpec spec = CrashRecoverSpec(seed);
+    spec.faults.fault_index_link = true;
+    return spec;
+  });
+}
+
+TEST(ChaosFuseeKv, CrashRecoverRepairStaysLinearizable) {
+  DriveScenarios(6000, RunCrashRecoverFuseeScenario, [](uint64_t seed) {
+    ScenarioSpec spec = CrashRecoverSpec(seed);
+    // Milder drops (every failed verb costs FUSEE a full recovery stall) and
+    // a longer tail: ops block while the repair runs.
+    spec.faults.max_drop_p = 0.15;
     return spec;
   });
 }

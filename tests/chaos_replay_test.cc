@@ -22,6 +22,7 @@
 #include "src/index/client_cache.h"
 #include "src/index/index_service.h"
 #include "src/kv/swarm_kv.h"
+#include "src/repair/repair.h"
 #include "src/swarm/inout.h"
 #include "src/swarm/quorum_max.h"
 #include "src/swarm/recycler.h"
@@ -238,6 +239,252 @@ CanaryOutcome RunCanaryScenario(uint64_t seed) {
   out.violated = !out.violation.empty();
   out.trace_hash = c.engine.TraceHash();
   return out;
+}
+
+// ---------- The repair canaries ----------
+//
+// Two injected repair bugs the crash-recover suites must catch:
+//   * skip_tombstone_repair — a rejoining node's deleted objects come back
+//     without their tombstones, so a read pairing the rejoined replica with
+//     a stale survivor resurrects the deleted value;
+//   * readmit_before_repair — the node re-enters quorums while its replicas
+//     are still empty, so reads miss committed writes.
+// Each must produce a linearizability violation within a bounded number of
+// scenarios AND replay byte-identically from its seed.
+
+// A full crash-recover scenario — restart, repair, readmit — over the
+// standard multi-client KV workload, with injectable repair bugs.
+CanaryOutcome RunRepairCanaryScenario(uint64_t seed, repair::RepairConfig rcfg,
+                                      bool remove_heavy) {
+  ScenarioSpec spec;
+  spec.seed = seed;
+  spec.clients = 4;
+  spec.keys = 2;  // Concentrate removes/overwrites on few keys.
+  spec.ops_per_client = 20;
+  spec.mean_think = 12000;  // ~240 us of workload: plenty of post-rejoin ops.
+  spec.faults.horizon = 200 * sim::kMicrosecond;
+  spec.faults.mean_gap = 8 * sim::kMicrosecond;
+  spec.faults.max_crashed = 1;
+  spec.faults.crash_weight = 3.0;  // Crash early, so the rejoin races the workload.
+  spec.faults.restart = true;
+  spec.faults.repair = true;
+  spec.faults.min_down = 30 * sim::kMicrosecond;
+  spec.faults.max_down = 80 * sim::kMicrosecond;
+  spec.faults.max_drop_p = 0.5;
+  spec.faults.drop_ack_weight = 2.0;
+  spec.faults.max_drop_duration = 100 * sim::kMicrosecond;
+
+  ChaosEnv c(spec);
+  index::IndexService index(&c.env.sim, &c.env.fabric);
+  std::vector<std::unique_ptr<index::ClientCache>> caches;
+  std::vector<std::unique_ptr<kv::SwarmKvSession>> sessions;
+  ChaosHistories hist;
+  for (int i = 0; i < spec.clients; ++i) {
+    Worker& w = c.MakeSkewedWorker(spec);
+    caches.push_back(std::make_unique<index::ClientCache>());
+    sessions.push_back(std::make_unique<kv::SwarmKvSession>(&w, &index, caches.back().get()));
+  }
+  repair::RepairService repair(&c.membership, &c.env.MakeWorker(0), rcfg);
+  repair::IndexRepairSource source(&index, repair::LayoutProtocol::kSafeGuess);
+  repair.RegisterStore(&source);
+  c.engine.set_repair_fn([&repair](int node) { return repair.RecoverAndRepair(node); });
+  // Remove-heavy variant: tombstone-shaped bugs only bite on deleted
+  // objects, so a quarter of the ops are removes (update band collapsed).
+  const testing::KvOpMix mix =
+      remove_heavy ? testing::KvOpMix{0.35, 0.35, 0.75} : testing::KvOpMix{};
+  for (int i = 0; i < spec.clients; ++i) {
+    Spawn(KvChaosClient(&c.env, sessions[static_cast<size_t>(i)].get(),
+                        spec.seed * 131 + static_cast<uint64_t>(i), spec, &hist, mix));
+  }
+  c.engine.Start();
+  c.env.sim.Run();
+
+  CanaryOutcome out;
+  out.violation = CheckHistories(hist);
+  out.violated = !out.violation.empty();
+  out.trace_hash = c.engine.TraceHash();
+  return out;
+}
+
+// Shared catch-and-replay contract for every repair canary: the injected
+// bug must produce a violation within the seed budget, and the failing seed
+// must replay to the identical trace and violation.
+template <typename RunScenario>
+void ExpectCanaryCaught(uint64_t seed_base, RunScenario run, const char* what) {
+  constexpr int kMaxScenarios = 300;
+  uint64_t failing_seed = 0;
+  CanaryOutcome first;
+  for (int i = 0; i < kMaxScenarios; ++i) {
+    const uint64_t seed = seed_base + static_cast<uint64_t>(i);
+    CanaryOutcome out = run(seed);
+    if (out.violated) {
+      failing_seed = seed;
+      first = out;
+      break;
+    }
+  }
+  ASSERT_NE(failing_seed, 0u) << "the " << what << " canary survived " << kMaxScenarios
+                              << " crash-recover scenarios: the chaos suites can no longer "
+                                 "catch broken repair";
+  CanaryOutcome replay = run(failing_seed);
+  EXPECT_TRUE(replay.violated) << what << " seed " << failing_seed << " did not reproduce";
+  EXPECT_EQ(replay.trace_hash, first.trace_hash) << what << " seed " << failing_seed;
+  EXPECT_EQ(replay.violation, first.violation) << what << " seed " << failing_seed;
+}
+
+TEST(ChaosReplay, CrashRecoverRepairSameSeedReproduces) {
+  // The full restart → repair → readmit lifecycle (correct repair config) is
+  // seed-deterministic: identical fault trace and identical (empty)
+  // violation on replay.
+  for (uint64_t seed : {77ull, 78ull}) {
+    const CanaryOutcome a =
+        RunRepairCanaryScenario(seed, repair::RepairConfig{}, /*remove_heavy=*/true);
+    const CanaryOutcome b =
+        RunRepairCanaryScenario(seed, repair::RepairConfig{}, /*remove_heavy=*/true);
+    EXPECT_EQ(a.trace_hash, b.trace_hash) << "seed " << seed;
+    EXPECT_EQ(a.violation, b.violation) << "seed " << seed;
+    EXPECT_FALSE(a.violated) << "seed " << seed << ": " << a.violation;
+  }
+}
+
+constexpr uint64_t kKey = 0;  // The tombstone canary's single key.
+
+CanaryOutcome RunTombstoneCanaryScenario(uint64_t seed, repair::RepairConfig rcfg) {
+  ScenarioSpec spec;
+  spec.seed = seed;
+  spec.value_size = 16;
+  spec.faults.horizon = 200 * sim::kMicrosecond;
+  spec.faults.mean_gap = 6 * sim::kMicrosecond;
+  spec.faults.max_crashed = 1;
+  // The bug needs a remove to land its tombstone at a bare majority BEFORE
+  // the crash takes one of the holders: a mid-scenario crash (weight below
+  // the always-on spike/drop classes) leaves time for both orderings.
+  spec.faults.crash_weight = 0.35;
+  spec.faults.restart = true;
+  spec.faults.repair = true;
+  spec.faults.min_down = 30 * sim::kMicrosecond;
+  spec.faults.max_down = 70 * sim::kMicrosecond;
+  spec.faults.max_drop_p = 0.6;
+  spec.faults.max_drop_duration = 100 * sim::kMicrosecond;
+
+  ChaosEnv c(spec);
+  index::IndexService index(&c.env.sim, &c.env.fabric);
+  index::ClientCache cache_w;
+  index::ClientCache cache_r1;
+  index::ClientCache cache_r2;
+  kv::SwarmKvSession churner(&c.MakeSkewedWorker(spec), &index, &cache_w);
+  kv::SwarmKvSession reader1(&c.MakeSkewedWorker(spec), &index, &cache_r1);
+  kv::SwarmKvSession reader2(&c.MakeSkewedWorker(spec), &index, &cache_r2);
+  repair::RepairService repair(&c.membership, &c.env.MakeWorker(0), rcfg);
+  repair::IndexRepairSource source(&index, repair::LayoutProtocol::kSafeGuess);
+  repair.RegisterStore(&source);
+  c.engine.set_repair_fn([&repair](int node) { return repair.RecoverAndRepair(node); });
+
+  ChaosHistories hist;
+
+  auto churn = [](ChaosEnv* c, kv::SwarmKvSession* s, uint64_t rng_seed,
+                  const ScenarioSpec* spec, ChaosHistories* hist) -> Task<void> {
+    sim::Rng rng(rng_seed);
+    for (int i = 0; i < 12; ++i) {
+      co_await c->env.sim.Delay(1 + static_cast<sim::Time>(rng.Below(14000)));
+      const uint64_t v = hist->next_value++;
+      HistoryOp op;
+      op.invoked = c->env.sim.Now();
+      kv::KvResult r = co_await s->Insert(kKey, EncodeValue(v, spec->value_size));
+      op.responded = c->env.sim.Now();
+      op.is_write = true;
+      op.value = v;
+      op.pending = !r.ok();
+      hist->pending_ops += op.pending ? 1 : 0;
+      hist->per_key[kKey].push_back(op);
+
+      co_await c->env.sim.Delay(1 + static_cast<sim::Time>(rng.Below(10000)));
+      HistoryOp del;
+      del.invoked = c->env.sim.Now();
+      r = co_await s->Remove(kKey);
+      del.responded = c->env.sim.Now();
+      del.is_write = true;
+      del.value = 0;
+      if (r.status == kv::KvStatus::kUnavailable) {
+        del.pending = true;
+        ++hist->pending_ops;
+      } else if (r.status == kv::KvStatus::kNotFound) {
+        del.is_write = false;
+      }
+      hist->per_key[kKey].push_back(del);
+    }
+  };
+  auto reader = [](ChaosEnv* c, kv::SwarmKvSession* s, uint64_t rng_seed,
+                   ChaosHistories* hist) -> Task<void> {
+    sim::Rng rng(rng_seed);
+    auto one_get = [](ChaosEnv* c, kv::SwarmKvSession* s, ChaosHistories* hist) -> Task<void> {
+      HistoryOp op;
+      op.invoked = c->env.sim.Now();
+      kv::KvResult r = co_await s->Get(kKey);
+      op.responded = c->env.sim.Now();
+      if (r.status != kv::KvStatus::kUnavailable) {
+        op.value = r.status == kv::KvStatus::kOk ? DecodeValue(r.value) : 0;
+        hist->per_key[kKey].push_back(op);
+      } else {
+        ++hist->failed_reads;
+      }
+    };
+    // Keep the cached mapping fresh until the sleep point...
+    const sim::Time sleep_at =
+        25 * sim::kMicrosecond + static_cast<sim::Time>(rng.Below(15 * sim::kMicrosecond));
+    while (c->env.sim.Now() < sleep_at) {
+      co_await one_get(c, s, hist);
+      co_await c->env.sim.Delay(1 + static_cast<sim::Time>(rng.Below(12000)));
+    }
+    // ...then go dormant across the crash-recover cycle (the cached mapping
+    // goes stale under the churner's removes) and probe afterwards.
+    co_await c->env.sim.Delay(80 * sim::kMicrosecond +
+                              static_cast<sim::Time>(rng.Below(60 * sim::kMicrosecond)));
+    for (int i = 0; i < 6; ++i) {
+      co_await one_get(c, s, hist);
+      co_await c->env.sim.Delay(1 + static_cast<sim::Time>(rng.Below(12000)));
+    }
+  };
+  Spawn(churn(&c, &churner, spec.seed * 31 + 1, &spec, &hist));
+  Spawn(reader(&c, &reader1, spec.seed * 31 + 2, &hist));
+  Spawn(reader(&c, &reader2, spec.seed * 31 + 3, &hist));
+  c.engine.Start();
+  c.env.sim.Run();
+
+  CanaryOutcome out;
+  out.violation = CheckHistories(hist);
+  out.violated = !out.violation.empty();
+  out.trace_hash = c.engine.TraceHash();
+  return out;
+}
+
+TEST(ChaosReplay, TombstoneScenarioWithCorrectRepairStaysLinearizable) {
+  // The canary scenario's dormant stale readers are exactly the regime
+  // correct repair must survive: same seeds, no injected bug, no violation.
+  for (int i = 0; i < 120; ++i) {
+    const uint64_t seed = 12000 + static_cast<uint64_t>(i);
+    CanaryOutcome out = RunTombstoneCanaryScenario(seed, repair::RepairConfig{});
+    ASSERT_FALSE(out.violated) << "seed " << seed << ": " << out.violation;
+  }
+}
+
+TEST(ChaosCanary, SkippedTombstoneRepairIsCaughtAndReplays) {
+  repair::RepairConfig rcfg;
+  rcfg.skip_tombstone_repair = true;
+  ExpectCanaryCaught(
+      12000, [&rcfg](uint64_t seed) { return RunTombstoneCanaryScenario(seed, rcfg); },
+      "skipped-tombstone-repair");
+}
+
+TEST(ChaosCanary, ReadmitBeforeRepairIsCaughtAndReplays) {
+  repair::RepairConfig rcfg;
+  rcfg.readmit_before_repair = true;
+  ExpectCanaryCaught(
+      13000,
+      [&rcfg](uint64_t seed) {
+        return RunRepairCanaryScenario(seed, rcfg, /*remove_heavy=*/false);
+      },
+      "readmit-before-repair");
 }
 
 TEST(ChaosCanary, WeakQuorumBugIsCaughtAndItsSeedReplays) {

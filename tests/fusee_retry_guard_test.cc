@@ -1,0 +1,120 @@
+// Regression test for the FUSEE retry guard's generation/time inversion
+// (ROADMAP follow-up, closed in this revision).
+//
+// FUSEE allocates generation numbers at op START, so a slow writer commits a
+// LOWER generation after a faster writer's install. The old retry guard
+// compared raw generations ("declare success only when the observed word's
+// generation is HIGHER than our install's"), so a retry that found such a
+// late-but-lower-generation foreign commit re-installed our superseded value
+// on top of it — resurrecting a value that readers may already have ordered
+// before the foreign commit.
+//
+// The scenario forced here, deterministically:
+//   1. s0 inserts key K (gen 1); the victim O caches the location; s0
+//      updates K (gen 2) so O's cache is stale.
+//   2. F starts an update with a HUGE value (gen 3): its out-of-place block
+//      writes keep it busy for ~10 us before its index CAS.
+//   3. O starts an update (gen 4 > 3): its CAS chain observes gen 2
+//      (node-sourced pre-state) and installs gen 4; then O's phase-3 backup
+//      index write is dropped (one-shot scripted drop), so O must retry the
+//      whole write after FUSEE's recovery stall.
+//   4. Meanwhile F's index CAS chains over O's word: gen 3 commits AFTER
+//      gen 4's install — the inversion ordering.
+//   5. O's retry (gen 5) observes F's gen-3 word: it must DECLARE SUCCESS
+//      (O's write linearizes just before F's commit) and must NOT re-install.
+//      The old guard saw "gen 3 < gen 4" and re-installed, resurrecting O's
+//      value over F's.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/index/client_cache.h"
+#include "src/kv/fusee_kv.h"
+#include "tests/support/test_env.h"
+
+namespace swarm {
+namespace {
+
+using sim::Spawn;
+using testing::TestEnv;
+
+TEST(FuseeRetryGuard, GenTimeInversionDoesNotResurrectSupersededValue) {
+  fabric::FabricConfig fcfg = TestEnv::DefaultFabric();
+  ProtocolConfig pcfg = TestEnv::DefaultProtocol();
+  pcfg.max_value = 131072;  // Room for F's slow 120 KB block writes.
+  pcfg.oop_pool_slots = 4;
+  TestEnv env(/*seed=*/7, fcfg, pcfg);
+  kv::FuseeStore store(&env.fabric, /*recovery_duration=*/15 * sim::kMicrosecond);
+
+  Worker& w0 = env.MakeWorker();
+  Worker& wf = env.MakeWorker();
+  Worker& wo = env.MakeWorker();
+  index::ClientCache c0;
+  index::ClientCache cf;
+  index::ClientCache co;
+  kv::FuseeKvSession s0(&w0, &store, &c0);
+  kv::FuseeKvSession sf(&wf, &store, &cf);
+  kv::FuseeKvSession so(&wo, &store, &co);
+
+  constexpr uint64_t kKey = 7;
+  kv::FuseeStore::KeyMeta& meta = store.MetaFor(kKey);
+
+  // One-shot scripted fault: drop the next REQUEST to the backup node once
+  // armed. Armed 3 us into the race, the first backup-bound request is O's
+  // phase-3 backup index write (both phase-1 block writes were issued at
+  // spawn time, before arming).
+  bool armed = false;
+  env.fabric.set_drop_fn([&armed, &meta](int node, bool response) {
+    if (armed && node == meta.backup && !response) {
+      armed = false;
+      return true;
+    }
+    return false;
+  });
+
+  const std::vector<uint8_t> val_initial(16, 0xA0);
+  const std::vector<uint8_t> val_stale(16, 0xB0);
+  const std::vector<uint8_t> val_f(120000, 0xF0);  // F's slow foreign write.
+  const std::vector<uint8_t> val_o(16, 0xC0);      // O's racing write.
+
+  kv::KvResult r_f;
+  kv::KvResult r_o;
+  kv::KvResult r_final;
+  bool done = false;
+
+  auto racer = [](kv::FuseeKvSession* s, uint64_t key, const std::vector<uint8_t>* value,
+                  kv::KvResult* out, sim::Counter finished) -> sim::Task<void> {
+    *out = co_await s->Update(key, *value);
+    finished.Add(1);
+  };
+
+  auto driver = [&]() -> sim::Task<void> {
+    (void)co_await s0.Insert(kKey, val_initial);  // gen 1
+    (void)co_await so.Get(kKey);                  // O caches the gen-1 word.
+    (void)co_await s0.Update(kKey, val_stale);    // gen 2: O's cache is stale.
+    env.sim.After(3 * sim::kMicrosecond, [&armed] { armed = true; });
+    sim::Counter finished(&env.sim);
+    Spawn(racer(&sf, kKey, &val_f, &r_f, finished));  // gen 3, slow.
+    Spawn(racer(&so, kKey, &val_o, &r_o, finished));  // gen 4, fast + dropped ack.
+    (void)co_await finished.WaitFor(2);
+    r_final = co_await s0.Get(kKey);
+    done = true;
+  };
+  Spawn(driver());
+  env.sim.Run();
+
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(r_f.ok()) << "foreign (low-generation) update should commit";
+  EXPECT_TRUE(r_o.ok()) << "victim update should declare success on its retry";
+  // The inversion ordering: F's gen-3 word committed after O's gen-4
+  // install, so F's value is the register's final state. The old guard
+  // re-installed O's value here.
+  ASSERT_TRUE(r_final.ok());
+  EXPECT_EQ(r_final.value, val_f)
+      << "O's retry re-installed its superseded value over F's later commit";
+}
+
+}  // namespace
+}  // namespace swarm

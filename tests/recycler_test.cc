@@ -132,6 +132,34 @@ TEST(Recycler, ClientCrashingMidEpochWithFreshLeaseBlocksUntilFenced) {
   EXPECT_EQ(alive.published_epoch(), 1u);
 }
 
+TEST(Recycler, SafeHorizonWaitsForInFlightRepair) {
+  // A node repair chases survivors' out-of-place pointers like a reader but
+  // holds no lease: the safe horizon must not advance past it
+  // (set_repair_gate), and must advance promptly once it completes.
+  RecyclerEnv env;
+  RecyclerParticipant a(&env.sim, 1, 2000);
+  env.recycler.Register(&a);
+  bool repair_in_flight = true;
+  env.recycler.set_repair_gate([&repair_in_flight] { return repair_in_flight; });
+
+  sim::Time horizon_advanced_at = 0;
+  auto watcher = [](RecyclerEnv* env, sim::Time* at) -> sim::Task<void> {
+    while (env->recycler.SafeReclaimBefore() == 0) {
+      co_await env->sim.Delay(1000);
+    }
+    *at = env->sim.Now();
+  };
+  const sim::Time repair_done_at = 400 * sim::kMicrosecond;
+  env.sim.After(repair_done_at, [&repair_in_flight] { repair_in_flight = false; });
+  sim::Spawn(env.recycler.RunRound());
+  sim::Spawn(watcher(&env, &horizon_advanced_at));
+  env.sim.Run();
+
+  EXPECT_EQ(env.recycler.SafeReclaimBefore(), 1u);
+  EXPECT_GE(horizon_advanced_at, repair_done_at)
+      << "the safe horizon advanced past an in-flight repair";
+}
+
 TEST(Membership, NodeCrashNotificationReachesSubscribers) {
   sim::Simulator sim;
   fabric::Fabric fabric(&sim, fabric::FabricConfig{});

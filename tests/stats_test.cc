@@ -188,7 +188,7 @@ TEST(IndexService, InsertLookupRemoveRoundtrip) {
 
 TEST(IndexService, LookupCostsOneRoundtrip) {
   sim::Simulator sim;
-  index::IndexService index(&sim, 700, 0, 200);
+  index::IndexService index(&sim, /*fabric=*/nullptr, 700, 0, 200);
   sim::Time latency = 0;
   auto driver = [](sim::Simulator* sim, index::IndexService* index,
                    sim::Time* lat) -> sim::Task<void> {

@@ -67,7 +67,9 @@ struct ScenarioSpec {
 };
 
 // Simulator + fabric + membership + chaos engine wired the way a chaos
-// scenario needs them. Workers subscribe to membership notifications.
+// scenario needs them. Workers subscribe to membership notifications and
+// share the membership service's per-node `repairing` set, so quorum
+// selection excludes nodes mid-repair (crash-recover scenarios).
 struct ChaosEnv {
   explicit ChaosEnv(const ScenarioSpec& spec,
                     fabric::FabricConfig fcfg = TestEnv::DefaultFabric(),
@@ -79,7 +81,9 @@ struct ChaosEnv {
   }
 
   Worker& MakeSkewedWorker(const ScenarioSpec& spec) {
-    return env.MakeWorker(env.sim.rng().Range(-spec.max_clock_skew, spec.max_clock_skew));
+    Worker& w = env.MakeWorker(env.sim.rng().Range(-spec.max_clock_skew, spec.max_clock_skew));
+    w.set_repair_excluded(membership.repairing());
+    return w;
   }
 
   TestEnv env;
@@ -110,13 +114,23 @@ struct ChaosHistories {
   int failed_reads = 0;  // Unavailable reads (no constraint, not recorded).
 };
 
+// Op-mix for KvChaosClient: cumulative dice cutoffs (get < update < insert;
+// the remainder is removes). The default reproduces the original
+// 40/30/20/10 mix; the repair canaries use a remove-heavy variant.
+struct KvOpMix {
+  double get = 0.40;
+  double update = 0.70;
+  double insert = 0.90;
+};
+
 // One KV chaos client: randomized gets/updates/inserts/removes against a
 // shared small key space, recording every op's invocation/response. Ops
 // whose outcome the client never learned (unavailable quorum, node timeouts)
 // are recorded as PENDING writes — possibly applied — which is exactly the
 // ambiguity LinearizabilityChecker::Check resolves.
 inline sim::Task<void> KvChaosClient(TestEnv* env, kv::KvSession* kv, uint64_t rng_seed,
-                                     const ScenarioSpec& spec, ChaosHistories* hist) {
+                                     const ScenarioSpec& spec, ChaosHistories* hist,
+                                     KvOpMix mix = {}) {
   sim::Rng rng(rng_seed);
   for (int i = 0; i < spec.ops_per_client; ++i) {
     co_await env->sim.Delay(1 + static_cast<sim::Time>(
@@ -125,7 +139,7 @@ inline sim::Task<void> KvChaosClient(TestEnv* env, kv::KvSession* kv, uint64_t r
     const double dice = rng.Double();
     HistoryOp op;
     op.invoked = env->sim.Now();
-    if (dice < 0.40) {
+    if (dice < mix.get) {
       // Get. A failed read constrains nothing and is dropped entirely.
       kv::KvResult r = co_await kv->Get(key);
       op.responded = env->sim.Now();
@@ -135,7 +149,7 @@ inline sim::Task<void> KvChaosClient(TestEnv* env, kv::KvSession* kv, uint64_t r
       }
       op.is_write = false;
       op.value = r.status == kv::KvStatus::kOk ? DecodeValue(r.value) : 0;
-    } else if (dice < 0.70) {
+    } else if (dice < mix.update) {
       // Update. kNotFound is a read of "absent"; an unavailable outcome is a
       // possibly-applied write (some replicas may hold it).
       const uint64_t v = hist->next_value++;
@@ -153,7 +167,7 @@ inline sim::Task<void> KvChaosClient(TestEnv* env, kv::KvSession* kv, uint64_t r
         op.is_write = false;
         op.value = 0;
       }
-    } else if (dice < 0.90) {
+    } else if (dice < mix.insert) {
       // Insert (updates when the key exists).
       const uint64_t v = hist->next_value++;
       kv::KvResult r = co_await kv->Insert(key, EncodeValue(v, spec.value_size));
