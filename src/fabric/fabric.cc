@@ -156,7 +156,7 @@ sim::Task<OpResult> Qp::Read(uint64_t addr, std::span<uint8_t> out) {
   const sim::Time departure = sim->Now();
   // A READ has no node-side effect, so a dropped request and a dropped
   // response are indistinguishable to everyone: the bytes never arrive.
-  if (f.DropMessage(node_, false) || f.DropMessage(node_, true)) {
+  if (f.DropMessage(node_, false, chaos_tag_) || f.DropMessage(node_, true, chaos_tag_)) {
     co_await sim->WaitUntil(departure + cfg.failure_detect_delay);
     OpResult lost;
     lost.status = Status::kNodeFailed;
@@ -208,7 +208,7 @@ sim::Task<OpResult> Qp::Write(uint64_t addr, std::span<const uint8_t> data) {
 
   sim::Simulator* sim = f.sim();
   const sim::Time departure = sim->Now();
-  if (f.DropMessage(node_, false)) {
+  if (f.DropMessage(node_, false, chaos_tag_)) {
     // Request lost: the write never reaches the node.
     co_await sim->WaitUntil(departure + cfg.failure_detect_delay);
     OpResult lost;
@@ -217,7 +217,7 @@ sim::Task<OpResult> Qp::Write(uint64_t addr, std::span<const uint8_t> data) {
   }
   // Response lost: the write APPLIES at the node, only the ack is missing —
   // the possibly-applied case quorum protocols must survive.
-  const bool drop_resp = f.DropMessage(node_, true);
+  const bool drop_resp = f.DropMessage(node_, true, chaos_tag_);
   const sim::Time xfer = f.TransferTime(data.size());
   sim::Time start =
       departure + f.SampleDelay() + f.LinkExtraDelay(node_, false) + f.node(node_).extra_delay();
@@ -305,14 +305,14 @@ sim::Task<OpResult> Qp::Cas(uint64_t addr, uint64_t expected, uint64_t desired) 
 
   sim::Simulator* sim = f.sim();
   const sim::Time departure = sim->Now();
-  if (f.DropMessage(node_, false)) {
+  if (f.DropMessage(node_, false, chaos_tag_)) {
     co_await sim->WaitUntil(departure + cfg.failure_detect_delay);
     OpResult lost;
     lost.status = Status::kNodeFailed;
     co_return lost;
   }
   // Response lost: the CAS takes effect but the old value never comes back.
-  const bool drop_resp = f.DropMessage(node_, true);
+  const bool drop_resp = f.DropMessage(node_, true, chaos_tag_);
   sim::Time arrival =
       departure + f.SampleDelay() + f.LinkExtraDelay(node_, false) + f.node(node_).extra_delay();
   arrival = std::max(arrival, last_arrival_ + 1);
@@ -370,7 +370,7 @@ sim::Task<OpResult> Qp::WriteThenCas(uint64_t waddr, std::span<const uint8_t> da
 
   sim::Simulator* sim = f.sim();
   const sim::Time departure = sim->Now();
-  if (f.DropMessage(node_, false)) {
+  if (f.DropMessage(node_, false, chaos_tag_)) {
     // The pipelined series is one network message: neither verb applies.
     co_await sim->WaitUntil(departure + cfg.failure_detect_delay);
     OpResult lost;
@@ -378,7 +378,7 @@ sim::Task<OpResult> Qp::WriteThenCas(uint64_t waddr, std::span<const uint8_t> da
     co_return lost;
   }
   // Response lost: BOTH the write and the CAS apply; the ack is missing.
-  const bool drop_resp = f.DropMessage(node_, true);
+  const bool drop_resp = f.DropMessage(node_, true, chaos_tag_);
   const sim::Time xfer = f.TransferTime(data.size());
   sim::Time start =
       departure + f.SampleDelay() + f.LinkExtraDelay(node_, false) + f.node(node_).extra_delay();

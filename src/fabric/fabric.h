@@ -92,8 +92,13 @@ struct FabricConfig {
   // retry exhaustion). link_delay_fn returns extra one-way delay for the
   // given leg, sampled at that leg's scheduling instant. Unset hooks cost
   // nothing on the verb path.
+  //
+  // drop_fn additionally receives the issuing QP's chaos tag
+  // (Qp::set_chaos_tag, -1 when untagged) so the chaos engine can target a
+  // SINGLE client's queue pair — a flaky cable / dying NIC port rather than
+  // a congested link. Non-verb paths (index RPCs) pass -1.
   using LinkDelayFn = std::function<sim::Time(int node, bool response)>;
-  using DropFn = std::function<bool(int node, bool response)>;
+  using DropFn = std::function<bool(int node, bool response, int qp_tag)>;
   LinkDelayFn link_delay_fn;
   DropFn drop_fn;
 };
@@ -207,6 +212,11 @@ class Qp {
   // node's repair fence (MemoryNode::set_repair_fenced).
   void set_repair_channel(bool on) { repair_channel_ = on; }
 
+  // Tags this QP for per-QP fault targeting (FabricConfig::DropFn). Chaos
+  // scenarios tag every worker of client i with tag i; -1 = untargetable.
+  void set_chaos_tag(int tag) { chaos_tag_ = tag; }
+  int chaos_tag() const { return chaos_tag_; }
+
   // One-sided READ of [addr, addr+out.size()). The bytes are sampled at the
   // op's execution instant at the node and delivered at completion.
   sim::Task<OpResult> Read(uint64_t addr, std::span<uint8_t> out);
@@ -231,6 +241,7 @@ class Qp {
   int node_;
   ClientCpu* cpu_;
   bool repair_channel_ = false;
+  int chaos_tag_ = -1;
   sim::Time last_arrival_ = 0;  // FIFO ordering of executions at the node.
 };
 
@@ -270,8 +281,8 @@ class Fabric {
   sim::Time LinkExtraDelay(int node, bool response) {
     return config_.link_delay_fn ? config_.link_delay_fn(node, response) : 0;
   }
-  bool DropMessage(int node, bool response) {
-    return config_.drop_fn && config_.drop_fn(node, response);
+  bool DropMessage(int node, bool response, int qp_tag = -1) {
+    return config_.drop_fn && config_.drop_fn(node, response, qp_tag);
   }
 
   // One direction of network latency including jitter.

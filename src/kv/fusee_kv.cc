@@ -131,8 +131,13 @@ sim::Task<repair::RepairOutcome> FuseeStore::RepairNode(int node, Worker* worker
   for (uint64_t key : keys) {
     KeyMeta& meta = directory_.find(key)->second;
     const int src = meta.primary == node ? meta.backup : meta.primary;
-    if (NodeFailed(src)) {
-      ++out.slots_failed;  // Both replicas down: nothing to copy from.
+    // Per-key survivor check: the source replica must be alive AND not
+    // itself mid-repair. With concurrent repairs (max_crashed > 1) the other
+    // replica can be a wiped node whose rebuild is still running — the
+    // repair channel passes its rejoin fence, so without this check the
+    // coordinator would read zeros there and install "absent" as truth.
+    if (NodeFailed(src) || worker->NodeQuorumExcluded(src)) {
+      ++out.slots_failed;  // No surviving replica (yet): retry next round.
       out.complete = false;
       continue;
     }

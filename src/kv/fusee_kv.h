@@ -61,7 +61,7 @@ class FuseeStore : public repair::RepairableStore {
 
   // --- Recovery state machine (§7.7) ---
   bool InRecovery() const {
-    return fabric_->sim()->Now() < recovering_until_ || repairing_;
+    return fabric_->sim()->Now() < recovering_until_ || repairing_ > 0;
   }
   sim::Time recovering_until() const { return recovering_until_; }
   void StartRecovery(int failed_node);
@@ -72,10 +72,12 @@ class FuseeStore : public repair::RepairableStore {
                                               const repair::RepairConfig& config) override;
   void OnRepairBegin(int node) override {
     (void)node;
-    repairing_ = true;  // Synchronous replication: all progress stops.
+    ++repairing_;  // Synchronous replication: all progress stops. Counted,
+                   // not a flag: concurrent repairs of DIFFERENT nodes
+                   // (max_crashed > 1) must each hold the gate.
   }
   void OnRepairComplete(int node, bool readmitted) override {
-    repairing_ = false;
+    --repairing_;
     if (readmitted) {
       failed_nodes_[static_cast<size_t>(node)] = false;  // Roles restored.
     }
@@ -89,7 +91,7 @@ class FuseeStore : public repair::RepairableStore {
   fabric::Fabric* fabric_;
   sim::Time recovery_duration_;
   sim::Time recovering_until_ = 0;
-  bool repairing_ = false;
+  int repairing_ = 0;
   std::vector<bool> failed_nodes_ = std::vector<bool>(16, false);
   uint64_t next_gen_ = 1;
   std::unordered_map<uint64_t, KeyMeta> directory_;

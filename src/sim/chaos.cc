@@ -27,6 +27,10 @@ const char* FaultKindName(FaultKind kind) {
       return "epoch_churn";
     case FaultKind::kRepairDone:
       return "repair_done";
+    case FaultKind::kQpDropBurst:
+      return "qp_drop";
+    case FaultKind::kQpDropStop:
+      return "qp_drop_stop";
   }
   return "?";
 }
@@ -44,11 +48,18 @@ ChaosEngine::ChaosEngine(fabric::Fabric* fabric, membership::MembershipService* 
   crashed_.assign(static_cast<size_t>(fabric_->num_nodes()), false);
   fabric_->set_link_delay_fn(
       [this](int node, bool /*response*/) { return spike_delay_[static_cast<size_t>(node)]; });
-  fabric_->set_drop_fn([this](int node, bool response) {
+  fabric_->set_drop_fn([this](int node, bool response, int qp_tag) {
     // Consumes Rng only while a burst is active, so installing the engine
     // does not perturb fault-free runs.
-    const double p = response ? drop_ack_p_[static_cast<size_t>(node)]
-                              : drop_req_p_[static_cast<size_t>(node)];
+    double p = response ? drop_ack_p_[static_cast<size_t>(node)]
+                        : drop_req_p_[static_cast<size_t>(node)];
+    if (qp_tag >= 0) {
+      for (const QpBurst& b : qp_bursts_) {
+        if (b.tag == qp_tag && b.node == node) {
+          p = std::max(p, response ? b.ack_p : b.req_p);
+        }
+      }
+    }
     return p > 0.0 && sim_->rng().Chance(p);
   });
 }
@@ -88,11 +99,13 @@ void ChaosEngine::InjectOne() {
     }
   }
   const bool lease_ok = membership_ != nullptr && membership_->HasRegisteredClients();
-  std::array<Class, 6> classes{{
+  std::array<Class, 7> classes{{
       {crash_candidate && crashed_count_ < config_.max_crashed ? config_.crash_weight : 0.0,
        &ChaosEngine::InjectCrash},
       {config_.delay_weight, &ChaosEngine::InjectDelaySpike},
       {config_.drop_weight, &ChaosEngine::InjectDropBurst},
+      {config_.qp_tag_count > 0 ? config_.qp_drop_weight : 0.0,
+       &ChaosEngine::InjectQpDropBurst},
       {lease_ok ? config_.lease_weight : 0.0, &ChaosEngine::InjectLeaseExpiry},
       {membership_ != nullptr ? config_.detection_weight : 0.0,
        &ChaosEngine::InjectDetectionSweep},
@@ -224,6 +237,37 @@ void ChaosEngine::InjectDropBurst() {
   });
 }
 
+void ChaosEngine::InjectQpDropBurst() {
+  // One client's QP to one node goes flaky: everyone else keeps clean links,
+  // so the victim alone loses a replica (and, ack-biased, alone accumulates
+  // possibly-applied writes the other clients then race to observe).
+  const int tag = static_cast<int>(sim_->rng().Below(static_cast<uint64_t>(config_.qp_tag_count)));
+  const int node = static_cast<int>(sim_->rng().Below(static_cast<uint64_t>(fabric_->num_nodes())));
+  const double p = std::max(0.02, config_.max_drop_p * sim_->rng().Double());
+  const sim::Time duration = 1 + static_cast<sim::Time>(sim_->rng().Below(
+                                     static_cast<uint64_t>(config_.max_drop_duration)));
+  const double wmax = std::max(config_.drop_req_weight, config_.drop_ack_weight);
+  QpBurst burst;
+  burst.id = ++next_qp_burst_id_;
+  burst.tag = tag;
+  burst.node = node;
+  burst.req_p = wmax > 0.0 ? p * config_.drop_req_weight / wmax : 0.0;
+  burst.ack_p = wmax > 0.0 ? p * config_.drop_ack_weight / wmax : 0.0;
+  qp_bursts_.push_back(burst);
+  Record(FaultKind::kQpDropBurst, node,
+         (static_cast<uint64_t>(tag) << 16) | static_cast<uint64_t>(p * 1000.0));
+  const uint64_t id = burst.id;
+  sim_->After(duration, [this, id, node, tag] {
+    for (size_t i = 0; i < qp_bursts_.size(); ++i) {
+      if (qp_bursts_[i].id == id) {
+        qp_bursts_.erase(qp_bursts_.begin() + static_cast<long>(i));
+        Record(FaultKind::kQpDropStop, node, static_cast<uint64_t>(tag));
+        break;
+      }
+    }
+  });
+}
+
 void ChaosEngine::InjectLeaseExpiry() {
   const std::vector<uint32_t> ids = membership_->RegisteredClients();
   const uint32_t id = ids[sim_->rng().Below(ids.size())];
@@ -270,7 +314,7 @@ std::string ChaosEngine::TraceSummary() const {
   }
   std::string out;
   for (uint8_t k = static_cast<uint8_t>(FaultKind::kCrash);
-       k <= static_cast<uint8_t>(FaultKind::kRepairDone); ++k) {
+       k <= static_cast<uint8_t>(FaultKind::kQpDropStop); ++k) {
     const int c = counts[k];
     if (c == 0) {
       continue;

@@ -50,6 +50,9 @@ enum class FaultKind : uint8_t {
   kRepairDone,      // a kRecoverWithRepair lifecycle completed (param: 0 = the
                     // node was repaired and readmitted, 1 = repair gave up and
                     // the node stays quorum-excluded)
+  kQpDropBurst,     // drop burst on ONE client QP began (node = target link,
+                    // param = tag << 16 | probability permille)
+  kQpDropStop,      // per-QP burst ended (param = tag)
 };
 
 const char* FaultKindName(FaultKind kind);
@@ -112,6 +115,15 @@ struct ChaosConfig {
   double drop_ack_weight = 1.0;
   sim::Time max_drop_duration = 60 * sim::kMicrosecond;
 
+  // Per-QP drop bursts: each burst targets the queue pair of ONE client
+  // (Worker::set_chaos_tag, tags drawn uniformly from [0, qp_tag_count)) to
+  // ONE memory node — a flaky cable or dying NIC port rather than a
+  // congested link, so a single client loses a replica while everyone else
+  // proceeds. Shares max_drop_p / max_drop_duration and the per-direction
+  // weights with link bursts. Self-disables when qp_tag_count == 0.
+  double qp_drop_weight = 0.0;
+  int qp_tag_count = 0;
+
   // Whether spikes/drops may also hit the index service's RPC link
   // (fabric::Fabric::index_link()), opening index/data inconsistency
   // windows. Opt-in: enable it only when an IndexService is actually wired
@@ -171,6 +183,7 @@ class ChaosEngine {
   void InjectCrash();
   void InjectDelaySpike();
   void InjectDropBurst();
+  void InjectQpDropBurst();
   void InjectLeaseExpiry();
   void InjectDetectionSweep();
   void InjectEpochChurn();
@@ -193,6 +206,16 @@ class ChaosEngine {
   std::vector<double> drop_req_p_;
   std::vector<double> drop_ack_p_;
   std::vector<uint64_t> drop_gen_;
+  // Active per-QP bursts (usually 0 or 1; scanned by the drop hook).
+  struct QpBurst {
+    uint64_t id = 0;
+    int tag = -1;
+    int node = -1;
+    double req_p = 0.0;
+    double ack_p = 0.0;
+  };
+  std::vector<QpBurst> qp_bursts_;
+  uint64_t next_qp_burst_id_ = 0;
   std::vector<bool> crashed_;
   int crashed_count_ = 0;
 

@@ -124,6 +124,14 @@ class Worker {
     }
   }
 
+  // Tags every QP of this worker for per-QP fault targeting (chaos's
+  // kQpDropBurst class). Scenarios tag client i's workers with tag i.
+  void set_chaos_tag(int tag) {
+    for (auto& qp : qps_) {
+      qp.set_chaos_tag(tag);
+    }
+  }
+
  private:
   fabric::Fabric* fabric_;
   uint32_t tid_;

@@ -1,0 +1,490 @@
+#include "src/verify/lincheck.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <optional>
+#include <set>
+#include <unordered_set>
+#include <utility>
+
+namespace swarm::verify {
+namespace {
+
+constexpr sim::Time kNoDeadline = std::numeric_limits<sim::Time>::max();
+
+// One retained op of a cell after the pending-op closure. `deadline` is the
+// effective response the WGL enabling rule uses: the recorded response for
+// completed ops, the capped window for pending writes whose unique value was
+// read, kNoDeadline otherwise.
+struct CellOp {
+  size_t id = 0;  // Index into the caller's history vector.
+  bool is_write = false;
+  uint64_t value = 0;
+  sim::Time invoked = 0;
+  sim::Time deadline = 0;
+  bool pending = false;  // Optional to linearize.
+};
+
+// A cell's input: (caller index, op), possibly rewritten by the failure
+// minimizer (truncation re-marks in-flight ops as pending).
+using CellInput = std::vector<std::pair<size_t, HistoryOp>>;
+
+// Pending-op closure (sound AND complete — each rule preserves the verdict):
+//  * pending reads constrain nothing (they are never required and never
+//    change state) — dropped;
+//  * a pending write whose value no completed read returned (at or after its
+//    invocation) can only overwrite the register, never explain an op —
+//    dropped;
+//  * a pending write of a nonzero value written by no other op, whose value
+//    WAS returned by completed reads, must linearize before the first such
+//    read's response (it is the only write that can explain it) — its
+//    deadline is capped there, re-enabling time-window cuts behind it. With
+//    duplicate or zero values the unbounded window is kept: a capped window
+//    is only provably equivalent for a unique writer.
+// `ambient` lists values the register may hold BEFORE this history runs
+// (entry values of a truncated window re-check): a read of such a value
+// needs no write at all, so the unique-writer capping proof does not apply
+// to it. Whole-cell checks start from 0 only, which `value != 0` covers.
+// Returns the retained ops sorted by invocation (ties by caller index).
+std::vector<CellOp> Preprocess(const CellInput& in, const std::set<uint64_t>& ambient = {}) {
+  std::map<uint64_t, int> writes_of;           // value -> write count
+  std::map<uint64_t, std::vector<sim::Time>> reads_of;  // value -> completed-read responses
+  for (const auto& [id, op] : in) {
+    if (op.is_write) {
+      ++writes_of[op.value];
+    } else if (!op.pending) {
+      reads_of[op.value].push_back(op.responded);
+    }
+  }
+  for (auto& [value, times] : reads_of) {
+    std::sort(times.begin(), times.end());
+  }
+
+  std::vector<CellOp> out;
+  out.reserve(in.size());
+  for (const auto& [id, op] : in) {
+    CellOp c;
+    c.id = id;
+    c.is_write = op.is_write;
+    c.value = op.value;
+    c.invoked = op.invoked;
+    c.pending = op.pending;
+    if (!op.pending) {
+      c.deadline = op.responded;
+      out.push_back(c);
+      continue;
+    }
+    if (!op.is_write) {
+      continue;  // Pending read: unconstrained.
+    }
+    const auto it = reads_of.find(op.value);
+    sim::Time first_read = kNoDeadline;
+    bool observed = false;
+    if (it != reads_of.end()) {
+      for (sim::Time t : it->second) {
+        if (t >= op.invoked) {
+          observed = true;
+          first_read = t;  // Sorted: first hit is the earliest.
+          break;
+        }
+      }
+    }
+    if (!observed) {
+      continue;  // Never observed: including it could only burn state.
+    }
+    c.deadline = (op.value != 0 && writes_of[op.value] == 1 && ambient.count(op.value) == 0)
+                     ? first_read
+                     : kNoDeadline;
+    out.push_back(c);
+  }
+  std::stable_sort(out.begin(), out.end(), [](const CellOp& a, const CellOp& b) {
+    return a.invoked != b.invoked ? a.invoked < b.invoked : a.id < b.id;
+  });
+  return out;
+}
+
+// [first, first+count) range of a cell's retained ops forming one time
+// window: no retained op's [invoked, deadline] spans a window boundary.
+struct Window {
+  size_t first = 0;
+  size_t count = 0;
+};
+
+std::vector<Window> SplitWindows(const std::vector<CellOp>& ops) {
+  std::vector<Window> out;
+  if (ops.empty()) {
+    return out;
+  }
+  size_t start = 0;
+  sim::Time horizon = ops[0].deadline;
+  for (size_t i = 1; i < ops.size(); ++i) {
+    // `>` not `>=`: an op invoked exactly at another's response is still
+    // concurrent under the enabling rule (matching the legacy DFS).
+    if (ops[i].invoked > horizon) {
+      out.push_back({start, i - start});
+      start = i;
+      horizon = ops[i].deadline;
+    } else {
+      horizon = std::max(horizon, ops[i].deadline);
+    }
+  }
+  out.push_back({start, ops.size() - start});
+  return out;
+}
+
+// Dynamic-bitset DFS state: linearized set + register value.
+struct DfsState {
+  std::vector<uint64_t> mask;
+  uint64_t value = 0;
+
+  bool operator==(const DfsState&) const = default;
+};
+
+struct DfsStateHash {
+  size_t operator()(const DfsState& s) const {
+    uint64_t h = 0xcbf29ce484222325ull;
+    auto mix = [&h](uint64_t v) {
+      h ^= v;
+      h *= 0x100000001b3ull;
+      h ^= h >> 29;
+    };
+    mix(s.value);
+    for (uint64_t w : s.mask) {
+      mix(w);
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+// Wing&Gong just-in-time DFS over one window. `AddInit` explores every
+// reachable state from one initial register value; `finals()` accumulates
+// the values the register can hold once all completed ops are linearized —
+// including states where leftover pending writes did or did not apply, so
+// chaining windows through the value set stays exact. With `decide_only` it
+// stops at the first complete state (the last window needs no finals).
+//
+// The state memo persists across a window's inits: a DFS state (linearized
+// set, register value) fully determines its remaining exploration no matter
+// which init reached it, so states shared between inits are explored once.
+// (Root states never collide with memoized interior states — an empty mask
+// occurs only at a root, and the inits are distinct.)
+class WindowDfs {
+ public:
+  WindowDfs(const CellOp* ops, size_t n, CheckStats* stats)
+      : ops_(ops), n_(n), words_((n + 63) / 64), stats_(stats) {
+    completed_total_ = 0;
+    for (size_t i = 0; i < n_; ++i) {
+      completed_total_ += ops_[i].pending ? 0 : 1;
+    }
+  }
+
+  // Returns true iff decide_only and a complete state was reached.
+  bool AddInit(uint64_t init, bool decide_only) {
+    decide_only_ = decide_only;
+    found_ = false;
+    cur_.mask.assign(words_, 0);
+    cur_.value = init;
+    Dfs(completed_total_);
+    return found_;
+  }
+
+  const std::set<uint64_t>& finals() const { return finals_; }
+
+ private:
+  bool Linearized(size_t i) const { return (cur_.mask[i >> 6] >> (i & 63)) & 1; }
+
+  void Dfs(size_t completed_left) {
+    if (!visited_.insert(cur_).second) {
+      return;
+    }
+    ++stats_->states;
+    if (completed_left == 0) {
+      finals_.insert(cur_.value);
+      if (decide_only_) {
+        found_ = true;
+        return;
+      }
+    }
+    // An op is enabled iff no unlinearized op responded before it was
+    // invoked (just-in-time linearization).
+    sim::Time min_resp = kNoDeadline;
+    for (size_t i = 0; i < n_; ++i) {
+      if (!Linearized(i)) {
+        min_resp = std::min(min_resp, ops_[i].deadline);
+      }
+    }
+    const uint64_t value_here = cur_.value;
+    for (size_t i = 0; i < n_; ++i) {
+      if (Linearized(i)) {
+        continue;
+      }
+      const CellOp& op = ops_[i];
+      if (op.invoked > min_resp) {
+        continue;  // Some other op must linearize first.
+      }
+      if (!op.is_write && op.value != value_here) {
+        continue;  // A read must return the current value.
+      }
+      cur_.mask[i >> 6] |= 1ull << (i & 63);
+      cur_.value = op.is_write ? op.value : value_here;
+      Dfs(completed_left - (op.pending ? 0 : 1));
+      cur_.mask[i >> 6] &= ~(1ull << (i & 63));
+      cur_.value = value_here;
+      if (found_) {
+        return;
+      }
+    }
+  }
+
+  const CellOp* ops_;
+  size_t n_;
+  size_t words_;
+  size_t completed_total_ = 0;
+  CheckStats* stats_;
+  DfsState cur_;
+  std::unordered_set<DfsState, DfsStateHash> visited_;
+  std::set<uint64_t> finals_;
+  bool decide_only_ = false;
+  bool found_ = false;
+};
+
+struct CellFailure {
+  Window window;
+  std::vector<uint64_t> inits;  // Register values possible at window entry.
+};
+
+// Checks one cell's retained ops starting from any of `inits`, chaining the
+// windows through the reachable-value sets.
+std::optional<CellFailure> RunCell(const std::vector<CellOp>& ops,
+                                   const std::vector<uint64_t>& init_values,
+                                   CheckStats* stats) {
+  const std::vector<Window> windows = SplitWindows(ops);
+  std::vector<uint64_t> inits = init_values;
+  for (size_t wi = 0; wi < windows.size(); ++wi) {
+    const Window& w = windows[wi];
+    ++stats->windows;
+    stats->max_window_ops = std::max(stats->max_window_ops, static_cast<uint64_t>(w.count));
+    const bool last = wi + 1 == windows.size();
+    WindowDfs dfs(ops.data() + w.first, w.count, stats);
+    for (uint64_t init : inits) {
+      if (dfs.AddInit(init, last)) {
+        return std::nullopt;  // Accepted; no later window needs the finals.
+      }
+    }
+    if (dfs.finals().empty()) {
+      return CellFailure{w, std::move(inits)};
+    }
+    inits.assign(dfs.finals().begin(), dfs.finals().end());
+  }
+  return std::nullopt;
+}
+
+// Truncates a failing window at virtual time `cut`: ops invoked later are
+// dropped, completed ops still in flight are re-marked pending. The result
+// is exactly the history an observer would have recorded at `cut`, so a
+// rejected truncation is itself a valid (smaller) counterexample.
+CellInput TruncateAt(const CellInput& in, sim::Time cut) {
+  CellInput out;
+  for (const auto& [id, op] : in) {
+    if (op.invoked > cut) {
+      continue;
+    }
+    HistoryOp t = op;
+    if (!t.pending && t.responded > cut) {
+      t.pending = true;
+    }
+    out.push_back({id, t});
+  }
+  return out;
+}
+
+// Shrinks a failing window to the earliest truncation that is already
+// rejected and fills the report from it.
+void MinimizeFailure(const CellInput& window_ops, const std::vector<uint64_t>& inits,
+                     uint64_t key, CheckResult* res) {
+  res->linearizable = false;
+  res->key = key;
+
+  std::vector<std::pair<sim::Time, size_t>> completions;  // (responded, id)
+  for (const auto& [id, op] : window_ops) {
+    if (!op.pending) {
+      completions.push_back({op.responded, id});
+    }
+  }
+  std::sort(completions.begin(), completions.end());
+
+  CheckStats scratch;
+  // The truncated window is a standalone history entered with `inits`
+  // possibly already in the register — those values can explain reads
+  // without any write, so they are ambient for the capping rule.
+  const std::set<uint64_t> ambient(inits.begin(), inits.end());
+  for (const auto& [cut, culprit_id] : completions) {
+    const CellInput truncated = TruncateAt(window_ops, cut);
+    const std::vector<CellOp> retained = Preprocess(truncated, ambient);
+    if (!RunCell(retained, inits, &scratch).has_value()) {
+      continue;  // Still linearizable up to this completion.
+    }
+    res->culprit = culprit_id;
+    res->window_end = cut;
+    res->window_begin = cut;
+    for (const auto& [id, op] : truncated) {
+      res->window_begin = std::min(res->window_begin, op.invoked);
+      res->window_ops.push_back(id);
+    }
+    return;
+  }
+  // Unreachable in practice (the full window is a failing truncation), but
+  // degrade gracefully: report the whole window.
+  res->window_end = 0;
+  res->window_begin = kNoDeadline;
+  for (const auto& [id, op] : window_ops) {
+    res->window_begin = std::min(res->window_begin, op.invoked);
+    if (!op.pending) {
+      res->window_end = std::max(res->window_end, op.responded);
+    }
+    res->window_ops.push_back(id);
+  }
+}
+
+// Shared engine behind Check / CheckReport. Returns early without a report
+// when `res` is null.
+bool CheckImpl(const std::vector<HistoryOp>& ops, CheckResult* res) {
+  std::map<uint64_t, CellInput> cells;  // Ordered: deterministic reports.
+  for (size_t i = 0; i < ops.size(); ++i) {
+    cells[ops[i].key].push_back({i, ops[i]});
+  }
+  CheckStats local_stats;
+  CheckStats* stats = res != nullptr ? &res->stats : &local_stats;
+  for (const auto& [key, input] : cells) {
+    ++stats->cells;
+    const std::vector<CellOp> retained = Preprocess(input);
+    std::optional<CellFailure> fail = RunCell(retained, {0}, stats);
+    if (!fail.has_value()) {
+      continue;
+    }
+    if (res != nullptr) {
+      // Hand the minimizer the failing window's retained ops, as recorded.
+      CellInput window_ops;
+      for (size_t i = 0; i < fail->window.count; ++i) {
+        const size_t id = retained[fail->window.first + i].id;
+        window_ops.push_back({id, ops[id]});
+      }
+      MinimizeFailure(window_ops, fail->inits, key, res);
+    }
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string CheckResult::Describe(const std::vector<HistoryOp>& ops) const {
+  if (linearizable) {
+    return "linearizable (" + std::to_string(stats.cells) + " cells, " +
+           std::to_string(stats.windows) + " windows, " + std::to_string(stats.states) +
+           " states)";
+  }
+  int pending = 0;
+  for (size_t id : window_ops) {
+    pending += ops[id].pending ? 1 : 0;
+  }
+  std::string msg = "key " + std::to_string(key) + " NON-LINEARIZABLE: minimal window [" +
+                    std::to_string(window_begin) + ".." + std::to_string(window_end) + "], " +
+                    std::to_string(window_ops.size()) + " ops (" + std::to_string(pending) +
+                    " pending)";
+  for (size_t id : window_ops) {
+    const HistoryOp& op = ops[id];
+    msg += "\n    #" + std::to_string(id) + " " + (op.is_write ? "W(" : "R(") +
+           std::to_string(op.value) + ") @" + std::to_string(op.invoked) +
+           (op.pending ? " pending" : ".." + std::to_string(op.responded));
+    if (id == culprit) {
+      msg += "  <- completion breaks the window";
+    }
+  }
+  return msg;
+}
+
+bool LinearizabilityChecker::Check(const std::vector<HistoryOp>& ops) {
+  return CheckImpl(ops, nullptr);
+}
+
+CheckResult LinearizabilityChecker::CheckReport(const std::vector<HistoryOp>& ops) {
+  CheckResult res;
+  res.linearizable = CheckImpl(ops, &res);
+  return res;
+}
+
+// --- The pre-PR-4 bitmask DFS, kept verbatim as a differential oracle. ----
+
+namespace {
+
+class LegacyChecker {
+ public:
+  static bool Check(const std::vector<HistoryOp>& ops) {
+    if (ops.size() > 63) {
+      return false;  // The historical cap: callers kept histories small.
+    }
+    LegacyChecker checker(ops);
+    return checker.Dfs(0, 0);
+  }
+
+ private:
+  explicit LegacyChecker(const std::vector<HistoryOp>& ops) : ops_(ops) {
+    for (size_t i = 0; i < ops_.size(); ++i) {
+      if (!ops_[i].pending) {
+        completed_ |= 1ull << i;
+      }
+    }
+  }
+
+  sim::Time ResponseOf(size_t i) const {
+    return ops_[i].pending ? std::numeric_limits<sim::Time>::max() : ops_[i].responded;
+  }
+
+  bool Dfs(uint64_t mask, uint64_t value) {
+    if ((mask & completed_) == completed_) {
+      return true;  // Every completed op explained; leftovers are pending.
+    }
+    if (!visited_.insert({mask, value}).second) {
+      return false;
+    }
+    sim::Time min_resp = std::numeric_limits<sim::Time>::max();
+    for (size_t i = 0; i < ops_.size(); ++i) {
+      if ((mask & (1ull << i)) == 0) {
+        min_resp = std::min(min_resp, ResponseOf(i));
+      }
+    }
+    for (size_t i = 0; i < ops_.size(); ++i) {
+      if ((mask & (1ull << i)) != 0) {
+        continue;
+      }
+      const HistoryOp& op = ops_[i];
+      if (op.invoked > min_resp) {
+        continue;
+      }
+      if (op.is_write) {
+        if (Dfs(mask | (1ull << i), op.value)) {
+          return true;
+        }
+      } else if (op.value == value) {
+        if (Dfs(mask | (1ull << i), value)) {
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  const std::vector<HistoryOp>& ops_;
+  uint64_t completed_ = 0;
+  std::set<std::pair<uint64_t, uint64_t>> visited_;
+};
+
+}  // namespace
+
+bool LinearizabilityChecker::CheckLegacy(const std::vector<HistoryOp>& ops) {
+  return LegacyChecker::Check(ops);
+}
+
+}  // namespace swarm::verify

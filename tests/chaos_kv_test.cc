@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <memory>
 #include <vector>
 
@@ -27,11 +28,39 @@ using sim::Spawn;
 using testing::ChaosEnv;
 using testing::ChaosHistories;
 using testing::CheckHistories;
+using testing::DriveScenarios;
+using testing::DriveSoakScenarios;
 using testing::ForcedSeed;
 using testing::KvChaosClient;
-using testing::DriveScenarios;
+using testing::LongHorizonSoakSpec;
 using testing::ScenarioSpec;
 using testing::SeedMessage;
+
+// Shared scenario epilogue: linearizability check + replayable seed message.
+// Soak runners also pass a wall-clock budget for the CHECK itself — the
+// acceptance bar for the unbounded checker (a 2,000+-op multi-key history
+// was impossible to check at all under the legacy 63-op DFS).
+void ExpectLinearizable(const ChaosHistories& hist, const ScenarioSpec& spec,
+                        const chaos::ChaosEngine& engine, double check_budget_s = 0.0) {
+  const auto start = std::chrono::steady_clock::now();
+  const std::string violation = CheckHistories(hist);
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  EXPECT_TRUE(violation.empty()) << violation << "\n  " << SeedMessage(spec, engine);
+  if (check_budget_s > 0.0) {
+    size_t ops = 0;
+    for (const auto& [key, key_ops] : hist.per_key) {
+      ops += key_ops.size();
+    }
+    EXPECT_LT(secs, check_budget_s)
+        << "checking " << ops << " ops across " << hist.per_key.size() << " keys took " << secs
+        << " s\n  " << SeedMessage(spec, engine);
+    // A soak that recorded far fewer ops than its spec issued has silently
+    // degenerated (e.g. everything went unavailable) and proves nothing.
+    EXPECT_GE(ops, static_cast<size_t>(spec.clients * spec.ops_per_client * 3 / 4))
+        << SeedMessage(spec, engine);
+  }
+}
 
 // Workload ~150 us of virtual time; faults land every ~8 us of it. Crashes
 // are crash-stop (a restarted disaggregated-memory node would come back
@@ -52,7 +81,7 @@ ScenarioSpec KvSpec(uint64_t seed) {
   return spec;
 }
 
-void RunSwarmKvScenario(const ScenarioSpec& spec) {
+void RunSwarmKvScenario(const ScenarioSpec& spec, double check_budget_s = 0.0) {
   ChaosEnv c(spec);
   index::IndexService index(&c.env.sim, &c.env.fabric);
   // Recycler epoch churn rides along: synthetic participants heartbeat and
@@ -82,14 +111,13 @@ void RunSwarmKvScenario(const ScenarioSpec& spec) {
   c.engine.Start();
   c.env.sim.Run();
 
-  const std::string violation = CheckHistories(hist);
-  EXPECT_TRUE(violation.empty()) << violation << "\n  " << SeedMessage(spec, c.engine);
+  ExpectLinearizable(hist, spec, c.engine, check_budget_s);
   // Liveness: Simulator::Run returning proves every churn round completed
   // (fencing worked) even when chaos expired leases mid-round; the safety
   // side of the fencing protocol is recycler_test's job.
 }
 
-void RunDmAbdScenario(const ScenarioSpec& spec) {
+void RunDmAbdScenario(const ScenarioSpec& spec, double check_budget_s = 0.0) {
   ChaosEnv c(spec);
   index::IndexService index(&c.env.sim, &c.env.fabric);
   std::vector<std::unique_ptr<index::ClientCache>> caches;
@@ -106,11 +134,10 @@ void RunDmAbdScenario(const ScenarioSpec& spec) {
   }
   c.engine.Start();
   c.env.sim.Run();
-  const std::string violation = CheckHistories(hist);
-  EXPECT_TRUE(violation.empty()) << violation << "\n  " << SeedMessage(spec, c.engine);
+  ExpectLinearizable(hist, spec, c.engine, check_budget_s);
 }
 
-void RunFuseeScenario(const ScenarioSpec& spec) {
+void RunFuseeScenario(const ScenarioSpec& spec, double check_budget_s = 0.0) {
   ChaosEnv c(spec);
   // Short recovery so the multi-phase failover completes inside the
   // scenario; FUSEE blocks all progress while it runs (§7.7).
@@ -129,8 +156,7 @@ void RunFuseeScenario(const ScenarioSpec& spec) {
   }
   c.engine.Start();
   c.env.sim.Run();
-  const std::string violation = CheckHistories(hist);
-  EXPECT_TRUE(violation.empty()) << violation << "\n  " << SeedMessage(spec, c.engine);
+  ExpectLinearizable(hist, spec, c.engine, check_budget_s);
 }
 
 // ---------- Crash-recover scenarios (restart → repair → readmit) ----------
@@ -140,6 +166,24 @@ void RunFuseeScenario(const ScenarioSpec& spec) {
 // the repair, and rejoins quorums — all under ack-loss-biased drop bursts
 // (the possibly-applied case repair and quorum commits are most sensitive
 // to). Histories must stay linearizable across the whole cycle.
+
+// Lifecycle accounting shared by every crash-recover runner: all repair
+// lifecycles completed (readmitted, or safely gave up leaving the node
+// excluded) by simulation end, and the coordinator's counters agree with the
+// injected trace. With max_crashed = 2 this is the deadlock-safety half of
+// the concurrent-repair contract: two repairs that mutually wait for each
+// other's node (an object hosting both) must still terminate via the round
+// budget rather than hang the simulation.
+void ExpectRepairLifecyclesComplete(const ChaosEnv& c, const repair::RepairService& repair,
+                                    const ScenarioSpec& spec) {
+  EXPECT_EQ(c.engine.crashed_count(), 0) << SeedMessage(spec, c.engine);
+  size_t done_events = 0;
+  for (const chaos::FaultEvent& e : c.engine.trace()) {
+    done_events += e.kind == chaos::FaultKind::kRepairDone ? 1 : 0;
+  }
+  EXPECT_EQ(repair.repairs_completed() + repair.repairs_aborted(), done_events)
+      << SeedMessage(spec, c.engine);
+}
 
 ScenarioSpec CrashRecoverSpec(uint64_t seed) {
   ScenarioSpec spec;
@@ -194,8 +238,8 @@ void RunCrashRecoverSwarmScenario(const ScenarioSpec& spec) {
   }
   c.engine.Start();
   c.env.sim.Run();
-  const std::string violation = CheckHistories(hist);
-  EXPECT_TRUE(violation.empty()) << violation << "\n  " << SeedMessage(spec, c.engine);
+  ExpectLinearizable(hist, spec, c.engine);
+  ExpectRepairLifecyclesComplete(c, repair, spec);
 }
 
 void RunCrashRecoverDmAbdScenario(const ScenarioSpec& spec) {
@@ -220,8 +264,8 @@ void RunCrashRecoverDmAbdScenario(const ScenarioSpec& spec) {
   }
   c.engine.Start();
   c.env.sim.Run();
-  const std::string violation = CheckHistories(hist);
-  EXPECT_TRUE(violation.empty()) << violation << "\n  " << SeedMessage(spec, c.engine);
+  ExpectLinearizable(hist, spec, c.engine);
+  ExpectRepairLifecyclesComplete(c, repair, spec);
 }
 
 void RunCrashRecoverFuseeScenario(const ScenarioSpec& spec) {
@@ -245,12 +289,12 @@ void RunCrashRecoverFuseeScenario(const ScenarioSpec& spec) {
   }
   c.engine.Start();
   c.env.sim.Run();
-  const std::string violation = CheckHistories(hist);
-  EXPECT_TRUE(violation.empty()) << violation << "\n  " << SeedMessage(spec, c.engine);
+  ExpectLinearizable(hist, spec, c.engine);
+  ExpectRepairLifecyclesComplete(c, repair, spec);
 }
 
 TEST(ChaosSwarmKv, RandomFaultScenariosStayLinearizable) {
-  DriveScenarios(1000, RunSwarmKvScenario, [](uint64_t seed) {
+  DriveScenarios(1000, [](const ScenarioSpec& s) { RunSwarmKvScenario(s); }, [](uint64_t seed) {
     ScenarioSpec spec = KvSpec(seed);
     // SWARM-KV also rides recycler epoch churn and scripted lease expiries
     // (the participants are registered in RunSwarmKvScenario), and faults on
@@ -263,7 +307,7 @@ TEST(ChaosSwarmKv, RandomFaultScenariosStayLinearizable) {
 }
 
 TEST(ChaosDmAbdKv, RandomFaultScenariosStayLinearizable) {
-  DriveScenarios(2000, RunDmAbdScenario, [](uint64_t seed) {
+  DriveScenarios(2000, [](const ScenarioSpec& s) { RunDmAbdScenario(s); }, [](uint64_t seed) {
     ScenarioSpec spec = KvSpec(seed);
     spec.faults.fault_index_link = true;
     return spec;
@@ -271,7 +315,7 @@ TEST(ChaosDmAbdKv, RandomFaultScenariosStayLinearizable) {
 }
 
 TEST(ChaosFuseeKv, RandomFaultScenariosStayLinearizable) {
-  DriveScenarios(3000, RunFuseeScenario, [](uint64_t seed) {
+  DriveScenarios(3000, [](const ScenarioSpec& s) { RunFuseeScenario(s); }, [](uint64_t seed) {
     ScenarioSpec spec = KvSpec(seed);
     // FUSEE's synchronous replication treats every failed verb as a node
     // failure and pays a full recovery, so keep drop bursts milder and give
@@ -308,6 +352,126 @@ TEST(ChaosFuseeKv, CrashRecoverRepairStaysLinearizable) {
     spec.faults.max_drop_p = 0.15;
     return spec;
   });
+}
+
+// ---------- Concurrent repairs: max_crashed = 2 ----------
+//
+// The previously untested territory: TWO memory nodes down at once, both in
+// the kRecoverWithRepair lifecycle, while the workload keeps running. Per
+// object, three regimes coexist and must all stay linearizable:
+//   * a surviving majority exists (one replica on a repairing node): normal
+//     ops proceed with the repairing node quorum-excluded, and its repair
+//     copies from the survivors;
+//   * BOTH repairing nodes host replicas: no surviving majority — ops go
+//     unavailable (recorded pending) and both repairs keep failing that
+//     object's slot. If the crashes were staggered enough that one repair
+//     readmits within the other's round budget, the second then completes;
+//     otherwise both give up and the object stays dark — reduced
+//     availability, never a stale read;
+//   * untouched objects: unaffected throughout.
+// The per-object survivor-quorum checks live in the repair paths themselves
+// (quorum reads exclude EVERY repairing node; FUSEE's per-key source check
+// skips repair-excluded replicas) — this suite drives them end-to-end.
+
+ScenarioSpec ConcurrentRepairSpec(uint64_t seed) {
+  ScenarioSpec spec;
+  spec.seed = seed;
+  spec.clients = 4;
+  spec.keys = 6;
+  spec.ops_per_client = 16;
+  spec.mean_think = 24000;  // Stretch the workload past two repair cycles.
+  spec.faults.horizon = 300 * sim::kMicrosecond;
+  spec.faults.mean_gap = 7 * sim::kMicrosecond;
+  spec.faults.max_crashed = 2;
+  spec.faults.crash_weight = 2.0;  // Make overlapping double-crashes common.
+  spec.faults.restart = true;
+  spec.faults.repair = true;
+  spec.faults.min_down = 40 * sim::kMicrosecond;
+  spec.faults.max_down = 160 * sim::kMicrosecond;
+  spec.faults.max_drop_p = 0.3;
+  spec.faults.drop_ack_weight = 2.0;
+  return spec;
+}
+
+TEST(ChaosSwarmKv, ConcurrentRepairsStayLinearizable) {
+  DriveScenarios(7000, RunCrashRecoverSwarmScenario, [](uint64_t seed) {
+    ScenarioSpec spec = ConcurrentRepairSpec(seed);
+    spec.faults.churn_weight = 0.3;  // Recycler's horizon gates on BOTH repairs.
+    spec.faults.fault_index_link = true;
+    return spec;
+  });
+}
+
+TEST(ChaosDmAbdKv, ConcurrentRepairsStayLinearizable) {
+  DriveScenarios(7500, RunCrashRecoverDmAbdScenario, [](uint64_t seed) {
+    ScenarioSpec spec = ConcurrentRepairSpec(seed);
+    spec.faults.fault_index_link = true;
+    return spec;
+  });
+}
+
+TEST(ChaosFuseeKv, ConcurrentRepairsStayLinearizable) {
+  DriveScenarios(8000, RunCrashRecoverFuseeScenario, [](uint64_t seed) {
+    ScenarioSpec spec = ConcurrentRepairSpec(seed);
+    // FUSEE is 2-replica: with two nodes down, keys hosted on both are dark
+    // until a repair readmits. Milder drops (failed verbs cost recovery
+    // stalls) and extra think time for the store-wide repair gate.
+    spec.faults.max_drop_p = 0.15;
+    spec.mean_think = 30000;
+    return spec;
+  });
+}
+
+// ---------- Long-horizon soaks: 2,048 ops across 64 keys ----------
+//
+// The scenarios the 63-op cap forbade: ~2.5 ms of virtual time, ~100 faults
+// per run including per-QP drop bursts, histories in the thousands of ops.
+// The checker epilogue also enforces the acceptance bar: the full soak
+// history checks in well under 5 seconds.
+
+constexpr double kSoakCheckBudgetSeconds = 5.0;
+
+TEST(ChaosSwarmKvSoak, LongHorizonFullMixStaysLinearizable) {
+  DriveSoakScenarios(40000,
+                     [](const ScenarioSpec& spec) {
+                       RunSwarmKvScenario(spec, kSoakCheckBudgetSeconds);
+                     },
+                     [](uint64_t seed) {
+                       ScenarioSpec spec = LongHorizonSoakSpec(seed);
+                       // The full SWARM-KV fault surface: lease expiries,
+                       // recycler churn epochs, index-link faults, per-QP
+                       // bursts — with enough horizon for slow incubation.
+                       spec.faults.lease_weight = 0.5;
+                       spec.faults.churn_weight = 0.5;
+                       spec.faults.fault_index_link = true;
+                       return spec;
+                     });
+}
+
+TEST(ChaosDmAbdKvSoak, LongHorizonFullMixStaysLinearizable) {
+  DriveSoakScenarios(41000,
+                     [](const ScenarioSpec& spec) {
+                       RunDmAbdScenario(spec, kSoakCheckBudgetSeconds);
+                     },
+                     [](uint64_t seed) {
+                       ScenarioSpec spec = LongHorizonSoakSpec(seed);
+                       spec.faults.fault_index_link = true;
+                       return spec;
+                     });
+}
+
+TEST(ChaosFuseeKvSoak, LongHorizonFullMixStaysLinearizable) {
+  DriveSoakScenarios(42000,
+                     [](const ScenarioSpec& spec) {
+                       RunFuseeScenario(spec, kSoakCheckBudgetSeconds);
+                     },
+                     [](uint64_t seed) {
+                       ScenarioSpec spec = LongHorizonSoakSpec(seed);
+                       // Milder drops: every failed verb stalls FUSEE behind
+                       // a full recovery, and the soak has 2,048 of them.
+                       spec.faults.max_drop_p = 0.12;
+                       return spec;
+                     });
 }
 
 }  // namespace

@@ -487,6 +487,239 @@ TEST(ChaosCanary, ReadmitBeforeRepairIsCaughtAndReplays) {
       "readmit-before-repair");
 }
 
+// ---------- The read-path canaries ----------
+//
+// Two more injected protocol bugs (the remaining candidates from the repair
+// PR's canary gallery), built from protocol primitives like the weak-quorum
+// canary:
+//   * skipped write-back — a reader returns the quorum max WITHOUT first
+//     re-installing it at a majority (Algorithm 8's inner_write). A write
+//     that reached a minority (ack dropped) can then be observed by one
+//     reader and missed by the next, the classic new-old inversion;
+//   * reused timestamp — a writer's clock sticks, so two DIFFERENT values
+//     are written under the same (counter, tid) word. Replicas cannot order
+//     them (the max register sees "the same write"), the second value is
+//     silently dropped wherever the first landed, and reads after the
+//     second completed ack observe the first — a stale read.
+// Each must produce a linearizability violation within a bounded number of
+// scenarios AND replay byte-identically from its seed; each has a correct
+// counterpart suite (write-back on / advancing clock) that must stay green
+// on the same seeds.
+
+// A correct single-writer quorum write: direct VERIFIED install at a
+// majority with a caller-supplied timestamp counter.
+Task<void> VerifiedWriterOp(Worker* w, const ObjectLayout* layout, uint32_t counter,
+                            std::vector<uint8_t> value, ChaosEnv* c, ChaosHistories* hist,
+                            uint64_t v) {
+  QuorumMax reg(w, layout, w->SlotCacheFor(layout));
+  HistoryOp op;
+  op.is_write = true;
+  op.value = v;
+  op.invoked = c->env.sim.Now();
+  const bool ok = co_await reg.WriteVerified(Meta::Pack(counter, w->tid(), true, 0), value);
+  op.responded = c->env.sim.Now();
+  op.pending = !ok;
+  hist->pending_ops += op.pending ? 1 : 0;
+  hist->per_key[0].push_back(op);
+}
+
+// The broken read: take the ts-max over whichever majority answered, resolve
+// its bytes, and return — NO write-back. A max seen at a single replica is
+// reported without ever being made majority-durable.
+Task<void> NoWriteBackReaderOp(Worker* w, const ObjectLayout* layout, ChaosEnv* c,
+                               ChaosHistories* hist) {
+  QuorumMax reg(w, layout, w->SlotCacheFor(layout));
+  HistoryOp op;
+  op.invoked = c->env.sim.Now();
+  ReadOutcome r = co_await reg.ReadQuorum(/*strong=*/false);
+  if (!r.ok) {
+    op.responded = c->env.sim.Now();
+    ++hist->failed_reads;
+    co_return;
+  }
+  std::vector<uint8_t> bytes;
+  bool value_ok = r.m.empty();
+  if (r.value_ok) {
+    value_ok = true;
+    bytes = r.value;  // In-place fast path happened to validate.
+  }
+  for (int rep_idx = 0; rep_idx < layout->num_replicas && !value_ok; ++rep_idx) {
+    const auto idx = static_cast<size_t>(rep_idx);
+    if (!r.node_ok[idx] || r.node_words[idx].same_write_key() != r.m.same_write_key() ||
+        r.node_words[idx].oop() == 0) {
+      continue;
+    }
+    InOutReplica rep(w, layout, rep_idx);
+    auto oop = co_await rep.ReadOop(r.node_words[idx]);
+    if (oop.has_value()) {
+      value_ok = true;
+      bytes = std::move(*oop);
+    }
+  }
+  op.responded = c->env.sim.Now();
+  if (!value_ok) {
+    ++hist->failed_reads;  // Bytes unresolved: no constraint recorded.
+    co_return;
+  }
+  op.value = r.m.empty() ? 0 : DecodeValue(bytes);
+  hist->per_key[0].push_back(op);
+}
+
+// The correct read: strong quorum read (write-back included).
+Task<void> StrongReaderOp(Worker* w, const ObjectLayout* layout, ChaosEnv* c,
+                          ChaosHistories* hist) {
+  QuorumMax reg(w, layout, w->SlotCacheFor(layout));
+  HistoryOp op;
+  op.invoked = c->env.sim.Now();
+  ReadOutcome r = co_await reg.ReadQuorum(/*strong=*/true);
+  op.responded = c->env.sim.Now();
+  if (!r.ok || (!r.m.empty() && !r.value_ok)) {
+    ++hist->failed_reads;
+    co_return;
+  }
+  op.value = r.m.empty() ? 0 : DecodeValue(r.value);
+  hist->per_key[0].push_back(op);
+}
+
+// One writer with advancing (or deliberately stuck) timestamps, two readers
+// with (or deliberately without) write-back, under ack-heavy drop bursts.
+CanaryOutcome RunReadPathScenario(uint64_t seed, bool write_back, bool advance_clock) {
+  ScenarioSpec spec;
+  spec.seed = seed;
+  spec.ops_per_client = 14;
+  spec.mean_think = 5000;
+  spec.value_size = 16;
+  spec.faults.horizon = 220 * sim::kMicrosecond;
+  spec.faults.mean_gap = 6 * sim::kMicrosecond;
+  spec.faults.crash_weight = 0;  // Keep all replicas up: drops do the work.
+  spec.faults.max_drop_p = 0.6;
+  spec.faults.drop_ack_weight = 3.0;  // Minority writes need lost acks.
+  spec.faults.max_drop_duration = 120 * sim::kMicrosecond;
+
+  ChaosEnv c(spec);
+  ObjectLayout layout = c.env.MakeObject();
+  ChaosHistories hist;
+
+  auto writer = [advance_clock](ChaosEnv* c, Worker* w, const ObjectLayout* layout,
+                                uint64_t rng_seed, const ScenarioSpec* spec,
+                                ChaosHistories* hist) -> Task<void> {
+    sim::Rng rng(rng_seed);
+    for (uint32_t i = 0; i < static_cast<uint32_t>(spec->ops_per_client); ++i) {
+      co_await c->env.sim.Delay(1 + static_cast<sim::Time>(
+                                        rng.Below(static_cast<uint64_t>(2 * spec->mean_think))));
+      // Stuck clock: every counter is used TWICE, for two different values.
+      const uint32_t counter = advance_clock ? (i + 1) * 8 : (i / 2 + 1) * 8;
+      const uint64_t v = hist->next_value++;
+      co_await VerifiedWriterOp(w, layout, counter, EncodeValue(v, spec->value_size), c, hist, v);
+    }
+  };
+  auto reader = [write_back](ChaosEnv* c, Worker* w, const ObjectLayout* layout,
+                             uint64_t rng_seed, const ScenarioSpec* spec,
+                             ChaosHistories* hist) -> Task<void> {
+    sim::Rng rng(rng_seed);
+    for (int i = 0; i < spec->ops_per_client; ++i) {
+      co_await c->env.sim.Delay(1 + static_cast<sim::Time>(
+                                        rng.Below(static_cast<uint64_t>(2 * spec->mean_think))));
+      if (write_back) {
+        co_await StrongReaderOp(w, layout, c, hist);
+      } else {
+        co_await NoWriteBackReaderOp(w, layout, c, hist);
+      }
+    }
+  };
+
+  Spawn(writer(&c, &c.MakeSkewedWorker(spec), &layout, spec.seed * 31 + 1, &spec, &hist));
+  Spawn(reader(&c, &c.MakeSkewedWorker(spec), &layout, spec.seed * 31 + 2, &spec, &hist));
+  Spawn(reader(&c, &c.MakeSkewedWorker(spec), &layout, spec.seed * 31 + 3, &spec, &hist));
+  c.engine.Start();
+  c.env.sim.Run();
+
+  CanaryOutcome out;
+  out.violation = CheckHistories(hist);
+  out.violated = !out.violation.empty();
+  out.trace_hash = c.engine.TraceHash();
+  return out;
+}
+
+TEST(ChaosReplay, ReadPathScenarioWithCorrectProtocolStaysLinearizable) {
+  // Write-back on, clock advancing: the canary scenarios' fault schedule
+  // must be clean for the CORRECT protocol, or the canaries prove nothing.
+  for (int i = 0; i < 120; ++i) {
+    const uint64_t seed = 14000 + static_cast<uint64_t>(i);
+    CanaryOutcome out =
+        RunReadPathScenario(seed, /*write_back=*/true, /*advance_clock=*/true);
+    ASSERT_FALSE(out.violated) << "seed " << seed << ": " << out.violation;
+  }
+}
+
+TEST(ChaosCanary, SkippedWriteBackIsCaughtAndReplays) {
+  ExpectCanaryCaught(
+      14000,
+      [](uint64_t seed) {
+        return RunReadPathScenario(seed, /*write_back=*/false, /*advance_clock=*/true);
+      },
+      "skipped-write-back");
+}
+
+TEST(ChaosCanary, ReusedTimestampIsCaughtAndReplays) {
+  ExpectCanaryCaught(
+      15000,
+      [](uint64_t seed) {
+        return RunReadPathScenario(seed, /*write_back=*/true, /*advance_clock=*/false);
+      },
+      "reused-timestamp");
+}
+
+// ---------- Per-QP drop bursts ----------
+//
+// A kQpDropBurst targets ONE client's queue pair to ONE node (a flaky cable,
+// not a congested link): the tagged victim must see failures while an
+// untagged bystander sharing every link stays clean — message loss scoped to
+// a single client is precisely what the per-QP class adds over link bursts.
+TEST(ChaosQpDrop, BurstsTargetOnlyTheTaggedQp) {
+  ScenarioSpec spec;
+  spec.seed = 99;
+  spec.faults.horizon = 300 * sim::kMicrosecond;
+  spec.faults.mean_gap = 5 * sim::kMicrosecond;
+  spec.faults.crash_weight = 0;
+  spec.faults.delay_weight = 0;
+  spec.faults.drop_weight = 0;  // ONLY per-QP bursts fire.
+  spec.faults.detection_weight = 0;
+  spec.faults.qp_drop_weight = 1.0;
+  spec.faults.qp_tag_count = 1;  // Every burst hits tag 0.
+  spec.faults.max_drop_p = 0.9;
+  spec.faults.max_drop_duration = 150 * sim::kMicrosecond;
+
+  ChaosEnv c(spec);
+  ObjectLayout layout = c.env.MakeObject();
+  Worker& victim = c.MakeSkewedWorker(spec);     // Tag 0: targeted.
+  Worker& bystander = c.MakeSkewedWorker(spec);  // Tag 1: never picked.
+
+  auto client = [](ChaosEnv* c, Worker* w, uint64_t addr, int* failures) -> Task<void> {
+    for (int i = 0; i < 60; ++i) {
+      co_await c->env.sim.Delay(3000);
+      std::array<uint8_t, 8> buf{};
+      fabric::OpResult r = co_await w->qp(0).Read(addr, buf);
+      *failures += r.ok() ? 0 : 1;
+    }
+  };
+  int victim_failures = 0;
+  int bystander_failures = 0;
+  Spawn(client(&c, &victim, layout.replicas[0].meta_addr, &victim_failures));
+  Spawn(client(&c, &bystander, layout.replicas[0].meta_addr, &bystander_failures));
+  c.engine.Start();
+  c.env.sim.Run();
+
+  int bursts = 0;
+  for (const chaos::FaultEvent& e : c.engine.trace()) {
+    bursts += e.kind == chaos::FaultKind::kQpDropBurst ? 1 : 0;
+  }
+  EXPECT_GT(bursts, 0) << "the engine never injected a per-QP burst";
+  EXPECT_GT(victim_failures, 0) << "bursts " << bursts;
+  EXPECT_EQ(bystander_failures, 0)
+      << "per-QP bursts leaked onto an untagged client's QP (bursts=" << bursts << ")";
+}
+
 TEST(ChaosCanary, WeakQuorumBugIsCaughtAndItsSeedReplays) {
   constexpr uint64_t kBase = 9000;
   constexpr int kMaxScenarios = 80;

@@ -66,7 +66,7 @@ TEST(FuseeRetryGuard, GenTimeInversionDoesNotResurrectSupersededValue) {
   // phase-3 backup index write (both phase-1 block writes were issued at
   // spawn time, before arming).
   bool armed = false;
-  env.fabric.set_drop_fn([&armed, &meta](int node, bool response) {
+  env.fabric.set_drop_fn([&armed, &meta](int node, bool response, int /*qp_tag*/) {
     if (armed && node == meta.backup && !response) {
       armed = false;
       return true;

@@ -1,116 +1,19 @@
-// A linearizability checker for register histories.
-//
-// Histories are collections of operations (reads and writes on one register)
-// with invocation/response timestamps from the simulator's virtual clock.
-// The checker runs a Wing&Gong-style DFS: repeatedly pick an operation that
-// is "enabled" (its invocation precedes every unlinearized operation's
-// response), apply register semantics, and backtrack on dead ends. States
-// (chosen-set, current-value) are memoized. Histories are kept small (≤ 63
-// ops) by the stress tests, so the worst case stays tractable.
-//
-// PENDING operations — ops whose response was never recorded because the
-// client observed a timeout, an unavailable quorum, or crashed mid-call —
-// are marked with HistoryOp::pending. A pending op may have taken effect at
-// any instant after its invocation (a write whose ack was dropped still
-// landed at a majority) or may never have executed at all, so the checker
-// (a) treats its response time as +infinity and (b) accepts a linearization
-// that explains every COMPLETED op, whether or not pending ops were
-// linearized. A pending write whose value was observed by a completed read
-// is thereby forced into the order; one never observed is simply dropped.
-//
-// Values are plain uint64 (0 = the initial/empty value ⊥). Writes must use
-// distinct values for the strongest discrimination.
+// Compatibility shim: the linearizability checker was promoted out of the
+// test tree into src/verify/lincheck.{h,cc} (PR 4) so bench drivers and
+// examples can assert histories too. Test code keeps using the
+// swarm::testing names.
 
 #ifndef SWARM_TESTS_SUPPORT_LINCHECK_H_
 #define SWARM_TESTS_SUPPORT_LINCHECK_H_
 
-#include <algorithm>
-#include <cstdint>
-#include <limits>
-#include <set>
-#include <utility>
-#include <vector>
-
-#include "src/sim/time.h"
+#include "src/verify/lincheck.h"
 
 namespace swarm::testing {
 
-struct HistoryOp {
-  bool is_write = false;
-  uint64_t value = 0;  // Written value, or value returned by the read.
-  sim::Time invoked = 0;
-  sim::Time responded = 0;
-  // No response recorded: possibly applied anywhere after `invoked`, or
-  // never. `responded` is ignored for pending ops.
-  bool pending = false;
-};
-
-class LinearizabilityChecker {
- public:
-  // Returns true iff the history has a linearization consistent with
-  // register semantics (reads return the latest linearized write, or 0 if
-  // none) in which every completed (non-pending) op takes effect exactly
-  // once and pending ops take effect at most once.
-  static bool Check(const std::vector<HistoryOp>& ops) {
-    if (ops.size() > 63) {
-      return false;  // Caller bug: keep histories small.
-    }
-    LinearizabilityChecker checker(ops);
-    return checker.Dfs(0, 0);
-  }
-
- private:
-  explicit LinearizabilityChecker(const std::vector<HistoryOp>& ops) : ops_(ops) {
-    for (size_t i = 0; i < ops_.size(); ++i) {
-      if (!ops_[i].pending) {
-        completed_ |= 1ull << i;
-      }
-    }
-  }
-
-  sim::Time ResponseOf(size_t i) const {
-    return ops_[i].pending ? std::numeric_limits<sim::Time>::max() : ops_[i].responded;
-  }
-
-  bool Dfs(uint64_t mask, uint64_t value) {
-    if ((mask & completed_) == completed_) {
-      return true;  // Every completed op explained; leftovers are pending.
-    }
-    if (!visited_.insert({mask, value}).second) {
-      return false;
-    }
-    // An op is enabled if no unlinearized op responded before it was invoked.
-    sim::Time min_resp = std::numeric_limits<sim::Time>::max();
-    for (size_t i = 0; i < ops_.size(); ++i) {
-      if ((mask & (1ull << i)) == 0) {
-        min_resp = std::min(min_resp, ResponseOf(i));
-      }
-    }
-    for (size_t i = 0; i < ops_.size(); ++i) {
-      if ((mask & (1ull << i)) != 0) {
-        continue;
-      }
-      const HistoryOp& op = ops_[i];
-      if (op.invoked > min_resp) {
-        continue;  // Some other pending op must linearize first.
-      }
-      if (op.is_write) {
-        if (Dfs(mask | (1ull << i), op.value)) {
-          return true;
-        }
-      } else if (op.value == value) {
-        if (Dfs(mask | (1ull << i), value)) {
-          return true;
-        }
-      }
-    }
-    return false;
-  }
-
-  const std::vector<HistoryOp>& ops_;
-  uint64_t completed_ = 0;
-  std::set<std::pair<uint64_t, uint64_t>> visited_;
-};
+using verify::CheckResult;
+using verify::CheckStats;
+using verify::HistoryOp;
+using verify::LinearizabilityChecker;
 
 }  // namespace swarm::testing
 

@@ -44,6 +44,21 @@ inline int ScenarioCount(int fallback) {
   return fallback;
 }
 
+// Long-horizon soak scenarios are ~40x the virtual time of a regular one, so
+// they scale through their own knob (CI's chaos-soak job raises it; the ASan
+// matrix lowers it) instead of CHAOS_SCENARIOS.
+inline constexpr int kDefaultSoakScenarios = 3;
+
+inline int SoakScenarioCount(int fallback = kDefaultSoakScenarios) {
+  if (const char* s = std::getenv("CHAOS_SOAK_SCENARIOS")) {
+    const long v = std::strtol(s, nullptr, 10);
+    if (v > 0) {
+      return static_cast<int>(v);
+    }
+  }
+  return fallback;
+}
+
 // Replay mode: CHAOS_SEED pins every suite to one seed.
 inline bool ForcedSeed(uint64_t* seed) {
   if (const char* s = std::getenv("CHAOS_SEED")) {
@@ -66,6 +81,32 @@ struct ScenarioSpec {
   chaos::ChaosConfig faults;
 };
 
+// Long-horizon soak: 2,048 ops across 64 keys (~2.5 ms of virtual time)
+// under the full fault mix, including per-QP drop bursts singling out one
+// client's queue pair. Impossible before the unbounded checker: the legacy
+// DFS capped every per-key history at 63 ops, forcing scenarios short enough
+// that faults needing long incubation (recycler horizon churn across many
+// epochs, slow ack-biased drop accumulation, repair overlapping later
+// faults) were never observed under the linearizability contract. Suites add
+// their store-specific fault classes (lease/churn weights, repair) on top.
+inline ScenarioSpec LongHorizonSoakSpec(uint64_t seed) {
+  ScenarioSpec spec;
+  spec.seed = seed;
+  spec.clients = 8;
+  spec.keys = 64;
+  spec.ops_per_client = 256;  // 2,048 ops total.
+  spec.value_size = 16;
+  spec.mean_think = 5000;
+  spec.faults.horizon = 1 * sim::kMillisecond;
+  spec.faults.mean_gap = 10 * sim::kMicrosecond;  // ~100 faults per scenario.
+  spec.faults.max_crashed = 1;
+  spec.faults.restart = false;  // Crash-stop unless the suite wires repair.
+  spec.faults.max_drop_p = 0.30;
+  spec.faults.qp_drop_weight = 0.6;
+  spec.faults.qp_tag_count = spec.clients;
+  return spec;
+}
+
 // Simulator + fabric + membership + chaos engine wired the way a chaos
 // scenario needs them. Workers subscribe to membership notifications and
 // share the membership service's per-node `repairing` set, so quorum
@@ -80,15 +121,21 @@ struct ChaosEnv {
     membership.Subscribe(env.known_failed);
   }
 
+  // Chaos workers are tagged in creation order so per-QP drop bursts
+  // (ChaosConfig::qp_drop_weight with qp_tag_count = spec.clients) can
+  // single out one client's queue pair. Suites that create one worker per
+  // client in client order therefore get tag == client id for free.
   Worker& MakeSkewedWorker(const ScenarioSpec& spec) {
     Worker& w = env.MakeWorker(env.sim.rng().Range(-spec.max_clock_skew, spec.max_clock_skew));
     w.set_repair_excluded(membership.repairing());
+    w.set_chaos_tag(next_chaos_tag_++);
     return w;
   }
 
   TestEnv env;
   membership::MembershipService membership;
   chaos::ChaosEngine engine;
+  int next_chaos_tag_ = 0;
 };
 
 inline std::vector<uint8_t> EncodeValue(uint64_t v, uint32_t size) {
@@ -195,52 +242,52 @@ inline sim::Task<void> KvChaosClient(TestEnv* env, kv::KvSession* kv, uint64_t r
   }
 }
 
-// Checks every per-key history; returns "" or a violation description.
+// Checks every per-key history through the unbounded checker (src/verify/
+// lincheck.h): keys become P-compositionality cells of ONE keyed history, so
+// multi-thousand-op soaks decompose instead of hitting the legacy 63-op cap.
+// Returns "" or the checker's minimal-failing-window report.
 inline std::string CheckHistories(const ChaosHistories& hist) {
+  std::vector<HistoryOp> flat;
   for (const auto& [key, ops] : hist.per_key) {
-    if (ops.size() > 63) {
-      return "key " + std::to_string(key) + " history too large (" +
-             std::to_string(ops.size()) + " ops) — shrink the ScenarioSpec";
-    }
-    if (!LinearizabilityChecker::Check(ops)) {
-      int pending = 0;
-      for (const HistoryOp& op : ops) {
-        pending += op.pending ? 1 : 0;
-      }
-      std::string msg = "key " + std::to_string(key) + " NON-LINEARIZABLE (" +
-                        std::to_string(ops.size()) + " ops, " + std::to_string(pending) +
-                        " pending)";
-      for (const HistoryOp& op : ops) {
-        msg += "\n    " + std::string(op.is_write ? "W" : "R") + "(" +
-               std::to_string(op.value) + ") @" + std::to_string(op.invoked) +
-               (op.pending ? " pending" : ".." + std::to_string(op.responded));
-      }
-      return msg;
+    for (HistoryOp op : ops) {
+      op.key = key;
+      flat.push_back(op);
     }
   }
-  return "";
+  CheckResult report = LinearizabilityChecker::CheckReport(flat);
+  return report.linearizable ? "" : report.Describe(flat);
 }
 
-// Drives `run(make_spec(seed))` over ScenarioCount seeds starting at
-// `seed_base`, honoring CHAOS_SEED replay mode, stopping at the first
-// failing seed (the one to replay). `kDefaultChaosScenarios` is the local
-// default; CI raises it via CHAOS_SCENARIOS.
-inline constexpr int kDefaultChaosScenarios = 40;
-
+// Drives `run(make_spec(seed))` over `count` seeds starting at `seed_base`,
+// honoring CHAOS_SEED replay mode, stopping at the first failing seed (the
+// one to replay).
 template <typename RunFn, typename SpecFn>
-void DriveScenarios(uint64_t seed_base, RunFn run, SpecFn make_spec) {
+void DriveScenariosN(int count, uint64_t seed_base, RunFn run, SpecFn make_spec) {
   uint64_t forced = 0;
   if (ForcedSeed(&forced)) {
     run(make_spec(forced));
     return;
   }
-  const int n = ScenarioCount(kDefaultChaosScenarios);
-  for (int i = 0; i < n; ++i) {
+  for (int i = 0; i < count; ++i) {
     run(make_spec(seed_base + static_cast<uint64_t>(i)));
     if (::testing::Test::HasFailure()) {
       break;  // The first failing seed is the one to replay.
     }
   }
+}
+
+// Regular suites: CHAOS_SCENARIOS scenarios each (CI raises the default).
+inline constexpr int kDefaultChaosScenarios = 40;
+
+template <typename RunFn, typename SpecFn>
+void DriveScenarios(uint64_t seed_base, RunFn run, SpecFn make_spec) {
+  DriveScenariosN(ScenarioCount(kDefaultChaosScenarios), seed_base, run, make_spec);
+}
+
+// Soak suites: CHAOS_SOAK_SCENARIOS scenarios each.
+template <typename RunFn, typename SpecFn>
+void DriveSoakScenarios(uint64_t seed_base, RunFn run, SpecFn make_spec) {
+  DriveScenariosN(SoakScenarioCount(), seed_base, run, make_spec);
 }
 
 // Failure annotation: the seed, how to replay it, and what was injected.
