@@ -110,9 +110,9 @@ Fabric::Fabric(sim::Simulator* sim, FabricConfig config) : sim_(sim), config_(co
   nic_free_.assign(static_cast<size_t>(config_.num_nodes), 0);
 }
 
-sim::Time Fabric::ReserveNic(int node, sim::Time earliest, sim::Time service) {
+sim::Time Fabric::ReserveNicAtArrival(int node, sim::Time service) {
   sim::Time& free_at = nic_free_[static_cast<size_t>(node)];
-  const sim::Time start = std::max(earliest, free_at);
+  const sim::Time start = std::max(sim_->Now(), free_at);
   free_at = start + service;
   return start;
 }
@@ -145,6 +145,10 @@ struct OpState {
 sim::Task<OpResult> Qp::Read(uint64_t addr, std::span<uint8_t> out) {
   Fabric& f = *fabric_;
   const FabricConfig& cfg = f.config();
+  if (revoked_) {
+    co_return RevokedResult();  // Dead until the client re-validates.
+  }
+  const uint64_t verb_epoch = stamp();
   if (cpu_ != nullptr) {
     co_await cpu_->Submit(cfg.submit_cost, cfg.per_verb_cost);
   }
@@ -164,8 +168,7 @@ sim::Task<OpResult> Qp::Read(uint64_t addr, std::span<uint8_t> out) {
   }
   sim::Time arrival =
       departure + f.SampleDelay() + f.LinkExtraDelay(node_, false) + f.node(node_).extra_delay();
-  arrival = std::max(arrival, last_arrival_ + 1);
-  arrival = f.ReserveNic(node_, arrival, cfg.node_op_cost);
+  arrival = std::max(arrival, last_arrival_ + 1);  // Per-QP FIFO (RDMA ordering).
   last_arrival_ = arrival;
 
   auto st = std::make_shared<OpState>();
@@ -175,30 +178,55 @@ sim::Task<OpResult> Qp::Read(uint64_t addr, std::span<uint8_t> out) {
   uint8_t* out_ptr = out.data();
   const size_t out_len = out.size();
 
-  sim->At(arrival, [&f, sim, st, done, node_id, repair_ch, addr, out_ptr, out_len, departure,
-                    arrival]() mutable {
-    MemoryNode& node = f.node(node_id);
-    const FabricConfig& cfg = f.config();
-    if (node.Rejects(repair_ch)) {
-      st->result.status = Status::kNodeFailed;
-      sim->At(std::max(sim->Now(), departure + cfg.failure_detect_delay),
-              [done]() mutable { done.Add(1); });
-      return;
-    }
-    node.ReadInto(addr, std::span<uint8_t>(out_ptr, out_len));
-    f.stats().bytes_from_nodes += kVerbHeaderBytes + out_len;
-    const sim::Time complete = arrival + cfg.node_op_cost + cfg.read_extra + f.SampleDelay() +
-                               f.LinkExtraDelay(node_id, true) + f.TransferTime(out_len);
-    sim->At(complete, [done]() mutable { done.Add(1); });
+  // The NIC is reserved AT arrival (arrival-order service): a verb delayed
+  // in the network must not block earlier-arriving traffic.
+  sim->At(arrival, [&f, sim, st, done, node_id, repair_ch, verb_epoch, addr, out_ptr, out_len,
+                    departure]() mutable {
+    const sim::Time exec = f.ReserveNicAtArrival(node_id, f.config().node_op_cost);
+    sim->At(exec, [&f, sim, st, done, node_id, repair_ch, verb_epoch, addr, out_ptr, out_len,
+                   departure, exec]() mutable {
+      MemoryNode& node = f.node(node_id);
+      const FabricConfig& cfg = f.config();
+      const Status adm = node.VerbStatus(repair_ch, verb_epoch);
+      if (adm == Status::kNodeFailed) {
+        st->result.status = Status::kNodeFailed;
+        sim->At(std::max(sim->Now(), departure + cfg.failure_detect_delay),
+                [done]() mutable { done.Add(1); });
+        return;
+      }
+      if (adm == Status::kStaleEpoch) {
+        // Epoch-fence rejection: the node actively NACKs, so the client
+        // learns at normal response speed rather than after the failure
+        // timeout.
+        st->result.status = Status::kStaleEpoch;
+        f.stats().bytes_from_nodes += kAckBytes;
+        const sim::Time complete =
+            exec + cfg.node_op_cost + f.SampleDelay() + f.LinkExtraDelay(node_id, true);
+        sim->At(complete, [done]() mutable { done.Add(1); });
+        return;
+      }
+      node.ReadInto(addr, std::span<uint8_t>(out_ptr, out_len));
+      f.stats().bytes_from_nodes += kVerbHeaderBytes + out_len;
+      const sim::Time complete = exec + cfg.node_op_cost + cfg.read_extra + f.SampleDelay() +
+                                 f.LinkExtraDelay(node_id, true) + f.TransferTime(out_len);
+      sim->At(complete, [done]() mutable { done.Add(1); });
+    });
   });
 
   co_await done.WaitFor(1);
+  if (st->result.status == Status::kStaleEpoch) {
+    revoked_ = true;  // §5.4: the QP stays dead until re-validation re-arms it.
+  }
   co_return st->result;
 }
 
 sim::Task<OpResult> Qp::Write(uint64_t addr, std::span<const uint8_t> data) {
   Fabric& f = *fabric_;
   const FabricConfig& cfg = f.config();
+  if (revoked_) {
+    co_return RevokedResult();
+  }
+  const uint64_t verb_epoch = stamp();
   if (cpu_ != nullptr) {
     co_await cpu_->Submit(cfg.submit_cost, cfg.per_verb_cost);
   }
@@ -219,12 +247,10 @@ sim::Task<OpResult> Qp::Write(uint64_t addr, std::span<const uint8_t> data) {
   // the possibly-applied case quorum protocols must survive.
   const bool drop_resp = f.DropMessage(node_, true, chaos_tag_);
   const sim::Time xfer = f.TransferTime(data.size());
-  sim::Time start =
+  sim::Time arrival =
       departure + f.SampleDelay() + f.LinkExtraDelay(node_, false) + f.node(node_).extra_delay();
-  start = std::max(start, last_arrival_ + 1);
-  start = f.ReserveNic(node_, start, cfg.node_op_cost);
-  const sim::Time finish = start + xfer;  // Last byte lands at `finish`.
-  last_arrival_ = finish;
+  arrival = std::max(arrival, last_arrival_ + 1);  // Per-QP FIFO (RDMA ordering).
+  last_arrival_ = arrival + xfer;  // The transfer occupies the QP's channel.
 
   auto st = std::make_shared<OpState>();
   sim::Counter done(sim);
@@ -233,69 +259,74 @@ sim::Task<OpResult> Qp::Write(uint64_t addr, std::span<const uint8_t> data) {
   const uint8_t* src = data.data();
   const size_t len = data.size();
 
+  // Shared rejection tail: kNodeFailed times out, kStaleEpoch NACKs at
+  // response speed — unless the response leg drops, which hides the NACK
+  // and looks like a node failure to the client.
+  auto reject = [&f, sim, st, done, node_id, departure](Status adm, bool lost_resp) mutable {
+    const FabricConfig& cfg = f.config();
+    if (adm == Status::kStaleEpoch && !lost_resp) {
+      st->result.status = Status::kStaleEpoch;
+      f.stats().bytes_from_nodes += kAckBytes;
+      const sim::Time complete =
+          sim->Now() + cfg.node_op_cost + f.SampleDelay() + f.LinkExtraDelay(node_id, true);
+      sim->At(complete, [done]() mutable { done.Add(1); });
+      return;
+    }
+    st->result.status = Status::kNodeFailed;
+    sim->At(std::max(sim->Now(), departure + cfg.failure_detect_delay),
+            [done]() mutable { done.Add(1); });
+  };
+
   const bool staged = cfg.staged_large_writes && len > 8 && xfer > 0;
-  if (staged) {
-    const size_t half = len / 2;
-    sim->At(start, [&f, node_id, repair_ch, addr, src, half] {
-      if (!f.node(node_id).Rejects(repair_ch)) {
-        f.node(node_id).WriteFrom(addr, std::span<const uint8_t>(src, half));
-      }
-    });
-    sim->At(finish,
-            [&f, sim, st, done, node_id, repair_ch, addr, src, half, len, departure,
-             drop_resp]() mutable {
+  sim->At(arrival, [&f, sim, st, done, node_id, repair_ch, verb_epoch, addr, src, len, xfer,
+                    staged, drop_resp, reject]() mutable {
+    const sim::Time start = f.ReserveNicAtArrival(node_id, f.config().node_op_cost);
+    const sim::Time finish = start + xfer;  // Last byte lands at `finish`.
+    auto tail = [&f, sim, st, done, node_id, repair_ch, verb_epoch, addr, src, len, staged,
+                 drop_resp, reject]() mutable {
       MemoryNode& node = f.node(node_id);
-      const FabricConfig& cfg = f.config();
-      if (node.Rejects(repair_ch)) {
-        st->result.status = Status::kNodeFailed;
-        sim->At(std::max(sim->Now(), departure + cfg.failure_detect_delay),
-                [done]() mutable { done.Add(1); });
+      const Status adm = node.VerbStatus(repair_ch, verb_epoch);
+      if (adm != Status::kOk) {
+        reject(adm, drop_resp);
         return;
       }
+      const size_t half = staged ? len / 2 : 0;
       node.WriteFrom(addr + half, std::span<const uint8_t>(src + half, len - half));
       if (drop_resp) {
-        st->result.status = Status::kNodeFailed;
-        sim->At(std::max(sim->Now(), departure + cfg.failure_detect_delay),
-                [done]() mutable { done.Add(1); });
+        reject(Status::kNodeFailed, true);
         return;
       }
       f.stats().bytes_from_nodes += kAckBytes;
-      const sim::Time complete =
-          sim->Now() + cfg.node_op_cost + f.SampleDelay() + f.LinkExtraDelay(node_id, true);
-      sim->At(complete, [done]() mutable { done.Add(1); });
-    });
-  } else {
-    sim->At(finish, [&f, sim, st, done, node_id, repair_ch, addr, src, len, departure,
-                     drop_resp]() mutable {
-      MemoryNode& node = f.node(node_id);
       const FabricConfig& cfg = f.config();
-      if (node.Rejects(repair_ch)) {
-        st->result.status = Status::kNodeFailed;
-        sim->At(std::max(sim->Now(), departure + cfg.failure_detect_delay),
-                [done]() mutable { done.Add(1); });
-        return;
-      }
-      node.WriteFrom(addr, std::span<const uint8_t>(src, len));
-      if (drop_resp) {
-        st->result.status = Status::kNodeFailed;
-        sim->At(std::max(sim->Now(), departure + cfg.failure_detect_delay),
-                [done]() mutable { done.Add(1); });
-        return;
-      }
-      f.stats().bytes_from_nodes += kAckBytes;
       const sim::Time complete =
           sim->Now() + cfg.node_op_cost + f.SampleDelay() + f.LinkExtraDelay(node_id, true);
       sim->At(complete, [done]() mutable { done.Add(1); });
-    });
-  }
+    };
+    if (staged) {
+      const size_t half = len / 2;
+      sim->At(start, [&f, node_id, repair_ch, verb_epoch, addr, src, half] {
+        if (f.node(node_id).Admits(repair_ch, verb_epoch) == Status::kOk) {
+          f.node(node_id).WriteFrom(addr, std::span<const uint8_t>(src, half));
+        }
+      });
+    }
+    sim->At(finish, std::move(tail));
+  });
 
   co_await done.WaitFor(1);
+  if (st->result.status == Status::kStaleEpoch) {
+    revoked_ = true;
+  }
   co_return st->result;
 }
 
 sim::Task<OpResult> Qp::Cas(uint64_t addr, uint64_t expected, uint64_t desired) {
   Fabric& f = *fabric_;
   const FabricConfig& cfg = f.config();
+  if (revoked_) {
+    co_return RevokedResult();
+  }
+  const uint64_t verb_epoch = stamp();
   if (cpu_ != nullptr) {
     co_await cpu_->Submit(cfg.submit_cost, cfg.per_verb_cost);
   }
@@ -315,8 +346,7 @@ sim::Task<OpResult> Qp::Cas(uint64_t addr, uint64_t expected, uint64_t desired) 
   const bool drop_resp = f.DropMessage(node_, true, chaos_tag_);
   sim::Time arrival =
       departure + f.SampleDelay() + f.LinkExtraDelay(node_, false) + f.node(node_).extra_delay();
-  arrival = std::max(arrival, last_arrival_ + 1);
-  arrival = f.ReserveNic(node_, arrival, cfg.node_op_cost);
+  arrival = std::max(arrival, last_arrival_ + 1);  // Per-QP FIFO (RDMA ordering).
   last_arrival_ = arrival;
 
   auto st = std::make_shared<OpState>();
@@ -324,32 +354,47 @@ sim::Task<OpResult> Qp::Cas(uint64_t addr, uint64_t expected, uint64_t desired) 
   const int node_id = node_;
   const bool repair_ch = repair_channel_;
 
-  sim->At(arrival,
-          [&f, sim, st, done, node_id, repair_ch, addr, expected, desired, departure,
-           drop_resp]() mutable {
-    MemoryNode& node = f.node(node_id);
-    const FabricConfig& cfg = f.config();
-    if (node.Rejects(repair_ch)) {
-      st->result.status = Status::kNodeFailed;
-      sim->At(std::max(sim->Now(), departure + cfg.failure_detect_delay),
-              [done]() mutable { done.Add(1); });
-      return;
-    }
-    const uint64_t old = node.CasWord(addr, expected, desired);
-    if (drop_resp) {
-      st->result.status = Status::kNodeFailed;
-      sim->At(std::max(sim->Now(), departure + cfg.failure_detect_delay),
-              [done]() mutable { done.Add(1); });
-      return;
-    }
-    st->result.old_value = old;
-    f.stats().bytes_from_nodes += kAckBytes + 8;
-    const sim::Time complete =
-        sim->Now() + cfg.node_op_cost + f.SampleDelay() + f.LinkExtraDelay(node_id, true);
-    sim->At(complete, [done]() mutable { done.Add(1); });
+  sim->At(arrival, [&f, sim, st, done, node_id, repair_ch, verb_epoch, addr, expected, desired,
+                    departure, drop_resp]() mutable {
+    const sim::Time exec = f.ReserveNicAtArrival(node_id, f.config().node_op_cost);
+    sim->At(exec, [&f, sim, st, done, node_id, repair_ch, verb_epoch, addr, expected, desired,
+                   departure, drop_resp]() mutable {
+      MemoryNode& node = f.node(node_id);
+      const FabricConfig& cfg = f.config();
+      const Status adm = node.VerbStatus(repair_ch, verb_epoch);
+      if (adm == Status::kNodeFailed || (adm == Status::kStaleEpoch && drop_resp)) {
+        st->result.status = Status::kNodeFailed;
+        sim->At(std::max(sim->Now(), departure + cfg.failure_detect_delay),
+                [done]() mutable { done.Add(1); });
+        return;
+      }
+      if (adm == Status::kStaleEpoch) {
+        st->result.status = Status::kStaleEpoch;
+        f.stats().bytes_from_nodes += kAckBytes;
+        const sim::Time complete =
+            sim->Now() + cfg.node_op_cost + f.SampleDelay() + f.LinkExtraDelay(node_id, true);
+        sim->At(complete, [done]() mutable { done.Add(1); });
+        return;
+      }
+      const uint64_t old = node.CasWord(addr, expected, desired);
+      if (drop_resp) {
+        st->result.status = Status::kNodeFailed;
+        sim->At(std::max(sim->Now(), departure + cfg.failure_detect_delay),
+                [done]() mutable { done.Add(1); });
+        return;
+      }
+      st->result.old_value = old;
+      f.stats().bytes_from_nodes += kAckBytes + 8;
+      const sim::Time complete =
+          sim->Now() + cfg.node_op_cost + f.SampleDelay() + f.LinkExtraDelay(node_id, true);
+      sim->At(complete, [done]() mutable { done.Add(1); });
+    });
   });
 
   co_await done.WaitFor(1);
+  if (st->result.status == Status::kStaleEpoch) {
+    revoked_ = true;
+  }
   co_return st->result;
 }
 
@@ -357,6 +402,10 @@ sim::Task<OpResult> Qp::WriteThenCas(uint64_t waddr, std::span<const uint8_t> da
                                      uint64_t expected, uint64_t desired) {
   Fabric& f = *fabric_;
   const FabricConfig& cfg = f.config();
+  if (revoked_) {
+    co_return RevokedResult();
+  }
+  const uint64_t verb_epoch = stamp();
   if (cpu_ != nullptr) {
     // One submission covers the whole pipelined series (§7.2: the fixed cost
     // is per series of RDMA operations to a memory node), but the series
@@ -380,13 +429,10 @@ sim::Task<OpResult> Qp::WriteThenCas(uint64_t waddr, std::span<const uint8_t> da
   // Response lost: BOTH the write and the CAS apply; the ack is missing.
   const bool drop_resp = f.DropMessage(node_, true, chaos_tag_);
   const sim::Time xfer = f.TransferTime(data.size());
-  sim::Time start =
+  sim::Time arrival =
       departure + f.SampleDelay() + f.LinkExtraDelay(node_, false) + f.node(node_).extra_delay();
-  start = std::max(start, last_arrival_ + 1);
-  start = f.ReserveNic(node_, start, 2 * cfg.node_op_cost);
-  const sim::Time write_done = start + xfer;
-  const sim::Time cas_at = write_done + cfg.node_op_cost;
-  last_arrival_ = cas_at;
+  arrival = std::max(arrival, last_arrival_ + 1);  // Per-QP FIFO (RDMA ordering).
+  last_arrival_ = arrival + xfer;  // The transfer occupies the QP's channel.
 
   auto st = std::make_shared<OpState>();
   sim::Counter done(sim);
@@ -394,38 +440,25 @@ sim::Task<OpResult> Qp::WriteThenCas(uint64_t waddr, std::span<const uint8_t> da
   const bool repair_ch = repair_channel_;
   const uint8_t* src = data.data();
   const size_t len = data.size();
+  const bool staged = cfg.staged_large_writes && len > 8 && xfer > 0;
 
-  if (cfg.staged_large_writes && len > 8 && xfer > 0) {
-    const size_t half = len / 2;
-    sim->At(start, [&f, node_id, repair_ch, waddr, src, half] {
-      if (!f.node(node_id).Rejects(repair_ch)) {
-        f.node(node_id).WriteFrom(waddr, std::span<const uint8_t>(src, half));
-      }
-    });
-    sim->At(write_done, [&f, node_id, repair_ch, waddr, src, half, len] {
-      if (!f.node(node_id).Rejects(repair_ch)) {
-        f.node(node_id).WriteFrom(waddr + half, std::span<const uint8_t>(src + half, len - half));
-      }
-    });
-  } else {
-    sim->At(write_done, [&f, node_id, repair_ch, waddr, src, len] {
-      if (!f.node(node_id).Rejects(repair_ch)) {
-        f.node(node_id).WriteFrom(waddr, std::span<const uint8_t>(src, len));
-      }
-    });
-  }
-
-  // FIFO pipelining: the CAS executes only after the write has fully applied
-  // (if the CAS's effect is visible, so is the write).
-  sim->At(cas_at,
-          [&f, sim, st, done, node_id, repair_ch, caddr, expected, desired, departure,
-           drop_resp]() mutable {
+  auto cas_body = [&f, sim, st, done, node_id, repair_ch, verb_epoch, caddr, expected, desired,
+                   departure, drop_resp]() mutable {
     MemoryNode& node = f.node(node_id);
     const FabricConfig& cfg = f.config();
-    if (node.Rejects(repair_ch)) {
+    const Status adm = node.VerbStatus(repair_ch, verb_epoch);
+    if (adm == Status::kNodeFailed || (adm == Status::kStaleEpoch && drop_resp)) {
       st->result.status = Status::kNodeFailed;
       sim->At(std::max(sim->Now(), departure + cfg.failure_detect_delay),
               [done]() mutable { done.Add(1); });
+      return;
+    }
+    if (adm == Status::kStaleEpoch) {
+      st->result.status = Status::kStaleEpoch;
+      f.stats().bytes_from_nodes += kAckBytes;
+      const sim::Time complete =
+          sim->Now() + cfg.node_op_cost + f.SampleDelay() + f.LinkExtraDelay(node_id, true);
+      sim->At(complete, [done]() mutable { done.Add(1); });
       return;
     }
     const uint64_t old = node.CasWord(caddr, expected, desired);
@@ -440,9 +473,42 @@ sim::Task<OpResult> Qp::WriteThenCas(uint64_t waddr, std::span<const uint8_t> da
     const sim::Time complete =
         sim->Now() + cfg.node_op_cost + f.SampleDelay() + f.LinkExtraDelay(node_id, true);
     sim->At(complete, [done]() mutable { done.Add(1); });
+  };
+
+  sim->At(arrival, [&f, sim, node_id, repair_ch, verb_epoch, waddr, src, len, xfer, staged,
+                    cas_body]() mutable {
+    const sim::Time start = f.ReserveNicAtArrival(node_id, 2 * f.config().node_op_cost);
+    const sim::Time write_done = start + xfer;
+    const sim::Time cas_at = write_done + f.config().node_op_cost;
+    if (staged) {
+      const size_t half = len / 2;
+      sim->At(start, [&f, node_id, repair_ch, verb_epoch, waddr, src, half] {
+        if (f.node(node_id).Admits(repair_ch, verb_epoch) == Status::kOk) {
+          f.node(node_id).WriteFrom(waddr, std::span<const uint8_t>(src, half));
+        }
+      });
+      sim->At(write_done, [&f, node_id, repair_ch, verb_epoch, waddr, src, half, len] {
+        if (f.node(node_id).Admits(repair_ch, verb_epoch) == Status::kOk) {
+          f.node(node_id).WriteFrom(waddr + half,
+                                    std::span<const uint8_t>(src + half, len - half));
+        }
+      });
+    } else {
+      sim->At(write_done, [&f, node_id, repair_ch, verb_epoch, waddr, src, len] {
+        if (f.node(node_id).Admits(repair_ch, verb_epoch) == Status::kOk) {
+          f.node(node_id).WriteFrom(waddr, std::span<const uint8_t>(src, len));
+        }
+      });
+    }
+    // FIFO pipelining: the CAS executes only after the write has fully
+    // applied (if the CAS's effect is visible, so is the write).
+    sim->At(cas_at, std::move(cas_body));
   });
 
   co_await done.WaitFor(1);
+  if (st->result.status == Status::kStaleEpoch) {
+    revoked_ = true;
+  }
   co_return st->result;
 }
 

@@ -209,8 +209,23 @@ class Qp {
   Qp(Fabric* fabric, int node, ClientCpu* cpu) : fabric_(fabric), node_(node), cpu_(cpu) {}
 
   // Marks this QP as the repair coordinator's channel: its verbs pass a
-  // node's repair fence (MemoryNode::set_repair_fenced).
+  // node's repair fence (MemoryNode::set_repair_fenced) and its epoch fence
+  // (the coordinator drives the epoch transitions itself).
   void set_repair_channel(bool on) { repair_channel_ = on; }
+
+  // Wires the issuing client's cached membership epoch: every verb is
+  // stamped with `*epoch` at posting time and memory nodes reject stamps
+  // older than their fence epoch (§5.4 QP revocation). Unwired QPs stamp
+  // kNoFenceEpoch and pass every fence. `epoch` must outlive the QP (the
+  // Worker keeps the ClientEpoch alive).
+  void set_epoch(const uint64_t* epoch) { epoch_ = epoch; }
+
+  // A verb completing kStaleEpoch REVOKES its QP: further verbs fail fast
+  // with kStaleEpoch, locally, without touching the fabric — the node has
+  // disconnected this client until it re-validates its membership epoch.
+  // Worker::RefreshEpoch() re-arms the QP after the re-validation pull.
+  bool revoked() const { return revoked_; }
+  void Rearm() { revoked_ = false; }
 
   // Tags this QP for per-QP fault targeting (FabricConfig::DropFn). Chaos
   // scenarios tag every worker of client i with tag i; -1 = untargetable.
@@ -241,8 +256,17 @@ class Qp {
   int node_;
   ClientCpu* cpu_;
   bool repair_channel_ = false;
+  bool revoked_ = false;
+  const uint64_t* epoch_ = nullptr;  // Client's cached membership epoch.
   int chaos_tag_ = -1;
   sim::Time last_arrival_ = 0;  // FIFO ordering of executions at the node.
+
+  uint64_t stamp() const { return epoch_ != nullptr ? *epoch_ : kNoFenceEpoch; }
+  OpResult RevokedResult() const {
+    OpResult r;
+    r.status = Status::kStaleEpoch;
+    return r;
+  }
 };
 
 class Fabric {
@@ -264,6 +288,16 @@ class Fabric {
   // intact, so a repair coordinator (src/repair/) can write replica state
   // back into the pre-crash addresses.
   void RecoverPreservingLayout(int i) { node(i).Recover(/*preserve_reservations=*/true); }
+
+  // Membership-epoch fence push: the membership service calls this on every
+  // repair-relevant transition; verbs stamped with an older epoch are
+  // rejected at EVERY node from this instant on (§5.4 QP revocation — the
+  // membership service instructs all memory nodes at once).
+  void SetFenceEpoch(uint64_t epoch) {
+    for (auto& n : nodes_) {
+      n->set_fence_epoch(epoch);
+    }
+  }
 
   // Pseudo-link id for the index service's RPC channel: the chaos hooks
   // (link_delay_fn / drop_fn) are keyed by link, and the index server rides
@@ -292,8 +326,17 @@ class Fabric {
   // its fixed processing cost, so offered verb rates beyond the per-node
   // service rate queue up (the fabric-saturation wall of §7.3). Payload
   // transfers overlap (DMA engines), so concurrent large ops still interleave
-  // — and tear — at the memory. Returns the execution start time.
-  sim::Time ReserveNic(int node, sim::Time earliest, sim::Time service);
+  // — and tear — at the memory.
+  //
+  // The engine serves messages in ARRIVAL order: this must be called AT a
+  // message's arrival instant (it reserves from Now()). Reserving at issue
+  // time — the old model — would let a network-delayed message block the
+  // NIC for everything arriving earlier, an unphysical total order per node
+  // that masked the §5.4 in-flight-verb window entirely (a repair could
+  // never overtake a stranded verb). Per-QP FIFO is unaffected: it is
+  // enforced on arrival instants by the Qp itself (RDMA orders a QP's
+  // messages in the network, not at the NIC). Returns the service start.
+  sim::Time ReserveNicAtArrival(int node, sim::Time service);
 
   // Total bytes of disaggregated memory allocated across all nodes.
   uint64_t TotalAllocated() const;

@@ -14,6 +14,7 @@
 #include <memory>
 #include <span>
 
+#include "src/fabric/verbs.h"
 #include "src/sim/time.h"
 
 namespace swarm::fabric {
@@ -56,9 +57,49 @@ class MemoryNode {
   // until the node is repaired and readmitted.
   void set_repair_fenced(bool fenced) { repair_fenced_ = fenced; }
   bool repair_fenced() const { return repair_fenced_; }
+
+  // Membership-epoch fence (§5.4 per-client QP revocation): the membership
+  // service pushes its epoch to EVERY node on each repair-relevant
+  // transition (crash, restart-for-repair, readmission). A verb stamped with
+  // an older epoch is rejected with kStaleEpoch — it was issued by a client
+  // whose view predates the transition, and trusting it would let an op in
+  // flight across a whole crash-repair cycle land on freshly restored state
+  // (the residual window the repair fence alone leaves open). The repair
+  // coordinator's channel is exempt: it drives the transitions itself.
+  void set_fence_epoch(uint64_t epoch) { fence_epoch_ = epoch; }
+  uint64_t fence_epoch() const { return fence_epoch_; }
+  // Canary knob (MembershipService::set_epoch_fencing(false)): the node
+  // keeps LEARNING the epoch but stops enforcing it — stale verbs land, and
+  // stale_landings() counts how many the fence would have rejected (the
+  // pre-fix exposure, also a handy diagnostic).
+  void set_fence_enforced(bool on) { fence_enforced_ = on; }
+  uint64_t stale_landings() const { return stale_landings_; }
+
   // Whether a verb on a (non-)repair channel is rejected at execution.
   bool Rejects(bool repair_channel) const {
     return failed_ || (repair_fenced_ && !repair_channel);
+  }
+  // Full admission decision for a verb stamped with `verb_epoch`:
+  // kNodeFailed dominates (a dead node cannot NACK), then the epoch fence.
+  // Counts the pre-fix exposure; a verb's INTERMEDIATE events (staged write
+  // halves, the write leg of a pipelined series) must use Admits() instead
+  // so each stale verb lands in the counter exactly once.
+  Status VerbStatus(bool repair_channel, uint64_t verb_epoch) const {
+    const Status s = Admits(repair_channel, verb_epoch);
+    if (s == Status::kOk && !repair_channel && verb_epoch < fence_epoch_) {
+      ++stale_landings_;  // Pre-fix build: trusted anyway. Count the exposure.
+    }
+    return s;
+  }
+  // Same decision, no exposure accounting.
+  Status Admits(bool repair_channel, uint64_t verb_epoch) const {
+    if (Rejects(repair_channel)) {
+      return Status::kNodeFailed;
+    }
+    if (!repair_channel && verb_epoch < fence_epoch_ && fence_enforced_) {
+      return Status::kStaleEpoch;
+    }
+    return Status::kOk;
   }
 
   // Extra per-op delay (simulates an overloaded or distant node).
@@ -77,6 +118,9 @@ class MemoryNode {
   uint64_t next_free_ = 64;  // Address 0 is reserved as a null pointer.
   bool failed_ = false;
   bool repair_fenced_ = false;
+  uint64_t fence_epoch_ = 0;  // 0 = never fenced; every stamp passes.
+  bool fence_enforced_ = true;
+  mutable uint64_t stale_landings_ = 0;
   sim::Time extra_delay_ = 0;
 };
 

@@ -21,6 +21,12 @@ enum class Status : uint8_t {
   // The target node crashed (or is unreachable); the op completed locally
   // with an error after the configured detection timeout.
   kNodeFailed = 1,
+  // The node rejected the verb because it was stamped with a membership
+  // epoch older than the cluster's last repair-relevant transition (§5.4
+  // per-client QP revocation). The verb had NO effect and its completion
+  // carries NO information about object state: the issuing client must
+  // re-validate its membership epoch, re-arm its queue pairs and retry.
+  kStaleEpoch = 2,
 };
 
 struct OpResult {
@@ -30,6 +36,19 @@ struct OpResult {
 
   bool ok() const { return status == Status::kOk; }
 };
+
+// A client process's cached membership epoch, shared by all of its Workers
+// and read by their Qps when stamping verbs. The membership service pushes
+// epoch advances to subscribed clients after its detection delay; a client
+// that learns it is stale (Status::kStaleEpoch) re-validates by pulling.
+struct ClientEpoch {
+  uint64_t value = 1;
+};
+
+// Verb stamp of a Qp with no wired ClientEpoch: passes every fence. Lets
+// epoch-oblivious users (benchmarks, unit fixtures, the repair coordinator)
+// keep working; chaos/linearizability harnesses wire real epochs.
+inline constexpr uint64_t kNoFenceEpoch = ~0ull;
 
 // Wire-overhead model used for IO accounting (Table 3): every verb carries a
 // fixed header each way in addition to its payload.

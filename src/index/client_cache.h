@@ -93,6 +93,21 @@ class ClientCache {
     }
   }
 
+  // Drops every entry referencing `layout` — the client's side of the §4.5
+  // recycling message ("stop accessing the to-be-recycled buffers"): the
+  // index GC is about to forget the retired layout, so a stale mapping to it
+  // must not survive in any cache (IndexService::add_gc_listener).
+  void InvalidateLayout(const ObjectLayout* layout) {
+    for (auto it = map_.begin(); it != map_.end();) {
+      if (it->second.layout.get() == layout) {
+        it = map_.erase(it);
+        ++stats_.invalidations;
+      } else {
+        ++it;
+      }
+    }
+  }
+
   size_t size() const { return map_.size(); }
   uint64_t ModeledBytes() const { return map_.size() * entry_bytes_; }
   const CacheStats& stats() const { return stats_; }

@@ -15,9 +15,11 @@
 #define SWARM_SRC_INDEX_INDEX_SERVICE_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/fabric/fabric.h"
@@ -65,19 +67,106 @@ class IndexService {
   // background unmap after a delete). Returns true if removed.
   sim::Task<bool> RemoveIfGeneration(uint64_t key, uint64_t generation, fabric::ClientCpu* cpu);
 
-  // Keeps a layout alive for the remainder of the simulation even after its
-  // mapping is removed: background straggler tasks (verified promotions,
-  // write-backs) may still reference it. Mirrors the fact that real memory
-  // is only recycled through the §4.5 protocol.
+  // Keeps a layout alive after its mapping is removed: background straggler
+  // tasks (verified promotions, write-backs) and stale-cached clients may
+  // still reference it, so repair must keep restoring it. Retirement is
+  // coupled to the memory recycler's epochs (set_retirement_horizon): each
+  // entry is tagged with the recycler epoch current at retirement, and once
+  // the safe horizon passes it the layout is dropped for good.
   void Retire(std::shared_ptr<const ObjectLayout> layout) {
-    retired_.push_back(std::move(layout));
+    retired_.push_back({std::move(layout), retire_epoch_fn_ ? retire_epoch_fn_() : 0, false});
+    GcRetired();  // Opportunistic: churn keeps the list bounded by itself.
   }
 
-  // Unmapped-but-still-referenceable layouts, in retirement order. Repair
-  // must restore these too: a stale-cached client can still read a retired
-  // object, and a rejoined replica that misses its tombstone would pair with
-  // a stale survivor and resurrect the deleted value.
-  const std::vector<std::shared_ptr<const ObjectLayout>>& retired() const { return retired_; }
+  // One unmapped-but-still-referenceable layout: the recycler epoch that was
+  // current at its retirement bounds which clients can still reference it.
+  struct RetiredLayout {
+    std::shared_ptr<const ObjectLayout> layout;
+    uint64_t epoch = 0;
+    bool caches_notified = false;  // §4.5 drop message sent (GC listeners ran).
+  };
+
+  // Retired layouts still inside the recycler's safe horizon, in retirement
+  // order. Repair must restore these too: a stale-cached client can still
+  // read a retired object, and a rejoined replica that misses its tombstone
+  // would pair with a stale survivor and resurrect the deleted value.
+  const std::vector<RetiredLayout>& retired() const { return retired_; }
+
+  // Couples retirement to the recycler (§4.5): `current_epoch` tags new
+  // retirements, `safe_before` is Recycler::SafeReclaimBefore. SAFETY of the
+  // drop — a repair stops restoring a dropped layout, so a stale reader that
+  // could still reach it might pair wiped replicas into a bogus quorum — so
+  // a layout is only dropped once NOTHING can reference it again:
+  //   1. the safe horizon passed its retire epoch (every live client
+  //      acknowledged draining accesses from before the retirement; clients
+  //      that never acknowledged are sticky-fenced),
+  //   2. the GC listeners ran (§4.5's "stop accessing the to-be-recycled
+  //      buffers" message: client LOCATION CACHES drop their entries for the
+  //      layout — the model must enforce the premise the ack claims), and
+  //   3. no in-flight operation still holds the layout (its shared_ptr
+  //      use-count has fallen to the retired list's own reference) — a
+  //      long-stuck op that located the key before the round keeps the
+  //      layout repairable until it completes.
+  void set_retirement_horizon(std::function<uint64_t()> current_epoch,
+                              std::function<uint64_t()> safe_before) {
+    retire_epoch_fn_ = std::move(current_epoch);
+    safe_before_fn_ = std::move(safe_before);
+  }
+
+  // Registers a §4.5 drop listener, called for each layout the GC is about
+  // to drop (chaos harnesses wire every client cache's InvalidateLayout).
+  void add_gc_listener(std::function<void(const std::shared_ptr<const ObjectLayout>&)> fn) {
+    gc_listeners_.push_back(std::move(fn));
+  }
+
+  // Drops retired layouts the safe horizon has passed; returns how many were
+  // dropped. Called opportunistically on Retire and by the repair walk.
+  //
+  // Dropped layouts leave the MODEL (repair stops restoring them, the 24 B/
+  // entry bookkeeping is gone) but their C++ objects are parked in a
+  // graveyard until the simulation ends: straggler coroutines (background
+  // promotions, write-back waves) hold raw ObjectLayout pointers, exactly
+  // like a real fenced client can still issue accesses at reclaimed
+  // addresses. Memory-node addresses are never reused by the bump allocator,
+  // so such touches are harmless — the graveyard is the client-side
+  // quarantine that makes them harmless in the simulator too.
+  size_t GcRetired() {
+    if (!safe_before_fn_ || retired_.empty()) {
+      return 0;
+    }
+    const uint64_t horizon = safe_before_fn_();
+    // Pass 1: tell caches to drop references to every horizon-passed layout
+    // (the §4.5 message). This releases their shared_ptr copies, so pass 2's
+    // use-count gate sees only genuine in-flight holders. Once notified, a
+    // retired layout can never re-enter a cache (it is unmapped; re-inserts
+    // build fresh layouts), so each layout is notified exactly once even
+    // when an in-flight holder pins it across many GC calls.
+    for (auto& r : retired_) {
+      if (r.epoch < horizon && !r.caches_notified) {
+        r.caches_notified = true;
+        for (auto& fn : gc_listeners_) {
+          fn(r.layout);
+        }
+      }
+    }
+    size_t kept = 0;
+    for (auto& r : retired_) {
+      // use_count == 1: only this retired entry still references the layout
+      // — no cache entry, no in-flight Located copy. Exact in the
+      // single-threaded simulation.
+      if (r.epoch >= horizon || r.layout.use_count() > 1) {
+        retired_[kept++] = std::move(r);
+      } else {
+        graveyard_.push_back(std::move(r.layout));
+      }
+    }
+    const size_t dropped = retired_.size() - kept;
+    retired_.resize(kept);
+    retired_dropped_ += dropped;
+    return dropped;
+  }
+
+  uint64_t retired_dropped() const { return retired_dropped_; }
 
   // Direct (zero-roundtrip) inspection, used by the benchmark harness to
   // pre-warm client caches as an infinitely long warm-up phase would.
@@ -115,7 +204,12 @@ class IndexService {
   sim::Time submit_cost_;
   uint64_t next_generation_ = 1;
   std::unordered_map<uint64_t, IndexEntry> map_;
-  std::vector<std::shared_ptr<const ObjectLayout>> retired_;
+  std::vector<RetiredLayout> retired_;
+  std::vector<std::shared_ptr<const ObjectLayout>> graveyard_;  // Lifetime only.
+  std::function<uint64_t()> retire_epoch_fn_;
+  std::function<uint64_t()> safe_before_fn_;
+  std::vector<std::function<void(const std::shared_ptr<const ObjectLayout>&)>> gc_listeners_;
+  uint64_t retired_dropped_ = 0;
   IndexStats stats_;
 };
 

@@ -344,6 +344,13 @@ sim::Task<KvResult> FuseeKvSession::Get(uint64_t key) {
       node_error = true;
     }
     if (node_error) {
+      if (worker_->EpochRefreshNeeded()) {
+        // kStaleEpoch revoked a QP: membership staleness, NOT a node failure.
+        // Starting FUSEE's multi-phase recovery for it would stall the whole
+        // store on a healthy node — re-validate the epoch and retry instead.
+        co_await worker_->RefreshEpoch();
+        continue;
+      }
       co_await OnNodeFailure(node);
     }
   }
@@ -443,6 +450,10 @@ sim::Task<KvResult> FuseeKvSession::WriteInternal(uint64_t key, std::span<const 
     }
     ++result.rtts;
     if (!w1.ok()) {
+      if (worker_->EpochRefreshNeeded()) {
+        co_await worker_->RefreshEpoch();  // Stale epoch, not a node failure.
+        continue;
+      }
       co_await OnNodeFailure(failed_node);
       continue;
     }
@@ -463,6 +474,10 @@ sim::Task<KvResult> FuseeKvSession::WriteInternal(uint64_t key, std::span<const 
       fabric::OpResult ir = co_await qp.Read(index_addr, buf);
       ++result.rtts;
       if (!ir.ok()) {
+        if (worker_->EpochRefreshNeeded()) {
+          co_await worker_->RefreshEpoch();
+          continue;
+        }
         co_await OnNodeFailure(primary);
         continue;
       }
@@ -530,6 +545,10 @@ sim::Task<KvResult> FuseeKvSession::WriteInternal(uint64_t key, std::span<const 
     // treat it as potentially visible.
     prior_word = new_word;
     if (!cas_done) {
+      if (worker_->EpochRefreshNeeded()) {
+        co_await worker_->RefreshEpoch();
+        continue;
+      }
       co_await OnNodeFailure(primary);
       continue;
     }
@@ -569,6 +588,10 @@ sim::Task<KvResult> FuseeKvSession::WriteInternal(uint64_t key, std::span<const 
             co_await fabric::PostMany(worker_->cpu(), worker_->sim(), std::move(verbs));
         ++result.rtts;
         if (backup_alive && !rs[0].ok()) {
+          if (worker_->EpochRefreshNeeded()) {
+            co_await worker_->RefreshEpoch();
+            continue;
+          }
           co_await OnNodeFailure(meta.backup);
           continue;  // Re-run the write against the degraded replica set.
         }
@@ -649,6 +672,11 @@ sim::Task<KvResult> FuseeKvSession::Remove(uint64_t key) {
     fabric::OpResult c = co_await qp.Cas(index_addr, expected, 0);
     ++result.rtts;
     if (!c.ok()) {
+      if (c.status == fabric::Status::kStaleEpoch && worker_->EpochRefreshNeeded()) {
+        // The fenced CAS never applied: re-validate and retry it verbatim.
+        co_await worker_->RefreshEpoch();
+        continue;
+      }
       result.status = KvStatus::kUnavailable;
       co_return result;
     }

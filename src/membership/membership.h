@@ -11,6 +11,38 @@
 // own op timeouts, exactly as in the paper's failover experiment (§7.7).
 // Client leases support the recycler extension: a client that stops renewing
 // its lease is suspected and (in the model) fenced from the fabric.
+//
+// --- The membership epoch (§5.4 per-client QP revocation) -----------------
+//
+// The service keeps a monotonically increasing EPOCH that advances on every
+// repair-relevant transition: a node crash, a restart-for-repair
+// (BeginRepair) and a readmission (CompleteRepair). Each advance is pushed
+// to all memory nodes IMMEDIATELY (the membership service instructs the
+// nodes, as uKharon instructs them to disconnect suspected clients) and to
+// subscribed clients after the detection delay.
+//
+// Clients stamp every verb with their cached epoch (Worker → Qp →
+// ClientEpoch); a node rejects any verb stamped with an epoch older than its
+// fence epoch, completing it as kStaleEpoch — a completion that proves
+// NOTHING about object state. The rejection also revokes the issuing QP
+// client-side: further verbs on it fail fast until the client re-validates
+// its epoch with the service (ValidateEpoch, the pull path that works even
+// for a client whose push notifications never arrive) and re-arms its QPs
+// (Worker::RefreshEpoch).
+//
+// Why this closes the crash-repair residual window: the repair fence
+// (set_repair_fenced) only rejects verbs that EXECUTE while the node is
+// mid-repair. A verb already in flight across the WHOLE cycle — issued
+// before the crash, executing after readmission, possibly at a SURVIVOR
+// whose state the repair already harvested — passes that fence and would be
+// trusted (e.g. a TryLock CAS completing a lock majority the lock
+// restoration could not see). With epoch fencing, any verb stamped before
+// the crash is rejected everywhere from the crash instant on, so no
+// completion that straddles a repair can ever count toward a quorum.
+//
+// The epoch_fencing knob exists ONLY for the chaos canary gallery: disabling
+// it reproduces the pre-fix behavior so the suites can demonstrate they
+// catch the violation.
 
 #ifndef SWARM_SRC_MEMBERSHIP_MEMBERSHIP_H_
 #define SWARM_SRC_MEMBERSHIP_MEMBERSHIP_H_
@@ -45,6 +77,14 @@ class MembershipService {
     subscribers_.push_back(std::move(known_failed));
   }
 
+  // Registers a client's cached epoch for push notification: each
+  // repair-relevant transition is pushed `detection_delay` later. A client
+  // that is NOT subscribed (the chaos suites' "client that never learns")
+  // only advances through the kStaleEpoch→ValidateEpoch pull path.
+  void SubscribeEpoch(std::shared_ptr<fabric::ClientEpoch> epoch) {
+    epoch_subscribers_.push_back(std::move(epoch));
+  }
+
   // Crashes `node` on the fabric and notifies subscribers after the
   // detection delay. The overload with an explicit delay scripts a slow (or
   // fast) detection sweep for this one event — the chaos engine uses it to
@@ -52,6 +92,8 @@ class MembershipService {
   void CrashNode(int node) { CrashNode(node, detection_delay_); }
   void CrashNode(int node, sim::Time detection_delay) {
     fabric_->Crash(node);
+    AdvanceEpoch();  // In-flight verbs must not outlive the crash (§5.4).
+    PushEpoch(detection_delay);
     sim_->After(detection_delay, [this, node] {
       for (auto& s : subscribers_) {
         (*s)[static_cast<size_t>(node)] = true;
@@ -92,6 +134,8 @@ class MembershipService {
     fabric_->RecoverPreservingLayout(node);
     fabric_->node(node).set_repair_fenced(true);
     (*repairing_)[static_cast<size_t>(node)] = true;
+    AdvanceEpoch();  // Restart-for-repair is a repair-relevant transition.
+    PushEpoch(detection_delay_);
   }
 
   // Readmits a repaired node: lifts the fence, clears the repairing flag
@@ -100,6 +144,11 @@ class MembershipService {
   void CompleteRepair(int node) {
     fabric_->node(node).set_repair_fenced(false);
     (*repairing_)[static_cast<size_t>(node)] = false;
+    // Readmission advances the epoch BEFORE the fence lifts takes effect for
+    // stale clients: a verb issued under the pre-repair view that lands on
+    // the freshly restored replicas must bounce, not be trusted.
+    AdvanceEpoch();
+    PushEpoch(detection_delay_);
     sim_->After(detection_delay_, [this, node] {
       for (auto& s : subscribers_) {
         (*s)[static_cast<size_t>(node)] = false;
@@ -108,9 +157,32 @@ class MembershipService {
   }
 
   // A repair that gave up (no surviving quorum within its retry budget)
-  // leaves the node permanently excluded — safe, merely unavailable.
+  // leaves the node excluded — safe, merely unavailable — until a later
+  // readmission triggers a re-repair (repair::RepairService dark-slot
+  // bookkeeping).
   bool IsRepairing(int node) const { return (*repairing_)[static_cast<size_t>(node)]; }
   const std::shared_ptr<std::vector<bool>>& repairing() const { return repairing_; }
+
+  // --- Membership epoch (see the header comment) ---
+
+  uint64_t epoch() const { return epoch_; }
+
+  // The pull path: a client that learned it is stale (kStaleEpoch)
+  // re-validates its view. Modeled as instantaneous service state; the
+  // caller (Worker::RefreshEpoch) pays the network roundtrip.
+  uint64_t ValidateEpoch() const { return epoch_; }
+
+  // CANARY knob: with fencing off the epoch still advances, is still pushed
+  // and still reaches the nodes, but they stop ENFORCING it — verbs stamped
+  // before a crash-repair cycle land and are trusted (each counted in
+  // MemoryNode::stale_landings), the pre-fix behavior the chaos canary must
+  // catch. Production configurations leave this on.
+  void set_epoch_fencing(bool on) {
+    epoch_fencing_ = on;
+    for (int n = 0; n < fabric_->num_nodes(); ++n) {
+      fabric_->node(n).set_fence_enforced(on);
+    }
+  }
 
   // --- Client leases (for the memory recycler, §4.5/§5.4) ---
 
@@ -175,14 +247,34 @@ class MembershipService {
   sim::Time lease_duration() const { return lease_duration_; }
 
  private:
+  void AdvanceEpoch() {
+    ++epoch_;
+    fabric_->SetFenceEpoch(epoch_);  // Nodes learn immediately (uKharon push).
+  }
+
+  // Pushes the epoch-at-transition to subscribed clients after the detection
+  // delay. max(): pushes may be delivered out of order when detection delays
+  // differ per event, and a client's cached epoch must never regress.
+  void PushEpoch(sim::Time detection_delay) {
+    const uint64_t e = epoch_;
+    sim_->After(detection_delay, [this, e] {
+      for (auto& s : epoch_subscribers_) {
+        s->value = std::max(s->value, e);
+      }
+    });
+  }
+
   sim::Simulator* sim_;
   fabric::Fabric* fabric_;
   sim::Time detection_delay_;
   sim::Time lease_duration_;
   std::vector<std::shared_ptr<std::vector<bool>>> subscribers_;
+  std::vector<std::shared_ptr<fabric::ClientEpoch>> epoch_subscribers_;
   std::unordered_map<uint32_t, sim::Time> leases_;
   std::unordered_set<uint32_t> fenced_;
   std::shared_ptr<std::vector<bool>> repairing_;
+  uint64_t epoch_ = 1;
+  bool epoch_fencing_ = true;
 };
 
 }  // namespace swarm::membership

@@ -128,8 +128,11 @@ sim::Task<RepairOutcome> IndexRepairSource::RepairNode(int node, Worker* worker,
   for (auto& [key, entry] : index_->SnapshotSorted()) {
     layouts.push_back(entry.layout);
   }
+  // Prune first: layouts past the recycler's safe horizon can no longer be
+  // referenced by any client, so repair need not re-walk them every round.
+  (void)index_->GcRetired();
   for (const auto& retired : index_->retired()) {
-    layouts.push_back(retired);
+    layouts.push_back(retired.layout);
   }
   for (const auto& layout_sp : layouts) {
     const ObjectLayout* layout = layout_sp.get();
@@ -156,8 +159,89 @@ sim::Task<RepairOutcome> IndexRepairSource::RepairNode(int node, Worker* worker,
   co_return out;
 }
 
+sim::Task<bool> RepairService::RepairRounds(int node, uint64_t* residual_failed) {
+  // No registered stores means nobody can vouch for the node's (wiped)
+  // contents — almost certainly a mis-wired coordinator. Treat it as an
+  // aborted repair: the node stays excluded, which is safe.
+  bool complete = false;
+  *residual_failed = 0;
+  for (int round = 0; round < config_.max_rounds && !complete && !stores_.empty(); ++round) {
+    if (round > 0) {
+      co_await worker_->sim()->Delay(config_.round_retry_delay);
+    }
+    complete = true;
+    *residual_failed = 0;
+    for (RepairableStore* s : stores_) {
+      RepairOutcome out = co_await s->RepairNode(node, worker_, config_);
+      slots_repaired_ += out.slots_repaired;
+      *residual_failed += out.slots_failed;
+      complete = complete && out.complete;
+    }
+  }
+  co_return complete;
+}
+
+void RepairService::TriggerDarkRetries() {
+  // Snapshot first: Spawn runs ResumeRepair eagerly until its first
+  // suspension, and ResumeRepair erases its node from dark_.
+  std::vector<int> nodes;
+  nodes.reserve(dark_.size());
+  for (const auto& [node, slots] : dark_) {
+    nodes.push_back(node);
+  }
+  for (int node : nodes) {
+    if (!resuming_[static_cast<size_t>(node)]) {
+      resuming_[static_cast<size_t>(node)] = true;
+      sim::Spawn(ResumeRepair(node));
+    }
+  }
+}
+
+sim::Task<void> RepairService::ResumeRepair(int node) {
+  // The dark node is still fenced and quorum-excluded with its partially
+  // repaired slots intact, so the restart step is skipped: just run the
+  // round loop again (RepairNode is idempotent) now that a readmission
+  // changed the survivor picture. A fresh RecoverAndRepair (chaos crashed
+  // the node again) owns the lifecycle instead — it cleared dark_.
+  if (dark_.count(node) == 0 || !membership_->IsRepairing(node)) {
+    resuming_[static_cast<size_t>(node)] = false;
+    co_return;
+  }
+  dark_.erase(node);
+  ++in_flight_;
+  ++repairs_resumed_;
+  // Lifecycle guard: if the node crashes AGAIN while this resume is
+  // suspended, the fresh RecoverAndRepair bumps the generation and WIPES the
+  // node mid-resume — slots this resume verified may be empty again, so it
+  // must not readmit on the new lifecycle's behalf.
+  const uint64_t gen = lifecycle_gen_[static_cast<size_t>(node)];
+  uint64_t residual = 0;
+  const bool complete = co_await RepairRounds(node, &residual);
+  resuming_[static_cast<size_t>(node)] = false;
+  if (gen != lifecycle_gen_[static_cast<size_t>(node)]) {
+    --in_flight_;
+    co_return;  // A fresh lifecycle owns the node now; let it finish.
+  }
+  if (complete && membership_->IsRepairing(node)) {
+    for (RepairableStore* s : stores_) {
+      s->OnRepairComplete(node, /*readmitted=*/true);
+    }
+    membership_->CompleteRepair(node);
+    ++repairs_completed_;
+    --in_flight_;
+    TriggerDarkRetries();  // This readmission may unblock other dark nodes.
+    co_return;
+  }
+  if (membership_->IsRepairing(node)) {
+    dark_[node] = residual;  // Still dark; wait for the next readmission.
+  }
+  --in_flight_;
+}
+
 sim::Task<bool> RepairService::RecoverAndRepair(int node) {
   ++in_flight_;
+  ++lifecycle_gen_[static_cast<size_t>(node)];  // Invalidates in-flight resumes.
+  dark_.erase(node);  // A fresh lifecycle supersedes any pending re-repair.
   membership_->BeginRepair(node);
   for (RepairableStore* s : stores_) {
     s->OnRepairBegin(node);
@@ -170,21 +254,8 @@ sim::Task<bool> RepairService::RecoverAndRepair(int node) {
     }
     membership_->CompleteRepair(node);
   }
-  // No registered stores means nobody can vouch for the node's (wiped)
-  // contents — almost certainly a mis-wired coordinator. Treat it as an
-  // aborted repair: the node stays excluded, which is safe.
-  bool complete = false;
-  for (int round = 0; round < config_.max_rounds && !complete && !stores_.empty(); ++round) {
-    if (round > 0) {
-      co_await worker_->sim()->Delay(config_.round_retry_delay);
-    }
-    complete = true;
-    for (RepairableStore* s : stores_) {
-      RepairOutcome out = co_await s->RepairNode(node, worker_, config_);
-      slots_repaired_ += out.slots_repaired;
-      complete = complete && out.complete;
-    }
-  }
+  uint64_t residual = 0;
+  const bool complete = co_await RepairRounds(node, &residual);
   if (config_.readmit_before_repair) {
     --in_flight_;
     ++repairs_completed_;
@@ -196,14 +267,19 @@ sim::Task<bool> RepairService::RecoverAndRepair(int node) {
     }
     membership_->CompleteRepair(node);
     ++repairs_completed_;
-  } else {
-    for (RepairableStore* s : stores_) {
-      s->OnRepairComplete(node, /*readmitted=*/false);
-    }
-    ++repairs_aborted_;
+    --in_flight_;
+    // A readmission is exactly the event that can unblock a mutually-waiting
+    // repair that already gave up: retry every dark node.
+    TriggerDarkRetries();
+    co_return true;
   }
+  for (RepairableStore* s : stores_) {
+    s->OnRepairComplete(node, /*readmitted=*/false);
+  }
+  ++repairs_aborted_;
+  dark_[node] = residual;  // Dark until some readmission triggers a retry.
   --in_flight_;
-  co_return complete;
+  co_return false;
 }
 
 }  // namespace swarm::repair

@@ -34,6 +34,7 @@
 #define SWARM_SRC_REPAIR_REPAIR_H_
 
 #include <cstdint>
+#include <map>
 #include <vector>
 
 #include "src/index/index_service.h"
@@ -117,7 +118,9 @@ class RepairService {
  public:
   RepairService(membership::MembershipService* membership, Worker* worker,
                 RepairConfig config = {})
-      : membership_(membership), worker_(worker), config_(config) {
+      : membership_(membership), worker_(worker), config_(config),
+        resuming_(static_cast<size_t>(worker->fabric()->num_nodes()), false),
+        lifecycle_gen_(static_cast<size_t>(worker->fabric()->num_nodes()), 0) {
     worker_->set_repair_excluded(membership_->repairing());
     worker_->MarkRepairChannel();  // Repair verbs pass the rejoin fence.
   }
@@ -127,27 +130,62 @@ class RepairService {
   // The full lifecycle for one restarted node: restart (allocation map
   // preserved, quorum-excluded) → repair every registered store → readmit.
   // Returns true when the node was readmitted, false when repair gave up
-  // (the node stays excluded — safe, merely unavailable).
+  // (the node stays excluded until a later readmission triggers a
+  // re-repair — see the dark-slot bookkeeping below).
   sim::Task<bool> RecoverAndRepair(int node);
 
   // True while any node's repair is running — the Recycler's safe-horizon
   // gate (Recycler::set_repair_gate).
   bool InFlight() const { return in_flight_ > 0; }
 
+  // --- Dark-slot bookkeeping -----------------------------------------------
+  //
+  // Two overlapping repairs can mutually wait: an object hosting BOTH
+  // repairing nodes has no surviving quorum, so each repair's rounds keep
+  // failing that slot while the other node is excluded. A repair that
+  // exhausts its round budget gives up — safe, but previously PERMANENTLY
+  // dark even when the blocker was transient (the other repair completed
+  // right after our give-up, a drop burst cleared, ...). The service now
+  // remembers every given-up node together with its residual failed-slot
+  // count, and every successful readmission re-triggers those repairs: the
+  // world just changed in exactly the way that can unblock them. A resumed
+  // repair skips the restart (the node is still fenced and excluded, its
+  // partially repaired slots intact — RepairNode is idempotent) and runs the
+  // round loop again.
+
+  // Given-up nodes (node → slots still failing at give-up). Empty when no
+  // node is dark.
+  const std::map<int, uint64_t>& dark_nodes() const { return dark_; }
+
   uint64_t repairs_completed() const { return repairs_completed_; }
   uint64_t repairs_aborted() const { return repairs_aborted_; }
+  uint64_t repairs_resumed() const { return repairs_resumed_; }
   uint64_t slots_repaired() const { return slots_repaired_; }
 
   const RepairConfig& config() const { return config_; }
 
  private:
+  // Re-runs the round loop for a node whose earlier repair gave up; called
+  // on every successful readmission. Readmits on success (which in turn
+  // re-triggers any remaining dark nodes).
+  sim::Task<void> ResumeRepair(int node);
+
+  // Runs up to max_rounds over all registered stores; true when complete.
+  sim::Task<bool> RepairRounds(int node, uint64_t* residual_failed);
+
+  void TriggerDarkRetries();
+
   membership::MembershipService* membership_;
   Worker* worker_;
   RepairConfig config_;
   std::vector<RepairableStore*> stores_;
   int in_flight_ = 0;
+  std::map<int, uint64_t> dark_;           // Given-up nodes, deterministic order.
+  std::vector<bool> resuming_;             // Per-node re-repair in progress.
+  std::vector<uint64_t> lifecycle_gen_;    // Bumped by each RecoverAndRepair.
   uint64_t repairs_completed_ = 0;
   uint64_t repairs_aborted_ = 0;
+  uint64_t repairs_resumed_ = 0;
   uint64_t slots_repaired_ = 0;
 };
 

@@ -73,6 +73,15 @@ struct CasState {
   // ts-max over the register words the CAS loops found already installed
   // (never our own `desired`): lets Delete detect a preceding tombstone.
   Meta seen_max;
+  // Retry-safety bookkeeping for NON-idempotent installs (an ABD update's
+  // fresh-timestamp word): `completions` counts finished CasMaxOne tasks and
+  // `maybe_applied` is set when any of them installed its word (definite) or
+  // completed kNodeFailed (a dropped ack may hide an install). An attempt
+  // may only be re-executed when every task completed and none could have
+  // applied — otherwise a re-install could resurrect an already-observed,
+  // since-overwritten value under a fresh timestamp.
+  int completions = 0;
+  bool maybe_applied = false;
 
   explicit CasState(sim::Simulator* s) : ok(s) {}
 };
@@ -91,6 +100,10 @@ sim::Task<void> CasMaxOne(Worker* worker, const ObjectLayout* layout, int r, Met
     fabric::OpResult res = co_await qp.Cas(rep.meta_addr, prev.raw(), desired.raw());
     ++retries;
     if (!res.ok()) {
+      if (res.status == fabric::Status::kNodeFailed) {
+        ph->maybe_applied = true;  // A dropped ack may hide an applied CAS.
+      }
+      ++ph->completions;
       co_return;
     }
     const Meta seen(res.old_value);
@@ -109,7 +122,11 @@ sim::Task<void> CasMaxOne(Worker* worker, const ObjectLayout* layout, int r, Met
   if (!installed && !desired.deleted()) {
     pool.Free(desired.oop());  // Our buffer never became reachable.
   }
+  if (installed) {
+    ph->maybe_applied = true;
+  }
   ph->max_retries = std::max(ph->max_retries, std::max(retries, 0));
+  ++ph->completions;
   ph->ok.Add(1);
 }
 
@@ -209,6 +226,32 @@ int LivePreferred(Worker* worker, const ObjectLayout* layout, std::array<int, kM
 }  // namespace
 
 sim::Task<SgWriteResult> AbdObject::Write(std::span<const uint8_t> value) {
+  bool retry_safe = false;
+  SgWriteResult result = co_await WriteAttempt(value, &retry_safe);
+  // Membership-refresh-then-retry: an attempt that failed because its verbs
+  // bounced off an epoch fence (kStaleEpoch revoked a QP) proves nothing
+  // about the register — only a genuine lost majority surfaces as
+  // unavailability. The retry is gated on `retry_safe`: an ABD update
+  // installs a FRESH timestamp per attempt, so re-running it is only sound
+  // when the failed attempt provably installed nothing anywhere (all its
+  // CASes completed unapplied — fenced or observed-superseded). Otherwise a
+  // re-install could resurrect a value a reader already observed and a later
+  // write already overwrote; such attempts stay kUnavailable, i.e. a
+  // possibly-applied pending write, which is exactly what they are.
+  for (int retry = 0; retry < 2 && result.status == SgStatus::kUnavailable && retry_safe &&
+                      worker_->EpochRefreshNeeded();
+       ++retry) {
+    co_await worker_->RefreshEpoch();
+    const int prior_rtts = result.rtts;
+    result = co_await WriteAttempt(value, &retry_safe);
+    result.rtts += prior_rtts;
+  }
+  co_return result;
+}
+
+sim::Task<SgWriteResult> AbdObject::WriteAttempt(std::span<const uint8_t> value,
+                                                 bool* retry_safe) {
+  *retry_safe = false;
   SgWriteResult result;
   auto ph = std::make_shared<Phase1State>(worker_->sim());
   ph->value.assign(value.begin(), value.end());
@@ -228,12 +271,15 @@ sim::Task<SgWriteResult> AbdObject::Write(std::span<const uint8_t> value) {
   bool got = co_await worker_->BatchedQuorum(ph->ok, maj, worker_->config().escalation_timeout, 0,
                                              first_wave, phase1);
   result.rtts = 1;
-  if (!got) {
+  if (!got && !worker_->EpochRefreshNeeded()) {
     ++result.rtts;
     got = co_await worker_->BatchedQuorum(ph->ok, maj, worker_->config().quorum_timeout,
                                           first_wave, usable - first_wave, phase1);
   }
   if (!got) {
+    // Phase 1 has no reachable effect (no metadata word points at the
+    // out-of-place buffers yet): re-running the attempt is always safe.
+    *retry_safe = true;
     co_return result;
   }
 
@@ -248,6 +294,8 @@ sim::Task<SgWriteResult> AbdObject::Write(std::span<const uint8_t> value) {
     // before the caller unmaps/fails, or disjoint quorums resurrect values.
     const bool fenced =
         co_await FenceTombstone(worker_, layout_, order, usable, ph, m, &result.rtts);
+    // Re-installing the identical tombstone word is idempotent.
+    *retry_safe = !fenced;
     result.status = fenced ? SgStatus::kDeleted : SgStatus::kUnavailable;
     co_return result;
   }
@@ -271,6 +319,9 @@ sim::Task<SgWriteResult> AbdObject::Write(std::span<const uint8_t> value) {
   ++result.rtts;
   got = co_await cs->ok.WaitFor(std::min(maj, launched), worker_->config().quorum_timeout);
   result.rtts += cs->max_retries;
+  // Phase-2 failure is re-executable only when every CAS task finished and
+  // none could have installed the fresh-timestamp word (see CasState).
+  *retry_safe = !got && cs->completions == launched && !cs->maybe_applied;
   result.status = got ? SgStatus::kOk : SgStatus::kUnavailable;
   co_return result;
 }
@@ -278,35 +329,44 @@ sim::Task<SgWriteResult> AbdObject::Write(std::span<const uint8_t> value) {
 sim::Task<SgWriteResult> AbdObject::Delete() {
   SgWriteResult result;
   const Meta tombstone = Meta::Tombstone(worker_->tid());
-  auto cs = std::make_shared<CasState>(worker_->sim());
-  std::array<int, kMaxReplicas> order{};
-  int usable = 0;
-  LivePreferred(worker_, layout_, order, &usable);
-  const int maj = layout_->majority();
-  result.rtts = 1;
-  // Delete needs every replica's actual pre-delete word (fed to seen_max
-  // from CAS results only) to tell "we deleted the live object" from "this
-  // object was already dead". A non-tombstone cache seed is safe: the
-  // tombstone compares above it, so the loop always issues at least one CAS
-  // and observes the node's word. A CACHED TOMBSTONE would short-circuit
-  // the loop with no observation, so fall back to the empty seed there.
-  const bool got = co_await worker_->BatchedQuorum(
-      cs->ok, maj, worker_->config().quorum_timeout, 0, usable, [&](int i) {
-        const auto idx = static_cast<size_t>(order[static_cast<size_t>(i)]);
-        const Meta seed = cache_->slot[idx].deleted() ? Meta() : cache_->slot[idx];
-        return CasMaxOne(worker_, layout_, order[static_cast<size_t>(i)], seed, tombstone, cs);
-      });
-  result.rtts += cs->max_retries;
-  if (got && cs->seen_max.deleted() &&
-      cs->seen_max.same_write_key() != tombstone.same_write_key()) {
-    // Another deleter's tombstone was already installed: this object was
-    // dead before our op, so the caller's mapping may be stale (deleted and
-    // re-inserted) and must be re-validated against the index. Quorum
-    // intersection guarantees a fully deleted object shows the foreign
-    // tombstone to at least one of our acked CASes.
-    result.status = SgStatus::kDeleted;
-  } else {
-    result.status = got ? SgStatus::kOk : SgStatus::kUnavailable;
+  constexpr int kMaxAttempts = 3;
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    auto cs = std::make_shared<CasState>(worker_->sim());
+    std::array<int, kMaxReplicas> order{};
+    int usable = 0;
+    LivePreferred(worker_, layout_, order, &usable);
+    const int maj = layout_->majority();
+    ++result.rtts;
+    // Delete needs every replica's actual pre-delete word (fed to seen_max
+    // from CAS results only) to tell "we deleted the live object" from "this
+    // object was already dead". A non-tombstone cache seed is safe: the
+    // tombstone compares above it, so the loop always issues at least one CAS
+    // and observes the node's word. A CACHED TOMBSTONE would short-circuit
+    // the loop with no observation, so fall back to the empty seed there.
+    const bool got = co_await worker_->BatchedQuorum(
+        cs->ok, maj, worker_->config().quorum_timeout, 0, usable, [&](int i) {
+          const auto idx = static_cast<size_t>(order[static_cast<size_t>(i)]);
+          const Meta seed = cache_->slot[idx].deleted() ? Meta() : cache_->slot[idx];
+          return CasMaxOne(worker_, layout_, order[static_cast<size_t>(i)], seed, tombstone, cs);
+        });
+    result.rtts += cs->max_retries;
+    if (!got && worker_->EpochRefreshNeeded() && attempt + 1 < kMaxAttempts) {
+      // Fenced CASes never applied and observed nothing: refresh and retry.
+      co_await worker_->RefreshEpoch();
+      continue;
+    }
+    if (got && cs->seen_max.deleted() &&
+        cs->seen_max.same_write_key() != tombstone.same_write_key()) {
+      // Another deleter's tombstone was already installed: this object was
+      // dead before our op, so the caller's mapping may be stale (deleted and
+      // re-inserted) and must be re-validated against the index. Quorum
+      // intersection guarantees a fully deleted object shows the foreign
+      // tombstone to at least one of our acked CASes.
+      result.status = SgStatus::kDeleted;
+    } else {
+      result.status = got ? SgStatus::kOk : SgStatus::kUnavailable;
+    }
+    co_return result;
   }
   co_return result;
 }
@@ -403,6 +463,12 @@ sim::Task<SgReadResult> AbdObject::Read() {
   constexpr int kMaxAttempts = 8;
   for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
     ++result.iterations;
+    if (worker_->EpochRefreshNeeded()) {
+      // A previous phase's verbs bounced off an epoch fence: re-validate and
+      // re-arm before this attempt — the bounced completions are membership
+      // staleness, not evidence about the register.
+      co_await worker_->RefreshEpoch();
+    }
     // Phase 1: read the metadata word at a majority.
     auto ph = std::make_shared<Phase1State>(worker_->sim());
     auto rd_one = [](Worker* worker, const ObjectLayout* layout, int r,
@@ -435,12 +501,15 @@ sim::Task<SgReadResult> AbdObject::Read() {
                                                worker_->config().escalation_timeout, 0,
                                                first_wave, read_wave);
     ++result.rtts;
-    if (!got) {
+    if (!got && !worker_->EpochRefreshNeeded()) {
       ++result.rtts;
       got = co_await worker_->BatchedQuorum(ph->ok, maj, worker_->config().quorum_timeout,
                                             first_wave, usable - first_wave, read_wave);
     }
     if (!got) {
+      if (worker_->EpochRefreshNeeded() && attempt + 1 < kMaxAttempts) {
+        continue;  // Fence-induced: the next attempt refreshes and retries.
+      }
       co_return result;  // No live majority.
     }
 

@@ -53,6 +53,10 @@ class AbdObject {
  private:
   sim::Task<SgWriteResult> WriteWord(Meta base, std::span<const uint8_t> value);
 
+  // One update attempt; Write() wraps it in the membership-refresh-then-
+  // retry loop for attempts failed on kStaleEpoch completions.
+  sim::Task<SgWriteResult> WriteAttempt(std::span<const uint8_t> value, bool* retry_safe);
+
   Worker* worker_;
   const ObjectLayout* layout_;
   std::shared_ptr<ObjectCache> cache_;

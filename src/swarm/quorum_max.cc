@@ -172,6 +172,20 @@ void QuorumMax::PreferredOrder(std::array<int, kMaxReplicas>& order, int* num_li
 }
 
 sim::Task<WriteReadOutcome> QuorumMax::WriteAndRead(Meta w, std::span<const uint8_t> value) {
+  WriteReadOutcome out = co_await WriteAndReadOnce(w, value);
+  // Membership-refresh-then-retry: a quorum that failed because verbs
+  // bounced off an epoch fence proves nothing about the register — re-run
+  // the attempt under the re-validated epoch (the max-write is idempotent).
+  for (int retry = 0; retry < 2 && !out.ok && worker_->EpochRefreshNeeded(); ++retry) {
+    co_await worker_->RefreshEpoch();
+    const int prior_rtts = out.rtts;
+    out = co_await WriteAndReadOnce(w, value);
+    out.rtts += prior_rtts;
+  }
+  co_return out;
+}
+
+sim::Task<WriteReadOutcome> QuorumMax::WriteAndReadOnce(Meta w, std::span<const uint8_t> value) {
   auto ph = std::make_shared<WrPhase>(worker_->sim());
   ph->w = w;
   ph->value.assign(value.begin(), value.end());
@@ -191,9 +205,11 @@ sim::Task<WriteReadOutcome> QuorumMax::WriteAndRead(Meta w, std::span<const uint
   bool got = co_await worker_->BatchedQuorum(ph->ok, maj, worker_->config().escalation_timeout, 0,
                                              first_wave, one);
   int rtts = 1;
-  if (!got) {
+  if (!got && !worker_->EpochRefreshNeeded()) {
     // Broaden to the remaining usable replicas (a pure grace wait when the
-    // first wave already covered them all).
+    // first wave already covered them all). Skipped once an epoch fence
+    // revoked a QP: the wrapper's refresh-retry is the productive path, not
+    // a grace wait on fail-fast completions.
     ++rtts;
     got = co_await worker_->BatchedQuorum(ph->ok, maj, worker_->config().quorum_timeout,
                                           first_wave, usable - first_wave, one);
@@ -208,6 +224,17 @@ sim::Task<WriteReadOutcome> QuorumMax::WriteAndRead(Meta w, std::span<const uint
 }
 
 sim::Task<ReadOutcome> QuorumMax::ReadQuorum(bool strong) {
+  ReadOutcome out = co_await ReadQuorumOnce(strong);
+  for (int retry = 0; retry < 2 && !out.ok && worker_->EpochRefreshNeeded(); ++retry) {
+    co_await worker_->RefreshEpoch();
+    const int prior_rtts = out.rtts;
+    out = co_await ReadQuorumOnce(strong);
+    out.rtts += prior_rtts;
+  }
+  co_return out;
+}
+
+sim::Task<ReadOutcome> QuorumMax::ReadQuorumOnce(bool strong) {
   auto ph = std::make_shared<RdPhase>(worker_->sim());
 
   std::array<int, kMaxReplicas> order{};
@@ -224,7 +251,7 @@ sim::Task<ReadOutcome> QuorumMax::ReadQuorum(bool strong) {
                                              first_wave, one);
   ReadOutcome out;
   out.rtts = 1;
-  if (!got) {
+  if (!got && !worker_->EpochRefreshNeeded()) {
     ++out.rtts;
     got = co_await worker_->BatchedQuorum(ph->ok, maj, worker_->config().quorum_timeout,
                                           first_wave, usable - first_wave, one);
@@ -317,6 +344,21 @@ sim::Task<ReadOutcome> QuorumMax::ReadQuorum(bool strong) {
 }
 
 sim::Task<bool> QuorumMax::WriteVerified(Meta w, std::span<const uint8_t> value, int* rtts) {
+  int total_rtts = 0;
+  bool got = co_await WriteVerifiedOnce(w, value, &total_rtts);
+  for (int retry = 0; retry < 2 && !got && worker_->EpochRefreshNeeded(); ++retry) {
+    co_await worker_->RefreshEpoch();
+    int attempt_rtts = 0;
+    got = co_await WriteVerifiedOnce(w, value, &attempt_rtts);
+    total_rtts += attempt_rtts;
+  }
+  if (rtts != nullptr) {
+    *rtts = total_rtts;
+  }
+  co_return got;
+}
+
+sim::Task<bool> QuorumMax::WriteVerifiedOnce(Meta w, std::span<const uint8_t> value, int* rtts) {
   auto ph = std::make_shared<VwPhase>(worker_->sim());
   ph->w = w.WithVerified();
   ph->value.assign(value.begin(), value.end());
@@ -334,7 +376,7 @@ sim::Task<bool> QuorumMax::WriteVerified(Meta w, std::span<const uint8_t> value,
   bool got = co_await worker_->BatchedQuorum(ph->ok, maj, worker_->config().escalation_timeout, 0,
                                              first_wave, one);
   int phases = 1;
-  if (!got) {
+  if (!got && !worker_->EpochRefreshNeeded()) {
     ++phases;
     got = co_await worker_->BatchedQuorum(ph->ok, maj, worker_->config().quorum_timeout,
                                           first_wave, usable - first_wave, one);

@@ -97,6 +97,15 @@ class QuorumMax {
   void PreferredOrder(std::array<int, kMaxReplicas>& order, int* num_live,
                       int* num_usable) const;
 
+  // Single attempts behind the public ops. The public wrappers re-run an
+  // attempt after a membership-epoch refresh when it failed on kStaleEpoch
+  // completions (Worker::EpochRefreshNeeded) — a stale-epoch rejection says
+  // nothing about object state and must never surface as unavailability
+  // without a re-validated retry.
+  sim::Task<WriteReadOutcome> WriteAndReadOnce(Meta w, std::span<const uint8_t> value);
+  sim::Task<ReadOutcome> ReadQuorumOnce(bool strong);
+  sim::Task<bool> WriteVerifiedOnce(Meta w, std::span<const uint8_t> value, int* rtts);
+
   Worker* worker_;
   const ObjectLayout* layout_;
   std::shared_ptr<ObjectCache> cache_;

@@ -33,7 +33,35 @@ sim::Task<SgWriteResult> SafeGuessObject::Write(std::span<const uint8_t> value) 
     const Meta fence = Meta::Pack(out.m.counter(), out.m.tid(), true, 0);
     const bool fenced = co_await reg.WriteVerified(fence, {}, &fence_rtts);
     result.rtts += fence_rtts;
-    result.status = fenced ? SgStatus::kDeleted : SgStatus::kUnavailable;
+    if (!fenced) {
+      result.status = SgStatus::kUnavailable;
+      co_return result;
+    }
+    // The bounce must ARBITRATE like the slow path before the caller may
+    // re-execute this value on a successor object (§5.3.3's cache-flush
+    // retry): our guessed word was installed before we observed the
+    // tombstone, and a reader that deemed it fresh may commit it — a READ
+    // lock on the guessed timestamp is exactly that commitment. Reporting
+    // kDeleted and letting the caller retry would then apply ONE update
+    // TWICE, observably (committed here, re-executed on the re-inserted
+    // key). Chaos caught this double-apply once arrival-order NIC service
+    // let a reader's confirm+lock straddle long delay spikes. WRITE-lock the
+    // guess: acquired ⇒ no reader can ever commit it, the retry is safe
+    // (kDeleted); lost ⇒ the write took effect before the object died and
+    // the caller must NOT re-execute (kOk, ordered just before the delete).
+    TimestampLock bounce_lock(worker_, layout_, worker_->tid());
+    TryLockResult bounce = co_await bounce_lock.TryLock(guess, LockMode::kWrite);
+    result.rtts += bounce.rtts;
+    if (!bounce.quorum_ok) {
+      result.status = SgStatus::kUnavailable;  // Unknown: recorded as pending.
+      co_return result;
+    }
+    if (!bounce.acquired) {
+      result.status = SgStatus::kOk;
+      result.lock_lost = true;
+      co_return result;
+    }
+    result.status = SgStatus::kDeleted;
     co_return result;
   }
 
@@ -126,7 +154,13 @@ sim::Task<SgReadResult> SafeGuessObject::Read() {
     result.rtts += m.rtts;
     if (!m.ok) {
       // Includes the unlucky case where the max's out-of-place buffer was
-      // recycled mid-read; retry unless the fabric has lost a majority.
+      // recycled mid-read; retry unless the fabric has lost a majority. A
+      // straggler kStaleEpoch completion may have revoked a QP after
+      // ReadQuorum's own refresh-retry gave up — re-validate before the next
+      // iteration rather than reading through dead QPs.
+      if (worker_->EpochRefreshNeeded()) {
+        co_await worker_->RefreshEpoch();
+      }
       continue;
     }
     if (m.m.empty()) {

@@ -63,30 +63,47 @@ sim::Task<void> LockOneReplica(Worker* worker, const ObjectLayout* layout, int r
 
 sim::Task<TryLockResult> TimestampLock::TryLock(uint32_t counter, LockMode mode) {
   TryLockResult result;
-  auto phase = std::make_shared<LockPhase>(worker_->sim());
-  // Algorithm 9 contacts every replica; only a majority must answer. A
-  // repairing replica is skipped outright: its CAS words are mid-restore and
-  // counting it could manufacture a majority the opposite mode already holds
-  // among the survivors.
-  std::array<int, kMaxReplicas> usable{};
-  int n = 0;
-  for (int r = 0; r < layout_->num_replicas; ++r) {
-    if (!worker_->NodeQuorumExcluded(layout_->replicas[static_cast<size_t>(r)].node)) {
-      usable[static_cast<size_t>(n++)] = r;
+  constexpr int kMaxAttempts = 3;
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    auto phase = std::make_shared<LockPhase>(worker_->sim());
+    // Algorithm 9 contacts every replica; only a majority must answer. A
+    // repairing replica is skipped outright: its CAS words are mid-restore
+    // and counting it could manufacture a majority the opposite mode already
+    // holds among the survivors.
+    std::array<int, kMaxReplicas> usable{};
+    int n = 0;
+    for (int r = 0; r < layout_->num_replicas; ++r) {
+      if (!worker_->NodeQuorumExcluded(layout_->replicas[static_cast<size_t>(r)].node)) {
+        usable[static_cast<size_t>(n++)] = r;
+      }
     }
+    // One doorbell rings the lock CAS at every usable replica.
+    const bool reached = co_await worker_->BatchedQuorum(
+        phase->ok, layout_->majority(), worker_->config().quorum_timeout, 0, n, [&](int i) {
+          return LockOneReplica(worker_, layout_, usable[static_cast<size_t>(i)], owner_tid_,
+                                counter, mode, phase);
+        });
+    if (!reached) {
+      // A kStaleEpoch completion is a membership-staleness signal, never
+      // evidence about lock state: re-validate the epoch, re-arm the QPs and
+      // re-run the whole attempt (re-CASing (counter, mode) is idempotent).
+      // This is exactly the retry that closes the §5.4 window — the stale
+      // attempt's votes were rejected at the nodes, so they can never
+      // complete a majority that straddles a crash-repair cycle.
+      if (worker_->EpochRefreshNeeded() && attempt + 1 < kMaxAttempts) {
+        // Bill the fenced attempt's CAS rounds plus the re-validation pull.
+        result.rtts += phase->max_rtts + 1;
+        co_await worker_->RefreshEpoch();
+        continue;
+      }
+      result.rtts += phase->max_rtts;
+      co_return result;  // No live majority: not acquired (safe).
+    }
+    result.quorum_ok = true;
+    result.rtts += phase->max_rtts;
+    result.acquired = !phase->higher_seen && !phase->opposite_seen;
+    co_return result;
   }
-  // One doorbell rings the lock CAS at every usable replica.
-  const bool reached = co_await worker_->BatchedQuorum(
-      phase->ok, layout_->majority(), worker_->config().quorum_timeout, 0, n, [&](int i) {
-        return LockOneReplica(worker_, layout_, usable[static_cast<size_t>(i)], owner_tid_,
-                              counter, mode, phase);
-      });
-  if (!reached) {
-    co_return result;  // No live majority: not acquired (safe).
-  }
-  result.quorum_ok = true;
-  result.rtts = phase->max_rtts;
-  result.acquired = !phase->higher_seen && !phase->opposite_seen;
   co_return result;
 }
 

@@ -8,7 +8,9 @@
 #ifndef SWARM_SRC_SWARM_WORKER_H_
 #define SWARM_SRC_SWARM_WORKER_H_
 
+#include <algorithm>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -132,6 +134,57 @@ class Worker {
     }
   }
 
+  // --- Membership-epoch fencing (§5.4 per-client QP revocation) ---
+  //
+  // Wires the client process's cached membership epoch: every verb this
+  // worker posts is stamped with it, and memory nodes reject stamps older
+  // than the cluster's last repair-relevant transition (kStaleEpoch). The
+  // epoch is shared among a client's workers like known_failed; the
+  // membership service pushes advances into it (SubscribeEpoch) — or does
+  // not, for the chaos suites' client that never learns about a rejoin.
+  void set_epoch(std::shared_ptr<fabric::ClientEpoch> epoch) {
+    epoch_ = std::move(epoch);
+    for (auto& qp : qps_) {
+      qp.set_epoch(&epoch_->value);
+    }
+  }
+  const std::shared_ptr<fabric::ClientEpoch>& epoch() const { return epoch_; }
+
+  // Wires the re-validation pull (MembershipService::ValidateEpoch) used by
+  // RefreshEpoch. `pull_delay` models the pull's network roundtrip.
+  void set_epoch_source(std::function<uint64_t()> validate, sim::Time pull_delay = 2 * 680) {
+    epoch_validate_ = std::move(validate);
+    epoch_pull_delay_ = pull_delay;
+  }
+
+  // True when some verb of this worker bounced off an epoch fence: its QP is
+  // revoked and every further verb on it fails fast. Protocol retry loops
+  // check this after a failed quorum phase — a kStaleEpoch completion is a
+  // membership-staleness signal, NEVER evidence about object state — and
+  // call RefreshEpoch() before retrying.
+  bool EpochRefreshNeeded() const {
+    for (const auto& qp : qps_) {
+      if (qp.revoked()) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Re-validates the cached epoch with the membership service (the pull
+  // path, which works even for a client whose push notifications never
+  // arrive) and re-arms every revoked QP. Verbs posted afterwards carry the
+  // fresh stamp and pass the fences again.
+  sim::Task<void> RefreshEpoch() {
+    if (epoch_ != nullptr && epoch_validate_) {
+      co_await sim()->Delay(epoch_pull_delay_);
+      epoch_->value = std::max(epoch_->value, epoch_validate_());
+    }
+    for (auto& qp : qps_) {
+      qp.Rearm();
+    }
+  }
+
  private:
   fabric::Fabric* fabric_;
   uint32_t tid_;
@@ -140,6 +193,9 @@ class Worker {
   ProtocolConfig config_;
   std::shared_ptr<std::vector<bool>> known_failed_;
   std::shared_ptr<const std::vector<bool>> repair_excluded_;
+  std::shared_ptr<fabric::ClientEpoch> epoch_;
+  std::function<uint64_t()> epoch_validate_;
+  sim::Time epoch_pull_delay_ = 2 * 680;
   std::vector<fabric::Qp> qps_;
   std::vector<OopPool> pools_;
   std::unordered_map<const void*, std::shared_ptr<ObjectCache>> slot_caches_;

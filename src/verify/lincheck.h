@@ -24,7 +24,13 @@
 //    overwrite state, never explain anything, and is dropped too; a pending
 //    write of a uniquely-written nonzero value that WAS read must linearize
 //    before the first read that returned it, so its unbounded window is
-//    capped at that read's response.
+//    capped at that read's response. Observed pending writes of DUPLICATE or
+//    ZERO values (removes) carry no such proof; they are first tried with an
+//    OPTIMISTIC cap at the next completed overwrite's response — capping a
+//    pending op only restricts where it may linearize, so an acceptance
+//    under the cap is a real linearization, while a rejection falls back to
+//    an exact re-run with the cap removed. Without the cap a remove-heavy
+//    single-key soak degenerates into one giant window.
 //  * Time-window partitioning: within a cell, the history is cut at
 //    quiescent points (instants no op spans). Windows chain through the set
 //    of register values reachable at each cut, so concurrent tails with
@@ -74,6 +80,8 @@ struct CheckStats {
   uint64_t windows = 0;        // Time windows checked across all cells.
   uint64_t states = 0;         // Memoized DFS states explored.
   uint64_t max_window_ops = 0; // Largest window handed to the DFS.
+  uint64_t fallback_cells = 0; // Cells re-checked exactly after the
+                               // optimistic pending-remove cap rejected.
 };
 
 // Verdict plus, on failure, the minimal non-linearizable window.

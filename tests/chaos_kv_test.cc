@@ -40,12 +40,29 @@ using testing::SeedMessage;
 // Soak runners also pass a wall-clock budget for the CHECK itself — the
 // acceptance bar for the unbounded checker (a 2,000+-op multi-key history
 // was impossible to check at all under the legacy 63-op DFS).
+// `max_window_ops`, when nonzero, bounds the largest window the splitter
+// handed to the DFS — the remove-heavy soak's structural guard that pending
+// removes no longer swallow the whole cell.
 void ExpectLinearizable(const ChaosHistories& hist, const ScenarioSpec& spec,
-                        const chaos::ChaosEngine& engine, double check_budget_s = 0.0) {
+                        const chaos::ChaosEngine& engine, double check_budget_s = 0.0,
+                        uint64_t max_window_ops = 0) {
   const auto start = std::chrono::steady_clock::now();
-  const std::string violation = CheckHistories(hist);
+  testing::CheckStats stats;
+  const std::string violation = CheckHistories(hist, &stats);
   const double secs =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  if (!violation.empty() && std::getenv("CHAOS_DUMP") != nullptr) {
+    // Replay diagnostics: the complete recorded history, per key.
+    for (const auto& [key, ops] : hist.per_key) {
+      std::fprintf(stderr, "key %llu:\n", static_cast<unsigned long long>(key));
+      for (const testing::HistoryOp& op : ops) {
+        std::fprintf(stderr, "  %c(%llu) @%lld..%lld%s\n", op.is_write ? 'W' : 'R',
+                     static_cast<unsigned long long>(op.value),
+                     static_cast<long long>(op.invoked), static_cast<long long>(op.responded),
+                     op.pending ? " pending" : "");
+      }
+    }
+  }
   EXPECT_TRUE(violation.empty()) << violation << "\n  " << SeedMessage(spec, engine);
   if (check_budget_s > 0.0) {
     size_t ops = 0;
@@ -58,6 +75,16 @@ void ExpectLinearizable(const ChaosHistories& hist, const ScenarioSpec& spec,
     // A soak that recorded far fewer ops than its spec issued has silently
     // degenerated (e.g. everything went unavailable) and proves nothing.
     EXPECT_GE(ops, static_cast<size_t>(spec.clients * spec.ops_per_client * 3 / 4))
+        << SeedMessage(spec, engine);
+  }
+  if (max_window_ops > 0 && stats.fallback_cells == 0) {
+    // Structural guard for the pending-remove window cap. Skipped when the
+    // exact fallback ran: the fallback deliberately re-checks with the cap
+    // OFF, so its (accepted) giant window lands in the stats — only an
+    // all-optimistic run proves the splitter kept cutting.
+    EXPECT_LE(stats.max_window_ops, max_window_ops)
+        << "the time-window splitter degenerated (" << stats.windows << " windows, largest "
+        << stats.max_window_ops << " ops; " << stats.fallback_cells << " fallback cells)\n  "
         << SeedMessage(spec, engine);
   }
 }
@@ -81,12 +108,17 @@ ScenarioSpec KvSpec(uint64_t seed) {
   return spec;
 }
 
-void RunSwarmKvScenario(const ScenarioSpec& spec, double check_budget_s = 0.0) {
+void RunSwarmKvScenario(const ScenarioSpec& spec, double check_budget_s = 0.0,
+                        testing::KvOpMix mix = {}, uint64_t max_window_ops = 0) {
   ChaosEnv c(spec);
   index::IndexService index(&c.env.sim, &c.env.fabric);
   // Recycler epoch churn rides along: synthetic participants heartbeat and
   // acknowledge while chaos expires leases and fires rounds mid-workload.
   Recycler recycler(&c.env.sim, &c.membership);
+  // Retired-layout GC: retirements are epoch-tagged and dropped once the
+  // recycler's safe horizon passes them.
+  index.set_retirement_horizon([&recycler] { return recycler.current_epoch(); },
+                               [&recycler] { return recycler.SafeReclaimBefore(); });
   std::vector<std::unique_ptr<RecyclerParticipant>> participants;
   std::vector<std::unique_ptr<index::ClientCache>> caches;
   std::vector<std::unique_ptr<kv::SwarmKvSession>> sessions;
@@ -104,14 +136,21 @@ void RunSwarmKvScenario(const ScenarioSpec& spec, double check_budget_s = 0.0) {
     recycler.HeartbeatAll();
     return recycler.RunRound();
   });
+  // §4.5: before the GC forgets a retired layout, every client cache drops
+  // its references — the premise the recycler acks claim.
+  index.add_gc_listener([&caches](const std::shared_ptr<const ObjectLayout>& lo) {
+    for (auto& cache : caches) {
+      cache->InvalidateLayout(lo.get());
+    }
+  });
   for (int i = 0; i < spec.clients; ++i) {
     Spawn(KvChaosClient(&c.env, sessions[static_cast<size_t>(i)].get(),
-                        spec.seed * 131 + static_cast<uint64_t>(i), spec, &hist));
+                        spec.seed * 131 + static_cast<uint64_t>(i), spec, &hist, mix));
   }
   c.engine.Start();
   c.env.sim.Run();
 
-  ExpectLinearizable(hist, spec, c.engine, check_budget_s);
+  ExpectLinearizable(hist, spec, c.engine, check_budget_s, max_window_ops);
   // Liveness: Simulator::Run returning proves every churn round completed
   // (fencing worked) even when chaos expired leases mid-round; the safety
   // side of the fencing protocol is recycler_test's job.
@@ -205,16 +244,24 @@ ScenarioSpec CrashRecoverSpec(uint64_t seed) {
   return spec;
 }
 
-void RunCrashRecoverSwarmScenario(const ScenarioSpec& spec) {
+// `stale_client`: client 0 becomes the suites' DEAF client — it receives no
+// membership pushes (neither failure notifications nor epoch advances), so
+// it keeps issuing verbs stamped with its boot-time epoch across whole
+// crash-repair cycles. The epoch fence must bounce them (kStaleEpoch →
+// re-validation pull → retry); with the pre-fix canary knob they land on
+// repaired state and are trusted.
+void RunCrashRecoverSwarmScenario(const ScenarioSpec& spec, bool stale_client = false) {
   ChaosEnv c(spec);
   index::IndexService index(&c.env.sim, &c.env.fabric);
   Recycler recycler(&c.env.sim, &c.membership);
+  index.set_retirement_horizon([&recycler] { return recycler.current_epoch(); },
+                               [&recycler] { return recycler.SafeReclaimBefore(); });
   std::vector<std::unique_ptr<RecyclerParticipant>> participants;
   std::vector<std::unique_ptr<index::ClientCache>> caches;
   std::vector<std::unique_ptr<kv::SwarmKvSession>> sessions;
   ChaosHistories hist;
   for (int i = 0; i < spec.clients; ++i) {
-    Worker& w = c.MakeSkewedWorker(spec);
+    Worker& w = stale_client && i == 0 ? c.MakeDeafWorker(spec) : c.MakeSkewedWorker(spec);
     caches.push_back(std::make_unique<index::ClientCache>());
     sessions.push_back(std::make_unique<kv::SwarmKvSession>(&w, &index, caches.back().get()));
     participants.push_back(std::make_unique<RecyclerParticipant>(
@@ -232,6 +279,11 @@ void RunCrashRecoverSwarmScenario(const ScenarioSpec& spec) {
     recycler.HeartbeatAll();
     return recycler.RunRound();
   });
+  index.add_gc_listener([&caches](const std::shared_ptr<const ObjectLayout>& lo) {
+    for (auto& cache : caches) {
+      cache->InvalidateLayout(lo.get());
+    }
+  });
   for (int i = 0; i < spec.clients; ++i) {
     Spawn(KvChaosClient(&c.env, sessions[static_cast<size_t>(i)].get(),
                         spec.seed * 131 + static_cast<uint64_t>(i), spec, &hist));
@@ -242,14 +294,14 @@ void RunCrashRecoverSwarmScenario(const ScenarioSpec& spec) {
   ExpectRepairLifecyclesComplete(c, repair, spec);
 }
 
-void RunCrashRecoverDmAbdScenario(const ScenarioSpec& spec) {
+void RunCrashRecoverDmAbdScenario(const ScenarioSpec& spec, bool stale_client = false) {
   ChaosEnv c(spec);
   index::IndexService index(&c.env.sim, &c.env.fabric);
   std::vector<std::unique_ptr<index::ClientCache>> caches;
   std::vector<std::unique_ptr<kv::DmAbdKvSession>> sessions;
   ChaosHistories hist;
   for (int i = 0; i < spec.clients; ++i) {
-    Worker& w = c.MakeSkewedWorker(spec);
+    Worker& w = stale_client && i == 0 ? c.MakeDeafWorker(spec) : c.MakeSkewedWorker(spec);
     caches.push_back(std::make_unique<index::ClientCache>());
     sessions.push_back(std::make_unique<kv::DmAbdKvSession>(&w, &index, caches.back().get()));
   }
@@ -268,14 +320,14 @@ void RunCrashRecoverDmAbdScenario(const ScenarioSpec& spec) {
   ExpectRepairLifecyclesComplete(c, repair, spec);
 }
 
-void RunCrashRecoverFuseeScenario(const ScenarioSpec& spec) {
+void RunCrashRecoverFuseeScenario(const ScenarioSpec& spec, bool stale_client = false) {
   ChaosEnv c(spec);
   kv::FuseeStore store(&c.env.fabric, /*recovery_duration=*/300 * sim::kMicrosecond);
   std::vector<std::unique_ptr<index::ClientCache>> caches;
   std::vector<std::unique_ptr<kv::FuseeKvSession>> sessions;
   ChaosHistories hist;
   for (int i = 0; i < spec.clients; ++i) {
-    Worker& w = c.MakeSkewedWorker(spec);
+    Worker& w = stale_client && i == 0 ? c.MakeDeafWorker(spec) : c.MakeSkewedWorker(spec);
     caches.push_back(std::make_unique<index::ClientCache>());
     sessions.push_back(std::make_unique<kv::FuseeKvSession>(&w, &store, caches.back().get()));
   }
@@ -327,7 +379,8 @@ TEST(ChaosFuseeKv, RandomFaultScenariosStayLinearizable) {
 }
 
 TEST(ChaosSwarmKv, CrashRecoverRepairStaysLinearizable) {
-  DriveScenarios(4000, RunCrashRecoverSwarmScenario, [](uint64_t seed) {
+  DriveScenarios(4000, [](const ScenarioSpec& s) { RunCrashRecoverSwarmScenario(s); },
+                 [](uint64_t seed) {
     ScenarioSpec spec = CrashRecoverSpec(seed);
     spec.faults.lease_weight = 0.4;
     spec.faults.churn_weight = 0.4;  // Recycler rounds race the repair gate.
@@ -337,7 +390,8 @@ TEST(ChaosSwarmKv, CrashRecoverRepairStaysLinearizable) {
 }
 
 TEST(ChaosDmAbdKv, CrashRecoverRepairStaysLinearizable) {
-  DriveScenarios(5000, RunCrashRecoverDmAbdScenario, [](uint64_t seed) {
+  DriveScenarios(5000, [](const ScenarioSpec& s) { RunCrashRecoverDmAbdScenario(s); },
+                 [](uint64_t seed) {
     ScenarioSpec spec = CrashRecoverSpec(seed);
     spec.faults.fault_index_link = true;
     return spec;
@@ -345,7 +399,8 @@ TEST(ChaosDmAbdKv, CrashRecoverRepairStaysLinearizable) {
 }
 
 TEST(ChaosFuseeKv, CrashRecoverRepairStaysLinearizable) {
-  DriveScenarios(6000, RunCrashRecoverFuseeScenario, [](uint64_t seed) {
+  DriveScenarios(6000, [](const ScenarioSpec& s) { RunCrashRecoverFuseeScenario(s); },
+                 [](uint64_t seed) {
     ScenarioSpec spec = CrashRecoverSpec(seed);
     // Milder drops (every failed verb costs FUSEE a full recovery stall) and
     // a longer tail: ops block while the repair runs.
@@ -394,7 +449,8 @@ ScenarioSpec ConcurrentRepairSpec(uint64_t seed) {
 }
 
 TEST(ChaosSwarmKv, ConcurrentRepairsStayLinearizable) {
-  DriveScenarios(7000, RunCrashRecoverSwarmScenario, [](uint64_t seed) {
+  DriveScenarios(7000, [](const ScenarioSpec& s) { RunCrashRecoverSwarmScenario(s); },
+                 [](uint64_t seed) {
     ScenarioSpec spec = ConcurrentRepairSpec(seed);
     spec.faults.churn_weight = 0.3;  // Recycler's horizon gates on BOTH repairs.
     spec.faults.fault_index_link = true;
@@ -403,7 +459,8 @@ TEST(ChaosSwarmKv, ConcurrentRepairsStayLinearizable) {
 }
 
 TEST(ChaosDmAbdKv, ConcurrentRepairsStayLinearizable) {
-  DriveScenarios(7500, RunCrashRecoverDmAbdScenario, [](uint64_t seed) {
+  DriveScenarios(7500, [](const ScenarioSpec& s) { RunCrashRecoverDmAbdScenario(s); },
+                 [](uint64_t seed) {
     ScenarioSpec spec = ConcurrentRepairSpec(seed);
     spec.faults.fault_index_link = true;
     return spec;
@@ -411,7 +468,8 @@ TEST(ChaosDmAbdKv, ConcurrentRepairsStayLinearizable) {
 }
 
 TEST(ChaosFuseeKv, ConcurrentRepairsStayLinearizable) {
-  DriveScenarios(8000, RunCrashRecoverFuseeScenario, [](uint64_t seed) {
+  DriveScenarios(8000, [](const ScenarioSpec& s) { RunCrashRecoverFuseeScenario(s); },
+                 [](uint64_t seed) {
     ScenarioSpec spec = ConcurrentRepairSpec(seed);
     // FUSEE is 2-replica: with two nodes down, keys hosted on both are dark
     // until a repair readmits. Milder drops (failed verbs cost recovery
@@ -420,6 +478,74 @@ TEST(ChaosFuseeKv, ConcurrentRepairsStayLinearizable) {
     spec.mean_think = 30000;
     return spec;
   });
+}
+
+// ---------- Crash-recover with a client that NEVER learns ----------
+//
+// The §5.4 per-client-revocation regime end to end: client 0 is deaf — no
+// membership pushes ever reach it, so its verbs stay stamped with the
+// boot-time epoch across every crash → repair → readmit cycle, and long
+// delay spikes keep some of them in flight across the WHOLE cycle. The
+// epoch fence must reject every such verb (the client recovers through the
+// kStaleEpoch → ValidateEpoch pull), keeping the history linearizable. The
+// pre-fix counterpart of this regime is the stale-epoch canary in
+// chaos_replay_test.cc.
+
+ScenarioSpec CrashRecoverStaleClientSpec(uint64_t seed) {
+  ScenarioSpec spec = CrashRecoverSpec(seed);
+  // Stale stamps need no extreme delays: every crash/rejoin transition
+  // advances the epoch while the deaf client keeps issuing old-stamp verbs,
+  // so the fence + pull-revalidation path runs hot at ordinary spike sizes.
+  // The cross-cycle stranded-verb window itself is demonstrated by the
+  // scripted stale-epoch canary (chaos_replay_test.cc); spikes beyond
+  // ~100 us excavate FURTHER pre-existing windows in the repair-era
+  // protocols (ROADMAP follow-up, seeds recorded there) and stay out of
+  // these suites.
+  spec.faults.max_spike = 40 * sim::kMicrosecond;
+  spec.faults.max_spike_duration = 120 * sim::kMicrosecond;
+  spec.faults.min_down = 30 * sim::kMicrosecond;
+  spec.faults.max_down = 90 * sim::kMicrosecond;
+  return spec;
+}
+
+TEST(ChaosSwarmKv, CrashRecoverStaleClientStaysLinearizable) {
+  DriveScenarios(9000,
+                 [](const ScenarioSpec& s) {
+                   RunCrashRecoverSwarmScenario(s, /*stale_client=*/true);
+                 },
+                 [](uint64_t seed) {
+                   ScenarioSpec spec = CrashRecoverStaleClientSpec(seed);
+                   spec.faults.lease_weight = 0.3;
+                   spec.faults.churn_weight = 0.3;
+                   spec.faults.fault_index_link = true;
+                   return spec;
+                 });
+}
+
+TEST(ChaosDmAbdKv, CrashRecoverStaleClientStaysLinearizable) {
+  DriveScenarios(9500,
+                 [](const ScenarioSpec& s) {
+                   RunCrashRecoverDmAbdScenario(s, /*stale_client=*/true);
+                 },
+                 [](uint64_t seed) {
+                   ScenarioSpec spec = CrashRecoverStaleClientSpec(seed);
+                   spec.faults.fault_index_link = true;
+                   return spec;
+                 });
+}
+
+TEST(ChaosFuseeKv, CrashRecoverStaleClientStaysLinearizable) {
+  DriveScenarios(9800,
+                 [](const ScenarioSpec& s) {
+                   RunCrashRecoverFuseeScenario(s, /*stale_client=*/true);
+                 },
+                 [](uint64_t seed) {
+                   ScenarioSpec spec = CrashRecoverStaleClientSpec(seed);
+                   // FUSEE stalls on every failed verb; milder drops keep the
+                   // scenario moving while the spikes do the stale-verb work.
+                   spec.faults.max_drop_p = 0.15;
+                   return spec;
+                 });
 }
 
 // ---------- Long-horizon soaks: 2,048 ops across 64 keys ----------
@@ -470,6 +596,44 @@ TEST(ChaosFuseeKvSoak, LongHorizonFullMixStaysLinearizable) {
                        // Milder drops: every failed verb stalls FUSEE behind
                        // a full recovery, and the soak has 2,048 of them.
                        spec.faults.max_drop_p = 0.12;
+                       return spec;
+                     });
+}
+
+// ---------- Remove-heavy single-key soak ----------
+//
+// The degenerate shape for the time-window splitter: one key, half the ops
+// removes, faults leaving PENDING removes behind. Pre-fix, an observed
+// pending write of a duplicate/zero value kept its window open to the end of
+// the cell, so the whole 1,000+-op history collapsed into one window and the
+// check blew up exponentially. The optimistic next-completed-overwrite cap
+// (with its exact fallback) re-enables the cuts; this suite pins the
+// check-time budget.
+
+TEST(ChaosSwarmKvSoak, RemoveHeavySingleKeySoakChecksWithinBudget) {
+  DriveSoakScenarios(43000,
+                     [](const ScenarioSpec& spec) {
+                       // Remove-heavy mix: 30% gets / 10% updates / 15%
+                       // inserts / 45% removes.
+                       // Budget + structural guard: capped runs peak below
+                       // ~300 ops per window here, while the pre-fix splitter
+                       // degenerates to 900+-op windows (nearly the whole
+                       // cell) on the same seeds.
+                       RunSwarmKvScenario(spec, kSoakCheckBudgetSeconds,
+                                          testing::KvOpMix{0.30, 0.40, 0.55},
+                                          /*max_window_ops=*/512);
+                     },
+                     [](uint64_t seed) {
+                       ScenarioSpec spec = LongHorizonSoakSpec(seed);
+                       spec.keys = 1;  // Every op lands in ONE checker cell.
+                       spec.ops_per_client = 128;  // 1,024 ops on the key.
+                       spec.faults.lease_weight = 0.3;
+                       spec.faults.churn_weight = 0.3;
+                       // Ack-biased drops: removes APPLY but report
+                       // unavailable — the observed-pending removes whose
+                       // unbounded windows used to swallow the whole cell.
+                       spec.faults.max_drop_p = 0.4;
+                       spec.faults.drop_ack_weight = 4.0;
                        return spec;
                      });
 }

@@ -414,6 +414,46 @@ TEST(LincheckDifferential, TenThousandRandomHistoriesAgreeWithLegacyDfs) {
 
 // A 2,000+-op multi-key chaos-shaped history — the scale the legacy DFS
 // hard-rejected — must be checked in well under 5 seconds.
+TEST(Lincheck, PendingRemoveLateEffectSurvivesTheOptimisticCap) {
+  // The optimistic pending-remove cap's false-rejection shape: the pending
+  // remove's only valid placement is AFTER the completed overwrite it was
+  // capped before — W(5), R(5), remove applies, R(0). The capped pass
+  // rejects; the exact fallback must accept, so the verdict stays exact.
+  const std::vector<HistoryOp> ops = {
+      PW(0, 10),       // Pending remove, observed by the final read.
+      W(5, 12, 20),    // The "next completed overwrite" that caps it.
+      R(5, 30, 40),    // Pins W(5) before the remove's effect.
+      R(0, 50, 60),    // Only the pending remove can explain this.
+  };
+  ExpectVerdict(ops, true);
+  CheckResult report = LinearizabilityChecker::CheckReport(ops);
+  EXPECT_TRUE(report.linearizable);
+  EXPECT_EQ(report.stats.fallback_cells, 1u) << "the exact fallback must have run";
+}
+
+TEST(Lincheck, ObservedPendingRemoveNoLongerMergesAllWindows) {
+  // Pre-fix, one observed pending zero-value write kept its window open to
+  // the end of the cell: every later op merged into a single window. With
+  // the next-completed-overwrite cap the splitter keeps cutting. The history
+  // stays linearizable (the remove can apply right where it was invoked), so
+  // no fallback runs and the windows stay small.
+  std::vector<HistoryOp> ops;
+  ops.push_back(W(1, 0, 10));
+  ops.push_back(PW(0, 12));        // Observed pending remove...
+  ops.push_back(R(0, 15, 25));     // ...by this read.
+  sim::Time t = 30;
+  for (uint64_t v = 2; v < 40; ++v) {
+    ops.push_back(W(v, t, t + 5));          // Sequential tail: quiescent cuts
+    ops.push_back(R(v, t + 10, t + 15));    // between every pair.
+    t += 20;
+  }
+  CheckResult report = LinearizabilityChecker::CheckReport(ops);
+  EXPECT_TRUE(report.linearizable) << report.Describe(ops);
+  EXPECT_EQ(report.stats.fallback_cells, 0u);
+  EXPECT_GE(report.stats.windows, 30u) << "the splitter stopped cutting";
+  EXPECT_LE(report.stats.max_window_ops, 8u) << "a pending remove swallowed the tail";
+}
+
 TEST(LincheckSoak, TwoThousandOpMultiKeyHistoryChecksUnderFiveSeconds) {
   sim::Rng rng(7);
   std::vector<HistoryOp> h;

@@ -1,0 +1,121 @@
+// Retired-layout GC (the unbounded-growth follow-up): IndexService::Retire
+// used to keep every dead layout forever, and repair re-walked the whole
+// list each round. Retirement is now coupled to the memory recycler's epochs
+// — an entry is tagged with the epoch current at retirement and dropped once
+// Recycler::SafeReclaimBefore() passes it (every live client drained the
+// accesses that could still reference it; non-acking clients are
+// sticky-fenced). These tests assert the list actually SHRINKS under churn.
+
+#include "src/index/index_service.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/index/client_cache.h"
+#include "src/kv/swarm_kv.h"
+#include "src/membership/membership.h"
+#include "src/swarm/recycler.h"
+#include "tests/support/test_env.h"
+
+namespace swarm {
+namespace {
+
+using testing::TestEnv;
+
+TEST(RetiredGc, ChurnStaysBoundedByTheSafeHorizon) {
+  TestEnv env(3);
+  membership::MembershipService membership(&env.sim, &env.fabric);
+  Recycler recycler(&env.sim, &membership);
+  RecyclerParticipant client(&env.sim, 1, /*ack_delay=*/2000);
+  recycler.Register(&client);
+
+  index::IndexService index(&env.sim);
+  index.set_retirement_horizon([&recycler] { return recycler.current_epoch(); },
+                               [&recycler] { return recycler.SafeReclaimBefore(); });
+
+  size_t max_seen = 0;
+  for (int burst = 0; burst < 20; ++burst) {
+    for (int i = 0; i < 8; ++i) {
+      index.Retire(std::make_shared<ObjectLayout>(env.MakeObject()));
+    }
+    max_seen = std::max(max_seen, index.retired().size());
+    recycler.HeartbeatAll();
+    sim::Spawn(recycler.RunRound());
+    env.sim.Run();
+  }
+  // 160 retirements passed through; the horizon kept reclaiming them. Only
+  // the most recent burst (retired under the current epoch, not yet drained)
+  // may linger.
+  EXPECT_EQ(index.retired_dropped() + index.retired().size(), 160u);
+  EXPECT_GE(index.retired_dropped(), 150u);
+  EXPECT_LE(index.retired().size(), 8u)
+      << "the retired list must shrink once the safe horizon passes";
+  EXPECT_LE(max_seen, 16u) << "churn must keep the list bounded, not merely trimmed at the end";
+
+  // One more drained round reclaims the stragglers too.
+  recycler.HeartbeatAll();
+  sim::Spawn(recycler.RunRound());
+  env.sim.Run();
+  (void)index.GcRetired();
+  EXPECT_EQ(index.retired().size(), 0u);
+}
+
+TEST(RetiredGc, WithoutRecyclerCouplingNothingIsDropped) {
+  // Envs without a recycler (protocol unit tests, benches) keep the old
+  // conservative behavior: retired layouts live for the whole simulation.
+  TestEnv env(3);
+  index::IndexService index(&env.sim);
+  for (int i = 0; i < 5; ++i) {
+    index.Retire(std::make_shared<ObjectLayout>(env.MakeObject()));
+  }
+  EXPECT_EQ(index.retired().size(), 5u);
+  EXPECT_EQ(index.GcRetired(), 0u);
+  EXPECT_EQ(index.retired().size(), 5u);
+}
+
+TEST(RetiredGc, InsertCollisionChurnShrinksThroughTheKvPath) {
+  // The real producer: two clients inserting the same keys concurrently —
+  // the loser of each InsertIfAbsent race retires its freshly allocated
+  // layout (§5.3.1). With recycler rounds interleaved the list shrinks.
+  TestEnv env(11);
+  membership::MembershipService membership(&env.sim, &env.fabric);
+  Recycler recycler(&env.sim, &membership);
+  RecyclerParticipant p1(&env.sim, 1, 2000);
+  RecyclerParticipant p2(&env.sim, 2, 2300);
+  recycler.Register(&p1);
+  recycler.Register(&p2);
+
+  index::IndexService index(&env.sim);
+  index.set_retirement_horizon([&recycler] { return recycler.current_epoch(); },
+                               [&recycler] { return recycler.SafeReclaimBefore(); });
+  index::ClientCache cache_a;
+  index::ClientCache cache_b;
+  kv::SwarmKvSession a(&env.MakeWorker(0), &index, &cache_a);
+  kv::SwarmKvSession b(&env.MakeWorker(100), &index, &cache_b);
+
+  auto insert_pair = [](TestEnv* env, kv::SwarmKvSession* s, uint64_t key) -> sim::Task<void> {
+    (void)co_await s->Insert(key, testing::ValN(8, 0x5a));
+    (void)env;
+  };
+  uint64_t collisions = 0;
+  for (uint64_t key = 0; key < 24; ++key) {
+    sim::Spawn(insert_pair(&env, &a, key));
+    sim::Spawn(insert_pair(&env, &b, key));
+    env.sim.Run();
+    collisions = index.retired_dropped() + index.retired().size();
+    if (key % 4 == 3) {
+      recycler.HeartbeatAll();
+      sim::Spawn(recycler.RunRound());
+      env.sim.Run();
+    }
+  }
+  EXPECT_GT(collisions, 0u) << "concurrent inserts never collided: the churn proved nothing";
+  EXPECT_GT(index.retired_dropped(), 0u);
+  EXPECT_LE(index.retired().size(), collisions / 2)
+      << "the retired list must shrink under insert-collision churn";
+}
+
+}  // namespace
+}  // namespace swarm

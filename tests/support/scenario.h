@@ -110,7 +110,9 @@ inline ScenarioSpec LongHorizonSoakSpec(uint64_t seed) {
 // Simulator + fabric + membership + chaos engine wired the way a chaos
 // scenario needs them. Workers subscribe to membership notifications and
 // share the membership service's per-node `repairing` set, so quorum
-// selection excludes nodes mid-repair (crash-recover scenarios).
+// selection excludes nodes mid-repair (crash-recover scenarios); each worker
+// also carries a membership epoch (§5.4 QP revocation) pushed by the
+// service, so every chaos suite exercises the epoch-fenced verb path.
 struct ChaosEnv {
   explicit ChaosEnv(const ScenarioSpec& spec,
                     fabric::FabricConfig fcfg = TestEnv::DefaultFabric(),
@@ -129,7 +131,37 @@ struct ChaosEnv {
     Worker& w = env.MakeWorker(env.sim.rng().Range(-spec.max_clock_skew, spec.max_clock_skew));
     w.set_repair_excluded(membership.repairing());
     w.set_chaos_tag(next_chaos_tag_++);
+    WireEpoch(w, /*subscribe=*/true);
     return w;
+  }
+
+  // The stale client of the CrashRecoverStaleClient suites: it NEVER
+  // receives membership pushes — neither node-failure notifications nor
+  // epoch advances — so it keeps issuing verbs stamped with its boot-time
+  // epoch across whole crash-repair cycles. Its only way forward is the
+  // fence itself: kStaleEpoch completions force the re-validation pull
+  // (Worker::RefreshEpoch). Pre-fix (epoch fencing off) such a client's
+  // in-flight verbs land on repaired state and are trusted — the §5.4
+  // window the canary demonstrates.
+  Worker& MakeDeafWorker(const ScenarioSpec& spec) {
+    auto private_kf = std::make_shared<std::vector<bool>>(
+        static_cast<size_t>(env.fabric.num_nodes()), false);
+    Worker& w = env.MakeWorker(env.sim.rng().Range(-spec.max_clock_skew, spec.max_clock_skew),
+                               std::move(private_kf));
+    w.set_repair_excluded(membership.repairing());
+    w.set_chaos_tag(next_chaos_tag_++);
+    WireEpoch(w, /*subscribe=*/false);
+    return w;
+  }
+
+  void WireEpoch(Worker& w, bool subscribe) {
+    auto epoch = std::make_shared<fabric::ClientEpoch>();
+    epoch->value = membership.epoch();
+    w.set_epoch(epoch);
+    w.set_epoch_source([this] { return membership.ValidateEpoch(); });
+    if (subscribe) {
+      membership.SubscribeEpoch(std::move(epoch));
+    }
   }
 
   TestEnv env;
@@ -245,8 +277,11 @@ inline sim::Task<void> KvChaosClient(TestEnv* env, kv::KvSession* kv, uint64_t r
 // Checks every per-key history through the unbounded checker (src/verify/
 // lincheck.h): keys become P-compositionality cells of ONE keyed history, so
 // multi-thousand-op soaks decompose instead of hitting the legacy 63-op cap.
-// Returns "" or the checker's minimal-failing-window report.
-inline std::string CheckHistories(const ChaosHistories& hist) {
+// Returns "" or the checker's minimal-failing-window report. `stats`, when
+// given, receives the run's CheckStats (the remove-heavy soak asserts the
+// splitter kept cutting).
+inline std::string CheckHistories(const ChaosHistories& hist,
+                                  verify::CheckStats* stats = nullptr) {
   std::vector<HistoryOp> flat;
   for (const auto& [key, ops] : hist.per_key) {
     for (HistoryOp op : ops) {
@@ -255,6 +290,9 @@ inline std::string CheckHistories(const ChaosHistories& hist) {
     }
   }
   CheckResult report = LinearizabilityChecker::CheckReport(flat);
+  if (stats != nullptr) {
+    *stats = report.stats;
+  }
   return report.linearizable ? "" : report.Describe(flat);
 }
 

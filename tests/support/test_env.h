@@ -43,12 +43,15 @@ struct TestEnv {
   }
 
   // Creates a worker with its own CPU and clock (skew in ns, may be negative).
-  Worker& MakeWorker(int64_t skew_ns = 0) {
+  // `kf` overrides the shared known-failed set — the chaos harness's "client
+  // that never learns" gets a private, never-notified copy.
+  Worker& MakeWorker(int64_t skew_ns = 0, std::shared_ptr<std::vector<bool>> kf = nullptr) {
     const uint32_t tid = static_cast<uint32_t>(workers.size());
     cpus.push_back(std::make_unique<fabric::ClientCpu>(&sim));
     clocks.push_back(std::make_unique<GuessClock>(&sim, skew_ns));
     workers.push_back(std::make_unique<Worker>(&fabric, tid, cpus.back().get(),
-                                               clocks.back().get(), proto, known_failed));
+                                               clocks.back().get(), proto,
+                                               kf != nullptr ? std::move(kf) : known_failed));
     return *workers.back();
   }
 
