@@ -36,11 +36,20 @@ void KvHarness::BuildClients() {
     auto known_failed = std::make_shared<std::vector<bool>>(
         static_cast<size_t>(cfg_.fabric.num_nodes), false);
     membership_->Subscribe(known_failed);
+    // One membership-epoch stamp per client process, shared by its workers:
+    // bench verbs ride the same epoch-fenced path as production clients
+    // instead of stamping kNoFenceEpoch (which no fence ever rejects).
+    auto epoch = std::make_shared<fabric::ClientEpoch>();
+    epoch->value = membership_->epoch();
+    membership_->SubscribeEpoch(epoch);
     for (int w = 0; w < cfg_.workers_per_client; ++w) {
       clocks_.push_back(std::make_unique<GuessClock>(sim_.get(), skew));
       workers_.push_back(std::make_unique<Worker>(fabric_.get(), tid, cpus_.back().get(),
                                                   clocks_.back().get(), cfg_.proto, known_failed));
       Worker* worker = workers_.back().get();
+      worker->set_epoch(epoch);
+      worker->set_epoch_source(
+          [ms = membership_.get()] { return ms->ValidateEpoch(); });
       index::ClientCache* cache = caches_.back().get();
       if (cfg_.store == "swarm") {
         sessions_.push_back(std::make_unique<kv::SwarmKvSession>(worker, index_.get(), cache));

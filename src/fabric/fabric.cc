@@ -102,12 +102,27 @@ sim::Task<std::vector<OpResult>> PostMany(ClientCpu* cpu, sim::Simulator* sim,
   co_return std::move(*results);
 }
 
-Fabric::Fabric(sim::Simulator* sim, FabricConfig config) : sim_(sim), config_(config) {
-  nodes_.reserve(static_cast<size_t>(config_.num_nodes));
+Fabric::Fabric(sim::Simulator* sim, FabricConfig config)
+    : sim_(sim), config_(config),
+      max_nodes_(std::max(config.max_nodes, config.num_nodes)) {
+  nodes_.reserve(static_cast<size_t>(max_nodes_));
   for (int i = 0; i < config_.num_nodes; ++i) {
     nodes_.push_back(std::make_unique<MemoryNode>(config_.node_capacity_bytes));
   }
-  nic_free_.assign(static_cast<size_t>(config_.num_nodes), 0);
+  // Sized to the lifetime bound so hot-added nodes slot in without moving
+  // any per-node state.
+  nic_free_.assign(static_cast<size_t>(max_nodes_), 0);
+}
+
+int Fabric::AddNode() {
+  const int id = num_nodes();
+  if (id >= max_nodes_) {
+    return -1;  // Admission plans are bounded by config.max_nodes.
+  }
+  nodes_.push_back(std::make_unique<MemoryNode>(config_.node_capacity_bytes));
+  nodes_.back()->set_fence_epoch(fence_epoch_);
+  nodes_.back()->set_fence_enforced(fence_enforced_);
+  return id;
 }
 
 sim::Time Fabric::ReserveNicAtArrival(int node, sim::Time service) {
@@ -187,18 +202,18 @@ sim::Task<OpResult> Qp::Read(uint64_t addr, std::span<uint8_t> out) {
                    departure, exec]() mutable {
       MemoryNode& node = f.node(node_id);
       const FabricConfig& cfg = f.config();
-      const Status adm = node.VerbStatus(repair_ch, verb_epoch);
+      const Status adm = node.VerbStatus(repair_ch, verb_epoch, addr, out_len);
       if (adm == Status::kNodeFailed) {
         st->result.status = Status::kNodeFailed;
         sim->At(std::max(sim->Now(), departure + cfg.failure_detect_delay),
                 [done]() mutable { done.Add(1); });
         return;
       }
-      if (adm == Status::kStaleEpoch) {
-        // Epoch-fence rejection: the node actively NACKs, so the client
-        // learns at normal response speed rather than after the failure
-        // timeout.
-        st->result.status = Status::kStaleEpoch;
+      if (adm != Status::kOk) {
+        // Epoch-fence or retired-region rejection: the node actively NACKs,
+        // so the client learns at normal response speed rather than after
+        // the failure timeout.
+        st->result.status = adm;
         f.stats().bytes_from_nodes += kAckBytes;
         const sim::Time complete =
             exec + cfg.node_op_cost + f.SampleDelay() + f.LinkExtraDelay(node_id, true);
@@ -259,13 +274,13 @@ sim::Task<OpResult> Qp::Write(uint64_t addr, std::span<const uint8_t> data) {
   const uint8_t* src = data.data();
   const size_t len = data.size();
 
-  // Shared rejection tail: kNodeFailed times out, kStaleEpoch NACKs at
-  // response speed — unless the response leg drops, which hides the NACK
-  // and looks like a node failure to the client.
+  // Shared rejection tail: kNodeFailed times out, kStaleEpoch/kMovedReplica
+  // NACK at response speed — unless the response leg drops, which hides the
+  // NACK and looks like a node failure to the client.
   auto reject = [&f, sim, st, done, node_id, departure](Status adm, bool lost_resp) mutable {
     const FabricConfig& cfg = f.config();
-    if (adm == Status::kStaleEpoch && !lost_resp) {
-      st->result.status = Status::kStaleEpoch;
+    if ((adm == Status::kStaleEpoch || adm == Status::kMovedReplica) && !lost_resp) {
+      st->result.status = adm;
       f.stats().bytes_from_nodes += kAckBytes;
       const sim::Time complete =
           sim->Now() + cfg.node_op_cost + f.SampleDelay() + f.LinkExtraDelay(node_id, true);
@@ -285,7 +300,7 @@ sim::Task<OpResult> Qp::Write(uint64_t addr, std::span<const uint8_t> data) {
     auto tail = [&f, sim, st, done, node_id, repair_ch, verb_epoch, addr, src, len, staged,
                  drop_resp, reject]() mutable {
       MemoryNode& node = f.node(node_id);
-      const Status adm = node.VerbStatus(repair_ch, verb_epoch);
+      const Status adm = node.VerbStatus(repair_ch, verb_epoch, addr, len);
       if (adm != Status::kOk) {
         reject(adm, drop_resp);
         return;
@@ -305,7 +320,7 @@ sim::Task<OpResult> Qp::Write(uint64_t addr, std::span<const uint8_t> data) {
     if (staged) {
       const size_t half = len / 2;
       sim->At(start, [&f, node_id, repair_ch, verb_epoch, addr, src, half] {
-        if (f.node(node_id).Admits(repair_ch, verb_epoch) == Status::kOk) {
+        if (f.node(node_id).Admits(repair_ch, verb_epoch, addr, half) == Status::kOk) {
           f.node(node_id).WriteFrom(addr, std::span<const uint8_t>(src, half));
         }
       });
@@ -361,15 +376,16 @@ sim::Task<OpResult> Qp::Cas(uint64_t addr, uint64_t expected, uint64_t desired) 
                    departure, drop_resp]() mutable {
       MemoryNode& node = f.node(node_id);
       const FabricConfig& cfg = f.config();
-      const Status adm = node.VerbStatus(repair_ch, verb_epoch);
-      if (adm == Status::kNodeFailed || (adm == Status::kStaleEpoch && drop_resp)) {
+      const Status adm = node.VerbStatus(repair_ch, verb_epoch, addr, 8);
+      if (adm == Status::kNodeFailed || (adm != Status::kOk && drop_resp)) {
+        // A NACK whose response leg drops looks like a node failure.
         st->result.status = Status::kNodeFailed;
         sim->At(std::max(sim->Now(), departure + cfg.failure_detect_delay),
                 [done]() mutable { done.Add(1); });
         return;
       }
-      if (adm == Status::kStaleEpoch) {
-        st->result.status = Status::kStaleEpoch;
+      if (adm != Status::kOk) {
+        st->result.status = adm;
         f.stats().bytes_from_nodes += kAckBytes;
         const sim::Time complete =
             sim->Now() + cfg.node_op_cost + f.SampleDelay() + f.LinkExtraDelay(node_id, true);
@@ -446,15 +462,16 @@ sim::Task<OpResult> Qp::WriteThenCas(uint64_t waddr, std::span<const uint8_t> da
                    departure, drop_resp]() mutable {
     MemoryNode& node = f.node(node_id);
     const FabricConfig& cfg = f.config();
-    const Status adm = node.VerbStatus(repair_ch, verb_epoch);
-    if (adm == Status::kNodeFailed || (adm == Status::kStaleEpoch && drop_resp)) {
+    const Status adm = node.VerbStatus(repair_ch, verb_epoch, caddr, 8);
+    if (adm == Status::kNodeFailed || (adm != Status::kOk && drop_resp)) {
+      // A NACK whose response leg drops looks like a node failure.
       st->result.status = Status::kNodeFailed;
       sim->At(std::max(sim->Now(), departure + cfg.failure_detect_delay),
               [done]() mutable { done.Add(1); });
       return;
     }
-    if (adm == Status::kStaleEpoch) {
-      st->result.status = Status::kStaleEpoch;
+    if (adm != Status::kOk) {
+      st->result.status = adm;
       f.stats().bytes_from_nodes += kAckBytes;
       const sim::Time complete =
           sim->Now() + cfg.node_op_cost + f.SampleDelay() + f.LinkExtraDelay(node_id, true);
@@ -483,19 +500,20 @@ sim::Task<OpResult> Qp::WriteThenCas(uint64_t waddr, std::span<const uint8_t> da
     if (staged) {
       const size_t half = len / 2;
       sim->At(start, [&f, node_id, repair_ch, verb_epoch, waddr, src, half] {
-        if (f.node(node_id).Admits(repair_ch, verb_epoch) == Status::kOk) {
+        if (f.node(node_id).Admits(repair_ch, verb_epoch, waddr, half) == Status::kOk) {
           f.node(node_id).WriteFrom(waddr, std::span<const uint8_t>(src, half));
         }
       });
       sim->At(write_done, [&f, node_id, repair_ch, verb_epoch, waddr, src, half, len] {
-        if (f.node(node_id).Admits(repair_ch, verb_epoch) == Status::kOk) {
+        if (f.node(node_id).Admits(repair_ch, verb_epoch, waddr + half, len - half) ==
+            Status::kOk) {
           f.node(node_id).WriteFrom(waddr + half,
                                     std::span<const uint8_t>(src + half, len - half));
         }
       });
     } else {
       sim->At(write_done, [&f, node_id, repair_ch, verb_epoch, waddr, src, len] {
-        if (f.node(node_id).Admits(repair_ch, verb_epoch) == Status::kOk) {
+        if (f.node(node_id).Admits(repair_ch, verb_epoch, waddr, len) == Status::kOk) {
           f.node(node_id).WriteFrom(waddr, std::span<const uint8_t>(src, len));
         }
       });

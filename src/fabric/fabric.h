@@ -53,6 +53,11 @@ namespace swarm::fabric {
 
 struct FabricConfig {
   int num_nodes = 4;
+  // Upper bound on nodes over the fabric's lifetime (elastic membership:
+  // Fabric::AddNode admits fresh nodes up to this). 0 = num_nodes, i.e. a
+  // fixed-size cluster. Per-link fault state and the index pseudo-link are
+  // sized/positioned by this bound so they stay stable across hot-adds.
+  int max_nodes = 0;
   uint64_t node_capacity_bytes = 1ull << 30;
 
   // Latency model, calibrated so a small READ round-trips in ~1.9 us and a
@@ -276,7 +281,14 @@ class Fabric {
   sim::Simulator* sim() { return sim_; }
   const FabricConfig& config() const { return config_; }
   int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  int max_nodes() const { return max_nodes_; }
   MemoryNode& node(int i) { return *nodes_[static_cast<size_t>(i)]; }
+
+  // Hot-adds a brand-new (empty, serving-capable) memory node and returns
+  // its id. The node inherits the current fence epoch so verbs stamped
+  // before its admission epoch bump cannot land on it unnoticed. Fails an
+  // assert beyond config.max_nodes — admission plans are sized up front.
+  int AddNode();
 
   FabricStats& stats() { return stats_; }
 
@@ -294,8 +306,15 @@ class Fabric {
   // rejected at EVERY node from this instant on (§5.4 QP revocation — the
   // membership service instructs all memory nodes at once).
   void SetFenceEpoch(uint64_t epoch) {
+    fence_epoch_ = epoch;
     for (auto& n : nodes_) {
       n->set_fence_epoch(epoch);
+    }
+  }
+  void SetFenceEnforced(bool on) {
+    fence_enforced_ = on;
+    for (auto& n : nodes_) {
+      n->set_fence_enforced(on);
     }
   }
 
@@ -303,9 +322,10 @@ class Fabric {
   // (link_delay_fn / drop_fn) are keyed by link, and the index server rides
   // one more link beyond the memory nodes so fault scenarios can open
   // index/data inconsistency windows. chaos_link_count() sizes per-link
-  // fault state.
-  int index_link() const { return num_nodes(); }
-  int chaos_link_count() const { return num_nodes() + 1; }
+  // fault state. Both are anchored at max_nodes so they are STABLE across
+  // node hot-adds (per-link chaos arrays never need to move).
+  int index_link() const { return max_nodes_; }
+  int chaos_link_count() const { return max_nodes_ + 1; }
 
   // Installs/replaces the chaos hooks after construction (the chaos engine
   // is built around an existing fabric). Pass {} to uninstall.
@@ -350,6 +370,9 @@ class Fabric {
 
   sim::Simulator* sim_;
   FabricConfig config_;
+  int max_nodes_;
+  uint64_t fence_epoch_ = 0;      // Applied to hot-added nodes on AddNode.
+  bool fence_enforced_ = true;    // Likewise (epoch-fencing canary knob).
   std::vector<std::unique_ptr<MemoryNode>> nodes_;
   std::vector<sim::Time> nic_free_;
   FabricStats stats_;

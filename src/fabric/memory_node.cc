@@ -56,4 +56,32 @@ void MemoryNode::Recover(bool preserve_reservations) {
   }
 }
 
+void MemoryNode::RetireRegion(uint64_t addr, uint64_t len) {
+  if (len == 0) {
+    return;
+  }
+  retired_.emplace_back(addr, addr + len);
+}
+
+void MemoryNode::RestoreRegion(uint64_t addr, uint64_t len) {
+  const std::pair<uint64_t, uint64_t> interval(addr, addr + len);
+  for (size_t i = 0; i < retired_.size(); ++i) {
+    if (retired_[i] == interval) {
+      retired_[i] = retired_.back();
+      retired_.pop_back();
+      return;
+    }
+  }
+}
+
+bool MemoryNode::RegionRetired(uint64_t addr, uint64_t len) const {
+  const uint64_t end = addr + (len > 0 ? len : 1);
+  for (const auto& [b, e] : retired_) {
+    if (addr < e && end > b) {
+      return true;
+    }
+  }
+  return false;
+}
+
 }  // namespace swarm::fabric

@@ -13,6 +13,8 @@
 #include <cstdlib>
 #include <memory>
 #include <span>
+#include <utility>
+#include <vector>
 
 #include "src/fabric/verbs.h"
 #include "src/sim/time.h"
@@ -79,28 +81,45 @@ class MemoryNode {
   bool Rejects(bool repair_channel) const {
     return failed_ || (repair_fenced_ && !repair_channel);
   }
-  // Full admission decision for a verb stamped with `verb_epoch`:
-  // kNodeFailed dominates (a dead node cannot NACK), then the epoch fence.
+  // Full admission decision for a verb stamped with `verb_epoch` targeting
+  // [addr, addr+len): kNodeFailed dominates (a dead node cannot NACK), then
+  // the epoch fence, then region retirement (migrated-away extents).
   // Counts the pre-fix exposure; a verb's INTERMEDIATE events (staged write
   // halves, the write leg of a pipelined series) must use Admits() instead
   // so each stale verb lands in the counter exactly once.
-  Status VerbStatus(bool repair_channel, uint64_t verb_epoch) const {
-    const Status s = Admits(repair_channel, verb_epoch);
+  Status VerbStatus(bool repair_channel, uint64_t verb_epoch, uint64_t addr, uint64_t len) const {
+    const Status s = Admits(repair_channel, verb_epoch, addr, len);
     if (s == Status::kOk && !repair_channel && verb_epoch < fence_epoch_) {
       ++stale_landings_;  // Pre-fix build: trusted anyway. Count the exposure.
     }
     return s;
   }
   // Same decision, no exposure accounting.
-  Status Admits(bool repair_channel, uint64_t verb_epoch) const {
+  Status Admits(bool repair_channel, uint64_t verb_epoch, uint64_t addr, uint64_t len) const {
     if (Rejects(repair_channel)) {
       return Status::kNodeFailed;
     }
     if (!repair_channel && verb_epoch < fence_epoch_ && fence_enforced_) {
       return Status::kStaleEpoch;
     }
+    if (!repair_channel && !retired_.empty() && RegionRetired(addr, len)) {
+      return Status::kMovedReplica;
+    }
     return Status::kOk;
   }
+
+  // --- Region retirement (live extent migration). ---
+  // Marks [addr, addr+len) as migrated away: every later non-repair-channel
+  // verb touching the interval is NACKed with kMovedReplica. The migration
+  // coordinator's repair channel stays exempt so it can harvest the frozen
+  // final state. Retirement survives Recover(preserve_reservations): a
+  // crash-repair cycle must not resurrect a region whose ownership moved.
+  void RetireRegion(uint64_t addr, uint64_t len);
+  // Aborted migration (pre-remap): lifts the fence so the cluster is exactly
+  // as before the attempt.
+  void RestoreRegion(uint64_t addr, uint64_t len);
+  bool RegionRetired(uint64_t addr, uint64_t len) const;
+  size_t retired_region_count() const { return retired_.size(); }
 
   // Extra per-op delay (simulates an overloaded or distant node).
   void set_extra_delay(sim::Time d) { extra_delay_ = d; }
@@ -118,6 +137,9 @@ class MemoryNode {
   uint64_t next_free_ = 64;  // Address 0 is reserved as a null pointer.
   bool failed_ = false;
   bool repair_fenced_ = false;
+  // Retired [begin, end) intervals, unordered; migrations retire a handful
+  // of regions per moved extent, so a linear overlap scan is fine.
+  std::vector<std::pair<uint64_t, uint64_t>> retired_;
   uint64_t fence_epoch_ = 0;  // 0 = never fenced; every stamp passes.
   bool fence_enforced_ = true;
   mutable uint64_t stale_landings_ = 0;

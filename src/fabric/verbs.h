@@ -27,6 +27,13 @@ enum class Status : uint8_t {
   // carries NO information about object state: the issuing client must
   // re-validate its membership epoch, re-arm its queue pairs and retry.
   kStaleEpoch = 2,
+  // The verb targeted a region whose replica was migrated away (live
+  // extent migration): ownership of the object has been flipped to a new
+  // layout and this region is permanently retired. Like kStaleEpoch the
+  // verb had NO effect, but the signal is per-REGION, not per-epoch: the
+  // client's queue pair stays armed and the client re-locates the object
+  // through the index instead of re-validating membership.
+  kMovedReplica = 3,
 };
 
 struct OpResult {

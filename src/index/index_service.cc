@@ -80,6 +80,23 @@ sim::Task<bool> IndexService::RemoveIfGeneration(uint64_t key, uint64_t generati
   co_return removed;
 }
 
+sim::Task<uint64_t> IndexService::ReplaceLayout(uint64_t key, uint64_t expected_generation,
+                                                std::shared_ptr<const ObjectLayout> layout,
+                                                fabric::ClientCpu* cpu) {
+  co_await Roundtrip(cpu);
+  ++stats_.inserts;
+  uint64_t new_generation = 0;
+  auto it = map_.find(key);
+  if (it != map_.end() && it->second.generation == expected_generation) {
+    Retire(std::move(it->second.layout), /*moved=*/true);
+    it->second.layout = std::move(layout);
+    it->second.generation = next_generation_++;
+    new_generation = it->second.generation;
+  }
+  co_await Leg(/*response=*/true);
+  co_return new_generation;
+}
+
 std::vector<std::pair<uint64_t, IndexEntry>> IndexService::SnapshotSorted() const {
   std::vector<std::pair<uint64_t, IndexEntry>> entries(map_.begin(), map_.end());
   std::sort(entries.begin(), entries.end(),

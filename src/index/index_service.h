@@ -67,14 +67,32 @@ class IndexService {
   // background unmap after a delete). Returns true if removed.
   sim::Task<bool> RemoveIfGeneration(uint64_t key, uint64_t generation, fabric::ClientCpu* cpu);
 
+  // The migration flip's index half: atomically swaps the key's layout for
+  // `layout` (the destination replica set) iff the mapping still exists at
+  // `expected_generation`, bumping the generation so every cached Located
+  // goes stale. Returns the new generation, or 0 when the guard failed (a
+  // concurrent delete unmapped the key, or a racing re-insert replaced it) —
+  // the migration then aborts and the destination copy is abandoned. The old
+  // layout enters the retired list as MOVED: still referenceable by stale
+  // caches (so GC keeps it quarantined), but its replica slots are
+  // permanently fenced, so repair must NOT restore them.
+  sim::Task<uint64_t> ReplaceLayout(uint64_t key, uint64_t expected_generation,
+                                    std::shared_ptr<const ObjectLayout> layout,
+                                    fabric::ClientCpu* cpu);
+
   // Keeps a layout alive after its mapping is removed: background straggler
   // tasks (verified promotions, write-backs) and stale-cached clients may
   // still reference it, so repair must keep restoring it. Retirement is
   // coupled to the memory recycler's epochs (set_retirement_horizon): each
   // entry is tagged with the recycler epoch current at retirement, and once
   // the safe horizon passes it the layout is dropped for good.
-  void Retire(std::shared_ptr<const ObjectLayout> layout) {
-    retired_.push_back({std::move(layout), retire_epoch_fn_ ? retire_epoch_fn_() : 0, false});
+  void Retire(std::shared_ptr<const ObjectLayout> layout) { Retire(std::move(layout), false); }
+  // `moved` marks a layout retired by a migration flip rather than a delete:
+  // its regions are fenced on the source nodes (kMovedReplica) and the
+  // authoritative state lives in the replacement layout, so the repair walk
+  // must skip it — restoring it would write stale state behind the fence.
+  void Retire(std::shared_ptr<const ObjectLayout> layout, bool moved) {
+    retired_.push_back({std::move(layout), retire_epoch_fn_ ? retire_epoch_fn_() : 0, false, moved});
     GcRetired();  // Opportunistic: churn keeps the list bounded by itself.
   }
 
@@ -84,6 +102,7 @@ class IndexService {
     std::shared_ptr<const ObjectLayout> layout;
     uint64_t epoch = 0;
     bool caches_notified = false;  // §4.5 drop message sent (GC listeners ran).
+    bool moved = false;            // Migrated away: repair must not restore it.
   };
 
   // Retired layouts still inside the recycler's safe horizon, in retirement

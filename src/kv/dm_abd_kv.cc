@@ -2,6 +2,7 @@
 
 #include "src/hash/xxhash.h"
 #include "src/sim/sync.h"
+#include "src/swarm/placement.h"
 
 namespace swarm::kv {
 namespace {
@@ -19,9 +20,18 @@ KvStatus MapStatus(SgStatus s) {
       return KvStatus::kNotFound;
     case SgStatus::kUnavailable:
       return KvStatus::kUnavailable;
+    case SgStatus::kMoved:
+      // Only surfaces when a moved bounce could not be resolved by
+      // re-locating (the op loops intercept kMoved first): the op provably
+      // had no effect, so pending/unavailable is the safe report.
+      return KvStatus::kUnavailable;
   }
   return KvStatus::kUnavailable;
 }
+
+// Index re-lookups HandleMoved spends waiting for an in-flight ownership
+// flip to commit before handing the mapping back to the attempt loop.
+constexpr int kMovedLookupRetries = 6;
 
 }  // namespace
 
@@ -30,9 +40,7 @@ std::shared_ptr<const ObjectLayout> DmAbdKvSession::AllocateForKey(uint64_t key)
   const int n = worker_->fabric()->num_nodes();
   int nodes[kMaxReplicas];
   const uint64_t h = hash::Mix64(key, 0x414244);  // "ABD"
-  for (int i = 0; i < cfg.replicas; ++i) {
-    nodes[i] = static_cast<int>((h + static_cast<uint64_t>(i)) % static_cast<uint64_t>(n));
-  }
+  PlaceReplicas(h, cfg.replicas, n, serving_.get(), nodes);
   // One shared metadata word, no in-place region: pure out-of-place ABD.
   return std::make_shared<ObjectLayout>(AllocateObject(*worker_->fabric(), nodes, cfg.replicas,
                                                        /*meta_slots=*/1, /*max_writers=*/1,
@@ -93,9 +101,41 @@ sim::Task<DmAbdKvSession::Located> DmAbdKvSession::HandleDeleted(uint64_t key,
   co_return loc;
 }
 
+sim::Task<DmAbdKvSession::Located> DmAbdKvSession::HandleMoved(uint64_t key,
+                                                               uint64_t stale_generation,
+                                                               KvResult* result) {
+  // See SwarmKvSession::HandleMoved — identical chase: either the flip
+  // commits (new generation), the migration aborts (same generation, fence
+  // lifted), or a concurrent delete finishes (entry gone). Never unmap.
+  Located loc;
+  cache_->Invalidate(key);
+  for (int i = 0; i < kMovedLookupRetries; ++i) {
+    auto idx = co_await index_->Lookup(key, worker_->cpu());
+    ++result->rtts;
+    if (!idx.has_value()) {
+      co_return loc;
+    }
+    loc.found = true;
+    loc.layout = idx->layout;
+    loc.obj_cache = worker_->SlotCacheFor(idx->layout.get());
+    loc.generation = idx->generation;
+    if (idx->generation != stale_generation) {
+      index::CacheEntry entry;
+      entry.layout = loc.layout;
+      entry.generation = loc.generation;
+      entry.obj_cache = loc.obj_cache;
+      cache_->Put(key, std::move(entry));
+      co_return loc;
+    }
+    co_await worker_->sim()->Delay(worker_->config().escalation_timeout);
+  }
+  co_return loc;
+}
+
 sim::Task<KvResult> DmAbdKvSession::Get(uint64_t key) {
   KvResult result;
   Located loc = co_await Locate(key, &result);
+  bool moved = false;
   for (int attempt = 0; attempt < 3; ++attempt) {
     if (!loc.found) {
       result.status = KvStatus::kNotFound;
@@ -108,19 +148,27 @@ sim::Task<KvResult> DmAbdKvSession::Get(uint64_t key) {
       loc = co_await HandleDeleted(key, loc.generation, &result);
       continue;
     }
+    if (r.status == SgStatus::kMoved) {
+      moved = true;
+      loc = co_await HandleMoved(key, loc.generation, &result);
+      continue;
+    }
     result.status = MapStatus(r.status);
     if (r.status == SgStatus::kOk) {
       result.value = std::move(r.value);
     }
     co_return result;
   }
-  result.status = KvStatus::kNotFound;
+  // Exhausted chasing a migration fence: the key may be alive on the new
+  // layout, so only unavailability is safe to report.
+  result.status = moved ? KvStatus::kUnavailable : KvStatus::kNotFound;
   co_return result;
 }
 
 sim::Task<KvResult> DmAbdKvSession::Update(uint64_t key, std::span<const uint8_t> value) {
   KvResult result;
   Located loc = co_await Locate(key, &result);
+  bool moved = false;
   for (int attempt = 0; attempt < 3; ++attempt) {
     if (!loc.found) {
       result.status = KvStatus::kNotFound;
@@ -133,10 +181,17 @@ sim::Task<KvResult> DmAbdKvSession::Update(uint64_t key, std::span<const uint8_t
       loc = co_await HandleDeleted(key, loc.generation, &result);
       continue;
     }
+    if (r.status == SgStatus::kMoved) {
+      // kMoved guarantees the write took NO effect on the fenced layout, so
+      // re-executing it against the post-flip layout is a plain retry.
+      moved = true;
+      loc = co_await HandleMoved(key, loc.generation, &result);
+      continue;
+    }
     result.status = MapStatus(r.status);
     co_return result;
   }
-  result.status = KvStatus::kNotFound;
+  result.status = moved ? KvStatus::kUnavailable : KvStatus::kNotFound;
   co_return result;
 }
 
@@ -173,6 +228,20 @@ sim::Task<KvResult> DmAbdKvSession::Insert(uint64_t key, std::span<const uint8_t
   AbdObject existing(worker_, loc.layout.get(), loc.obj_cache);
   SgWriteResult wr2 = co_await existing.Write(value);
   result.rtts += wr2.rtts;
+  if (wr2.status == SgStatus::kMoved) {
+    // The existing mapping migrated mid-write with provably no effect:
+    // re-locate once and re-run the value write on the post-flip layout.
+    Located moved_loc = co_await HandleMoved(key, loc.generation, &result);
+    if (!moved_loc.found) {
+      result.status = KvStatus::kNotFound;  // A concurrent delete finished.
+      co_return result;
+    }
+    AbdObject moved_obj(worker_, moved_loc.layout.get(), moved_loc.obj_cache);
+    SgWriteResult wr3 = co_await moved_obj.Write(value);
+    result.rtts += wr3.rtts;
+    result.status = wr3.status == SgStatus::kOk ? KvStatus::kExists : MapStatus(wr3.status);
+    co_return result;
+  }
   result.status = wr2.status == SgStatus::kOk ? KvStatus::kExists : MapStatus(wr2.status);
   co_return result;
 }
@@ -180,6 +249,7 @@ sim::Task<KvResult> DmAbdKvSession::Insert(uint64_t key, std::span<const uint8_t
 sim::Task<KvResult> DmAbdKvSession::Remove(uint64_t key) {
   KvResult result;
   Located loc = co_await Locate(key, &result);
+  bool moved = false;
   for (int attempt = 0; attempt < 3; ++attempt) {
     if (!loc.found) {
       result.status = KvStatus::kNotFound;
@@ -188,6 +258,13 @@ sim::Task<KvResult> DmAbdKvSession::Remove(uint64_t key) {
     AbdObject obj(worker_, loc.layout.get(), loc.obj_cache);
     SgWriteResult del = co_await obj.Delete();
     result.rtts += del.rtts;
+    if (del.status == SgStatus::kMoved) {
+      // Effect-free bounce off a migration fence: the tombstone never landed,
+      // so re-executing the delete on the post-flip layout is safe.
+      moved = true;
+      loc = co_await HandleMoved(key, loc.generation, &result);
+      continue;
+    }
     if (del.status == SgStatus::kDeleted) {
       // Another deleter's tombstone is on this object too. If the index
       // still maps OUR generation (concurrent removes racing on the live
@@ -222,7 +299,7 @@ sim::Task<KvResult> DmAbdKvSession::Remove(uint64_t key) {
     }
     co_return result;
   }
-  result.status = KvStatus::kNotFound;
+  result.status = moved ? KvStatus::kUnavailable : KvStatus::kNotFound;
   co_return result;
 }
 

@@ -9,6 +9,7 @@
 #define SWARM_SRC_KV_DM_ABD_KV_H_
 
 #include <memory>
+#include <vector>
 
 #include "src/index/client_cache.h"
 #include "src/index/index_service.h"
@@ -28,6 +29,12 @@ class DmAbdKvSession : public KvSession {
   sim::Task<KvResult> Insert(uint64_t key, std::span<const uint8_t> value) override;
   sim::Task<KvResult> Remove(uint64_t key) override;
 
+  // Placement filter for fresh inserts (MembershipService::serving()).
+  // Unset = place on all nodes.
+  void set_serving(std::shared_ptr<const std::vector<bool>> serving) {
+    serving_ = std::move(serving);
+  }
+
  private:
   struct Located {
     bool found = false;
@@ -39,11 +46,15 @@ class DmAbdKvSession : public KvSession {
 
   sim::Task<Located> Locate(uint64_t key, KvResult* result);
   sim::Task<Located> HandleDeleted(uint64_t key, uint64_t stale_generation, KvResult* result);
+  // Chases the index after a migration-fence bounce (see SwarmKvSession's
+  // HandleMoved): never unmaps — the key is alive, just in transit.
+  sim::Task<Located> HandleMoved(uint64_t key, uint64_t stale_generation, KvResult* result);
   std::shared_ptr<const ObjectLayout> AllocateForKey(uint64_t key);
 
   Worker* worker_;
   index::IndexService* index_;
   index::ClientCache* cache_;
+  std::shared_ptr<const std::vector<bool>> serving_;
 };
 
 }  // namespace swarm::kv

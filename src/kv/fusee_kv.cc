@@ -6,6 +6,7 @@
 
 #include "src/hash/xxhash.h"
 #include "src/sim/sync.h"
+#include "src/swarm/placement.h"
 
 namespace swarm::kv {
 namespace {
@@ -25,6 +26,20 @@ uint64_t PackHeader(uint64_t gen, uint64_t flags) { return (gen << 8) | flags; }
 uint64_t HeaderGen(uint64_t hdr) { return hdr >> 8; }
 bool HeaderHas(uint64_t hdr, uint64_t flag) { return (hdr & flag) != 0; }
 
+// A verb bounced off a migration's slot fence: a per-region no-effect NACK.
+// NOT a node failure — starting FUSEE's multi-phase recovery for it would
+// stall the whole store 40 ms on a healthy node. The client invalidates its
+// cache, waits out a slice of the copy window, and retries; the directory
+// flip is picked up because sessions re-read the KeyMeta fields each attempt.
+bool Moved(const fabric::OpResult& r) { return r.status == fabric::Status::kMovedReplica; }
+
+// How long a bounced client waits before re-consulting the directory, and
+// how many bounces it absorbs without burning its attempt budget. The fenced
+// window lasts one quorum copy (a handful of roundtrips plus the migration's
+// retry rounds), so a dozen 10 us waits spans it comfortably.
+constexpr sim::Time kMovedRetryDelay = 10 * sim::kMicrosecond;
+constexpr int kMovedRetryBudget = 12;
+
 }  // namespace
 
 FuseeStore::KeyMeta& FuseeStore::MetaFor(uint64_t key) {
@@ -35,17 +50,21 @@ FuseeStore::KeyMeta& FuseeStore::MetaFor(uint64_t key) {
   KeyMeta meta;
   const int n = fabric_->num_nodes();
   const uint64_t h = hash::Mix64(key, 0x465553454545);  // "FUSEE"
-  meta.primary = static_cast<int>(h % static_cast<uint64_t>(n));
-  meta.backup = (meta.primary + 1) % n;
+  int nodes[2];
+  PlaceReplicas(h, 2, n, serving_.get(), nodes);
+  meta.primary = nodes[0];
+  meta.backup = nodes[1];
   meta.index_addr_primary = fabric_->node(meta.primary).Allocate(8);
   meta.index_addr_backup = fabric_->node(meta.backup).Allocate(8);
   return directory_.emplace(key, meta).first->second;
 }
 
 void FuseeStore::StartRecovery(int failed_node) {
-  if (static_cast<size_t>(failed_node) < failed_nodes_.size()) {
-    failed_nodes_[static_cast<size_t>(failed_node)] = true;
+  const auto idx = static_cast<size_t>(failed_node);
+  if (idx >= failed_nodes_.size()) {
+    failed_nodes_.resize(idx + 1, false);  // Hot-added node ids grow the map.
   }
+  failed_nodes_[idx] = true;
   const sim::Time until = fabric_->sim()->Now() + recovery_duration_;
   if (until > recovering_until_) {
     recovering_until_ = until;
@@ -53,8 +72,11 @@ void FuseeStore::StartRecovery(int failed_node) {
 }
 
 uint32_t FuseeKvSession::LogSlot(int node) {
-  if (log_slots_.empty()) {
-    log_slots_.assign(static_cast<size_t>(worker_->fabric()->num_nodes()), 0);
+  // Re-check the size on every call, not just the first: a node hot-added
+  // since this session's first write (elastic membership) must get a slot.
+  const auto needed = static_cast<size_t>(worker_->fabric()->num_nodes());
+  if (log_slots_.size() < needed) {
+    log_slots_.resize(needed, 0);
   }
   uint32_t& slot = log_slots_[static_cast<size_t>(node)];
   if (slot == 0) {
@@ -249,9 +271,189 @@ sim::Task<repair::RepairOutcome> FuseeStore::RepairNode(int node, Worker* worker
   co_return out;
 }
 
+sim::Task<bool> FuseeStore::MigrateKey(uint64_t key, int from, Worker* worker,
+                                       bool disable_flip_fence) {
+  auto it = directory_.find(key);
+  if (it == directory_.end()) {
+    co_return true;  // Never placed: nothing to move.
+  }
+  KeyMeta& meta = it->second;
+  if (meta.primary != from && meta.backup != from) {
+    co_return true;  // Already elsewhere (or a racing move beat us).
+  }
+  // Migrate-vs-repair arbitration: a store in recovery, or a key with either
+  // home failed or mid-repair, belongs to the repair path. Skip; the caller
+  // revisits once the node is readmitted.
+  if (InRecovery() || NodeFailed(meta.primary) || NodeFailed(meta.backup) ||
+      worker->NodeQuorumExcluded(meta.primary) || worker->NodeQuorumExcluded(meta.backup)) {
+    ++keys_aborted_;
+    co_return false;
+  }
+  const int survivor = meta.primary == from ? meta.backup : meta.primary;
+  int dest = -1;
+  {
+    std::vector<int> candidates;
+    const int n = fabric_->num_nodes();
+    for (int i = 0; i < n; ++i) {
+      const auto idx = static_cast<size_t>(i);
+      const bool serving = serving_ == nullptr || serving_->empty() ||
+                           (idx < serving_->size() && (*serving_)[idx]);
+      if (serving && !NodeFailed(i) && !worker->NodeQuorumExcluded(i) && i != from &&
+          i != survivor) {
+        candidates.push_back(i);
+      }
+    }
+    if (candidates.empty()) {
+      ++keys_aborted_;
+      co_return false;
+    }
+    dest = candidates[(key * 0x9E3779B97F4A7C15ull) % candidates.size()];
+  }
+  const int np = meta.primary == from ? dest : meta.primary;
+  const int nb = meta.backup == from ? dest : meta.backup;
+  const int old_primary = meta.primary;
+  const int old_backup = meta.backup;
+  const uint64_t old_slot_primary = meta.index_addr_primary;
+  const uint64_t old_slot_backup = meta.index_addr_backup;
+
+  // Fence BOTH old slots: from here no client CAS can commit, so the single
+  // harvest below is final — contrast RepairNode, which copies from a live
+  // slot and must re-validate after every install.
+  if (!disable_flip_fence) {
+    fabric_->node(old_primary).RetireRegion(old_slot_primary, 8);
+    fabric_->node(old_backup).RetireRegion(old_slot_backup, 8);
+  }
+
+  // Harvest the fenced primary word and its block through the repair channel
+  // (which passes the fence). Bounded retries cover chaos drop bursts only.
+  const uint32_t max_value = worker->config().max_value;
+  uint64_t word = 0;
+  std::vector<uint8_t> bytes;
+  bool harvested = false;
+  for (int attempt = 0; attempt < 4 && !harvested; ++attempt) {
+    std::array<uint8_t, 8> ibuf{};
+    fabric::OpResult ir = co_await worker->qp(old_primary).Read(old_slot_primary, ibuf);
+    if (!ir.ok()) {
+      continue;
+    }
+    std::memcpy(&word, ibuf.data(), 8);
+    if (word == 0) {
+      harvested = true;  // Key absent; the new home starts absent too.
+      break;
+    }
+    std::vector<uint8_t> block(kOopHeaderBytes + max_value);
+    fabric::OpResult br = co_await worker->qp(old_primary).Read(
+        static_cast<uint64_t>(OopOf(word)) * kOopGranuleBytes, block);
+    if (!br.ok()) {
+      continue;
+    }
+    BlockParse p = ParseBlock(std::move(block), max_value, word);
+    if (p.ok) {
+      bytes = std::move(p.bytes);
+      harvested = true;
+    }
+  }
+
+  // Install at the new home: fresh index slots on both roles (a role staying
+  // on its node still gets a new address — its old slot is fenced for good),
+  // and fresh block copies under the harvested generation.
+  uint32_t np_oop = 0;
+  uint32_t nb_oop = 0;
+  bool installed = harvested;
+  uint64_t np_slot = 0;
+  uint64_t nb_slot = 0;
+  if (harvested) {
+    np_slot = fabric_->node(np).Allocate(8);
+    nb_slot = fabric_->node(nb).Allocate(8);
+  }
+  if (harvested && word != 0) {
+    np_oop = worker->pool(np).AllocIdx();
+    nb_oop = worker->pool(nb).AllocIdx();
+    std::vector<uint8_t> image(kOopHeaderBytes + bytes.size());
+    const uint64_t hdr = PackHeader(GenOf(word), kBlockValid);
+    const uint64_t len = bytes.size();
+    std::memcpy(image.data(), &hdr, 8);
+    std::memcpy(image.data() + 8, &len, 8);
+    std::memcpy(image.data() + 16, bytes.data(), bytes.size());
+    std::vector<uint8_t> wp(8);
+    std::vector<uint8_t> wb(8);
+    const uint64_t word_p = PackIndexWord(GenOf(word), np_oop);
+    const uint64_t word_b = PackIndexWord(GenOf(word), nb_oop);
+    std::memcpy(wp.data(), &word_p, 8);
+    std::memcpy(wb.data(), &word_b, 8);
+    fabric::OpResult b1 = co_await worker->qp(np).Write(
+        static_cast<uint64_t>(np_oop) * kOopGranuleBytes, image);
+    fabric::OpResult b2 = co_await worker->qp(nb).Write(
+        static_cast<uint64_t>(nb_oop) * kOopGranuleBytes, image);
+    fabric::OpResult s1 = co_await worker->qp(np).Write(np_slot, wp);
+    fabric::OpResult s2 = co_await worker->qp(nb).Write(nb_slot, wb);
+    installed = b1.ok() && b2.ok() && s1.ok() && s2.ok();
+  }
+  if (!installed) {
+    // Abort: restore the fences, reclaim the new blocks, directory
+    // untouched — the cluster is exactly as before the attempt (the fresh
+    // 8 B slots are abandoned).
+    if (np_oop != 0) {
+      worker->pool(np).Free(np_oop);
+    }
+    if (nb_oop != 0) {
+      worker->pool(nb).Free(nb_oop);
+    }
+    if (!disable_flip_fence) {
+      fabric_->node(old_primary).RestoreRegion(old_slot_primary, 8);
+      fabric_->node(old_backup).RestoreRegion(old_slot_backup, 8);
+    }
+    ++keys_aborted_;
+    co_return false;
+  }
+
+  // Flip: in-sim atomic (no suspension between field writes). Sessions hold
+  // KeyMeta references and re-read the fields each attempt, so the new home
+  // is picked up on their next retry; `moves` tells an op that straddled the
+  // flip to skip its superseded-block GC. The old fenced slots stay retired
+  // forever — their 8 bytes are dead.
+  const uint32_t old_primary_oop = word != 0 ? OopOf(word) : 0;
+  const uint32_t old_backup_oop = meta.last_backup_oop;
+  meta.primary = np;
+  meta.backup = nb;
+  meta.index_addr_primary = np_slot;
+  meta.index_addr_backup = nb_slot;
+  meta.last_backup_oop = nb_oop;
+  ++meta.moves;
+  if (old_primary_oop != 0) {
+    worker->pool(old_primary).Free(old_primary_oop);
+  }
+  if (word != 0 && old_backup_oop != 0) {
+    // Absent keys leave the old backup block alone: an in-flight Remove past
+    // its CAS still owns that free.
+    worker->pool(old_backup).Free(old_backup_oop);
+  }
+  ++keys_moved_;
+  co_return true;
+}
+
+sim::Task<uint64_t> FuseeStore::MigrateNode(int node, Worker* worker, bool disable_flip_fence) {
+  std::vector<uint64_t> keys;
+  keys.reserve(directory_.size());
+  for (const auto& [key, meta] : directory_) {
+    if (meta.primary == node || meta.backup == node) {
+      keys.push_back(key);
+    }
+  }
+  std::sort(keys.begin(), keys.end());
+  uint64_t remaining = 0;
+  for (uint64_t key : keys) {
+    if (!co_await MigrateKey(key, node, worker, disable_flip_fence)) {
+      ++remaining;
+    }
+  }
+  co_return remaining;
+}
+
 sim::Task<KvResult> FuseeKvSession::Get(uint64_t key) {
   KvResult result;
   FuseeStore::KeyMeta& meta = store_->MetaFor(key);
+  int moved_budget = kMovedRetryBudget;
   for (int attempt = 0; attempt < 3; ++attempt) {
     if (!co_await AwaitUsable(meta)) {
       result.status = KvStatus::kUnavailable;
@@ -281,6 +483,16 @@ sim::Task<KvResult> FuseeKvSession::Get(uint64_t key) {
           qp.Read(static_cast<uint64_t>(OopOf(word)) * kOopGranuleBytes, block),
           qp.Read(index_addr, ibuf));
       ++result.rtts;
+      if (Moved(ir)) {
+        // The slot is fenced mid-migration: re-consult the directory after a
+        // slice of the copy window, without burning the attempt budget.
+        cache_->Invalidate(key);
+        if (moved_budget-- > 0) {
+          --attempt;
+        }
+        co_await worker_->sim()->Delay(kMovedRetryDelay);
+        continue;
+      }
       if (!br.ok() || !ir.ok()) {
         node_error = true;
       } else {
@@ -311,6 +523,14 @@ sim::Task<KvResult> FuseeKvSession::Get(uint64_t key) {
       std::array<uint8_t, 8> buf{};
       fabric::OpResult r = co_await qp.Read(index_addr, buf);
       ++result.rtts;
+      if (Moved(r)) {
+        cache_->Invalidate(key);
+        if (moved_budget-- > 0) {
+          --attempt;
+        }
+        co_await worker_->sim()->Delay(kMovedRetryDelay);
+        continue;
+      }
       if (!r.ok()) {
         node_error = true;
       } else {
@@ -398,13 +618,20 @@ sim::Task<KvResult> FuseeKvSession::WriteInternal(uint64_t key, std::span<const 
     }
     return false;
   };
+  int moved_budget = kMovedRetryBudget;
   for (int attempt = 0; attempt < 3; ++attempt) {
     if (!co_await AwaitUsable(meta)) {
       result.status = KvStatus::kUnavailable;
       co_return result;
     }
+    // Snapshot the key's home for this attempt: a migration flip rewrites
+    // the KeyMeta fields mid-op, and the cleanup below must target the nodes
+    // this attempt actually wrote.
+    const uint64_t moves_at_start = meta.moves;
     const int primary = ActingPrimary(meta);
-    const bool backup_alive = !store_->NodeFailed(meta.backup) && primary != meta.backup;
+    const int backup_node = meta.backup;
+    const uint64_t backup_slot = meta.index_addr_backup;
+    const bool backup_alive = !store_->NodeFailed(backup_node) && primary != backup_node;
     const uint64_t index_addr =
         primary == meta.primary ? meta.index_addr_primary : meta.index_addr_backup;
     fabric::Qp& qp = worker_->qp(primary);
@@ -418,7 +645,7 @@ sim::Task<KvResult> FuseeKvSession::WriteInternal(uint64_t key, std::span<const 
 
     const uint64_t gen = store_->NextGeneration();
     const uint32_t oop_primary = worker_->pool(primary).AllocIdx();
-    const uint32_t oop_backup = backup_alive ? worker_->pool(meta.backup).AllocIdx() : 0;
+    const uint32_t oop_backup = backup_alive ? worker_->pool(backup_node).AllocIdx() : 0;
     const uint64_t new_word = PackIndexWord(gen, oop_primary);
     const uint64_t new_word_backup = PackIndexWord(gen, oop_backup);
 
@@ -435,13 +662,13 @@ sim::Task<KvResult> FuseeKvSession::WriteInternal(uint64_t key, std::span<const 
       auto [a, b] = co_await fabric::PostBoth(
           worker_->cpu(), worker_->sim(),
           qp.Write(static_cast<uint64_t>(oop_primary) * kOopGranuleBytes, block),
-          worker_->qp(meta.backup)
+          worker_->qp(backup_node)
               .Write(static_cast<uint64_t>(oop_backup) * kOopGranuleBytes, block));
       if (!a.ok()) {
         w1 = a;  // The acting primary failed.
       } else if (!b.ok()) {
         w1 = b;
-        failed_node = meta.backup;  // Attribute the failure correctly.
+        failed_node = backup_node;  // Attribute the failure correctly.
       } else {
         w1 = a;
       }
@@ -473,6 +700,20 @@ sim::Task<KvResult> FuseeKvSession::WriteInternal(uint64_t key, std::span<const 
       std::array<uint8_t, 8> buf{};
       fabric::OpResult ir = co_await qp.Read(index_addr, buf);
       ++result.rtts;
+      if (Moved(ir)) {
+        // Fenced mid-migration before anything committed: reclaim this
+        // attempt's blocks and retry against the post-flip home.
+        worker_->pool(primary).Free(oop_primary);
+        if (backup_alive) {
+          worker_->pool(backup_node).Free(oop_backup);
+        }
+        cache_->Invalidate(key);
+        if (moved_budget-- > 0) {
+          --attempt;
+        }
+        co_await worker_->sim()->Delay(kMovedRetryDelay);
+        continue;
+      }
       if (!ir.ok()) {
         if (worker_->EpochRefreshNeeded()) {
           co_await worker_->RefreshEpoch();
@@ -490,10 +731,12 @@ sim::Task<KvResult> FuseeKvSession::WriteInternal(uint64_t key, std::span<const 
     }
     uint64_t old_word = 0;
     bool cas_done = false;
+    bool moved_bounce = false;
     for (int tries = 0; tries < 4 && !cas_done; ++tries) {
       fabric::OpResult c = co_await qp.Cas(index_addr, expected, new_word);
       ++result.rtts;
       if (!c.ok()) {
+        moved_bounce = Moved(c);
         break;
       }
       if (c.old_value == expected) {
@@ -540,6 +783,22 @@ sim::Task<KvResult> FuseeKvSession::WriteInternal(uint64_t key, std::span<const 
         expected = c.old_value;
       }
     }
+    if (moved_bounce) {
+      // The fenced CAS had NO effect — every completion this attempt saw for
+      // the install was a no-effect NACK — so this attempt's word was
+      // provably never visible: reclaim its blocks and retry WITHOUT
+      // poisoning prior_word.
+      worker_->pool(primary).Free(oop_primary);
+      if (backup_alive) {
+        worker_->pool(backup_node).Free(oop_backup);
+      }
+      cache_->Invalidate(key);
+      if (moved_budget-- > 0) {
+        --attempt;
+      }
+      co_await worker_->sim()->Delay(kMovedRetryDelay);
+      continue;
+    }
     // From here on this attempt's word MAY be installed (even a failed CAS
     // can have applied with its ack dropped), so the next attempt must
     // treat it as potentially visible.
@@ -554,8 +813,16 @@ sim::Task<KvResult> FuseeKvSession::WriteInternal(uint64_t key, std::span<const 
     }
     if (!expect_new && old_word == 0) {
       // Raced with a delete: undo the install and fail.
-      (void)co_await qp.Cas(index_addr, new_word, 0);
+      fabric::OpResult undo = co_await qp.Cas(index_addr, new_word, 0);
       ++result.rtts;
+      if (Moved(undo)) {
+        // A migration fenced the slot between our install and its undo: the
+        // installed word is what the harvest carries to the new home, so the
+        // value may well be visible there. Not a firm NotFound any more —
+        // surface the ambiguity (the linearizability checker treats
+        // ambiguous NotFound updates as maybe-applied).
+        result.ambiguous = true;
+      }
       result.status = KvStatus::kNotFound;
       co_return result;
     }
@@ -578,7 +845,7 @@ sim::Task<KvResult> FuseeKvSession::WriteInternal(uint64_t key, std::span<const 
       std::memcpy(fwd.data() + 8, &new_word, 8);
       std::vector<sim::Task<fabric::OpResult>> verbs;
       if (backup_alive) {
-        verbs.push_back(worker_->qp(meta.backup).Write(meta.index_addr_backup, wbuf));
+        verbs.push_back(worker_->qp(backup_node).Write(backup_slot, wbuf));
       }
       if (old_word != 0) {
         verbs.push_back(qp.Write(static_cast<uint64_t>(OopOf(old_word)) * kOopGranuleBytes, fwd));
@@ -588,11 +855,24 @@ sim::Task<KvResult> FuseeKvSession::WriteInternal(uint64_t key, std::span<const 
             co_await fabric::PostMany(worker_->cpu(), worker_->sim(), std::move(verbs));
         ++result.rtts;
         if (backup_alive && !rs[0].ok()) {
+          if (Moved(rs[0])) {
+            // A migration fenced the slots AFTER our phase-2 commit: the
+            // write IS durable — the harvest reads the post-fence primary
+            // slot, which holds it — but the backup-side block never became
+            // reachable and the flip owns all superseded-version GC.
+            // Reclaim our orphaned backup block and succeed.
+            worker_->pool(backup_node).Free(oop_backup);
+            cache_->Invalidate(key);
+            if (result.status != KvStatus::kExists) {
+              result.status = KvStatus::kOk;
+            }
+            co_return result;
+          }
           if (worker_->EpochRefreshNeeded()) {
             co_await worker_->RefreshEpoch();
             continue;
           }
-          co_await OnNodeFailure(meta.backup);
+          co_await OnNodeFailure(backup_node);
           continue;  // Re-run the write against the degraded replica set.
         }
       } else {
@@ -615,12 +895,25 @@ sim::Task<KvResult> FuseeKvSession::WriteInternal(uint64_t key, std::span<const 
     // single-copy mode the acting primary IS the backup node, so the
     // superseded block and the old backup copy are the SAME buffer — freeing
     // both would hand the slot out twice and corrupt live data.
+    if (meta.moves != moves_at_start) {
+      // A migration flipped the key's home mid-op (after our phase-2
+      // commit, so the harvest carried the write). The flip freed the
+      // superseded blocks itself and the KeyMeta fields now describe the
+      // NEW home — freeing "the old backup block" here would free the
+      // migration's live copy. Touch nothing.
+      cache_->Invalidate(key);
+      if (result.status != KvStatus::kExists) {
+        result.status = KvStatus::kOk;
+      }
+      result.fast_path = result.rtts <= 4;
+      co_return result;
+    }
     if (old_word != 0) {
       worker_->pool(primary).Free(OopOf(old_word));
     }
     if (backup_alive) {
       if (meta.last_backup_oop != 0 && meta.last_backup_oop != OopOf(old_word)) {
-        worker_->pool(meta.backup).Free(meta.last_backup_oop);
+        worker_->pool(backup_node).Free(meta.last_backup_oop);
       }
       meta.last_backup_oop = oop_backup;
     } else {
@@ -653,63 +946,122 @@ sim::Task<KvResult> FuseeKvSession::Insert(uint64_t key, std::span<const uint8_t
 sim::Task<KvResult> FuseeKvSession::Remove(uint64_t key) {
   KvResult result;
   FuseeStore::KeyMeta& meta = store_->MetaFor(key);
-  if (!co_await AwaitUsable(meta)) {
-    result.status = KvStatus::kUnavailable;
-    co_return result;
-  }
-  const int primary = ActingPrimary(meta);
-  const uint64_t index_addr =
-      primary == meta.primary ? meta.index_addr_primary : meta.index_addr_backup;
-  fabric::Qp& qp = worker_->qp(primary);
-
-  uint64_t expected = 0;
-  if (index::CacheEntry* cached = cache_->Lookup(key)) {
-    result.cache_hit = true;
-    expected = cached->generation;
-  }
-  uint64_t old_word = 0;
-  for (int tries = 0; tries < 4; ++tries) {
-    fabric::OpResult c = co_await qp.Cas(index_addr, expected, 0);
-    ++result.rtts;
-    if (!c.ok()) {
-      if (c.status == fabric::Status::kStaleEpoch && worker_->EpochRefreshNeeded()) {
-        // The fenced CAS never applied: re-validate and retry it verbatim.
-        co_await worker_->RefreshEpoch();
-        continue;
-      }
+  int moved_budget = kMovedRetryBudget;
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    if (!co_await AwaitUsable(meta)) {
       result.status = KvStatus::kUnavailable;
       co_return result;
     }
-    if (c.old_value == expected) {
-      old_word = expected;
-      break;
+    // Snapshot the home for this attempt (see WriteInternal): a migration
+    // flip rewrites the fields mid-op.
+    const uint64_t moves_at_start = meta.moves;
+    const int primary = ActingPrimary(meta);
+    const int primary_home = meta.primary;
+    const int backup_node = meta.backup;
+    const uint64_t backup_slot = meta.index_addr_backup;
+    const uint64_t index_addr =
+        primary == meta.primary ? meta.index_addr_primary : meta.index_addr_backup;
+    fabric::Qp& qp = worker_->qp(primary);
+
+    uint64_t expected = 0;
+    if (index::CacheEntry* cached = cache_->Lookup(key)) {
+      result.cache_hit = true;
+      expected = cached->generation;
     }
-    expected = c.old_value;
-  }
-  cache_->Invalidate(key);
-  if (old_word == 0) {
-    result.status = KvStatus::kNotFound;
+    uint64_t old_word = 0;
+    bool cas_settled = false;
+    bool moved_bounce = false;
+    for (int tries = 0; tries < 4; ++tries) {
+      fabric::OpResult c = co_await qp.Cas(index_addr, expected, 0);
+      ++result.rtts;
+      if (!c.ok()) {
+        if (c.status == fabric::Status::kStaleEpoch && worker_->EpochRefreshNeeded()) {
+          // The fenced CAS never applied: re-validate and retry it verbatim.
+          co_await worker_->RefreshEpoch();
+          continue;
+        }
+        if (Moved(c)) {
+          moved_bounce = true;  // No-effect NACK: nothing was deleted.
+          break;
+        }
+        result.status = KvStatus::kUnavailable;
+        co_return result;
+      }
+      cas_settled = true;
+      if (c.old_value == expected) {
+        old_word = expected;
+        break;
+      }
+      expected = c.old_value;
+    }
+    cache_->Invalidate(key);
+    if (moved_bounce) {
+      // Fenced mid-migration before the delete committed: re-consult the
+      // directory after a slice of the copy window and CAS the new home.
+      if (moved_budget-- > 0) {
+        --attempt;
+      }
+      co_await worker_->sim()->Delay(kMovedRetryDelay);
+      continue;
+    }
+    if (!cas_settled) {
+      result.status = KvStatus::kUnavailable;
+      co_return result;
+    }
+    if (old_word == 0) {
+      result.status = KvStatus::kNotFound;
+      co_return result;
+    }
+    // Invalidate the old block (forward to nothing) + clear backup slot.
+    {
+      std::vector<uint8_t> fwd(16, 0);
+      const uint64_t fhdr = PackHeader(GenOf(old_word), kBlockForwarded);
+      std::memcpy(fwd.data(), &fhdr, 8);
+      (void)co_await qp.Write(static_cast<uint64_t>(OopOf(old_word)) * kOopGranuleBytes, fwd);
+      ++result.rtts;
+    }
+    if (meta.moves != moves_at_start) {
+      // A migration flipped the key mid-op. Our CAS-to-0 committed BEFORE
+      // the fence, so the harvest read absent and the new home agrees the
+      // key is gone — but the flip already reconciled the block bookkeeping
+      // and the fields now describe the new home. Touch nothing further.
+      result.status = KvStatus::kOk;
+      co_return result;
+    }
+    worker_->pool(primary).Free(OopOf(old_word));
+    if (meta.last_backup_oop != 0 && meta.last_backup_oop != OopOf(old_word)) {
+      worker_->pool(backup_node).Free(meta.last_backup_oop);
+    }
+    meta.last_backup_oop = 0;
+    if (!store_->NodeFailed(backup_node) && primary == primary_home) {
+      // Commit-critical, exactly like WriteInternal's phase-3 backup index
+      // update: swallowing a failure here strands the backup slot pointing at
+      // the removed value's (still byte-valid) block, and the next failover
+      // resurrects it. A migration-fence bounce is the one benign outcome —
+      // the fence landed after our primary commit, so the harvest read the
+      // zeroed slot and the new home is already absent.
+      std::vector<uint8_t> zero(8, 0);
+      for (int tries = 0; tries < 4; ++tries) {
+        fabric::OpResult bz = co_await worker_->qp(backup_node).Write(backup_slot, zero);
+        ++result.rtts;
+        if (bz.ok() || Moved(bz)) {
+          break;
+        }
+        if (worker_->EpochRefreshNeeded()) {
+          co_await worker_->RefreshEpoch();
+          continue;
+        }
+        // Treat the unreachable backup as failed (synchronous-replication
+        // rule): recovery rebuilds its slot from the zeroed primary, so the
+        // delete survives the next failover.
+        co_await OnNodeFailure(backup_node);
+        break;
+      }
+    }
+    result.status = KvStatus::kOk;
     co_return result;
   }
-  // Invalidate the old block (forward to nothing) + clear backup slot.
-  {
-    std::vector<uint8_t> fwd(16, 0);
-    const uint64_t fhdr = PackHeader(GenOf(old_word), kBlockForwarded);
-    std::memcpy(fwd.data(), &fhdr, 8);
-    (void)co_await qp.Write(static_cast<uint64_t>(OopOf(old_word)) * kOopGranuleBytes, fwd);
-    ++result.rtts;
-  }
-  worker_->pool(primary).Free(OopOf(old_word));
-  if (meta.last_backup_oop != 0 && meta.last_backup_oop != OopOf(old_word)) {
-    worker_->pool(meta.backup).Free(meta.last_backup_oop);
-  }
-  meta.last_backup_oop = 0;
-  if (!store_->NodeFailed(meta.backup) && primary == meta.primary) {
-    std::vector<uint8_t> zero(8, 0);
-    (void)co_await worker_->qp(meta.backup).Write(meta.index_addr_backup, zero);
-    ++result.rtts;
-  }
-  result.status = KvStatus::kOk;
+  result.status = KvStatus::kUnavailable;
   co_return result;
 }
 

@@ -20,6 +20,7 @@
 
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "src/index/client_cache.h"
 #include "src/kv/kv_types.h"
@@ -51,13 +52,52 @@ class FuseeStore : public repair::RepairableStore {
     // Bookkeeping stand-in for FUSEE's log-based GC: the backup-side block of
     // the current version, recycled when the next update supersedes it.
     uint32_t last_backup_oop = 0;
+    // Bumped by every migration flip. Sessions snapshot it per attempt: GC
+    // bookkeeping observed across a flip must be skipped — the fields now
+    // describe the NEW home, and "freeing the superseded backup block" would
+    // free the migration's live copy.
+    uint64_t moves = 0;
   };
 
   fabric::Fabric* fabric() { return fabric_; }
   sim::Time recovery_duration() const { return recovery_duration_; }
 
-  // Finds or creates the per-key metadata (bucket allocation).
+  // Finds or creates the per-key metadata (bucket allocation). New keys are
+  // placed on the serving set (set_serving); hot-added or draining nodes
+  // receive no new keys.
   KeyMeta& MetaFor(uint64_t key);
+
+  // Which nodes receive NEW key placements (membership's `serving` vector).
+  // Unset = every fabric node, the pre-elasticity behavior.
+  void set_serving(std::shared_ptr<const std::vector<bool>> serving) {
+    serving_ = std::move(serving);
+  }
+
+  // --- Live migration (src/repair/migration.h's per-key flow, FUSEE-shaped) ---
+  //
+  // Moves the key's replica off `from` by re-homing BOTH index slots to
+  // freshly allocated ones (the surviving role keeps its node but still gets
+  // a new slot address): fence both old 8 B slots (MemoryNode::RetireRegion)
+  // so no client CAS can commit any more, harvest the primary slot's word
+  // once through `worker` (which rides the repair channel, passing the
+  // fence) — final, because post-fence commits are impossible — install
+  // fresh block copies + words at the new home, then flip the directory
+  // entry in place. Block regions are never fenced: a block is unreachable
+  // without an index word, and generation checks make recycling safe.
+  // `disable_flip_fence` is the ownership-flip canary (the linearizability
+  // checker must catch the stale-slot commits it permits). Returns false
+  // when the key was skipped (source busy: recovery or repair in flight) or
+  // the copy failed — then the fences were restored and the directory is
+  // untouched.
+  sim::Task<bool> MigrateKey(uint64_t key, int from, Worker* worker,
+                             bool disable_flip_fence = false);
+
+  // Drains every key hosted by `node` (one MigrateKey per key, key-sorted).
+  // Returns the number of keys still on the node afterwards (0 = clean).
+  sim::Task<uint64_t> MigrateNode(int node, Worker* worker, bool disable_flip_fence = false);
+
+  uint64_t keys_moved() const { return keys_moved_; }
+  uint64_t keys_aborted() const { return keys_aborted_; }
 
   // --- Recovery state machine (§7.7) ---
   bool InRecovery() const {
@@ -65,7 +105,12 @@ class FuseeStore : public repair::RepairableStore {
   }
   sim::Time recovering_until() const { return recovering_until_; }
   void StartRecovery(int failed_node);
-  bool NodeFailed(int node) const { return failed_nodes_[static_cast<size_t>(node)]; }
+  bool NodeFailed(int node) const {
+    // Hot-added nodes (Fabric::AddNode) can outgrow the vector; absent means
+    // never failed.
+    const auto idx = static_cast<size_t>(node);
+    return idx < failed_nodes_.size() && failed_nodes_[idx];
+  }
 
   // --- Crash-recover repair (src/repair/repair.h) ---
   sim::Task<repair::RepairOutcome> RepairNode(int node, Worker* worker,
@@ -78,8 +123,9 @@ class FuseeStore : public repair::RepairableStore {
   }
   void OnRepairComplete(int node, bool readmitted) override {
     --repairing_;
-    if (readmitted) {
-      failed_nodes_[static_cast<size_t>(node)] = false;  // Roles restored.
+    const auto idx = static_cast<size_t>(node);
+    if (readmitted && idx < failed_nodes_.size()) {
+      failed_nodes_[idx] = false;  // Roles restored.
     }
   }
 
@@ -94,6 +140,9 @@ class FuseeStore : public repair::RepairableStore {
   int repairing_ = 0;
   std::vector<bool> failed_nodes_ = std::vector<bool>(16, false);
   uint64_t next_gen_ = 1;
+  uint64_t keys_moved_ = 0;
+  uint64_t keys_aborted_ = 0;
+  std::shared_ptr<const std::vector<bool>> serving_;
   std::unordered_map<uint64_t, KeyMeta> directory_;
 };
 

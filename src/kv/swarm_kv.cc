@@ -4,6 +4,7 @@
 
 #include "src/hash/xxhash.h"
 #include "src/sim/sync.h"
+#include "src/swarm/placement.h"
 
 namespace swarm::kv {
 namespace {
@@ -21,9 +22,19 @@ KvStatus MapStatus(SgStatus s) {
       return KvStatus::kNotFound;
     case SgStatus::kUnavailable:
       return KvStatus::kUnavailable;
+    case SgStatus::kMoved:
+      // Only surfaces when a moved bounce could not be resolved by
+      // re-locating (the op loops intercept kMoved first): fail safe as
+      // unavailable — the op provably had no effect, so pending is correct.
+      return KvStatus::kUnavailable;
   }
   return KvStatus::kUnavailable;
 }
+
+// How many times HandleMoved re-consults the index waiting for an in-flight
+// ownership flip to commit before handing the (possibly still fenced)
+// mapping back to the caller's bounded attempt loop.
+constexpr int kMovedLookupRetries = 6;
 
 }  // namespace
 
@@ -69,9 +80,7 @@ std::shared_ptr<const ObjectLayout> SwarmKvSession::AllocateForKey(uint64_t key)
   const int n = worker_->fabric()->num_nodes();
   int nodes[kMaxReplicas];
   const uint64_t h = hash::Mix64(key, 0x535741524d); // "SWARM"
-  for (int i = 0; i < cfg.replicas; ++i) {
-    nodes[i] = static_cast<int>((h + static_cast<uint64_t>(i)) % static_cast<uint64_t>(n));
-  }
+  PlaceReplicas(h, cfg.replicas, n, serving_.get(), nodes);
   return std::make_shared<ObjectLayout>(
       AllocateObject(*worker_->fabric(), nodes, cfg.replicas, cfg.meta_slots, cfg.max_writers,
                      cfg.max_value, cfg.inplace_copies));
@@ -106,9 +115,51 @@ sim::Task<SwarmKvSession::Located> SwarmKvSession::HandleDeleted(uint64_t key,
   co_return loc;
 }
 
+sim::Task<SwarmKvSession::Located> SwarmKvSession::HandleMoved(uint64_t key,
+                                                               uint64_t stale_generation,
+                                                               KvResult* result) {
+  // A kMovedReplica bounce means this layout's extents are fenced for
+  // migration. The replacement layout becomes visible when the coordinator's
+  // ReplaceLayout commits (generation bump); until then the index still maps
+  // the stale generation. Chase the index with a short backoff: either the
+  // flip commits (new generation), the migration aborts (fence lifted under
+  // the SAME generation — retrying on it then succeeds), or a concurrent
+  // delete finishes (entry gone, absent is a correct observation because a
+  // moved bounce provably had no effect). NEVER unmap here: unlike a
+  // tombstone bounce, the key is alive, just in transit.
+  Located loc;
+  cache_->Invalidate(key);
+  for (int i = 0; i < kMovedLookupRetries; ++i) {
+    auto idx = co_await index_->Lookup(key, worker_->cpu());
+    ++result->rtts;
+    if (!idx.has_value()) {
+      co_return loc;
+    }
+    loc.found = true;
+    loc.layout = idx->layout;
+    loc.obj_cache = worker_->SlotCacheFor(idx->layout.get());
+    loc.generation = idx->generation;
+    if (idx->generation != stale_generation) {
+      index::CacheEntry entry;
+      entry.layout = loc.layout;
+      entry.generation = loc.generation;
+      entry.obj_cache = loc.obj_cache;
+      cache_->Put(key, std::move(entry));
+      co_return loc;
+    }
+    co_await worker_->sim()->Delay(worker_->config().escalation_timeout);
+  }
+  // Still the stale generation after the backoff budget: hand it back
+  // uncached. If the migration aborted meanwhile the caller's retry succeeds;
+  // if the fence is still up it bounces again and the caller's bounded
+  // attempt loop surfaces kUnavailable (pending — safe either way).
+  co_return loc;
+}
+
 sim::Task<KvResult> SwarmKvSession::Get(uint64_t key) {
   KvResult result;
   Located loc = co_await Locate(key, /*seed_metadata=*/false, &result);
+  bool moved = false;
   for (int attempt = 0; attempt < 3; ++attempt) {
     if (!loc.found) {
       result.status = KvStatus::kNotFound;
@@ -121,6 +172,11 @@ sim::Task<KvResult> SwarmKvSession::Get(uint64_t key) {
       loc = co_await HandleDeleted(key, loc.generation, &result);
       continue;
     }
+    if (r.status == SgStatus::kMoved) {
+      moved = true;
+      loc = co_await HandleMoved(key, loc.generation, &result);
+      continue;
+    }
     result.status = MapStatus(r.status);
     if (r.status == SgStatus::kOk) {
       result.value = std::move(r.value);
@@ -129,7 +185,10 @@ sim::Task<KvResult> SwarmKvSession::Get(uint64_t key) {
     }
     co_return result;
   }
-  result.status = KvStatus::kNotFound;
+  // Exhausted on tombstones alone the key was certainly absent at some point;
+  // exhausted chasing a migration fence it may be alive on the new layout —
+  // only unavailability is safe to report then.
+  result.status = moved ? KvStatus::kUnavailable : KvStatus::kNotFound;
   co_return result;
 }
 
@@ -141,6 +200,7 @@ sim::Task<KvResult> SwarmKvSession::Update(uint64_t key, std::span<const uint8_t
   // already fetched metadata may commit it — so a kNotFound from here on is
   // "possibly applied", not a definite observation of absence.
   bool bounced = false;
+  bool moved = false;
   for (int attempt = 0; attempt < 3; ++attempt) {
     if (!loc.found) {
       result.status = KvStatus::kNotFound;  // §5.3.3: not indexed → fail.
@@ -155,11 +215,18 @@ sim::Task<KvResult> SwarmKvSession::Update(uint64_t key, std::span<const uint8_t
       loc = co_await HandleDeleted(key, loc.generation, &result);
       continue;
     }
+    if (r.status == SgStatus::kMoved) {
+      // kMoved guarantees the write took NO effect on the fenced layout, so
+      // re-executing it against the post-flip layout is a plain retry.
+      moved = true;
+      loc = co_await HandleMoved(key, loc.generation, &result);
+      continue;
+    }
     result.status = MapStatus(r.status);
     result.fast_path = r.fast_path && result.cache_hit && attempt == 0;
     co_return result;
   }
-  result.status = KvStatus::kNotFound;
+  result.status = moved ? KvStatus::kUnavailable : KvStatus::kNotFound;
   result.ambiguous = bounced;
   co_return result;
 }
@@ -209,6 +276,13 @@ sim::Task<KvResult> SwarmKvSession::Insert(uint64_t key, std::span<const uint8_t
     SafeGuessObject existing(worker_, loc.layout.get(), loc.obj_cache);
     SgWriteResult wr2 = co_await existing.Write(value);
     result.rtts += wr2.rtts;
+    if (wr2.status == SgStatus::kMoved) {
+      // The existing mapping migrated mid-write with provably no effect: drop
+      // the cached copy and retry; the next InsertIfAbsent round returns the
+      // post-flip mapping (or finds the entry gone and re-inserts fresh).
+      cache_->Invalidate(key);
+      continue;
+    }
     if (wr2.status == SgStatus::kDeleted) {
       // The existing mapping is tombstoned: overwrite it (§5.3.1) by
       // unmapping and retrying the insert with fresh replicas.
@@ -227,6 +301,7 @@ sim::Task<KvResult> SwarmKvSession::Insert(uint64_t key, std::span<const uint8_t
 sim::Task<KvResult> SwarmKvSession::Remove(uint64_t key) {
   KvResult result;
   Located loc = co_await Locate(key, /*seed_metadata=*/false, &result);
+  bool moved = false;
   for (int attempt = 0; attempt < 3; ++attempt) {
     if (!loc.found) {
       result.status = KvStatus::kNotFound;
@@ -235,6 +310,13 @@ sim::Task<KvResult> SwarmKvSession::Remove(uint64_t key) {
     SafeGuessObject obj(worker_, loc.layout.get(), loc.obj_cache);
     SgWriteResult del = co_await obj.Delete();
     result.rtts += del.rtts;
+    if (del.status == SgStatus::kMoved) {
+      // Effect-free bounce off a migration fence: the tombstone never landed,
+      // so re-executing the delete on the post-flip layout is safe.
+      moved = true;
+      loc = co_await HandleMoved(key, loc.generation, &result);
+      continue;
+    }
     if (del.status == SgStatus::kDeleted) {
       // Another deleter's tombstone is on this object too. Consult the
       // index: if it still maps OUR generation (concurrent removes racing on
@@ -271,8 +353,10 @@ sim::Task<KvResult> SwarmKvSession::Remove(uint64_t key) {
     co_return result;
   }
   // Every attempt found the mapped object already tombstoned: the key kept
-  // being deleted under us, so "absent" was certainly observable.
-  result.status = KvStatus::kNotFound;
+  // being deleted under us, so "absent" was certainly observable. If any
+  // attempt instead chased a migration fence, the key may be alive on its new
+  // layout — report unavailability (our tombstone provably never landed).
+  result.status = moved ? KvStatus::kUnavailable : KvStatus::kNotFound;
   co_return result;
 }
 

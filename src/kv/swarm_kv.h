@@ -11,6 +11,7 @@
 #define SWARM_SRC_KV_SWARM_KV_H_
 
 #include <memory>
+#include <vector>
 
 #include "src/index/client_cache.h"
 #include "src/index/index_service.h"
@@ -30,6 +31,12 @@ class SwarmKvSession : public KvSession {
   sim::Task<KvResult> Update(uint64_t key, std::span<const uint8_t> value) override;
   sim::Task<KvResult> Insert(uint64_t key, std::span<const uint8_t> value) override;
   sim::Task<KvResult> Remove(uint64_t key) override;
+
+  // Placement filter for fresh inserts: only nodes marked serving receive new
+  // extents (MembershipService::serving()). Unset = place on all nodes.
+  void set_serving(std::shared_ptr<const std::vector<bool>> serving) {
+    serving_ = std::move(serving);
+  }
 
  private:
   // A self-contained copy of a key's location (safe across co_awaits even if
@@ -55,9 +62,16 @@ class SwarmKvSession : public KvSession {
   // the index, and schedule the stale mapping's unmap (§5.3.3/§5.3.4).
   sim::Task<Located> HandleDeleted(uint64_t key, uint64_t stale_generation, KvResult* result);
 
+  // Handles an op that bounced off a migration fence (SgStatus::kMoved):
+  // flush the cache and chase the index until the ownership flip commits
+  // under a new generation (or the fence lifts after an abort). Unlike
+  // HandleDeleted this never unmaps the entry — the key is alive, in transit.
+  sim::Task<Located> HandleMoved(uint64_t key, uint64_t stale_generation, KvResult* result);
+
   Worker* worker_;
   index::IndexService* index_;
   index::ClientCache* cache_;
+  std::shared_ptr<const std::vector<bool>> serving_;
 };
 
 }  // namespace swarm::kv

@@ -43,6 +43,41 @@
 // The epoch_fencing knob exists ONLY for the chaos canary gallery: disabling
 // it reproduces the pre-fix behavior so the suites can demonstrate they
 // catch the violation.
+//
+// --- Elastic membership: the node lifecycle state model ------------------
+//
+// A memory node moves through five lifecycle states:
+//
+//     join ──> syncing ──> serving ──> draining ──> retired
+//
+//   * JOIN     (AdmitNode): the node is powered on and reachable — clients
+//     can open queue pairs to it — but no object layout references it and
+//     placement must not choose it. It holds no data.
+//   * SYNCING  (the MigrationService rebalance): extents are being copied
+//     onto the node from surviving quorums. Each extent becomes visible to
+//     clients only through its atomic ownership flip (index generation bump
+//     + source-region retirement); until a flip commits, the extent's reads
+//     and writes keep going to the old owner. The node needs NO quorum
+//     exclusion in this state: nothing references it until a flip, and a
+//     flipped layout is fully installed.
+//   * SERVING  (CompleteJoin): placement includes the node; it is a normal
+//     replica holder. All pre-existing nodes start here.
+//   * DRAINING (BeginDrain): placement excludes the node for NEW objects and
+//     the MigrationService moves its extents away one by one, but the node
+//     keeps serving every extent it still owns — a drain under full traffic
+//     is invisible to clients except for per-extent relocation NACKs
+//     (kMovedReplica) at flip instants.
+//   * RETIRED  (Decommission): all extents are gone; the node is switched
+//     off. Retirement is crash-like for the fabric (verbs time out) and
+//     advances the membership epoch so stragglers bounce, but unlike a
+//     crash nothing needs repair — the node owns nothing. Retired nodes are
+//     never crash/restart candidates for the chaos engine and never rejoin;
+//     re-admission of hardware is modeled as a fresh AdmitNode.
+//
+// The `repairing` flag stays ORTHOGONAL to the lifecycle: a serving node
+// that crash-recovers is repaired in place (src/repair/repair.h) whatever
+// its state, and migrate-vs-repair arbitration is the MigrationService's
+// job, not the membership's.
 
 #ifndef SWARM_SRC_MEMBERSHIP_MEMBERSHIP_H_
 #define SWARM_SRC_MEMBERSHIP_MEMBERSHIP_H_
@@ -60,6 +95,16 @@
 
 namespace swarm::membership {
 
+// Lifecycle state of a memory node (see the header comment). The syncing
+// phase is not a distinct state here: it is kJoining/kDraining WHILE the
+// MigrationService has a plan in flight for the node.
+enum class NodeState : uint8_t {
+  kServing = 0,
+  kJoining = 1,
+  kDraining = 2,
+  kRetired = 3,
+};
+
 class MembershipService {
  public:
   MembershipService(sim::Simulator* sim, fabric::Fabric* fabric,
@@ -68,7 +113,10 @@ class MembershipService {
       : sim_(sim), fabric_(fabric), detection_delay_(detection_delay),
         lease_duration_(lease_duration),
         repairing_(std::make_shared<std::vector<bool>>(
-            static_cast<size_t>(fabric->num_nodes()), false)) {}
+            static_cast<size_t>(fabric->num_nodes()), false)),
+        serving_(std::make_shared<std::vector<bool>>(
+            static_cast<size_t>(fabric->num_nodes()), true)),
+        states_(static_cast<size_t>(fabric->num_nodes()), NodeState::kServing) {}
 
   // --- Memory-node monitoring ---
 
@@ -94,21 +142,13 @@ class MembershipService {
     fabric_->Crash(node);
     AdvanceEpoch();  // In-flight verbs must not outlive the crash (§5.4).
     PushEpoch(detection_delay);
-    sim_->After(detection_delay, [this, node] {
-      for (auto& s : subscribers_) {
-        (*s)[static_cast<size_t>(node)] = true;
-      }
-    });
+    NotifyFailed(node, true, detection_delay);
   }
 
   void RecoverNode(int node) { RecoverNode(node, detection_delay_); }
   void RecoverNode(int node, sim::Time detection_delay) {
     fabric_->Recover(node);
-    sim_->After(detection_delay, [this, node] {
-      for (auto& s : subscribers_) {
-        (*s)[static_cast<size_t>(node)] = false;
-      }
-    });
+    NotifyFailed(node, false, detection_delay);
   }
 
   // Scripts the baseline detection delay for subsequent crash/recover
@@ -149,19 +189,94 @@ class MembershipService {
     // the freshly restored replicas must bounce, not be trusted.
     AdvanceEpoch();
     PushEpoch(detection_delay_);
-    sim_->After(detection_delay_, [this, node] {
-      for (auto& s : subscribers_) {
-        (*s)[static_cast<size_t>(node)] = false;
-      }
-    });
+    NotifyFailed(node, false, detection_delay_);
   }
 
   // A repair that gave up (no surviving quorum within its retry budget)
   // leaves the node excluded — safe, merely unavailable — until a later
   // readmission triggers a re-repair (repair::RepairService dark-slot
   // bookkeeping).
-  bool IsRepairing(int node) const { return (*repairing_)[static_cast<size_t>(node)]; }
+  bool IsRepairing(int node) const {
+    const auto idx = static_cast<size_t>(node);
+    return idx < repairing_->size() && (*repairing_)[idx];
+  }
   const std::shared_ptr<std::vector<bool>>& repairing() const { return repairing_; }
+
+  // --- Elastic membership (node lifecycle; see the header comment) ---
+
+  // Admits a brand-new memory node: hot-adds it on the fabric (bounded by
+  // FabricConfig::max_nodes) in state kJoining — reachable, empty, excluded
+  // from placement until CompleteJoin. Grows every per-node shared vector in
+  // place so pre-existing clients see a consistent view. Returns the new
+  // node id, or -1 if the fabric is at its lifetime bound.
+  int AdmitNode() {
+    const int id = fabric_->AddNode();
+    if (id < 0) {
+      return -1;
+    }
+    const auto n = static_cast<size_t>(id) + 1;
+    repairing_->resize(n, false);
+    serving_->resize(n, false);
+    states_.resize(n, NodeState::kJoining);
+    for (auto& s : subscribers_) {
+      if (s->size() < n) {
+        s->resize(n, false);
+      }
+    }
+    return id;
+  }
+
+  // Joining → serving: the MigrationService finished installing the node's
+  // share of extents; placement may now choose it for new objects.
+  void CompleteJoin(int node) {
+    SetState(node, NodeState::kServing, /*serving=*/true);
+  }
+
+  // Serving → draining: placement stops choosing the node, the
+  // MigrationService starts moving its extents away. The node keeps serving
+  // every extent it still owns.
+  void BeginDrain(int node) {
+    SetState(node, NodeState::kDraining, /*serving=*/false);
+  }
+
+  // Draining → retired: all extents are gone; switch the node off. Crash-like
+  // for the fabric (a retired node answers nothing), epoch-bumped so verbs
+  // still in flight toward it cannot be trusted anywhere — but nothing needs
+  // repair, because a fully drained node owns nothing.
+  void Decommission(int node) {
+    SetState(node, NodeState::kRetired, /*serving=*/false);
+    fabric_->Crash(node);
+    AdvanceEpoch();
+    PushEpoch(detection_delay_);
+    NotifyFailed(node, true, detection_delay_);
+  }
+
+  NodeState State(int node) const {
+    const auto idx = static_cast<size_t>(node);
+    return idx < states_.size() ? states_[idx] : NodeState::kServing;
+  }
+  bool IsRetired(int node) const { return State(node) == NodeState::kRetired; }
+  // Chaos crash/restart targeting: a retired node is switched off — crashing
+  // it is meaningless and restarting it would resurrect a ghost.
+  bool CrashEligible(int node) const { return !IsRetired(node); }
+
+  // Placement filter, shared with the KV stores like `repairing()`: serving_
+  // lists which nodes placement may choose. Object layouts created before a
+  // membership change keep their nodes regardless — only the MigrationService
+  // moves existing extents.
+  const std::shared_ptr<std::vector<bool>>& serving() const { return serving_; }
+  bool IsServing(int node) const {
+    const auto idx = static_cast<size_t>(node);
+    return idx < serving_->size() && (*serving_)[idx];
+  }
+
+  // An extent ownership flip is a repair-relevant transition (§5.4): verbs
+  // stamped before the flip must not be trusted as evidence about the moved
+  // extent. The MigrationService bumps the epoch at each flip instant.
+  void NoteOwnershipFlip() {
+    AdvanceEpoch();
+    PushEpoch(detection_delay_);
+  }
 
   // --- Membership epoch (see the header comment) ---
 
@@ -179,9 +294,8 @@ class MembershipService {
   // catch. Production configurations leave this on.
   void set_epoch_fencing(bool on) {
     epoch_fencing_ = on;
-    for (int n = 0; n < fabric_->num_nodes(); ++n) {
-      fabric_->node(n).set_fence_enforced(on);
-    }
+    // Via the fabric so nodes hot-added later inherit the setting.
+    fabric_->SetFenceEnforced(on);
   }
 
   // --- Client leases (for the memory recycler, §4.5/§5.4) ---
@@ -252,6 +366,30 @@ class MembershipService {
     fabric_->SetFenceEpoch(epoch_);  // Nodes learn immediately (uKharon push).
   }
 
+  void SetState(int node, NodeState state, bool serving) {
+    const auto idx = static_cast<size_t>(node);
+    if (idx >= states_.size()) {
+      states_.resize(idx + 1, NodeState::kServing);
+      serving_->resize(idx + 1, true);
+    }
+    states_[idx] = state;
+    (*serving_)[idx] = serving;
+  }
+
+  // Pushes `node`'s failed/recovered bit to subscribed clients after the
+  // detection delay, growing vectors that predate a hot-added node.
+  void NotifyFailed(int node, bool failed, sim::Time detection_delay) {
+    sim_->After(detection_delay, [this, node, failed] {
+      const auto idx = static_cast<size_t>(node);
+      for (auto& s : subscribers_) {
+        if (s->size() <= idx) {
+          s->resize(idx + 1, false);
+        }
+        (*s)[idx] = failed;
+      }
+    });
+  }
+
   // Pushes the epoch-at-transition to subscribed clients after the detection
   // delay. max(): pushes may be delivered out of order when detection delays
   // differ per event, and a client's cached epoch must never regress.
@@ -273,6 +411,8 @@ class MembershipService {
   std::unordered_map<uint32_t, sim::Time> leases_;
   std::unordered_set<uint32_t> fenced_;
   std::shared_ptr<std::vector<bool>> repairing_;
+  std::shared_ptr<std::vector<bool>> serving_;
+  std::vector<NodeState> states_;
   uint64_t epoch_ = 1;
   bool epoch_fencing_ = true;
 };

@@ -1,0 +1,239 @@
+#include "src/repair/migration.h"
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/repair/quorum_copy.h"
+#include "src/swarm/abd.h"
+#include "src/swarm/layout.h"
+
+namespace swarm::repair {
+
+namespace {
+
+// Fence or unfence the three regions a replica slot owns. The metadata array
+// and the in-place region are allocated contiguously but retired separately
+// so the bookkeeping never depends on that adjacency.
+void SetSlotFence(fabric::MemoryNode& node, const ObjectLayout* layout, const ReplicaLayout& rep,
+                  bool fenced) {
+  const auto apply = [&](uint64_t addr, uint64_t len) {
+    if (fenced) {
+      node.RetireRegion(addr, len);
+    } else {
+      node.RestoreRegion(addr, len);
+    }
+  };
+  apply(rep.meta_addr, layout->meta_region_bytes());
+  if (rep.inplace_addr != 0) {
+    apply(rep.inplace_addr, layout->inplace_region_bytes());
+  }
+  apply(rep.tsl_addr, layout->tsl_region_bytes());
+}
+
+}  // namespace
+
+int MigrationService::PickDestination(uint64_t key, const ObjectLayout* layout) const {
+  std::vector<int> candidates;
+  const int n = worker_->fabric()->num_nodes();
+  for (int i = 0; i < n; ++i) {
+    if (!membership_->IsServing(i) || membership_->IsRepairing(i)) {
+      continue;
+    }
+    bool hosts = false;
+    for (int r = 0; r < layout->num_replicas; ++r) {
+      hosts = hosts || layout->replicas[static_cast<size_t>(r)].node == i;
+    }
+    if (!hosts) {
+      candidates.push_back(i);
+    }
+  }
+  if (candidates.empty()) {
+    return -1;
+  }
+  const uint64_t h = key * 0x9E3779B97F4A7C15ull;
+  return candidates[h % candidates.size()];
+}
+
+bool MigrationService::HostsReplicas(int node) const {
+  for (const auto& [key, entry] : index_->SnapshotSorted()) {
+    for (int r = 0; r < entry.layout->num_replicas; ++r) {
+      if (entry.layout->replicas[static_cast<size_t>(r)].node == node) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+sim::Task<MigrateStatus> MigrationService::MigrateKey(uint64_t key, int from, int onto) {
+  // --- plan ---------------------------------------------------------------
+  // A source under repair is the repair's to arbitrate: its slots are being
+  // rebuilt in place and the node is quorum-excluded, so a concurrent move
+  // would harvest around it anyway only to fight the rebuild. Skip; bulk
+  // flows revisit the key after the repair readmits.
+  if (membership_->IsRepairing(from)) {
+    ++keys_skipped_;
+    co_return MigrateStatus::kSkipped;
+  }
+  auto idx = co_await index_->Lookup(key, worker_->cpu());
+  if (!idx.has_value()) {
+    ++keys_skipped_;
+    co_return MigrateStatus::kSkipped;
+  }
+  std::shared_ptr<const ObjectLayout> src = idx->layout;
+  int slot = -1;
+  for (int r = 0; r < src->num_replicas; ++r) {
+    if (src->replicas[static_cast<size_t>(r)].node == from) {
+      slot = r;
+      break;
+    }
+  }
+  if (slot < 0) {
+    ++keys_skipped_;  // Already elsewhere (or a racing move beat us).
+    co_return MigrateStatus::kSkipped;
+  }
+  const int dest = onto >= 0 ? onto : PickDestination(key, src.get());
+  if (dest < 0 || dest == from || membership_->IsRepairing(dest)) {
+    co_return MigrateStatus::kNoDestination;
+  }
+
+  ++in_flight_;
+  const ReplicaLayout vacated = src->replicas[static_cast<size_t>(slot)];
+
+  // --- graft --------------------------------------------------------------
+  // L' = L with the vacated slot's buffers replaced by fresh allocations on
+  // the destination; every other slot is shared with L byte-for-byte.
+  auto dst = std::make_shared<ObjectLayout>(*src);
+  {
+    const int nodes[1] = {dest};
+    ObjectLayout fresh =
+        AllocateObject(*worker_->fabric(), nodes, 1, src->meta_slots, src->max_writers,
+                       src->max_value, /*inplace_copies=*/vacated.inplace_addr != 0 ? 1 : 0);
+    dst->replicas[static_cast<size_t>(slot)] = fresh.replicas[0];
+  }
+
+  // --- fence + epoch bump -------------------------------------------------
+  const bool fenced = !config_.disable_flip_fence;
+  if (fenced) {
+    SetSlotFence(worker_->fabric()->node(from), src.get(), vacated, /*fenced=*/true);
+  }
+  membership_->NoteOwnershipFlip();
+
+  // --- copy ---------------------------------------------------------------
+  bool copied = false;
+  for (int round = 0; round < config_.max_rounds && !copied; ++round) {
+    if (round > 0) {
+      co_await worker_->sim()->Delay(config_.round_retry_delay);
+    }
+    if (protocol_ == LayoutProtocol::kAbd) {
+      AbdObject obj(worker_, src.get(), worker_->SlotCacheFor(src.get()));
+      copied = co_await obj.CopyReplicaTo(dst.get(), slot);
+    } else {
+      copied = co_await CopySafeGuessReplica(worker_, src, dst.get(), slot,
+                                             /*skip_tombstones=*/false);
+    }
+  }
+
+  // --- flip ---------------------------------------------------------------
+  uint64_t new_generation = 0;
+  if (copied) {
+    new_generation = co_await index_->ReplaceLayout(key, idx->generation, dst, worker_->cpu());
+  }
+  if (new_generation != 0) {
+    // ReplaceLayout retired L as moved: the repair walk skips it, cache GC
+    // listeners invalidate it, and the old slot's fences are PERMANENT (they
+    // survive even a crash-recover of the source node — the state behind
+    // them is dead).
+    ++keys_moved_;
+    --in_flight_;
+    co_return MigrateStatus::kMoved;
+  }
+
+  // --- abort --------------------------------------------------------------
+  // Copy gave up (no surviving quorum within budget) or the flip guard
+  // failed (racing delete / re-insert). Restore the fences and abandon L':
+  // the cluster is exactly as before the attempt.
+  if (fenced) {
+    SetSlotFence(worker_->fabric()->node(from), src.get(), vacated, /*fenced=*/false);
+  }
+  membership_->NoteOwnershipFlip();  // Un-fenced: stale holders re-learn again.
+  ++keys_aborted_;
+  --in_flight_;
+  co_return MigrateStatus::kAborted;
+}
+
+sim::Task<int> MigrationService::AdmitAndRebalance(uint64_t max_keys) {
+  const int node = membership_->AdmitNode();
+  if (node < 0) {
+    co_return -1;  // Fabric at its lifetime bound; nothing changed.
+  }
+  ++nodes_admitted_;
+  // The node is kJoining: new placements skip it, clients know its epoch.
+  // Fill it by pulling keys over — destination pinned, source picked per key
+  // as the replica the key hashes to, spreading the unload evenly.
+  uint64_t moved = 0;
+  auto snapshot = index_->SnapshotSorted();
+  for (const auto& [key, entry] : snapshot) {
+    if (moved >= max_keys) {
+      break;
+    }
+    bool hosts = false;
+    for (int r = 0; r < entry.layout->num_replicas; ++r) {
+      hosts = hosts || entry.layout->replicas[static_cast<size_t>(r)].node == node;
+    }
+    if (hosts) {
+      continue;
+    }
+    const int r = static_cast<int>(key % static_cast<uint64_t>(entry.layout->num_replicas));
+    const int from = entry.layout->replicas[static_cast<size_t>(r)].node;
+    const MigrateStatus st = co_await MigrateKey(key, from, node);
+    if (st == MigrateStatus::kMoved) {
+      ++moved;
+    }
+  }
+  membership_->CompleteJoin(node);
+  co_return node;
+}
+
+sim::Task<bool> MigrationService::Drain(int node, bool decommission) {
+  membership_->BeginDrain(node);
+  bool clean = false;
+  for (int round = 0; round < config_.max_rounds && !clean; ++round) {
+    if (round > 0) {
+      co_await worker_->sim()->Delay(config_.round_retry_delay);
+    }
+    clean = true;
+    auto snapshot = index_->SnapshotSorted();
+    for (const auto& [key, entry] : snapshot) {
+      bool hosts = false;
+      for (int r = 0; r < entry.layout->num_replicas; ++r) {
+        hosts = hosts || entry.layout->replicas[static_cast<size_t>(r)].node == node;
+      }
+      if (!hosts) {
+        continue;
+      }
+      const MigrateStatus st = co_await MigrateKey(key, node, -1);
+      clean = clean && (st == MigrateStatus::kMoved || st == MigrateStatus::kSkipped);
+    }
+    // Mappings inserted after the snapshot placed on the serving set, which
+    // has excluded `node` since BeginDrain — but a key skipped above (its
+    // source or the whole cluster was mid-repair) still hosts one.
+    clean = clean && !HostsReplicas(node);
+  }
+  if (clean) {
+    if (decommission) {
+      membership_->Decommission(node);
+    }
+    ++drains_completed_;
+    co_return true;
+  }
+  // Graceful abort: the node returns to serving with whatever replicas it
+  // still hosts. Keys already moved stay moved — each flip was individually
+  // complete, so no state is half-transferred.
+  membership_->CompleteJoin(node);
+  ++drains_aborted_;
+  co_return false;
+}
+
+}  // namespace swarm::repair

@@ -1,118 +1,11 @@
 #include "src/repair/repair.h"
 
-#include <algorithm>
-#include <cstring>
 #include <memory>
 
+#include "src/repair/quorum_copy.h"
 #include "src/swarm/abd.h"
-#include "src/swarm/inout.h"
-#include "src/swarm/quorum_max.h"
-#include "src/swarm/timestamp.h"
 
 namespace swarm::repair {
-namespace {
-
-// Merge rule for restoring a wiped timestamp-lock word from the survivors'
-// copies: lock words only ever grow, so the higher counter wins; on a
-// counter tie between modes, prefer READ — it blocks the writer's
-// re-execution, i.e. the guessed write stands, which is the direction a
-// reader that already committed the guess requires. (READ mode has the lower
-// raw encoding at equal counters.)
-uint64_t MergeTslWord(uint64_t a, uint64_t b) {
-  const TslWord wa(a);
-  const TslWord wb(b);
-  if (wa.counter() != wb.counter()) {
-    return wa.counter() > wb.counter() ? a : b;
-  }
-  return std::min(a, b);
-}
-
-// Restores one replica's timestamp-lock array from the surviving replicas.
-// Lock state may live at a bare majority that INCLUDED the wiped node, so a
-// single survivor can be the only holder — every usable replica must be
-// read, not just a majority.
-sim::Task<bool> RestoreLocks(Worker* worker, const ObjectLayout* layout, int target) {
-  const size_t region = static_cast<size_t>(layout->tsl_region_bytes());
-  const int writers = layout->max_writers;
-  std::vector<uint64_t> merged(static_cast<size_t>(writers), 0);
-  bool any = false;
-  for (int r = 0; r < layout->num_replicas; ++r) {
-    const ReplicaLayout& rep = layout->replicas[static_cast<size_t>(r)];
-    if (worker->NodeQuorumExcluded(rep.node)) {
-      continue;  // The node under repair itself.
-    }
-    std::vector<uint8_t> buf(region);
-    fabric::OpResult res = co_await worker->qp(rep.node).Read(rep.tsl_addr, buf);
-    if (!res.ok()) {
-      co_return false;
-    }
-    for (int i = 0; i < writers; ++i) {
-      uint64_t word;
-      std::memcpy(&word, buf.data() + static_cast<size_t>(i) * 8, 8);
-      merged[static_cast<size_t>(i)] = MergeTslWord(merged[static_cast<size_t>(i)], word);
-      any = any || word != 0;
-    }
-  }
-  if (!any) {
-    co_return true;  // No lock was ever taken on this object.
-  }
-  std::vector<uint8_t> out(region);
-  std::memcpy(out.data(), merged.data(), region);
-  const ReplicaLayout& dst = layout->replicas[static_cast<size_t>(target)];
-  fabric::OpResult res = co_await worker->qp(dst.node).Write(dst.tsl_addr, out);
-  co_return res.ok();
-}
-
-// Repairs one Safe-Guess replica: ABD-style quorum read with write-back
-// among the survivors (ReadQuorum(strong) re-installs the max at a majority
-// before trusting it), then a direct install of the max — exact word,
-// GUESSED flag and tombstones preserved — into the rejoining replica.
-sim::Task<bool> RepairSafeGuessReplica(Worker* worker,
-                                       std::shared_ptr<const ObjectLayout> layout_sp, int target,
-                                       bool skip_tombstones) {
-  const ObjectLayout* layout = layout_sp.get();
-  QuorumMax reg(worker, layout, worker->SlotCacheFor(layout));
-  if (skip_tombstones) {
-    // CANARY: deleted objects are not repaired AT ALL — the probe must be a
-    // weak read, because the strong read below write-backs the max (i.e.
-    // stabilizes the tombstone at the survivors) as a side effect, which
-    // would mask the injected bug.
-    ReadOutcome probe = co_await reg.ReadQuorum(/*strong=*/false);
-    if (probe.ok && probe.m.deleted()) {
-      co_return true;
-    }
-  }
-  ReadOutcome m = co_await reg.ReadQuorum(/*strong=*/true);
-  if (!m.ok) {
-    co_return false;  // No surviving quorum (or unstabilizable state) yet.
-  }
-  if (!m.m.empty()) {
-    InOutReplica rep(worker, layout, target);
-    const Meta word = Meta::Pack(m.m.counter(), m.m.tid(), m.m.verified(), 0);
-    if (m.m.deleted()) {
-      if (!skip_tombstones) {
-        NodeMaxResult res = co_await rep.WriteVerifiedNode(word, {}, Meta());
-        if (!res.ok()) {
-          co_return false;
-        }
-      }
-    } else {
-      if (!m.value_ok) {
-        co_return false;  // Out-of-place chase lost a race; retry the round.
-      }
-      NodeMaxResult res = co_await rep.WriteVerifiedNode(word, m.value, Meta());
-      if (!res.ok()) {
-        co_return false;
-      }
-    }
-  }
-  // Timestamp-lock state arbitrates guessed writes and must survive the
-  // crash too, or a lock majority that included the wiped node silently
-  // dissolves and both modes can acquire.
-  co_return co_await RestoreLocks(worker, layout, target);
-}
-
-}  // namespace
 
 sim::Task<RepairOutcome> IndexRepairSource::RepairNode(int node, Worker* worker,
                                                        const RepairConfig& config) {
@@ -132,6 +25,13 @@ sim::Task<RepairOutcome> IndexRepairSource::RepairNode(int node, Worker* worker,
   // referenced by any client, so repair need not re-walk them every round.
   (void)index_->GcRetired();
   for (const auto& retired : index_->retired()) {
+    if (retired.moved) {
+      // Migrated away: the replacement layout (reachable through the live
+      // snapshot) is the authority now, and the vacated slots are
+      // region-fenced — restoring state behind the fence would only fight
+      // the migration that retired them.
+      continue;
+    }
     layouts.push_back(retired.layout);
   }
   for (const auto& layout_sp : layouts) {
@@ -145,8 +45,10 @@ sim::Task<RepairOutcome> IndexRepairSource::RepairNode(int node, Worker* worker,
         AbdObject obj(worker, layout, worker->SlotCacheFor(layout));
         ok = co_await obj.RepairReplica(r, config.skip_tombstone_repair);
       } else {
-        ok = co_await RepairSafeGuessReplica(worker, layout_sp, r,
-                                             config.skip_tombstone_repair);
+        // Same-layout copy: harvest from the survivors, install into the
+        // rejoining replica (src/repair/quorum_copy.h).
+        ok = co_await CopySafeGuessReplica(worker, layout_sp, layout_sp.get(), r,
+                                           config.skip_tombstone_repair);
       }
       if (ok) {
         ++out.slots_repaired;
@@ -198,6 +100,7 @@ void RepairService::TriggerDarkRetries() {
 }
 
 sim::Task<void> RepairService::ResumeRepair(int node) {
+  EnsureTracked(node);
   // The dark node is still fenced and quorum-excluded with its partially
   // repaired slots intact, so the restart step is skipped: just run the
   // round loop again (RepairNode is idempotent) now that a readmission
@@ -239,6 +142,7 @@ sim::Task<void> RepairService::ResumeRepair(int node) {
 }
 
 sim::Task<bool> RepairService::RecoverAndRepair(int node) {
+  EnsureTracked(node);
   ++in_flight_;
   ++lifecycle_gen_[static_cast<size_t>(node)];  // Invalidates in-flight resumes.
   dark_.erase(node);  // A fresh lifecycle supersedes any pending re-repair.

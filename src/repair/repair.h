@@ -165,6 +165,17 @@ class RepairService {
   const RepairConfig& config() const { return config_; }
 
  private:
+  // Grows the per-node lifecycle vectors for a node hot-added after this
+  // service was constructed (elastic membership: an admitted node can crash
+  // and repair like any other).
+  void EnsureTracked(int node) {
+    const auto n = static_cast<size_t>(node) + 1;
+    if (resuming_.size() < n) {
+      resuming_.resize(n, false);
+      lifecycle_gen_.resize(n, 0);
+    }
+  }
+
   // Re-runs the round loop for a node whose earlier repair gave up; called
   // on every successful readmission. Readmits on success (which in turn
   // re-triggers any remaining dark nodes).

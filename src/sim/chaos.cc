@@ -31,6 +31,14 @@ const char* FaultKindName(FaultKind kind) {
       return "qp_drop";
     case FaultKind::kQpDropStop:
       return "qp_drop_stop";
+    case FaultKind::kPartition:
+      return "partition";
+    case FaultKind::kPartitionHeal:
+      return "partition_heal";
+    case FaultKind::kMigrateStart:
+      return "migrate";
+    case FaultKind::kMigrateDone:
+      return "migrate_done";
   }
   return "?";
 }
@@ -45,7 +53,9 @@ ChaosEngine::ChaosEngine(fabric::Fabric* fabric, membership::MembershipService* 
   drop_req_p_.assign(n, 0.0);
   drop_ack_p_.assign(n, 0.0);
   drop_gen_.assign(n, 0);
-  crashed_.assign(static_cast<size_t>(fabric_->num_nodes()), false);
+  // Sized to max_nodes, not num_nodes: a migration hook can hot-add nodes
+  // mid-scenario (Fabric::AddNode) and they must be crashable too.
+  crashed_.assign(static_cast<size_t>(fabric_->max_nodes()), false);
   fabric_->set_link_delay_fn(
       [this](int node, bool /*response*/) { return spike_delay_[static_cast<size_t>(node)]; });
   fabric_->set_drop_fn([this](int node, bool response, int qp_tag) {
@@ -93,19 +103,24 @@ void ChaosEngine::InjectOne() {
                               : fabric_->num_nodes();
   bool crash_candidate = false;
   for (int i = 0; i < crash_limit; ++i) {
-    if (!crashed_[static_cast<size_t>(i)]) {
+    if (!crashed_[static_cast<size_t>(i)] &&
+        (membership_ == nullptr || membership_->CrashEligible(i))) {
       crash_candidate = true;
       break;
     }
   }
   const bool lease_ok = membership_ != nullptr && membership_->HasRegisteredClients();
-  std::array<Class, 7> classes{{
+  std::array<Class, 9> classes{{
       {crash_candidate && crashed_count_ < config_.max_crashed ? config_.crash_weight : 0.0,
        &ChaosEngine::InjectCrash},
       {config_.delay_weight, &ChaosEngine::InjectDelaySpike},
       {config_.drop_weight, &ChaosEngine::InjectDropBurst},
       {config_.qp_tag_count > 0 ? config_.qp_drop_weight : 0.0,
        &ChaosEngine::InjectQpDropBurst},
+      {config_.partition_weight, &ChaosEngine::InjectPartition},
+      {migration_fn_ && migrations_started_ < config_.max_migrations ? config_.migration_weight
+                                                                     : 0.0,
+       &ChaosEngine::InjectMigration},
       {lease_ok ? config_.lease_weight : 0.0, &ChaosEngine::InjectLeaseExpiry},
       {membership_ != nullptr ? config_.detection_weight : 0.0,
        &ChaosEngine::InjectDetectionSweep},
@@ -139,7 +154,10 @@ void ChaosEngine::InjectCrash() {
                         : fabric_->num_nodes();
   std::vector<int> candidates;
   for (int i = 0; i < limit; ++i) {
-    if (!crashed_[static_cast<size_t>(i)]) {
+    // Decommissioned nodes host nothing and left the membership: crashing
+    // one would burn a max_crashed slot on a no-op.
+    if (!crashed_[static_cast<size_t>(i)] &&
+        (membership_ == nullptr || membership_->CrashEligible(i))) {
       candidates.push_back(i);
     }
   }
@@ -268,6 +286,45 @@ void ChaosEngine::InjectQpDropBurst() {
   });
 }
 
+void ChaosEngine::InjectPartition() {
+  // Asymmetric sustained partition: ONE direction of one link drops
+  // everything while the other keeps delivering. Requests-dropped starves a
+  // quorum leg outright; acks-dropped is the nastier half-open split — every
+  // verb APPLIES at the node but completes locally as failed, so the whole
+  // leg accumulates possibly-applied state.
+  const int links = config_.fault_index_link ? fabric_->chaos_link_count() : fabric_->num_nodes();
+  const int node = static_cast<int>(sim_->rng().Below(static_cast<uint64_t>(links)));
+  const bool drop_requests = sim_->rng().Chance(0.5);
+  const sim::Time duration =
+      config_.min_partition_duration +
+      static_cast<sim::Time>(sim_->rng().Below(
+          static_cast<uint64_t>(config_.max_partition_duration - config_.min_partition_duration) +
+          1));
+  drop_req_p_[static_cast<size_t>(node)] = drop_requests ? 1.0 : 0.0;
+  drop_ack_p_[static_cast<size_t>(node)] = drop_requests ? 0.0 : 1.0;
+  const uint64_t gen = ++drop_gen_[static_cast<size_t>(node)];
+  Record(FaultKind::kPartition, node, drop_requests ? 1 : 0);
+  sim_->After(duration, [this, node, gen] {
+    // A newer burst/partition on the same link supersedes this heal.
+    if (drop_gen_[static_cast<size_t>(node)] == gen) {
+      drop_req_p_[static_cast<size_t>(node)] = 0.0;
+      drop_ack_p_[static_cast<size_t>(node)] = 0.0;
+      Record(FaultKind::kPartitionHeal, node, 0);
+    }
+  });
+}
+
+void ChaosEngine::InjectMigration() {
+  ++migrations_started_;
+  Record(FaultKind::kMigrateStart, -1, static_cast<uint64_t>(migrations_started_));
+  sim::Spawn(MigrationCycle());
+}
+
+sim::Task<void> ChaosEngine::MigrationCycle() {
+  const bool ok = co_await migration_fn_();
+  Record(FaultKind::kMigrateDone, -1, ok ? 0 : 1);
+}
+
 void ChaosEngine::InjectLeaseExpiry() {
   const std::vector<uint32_t> ids = membership_->RegisteredClients();
   const uint32_t id = ids[sim_->rng().Below(ids.size())];
@@ -308,13 +365,13 @@ uint64_t ChaosEngine::TraceHash() const {
 }
 
 std::string ChaosEngine::TraceSummary() const {
-  std::array<int, 16> counts{};
+  std::array<int, 32> counts{};
   for (const FaultEvent& e : trace_) {
     ++counts[static_cast<size_t>(e.kind) % counts.size()];
   }
   std::string out;
   for (uint8_t k = static_cast<uint8_t>(FaultKind::kCrash);
-       k <= static_cast<uint8_t>(FaultKind::kQpDropStop); ++k) {
+       k <= static_cast<uint8_t>(FaultKind::kMigrateDone); ++k) {
     const int c = counts[k];
     if (c == 0) {
       continue;

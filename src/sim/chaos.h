@@ -53,6 +53,16 @@ enum class FaultKind : uint8_t {
   kQpDropBurst,     // drop burst on ONE client QP began (node = target link,
                     // param = tag << 16 | probability permille)
   kQpDropStop,      // per-QP burst ended (param = tag)
+  kPartition,       // asymmetric sustained partition began: ONE direction of
+                    // one link drops EVERYTHING for a bounded interval while
+                    // the other keeps delivering (param: 1 = requests dropped
+                    // and acks delivered, 0 = requests delivered and acks
+                    // dropped — the applied-but-invisible direction)
+  kPartitionHeal,   // the partition healed
+  kMigrateStart,    // a live-migration lifecycle was kicked off through the
+                    // set_migration_fn hook (param = ordinal)
+  kMigrateDone,     // the lifecycle completed (param: 0 = success, 1 = it
+                    // aborted/was skipped — the cluster stayed as before)
 };
 
 const char* FaultKindName(FaultKind kind);
@@ -115,6 +125,23 @@ struct ChaosConfig {
   double drop_ack_weight = 1.0;
   sim::Time max_drop_duration = 60 * sim::kMicrosecond;
 
+  // Asymmetric sustained partitions: one direction of one link drops every
+  // message (probability 1.0) for a bounded interval while the opposite
+  // direction keeps delivering — a half-open network split, nastier than a
+  // probabilistic burst because an entire quorum leg goes dark (requests
+  // dropped) or an entire leg's effects apply invisibly (acks dropped).
+  // Opt-in via the weight.
+  double partition_weight = 0.0;
+  sim::Time min_partition_duration = 40 * sim::kMicrosecond;
+  sim::Time max_partition_duration = 200 * sim::kMicrosecond;
+
+  // Live-migration lifecycles (node admission, key moves, drains) injected
+  // through set_migration_fn, at most max_migrations per scenario. The hook
+  // owns the choreography; the engine owns WHEN it fires and records the
+  // start/done trace events.
+  double migration_weight = 0.0;
+  int max_migrations = 2;
+
   // Per-QP drop bursts: each burst targets the queue pair of ONE client
   // (Worker::set_chaos_tag, tags drawn uniformly from [0, qp_tag_count)) to
   // ONE memory node — a flaky cable or dying NIC port rather than a
@@ -159,6 +186,13 @@ class ChaosEngine {
   // Enable with ChaosConfig::restart + ChaosConfig::repair.
   void set_repair_fn(std::function<sim::Task<bool>(int)> fn) { repair_fn_ = std::move(fn); }
 
+  // Binds the kMigrateStart/kMigrateDone lifecycle (typically a
+  // MigrationService admission, key-move batch, or drain): invoked at
+  // injection instants, at most ChaosConfig::max_migrations times per
+  // scenario. The task co_returns true on success, false when the lifecycle
+  // aborted or was skipped. Enable with ChaosConfig::migration_weight > 0.
+  void set_migration_fn(std::function<sim::Task<bool>()> fn) { migration_fn_ = std::move(fn); }
+
   // Spawns the injection driver. Call once, before (or after) starting the
   // workload actors but before Simulator::Run.
   void Start();
@@ -178,12 +212,15 @@ class ChaosEngine {
  private:
   sim::Task<void> RunLoop();
   sim::Task<void> RepairCycle(int node);
+  sim::Task<void> MigrationCycle();
   void InjectOne();
 
   void InjectCrash();
   void InjectDelaySpike();
   void InjectDropBurst();
   void InjectQpDropBurst();
+  void InjectPartition();
+  void InjectMigration();
   void InjectLeaseExpiry();
   void InjectDetectionSweep();
   void InjectEpochChurn();
@@ -198,6 +235,8 @@ class ChaosEngine {
   ChaosConfig config_;
   std::function<sim::Task<void>()> churn_fn_;
   std::function<sim::Task<bool>(int)> repair_fn_;
+  std::function<sim::Task<bool>()> migration_fn_;
+  int migrations_started_ = 0;
 
   // Per-link live fault state consulted by the fabric hooks; one entry per
   // memory node plus one for the index service's RPC link.

@@ -33,6 +33,7 @@ struct Phase1State {
   std::array<bool, kMaxReplicas> oks{};
   std::array<uint32_t, kMaxReplicas> oop_idx{};
   std::vector<uint8_t> value;  // Images are built per replica (per-node hash).
+  bool moved = false;          // Some replica NACKed kMovedReplica.
 
   explicit Phase1State(sim::Simulator* s) : ok(s) {}
 };
@@ -58,6 +59,10 @@ sim::Task<void> Phase1One(Worker* worker, const ObjectLayout* layout, int r,
     if (w_res.status == fabric::Status::kNodeFailed || r_res.status == fabric::Status::kNodeFailed) {
       worker->MarkNodeFailed(rep.node);
     }
+    if (w_res.status == fabric::Status::kMovedReplica ||
+        r_res.status == fabric::Status::kMovedReplica) {
+      ph->moved = true;
+    }
     co_return;
   }
   uint64_t word;
@@ -82,6 +87,7 @@ struct CasState {
   // since-overwritten value under a fresh timestamp.
   int completions = 0;
   bool maybe_applied = false;
+  bool moved = false;  // Some CAS bounced off a migration fence.
 
   explicit CasState(sim::Simulator* s) : ok(s) {}
 };
@@ -102,6 +108,9 @@ sim::Task<void> CasMaxOne(Worker* worker, const ObjectLayout* layout, int r, Met
     if (!res.ok()) {
       if (res.status == fabric::Status::kNodeFailed) {
         ph->maybe_applied = true;  // A dropped ack may hide an applied CAS.
+      }
+      if (res.status == fabric::Status::kMovedReplica) {
+        ph->moved = true;  // Migration fence: the CAS provably did not apply.
       }
       ++ph->completions;
       co_return;
@@ -144,6 +153,9 @@ sim::Task<void> RepairOne(Worker* worker, const ObjectLayout* layout, int r, Met
   fabric::OpResult res = co_await qp.WriteThenCas(static_cast<uint64_t>(oop) * kOopGranuleBytes,
                                                   image, rep.meta_addr, 0, desired.raw());
   if (!res.ok()) {
+    if (res.status == fabric::Status::kMovedReplica) {
+      ph->moved = true;
+    }
     co_return;
   }
   prev = Meta(res.old_value);
@@ -151,6 +163,9 @@ sim::Task<void> RepairOne(Worker* worker, const ObjectLayout* layout, int r, Met
   while (!installed && TsLess(prev, desired)) {
     res = co_await qp.Cas(rep.meta_addr, prev.raw(), desired.raw());
     if (!res.ok()) {
+      if (res.status == fabric::Status::kMovedReplica) {
+        ph->moved = true;
+      }
       co_return;
     }
     const Meta seen(res.old_value);
@@ -176,7 +191,8 @@ sim::Task<void> RepairOne(Worker* worker, const ObjectLayout* layout, int r, Met
 // false when no majority acked; `rtts` is bumped iff a repair wave ran.
 sim::Task<bool> FenceTombstone(Worker* worker, const ObjectLayout* layout,
                                const std::array<int, kMaxReplicas>& order, int usable,
-                               std::shared_ptr<Phase1State> ph, Meta m, int* rtts) {
+                               std::shared_ptr<Phase1State> ph, Meta m, int* rtts,
+                               bool* moved = nullptr) {
   const int maj = layout->majority();
   int holders = 0;
   for (int r = 0; r < layout->num_replicas; ++r) {
@@ -191,11 +207,15 @@ sim::Task<bool> FenceTombstone(Worker* worker, const ObjectLayout* layout,
   const Meta repair = Meta::Pack(m.counter(), m.tid(), m.verified(), 0);
   auto cs = std::make_shared<CasState>(worker->sim());
   ++*rtts;
-  co_return co_await worker->BatchedQuorum(
+  const bool fenced = co_await worker->BatchedQuorum(
       cs->ok, maj, worker->config().quorum_timeout, 0, usable, [&](int i) {
         const int r = order[static_cast<size_t>(i)];
         return CasMaxOne(worker, layout, r, ph->words[static_cast<size_t>(r)], repair, cs);
       });
+  if (moved != nullptr) {
+    *moved = cs->moved;
+  }
+  co_return fenced;
 }
 
 // Live replicas first, known-failed last; repair-excluded replicas dropped
@@ -271,15 +291,19 @@ sim::Task<SgWriteResult> AbdObject::WriteAttempt(std::span<const uint8_t> value,
   bool got = co_await worker_->BatchedQuorum(ph->ok, maj, worker_->config().escalation_timeout, 0,
                                              first_wave, phase1);
   result.rtts = 1;
-  if (!got && !worker_->EpochRefreshNeeded()) {
+  if (!got && !worker_->EpochRefreshNeeded() && !ph->moved) {
     ++result.rtts;
     got = co_await worker_->BatchedQuorum(ph->ok, maj, worker_->config().quorum_timeout,
                                           first_wave, usable - first_wave, phase1);
   }
   if (!got) {
     // Phase 1 has no reachable effect (no metadata word points at the
-    // out-of-place buffers yet): re-running the attempt is always safe.
+    // out-of-place buffers yet): re-running the attempt is always safe —
+    // including against a replacement layout after a migration fence.
     *retry_safe = true;
+    if (ph->moved) {
+      result.status = SgStatus::kMoved;
+    }
     co_return result;
   }
 
@@ -292,11 +316,20 @@ sim::Task<SgWriteResult> AbdObject::WriteAttempt(std::span<const uint8_t> value,
   if (m.deleted()) {
     // Same repair as the read path: the tombstone must reach a majority
     // before the caller unmaps/fails, or disjoint quorums resurrect values.
-    const bool fenced =
-        co_await FenceTombstone(worker_, layout_, order, usable, ph, m, &result.rtts);
+    bool fence_moved = false;
+    const bool fenced = co_await FenceTombstone(worker_, layout_, order, usable, ph, m,
+                                                &result.rtts, &fence_moved);
     // Re-installing the identical tombstone word is idempotent.
     *retry_safe = !fenced;
-    result.status = fenced ? SgStatus::kDeleted : SgStatus::kUnavailable;
+    if (fenced) {
+      result.status = SgStatus::kDeleted;
+    } else {
+      // Our phase-1 buffers are unreachable and the fence CASes carry a
+      // FOREIGN tombstone, so nothing of this op can have taken effect:
+      // a migration-fence bounce is safe to re-execute after re-locating
+      // (the replacement layout carries the harvested tombstone).
+      result.status = fence_moved ? SgStatus::kMoved : SgStatus::kUnavailable;
+    }
     co_return result;
   }
 
@@ -322,7 +355,15 @@ sim::Task<SgWriteResult> AbdObject::WriteAttempt(std::span<const uint8_t> value,
   // Phase-2 failure is re-executable only when every CAS task finished and
   // none could have installed the fresh-timestamp word (see CasState).
   *retry_safe = !got && cs->completions == launched && !cs->maybe_applied;
-  result.status = got ? SgStatus::kOk : SgStatus::kUnavailable;
+  if (got) {
+    result.status = SgStatus::kOk;
+  } else if (*retry_safe && cs->moved) {
+    // Every install bounced off a migration fence with zero effect: the
+    // caller may re-locate and re-execute on the replacement layout.
+    result.status = SgStatus::kMoved;
+  } else {
+    result.status = SgStatus::kUnavailable;
+  }
   co_return result;
 }
 
@@ -363,8 +404,14 @@ sim::Task<SgWriteResult> AbdObject::Delete() {
       // intersection guarantees a fully deleted object shows the foreign
       // tombstone to at least one of our acked CASes.
       result.status = SgStatus::kDeleted;
+    } else if (got) {
+      result.status = SgStatus::kOk;
+    } else if (cs->moved && cs->completions == usable && !cs->maybe_applied) {
+      // All tombstone CASes bounced off a migration fence unapplied: safe to
+      // re-execute the delete against the replacement layout.
+      result.status = SgStatus::kMoved;
     } else {
-      result.status = got ? SgStatus::kOk : SgStatus::kUnavailable;
+      result.status = SgStatus::kUnavailable;
     }
     co_return result;
   }
@@ -372,8 +419,19 @@ sim::Task<SgWriteResult> AbdObject::Delete() {
 }
 
 sim::Task<bool> AbdObject::RepairReplica(int target, bool skip_tombstones) {
-  // Phase 1: the surviving quorum's metadata words (the caller's worker has
-  // the target's node repair-excluded, so `order` never includes it).
+  co_return co_await CopyReplicaInternal(layout_, target, skip_tombstones);
+}
+
+sim::Task<bool> AbdObject::CopyReplicaTo(const ObjectLayout* dst, int target) {
+  co_return co_await CopyReplicaInternal(dst, target, /*skip_tombstones=*/false);
+}
+
+sim::Task<bool> AbdObject::CopyReplicaInternal(const ObjectLayout* dst, int target,
+                                               bool skip_tombstones) {
+  // Phase 1: the surviving SOURCE quorum's metadata words. For crash repair
+  // the caller's worker has the target's node repair-excluded, so `order`
+  // never includes it; for migration the vacated source slot is
+  // region-fenced and the worker rides the fence-exempt repair channel.
   auto ph = std::make_shared<Phase1State>(worker_->sim());
   auto rd_one = [](Worker* worker, const ObjectLayout* layout, int r,
                    std::shared_ptr<Phase1State> st) -> sim::Task<void> {
@@ -417,7 +475,7 @@ sim::Task<bool> AbdObject::RepairReplica(int target, bool skip_tombstones) {
     // Tombstone stabilization: restore the EXACT tombstone word so deleted
     // objects cannot resurrect through a quorum that pairs the rejoined
     // replica with a stale survivor.
-    co_await CasMaxOne(worker_, layout_, target, Meta(), m, cs);
+    co_await CasMaxOne(worker_, dst, target, Meta(), m, cs);
     co_return cs->ok.count() > 0;
   }
 
@@ -452,9 +510,9 @@ sim::Task<bool> AbdObject::RepairReplica(int target, bool skip_tombstones) {
     co_return false;  // Buffer torn or recycled under us: caller retries.
   }
 
-  // Phase 3: install (word, fresh image) at the rejoining replica.
+  // Phase 3: install (word, fresh image) at the destination replica.
   const Meta base = Meta::Pack(m.counter(), m.tid(), m.verified(), 0);
-  co_await RepairOne(worker_, layout_, target, base, img, cs);
+  co_await RepairOne(worker_, dst, target, base, img, cs);
   co_return cs->ok.count() > 0;
 }
 
@@ -480,6 +538,9 @@ sim::Task<SgReadResult> AbdObject::Read() {
         if (res.status == fabric::Status::kNodeFailed) {
           worker->MarkNodeFailed(rep.node);
         }
+        if (res.status == fabric::Status::kMovedReplica) {
+          st->moved = true;
+        }
         co_return;
       }
       uint64_t word;
@@ -501,12 +562,18 @@ sim::Task<SgReadResult> AbdObject::Read() {
                                                worker_->config().escalation_timeout, 0,
                                                first_wave, read_wave);
     ++result.rtts;
-    if (!got && !worker_->EpochRefreshNeeded()) {
+    if (!got && !worker_->EpochRefreshNeeded() && !ph->moved) {
       ++result.rtts;
       got = co_await worker_->BatchedQuorum(ph->ok, maj, worker_->config().quorum_timeout,
                                             first_wave, usable - first_wave, read_wave);
     }
     if (!got) {
+      if (ph->moved) {
+        // Migration fence: re-locate via the index (reads are always safe
+        // to re-execute).
+        result.status = SgStatus::kMoved;
+        co_return result;
+      }
       if (worker_->EpochRefreshNeeded() && attempt + 1 < kMaxAttempts) {
         continue;  // Fence-induced: the next attempt refreshes and retries.
       }
@@ -534,8 +601,13 @@ sim::Task<SgReadResult> AbdObject::Read() {
     if (m.deleted()) {
       // ABD read-repair applies to tombstones too (see FenceTombstone):
       // report "deleted" only once a majority carries it.
-      if (!co_await FenceTombstone(worker_, layout_, order, usable, ph, m, &result.rtts)) {
-        co_return result;  // Cannot stabilize the deletion: unavailable.
+      bool fence_moved = false;
+      if (!co_await FenceTombstone(worker_, layout_, order, usable, ph, m, &result.rtts,
+                                   &fence_moved)) {
+        if (fence_moved) {
+          result.status = SgStatus::kMoved;  // Re-locate and re-read.
+        }
+        co_return result;  // Else: cannot stabilize the deletion, unavailable.
       }
       result.status = SgStatus::kDeleted;
       co_return result;
@@ -543,6 +615,7 @@ sim::Task<SgReadResult> AbdObject::Read() {
 
     // Phase 2: chase the out-of-place pointer at a replica holding m.
     bool value_ok = false;
+    bool chase_moved = false;
     std::vector<uint8_t> value;
     for (int r = 0; r < layout_->num_replicas && !value_ok; ++r) {
       const auto idx = static_cast<size_t>(r);
@@ -556,6 +629,7 @@ sim::Task<SgReadResult> AbdObject::Read() {
           co_await worker_->qp(rep.node).Read(ph->words[idx].oop_addr(), buf);
       ++result.rtts;
       if (!res.ok()) {
+        chase_moved = chase_moved || res.status == fabric::Status::kMovedReplica;
         continue;
       }
       uint64_t h;
@@ -571,6 +645,10 @@ sim::Task<SgReadResult> AbdObject::Read() {
       }
     }
     if (!value_ok) {
+      if (chase_moved) {
+        result.status = SgStatus::kMoved;  // Fenced mid-read: re-locate.
+        co_return result;
+      }
       continue;  // Buffer torn or recycled: retry the whole read.
     }
 
@@ -594,6 +672,9 @@ sim::Task<SgReadResult> AbdObject::Read() {
       ++result.rtts;
       got = co_await cs->ok.WaitFor(maj - holders, worker_->config().quorum_timeout);
       if (!got) {
+        if (cs->moved) {
+          result.status = SgStatus::kMoved;  // Fenced mid-write-back: re-locate.
+        }
         co_return result;
       }
     }

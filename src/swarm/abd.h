@@ -50,7 +50,20 @@ class AbdObject {
   // canary-gallery bug knob (repair::RepairConfig::skip_tombstone_repair).
   sim::Task<bool> RepairReplica(int target, bool skip_tombstones = false);
 
+  // Live migration (src/repair/migration.h): harvests this (source) layout's
+  // authoritative state from its surviving quorum and installs it into
+  // `dst`'s replica `target` — the cross-layout analogue of RepairReplica.
+  // The image hash is re-salted with the destination's metadata address, so
+  // the installed buffer self-validates under the new layout. The caller's
+  // worker must ride the repair channel (the vacated source slot is
+  // region-fenced during the harvest).
+  sim::Task<bool> CopyReplicaTo(const ObjectLayout* dst, int target);
+
  private:
+  // Shared harvest+install core of RepairReplica (dst == layout_) and
+  // CopyReplicaTo (dst is the migration's replacement layout).
+  sim::Task<bool> CopyReplicaInternal(const ObjectLayout* dst, int target, bool skip_tombstones);
+
   sim::Task<SgWriteResult> WriteWord(Meta base, std::span<const uint8_t> value);
 
   // One update attempt; Write() wraps it in the membership-refresh-then-

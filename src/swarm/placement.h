@@ -1,0 +1,53 @@
+// Serving-filtered replica placement, shared by the KV stores.
+//
+// Placement hashes a key onto consecutive nodes. With elastic membership the
+// candidate set is the SERVING nodes only (MembershipService::serving()):
+// joining nodes hold nothing yet, draining nodes must not gain new extents,
+// retired nodes are gone. When every node is serving — or no serving vector
+// is wired (benchmarks, unit fixtures, fixed clusters) — the choice reduces
+// to the classic (hash + i) % num_nodes, so pre-elastic layouts and tests
+// are unchanged.
+//
+// Placement only decides where NEW objects go. Existing layouts keep their
+// replica nodes across membership changes; moving them is the
+// MigrationService's job, never the placement's.
+
+#ifndef SWARM_SRC_SWARM_PLACEMENT_H_
+#define SWARM_SRC_SWARM_PLACEMENT_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace swarm {
+
+// Fills nodes[0..replicas) with distinct-by-index candidates for a key whose
+// placement hash is `h`. `serving` may be null (no filter) and may be shorter
+// than num_nodes (nodes hot-added after the vector was wired default to
+// non-serving until the membership grows it).
+inline void PlaceReplicas(uint64_t h, int replicas, int num_nodes,
+                          const std::vector<bool>* serving, int* nodes) {
+  std::vector<int> candidates;
+  candidates.reserve(static_cast<size_t>(num_nodes));
+  if (serving != nullptr) {
+    for (int i = 0; i < num_nodes; ++i) {
+      if (static_cast<size_t>(i) < serving->size() && (*serving)[static_cast<size_t>(i)]) {
+        candidates.push_back(i);
+      }
+    }
+  }
+  if (candidates.empty()) {
+    // No filter wired, or a degenerate membership (nothing serving): fall
+    // back to the full cluster rather than failing the allocation.
+    for (int i = 0; i < num_nodes; ++i) {
+      candidates.push_back(i);
+    }
+  }
+  const auto n = static_cast<uint64_t>(candidates.size());
+  for (int i = 0; i < replicas; ++i) {
+    nodes[i] = candidates[static_cast<size_t>((h + static_cast<uint64_t>(i)) % n)];
+  }
+}
+
+}  // namespace swarm
+
+#endif  // SWARM_SRC_SWARM_PLACEMENT_H_

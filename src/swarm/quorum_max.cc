@@ -9,6 +9,7 @@ namespace swarm {
 namespace {
 
 bool IsNodeFailure(fabric::Status s) { return s == fabric::Status::kNodeFailed; }
+bool IsMoved(fabric::Status s) { return s == fabric::Status::kMovedReplica; }
 
 // --- WriteAndRead phase ---
 
@@ -19,6 +20,14 @@ struct WrPhase {
   Meta m;                      // ts-max excluding `w` itself.
   std::array<Meta, kMaxReplicas> installed{};
   int max_retries = 0;
+  bool moved = false;          // Some replica NACKed kMovedReplica.
+  // Effect accounting for the retry-on-replacement-layout gate: the write
+  // provably had no effect only when every launched attempt completed with a
+  // no-effect NACK (kStaleEpoch/kMovedReplica) — an install, a kNodeFailed
+  // completion, or a still-in-flight straggler all mean "maybe applied".
+  bool maybe_applied = false;
+  int launched = 0;
+  int completions = 0;
 
   explicit WrPhase(sim::Simulator* s) : ok(s) {}
 };
@@ -35,6 +44,13 @@ sim::Task<void> WriteAndReadOne(Worker* worker, const ObjectLayout* layout,
   auto rd = rep.ReadNode(/*want_inplace=*/false, worker->tid());
   auto [mr, view] =
       co_await fabric::PostBoth(worker->cpu(), worker->sim(), std::move(wt), std::move(rd));
+  ++ph->completions;
+  if (mr.ok() || IsNodeFailure(mr.status)) {
+    ph->maybe_applied = true;  // Installed, or applied-but-unacked.
+  }
+  if (IsMoved(mr.status) || IsMoved(view.status)) {
+    ph->moved = true;
+  }
   if (!mr.ok() || !view.ok()) {
     if (IsNodeFailure(mr.status) || IsNodeFailure(view.status)) {
       worker->MarkNodeFailed(rep.node());
@@ -59,6 +75,7 @@ struct RdPhase {
   std::array<bool, kMaxReplicas> oks{};
   std::array<std::vector<Meta>, kMaxReplicas> slots;
   bool have_inplace = false;
+  bool moved = false;  // Some replica NACKed kMovedReplica.
   Meta inplace_word;
   std::vector<uint8_t> inplace_value;
 
@@ -72,6 +89,9 @@ sim::Task<void> ReadOne(Worker* worker, const ObjectLayout* layout,
   if (!view.ok()) {
     if (IsNodeFailure(view.status)) {
       worker->MarkNodeFailed(rep.node());
+    }
+    if (IsMoved(view.status)) {
+      ph->moved = true;
     }
     co_return;
   }
@@ -94,6 +114,7 @@ struct RepairPhase {
   sim::Counter fixed;
   Meta base;  // (counter, tid, flag) of the max, oop stripped.
   std::vector<uint8_t> value;
+  bool moved = false;
 
   explicit RepairPhase(sim::Simulator* s) : fixed(s) {}
 };
@@ -104,6 +125,8 @@ sim::Task<void> RepairOne(Worker* worker, const ObjectLayout* layout, int r, Met
   NodeMaxResult res = co_await rep.WriteMaxFor(ph->base, ph->value, seed);
   if (res.ok()) {
     ph->fixed.Add(1);
+  } else if (IsMoved(res.status)) {
+    ph->moved = true;
   }
 }
 
@@ -114,6 +137,7 @@ struct VwPhase {
   Meta w;
   std::vector<uint8_t> value;
   int max_retries = 0;
+  bool moved = false;
 
   explicit VwPhase(sim::Simulator* s) : ok(s) {}
 };
@@ -127,6 +151,9 @@ sim::Task<void> WriteVerifiedOne(Worker* worker, const ObjectLayout* layout,
   if (!res.ok()) {
     if (IsNodeFailure(res.status)) {
       worker->MarkNodeFailed(rep.node());
+    }
+    if (IsMoved(res.status)) {
+      ph->moved = true;
     }
     co_return;
   }
@@ -179,8 +206,10 @@ sim::Task<WriteReadOutcome> QuorumMax::WriteAndRead(Meta w, std::span<const uint
   for (int retry = 0; retry < 2 && !out.ok && worker_->EpochRefreshNeeded(); ++retry) {
     co_await worker_->RefreshEpoch();
     const int prior_rtts = out.rtts;
+    const bool prior_effect = out.effect_possible;
     out = co_await WriteAndReadOnce(w, value);
     out.rtts += prior_rtts;
+    out.effect_possible |= prior_effect;  // Effects accumulate across attempts.
   }
   co_return out;
 }
@@ -202,15 +231,19 @@ sim::Task<WriteReadOutcome> QuorumMax::WriteAndReadOnce(Meta w, std::span<const 
   auto one = [&](int i) {
     return WriteAndReadOne(worker_, layout_, cache_, order[static_cast<size_t>(i)], ph);
   };
+  ph->launched += first_wave;
   bool got = co_await worker_->BatchedQuorum(ph->ok, maj, worker_->config().escalation_timeout, 0,
                                              first_wave, one);
   int rtts = 1;
-  if (!got && !worker_->EpochRefreshNeeded()) {
+  if (!got && !worker_->EpochRefreshNeeded() && !ph->moved) {
     // Broaden to the remaining usable replicas (a pure grace wait when the
     // first wave already covered them all). Skipped once an epoch fence
-    // revoked a QP: the wrapper's refresh-retry is the productive path, not
-    // a grace wait on fail-fast completions.
+    // revoked a QP — the wrapper's refresh-retry is the productive path, not
+    // a grace wait on fail-fast completions — and likewise on a moved NACK:
+    // a migration flip fences ALL the layout's replicas at one instant, so
+    // no straggler can complete a majority.
     ++rtts;
+    ph->launched += usable - first_wave;
     got = co_await worker_->BatchedQuorum(ph->ok, maj, worker_->config().quorum_timeout,
                                           first_wave, usable - first_wave, one);
   }
@@ -219,6 +252,8 @@ sim::Task<WriteReadOutcome> QuorumMax::WriteAndReadOnce(Meta w, std::span<const 
   out.ok = got;
   out.m = ph->m;
   out.installed = ph->installed;
+  out.moved = ph->moved;
+  out.effect_possible = ph->maybe_applied || ph->completions < ph->launched;
   out.rtts = rtts + ph->max_retries;
   co_return out;
 }
@@ -251,11 +286,12 @@ sim::Task<ReadOutcome> QuorumMax::ReadQuorumOnce(bool strong) {
                                              first_wave, one);
   ReadOutcome out;
   out.rtts = 1;
-  if (!got && !worker_->EpochRefreshNeeded()) {
+  if (!got && !worker_->EpochRefreshNeeded() && !ph->moved) {
     ++out.rtts;
     got = co_await worker_->BatchedQuorum(ph->ok, maj, worker_->config().quorum_timeout,
                                           first_wave, usable - first_wave, one);
   }
+  out.moved = ph->moved;
   if (!got) {
     co_return out;  // No live majority.
   }
@@ -336,6 +372,7 @@ sim::Task<ReadOutcome> QuorumMax::ReadQuorumOnce(bool strong) {
           co_await rp->fixed.WaitFor(maj - holders, worker_->config().quorum_timeout);
       if (!fixed) {
         out.ok = false;
+        out.moved = out.moved || rp->moved;
         co_return out;
       }
     }
@@ -376,7 +413,7 @@ sim::Task<bool> QuorumMax::WriteVerifiedOnce(Meta w, std::span<const uint8_t> va
   bool got = co_await worker_->BatchedQuorum(ph->ok, maj, worker_->config().escalation_timeout, 0,
                                              first_wave, one);
   int phases = 1;
-  if (!got && !worker_->EpochRefreshNeeded()) {
+  if (!got && !worker_->EpochRefreshNeeded() && !ph->moved) {
     ++phases;
     got = co_await worker_->BatchedQuorum(ph->ok, maj, worker_->config().quorum_timeout,
                                           first_wave, usable - first_wave, one);

@@ -39,6 +39,14 @@ struct WriteReadOutcome {
   // Per-replica word this write installed (empty where it lost or was not
   // attempted); needed for the background VERIFIED promotion.
   std::array<Meta, kMaxReplicas> installed{};
+  // Some replica NACKed kMovedReplica: the object's extents were migrated
+  // away and the caller must re-locate through the index.
+  bool moved = false;
+  // Whether the write may have taken effect at ANY replica: an install, a
+  // kNodeFailed completion (applied-but-unacked), or a straggler still in
+  // flight. Only when this is false is a failed write provably a no-op —
+  // the gate for safely re-executing it against a replacement layout.
+  bool effect_possible = false;
   int rtts = 0;
 };
 
@@ -47,6 +55,7 @@ struct ReadOutcome {
   Meta m;                 // Global ts-max (full word as seen at some replica).
   bool value_ok = false;  // Bytes for `m` were resolved (meaningless for empty/tombstone).
   bool used_inplace = false;
+  bool moved = false;     // kMovedReplica seen: re-locate via the index.
   std::vector<uint8_t> value;
   std::array<Meta, kMaxReplicas> node_words{};  // Per-replica local max.
   std::array<bool, kMaxReplicas> node_ok{};

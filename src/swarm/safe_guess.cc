@@ -18,7 +18,12 @@ sim::Task<SgWriteResult> SafeGuessObject::Write(std::span<const uint8_t> value) 
   WriteReadOutcome out = co_await reg.WriteAndRead(w, value);
   result.rtts += out.rtts;
   if (!out.ok) {
-    co_return result;
+    if (out.moved && !out.effect_possible) {
+      // Every attempt bounced off a migration fence with zero effect: the
+      // caller may re-locate and re-execute this write on the new layout.
+      result.status = SgStatus::kMoved;
+    }
+    co_return result;  // Else kUnavailable: possibly applied, never re-execute.
   }
 
   if (out.m.deleted()) {
@@ -125,7 +130,10 @@ sim::Task<SgWriteResult> SafeGuessObject::Delete() {
   result.rtts = wr.rtts;
   result.fast_path = wr.rtts <= 1;
   if (!wr.ok) {
-    result.status = SgStatus::kUnavailable;
+    // Same re-execution gate as Write: only a provably effect-free bounce off
+    // a migration fence may be retried against the new layout.
+    result.status =
+        (wr.moved && !wr.effect_possible) ? SgStatus::kMoved : SgStatus::kUnavailable;
   } else if (wr.m.deleted()) {
     result.status = SgStatus::kDeleted;
   } else {
@@ -153,6 +161,12 @@ sim::Task<SgReadResult> SafeGuessObject::Read() {
     ReadOutcome m = co_await reg.ReadQuorum(/*strong=*/true);
     result.rtts += m.rtts;
     if (!m.ok) {
+      if (m.moved) {
+        // Migration fence: this layout no longer owns the object. Reads have
+        // no effect, so re-locating and re-reading is always safe.
+        result.status = SgStatus::kMoved;
+        co_return result;
+      }
       // Includes the unlucky case where the max's out-of-place buffer was
       // recycled mid-read; retry unless the fabric has lost a majority. A
       // straggler kStaleEpoch completion may have revoked a QP after

@@ -31,9 +31,16 @@ namespace swarm {
 
 enum class SgStatus : uint8_t {
   kOk = 0,
-  kNotFound,   // Register never written (empty replicas, §5.3.1).
-  kDeleted,    // Register carries the delete tombstone (§5.3.2).
-  kUnavailable  // No live majority of replicas.
+  kNotFound,    // Register never written (empty replicas, §5.3.1).
+  kDeleted,     // Register carries the delete tombstone (§5.3.2).
+  kUnavailable, // No live majority of replicas.
+  // The object's extents were migrated away (kMovedReplica NACKs) and the op
+  // provably had NO effect here: the caller must re-locate the object
+  // through the index and may safely re-execute against the new layout. An
+  // op that MIGHT have taken effect reports kUnavailable instead — the
+  // migration flip harvests the source's final state, so a possibly-applied
+  // write may be committed and must not be blindly re-executed.
+  kMoved,
 };
 
 struct SgWriteResult {

@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <unordered_map>
@@ -46,11 +47,8 @@ class Worker {
     if (cpu != nullptr) {
       cpu->Configure(&fabric->stats(), fabric->config().doorbell_batching);
     }
-    qps_.reserve(static_cast<size_t>(fabric->num_nodes()));
-    pools_.reserve(static_cast<size_t>(fabric->num_nodes()));
     for (int n = 0; n < fabric->num_nodes(); ++n) {
-      qps_.emplace_back(fabric, n, cpu);
-      pools_.emplace_back(&fabric->node(n), fabric->sim(), config.max_value, config.oop_pool_slots);
+      EnsureNode(n);
     }
   }
 
@@ -61,8 +59,19 @@ class Worker {
   const ProtocolConfig& config() const { return config_; }
 
   fabric::ClientCpu* cpu() { return cpu_; }
-  fabric::Qp& qp(int node) { return qps_[static_cast<size_t>(node)]; }
-  OopPool& pool(int node) { return pools_[static_cast<size_t>(node)]; }
+  // Queue pairs and buffer pools grow lazily: a worker created before a
+  // membership admission connects to the hot-added node on first use (the QP
+  // setup that in a real cluster the admission handshake performs). Deques,
+  // not vectors — protocol coroutines hold Qp&/OopPool& across suspension
+  // points, so growth must never move existing elements.
+  fabric::Qp& qp(int node) {
+    EnsureNode(node);
+    return qps_[static_cast<size_t>(node)];
+  }
+  OopPool& pool(int node) {
+    EnsureNode(node);
+    return pools_[static_cast<size_t>(node)];
+  }
 
   // This worker's In-n-Out slot-cache words for one object (Algorithm 7's
   // cached previous value, 8 B per replica). Slot caches are per-WRITER
@@ -102,9 +111,25 @@ class Worker {
     co_return co_await done.WaitFor(quorum, timeout);
   }
 
-  bool NodeKnownFailed(int node) const { return (*known_failed_)[static_cast<size_t>(node)]; }
-  void MarkNodeFailed(int node) { (*known_failed_)[static_cast<size_t>(node)] = true; }
-  void MarkNodeRecovered(int node) { (*known_failed_)[static_cast<size_t>(node)] = false; }
+  // The shared vectors below may predate a hot-added node; out-of-range reads
+  // mean "nothing known about it yet" and writes grow the vector in place.
+  bool NodeKnownFailed(int node) const {
+    const auto idx = static_cast<size_t>(node);
+    return idx < known_failed_->size() && (*known_failed_)[idx];
+  }
+  void MarkNodeFailed(int node) {
+    const auto idx = static_cast<size_t>(node);
+    if (idx >= known_failed_->size()) {
+      known_failed_->resize(idx + 1, false);
+    }
+    (*known_failed_)[idx] = true;
+  }
+  void MarkNodeRecovered(int node) {
+    const auto idx = static_cast<size_t>(node);
+    if (idx < known_failed_->size()) {
+      (*known_failed_)[idx] = false;
+    }
+  }
 
   // Repair exclusion (MembershipService::repairing()): a node flagged here is
   // dropped from quorum selection entirely — unlike known-failed nodes, which
@@ -115,12 +140,15 @@ class Worker {
     repair_excluded_ = std::move(excluded);
   }
   bool NodeQuorumExcluded(int node) const {
-    return repair_excluded_ != nullptr && (*repair_excluded_)[static_cast<size_t>(node)];
+    const auto idx = static_cast<size_t>(node);
+    return repair_excluded_ != nullptr && idx < repair_excluded_->size() &&
+           (*repair_excluded_)[idx];
   }
 
   // Marks this worker as the repair coordinator: its verbs pass the repair
   // fence of a node mid-rejoin (everyone else keeps seeing kNodeFailed).
   void MarkRepairChannel() {
+    repair_channel_ = true;
     for (auto& qp : qps_) {
       qp.set_repair_channel(true);
     }
@@ -129,6 +157,7 @@ class Worker {
   // Tags every QP of this worker for per-QP fault targeting (chaos's
   // kQpDropBurst class). Scenarios tag client i's workers with tag i.
   void set_chaos_tag(int tag) {
+    chaos_tag_ = tag;
     for (auto& qp : qps_) {
       qp.set_chaos_tag(tag);
     }
@@ -186,6 +215,27 @@ class Worker {
   }
 
  private:
+  // Creates the QP + buffer pool for `node` if missing, applying every
+  // sticky per-worker setting so a lazily-connected node is indistinguishable
+  // from one wired at construction.
+  void EnsureNode(int node) {
+    while (static_cast<int>(qps_.size()) <= node) {
+      const int n = static_cast<int>(qps_.size());
+      auto& qp = qps_.emplace_back(fabric_, n, cpu_);
+      pools_.emplace_back(&fabric_->node(n), fabric_->sim(), config_.max_value,
+                          config_.oop_pool_slots);
+      if (repair_channel_) {
+        qp.set_repair_channel(true);
+      }
+      if (chaos_tag_ >= 0) {
+        qp.set_chaos_tag(chaos_tag_);
+      }
+      if (epoch_ != nullptr) {
+        qp.set_epoch(&epoch_->value);
+      }
+    }
+  }
+
   fabric::Fabric* fabric_;
   uint32_t tid_;
   fabric::ClientCpu* cpu_;
@@ -196,8 +246,11 @@ class Worker {
   std::shared_ptr<fabric::ClientEpoch> epoch_;
   std::function<uint64_t()> epoch_validate_;
   sim::Time epoch_pull_delay_ = 2 * 680;
-  std::vector<fabric::Qp> qps_;
-  std::vector<OopPool> pools_;
+  bool repair_channel_ = false;
+  int chaos_tag_ = -1;
+  // Deques: growth must not invalidate references held across co_awaits.
+  std::deque<fabric::Qp> qps_;
+  std::deque<OopPool> pools_;
   std::unordered_map<const void*, std::shared_ptr<ObjectCache>> slot_caches_;
 };
 

@@ -497,14 +497,26 @@ ScenarioSpec CrashRecoverStaleClientSpec(uint64_t seed) {
   // advances the epoch while the deaf client keeps issuing old-stamp verbs,
   // so the fence + pull-revalidation path runs hot at ordinary spike sizes.
   // The cross-cycle stranded-verb window itself is demonstrated by the
-  // scripted stale-epoch canary (chaos_replay_test.cc); spikes beyond
-  // ~100 us excavate FURTHER pre-existing windows in the repair-era
-  // protocols (ROADMAP follow-up, seeds recorded there) and stay out of
-  // these suites.
+  // scripted stale-epoch canary (chaos_replay_test.cc); the extreme-spike
+  // regime (>100 us, where verbs outlive whole repair cycles) gets its own
+  // suites below with the once-open seeds pinned.
   spec.faults.max_spike = 40 * sim::kMicrosecond;
   spec.faults.max_spike_duration = 120 * sim::kMicrosecond;
   spec.faults.min_down = 30 * sim::kMicrosecond;
   spec.faults.max_down = 90 * sim::kMicrosecond;
+  return spec;
+}
+
+// The extreme-spike regime the 40 us pin used to keep out: single verbs
+// delayed up to 120 us — longer than a whole crash → repair → readmit
+// cycle, so a stranded verb can depart before the crash and land after the
+// readmit with ANY amount of repaired state in between. Seeds 9068 (swarm)
+// and 9697 (dm-abd) excavated real windows here when first recorded in the
+// ROADMAP; they are pinned as canaries below and the sweeps keep digging.
+ScenarioSpec ExtremeSpikeStaleClientSpec(uint64_t seed) {
+  ScenarioSpec spec = CrashRecoverStaleClientSpec(seed);
+  spec.faults.max_spike = 120 * sim::kMicrosecond;
+  spec.faults.max_spike_duration = 200 * sim::kMicrosecond;
   return spec;
 }
 
@@ -546,6 +558,126 @@ TEST(ChaosFuseeKv, CrashRecoverStaleClientStaysLinearizable) {
                    spec.faults.max_drop_p = 0.15;
                    return spec;
                  });
+}
+
+// The two once-open windows, pinned. Both were recorded in the ROADMAP when
+// >100 us spikes first excavated them; a fixed seed each keeps the exact
+// excavation in the suite forever (regressions replay byte-identically).
+
+TEST(ChaosSwarmKv, ExtremeSpikeRecordedSeed9068StaysLinearizable) {
+  ScenarioSpec spec = ExtremeSpikeStaleClientSpec(9068);
+  spec.faults.lease_weight = 0.3;
+  spec.faults.churn_weight = 0.3;
+  spec.faults.fault_index_link = true;
+  RunCrashRecoverSwarmScenario(spec, /*stale_client=*/true);
+}
+
+TEST(ChaosDmAbdKv, ExtremeSpikeRecordedSeed9697StaysLinearizable) {
+  ScenarioSpec spec = ExtremeSpikeStaleClientSpec(9697);
+  spec.faults.fault_index_link = true;
+  RunCrashRecoverDmAbdScenario(spec, /*stale_client=*/true);
+}
+
+// And the sweeps: fresh seed bases so the regime keeps digging for new
+// windows instead of replaying the two it already found.
+
+TEST(ChaosSwarmKv, ExtremeSpikeStaleClientStaysLinearizable) {
+  DriveScenarios(14000,
+                 [](const ScenarioSpec& s) {
+                   RunCrashRecoverSwarmScenario(s, /*stale_client=*/true);
+                 },
+                 [](uint64_t seed) {
+                   ScenarioSpec spec = ExtremeSpikeStaleClientSpec(seed);
+                   spec.faults.lease_weight = 0.3;
+                   spec.faults.churn_weight = 0.3;
+                   spec.faults.fault_index_link = true;
+                   return spec;
+                 });
+}
+
+TEST(ChaosDmAbdKv, ExtremeSpikeStaleClientStaysLinearizable) {
+  DriveScenarios(14300,
+                 [](const ScenarioSpec& s) {
+                   RunCrashRecoverDmAbdScenario(s, /*stale_client=*/true);
+                 },
+                 [](uint64_t seed) {
+                   ScenarioSpec spec = ExtremeSpikeStaleClientSpec(seed);
+                   spec.faults.fault_index_link = true;
+                   return spec;
+                 });
+}
+
+TEST(ChaosFuseeKv, ExtremeSpikeStaleClientStaysLinearizable) {
+  DriveScenarios(14600,
+                 [](const ScenarioSpec& s) {
+                   RunCrashRecoverFuseeScenario(s, /*stale_client=*/true);
+                 },
+                 [](uint64_t seed) {
+                   ScenarioSpec spec = ExtremeSpikeStaleClientSpec(seed);
+                   // FUSEE stalls on every failed verb; milder drops keep
+                   // the scenario moving while the spikes do the work.
+                   spec.faults.max_drop_p = 0.15;
+                   return spec;
+                 });
+}
+
+// ---------- Asymmetric sustained partitions ----------
+//
+// One direction of one link drops EVERYTHING for 40–120 us while the other
+// keeps delivering (chaos.h kPartition). Both halves are nastier than the
+// probabilistic bursts above: requests-dropped starves a whole quorum leg
+// (the node is healthy but unreachable, so failure detection and quorum
+// math disagree about it), and acks-dropped is the half-open split where
+// every verb APPLIES at the node but completes locally as failed — a whole
+// leg of possibly-applied state accumulating for the duration. A modest
+// crash budget rides along so partitions overlap real failures.
+
+ScenarioSpec DirectionalPartitionSpec(uint64_t seed) {
+  ScenarioSpec spec;
+  spec.seed = seed;
+  spec.clients = 4;
+  spec.keys = 4;
+  spec.ops_per_client = 14;
+  spec.mean_think = 16000;  // Stretch the workload past a full partition.
+  spec.faults.horizon = 240 * sim::kMicrosecond;
+  spec.faults.mean_gap = 10 * sim::kMicrosecond;
+  spec.faults.max_crashed = 1;
+  spec.faults.restart = false;
+  spec.faults.max_drop_p = 0.25;
+  spec.faults.partition_weight = 2.5;
+  spec.faults.min_partition_duration = 40 * sim::kMicrosecond;
+  spec.faults.max_partition_duration = 120 * sim::kMicrosecond;
+  return spec;
+}
+
+TEST(ChaosSwarmKv, DirectionalPartitionsStayLinearizable) {
+  DriveScenarios(13000, [](const ScenarioSpec& s) { RunSwarmKvScenario(s); }, [](uint64_t seed) {
+    ScenarioSpec spec = DirectionalPartitionSpec(seed);
+    spec.faults.lease_weight = 0.4;
+    spec.faults.churn_weight = 0.4;
+    spec.faults.fault_index_link = true;  // Partitions can isolate the index RPC link too.
+    return spec;
+  });
+}
+
+TEST(ChaosDmAbdKv, DirectionalPartitionsStayLinearizable) {
+  DriveScenarios(13300, [](const ScenarioSpec& s) { RunDmAbdScenario(s); }, [](uint64_t seed) {
+    ScenarioSpec spec = DirectionalPartitionSpec(seed);
+    spec.faults.fault_index_link = true;
+    return spec;
+  });
+}
+
+TEST(ChaosFuseeKv, DirectionalPartitionsStayLinearizable) {
+  DriveScenarios(13600, [](const ScenarioSpec& s) { RunFuseeScenario(s); }, [](uint64_t seed) {
+    ScenarioSpec spec = DirectionalPartitionSpec(seed);
+    // A partitioned leg reads as a failed node to FUSEE's synchronous
+    // replication, and every such verb costs a full recovery stall: milder
+    // background drops and shorter partitions keep the scenario moving.
+    spec.faults.max_drop_p = 0.15;
+    spec.faults.max_partition_duration = 80 * sim::kMicrosecond;
+    return spec;
+  });
 }
 
 // ---------- Long-horizon soaks: 2,048 ops across 64 keys ----------

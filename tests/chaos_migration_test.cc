@@ -1,0 +1,365 @@
+// Migration-chaos scenario family: elastic-membership lifecycles — node
+// admission with rebalancing, drains, decommissions — injected by the
+// ChaosEngine (ChaosConfig::migration_weight) while the randomized
+// multi-client workload keeps running and crashes/repairs/drop-bursts land on
+// top. Three regimes per store, all linearizability-checked and
+// seed-replayable:
+//
+//   * crash during migration: a memory node dies (and crash-recovers through
+//     the RepairService) while a migration batch is copying extents — copies
+//     lose their source or destination mid-round and must retry or abort
+//     with the cluster exactly as before;
+//   * migrate during repair: migrations fire while repairs are in flight, so
+//     the migrate-vs-repair same-slot arbitration (skip sources under
+//     repair, never pick a repairing destination) runs hot;
+//   * concurrent grow+shrink: an admission's rebalancing races a drain of
+//     another node — two coordinators flip ownership of overlapping key sets
+//     concurrently, serialized per key only by the index's generation guard.
+//
+// Stale-cache clients riding the old layouts are inherent to the workload:
+// caches are invalidated only by the retired-layout GC, so between a flip
+// and the horizon every client write bounces off the vacated slot's region
+// fence (kMovedReplica) and re-learns — the tentpole's safety argument.
+//
+// The companion unit lifecycle tests live in tests/migration_test.cc; the
+// fence-disabled canary (flip WITHOUT fencing the vacated slot is caught by
+// the checker) lives in tests/chaos_replay_test.cc.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/index/client_cache.h"
+#include "src/index/index_service.h"
+#include "src/kv/dm_abd_kv.h"
+#include "src/kv/fusee_kv.h"
+#include "src/kv/swarm_kv.h"
+#include "src/repair/migration.h"
+#include "src/repair/repair.h"
+#include "src/swarm/recycler.h"
+#include "tests/support/scenario.h"
+
+namespace swarm {
+namespace {
+
+using sim::Spawn;
+using testing::ChaosEnv;
+using testing::ChaosHistories;
+using testing::CheckHistories;
+using testing::DriveScenarios;
+using testing::ElasticFabric;
+using testing::KvChaosClient;
+using testing::ScenarioSpec;
+using testing::SeedMessage;
+
+void ExpectLinearizable(const ChaosHistories& hist, const ScenarioSpec& spec,
+                        const chaos::ChaosEngine& engine) {
+  const std::string violation = CheckHistories(hist);
+  EXPECT_TRUE(violation.empty()) << violation << "\n  " << SeedMessage(spec, engine);
+}
+
+// Every injected lifecycle ran to completion by simulation end: one
+// kMigrateDone per kMigrateStart (success or graceful abort), and no node
+// left crashed mid-repair.
+void ExpectMigrationLifecyclesComplete(const ChaosEnv& c, const ScenarioSpec& spec) {
+  size_t starts = 0;
+  size_t dones = 0;
+  for (const chaos::FaultEvent& e : c.engine.trace()) {
+    starts += e.kind == chaos::FaultKind::kMigrateStart ? 1 : 0;
+    dones += e.kind == chaos::FaultKind::kMigrateDone ? 1 : 0;
+  }
+  EXPECT_EQ(starts, dones) << SeedMessage(spec, c.engine);
+  EXPECT_EQ(c.engine.crashed_count(), 0) << SeedMessage(spec, c.engine);
+}
+
+// The choreography the engine fires (at most max_migrations = 2 per
+// scenario): first a grow — admit a fresh node and rebalance keys onto it —
+// then a shrink — drain node 0 and decommission it. Under the
+// concurrent-grow+shrink spec both lifecycles overlap in time.
+sim::Task<bool> QuorumMigrationStep(repair::MigrationService* migration, int step) {
+  if (step % 2 == 0) {
+    const int node = co_await migration->AdmitAndRebalance(/*max_keys=*/3);
+    co_return node >= 0;
+  }
+  co_return co_await migration->Drain(/*node=*/0, /*decommission=*/true);
+}
+
+// FUSEE's variant drives the store's own two-slot re-homing. Grow: admit +
+// join, then spread node 1's keys across the (now larger) serving set.
+// Shrink: drain node 0; if any key could not move (its quorum was mid-crash
+// or mid-recovery) the drain aborts gracefully and the node resumes serving.
+sim::Task<bool> FuseeMigrationStep(ChaosEnv* c, kv::FuseeStore* store, Worker* w, int step) {
+  if (step % 2 == 0) {
+    const int node = c->membership.AdmitNode();
+    if (node < 0) {
+      co_return false;
+    }
+    c->membership.CompleteJoin(node);
+    co_return (co_await store->MigrateNode(1, w)) == 0;
+  }
+  c->membership.BeginDrain(0);
+  const uint64_t remaining = co_await store->MigrateNode(0, w);
+  if (remaining != 0) {
+    c->membership.CompleteJoin(0);  // Graceful abort: back to serving.
+    co_return false;
+  }
+  co_return true;
+}
+
+// ---------- Runners: crash-recover wiring + a migration coordinator --------
+
+void RunMigrationSwarmScenario(const ScenarioSpec& spec) {
+  ChaosEnv c(spec, ElasticFabric());
+  index::IndexService index(&c.env.sim, &c.env.fabric);
+  Recycler recycler(&c.env.sim, &c.membership);
+  index.set_retirement_horizon([&recycler] { return recycler.current_epoch(); },
+                               [&recycler] { return recycler.SafeReclaimBefore(); });
+  std::vector<std::unique_ptr<RecyclerParticipant>> participants;
+  std::vector<std::unique_ptr<index::ClientCache>> caches;
+  std::vector<std::unique_ptr<kv::SwarmKvSession>> sessions;
+  ChaosHistories hist;
+  for (int i = 0; i < spec.clients; ++i) {
+    Worker& w = c.MakeSkewedWorker(spec);
+    caches.push_back(std::make_unique<index::ClientCache>());
+    sessions.push_back(std::make_unique<kv::SwarmKvSession>(&w, &index, caches.back().get()));
+    sessions.back()->set_serving(c.membership.serving());  // Placement filter.
+    participants.push_back(std::make_unique<RecyclerParticipant>(
+        &c.env.sim, 100 + static_cast<uint32_t>(i),
+        /*ack_delay=*/1500 + 137 * static_cast<sim::Time>(i)));
+    recycler.Register(participants.back().get());
+  }
+  repair::RepairService repair(&c.membership, &c.env.MakeWorker(0));
+  repair::IndexRepairSource source(&index, repair::LayoutProtocol::kSafeGuess);
+  repair.RegisterStore(&source);
+  recycler.set_repair_gate([&repair] { return repair.InFlight(); });
+  c.engine.set_repair_fn([&repair](int node) { return repair.RecoverAndRepair(node); });
+  repair::MigrationService migration(&c.membership, &index, &c.env.MakeWorker(0),
+                                     repair::LayoutProtocol::kSafeGuess);
+  int mig_step = 0;
+  c.engine.set_migration_fn(
+      [&migration, &mig_step]() { return QuorumMigrationStep(&migration, mig_step++); });
+  c.engine.set_epoch_churn([&recycler]() -> sim::Task<void> {
+    recycler.HeartbeatAll();
+    return recycler.RunRound();
+  });
+  index.add_gc_listener([&caches](const std::shared_ptr<const ObjectLayout>& lo) {
+    for (auto& cache : caches) {
+      cache->InvalidateLayout(lo.get());
+    }
+  });
+  for (int i = 0; i < spec.clients; ++i) {
+    Spawn(KvChaosClient(&c.env, sessions[static_cast<size_t>(i)].get(),
+                        spec.seed * 131 + static_cast<uint64_t>(i), spec, &hist));
+  }
+  c.engine.Start();
+  c.env.sim.Run();
+  ExpectLinearizable(hist, spec, c.engine);
+  ExpectMigrationLifecyclesComplete(c, spec);
+}
+
+void RunMigrationDmAbdScenario(const ScenarioSpec& spec) {
+  ChaosEnv c(spec, ElasticFabric());
+  index::IndexService index(&c.env.sim, &c.env.fabric);
+  std::vector<std::unique_ptr<index::ClientCache>> caches;
+  std::vector<std::unique_ptr<kv::DmAbdKvSession>> sessions;
+  ChaosHistories hist;
+  for (int i = 0; i < spec.clients; ++i) {
+    Worker& w = c.MakeSkewedWorker(spec);
+    caches.push_back(std::make_unique<index::ClientCache>());
+    sessions.push_back(std::make_unique<kv::DmAbdKvSession>(&w, &index, caches.back().get()));
+    sessions.back()->set_serving(c.membership.serving());
+  }
+  repair::RepairService repair(&c.membership, &c.env.MakeWorker(0));
+  repair::IndexRepairSource source(&index, repair::LayoutProtocol::kAbd);
+  repair.RegisterStore(&source);
+  c.engine.set_repair_fn([&repair](int node) { return repair.RecoverAndRepair(node); });
+  repair::MigrationService migration(&c.membership, &index, &c.env.MakeWorker(0),
+                                     repair::LayoutProtocol::kAbd);
+  int mig_step = 0;
+  c.engine.set_migration_fn(
+      [&migration, &mig_step]() { return QuorumMigrationStep(&migration, mig_step++); });
+  for (int i = 0; i < spec.clients; ++i) {
+    Spawn(KvChaosClient(&c.env, sessions[static_cast<size_t>(i)].get(),
+                        spec.seed * 131 + static_cast<uint64_t>(i), spec, &hist));
+  }
+  c.engine.Start();
+  c.env.sim.Run();
+  ExpectLinearizable(hist, spec, c.engine);
+  ExpectMigrationLifecyclesComplete(c, spec);
+}
+
+void RunMigrationFuseeScenario(const ScenarioSpec& spec) {
+  ChaosEnv c(spec, ElasticFabric());
+  kv::FuseeStore store(&c.env.fabric, /*recovery_duration=*/300 * sim::kMicrosecond);
+  store.set_serving(c.membership.serving());
+  std::vector<std::unique_ptr<index::ClientCache>> caches;
+  std::vector<std::unique_ptr<kv::FuseeKvSession>> sessions;
+  ChaosHistories hist;
+  for (int i = 0; i < spec.clients; ++i) {
+    Worker& w = c.MakeSkewedWorker(spec);
+    caches.push_back(std::make_unique<index::ClientCache>());
+    sessions.push_back(std::make_unique<kv::FuseeKvSession>(&w, &store, caches.back().get()));
+  }
+  repair::RepairService repair(&c.membership, &c.env.MakeWorker(0));
+  repair.RegisterStore(&store);
+  c.engine.set_repair_fn([&repair](int node) { return repair.RecoverAndRepair(node); });
+  // The migration coordinator's verbs harvest from fenced slots, so its
+  // worker rides the repair channel (MigrationService wires this itself;
+  // FUSEE's store-level mover expects the caller to).
+  Worker& mover = c.env.MakeWorker(0);
+  mover.set_repair_excluded(c.membership.repairing());
+  mover.MarkRepairChannel();
+  int mig_step = 0;
+  c.engine.set_migration_fn([&c, &store, &mover, &mig_step]() {
+    return FuseeMigrationStep(&c, &store, &mover, mig_step++);
+  });
+  for (int i = 0; i < spec.clients; ++i) {
+    Spawn(KvChaosClient(&c.env, sessions[static_cast<size_t>(i)].get(),
+                        spec.seed * 131 + static_cast<uint64_t>(i), spec, &hist));
+  }
+  c.engine.Start();
+  c.env.sim.Run();
+  ExpectLinearizable(hist, spec, c.engine);
+  ExpectMigrationLifecyclesComplete(c, spec);
+}
+
+// ---------- The three regimes ----------
+
+// Baseline: migrations under the crash-recover fault mix — crashes land
+// before, during and after the copy rounds.
+ScenarioSpec CrashDuringMigrationSpec(uint64_t seed) {
+  ScenarioSpec spec;
+  spec.seed = seed;
+  spec.clients = 4;
+  spec.keys = 6;
+  spec.ops_per_client = 14;
+  spec.mean_think = 18000;  // Stretch the workload past the lifecycles.
+  spec.faults.horizon = 260 * sim::kMicrosecond;
+  spec.faults.mean_gap = 8 * sim::kMicrosecond;
+  spec.faults.migration_weight = 2.5;
+  spec.faults.max_migrations = 2;
+  spec.faults.max_crashed = 1;
+  spec.faults.restart = true;
+  spec.faults.repair = true;
+  spec.faults.min_down = 50 * sim::kMicrosecond;
+  spec.faults.max_down = 150 * sim::kMicrosecond;
+  spec.faults.max_drop_p = 0.3;
+  spec.faults.drop_ack_weight = 2.0;
+  return spec;
+}
+
+// Repair-heavy: more and longer-overlapping crash-recover lifecycles so
+// migrations routinely fire while a repair holds a node — the arbitration
+// regime. Two nodes may be down at once.
+ScenarioSpec MigrateDuringRepairSpec(uint64_t seed) {
+  ScenarioSpec spec = CrashDuringMigrationSpec(seed);
+  spec.faults.crash_weight = 2.5;
+  spec.faults.max_crashed = 2;
+  spec.faults.horizon = 300 * sim::kMicrosecond;
+  spec.mean_think = 24000;
+  return spec;
+}
+
+// Pure elasticity: no crashes at all, but both lifecycles (grow, shrink)
+// injected close together so the admission's rebalancing overlaps the drain
+// — concurrent coordinators flipping overlapping key sets, serialized per
+// key only by the index generation guard. Drop bursts keep the copy rounds
+// retrying mid-overlap.
+ScenarioSpec ConcurrentGrowShrinkSpec(uint64_t seed) {
+  ScenarioSpec spec = CrashDuringMigrationSpec(seed);
+  spec.faults.crash_weight = 0.0;
+  spec.faults.migration_weight = 5.0;
+  spec.faults.mean_gap = 5 * sim::kMicrosecond;
+  spec.faults.max_drop_p = 0.35;
+  return spec;
+}
+
+TEST(ChaosMigrationSwarmKv, CrashDuringMigrationStaysLinearizable) {
+  DriveScenarios(10000, [](const ScenarioSpec& s) { RunMigrationSwarmScenario(s); },
+                 [](uint64_t seed) {
+    ScenarioSpec spec = CrashDuringMigrationSpec(seed);
+    spec.faults.churn_weight = 0.4;  // Retired-as-moved layouts ride the GC horizon.
+    spec.faults.fault_index_link = true;
+    return spec;
+  });
+}
+
+TEST(ChaosMigrationSwarmKv, MigrateDuringRepairStaysLinearizable) {
+  DriveScenarios(10300, [](const ScenarioSpec& s) { RunMigrationSwarmScenario(s); },
+                 [](uint64_t seed) {
+    ScenarioSpec spec = MigrateDuringRepairSpec(seed);
+    spec.faults.churn_weight = 0.3;
+    spec.faults.fault_index_link = true;
+    return spec;
+  });
+}
+
+TEST(ChaosMigrationSwarmKv, ConcurrentGrowShrinkStaysLinearizable) {
+  DriveScenarios(10600, [](const ScenarioSpec& s) { RunMigrationSwarmScenario(s); },
+                 [](uint64_t seed) {
+    ScenarioSpec spec = ConcurrentGrowShrinkSpec(seed);
+    spec.faults.churn_weight = 0.4;
+    spec.faults.fault_index_link = true;
+    return spec;
+  });
+}
+
+TEST(ChaosMigrationDmAbdKv, CrashDuringMigrationStaysLinearizable) {
+  DriveScenarios(11000, [](const ScenarioSpec& s) { RunMigrationDmAbdScenario(s); },
+                 [](uint64_t seed) {
+    ScenarioSpec spec = CrashDuringMigrationSpec(seed);
+    spec.faults.fault_index_link = true;
+    return spec;
+  });
+}
+
+TEST(ChaosMigrationDmAbdKv, MigrateDuringRepairStaysLinearizable) {
+  DriveScenarios(11300, [](const ScenarioSpec& s) { RunMigrationDmAbdScenario(s); },
+                 [](uint64_t seed) {
+    ScenarioSpec spec = MigrateDuringRepairSpec(seed);
+    spec.faults.fault_index_link = true;
+    return spec;
+  });
+}
+
+TEST(ChaosMigrationDmAbdKv, ConcurrentGrowShrinkStaysLinearizable) {
+  DriveScenarios(11600, [](const ScenarioSpec& s) { RunMigrationDmAbdScenario(s); },
+                 [](uint64_t seed) {
+    ScenarioSpec spec = ConcurrentGrowShrinkSpec(seed);
+    spec.faults.fault_index_link = true;
+    return spec;
+  });
+}
+
+TEST(ChaosMigrationFuseeKv, CrashDuringMigrationStaysLinearizable) {
+  DriveScenarios(12000, [](const ScenarioSpec& s) { RunMigrationFuseeScenario(s); },
+                 [](uint64_t seed) {
+    ScenarioSpec spec = CrashDuringMigrationSpec(seed);
+    // FUSEE stalls on every failed verb (a full recovery), so milder drops.
+    spec.faults.max_drop_p = 0.15;
+    return spec;
+  });
+}
+
+TEST(ChaosMigrationFuseeKv, MigrateDuringRepairStaysLinearizable) {
+  DriveScenarios(12300, [](const ScenarioSpec& s) { RunMigrationFuseeScenario(s); },
+                 [](uint64_t seed) {
+    ScenarioSpec spec = MigrateDuringRepairSpec(seed);
+    spec.faults.max_drop_p = 0.15;
+    spec.mean_think = 30000;  // Room for overlapping recovery stalls.
+    return spec;
+  });
+}
+
+TEST(ChaosMigrationFuseeKv, ConcurrentGrowShrinkStaysLinearizable) {
+  DriveScenarios(12600, [](const ScenarioSpec& s) { RunMigrationFuseeScenario(s); },
+                 [](uint64_t seed) {
+    ScenarioSpec spec = ConcurrentGrowShrinkSpec(seed);
+    spec.faults.max_drop_p = 0.15;
+    return spec;
+  });
+}
+
+}  // namespace
+}  // namespace swarm

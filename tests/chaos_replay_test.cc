@@ -22,6 +22,7 @@
 #include "src/index/client_cache.h"
 #include "src/index/index_service.h"
 #include "src/kv/swarm_kv.h"
+#include "src/repair/migration.h"
 #include "src/repair/repair.h"
 #include "src/swarm/inout.h"
 #include "src/swarm/quorum_max.h"
@@ -690,6 +691,124 @@ TEST(ChaosCanary, StaleEpochInFlightWindowIsCaughtAndReplays) {
       16000,
       [](uint64_t seed) { return RunStaleEpochCanaryScenario(seed, /*epoch_fencing=*/false); },
       "stale-epoch-fence");
+}
+
+// ---------- The migration fence canary ----------
+//
+// Elastic membership's counterpart of the stale-epoch window: a live
+// migration flips a key's ownership to the replacement layout WITHOUT
+// fencing the vacated slot (MigrationConfig::disable_flip_fence — the
+// pre-fence build). One client's cache never hears the retired-layout GC,
+// so it keeps committing at the OLD replica set; its quorums may include
+// the vacated slot, and the new layout's quorums need not intersect them —
+// a stale write acked by {vacated, one-old-shared} is invisible to a
+// post-flip reader, and a stale reader pairing the vacated slot with one
+// old replica misses post-flip writes. The checker must catch the
+// inversion within a bounded seed budget AND replay it byte-identically.
+// The fencing-ON counterpart must stay green on the same seeds with the
+// SAME never-invalidated cache: the stale client's verbs bounce off the
+// fence (kMovedReplica) and re-resolve through the index — exactly the
+// mechanism this canary removes.
+
+// Grow/shrink cycle driven by the chaos engine's migration hook (free
+// function: the migration_fn lambda must not itself be a coroutine).
+Task<bool> MigrationCanaryStep(repair::MigrationService* migration, int step) {
+  if (step % 2 == 0) {
+    const int node = co_await migration->AdmitAndRebalance(/*max_keys=*/3);
+    co_return node >= 0;
+  }
+  co_return co_await migration->Drain(/*node=*/0, /*decommission=*/true);
+}
+
+CanaryOutcome RunMigrationFenceCanaryScenario(uint64_t seed, bool flip_fence) {
+  ScenarioSpec spec;
+  spec.seed = seed;
+  spec.clients = 4;
+  spec.keys = 3;  // Few keys: every migration touches contended state.
+  spec.ops_per_client = 24;
+  spec.mean_think = 7000;
+  spec.faults.horizon = 260 * sim::kMicrosecond;
+  spec.faults.mean_gap = 6 * sim::kMicrosecond;
+  spec.faults.max_crashed = 0;  // Pure elasticity: no crash-repair noise.
+  spec.faults.migration_weight = 5.0;
+  spec.faults.max_migrations = 2;
+  spec.faults.churn_weight = 0.8;  // Recycler rounds drive the retired-layout GC.
+  spec.faults.max_drop_p = 0.45;   // Drop diversity steers quorum selection.
+
+  ChaosEnv c(spec, testing::ElasticFabric());
+  index::IndexService index(&c.env.sim, &c.env.fabric);
+  Recycler recycler(&c.env.sim, &c.membership);
+  index.set_retirement_horizon([&recycler] { return recycler.current_epoch(); },
+                               [&recycler] { return recycler.SafeReclaimBefore(); });
+  std::vector<std::unique_ptr<RecyclerParticipant>> participants;
+  std::vector<std::unique_ptr<index::ClientCache>> caches;
+  std::vector<std::unique_ptr<kv::SwarmKvSession>> sessions;
+  ChaosHistories hist;
+  for (int i = 0; i < spec.clients; ++i) {
+    Worker& w = c.MakeSkewedWorker(spec);
+    caches.push_back(std::make_unique<index::ClientCache>());
+    sessions.push_back(std::make_unique<kv::SwarmKvSession>(&w, &index, caches.back().get()));
+    sessions.back()->set_serving(c.membership.serving());
+    participants.push_back(std::make_unique<RecyclerParticipant>(
+        &c.env.sim, 100 + static_cast<uint32_t>(i),
+        /*ack_delay=*/1500 + 137 * static_cast<sim::Time>(i)));
+    recycler.Register(participants.back().get());
+  }
+  repair::MigrationConfig mcfg;
+  mcfg.disable_flip_fence = !flip_fence;
+  repair::MigrationService migration(&c.membership, &index, &c.env.MakeWorker(0),
+                                     repair::LayoutProtocol::kSafeGuess, mcfg);
+  int mig_step = 0;
+  c.engine.set_migration_fn(
+      [&migration, &mig_step]() { return MigrationCanaryStep(&migration, mig_step++); });
+  c.engine.set_epoch_churn([&recycler]() -> Task<void> {
+    recycler.HeartbeatAll();
+    return recycler.RunRound();
+  });
+  // Client 0's cache is the one that NEVER learns: the GC invalidation that
+  // moves everyone else onto the replacement layout skips it, so it keeps
+  // resolving keys to the pre-flip layout for the whole scenario.
+  index.add_gc_listener([&caches](const std::shared_ptr<const ObjectLayout>& lo) {
+    for (size_t i = 1; i < caches.size(); ++i) {
+      caches[i]->InvalidateLayout(lo.get());
+    }
+  });
+  for (int i = 0; i < spec.clients; ++i) {
+    Spawn(KvChaosClient(&c.env, sessions[static_cast<size_t>(i)].get(),
+                        spec.seed * 131 + static_cast<uint64_t>(i), spec, &hist));
+  }
+  c.engine.Start();
+  c.env.sim.Run();
+
+  CanaryOutcome out;
+  out.violation = CheckHistories(hist);
+  out.violated = !out.violation.empty();
+  out.trace_hash = c.engine.TraceHash();
+  return out;
+}
+
+TEST(ChaosReplay, MigrationScenarioWithFlipFenceStaysLinearizable) {
+  // The canary seeds under the CORRECT (fence-on) build: the stale-cache
+  // regime must be clean — bounced verbs re-resolve — or the canary below
+  // proves nothing.
+  uint64_t forced = 0;
+  if (testing::ForcedSeed(&forced)) {
+    CanaryOutcome out = RunMigrationFenceCanaryScenario(forced, /*flip_fence=*/true);
+    ASSERT_FALSE(out.violated) << "seed " << forced << ": " << out.violation;
+    return;
+  }
+  for (int i = 0; i < 120; ++i) {
+    const uint64_t seed = 17000 + static_cast<uint64_t>(i);
+    CanaryOutcome out = RunMigrationFenceCanaryScenario(seed, /*flip_fence=*/true);
+    ASSERT_FALSE(out.violated) << "seed " << seed << ": " << out.violation;
+  }
+}
+
+TEST(ChaosCanary, UnfencedMigrationFlipIsCaughtAndReplays) {
+  ExpectCanaryCaught(
+      17000,
+      [](uint64_t seed) { return RunMigrationFenceCanaryScenario(seed, /*flip_fence=*/false); },
+      "migration-flip-fence");
 }
 
 // ---------- The read-path canaries ----------

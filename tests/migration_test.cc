@@ -1,0 +1,556 @@
+// Live extent migration (src/repair/migration.h): unit coverage for the
+// plan/graft/fence/copy/flip lifecycle and its abort path, the
+// migrate-vs-repair arbitration, the membership lifecycle state model, the
+// serving-filtered placement, and FUSEE's two-slot re-homing variant.
+//
+// The chaos-driven end of the same machinery — crash during migration,
+// migrate during repair, concurrent grow+shrink, all linearizability-checked
+// — lives in tests/chaos_migration_test.cc.
+
+#include "src/repair/migration.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/index/client_cache.h"
+#include "src/index/index_service.h"
+#include "src/kv/dm_abd_kv.h"
+#include "src/kv/fusee_kv.h"
+#include "src/kv/swarm_kv.h"
+#include "src/membership/membership.h"
+#include "src/swarm/placement.h"
+#include "tests/support/test_env.h"
+
+namespace swarm {
+namespace {
+
+using sim::Spawn;
+using sim::Task;
+using testing::ElasticFabric;
+using testing::TestEnv;
+using testing::ValN;
+using testing::WireWorkerEpoch;
+
+// --- Membership lifecycle state model (no coroutines needed) ---------------
+
+TEST(MembershipLifecycle, AdmitJoinDrainDecommission) {
+  TestEnv env(1, ElasticFabric(/*headroom=*/2));
+  membership::MembershipService m(&env.sim, &env.fabric);
+
+  // Pre-existing nodes start serving.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(m.State(i), membership::NodeState::kServing);
+    EXPECT_TRUE(m.IsServing(i));
+    EXPECT_TRUE(m.CrashEligible(i));
+  }
+
+  // Admit: reachable, empty, excluded from placement.
+  const int id = m.AdmitNode();
+  ASSERT_EQ(id, 4);
+  EXPECT_EQ(env.fabric.num_nodes(), 5);
+  EXPECT_EQ(m.State(id), membership::NodeState::kJoining);
+  EXPECT_FALSE(m.IsServing(id));
+  EXPECT_TRUE(m.CrashEligible(id));
+
+  // Join: placement may now choose it.
+  m.CompleteJoin(id);
+  EXPECT_EQ(m.State(id), membership::NodeState::kServing);
+  EXPECT_TRUE(m.IsServing(id));
+
+  // Drain: placement stops choosing it; it keeps serving what it owns.
+  m.BeginDrain(id);
+  EXPECT_EQ(m.State(id), membership::NodeState::kDraining);
+  EXPECT_FALSE(m.IsServing(id));
+
+  // Retire: switched off, never a chaos crash/restart candidate again.
+  const uint64_t epoch_before = m.epoch();
+  m.Decommission(id);
+  EXPECT_EQ(m.State(id), membership::NodeState::kRetired);
+  EXPECT_TRUE(m.IsRetired(id));
+  EXPECT_FALSE(m.CrashEligible(id));
+  EXPECT_GT(m.epoch(), epoch_before) << "retirement is a repair-relevant transition";
+
+  // The fabric's lifetime bound caps admissions.
+  EXPECT_EQ(m.AdmitNode(), 5);
+  EXPECT_EQ(m.AdmitNode(), -1);
+}
+
+TEST(MembershipLifecycle, CompleteJoinCancelsDrain) {
+  TestEnv env(1, ElasticFabric());
+  membership::MembershipService m(&env.sim, &env.fabric);
+  m.BeginDrain(2);
+  EXPECT_FALSE(m.IsServing(2));
+  m.CompleteJoin(2);  // An aborted drain returns the node to serving.
+  EXPECT_EQ(m.State(2), membership::NodeState::kServing);
+  EXPECT_TRUE(m.IsServing(2));
+}
+
+// --- Serving-filtered placement --------------------------------------------
+
+TEST(Placement, NoFilterReducesToModularPlacement) {
+  int nodes[3];
+  PlaceReplicas(/*h=*/5, /*replicas=*/3, /*num_nodes=*/4, nullptr, nodes);
+  EXPECT_EQ(nodes[0], 1);
+  EXPECT_EQ(nodes[1], 2);
+  EXPECT_EQ(nodes[2], 3);
+}
+
+TEST(Placement, ServingFilterSkipsNonServingNodes) {
+  const std::vector<bool> serving = {true, false, true, true};
+  int nodes[3];
+  PlaceReplicas(/*h=*/0, /*replicas=*/3, /*num_nodes=*/4, &serving, nodes);
+  // Candidates are {0, 2, 3}; node 1 must never appear.
+  for (int n : nodes) {
+    EXPECT_NE(n, 1);
+  }
+  EXPECT_EQ(nodes[0], 0);
+  EXPECT_EQ(nodes[1], 2);
+  EXPECT_EQ(nodes[2], 3);
+}
+
+TEST(Placement, ShortVectorTreatsHotAddedNodesAsNonServing) {
+  // A serving vector that predates a hot-add: node 4 is beyond its size and
+  // must not be chosen.
+  const std::vector<bool> serving = {true, true, true, true};
+  int nodes[3];
+  PlaceReplicas(/*h=*/3, /*replicas=*/3, /*num_nodes=*/5, &serving, nodes);
+  for (int n : nodes) {
+    EXPECT_LT(n, 4);
+  }
+}
+
+TEST(Placement, DegenerateMembershipFallsBackToFullCluster) {
+  const std::vector<bool> nothing_serving = {false, false, false, false};
+  int nodes[3];
+  PlaceReplicas(/*h=*/0, /*replicas=*/3, /*num_nodes=*/4, &nothing_serving, nodes);
+  EXPECT_EQ(nodes[0], 0);
+  EXPECT_EQ(nodes[1], 1);
+  EXPECT_EQ(nodes[2], 2);
+}
+
+// --- MigrationService: the per-key lifecycle over the quorum stores --------
+
+// One client session + one migration coordinator over an elastic fabric.
+struct MigrationFixture {
+  explicit MigrationFixture(repair::LayoutProtocol protocol,
+                            repair::MigrationConfig mcfg = {})
+      : env(1, ElasticFabric(/*headroom=*/2)),
+        membership(&env.sim, &env.fabric, /*detection_delay=*/10 * sim::kMicrosecond),
+        index(&env.sim),
+        client(env.MakeWorker()),
+        coordinator(env.MakeWorker()),
+        migration(&membership, &index, &coordinator, protocol, mcfg) {
+    client.set_repair_excluded(membership.repairing());
+    WireWorkerEpoch(client, membership);  // Unit fixtures run epoch-fenced too.
+  }
+
+  std::unique_ptr<kv::KvSession> MakeSession(repair::LayoutProtocol protocol) {
+    if (protocol == repair::LayoutProtocol::kAbd) {
+      return std::make_unique<kv::DmAbdKvSession>(&client, &index, &cache);
+    }
+    return std::make_unique<kv::SwarmKvSession>(&client, &index, &cache);
+  }
+
+  TestEnv env;
+  membership::MembershipService membership;
+  index::IndexService index;
+  index::ClientCache cache;
+  Worker& client;
+  Worker& coordinator;
+  repair::MigrationService migration;
+};
+
+// Fence check for the slot a migration vacated (mirrors the service's own
+// region bookkeeping: meta array, optional in-place region, lock array).
+bool SlotFenced(fabric::Fabric& fabric, const ObjectLayout& layout, int slot) {
+  const ReplicaLayout& rep = layout.replicas[static_cast<size_t>(slot)];
+  fabric::MemoryNode& node = fabric.node(rep.node);
+  bool fenced = node.RegionRetired(rep.meta_addr, layout.meta_region_bytes()) &&
+                node.RegionRetired(rep.tsl_addr, layout.tsl_region_bytes());
+  if (rep.inplace_addr != 0) {
+    fenced = fenced && node.RegionRetired(rep.inplace_addr, layout.inplace_region_bytes());
+  }
+  return fenced;
+}
+
+void RunMoveFlipServes(repair::LayoutProtocol protocol) {
+  MigrationFixture f(protocol);
+  auto kv = f.MakeSession(protocol);
+  bool done = false;
+  auto driver = [](MigrationFixture* f, kv::KvSession* kv, bool* done) -> Task<void> {
+    EXPECT_TRUE((co_await kv->Insert(7, ValN(32, 0xAB))).ok());
+
+    const index::IndexEntry* before = f->index.Peek(7);
+    EXPECT_NE(before, nullptr);
+    if (before == nullptr) {
+      co_return;
+    }
+    const auto old_layout = before->layout;
+    const uint64_t old_generation = before->generation;
+    const int from = old_layout->replicas[0].node;
+
+    const repair::MigrateStatus st = co_await f->migration.MigrateKey(7, from);
+    EXPECT_EQ(st, repair::MigrateStatus::kMoved);
+    EXPECT_EQ(f->migration.keys_moved(), 1u);
+
+    // The flip: new layout under a bumped generation, slot 0 re-homed, every
+    // other slot shared byte-for-byte with the old layout.
+    const index::IndexEntry* after = f->index.Peek(7);
+    EXPECT_NE(after, nullptr);
+    if (after == nullptr) {
+      co_return;
+    }
+    EXPECT_GT(after->generation, old_generation);
+    EXPECT_NE(after->layout.get(), old_layout.get());
+    EXPECT_NE(after->layout->replicas[0].node, from);
+    for (int r = 1; r < old_layout->num_replicas; ++r) {
+      EXPECT_EQ(after->layout->replicas[static_cast<size_t>(r)].meta_addr,
+                old_layout->replicas[static_cast<size_t>(r)].meta_addr);
+    }
+
+    // The vacated slot is fenced for good, and the old layout retired as
+    // moved so the repair walk skips it.
+    EXPECT_TRUE(SlotFenced(f->env.fabric, *old_layout, 0));
+    EXPECT_EQ(f->index.retired().size(), 1u);
+    if (!f->index.retired().empty()) {
+      EXPECT_TRUE(f->index.retired()[0].moved);
+    }
+
+    // The stale-cached client keeps operating: its first op bounces off the
+    // fence (kMovedReplica), chases the index, and lands at the new home.
+    kv::KvResult g = co_await kv->Get(7);
+    EXPECT_EQ(g.status, kv::KvStatus::kOk);
+    EXPECT_EQ(g.value, ValN(32, 0xAB));
+    EXPECT_TRUE((co_await kv->Update(7, ValN(32, 0xCD))).ok());
+    g = co_await kv->Get(7);
+    EXPECT_EQ(g.status, kv::KvStatus::kOk);
+    EXPECT_EQ(g.value, ValN(32, 0xCD));
+    *done = true;
+  };
+  Spawn(driver(&f, kv.get(), &done));
+  f.env.sim.Run();
+  EXPECT_TRUE(done);
+}
+
+TEST(MigrationSwarm, MoveFlipServesFromNewHome) {
+  RunMoveFlipServes(repair::LayoutProtocol::kSafeGuess);
+}
+
+TEST(MigrationDmAbd, MoveFlipServesFromNewHome) {
+  RunMoveFlipServes(repair::LayoutProtocol::kAbd);
+}
+
+void RunAbortRestoresExactly(repair::LayoutProtocol protocol) {
+  repair::MigrationConfig mcfg;
+  mcfg.max_rounds = 2;  // Fail fast: the destination is dead.
+  mcfg.round_retry_delay = 5 * sim::kMicrosecond;
+  MigrationFixture f(protocol, mcfg);
+  auto kv = f.MakeSession(protocol);
+  bool done = false;
+  auto driver = [](MigrationFixture* f, kv::KvSession* kv, bool* done) -> Task<void> {
+    EXPECT_TRUE((co_await kv->Insert(7, ValN(32, 0x5A))).ok());
+
+    const index::IndexEntry* before = f->index.Peek(7);
+    EXPECT_NE(before, nullptr);
+    if (before == nullptr) {
+      co_return;
+    }
+    const auto old_layout = before->layout;
+    const uint64_t old_generation = before->generation;
+    const int from = old_layout->replicas[0].node;
+
+    // The only node outside a 3-replica layout on a 4-node cluster is the
+    // destination; crash it so every copy round fails.
+    int dest = -1;
+    for (int i = 0; i < 4; ++i) {
+      bool hosts = false;
+      for (int r = 0; r < old_layout->num_replicas; ++r) {
+        hosts = hosts || old_layout->replicas[static_cast<size_t>(r)].node == i;
+      }
+      if (!hosts) {
+        dest = i;
+      }
+    }
+    EXPECT_GE(dest, 0);
+    if (dest < 0) {
+      co_return;
+    }
+    f->env.fabric.Crash(dest);
+
+    const size_t fences_before = f->env.fabric.node(from).retired_region_count();
+    const repair::MigrateStatus st = co_await f->migration.MigrateKey(7, from, dest);
+    EXPECT_EQ(st, repair::MigrateStatus::kAborted);
+    EXPECT_EQ(f->migration.keys_aborted(), 1u);
+
+    // Abort restores EXACTLY: same mapping, same generation, same layout
+    // object, no residual fence on the source, nothing retired.
+    const index::IndexEntry* after = f->index.Peek(7);
+    EXPECT_NE(after, nullptr);
+    if (after == nullptr) {
+      co_return;
+    }
+    EXPECT_EQ(after->generation, old_generation);
+    EXPECT_EQ(after->layout.get(), old_layout.get());
+    EXPECT_FALSE(SlotFenced(f->env.fabric, *old_layout, 0));
+    EXPECT_EQ(f->env.fabric.node(from).retired_region_count(), fences_before);
+    EXPECT_TRUE(f->index.retired().empty());
+
+    // And the old slot serves again.
+    kv::KvResult g = co_await kv->Get(7);
+    EXPECT_EQ(g.status, kv::KvStatus::kOk);
+    EXPECT_EQ(g.value, ValN(32, 0x5A));
+    *done = true;
+  };
+  Spawn(driver(&f, kv.get(), &done));
+  f.env.sim.Run();
+  EXPECT_TRUE(done);
+}
+
+TEST(MigrationSwarm, AbortRestoresExactly) {
+  RunAbortRestoresExactly(repair::LayoutProtocol::kSafeGuess);
+}
+
+TEST(MigrationDmAbd, AbortRestoresExactly) {
+  RunAbortRestoresExactly(repair::LayoutProtocol::kAbd);
+}
+
+TEST(MigrationSwarm, RepairArbitrationSkipsBusyNodes) {
+  MigrationFixture f(repair::LayoutProtocol::kSafeGuess);
+  auto kv = f.MakeSession(repair::LayoutProtocol::kSafeGuess);
+  bool done = false;
+  auto driver = [](MigrationFixture* f, kv::KvSession* kv, bool* done) -> Task<void> {
+    EXPECT_TRUE((co_await kv->Insert(7, ValN(16, 1))).ok());
+    const index::IndexEntry* entry = f->index.Peek(7);
+    EXPECT_NE(entry, nullptr);
+    if (entry == nullptr) {
+      co_return;
+    }
+    const auto layout = entry->layout;
+    const int from = layout->replicas[0].node;
+    int outside = -1;
+    for (int i = 0; i < 4; ++i) {
+      bool hosts = false;
+      for (int r = 0; r < layout->num_replicas; ++r) {
+        hosts = hosts || layout->replicas[static_cast<size_t>(r)].node == i;
+      }
+      if (!hosts) {
+        outside = i;
+      }
+    }
+    EXPECT_GE(outside, 0);
+    if (outside < 0) {
+      co_return;
+    }
+
+    // A source under repair is the repair's to arbitrate: skip.
+    f->membership.BeginRepair(from);
+    EXPECT_EQ(co_await f->migration.MigrateKey(7, from), repair::MigrateStatus::kSkipped);
+    f->membership.CompleteRepair(from);
+
+    // A destination under repair is no destination — pinned or picked.
+    f->membership.BeginRepair(outside);
+    EXPECT_EQ(co_await f->migration.MigrateKey(7, from, outside),
+              repair::MigrateStatus::kNoDestination);
+    EXPECT_EQ(co_await f->migration.MigrateKey(7, from),
+              repair::MigrateStatus::kNoDestination)
+        << "the only non-hosting node is mid-repair; the picker must refuse";
+    f->membership.CompleteRepair(outside);
+
+    // An unmapped key is a no-op.
+    EXPECT_EQ(co_await f->migration.MigrateKey(999, 0), repair::MigrateStatus::kSkipped);
+
+    // Nothing above may have changed the mapping.
+    const index::IndexEntry* after = f->index.Peek(7);
+    EXPECT_NE(after, nullptr);
+    if (after != nullptr) {
+      EXPECT_EQ(after->layout.get(), layout.get());
+    }
+    *done = true;
+  };
+  Spawn(driver(&f, kv.get(), &done));
+  f.env.sim.Run();
+  EXPECT_TRUE(done);
+}
+
+TEST(MigrationSwarm, AdmitAndRebalanceFillsTheNewNode) {
+  MigrationFixture f(repair::LayoutProtocol::kSafeGuess);
+  auto kv = f.MakeSession(repair::LayoutProtocol::kSafeGuess);
+  bool done = false;
+  auto driver = [](MigrationFixture* f, kv::KvSession* kv, bool* done) -> Task<void> {
+    for (uint64_t k = 0; k < 6; ++k) {
+      EXPECT_TRUE((co_await kv->Insert(k, ValN(16, static_cast<uint8_t>(k + 1)))).ok());
+    }
+    const int node = co_await f->migration.AdmitAndRebalance(/*max_keys=*/3);
+    EXPECT_EQ(node, 4);
+    if (node < 0) {
+      co_return;
+    }
+    EXPECT_EQ(f->migration.nodes_admitted(), 1u);
+    EXPECT_EQ(f->migration.keys_moved(), 3u);
+    EXPECT_TRUE(f->membership.IsServing(node)) << "rebalance ends with CompleteJoin";
+
+    // The new node now hosts extents, and every key still reads its value.
+    int hosted = 0;
+    for (const auto& [key, entry] : f->index.SnapshotSorted()) {
+      for (int r = 0; r < entry.layout->num_replicas; ++r) {
+        hosted += entry.layout->replicas[static_cast<size_t>(r)].node == node ? 1 : 0;
+      }
+    }
+    EXPECT_EQ(hosted, 3);
+    for (uint64_t k = 0; k < 6; ++k) {
+      kv::KvResult g = co_await kv->Get(k);
+      EXPECT_EQ(g.status, kv::KvStatus::kOk) << "key " << k;
+      EXPECT_EQ(g.value, ValN(16, static_cast<uint8_t>(k + 1))) << "key " << k;
+    }
+    *done = true;
+  };
+  Spawn(driver(&f, kv.get(), &done));
+  f.env.sim.Run();
+  EXPECT_TRUE(done);
+}
+
+TEST(MigrationSwarm, DrainDecommissionsTheNode) {
+  MigrationFixture f(repair::LayoutProtocol::kSafeGuess);
+  auto kv = f.MakeSession(repair::LayoutProtocol::kSafeGuess);
+  bool done = false;
+  auto driver = [](MigrationFixture* f, kv::KvSession* kv, bool* done) -> Task<void> {
+    for (uint64_t k = 0; k < 6; ++k) {
+      EXPECT_TRUE((co_await kv->Insert(k, ValN(16, static_cast<uint8_t>(k + 1)))).ok());
+    }
+    const bool drained = co_await f->migration.Drain(0, /*decommission=*/true);
+    EXPECT_TRUE(drained);
+    EXPECT_EQ(f->migration.drains_completed(), 1u);
+    EXPECT_TRUE(f->membership.IsRetired(0));
+
+    // No live mapping references the retired node, and every key still
+    // serves — through layouts that moved and through untouched ones alike.
+    for (const auto& [key, entry] : f->index.SnapshotSorted()) {
+      for (int r = 0; r < entry.layout->num_replicas; ++r) {
+        EXPECT_NE(entry.layout->replicas[static_cast<size_t>(r)].node, 0) << "key " << key;
+      }
+    }
+    for (uint64_t k = 0; k < 6; ++k) {
+      kv::KvResult g = co_await kv->Get(k);
+      EXPECT_EQ(g.status, kv::KvStatus::kOk) << "key " << k;
+      EXPECT_EQ(g.value, ValN(16, static_cast<uint8_t>(k + 1))) << "key " << k;
+    }
+    *done = true;
+  };
+  Spawn(driver(&f, kv.get(), &done));
+  f.env.sim.Run();
+  EXPECT_TRUE(done);
+}
+
+// --- FUSEE: the two-slot re-homing variant ---------------------------------
+
+struct FuseeMigrationFixture {
+  FuseeMigrationFixture()
+      : env(1, ElasticFabric(/*headroom=*/2)),
+        membership(&env.sim, &env.fabric, /*detection_delay=*/10 * sim::kMicrosecond),
+        store(&env.fabric, /*recovery_duration=*/100 * sim::kMicrosecond),
+        client(env.MakeWorker()),
+        coordinator(env.MakeWorker()),
+        session(&client, &store, &cache) {
+    client.set_repair_excluded(membership.repairing());
+    WireWorkerEpoch(client, membership);
+    coordinator.set_repair_excluded(membership.repairing());
+    coordinator.MarkRepairChannel();  // The harvest must pass the slot fence.
+    store.set_serving(membership.serving());
+  }
+
+  TestEnv env;
+  membership::MembershipService membership;
+  kv::FuseeStore store;
+  index::ClientCache cache;
+  Worker& client;
+  Worker& coordinator;
+  kv::FuseeKvSession session;
+};
+
+TEST(MigrationFusee, MoveRehomesBothSlots) {
+  FuseeMigrationFixture f;
+  bool done = false;
+  auto driver = [](FuseeMigrationFixture* f, bool* done) -> Task<void> {
+    EXPECT_TRUE((co_await f->session.Insert(7, ValN(32, 0xEE))).ok());
+    kv::FuseeStore::KeyMeta& meta = f->store.MetaFor(7);
+    const int old_primary = meta.primary;
+    const uint64_t old_slot = meta.index_addr_primary;
+
+    EXPECT_TRUE(co_await f->store.MigrateKey(7, old_primary, &f->coordinator));
+    EXPECT_EQ(f->store.keys_moved(), 1u);
+    EXPECT_EQ(meta.moves, 1u);
+    EXPECT_NE(meta.primary, old_primary);
+    // Addresses are per-node, so the fresh slot may coincide numerically with
+    // the old one; what matters is that the OLD node's slot is fenced for good.
+    EXPECT_TRUE(f->env.fabric.node(old_primary).RegionRetired(old_slot, 8));
+
+    // The stale-cached client bounces off the fence and lands at the new home.
+    kv::KvResult g = co_await f->session.Get(7);
+    EXPECT_EQ(g.status, kv::KvStatus::kOk);
+    EXPECT_EQ(g.value, ValN(32, 0xEE));
+    EXPECT_TRUE((co_await f->session.Update(7, ValN(32, 0xDD))).ok());
+    g = co_await f->session.Get(7);
+    EXPECT_EQ(g.status, kv::KvStatus::kOk);
+    EXPECT_EQ(g.value, ValN(32, 0xDD));
+    *done = true;
+  };
+  Spawn(driver(&f, &done));
+  f.env.sim.Run();
+  EXPECT_TRUE(done);
+}
+
+TEST(MigrationFusee, RecoveryArbitrationAborts) {
+  FuseeMigrationFixture f;
+  bool done = false;
+  auto driver = [](FuseeMigrationFixture* f, bool* done) -> Task<void> {
+    EXPECT_TRUE((co_await f->session.Insert(7, ValN(16, 1))).ok());
+    kv::FuseeStore::KeyMeta& meta = f->store.MetaFor(7);
+    const int primary = meta.primary;
+
+    // Mid-recovery the key belongs to the repair path, not the migration.
+    f->store.StartRecovery(meta.backup);
+    EXPECT_FALSE(co_await f->store.MigrateKey(7, primary, &f->coordinator));
+    EXPECT_EQ(f->store.keys_aborted(), 1u);
+    EXPECT_EQ(meta.moves, 0u);
+    EXPECT_EQ(meta.primary, primary) << "an aborted move changes nothing";
+
+    // A never-placed key is a clean no-op.
+    EXPECT_TRUE(co_await f->store.MigrateKey(999, 0, &f->coordinator));
+    *done = true;
+  };
+  Spawn(driver(&f, &done));
+  f.env.sim.Run();
+  EXPECT_TRUE(done);
+}
+
+TEST(MigrationFusee, MigrateNodeDrainsEveryKey) {
+  FuseeMigrationFixture f;
+  bool done = false;
+  auto driver = [](FuseeMigrationFixture* f, bool* done) -> Task<void> {
+    for (uint64_t k = 0; k < 6; ++k) {
+      EXPECT_TRUE((co_await f->session.Insert(k, ValN(16, static_cast<uint8_t>(k + 1)))).ok());
+    }
+    f->membership.BeginDrain(0);
+    const uint64_t remaining = co_await f->store.MigrateNode(0, &f->coordinator);
+    EXPECT_EQ(remaining, 0u);
+    for (uint64_t k = 0; k < 6; ++k) {
+      kv::FuseeStore::KeyMeta& meta = f->store.MetaFor(k);
+      EXPECT_NE(meta.primary, 0) << "key " << k;
+      EXPECT_NE(meta.backup, 0) << "key " << k;
+      kv::KvResult g = co_await f->session.Get(k);
+      EXPECT_EQ(g.status, kv::KvStatus::kOk) << "key " << k;
+      EXPECT_EQ(g.value, ValN(16, static_cast<uint8_t>(k + 1))) << "key " << k;
+    }
+    f->membership.Decommission(0);
+    EXPECT_TRUE(f->membership.IsRetired(0));
+    *done = true;
+  };
+  Spawn(driver(&f, &done));
+  f.env.sim.Run();
+  EXPECT_TRUE(done);
+}
+
+}  // namespace
+}  // namespace swarm

@@ -38,6 +38,10 @@ TEST(RepairDarkSlot, GiveUpIsReRepairedAfterUnrelatedReadmission) {
   DarkSlotFixture f;
   Worker& writer = f.env.MakeWorker();
   writer.set_repair_excluded(f.membership.repairing());
+  // Epoch-fenced verbs in the unit fixture too (not only the chaos harness):
+  // the writer's ops across the crash/readmit cycles below run the stamp +
+  // re-validation path instead of kNoFenceEpoch.
+  testing::WireWorkerEpoch(writer, f.membership);
   Worker& coord = f.env.MakeWorker();
 
   repair::RepairConfig rcfg;
@@ -116,6 +120,10 @@ TEST(RepairDarkSlot, FreshLifecycleSupersedesDarkBookkeeping) {
   DarkSlotFixture f;
   Worker& writer = f.env.MakeWorker();
   writer.set_repair_excluded(f.membership.repairing());
+  // Epoch-fenced verbs in the unit fixture too (not only the chaos harness):
+  // the writer's ops across the crash/readmit cycles below run the stamp +
+  // re-validation path instead of kNoFenceEpoch.
+  testing::WireWorkerEpoch(writer, f.membership);
   Worker& coord = f.env.MakeWorker();
 
   repair::RepairConfig rcfg;

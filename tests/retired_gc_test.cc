@@ -92,8 +92,13 @@ TEST(RetiredGc, InsertCollisionChurnShrinksThroughTheKvPath) {
                                [&recycler] { return recycler.SafeReclaimBefore(); });
   index::ClientCache cache_a;
   index::ClientCache cache_b;
-  kv::SwarmKvSession a(&env.MakeWorker(0), &index, &cache_a);
-  kv::SwarmKvSession b(&env.MakeWorker(100), &index, &cache_b);
+  Worker& wa = env.MakeWorker(0);
+  Worker& wb = env.MakeWorker(100);
+  // Epoch-fenced verbs in the unit fixture too, not only the chaos harness.
+  testing::WireWorkerEpoch(wa, membership);
+  testing::WireWorkerEpoch(wb, membership);
+  kv::SwarmKvSession a(&wa, &index, &cache_a);
+  kv::SwarmKvSession b(&wb, &index, &cache_b);
 
   auto insert_pair = [](TestEnv* env, kv::SwarmKvSession* s, uint64_t key) -> sim::Task<void> {
     (void)co_await s->Insert(key, testing::ValN(8, 0x5a));

@@ -154,15 +154,7 @@ struct ChaosEnv {
     return w;
   }
 
-  void WireEpoch(Worker& w, bool subscribe) {
-    auto epoch = std::make_shared<fabric::ClientEpoch>();
-    epoch->value = membership.epoch();
-    w.set_epoch(epoch);
-    w.set_epoch_source([this] { return membership.ValidateEpoch(); });
-    if (subscribe) {
-      membership.SubscribeEpoch(std::move(epoch));
-    }
-  }
+  void WireEpoch(Worker& w, bool subscribe) { WireWorkerEpoch(w, membership, subscribe); }
 
   TestEnv env;
   membership::MembershipService membership;

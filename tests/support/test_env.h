@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "src/fabric/fabric.h"
+#include "src/membership/membership.h"
 #include "src/sim/simulator.h"
 #include "src/swarm/clock.h"
 #include "src/swarm/layout.h"
@@ -73,6 +74,32 @@ struct TestEnv {
   std::vector<std::unique_ptr<GuessClock>> clocks;
   std::vector<std::unique_ptr<Worker>> workers;
 };
+
+// Elastic-membership scenarios hot-add nodes mid-run (MigrationService::
+// AdmitAndRebalance → Fabric::AddNode): the fabric needs lifetime headroom
+// beyond the initial cluster, reserved up front so the per-link chaos fault
+// arrays and the index pseudo-link stay stable across admissions.
+inline fabric::FabricConfig ElasticFabric(int headroom = 2) {
+  fabric::FabricConfig cfg = TestEnv::DefaultFabric();
+  cfg.max_nodes = cfg.num_nodes + headroom;
+  return cfg;
+}
+
+// Wires a worker's membership-epoch stamp and re-validation pull (§5.4):
+// its verbs carry the client's cached epoch instead of kNoFenceEpoch, so the
+// epoch-fenced verb path runs in unit fixtures too, not just the chaos
+// harness. `subscribe` = false models the client that never receives pushes
+// (it advances only through the kStaleEpoch → ValidateEpoch pull).
+inline void WireWorkerEpoch(Worker& w, membership::MembershipService& membership,
+                            bool subscribe = true) {
+  auto epoch = std::make_shared<fabric::ClientEpoch>();
+  epoch->value = membership.epoch();
+  w.set_epoch(epoch);
+  w.set_epoch_source([&membership] { return membership.ValidateEpoch(); });
+  if (subscribe) {
+    membership.SubscribeEpoch(std::move(epoch));
+  }
+}
 
 inline std::vector<uint8_t> Val(std::initializer_list<uint8_t> bytes) { return bytes; }
 
