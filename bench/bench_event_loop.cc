@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "bench/common/harness.h"
+#include "bench/common/json_report.h"
 #include "bench/common/report.h"
 #include "src/sim/simulator.h"
 #include "src/sim/task.h"
@@ -181,6 +182,7 @@ RunResults KvRun(bool batching, uint64_t ops, uint64_t seed, uint64_t* events_ou
   delta.reads -= before.reads;
   delta.writes -= before.writes;
   delta.doorbells -= before.doorbells;
+  delta.doorbell_splits -= before.doorbell_splits;
   delta.batches -= before.batches;
   delta.batched_verbs -= before.batched_verbs;
   *stats_out = delta;
@@ -188,11 +190,16 @@ RunResults KvRun(bool batching, uint64_t ops, uint64_t seed, uint64_t* events_ou
 }
 
 int Main(int argc, char** argv) {
+  ParseBenchFlags(argc, argv);
   const uint64_t callback_events = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 2000000;
   const uint64_t coroutine_resumes = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 2000000;
   const uint64_t kv_ops = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 40000;
   constexpr int kChains = 4096;
   uint64_t sink = 0;
+  JsonReport rep("event_loop");
+  rep.Label("callback_events", std::to_string(callback_events));
+  rep.Label("coroutine_resumes", std::to_string(coroutine_resumes));
+  rep.Label("kv_ops", std::to_string(kv_ops));
 
   PrintHeader("Event core: callback events (fabric-sized ~96 B captures)");
   LegacyLoop legacy_cb;
@@ -211,6 +218,10 @@ int Main(int argc, char** argv) {
        Fmt("%.0f", tagged_cb_rate)},
       {"speedup", "", "", Fmt("%.2fx", tagged_cb_rate / legacy_cb_rate)},
   });
+  rep.AddEventLoop("cb.legacy", legacy_cb.events(), 0, legacy_cb_s);
+  rep.AddEventLoop("cb.tagged", tagged_cb.events_processed(), tagged_cb.coroutine_events(),
+                   tagged_cb_s);
+  rep.Metric("host_cb.speedup", tagged_cb_rate / legacy_cb_rate);
 
   PrintHeader("Event core: coroutine resumes (ResumeAt fast path)");
   LegacyLoop legacy_co;
@@ -229,6 +240,10 @@ int Main(int argc, char** argv) {
        Fmt("%.0f", tagged_co_rate)},
       {"speedup", "", "", Fmt("%.2fx", tagged_co_rate / legacy_co_rate)},
   });
+  rep.AddEventLoop("co.legacy", legacy_co.events(), 0, legacy_co_s);
+  rep.AddEventLoop("co.tagged", tagged_co.events_processed(), tagged_co.coroutine_events(),
+                   tagged_co_s);
+  rep.Metric("host_co.speedup", tagged_co_rate / legacy_co_rate);
 
   PrintHeader("SWARM-KV (YCSB-B) with doorbell batching off vs. on");
   std::vector<std::vector<std::string>> rows;
@@ -240,6 +255,14 @@ int Main(int argc, char** argv) {
     fabric::FabricStats stats;
     double wall = 0;
     RunResults r = KvRun(batching, kv_ops, 1, &events, &coroutine_events, &stats, &wall);
+    // This section sweeps batching EXPLICITLY (labeled per row/key); the
+    // global --paper-calibration regime does not apply to it.
+    const std::string key = batching ? "kv.batch_on" : "kv.batch_off";
+    rep.Metric(key + ".tput_mops", r.ThroughputMops());
+    rep.Metric(key + ".get_p50_us", r.get_latency.PercentileUs(50));
+    rep.Metric(key + ".update_p50_us", r.update_latency.PercentileUs(50));
+    rep.AddBatchStats(key, stats);
+    rep.AddEventLoop(key, events, coroutine_events, wall);
     rows.push_back({batching ? "on" : "off", Fmt("%.3f", r.ThroughputMops()),
                     Fmt("%.2f", r.get_latency.PercentileUs(50)),
                     Fmt("%.2f", r.update_latency.PercentileUs(50)), FmtU(stats.doorbells),
@@ -251,6 +274,7 @@ int Main(int argc, char** argv) {
   }
   PrintTable(rows);
   std::printf("\n(sink=%llu)\n", static_cast<unsigned long long>(sink));
+  rep.Write();
   return 0;
 }
 

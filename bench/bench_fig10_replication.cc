@@ -10,13 +10,17 @@
 #include <cstdio>
 
 #include "bench/common/harness.h"
+#include "bench/common/json_report.h"
 #include "bench/common/options.h"
 #include "bench/common/report.h"
 
 namespace swarm::bench {
 namespace {
 
-int Main() {
+int Main(int argc, char** argv) {
+  ParseBenchFlags(argc, argv);
+  JsonReport rep("fig10_replication");
+  HostCostFooter footer;
   PrintHeader("Figure 10: replication factor 3/5/7, YCSB B, Zipfian, 4 clients");
   std::vector<std::vector<std::string>> rows;
   rows.push_back({"system", "replicas", "get_p50_us", "get_p1_us", "get_p99_us", "update_p50_us",
@@ -33,6 +37,14 @@ int Main() {
       KvHarness harness(cfg);
       harness.Load();
       RunResults r = harness.Run();
+      footer.Add(harness);
+      const std::string key = std::string(store) + ".r" + std::to_string(replicas);
+      rep.Metric(key + ".get_p50_us", r.get_latency.PercentileUs(50));
+      rep.Metric(key + ".get_p99_us", r.get_latency.PercentileUs(99));
+      rep.Metric(key + ".update_p50_us", r.update_latency.PercentileUs(50));
+      rep.Metric(key + ".update_p99_us", r.update_latency.PercentileUs(99));
+      rep.Metric(key + ".tput_kops_per_client",
+                 r.ThroughputMops() * 1e3 / cfg.num_clients);
       rows.push_back({store, FmtU(static_cast<uint64_t>(replicas)),
                       Fmt("%.2f", r.get_latency.PercentileUs(50)),
                       Fmt("%.2f", r.get_latency.PercentileUs(1)),
@@ -47,10 +59,12 @@ int Main() {
   std::printf("\nPaper: SWARM-KV 3 replicas: get 2.3us / update 3.0us; +0.2us gets, +0.5us\n"
               "updates per 2 extra replicas; DM-ABD starts at 4.3/4.7us; tput -9%% (3->5),\n"
               "-7%% (5->7); stable p1-p99 spread.\n");
+  footer.Flush(&rep);
+  rep.Write();
   return 0;
 }
 
 }  // namespace
 }  // namespace swarm::bench
 
-int main() { return swarm::bench::Main(); }
+int main(int argc, char** argv) { return swarm::bench::Main(argc, argv); }

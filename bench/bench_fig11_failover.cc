@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "bench/common/harness.h"
+#include "bench/common/json_report.h"
 #include "bench/common/options.h"
 #include "bench/common/report.h"
 
@@ -29,7 +30,7 @@ struct Timeline {
   }
 };
 
-void RunOne(const char* store) {
+void RunOne(const char* store, JsonReport* rep, HostCostFooter* footer) {
   HarnessConfig cfg;
   cfg.store = store;
   cfg.workload = ycsb::WorkloadA(100000, 64);
@@ -61,6 +62,19 @@ void RunOne(const char* store) {
     }
   });
   RunResults r = harness.Run();
+  footer->Add(harness);
+  rep->AddLatency(std::string(store) + ".get", r.get_latency);
+  rep->AddLatency(std::string(store) + ".update", r.update_latency);
+  rep->MetricU(std::string(store) + ".unavailable_ops", r.unavailable);
+  // Recovery-window shape: the first 2 ms after the crash, merged.
+  stats::LatencyHistogram post_crash;
+  for (const auto& [b, hist] : timeline.buckets) {
+    if (b >= 0 && static_cast<double>(b) * sim::ToMillis(timeline.bucket_ns) < 2.0) {
+      post_crash.Merge(hist);
+    }
+  }
+  rep->Metric(std::string(store) + ".post_crash_2ms.p50_us", post_crash.PercentileUs(50));
+  rep->Metric(std::string(store) + ".post_crash_2ms.p99_us", post_crash.PercentileUs(99));
 
   std::printf("\n== %s (crash of node 0 at t=0) ==\n", store);
   std::printf("unavailable ops: %llu of %llu\n", static_cast<unsigned long long>(r.unavailable),
@@ -85,17 +99,22 @@ void RunOne(const char* store) {
   PrintTable(rows);
 }
 
-int Main() {
+int Main(int argc, char** argv) {
+  ParseBenchFlags(argc, argv);
+  JsonReport rep("fig11_failover");
+  HostCostFooter footer;
   PrintHeader("Figure 11: memory-node failure at t=0, YCSB A (availability timeline)");
-  RunOne("swarm");
-  RunOne("fusee");
+  RunOne("swarm", &rep, &footer);
+  RunOne("fusee", &rep, &footer);
   std::printf("\nPaper: SWARM-KV keeps serving (zero downtime); latency blips while in-place\n"
               "data and quorum unanimity are rebuilt, then recovers. Synchronous systems\n"
               "(FUSEE) block for tens of milliseconds of recovery.\n");
+  footer.Flush(&rep);
+  rep.Write();
   return 0;
 }
 
 }  // namespace
 }  // namespace swarm::bench
 
-int main() { return swarm::bench::Main(); }
+int main(int argc, char** argv) { return swarm::bench::Main(argc, argv); }

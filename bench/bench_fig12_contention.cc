@@ -11,13 +11,17 @@
 #include <cstdio>
 
 #include "bench/common/harness.h"
+#include "bench/common/json_report.h"
 #include "bench/common/options.h"
 #include "bench/common/report.h"
 
 namespace swarm::bench {
 namespace {
 
-int Main() {
+int Main(int argc, char** argv) {
+  ParseBenchFlags(argc, argv);
+  JsonReport rep("fig12_contention");
+  HostCostFooter footer;
   PrintHeader("Figure 12: extreme contention, single key, 16 clients, YCSB A");
   std::vector<std::vector<std::string>> rows;
   rows.push_back({"system", "op", "p50_us", "p90_us", "p99_us", "rtt_mix"});
@@ -34,6 +38,13 @@ int Main() {
     KvHarness harness(cfg);
     harness.Load();
     RunResults r = harness.Run();
+    footer.Add(harness);
+    rep.Metric(std::string(store) + ".get.p50_us", r.get_latency.PercentileUs(50));
+    rep.Metric(std::string(store) + ".get.p90_us", r.get_latency.PercentileUs(90));
+    rep.Metric(std::string(store) + ".get.p99_us", r.get_latency.PercentileUs(99));
+    rep.Metric(std::string(store) + ".update.p50_us", r.update_latency.PercentileUs(50));
+    rep.Metric(std::string(store) + ".update.p90_us", r.update_latency.PercentileUs(90));
+    rep.Metric(std::string(store) + ".update.p99_us", r.update_latency.PercentileUs(99));
     rows.push_back({store, "GET", Fmt("%.2f", r.get_latency.PercentileUs(50)),
                     Fmt("%.2f", r.get_latency.PercentileUs(90)),
                     Fmt("%.2f", r.get_latency.PercentileUs(99)), RttMix(r.get_rtts)});
@@ -48,6 +59,7 @@ int Main() {
       const double inplace_pct =
           100.0 * static_cast<double>(r.get_inplace) / static_cast<double>(r.gets ? r.gets : 1);
       std::printf("swarm gets served from in-place data: %.1f%%\n", inplace_pct);
+      rep.Metric("swarm.get_inplace_pct", inplace_pct);
     }
   }
   PrintTable(rows);
@@ -58,10 +70,12 @@ int Main() {
   for (size_t i = 0; i < cdfs.size(); ++i) {
     PrintCdf(names[i], cdfs[i]);
   }
+  footer.Flush(&rep);
+  rep.Write();
   return 0;
 }
 
 }  // namespace
 }  // namespace swarm::bench
 
-int main() { return swarm::bench::Main(); }
+int main(int argc, char** argv) { return swarm::bench::Main(argc, argv); }

@@ -12,13 +12,17 @@
 #include <cstdio>
 
 #include "bench/common/harness.h"
+#include "bench/common/json_report.h"
 #include "bench/common/options.h"
 #include "bench/common/report.h"
 
 namespace swarm::bench {
 namespace {
 
-int Main() {
+int Main(int argc, char** argv) {
+  ParseBenchFlags(argc, argv);
+  JsonReport rep("fig13_max_buffers");
+  HostCostFooter footer;
   PrintHeader("Figure 13: metadata buffer array width, 64 clients, SWARM-KV");
   for (const bool workload_a : {false, true}) {
     std::printf("\n== YCSB %s - Zipfian ==\n", workload_a ? "A (50/50)" : "B (95/5)");
@@ -44,6 +48,15 @@ int Main() {
           one_rt += n;
         }
       }
+      footer.Add(harness);
+      const std::string key = std::string(workload_a ? "a" : "b") + ".m" +
+                              std::to_string(buffers);
+      rep.Metric(key + ".get_p50_us", r.get_latency.PercentileUs(50));
+      rep.Metric(key + ".get_p99_us", r.get_latency.PercentileUs(99));
+      rep.Metric(key + ".update_p50_us", r.update_latency.PercentileUs(50));
+      rep.Metric(key + ".update_p99_us", r.update_latency.PercentileUs(99));
+      rep.Metric(key + ".updates_1rt_pct", 100.0 * static_cast<double>(one_rt) /
+                                               static_cast<double>(total ? total : 1));
       rows.push_back({FmtU(static_cast<uint64_t>(buffers)),
                       Fmt("%.2f", r.get_latency.PercentileUs(50)),
                       Fmt("%.2f", r.get_latency.PercentileUs(99)),
@@ -57,10 +70,12 @@ int Main() {
   }
   std::printf("\nPaper (YCSB B): 1-RT updates 23%% / 57%% / 86%% / 99%% for 1/4/16/64 buffers;\n"
               "gets slow from 3.1 to 3.6us as arrays grow. YCSB A: 2%%/11%%/39%%/99%%.\n");
+  footer.Flush(&rep);
+  rep.Write();
   return 0;
 }
 
 }  // namespace
 }  // namespace swarm::bench
 
-int main() { return swarm::bench::Main(); }
+int main(int argc, char** argv) { return swarm::bench::Main(argc, argv); }

@@ -9,13 +9,14 @@
 #include <cstdio>
 
 #include "bench/common/harness.h"
+#include "bench/common/json_report.h"
 #include "bench/common/options.h"
 #include "bench/common/report.h"
 
 namespace swarm::bench {
 namespace {
 
-RunResults RunOne(const char* store) {
+RunResults RunOne(const char* store, HostCostFooter* footer) {
   HarnessConfig cfg;
   cfg.store = store;
   cfg.workload = ycsb::WorkloadB(100000, 64);
@@ -24,16 +25,26 @@ RunResults RunOne(const char* store) {
   cfg.measure_ops = MeasureOps();
   KvHarness harness(cfg);
   harness.Load();
-  return harness.Run();
+  RunResults r = harness.Run();
+  footer->Add(harness);
+  return r;
 }
 
-int Main() {
+int Main(int argc, char** argv) {
+  ParseBenchFlags(argc, argv);
+  JsonReport rep("fig5_latency_cdf");
+  HostCostFooter footer;
   PrintHeader(
       "Figure 5: latency CDFs, YCSB B (95/5), Zipfian(.99), 4 clients, 100K keys, 64B values");
   const char* stores[] = {"raw", "swarm", "dmabd", "fusee"};
   std::vector<RunResults> results;
   for (const char* s : stores) {
-    results.push_back(RunOne(s));
+    results.push_back(RunOne(s, &footer));
+  }
+  for (size_t i = 0; i < 4; ++i) {
+    rep.AddLatency(std::string(stores[i]) + ".get", results[i].get_latency);
+    rep.AddLatency(std::string(stores[i]) + ".update", results[i].update_latency);
+    rep.Metric(std::string(stores[i]) + ".tput_mops", results[i].ThroughputMops());
   }
 
   std::vector<std::vector<std::string>> rows;
@@ -59,10 +70,12 @@ int Main() {
     PrintCdf(std::string(stores[i]) + "/GET", results[i].get_latency);
     PrintCdf(std::string(stores[i]) + "/UPDATE", results[i].update_latency);
   }
+  footer.Flush(&rep);
+  rep.Write();
   return 0;
 }
 
 }  // namespace
 }  // namespace swarm::bench
 
-int main() { return swarm::bench::Main(); }
+int main(int argc, char** argv) { return swarm::bench::Main(argc, argv); }

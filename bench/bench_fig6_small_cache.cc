@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "bench/common/harness.h"
+#include "bench/common/json_report.h"
 #include "bench/common/options.h"
 #include "bench/common/report.h"
 
@@ -21,7 +22,10 @@ namespace {
 constexpr uint64_t kCacheBudgetBytes = 5ull << 20;
 constexpr uint64_t kKeys = 1000000;
 
-int Main() {
+int Main(int argc, char** argv) {
+  ParseBenchFlags(argc, argv);
+  JsonReport rep("fig6_small_cache");
+  HostCostFooter footer;
   PrintHeader("Figure 6: 1M keys, 5 MiB caches (approximate LFU), YCSB B, Zipfian");
   std::vector<std::vector<std::string>> rows;
   rows.push_back({"system", "op", "p50_us", "p90_us", "p99_us", "mean_us", "miss_rate",
@@ -56,6 +60,11 @@ int Main() {
                                              static_cast<double>(hits + misses);
     const double frac_cached = 100.0 * static_cast<double>(cfg.cache_capacity) /
                                static_cast<double>(kKeys);
+    footer.Add(harness);
+    rep.AddLatency(std::string(store) + ".get", r.get_latency);
+    rep.AddLatency(std::string(store) + ".update", r.update_latency);
+    rep.Metric(std::string(store) + ".miss_rate_pct", miss_rate);
+    rep.Metric(std::string(store) + ".cached_keys_pct", frac_cached);
     rows.push_back({store, "GET", Fmt("%.2f", r.get_latency.PercentileUs(50)),
                     Fmt("%.2f", r.get_latency.PercentileUs(90)),
                     Fmt("%.2f", r.get_latency.PercentileUs(99)),
@@ -77,10 +86,12 @@ int Main() {
   for (size_t i = 0; i < cdfs.size(); ++i) {
     PrintCdf(cdf_names[i], cdfs[i]);
   }
+  footer.Flush(&rep);
+  rep.Write();
   return 0;
 }
 
 }  // namespace
 }  // namespace swarm::bench
 
-int main() { return swarm::bench::Main(); }
+int main(int argc, char** argv) { return swarm::bench::Main(argc, argv); }

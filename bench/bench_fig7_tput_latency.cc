@@ -9,13 +9,17 @@
 #include <cstdio>
 
 #include "bench/common/harness.h"
+#include "bench/common/json_report.h"
 #include "bench/common/options.h"
 #include "bench/common/report.h"
 
 namespace swarm::bench {
 namespace {
 
-int Main() {
+int Main(int argc, char** argv) {
+  ParseBenchFlags(argc, argv);
+  JsonReport rep("fig7_tput_latency");
+  HostCostFooter footer;
   PrintHeader("Figure 7: per-core throughput-latency, 1..8 concurrent ops, 4 clients");
   for (const bool workload_a : {true, false}) {
     std::printf("\n== YCSB %s - Zipfian ==\n", workload_a ? "A (50/50)" : "B (95/5)");
@@ -38,6 +42,13 @@ int Main() {
         all.Merge(r.update_latency);
         const double per_client_kops =
             r.ThroughputMops() * 1e3 / static_cast<double>(cfg.num_clients);
+        footer.Add(harness);
+        const std::string key =
+            std::string(store) + (workload_a ? ".a" : ".b") + ".c" + std::to_string(conc);
+        rep.Metric(key + ".tput_kops_per_client", per_client_kops);
+        rep.Metric(key + ".mean_us", all.MeanUs());
+        rep.Metric(key + ".get_p50_us", r.get_latency.PercentileUs(50));
+        rep.Metric(key + ".update_p50_us", r.update_latency.PercentileUs(50));
         rows.push_back({store, FmtU(static_cast<uint64_t>(conc)), Fmt("%.0f", per_client_kops),
                         Fmt("%.2f", all.MeanUs()), Fmt("%.2f", r.get_latency.PercentileUs(50)),
                         Fmt("%.2f", r.update_latency.PercentileUs(50))});
@@ -48,10 +59,12 @@ int Main() {
   std::printf("\nPaper (YCSB A, SWARM-KV): 1 op 2.7us @264kops; 2 ops 2.8us @499kops; 3 ops\n"
               "3.4us @609kops; wall at ~640kops with ~+1us per extra op. YCSB B: 2.4us\n"
               "@389kops -> 1030kops with 5 ops.\n");
+  footer.Flush(&rep);
+  rep.Write();
   return 0;
 }
 
 }  // namespace
 }  // namespace swarm::bench
 
-int main() { return swarm::bench::Main(); }
+int main(int argc, char** argv) { return swarm::bench::Main(argc, argv); }

@@ -9,13 +9,17 @@
 #include <cstdio>
 
 #include "bench/common/harness.h"
+#include "bench/common/json_report.h"
 #include "bench/common/options.h"
 #include "bench/common/report.h"
 
 namespace swarm::bench {
 namespace {
 
-int Main() {
+int Main(int argc, char** argv) {
+  ParseBenchFlags(argc, argv);
+  JsonReport rep("fig8_scalability");
+  HostCostFooter footer;
   PrintHeader("Figure 8: scalability, 1..64 clients, YCSB B, Zipfian");
   for (const int conc : {1, 4}) {
     std::printf("\n== %d concurrent operation(s) per client ==\n", conc);
@@ -36,6 +40,12 @@ int Main() {
         KvHarness harness(cfg);
         harness.Load();
         RunResults r = harness.Run();
+        footer.Add(harness);
+        const std::string key = std::string(store) + ".c" + std::to_string(conc) + ".n" +
+                                std::to_string(clients);
+        rep.Metric(key + ".tput_mops", r.ThroughputMops());
+        rep.Metric(key + ".get_mean_us", r.get_latency.MeanUs());
+        rep.Metric(key + ".update_mean_us", r.update_latency.MeanUs());
         rows.push_back({store, FmtU(static_cast<uint64_t>(clients)),
                         Fmt("%.2f", r.ThroughputMops()), Fmt("%.2f", r.get_latency.MeanUs()),
                         Fmt("%.2f", r.update_latency.MeanUs())});
@@ -45,10 +55,12 @@ int Main() {
   }
   std::printf("\nPaper: sequential — near-linear to 15.9 Mops at 64 clients, gets 2.2->3.7us.\n"
               "4 concurrent — peak 28.3 Mops at 40 clients (fabric saturates beyond).\n");
+  footer.Flush(&rep);
+  rep.Write();
   return 0;
 }
 
 }  // namespace
 }  // namespace swarm::bench
 
-int main() { return swarm::bench::Main(); }
+int main(int argc, char** argv) { return swarm::bench::Main(argc, argv); }

@@ -11,13 +11,17 @@
 #include <cstdio>
 
 #include "bench/common/harness.h"
+#include "bench/common/json_report.h"
 #include "bench/common/options.h"
 #include "bench/common/report.h"
 
 namespace swarm::bench {
 namespace {
 
-int Main() {
+int Main(int argc, char** argv) {
+  ParseBenchFlags(argc, argv);
+  JsonReport rep("fig9_value_size");
+  HostCostFooter footer;
   PrintHeader("Figure 9: value-size sweep 16B..8KiB, SWARM-KV (In-n-Out) vs pure out-of-place");
   for (const bool workload_a : {true, false}) {
     std::printf("\n== YCSB %s - Zipfian ==\n", workload_a ? "A (50/50)" : "B (95/5)");
@@ -40,6 +44,12 @@ int Main() {
         KvHarness harness(cfg);
         harness.Load();
         RunResults r = harness.Run();
+        footer.Add(harness);
+        const std::string key = std::string(inplace ? "innout" : "outp") +
+                                (workload_a ? ".a" : ".b") + ".v" + std::to_string(size);
+        rep.Metric(key + ".get_mean_us", r.get_latency.MeanUs());
+        rep.Metric(key + ".update_mean_us", r.update_latency.MeanUs());
+        rep.Metric(key + ".tput_kops", r.ThroughputMops() * 1e3);
         rows.push_back({inplace ? "In-n-Out" : "Out-P.",
                         size >= 1024 ? Fmt("%.0fKiB", size / 1024.0) : Fmt("%.0fB", size),
                         Fmt("%.2f", r.get_latency.MeanUs()),
@@ -52,10 +62,12 @@ int Main() {
   std::printf("\nPaper: linear latency growth; 8KiB still single-digit us; gets ~33%% faster\n"
               "with in-place at 8KiB; updates equal (lazy in-place); In-n-Out +50%% tput at\n"
               "8KiB under YCSB B.\n");
+  footer.Flush(&rep);
+  rep.Write();
   return 0;
 }
 
 }  // namespace
 }  // namespace swarm::bench
 
-int main() { return swarm::bench::Main(); }
+int main(int argc, char** argv) { return swarm::bench::Main(argc, argv); }

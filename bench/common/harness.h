@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/common/options.h"
 #include "src/fabric/fabric.h"
 #include "src/index/client_cache.h"
 #include "src/index/index_service.h"
@@ -51,6 +52,12 @@ struct HarnessConfig {
   HarnessConfig() {
     fabric.num_nodes = 4;
     fabric.node_capacity_bytes = 2ull << 30;
+    // Regime is global (see options.h): under --paper-calibration every verb
+    // pays its own submit_cost, so no bench silently mixes batched and
+    // unbatched points in one trajectory.
+    if (PaperCalibration()) {
+      fabric.doorbell_batching = false;
+    }
     proto.replicas = 3;
     proto.max_value = workload.value_size;
     // 0 = auto: one In-n-Out metadata buffer per writer (§7.9's recommended

@@ -1,0 +1,170 @@
+// Machine-readable benchmark output: every bench binary emits one
+// BENCH_<name>.json next to its human-readable tables, holding a flat
+// metric map plus a config fingerprint. The committed copies under
+// bench/baselines/ form the repo's tracked performance trajectory;
+// .github/workflows CI re-runs the benches and diffs fresh output against
+// the baselines with per-metric thresholds (see bench/README.md for the
+// schema, the update workflow, and the thresholds).
+//
+// Conventions the regression checker relies on:
+//  * Metric keys are flat dotted paths ("swarm.c1.tput_mops"). Insertion
+//    order is preserved, so output is byte-stable for unchanged code.
+//  * Virtual-time metrics (throughput, latency percentiles, doorbells,
+//    roundtrips) are DETERMINISTIC for a fixed seed + op count: they are
+//    the gated trajectory.
+//  * Keys starting with "host_" (wall-clock rates, host seconds) vary by
+//    machine: emitted for the record, never gated.
+//  * The "config" block labels the regime (calibration mode, op counts,
+//    seed); the checker refuses to compare files whose fingerprints differ.
+
+#ifndef SWARM_BENCH_COMMON_JSON_REPORT_H_
+#define SWARM_BENCH_COMMON_JSON_REPORT_H_
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/common/options.h"
+#include "src/fabric/fabric.h"
+#include "src/stats/histogram.h"
+
+namespace swarm::bench {
+
+class JsonReport {
+ public:
+  // `name` identifies the bench ("fig7_tput_latency"): the file is written
+  // as BENCH_<name>.json (default regime) or BENCH_<name>.paper.json
+  // (--paper-calibration), so both regimes' trajectories coexist.
+  explicit JsonReport(std::string name) : name_(std::move(name)) {
+    Label("calibration", PaperCalibration() ? "paper" : "batched");
+    Label("measure_ops", std::to_string(MeasureOps()));
+    Label("warmup_ops", std::to_string(WarmupOps()));
+  }
+
+  void Label(const std::string& key, const std::string& value) {
+    labels_.emplace_back(key, value);
+  }
+
+  void Metric(const std::string& key, double value) { metrics_.emplace_back(key, value); }
+  void MetricU(const std::string& key, uint64_t value) {
+    Metric(key, static_cast<double>(value));
+  }
+
+  // Latency percentiles under `prefix` (p50/p90/p99/mean, microseconds).
+  void AddLatency(const std::string& prefix, const stats::LatencyHistogram& h) {
+    Metric(prefix + ".p50_us", h.PercentileUs(50));
+    Metric(prefix + ".p90_us", h.PercentileUs(90));
+    Metric(prefix + ".p99_us", h.PercentileUs(99));
+    Metric(prefix + ".mean_us", h.MeanUs());
+    MetricU(prefix + ".count", h.count());
+  }
+
+  // Host-cost footer, EventLoopSummary's numbers: event counts are
+  // deterministic (gated); the wall-clock rate is host_* (informational).
+  void AddEventLoop(const std::string& prefix, uint64_t events, uint64_t coroutine_events,
+                    double wall_seconds) {
+    MetricU(prefix + ".events", events);
+    MetricU(prefix + ".coroutine_events", coroutine_events);
+    Metric("host_" + prefix + ".wall_s", wall_seconds);
+    Metric("host_" + prefix + ".events_per_s",
+           wall_seconds <= 0 ? 0.0 : static_cast<double>(events) / wall_seconds);
+  }
+
+  // Doorbell accounting, BatchSummary's numbers (all deterministic).
+  void AddBatchStats(const std::string& prefix, const fabric::FabricStats& st) {
+    MetricU(prefix + ".doorbells", st.doorbells);
+    MetricU(prefix + ".doorbell_splits", st.doorbell_splits);
+    MetricU(prefix + ".batches", st.batches);
+    MetricU(prefix + ".batched_verbs", st.batched_verbs);
+    Metric(prefix + ".verbs_per_batch", st.verbs_per_batch());
+  }
+
+  // Writes BENCH_<name>[.paper].json into SWARM_BENCH_JSON_DIR (default:
+  // current directory). Returns false (with a note on stderr) on I/O error.
+  bool Write() const {
+    const char* dir = std::getenv("SWARM_BENCH_JSON_DIR");
+    std::string path = (dir != nullptr && *dir != '\0') ? std::string(dir) + "/" : std::string();
+    path += "BENCH_" + name_ + (PaperCalibration() ? ".paper.json" : ".json");
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "json report: cannot open %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"name\": \"%s\",\n  \"schema\": 1,\n  \"config\": {\n",
+                 Escaped(name_).c_str());
+    for (size_t i = 0; i < labels_.size(); ++i) {
+      std::fprintf(f, "    \"%s\": \"%s\"%s\n", Escaped(labels_[i].first).c_str(),
+                   Escaped(labels_[i].second).c_str(), i + 1 < labels_.size() ? "," : "");
+    }
+    std::fprintf(f, "  },\n  \"metrics\": {\n");
+    for (size_t i = 0; i < metrics_.size(); ++i) {
+      std::fprintf(f, "    \"%s\": %.10g%s\n", Escaped(metrics_[i].first).c_str(),
+                   metrics_[i].second, i + 1 < metrics_.size() ? "," : "");
+    }
+    std::fprintf(f, "  }\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s (%zu metrics)\n", path.c_str(), metrics_.size());
+    return true;
+  }
+
+  size_t metric_count() const { return metrics_.size(); }
+
+ private:
+  static std::string Escaped(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') {
+        out.push_back('\\');
+      }
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> labels_;
+  std::vector<std::pair<std::string, double>> metrics_;
+};
+
+// Accumulates the per-binary host-cost footer across every harness a bench
+// runs. Each KvHarness starts with zeroed counters, so `Add(harness)` after
+// Run() folds in that harness's lifetime totals (load + warm-up + measure —
+// the footer tracks what the whole binary costs, not one phase). Wall time
+// spans from construction to Flush(). The event/doorbell counts are
+// deterministic and gated; the wall-clock rate is host_* (informational).
+class HostCostFooter {
+ public:
+  HostCostFooter() : t0_(std::chrono::steady_clock::now()) {}
+
+  template <typename Harness>
+  void Add(Harness& h) {
+    events_ += h.sim().events_processed();
+    coroutine_events_ += h.sim().coroutine_events();
+    const fabric::FabricStats st = h.fabric().stats();
+    stats_.doorbells += st.doorbells;
+    stats_.doorbell_splits += st.doorbell_splits;
+    stats_.batches += st.batches;
+    stats_.batched_verbs += st.batched_verbs;
+  }
+
+  void Flush(JsonReport* rep) const {
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0_).count();
+    rep->AddEventLoop("footer", events_, coroutine_events_, wall_s);
+    rep->AddBatchStats("footer", stats_);
+  }
+
+ private:
+  std::chrono::steady_clock::time_point t0_;
+  uint64_t events_ = 0;
+  uint64_t coroutine_events_ = 0;
+  fabric::FabricStats stats_;
+};
+
+}  // namespace swarm::bench
+
+#endif  // SWARM_BENCH_COMMON_JSON_REPORT_H_

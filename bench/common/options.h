@@ -24,6 +24,40 @@ inline uint64_t EnvU64(const char* name, uint64_t fallback) {
 inline uint64_t MeasureOps() { return EnvU64("SWARM_BENCH_OPS", 120000); }
 inline uint64_t WarmupOps() { return EnvU64("SWARM_BENCH_WARMUP", 60000); }
 
+// Calibration regime. Default ("batched") models the optimized client —
+// doorbell batching on, submit_cost charged once per doorbell. The paper
+// regime ("paper") turns doorbell batching OFF so every verb pays its own
+// submit_cost, matching the per-series accounting the paper's absolute
+// numbers are calibrated against (§7.2 charges each series of RDMA requests
+// individually). Benches must not mix regimes within one run: the harness
+// applies the flag globally, and any bench that sweeps batching itself (the
+// event-loop ablation) does so explicitly and labels each row.
+inline bool& PaperCalibrationFlag() {
+  static bool flag = []() {
+    const char* v = std::getenv("SWARM_PAPER_CALIBRATION");
+    return v != nullptr && *v != '\0' && *v != '0';
+  }();
+  return flag;
+}
+inline bool PaperCalibration() { return PaperCalibrationFlag(); }
+
+// Shared argv handling for bench mains: recognizes --paper-calibration,
+// compacts it out of argv (so positional args keep their indices), and
+// returns the number of flags consumed. argc is updated in place.
+inline int ParseBenchFlags(int& argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--paper-calibration") {
+      PaperCalibrationFlag() = true;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  const int consumed = argc - out;
+  argc = out;
+  return consumed;
+}
+
 }  // namespace swarm::bench
 
 #endif  // SWARM_BENCH_COMMON_OPTIONS_H_

@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Diffs fresh BENCH_*.json reports against committed baselines.
+
+Usage:
+    scripts/check_bench_regression.py <baseline-dir> <fresh-dir> [--threshold PCT]
+
+For every BENCH_*.json in <baseline-dir> there must be a same-named file in
+<fresh-dir> (a missing report fails: a bench that stopped emitting its JSON
+is itself a regression). Extra fresh files are reported but don't fail, so a
+new bench can land before its baseline does.
+
+Rules (documented in bench/README.md):
+  * The "config" fingerprints must match exactly — comparing runs with
+    different op counts or calibration regimes is meaningless, so it's a
+    hard error, not a diff.
+  * Keys starting with "host_" are wall-clock numbers: skipped.
+  * All other metrics are deterministic virtual-time numbers. A metric is
+    gated in the direction that means "worse":
+      - lower-is-better:  *_us, *_ns  (latency), *.doorbells,
+        *.doorbell_splits, *.events, *.coroutine_events, *miss_rate*,
+        *.unavailable_ops
+      - higher-is-better: *tput*, *ops*, *per_s*, *per_client*, *_pct
+        (1-RT shares, in-place shares), *.verbs_per_batch
+      - count/shape keys (*.count, *.batches, *.batched_verbs): compared
+        both directions (a change in either direction is a behavior change).
+    Unknown keys default to both-directions gating: better to flag a rename
+    than to silently stop tracking it.
+  * A metric disappearing from the fresh report is an error; a new metric
+    is reported but allowed (it has no baseline yet).
+  * Tolerance: relative |delta| above --threshold (default 8%) in the gated
+    direction fails. Baselines within ±1e-9 of zero use absolute comparison.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+DEFAULT_THRESHOLD_PCT = 8.0
+
+LOWER_IS_BETTER_SUFFIXES = ("_us", "_ns")
+LOWER_IS_BETTER_SUBSTRINGS = (
+    ".doorbell", ".events", ".coroutine_events", "miss_rate", "unavailable_ops",
+)
+HIGHER_IS_BETTER_SUBSTRINGS = (
+    "tput", "per_s", "per_client", "_pct", "verbs_per_batch", ".ops",
+)
+BOTH_DIRECTIONS_SUFFIXES = (".count", ".batches", ".batched_verbs")
+
+
+def direction(key: str) -> str:
+    """Returns 'lower', 'higher' or 'both' — which movement is a regression."""
+    if key.endswith(BOTH_DIRECTIONS_SUFFIXES):
+        return "both"
+    if key.endswith(LOWER_IS_BETTER_SUFFIXES):
+        return "lower"
+    if any(s in key for s in LOWER_IS_BETTER_SUBSTRINGS):
+        return "lower"
+    if any(s in key for s in HIGHER_IS_BETTER_SUBSTRINGS):
+        return "higher"
+    return "both"
+
+
+def load(path: str) -> dict:
+    with open(path, encoding="utf-8") as f:
+        return json.load(f)
+
+
+def compare_file(name: str, base: dict, fresh: dict, threshold_pct: float, failures: list,
+                 notes: list) -> None:
+    if base.get("config") != fresh.get("config"):
+        failures.append(
+            f"{name}: config fingerprint mismatch — baseline {base.get('config')} vs "
+            f"fresh {fresh.get('config')}; re-run with the baseline's op counts/regime "
+            f"(see scripts/run_benches.sh)")
+        return
+
+    bm = base.get("metrics", {})
+    fm = fresh.get("metrics", {})
+    for key, bval in bm.items():
+        if key.startswith("host_"):
+            continue
+        if key not in fm:
+            failures.append(f"{name}: metric '{key}' disappeared from fresh report")
+            continue
+        fval = fm[key]
+        if abs(bval) < 1e-9:
+            delta_pct = 0.0 if abs(fval) < 1e-9 else float("inf")
+        else:
+            delta_pct = 100.0 * (fval - bval) / abs(bval)
+        d = direction(key)
+        worse = (d == "lower" and delta_pct > threshold_pct) or \
+                (d == "higher" and delta_pct < -threshold_pct) or \
+                (d == "both" and abs(delta_pct) > threshold_pct)
+        if worse:
+            failures.append(
+                f"{name}: {key} {bval:g} -> {fval:g} ({delta_pct:+.1f}%, "
+                f"gated {d}, threshold {threshold_pct:g}%)")
+    for key in fm:
+        if key not in bm and not key.startswith("host_"):
+            notes.append(f"{name}: new metric '{key}' (no baseline yet)")
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("baseline_dir")
+    ap.add_argument("fresh_dir")
+    ap.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD_PCT,
+                    help="relative regression tolerance in percent (default: %(default)s)")
+    args = ap.parse_args()
+
+    baselines = sorted(f for f in os.listdir(args.baseline_dir)
+                       if f.startswith("BENCH_") and f.endswith(".json"))
+    if not baselines:
+        print(f"error: no BENCH_*.json baselines in {args.baseline_dir}", file=sys.stderr)
+        return 2
+
+    failures: list = []
+    notes: list = []
+    compared = 0
+    for fname in baselines:
+        fresh_path = os.path.join(args.fresh_dir, fname)
+        if not os.path.exists(fresh_path):
+            failures.append(f"{fname}: fresh report missing (bench no longer emits it?)")
+            continue
+        compare_file(fname, load(os.path.join(args.baseline_dir, fname)), load(fresh_path),
+                     args.threshold, failures, notes)
+        compared += 1
+
+    for fname in sorted(os.listdir(args.fresh_dir)):
+        if fname.startswith("BENCH_") and fname.endswith(".json") and fname not in baselines:
+            notes.append(f"{fname}: no committed baseline (add one via bench/README.md)")
+
+    for n in notes:
+        print(f"note: {n}")
+    if failures:
+        print(f"\nFAIL: {len(failures)} regression(s) across {compared} report(s):")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print(f"OK: {compared} report(s) within {args.threshold:g}% of baselines")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Runs the tracked benchmark suite and collects BENCH_*.json into a target
+# directory. One entrypoint shared by the baseline-update workflow and the CI
+# perf-regression job, so both always run the same op counts and arguments
+# (the JSON config fingerprint makes any mismatch a hard checker error).
+#
+#   scripts/run_benches.sh <build-dir> <output-dir> [--paper-calibration]
+#
+# Baseline op counts are deliberately reduced from the bench defaults: the
+# virtual-time metrics are deterministic at any op count, and 20k measured
+# ops keep the full suite to a few minutes. Scale-up runs (SWARM_BENCH_OPS)
+# are for humans; they cannot be diffed against these baselines.
+
+set -euo pipefail
+
+BUILD_DIR=${1:?usage: run_benches.sh <build-dir> <output-dir> [--paper-calibration]}
+OUT_DIR=${2:?usage: run_benches.sh <build-dir> <output-dir> [--paper-calibration]}
+EXTRA_FLAG=${3:-}
+
+export SWARM_BENCH_OPS=${SWARM_BENCH_OPS:-20000}
+export SWARM_BENCH_WARMUP=${SWARM_BENCH_WARMUP:-10000}
+export SWARM_BENCH_JSON_DIR="$OUT_DIR"
+mkdir -p "$OUT_DIR"
+
+BENCHES=(
+  bench_fig5_latency_cdf
+  bench_fig6_small_cache
+  bench_fig7_tput_latency
+  bench_fig8_scalability
+  bench_fig9_value_size
+  bench_fig10_replication
+  bench_fig11_failover
+  bench_fig12_contention
+  bench_fig13_max_buffers
+)
+
+for b in "${BENCHES[@]}"; do
+  echo "== $b $EXTRA_FLAG"
+  # shellcheck disable=SC2086
+  "$BUILD_DIR/$b" $EXTRA_FLAG > /dev/null
+done
+
+# The event-loop microbenchmark takes positional sizes (callback events,
+# coroutine resumes, kv ops); keep them fixed so the fingerprint matches.
+echo "== bench_event_loop $EXTRA_FLAG"
+# shellcheck disable=SC2086
+"$BUILD_DIR/bench_event_loop" $EXTRA_FLAG 500000 500000 20000 > /dev/null
+
+echo "wrote $(ls "$OUT_DIR"/BENCH_*.json | wc -l) reports to $OUT_DIR"

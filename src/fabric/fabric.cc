@@ -14,7 +14,7 @@ sim::Task<void> ClientCpu::Consume(sim::Time cost) {
   }
 }
 
-sim::Task<void> ClientCpu::Submit(sim::Time cost, sim::Time wqe_cost) {
+sim::Task<void> ClientCpu::Submit(sim::Time cost, sim::Time wqe_cost, int wqes) {
   if (batch_depth_ == 0) {
     if (stats_ != nullptr) {
       ++stats_->doorbells;
@@ -25,16 +25,27 @@ sim::Task<void> ClientCpu::Submit(sim::Time cost, sim::Time wqe_cost) {
   // Batched: the first verb rings the doorbell (charging the CPU once); the
   // rest join it. `batch_ready_ < Now()` guards a guard held open across
   // virtual time (sequential verbs under one guard): a fresh doorbell rings.
-  if (!batch_charged_ || batch_ready_ < sim_->Now()) {
+  // A verb that would push the doorbell past its WQE budget also rings a
+  // fresh one — the NIC only accepts max_wqe_ entries per doorbell write, so
+  // an oversized batch splits into ceil(K/max) doorbells, each paying
+  // submit_cost (plus the unchanged per-WQE build cost).
+  const bool wqe_split =
+      batch_charged_ && max_wqe_ > 0 && batch_wqes_ + wqes > max_wqe_;
+  if (!batch_charged_ || batch_ready_ < sim_->Now() || wqe_split) {
     batch_charged_ = true;
+    batch_wqes_ = 0;
     const sim::Time start = std::max(sim_->Now(), busy_until_);
     busy_until_ = start + cost;
     busy_ns_ += cost;
     batch_ready_ = busy_until_;
     if (stats_ != nullptr) {
       ++stats_->doorbells;
+      if (wqe_split) {
+        ++stats_->doorbell_splits;
+      }
     }
   }
+  batch_wqes_ += wqes;
   if (wqe_cost > 0) {
     // Per-WQE build cost: WQEs of one doorbell are built serially, so each
     // verb departs when its own WQE is done and the CPU stays busy for the
@@ -62,10 +73,12 @@ void ClientCpu::EndBatch() {
     }
     batch_charged_ = false;
     batch_verbs_ = 0;
+    batch_wqes_ = 0;
   }
 }
 
-sim::Task<void> PostAll(ClientCpu* cpu, sim::Simulator* sim, std::vector<sim::Task<void>> verbs) {
+sim::Task<void> PostAll(ClientCpu* cpu, sim::Simulator* sim,
+                        sim::PoolVec<sim::Task<void>> verbs) {
   sim::Counter done(sim);
   const int n = static_cast<int>(verbs.size());
   {
@@ -79,27 +92,58 @@ sim::Task<void> PostAll(ClientCpu* cpu, sim::Simulator* sim, std::vector<sim::Ta
 
 namespace {
 
-sim::Task<void> StoreResultAt(sim::Task<OpResult> verb, std::shared_ptr<std::vector<OpResult>> out,
+// Shared completion block for PostMany/PostQuorum. Every spawned verb holds
+// a reference, so the block outlives the caller's (possibly first-quorum)
+// resume; the pooled slot recycles only after the LAST straggler finished.
+struct ManyResults {
+  sim::PoolVec<OpResult> results;
+  sim::PoolVec<uint8_t> completed;
+};
+
+sim::Task<void> StoreResultAt(sim::Task<OpResult> verb, std::shared_ptr<ManyResults> out,
                               size_t idx, sim::Counter done) {
-  (*out)[idx] = co_await std::move(verb);
+  out->results[idx] = co_await std::move(verb);
+  out->completed[idx] = 1;
   done.Add(1);
+}
+
+std::shared_ptr<ManyResults> SpawnUnderOneDoorbell(ClientCpu* cpu,
+                                                   sim::PoolVec<sim::Task<OpResult>>& verbs,
+                                                   sim::Counter& done) {
+  auto out = std::allocate_shared<ManyResults>(sim::PoolAlloc<ManyResults>{});
+  out->results.resize(verbs.size());
+  out->completed.assign(verbs.size(), 0);
+  CpuBatch batch(cpu);
+  for (size_t i = 0; i < verbs.size(); ++i) {
+    sim::Spawn(StoreResultAt(std::move(verbs[i]), out, i, done));
+  }
+  return out;
 }
 
 }  // namespace
 
-sim::Task<std::vector<OpResult>> PostMany(ClientCpu* cpu, sim::Simulator* sim,
-                                          std::vector<sim::Task<OpResult>> verbs) {
+sim::Task<sim::PoolVec<OpResult>> PostMany(ClientCpu* cpu, sim::Simulator* sim,
+                                           sim::PoolVec<sim::Task<OpResult>> verbs) {
   sim::Counter done(sim);
   const int n = static_cast<int>(verbs.size());
-  auto results = std::make_shared<std::vector<OpResult>>(verbs.size());
-  {
-    CpuBatch batch(cpu);
-    for (size_t i = 0; i < verbs.size(); ++i) {
-      sim::Spawn(StoreResultAt(std::move(verbs[i]), results, i, done));
-    }
-  }
+  auto out = SpawnUnderOneDoorbell(cpu, verbs, done);
   co_await done.WaitFor(n);
-  co_return std::move(*results);
+  co_return std::move(out->results);
+}
+
+sim::Task<QuorumOutcome> PostQuorum(ClientCpu* cpu, sim::Simulator* sim,
+                                    sim::PoolVec<sim::Task<OpResult>> verbs, int quorum,
+                                    sim::Time timeout) {
+  sim::Counter done(sim);
+  auto out = SpawnUnderOneDoorbell(cpu, verbs, done);
+  QuorumOutcome o;
+  o.reached = co_await done.WaitFor(quorum, timeout);
+  o.completed_count = done.count();
+  // Snapshot: stragglers keep mutating *out after this resume, so the caller
+  // gets a copy taken at the quorum instant (pooled buffers, no heap).
+  o.results = out->results;
+  o.completed = out->completed;
+  co_return o;
 }
 
 Fabric::Fabric(sim::Simulator* sim, FabricConfig config)
@@ -151,9 +195,29 @@ uint64_t Fabric::TotalAllocated() const {
 
 namespace {
 
+// Per-verb completion state, shared between the issuing coroutine and the
+// callback chain that models the verb's journey through the fabric.
+//
+// Pooling audit (completion-after-cancellation): in all four verb paths the
+// last write to an OpState happens strictly BEFORE the matching done.Add(1),
+// and the awaiting coroutine resumes only via a later event-queue entry — so
+// no path writes an OpState after its owner resumed. The hazard the
+// shared_ptr guards is the other direction: the awaiting coroutine can be
+// GONE before the callbacks run (a response-drop makes the client time out
+// while the completion chain is still in flight, and a destroyed Simulator
+// destroys queued callbacks without running them). Every callback therefore
+// holds a reference, and the pooled slot recycles only when the last one
+// releases it — recycling while a dropped ack's completion is in flight is
+// impossible by construction. completion_race_test forces exactly this
+// interleaving via the response-drop chaos hook under ASan (where the pool
+// delegates to the real allocator, so any regression is a reported UAF).
 struct OpState {
   OpResult result;
 };
+
+std::shared_ptr<OpState> MakeOpState() {
+  return std::allocate_shared<OpState>(sim::PoolAlloc<OpState>{});
+}
 
 }  // namespace
 
@@ -186,7 +250,7 @@ sim::Task<OpResult> Qp::Read(uint64_t addr, std::span<uint8_t> out) {
   arrival = std::max(arrival, last_arrival_ + 1);  // Per-QP FIFO (RDMA ordering).
   last_arrival_ = arrival;
 
-  auto st = std::make_shared<OpState>();
+  auto st = MakeOpState();
   sim::Counter done(sim);
   const int node_id = node_;
   const bool repair_ch = repair_channel_;
@@ -267,7 +331,7 @@ sim::Task<OpResult> Qp::Write(uint64_t addr, std::span<const uint8_t> data) {
   arrival = std::max(arrival, last_arrival_ + 1);  // Per-QP FIFO (RDMA ordering).
   last_arrival_ = arrival + xfer;  // The transfer occupies the QP's channel.
 
-  auto st = std::make_shared<OpState>();
+  auto st = MakeOpState();
   sim::Counter done(sim);
   const int node_id = node_;
   const bool repair_ch = repair_channel_;
@@ -364,7 +428,7 @@ sim::Task<OpResult> Qp::Cas(uint64_t addr, uint64_t expected, uint64_t desired) 
   arrival = std::max(arrival, last_arrival_ + 1);  // Per-QP FIFO (RDMA ordering).
   last_arrival_ = arrival;
 
-  auto st = std::make_shared<OpState>();
+  auto st = MakeOpState();
   sim::Counter done(sim);
   const int node_id = node_;
   const bool repair_ch = repair_channel_;
@@ -426,7 +490,7 @@ sim::Task<OpResult> Qp::WriteThenCas(uint64_t waddr, std::span<const uint8_t> da
     // One submission covers the whole pipelined series (§7.2: the fixed cost
     // is per series of RDMA operations to a memory node), but the series
     // carries two WQEs.
-    co_await cpu_->Submit(cfg.submit_cost, 2 * cfg.per_verb_cost);
+    co_await cpu_->Submit(cfg.submit_cost, 2 * cfg.per_verb_cost, /*wqes=*/2);
   }
   f.stats().ops_issued += 2;
   f.stats().writes++;
@@ -450,7 +514,7 @@ sim::Task<OpResult> Qp::WriteThenCas(uint64_t waddr, std::span<const uint8_t> da
   arrival = std::max(arrival, last_arrival_ + 1);  // Per-QP FIFO (RDMA ordering).
   last_arrival_ = arrival + xfer;  // The transfer occupies the QP's channel.
 
-  auto st = std::make_shared<OpState>();
+  auto st = MakeOpState();
   sim::Counter done(sim);
   const int node_id = node_;
   const bool repair_ch = repair_channel_;

@@ -71,6 +71,13 @@ struct FabricConfig {
   // pay a small per-WQE increment; a pipelined series like WriteThenCas
   // carries two WQEs). Default 0 preserves the pure-doorbell model.
   sim::Time per_verb_cost = 0;
+  // Per-doorbell WQE budget: real NICs bound how many work-queue entries one
+  // doorbell write can post. A batch whose WQE count would exceed this rings
+  // a fresh doorbell (charging submit_cost again, so a K-WQE burst costs
+  // ceil(K/max) * submit_cost + K * per_verb_cost). 0 = unlimited (the
+  // pre-limit model). The default is wide enough that quorum fan-outs up to
+  // 7 replicas (14 WQEs with pipelined pairs) still ride one doorbell.
+  int max_wqe_per_doorbell = 16;
   double bandwidth_bytes_per_ns = 12.5;  // 100 Gbps each direction
 
   // Virtual time after which an op against a crashed node completes locally
@@ -123,6 +130,8 @@ struct FabricStats {
   uint64_t doorbells = 0;
   uint64_t batches = 0;
   uint64_t batched_verbs = 0;
+  // Extra doorbells rung because a batch exceeded max_wqe_per_doorbell.
+  uint64_t doorbell_splits = 0;
 
   void Reset() { *this = FabricStats{}; }
   uint64_t total_io() const { return bytes_to_nodes + bytes_from_nodes; }
@@ -150,18 +159,23 @@ class ClientCpu {
   // submission completes. `wqe_cost` (FabricConfig::per_verb_cost times the
   // WQE count of this call) is charged per verb even inside a batch: a
   // K-verb doorbell consumes cost + K*per_verb_cost of CPU, with verbs
-  // departing as their WQEs finish building.
-  sim::Task<void> Submit(sim::Time cost, sim::Time wqe_cost = 0);
+  // departing as their WQEs finish building. `wqes` is the WQE count this
+  // call posts (2 for a pipelined WriteThenCas series); when a batch's
+  // accumulated WQEs would exceed the configured per-doorbell budget, the
+  // batch splits — this verb rings a fresh doorbell and pays submit_cost.
+  sim::Task<void> Submit(sim::Time cost, sim::Time wqe_cost = 0, int wqes = 1);
 
   void BeginBatch() { batch_depth_ += enabled_ ? 1 : 0; }
   void EndBatch();
   bool batching() const { return batch_depth_ > 0; }
 
-  // Wires doorbell accounting and the config switch; done by Worker (and
-  // tests) once the owning fabric is known. Idempotent.
-  void Configure(FabricStats* stats, bool batching_enabled) {
+  // Wires doorbell accounting, the config switch, and the per-doorbell WQE
+  // budget (0 = unlimited); done by Worker (and tests) once the owning
+  // fabric is known. Idempotent.
+  void Configure(FabricStats* stats, bool batching_enabled, int max_wqe_per_doorbell = 0) {
     stats_ = stats;
     enabled_ = batching_enabled;
+    max_wqe_ = max_wqe_per_doorbell;
   }
 
   sim::Time busy_ns() const { return busy_ns_; }
@@ -174,9 +188,11 @@ class ClientCpu {
   sim::Time busy_ns_ = 0;
   bool enabled_ = true;
   int batch_depth_ = 0;
+  int max_wqe_ = 0;  // Per-doorbell WQE budget; 0 = unlimited.
   bool batch_charged_ = false;
   sim::Time batch_ready_ = 0;
   uint64_t batch_verbs_ = 0;
+  int batch_wqes_ = 0;  // WQEs accumulated on the current doorbell.
 };
 
 // RAII doorbell batch: every verb submitted on `cpu` while this guard is
@@ -392,8 +408,8 @@ template <typename A, typename B>
 sim::Task<std::pair<A, B>> PostBoth(ClientCpu* cpu, sim::Simulator* sim, sim::Task<A> a,
                                     sim::Task<B> b) {
   sim::Counter done(sim);
-  auto ra = std::make_shared<A>();
-  auto rb = std::make_shared<B>();
+  auto ra = std::allocate_shared<A>(sim::PoolAlloc<A>{});
+  auto rb = std::allocate_shared<B>(sim::PoolAlloc<B>{});
   {
     CpuBatch batch(cpu);
     sim::Spawn(sim::StoreInto(std::move(a), ra, done));
@@ -405,13 +421,36 @@ sim::Task<std::pair<A, B>> PostBoth(ClientCpu* cpu, sim::Simulator* sim, sim::Ta
 
 // Posts all verb tasks under one doorbell and resumes when every one has
 // completed.
-sim::Task<void> PostAll(ClientCpu* cpu, sim::Simulator* sim, std::vector<sim::Task<void>> verbs);
+sim::Task<void> PostAll(ClientCpu* cpu, sim::Simulator* sim,
+                        sim::PoolVec<sim::Task<void>> verbs);
 
 // Posts N result-bearing verbs (possibly to different nodes) under one
 // doorbell; resumes when all have completed, returning their results in
 // order. The generic many-verb entry point for application code.
-sim::Task<std::vector<OpResult>> PostMany(ClientCpu* cpu, sim::Simulator* sim,
-                                          std::vector<sim::Task<OpResult>> verbs);
+sim::Task<sim::PoolVec<OpResult>> PostMany(ClientCpu* cpu, sim::Simulator* sim,
+                                           sim::PoolVec<sim::Task<OpResult>> verbs);
+
+// Outcome of a first-quorum post, snapshotted at the instant the caller
+// resumed. `results[i]` is meaningful only where `completed[i]` is set;
+// stragglers that finish later update the (refcounted, pooled) shared block,
+// never this snapshot.
+struct QuorumOutcome {
+  bool reached = false;  // Quorum hit (false = timeout expired first).
+  int completed_count = 0;
+  sim::PoolVec<OpResult> results;
+  sim::PoolVec<uint8_t> completed;  // 1 = results[i] valid.
+};
+
+// First-quorum variant of PostMany: posts every verb under one doorbell and
+// resumes as soon as `quorum` of them completed (or `timeout` virtual ns
+// elapsed, if >= 0). The remaining verbs keep running detached against a
+// shared result block that they themselves keep alive — the caller's early
+// resume can never turn a straggler's completion into a use-after-free (see
+// the OpState pooling audit in fabric.cc). This is the fabric-level API the
+// quorum protocols' resume-at-quorum behavior is built on.
+sim::Task<QuorumOutcome> PostQuorum(ClientCpu* cpu, sim::Simulator* sim,
+                                    sim::PoolVec<sim::Task<OpResult>> verbs, int quorum,
+                                    sim::Time timeout = sim::kNoTimeout);
 
 }  // namespace swarm::fabric
 

@@ -116,10 +116,10 @@ struct BlockParse {
   bool ok = false;
   uint64_t hdr = 0;
   uint64_t aux = 0;
-  std::vector<uint8_t> bytes;
+  sim::Bytes bytes;
 };
 
-BlockParse ParseBlock(std::vector<uint8_t> block, uint32_t max_value, uint64_t word) {
+BlockParse ParseBlock(sim::Bytes block, uint32_t max_value, uint64_t word) {
   BlockParse p;
   std::memcpy(&p.hdr, block.data(), 8);
   std::memcpy(&p.aux, block.data() + 8, 8);
@@ -185,7 +185,7 @@ sim::Task<repair::RepairOutcome> FuseeStore::RepairNode(int node, Worker* worker
           worker->pool(node).Free(installed_oop);
           installed_oop = 0;
         }
-        std::vector<uint8_t> zero(8, 0);
+        sim::Bytes zero(8, 0);
         fabric::OpResult zr = co_await worker->qp(node).Write(dst_addr, zero);
         if (!zr.ok()) {
           break;
@@ -204,7 +204,7 @@ sim::Task<repair::RepairOutcome> FuseeStore::RepairNode(int node, Worker* worker
         done = word2 == 0;
         continue;
       }
-      std::vector<uint8_t> block(kOopHeaderBytes + max_value);
+      sim::Bytes block(kOopHeaderBytes + max_value);
       fabric::OpResult br = co_await worker->qp(src).Read(
           static_cast<uint64_t>(OopOf(word)) * kOopGranuleBytes, block);
       if (!br.ok()) {
@@ -220,22 +220,27 @@ sim::Task<repair::RepairOutcome> FuseeStore::RepairNode(int node, Worker* worker
       }
       const uint32_t dst_oop = worker->pool(node).AllocIdx();
       installed_oop = dst_oop;
-      std::vector<uint8_t> image(kOopHeaderBytes + p.bytes.size());
+      sim::Bytes image(kOopHeaderBytes + p.bytes.size());
       const uint64_t hdr = PackHeader(GenOf(word), kBlockValid);
       const uint64_t len = p.bytes.size();
       std::memcpy(image.data(), &hdr, 8);
       std::memcpy(image.data() + 8, &len, 8);
       std::memcpy(image.data() + 16, p.bytes.data(), p.bytes.size());
-      fabric::OpResult wr = co_await worker->qp(node).Write(
-          static_cast<uint64_t>(dst_oop) * kOopGranuleBytes, image);
-      if (!wr.ok()) {
-        break;
-      }
       const uint64_t new_word = PackIndexWord(GenOf(word), dst_oop);
-      std::vector<uint8_t> wbuf(8);
+      sim::Bytes wbuf(8);
       std::memcpy(wbuf.data(), &new_word, 8);
-      fabric::OpResult iw = co_await worker->qp(node).Write(dst_addr, wbuf);
-      if (!iw.ok()) {
+      // Install the copy — block image + index word — under ONE doorbell.
+      // Both writes ride the same QP, so per-QP FIFO puts the block in place
+      // before the index word names it; the node stays quorum-excluded until
+      // the repair round completes, so a partial install (index written,
+      // block write failed) is unreachable and the retry round overwrites it.
+      sim::PoolVec<sim::Task<fabric::OpResult>> installs;
+      installs.push_back(
+          worker->qp(node).Write(static_cast<uint64_t>(dst_oop) * kOopGranuleBytes, image));
+      installs.push_back(worker->qp(node).Write(dst_addr, wbuf));
+      sim::PoolVec<fabric::OpResult> ins =
+          co_await fabric::PostMany(worker->cpu(), worker->sim(), std::move(installs));
+      if (!ins[0].ok() || !ins[1].ok()) {
         break;
       }
       // Re-validate: an op that was already past the recovery gate may have
@@ -328,7 +333,7 @@ sim::Task<bool> FuseeStore::MigrateKey(uint64_t key, int from, Worker* worker,
   // (which passes the fence). Bounded retries cover chaos drop bursts only.
   const uint32_t max_value = worker->config().max_value;
   uint64_t word = 0;
-  std::vector<uint8_t> bytes;
+  sim::Bytes bytes;
   bool harvested = false;
   for (int attempt = 0; attempt < 4 && !harvested; ++attempt) {
     std::array<uint8_t, 8> ibuf{};
@@ -341,7 +346,7 @@ sim::Task<bool> FuseeStore::MigrateKey(uint64_t key, int from, Worker* worker,
       harvested = true;  // Key absent; the new home starts absent too.
       break;
     }
-    std::vector<uint8_t> block(kOopHeaderBytes + max_value);
+    sim::Bytes block(kOopHeaderBytes + max_value);
     fabric::OpResult br = co_await worker->qp(old_primary).Read(
         static_cast<uint64_t>(OopOf(word)) * kOopGranuleBytes, block);
     if (!br.ok()) {
@@ -369,14 +374,14 @@ sim::Task<bool> FuseeStore::MigrateKey(uint64_t key, int from, Worker* worker,
   if (harvested && word != 0) {
     np_oop = worker->pool(np).AllocIdx();
     nb_oop = worker->pool(nb).AllocIdx();
-    std::vector<uint8_t> image(kOopHeaderBytes + bytes.size());
+    sim::Bytes image(kOopHeaderBytes + bytes.size());
     const uint64_t hdr = PackHeader(GenOf(word), kBlockValid);
     const uint64_t len = bytes.size();
     std::memcpy(image.data(), &hdr, 8);
     std::memcpy(image.data() + 8, &len, 8);
     std::memcpy(image.data() + 16, bytes.data(), bytes.size());
-    std::vector<uint8_t> wp(8);
-    std::vector<uint8_t> wb(8);
+    sim::Bytes wp(8);
+    sim::Bytes wb(8);
     const uint64_t word_p = PackIndexWord(GenOf(word), np_oop);
     const uint64_t word_b = PackIndexWord(GenOf(word), nb_oop);
     std::memcpy(wp.data(), &word_p, 8);
@@ -476,7 +481,7 @@ sim::Task<KvResult> FuseeKvSession::Get(uint64_t key) {
       // bimodal gets).
       result.cache_hit = true;
       word = cached->generation;
-      std::vector<uint8_t> block(kOopHeaderBytes + max_value);
+      sim::Bytes block(kOopHeaderBytes + max_value);
       std::array<uint8_t, 8> ibuf{};
       auto [br, ir] = co_await fabric::PostBoth(
           worker_->cpu(), worker_->sim(),
@@ -546,7 +551,7 @@ sim::Task<KvResult> FuseeKvSession::Get(uint64_t key) {
     }
 
     if (!node_error) {
-      std::vector<uint8_t> block(kOopHeaderBytes + max_value);
+      sim::Bytes block(kOopHeaderBytes + max_value);
       fabric::OpResult r =
           co_await qp.Read(static_cast<uint64_t>(OopOf(word)) * kOopGranuleBytes, block);
       ++result.rtts;
@@ -650,7 +655,7 @@ sim::Task<KvResult> FuseeKvSession::WriteInternal(uint64_t key, std::span<const 
     const uint64_t new_word_backup = PackIndexWord(gen, oop_backup);
 
     // Phase 1 (1 RT): write the new KV blocks to both replicas in parallel.
-    std::vector<uint8_t> block(kOopHeaderBytes + value.size());
+    sim::Bytes block(kOopHeaderBytes + value.size());
     const uint64_t hdr = PackHeader(gen, kBlockValid);
     const uint64_t len = value.size();
     std::memcpy(block.data(), &hdr, 8);
@@ -837,13 +842,13 @@ sim::Task<KvResult> FuseeKvSession::WriteInternal(uint64_t key, std::span<const 
     // pointer stays best-effort (a stale cache only pays the index
     // roundtrip).
     {
-      std::vector<uint8_t> wbuf(8);
+      sim::Bytes wbuf(8);
       std::memcpy(wbuf.data(), &new_word_backup, 8);
-      std::vector<uint8_t> fwd(16);
+      sim::Bytes fwd(16);
       const uint64_t fhdr = PackHeader(GenOf(old_word), kBlockForwarded);
       std::memcpy(fwd.data(), &fhdr, 8);
       std::memcpy(fwd.data() + 8, &new_word, 8);
-      std::vector<sim::Task<fabric::OpResult>> verbs;
+      sim::PoolVec<sim::Task<fabric::OpResult>> verbs;
       if (backup_alive) {
         verbs.push_back(worker_->qp(backup_node).Write(backup_slot, wbuf));
       }
@@ -851,7 +856,7 @@ sim::Task<KvResult> FuseeKvSession::WriteInternal(uint64_t key, std::span<const 
         verbs.push_back(qp.Write(static_cast<uint64_t>(OopOf(old_word)) * kOopGranuleBytes, fwd));
       }
       if (!verbs.empty()) {
-        std::vector<fabric::OpResult> rs =
+        sim::PoolVec<fabric::OpResult> rs =
             co_await fabric::PostMany(worker_->cpu(), worker_->sim(), std::move(verbs));
         ++result.rtts;
         if (backup_alive && !rs[0].ok()) {
@@ -883,7 +888,7 @@ sim::Task<KvResult> FuseeKvSession::WriteInternal(uint64_t key, std::span<const 
     // Phase 4 (1 RT): commit record (metadata log) on the primary.
     {
       const uint32_t log_oop = LogSlot(primary);
-      std::vector<uint8_t> commit(16);
+      sim::Bytes commit(16);
       std::memcpy(commit.data(), &gen, 8);
       std::memcpy(commit.data() + 8, &new_word, 8);
       (void)co_await qp.Write(static_cast<uint64_t>(log_oop) * kOopGranuleBytes, commit);
@@ -1014,7 +1019,7 @@ sim::Task<KvResult> FuseeKvSession::Remove(uint64_t key) {
     }
     // Invalidate the old block (forward to nothing) + clear backup slot.
     {
-      std::vector<uint8_t> fwd(16, 0);
+      sim::Bytes fwd(16, 0);
       const uint64_t fhdr = PackHeader(GenOf(old_word), kBlockForwarded);
       std::memcpy(fwd.data(), &fhdr, 8);
       (void)co_await qp.Write(static_cast<uint64_t>(OopOf(old_word)) * kOopGranuleBytes, fwd);
@@ -1040,7 +1045,7 @@ sim::Task<KvResult> FuseeKvSession::Remove(uint64_t key) {
       // resurrects it. A migration-fence bounce is the one benign outcome —
       // the fence landed after our primary commit, so the harvest read the
       // zeroed slot and the new home is already absent.
-      std::vector<uint8_t> zero(8, 0);
+      sim::Bytes zero(8, 0);
       for (int tries = 0; tries < 4; ++tries) {
         fabric::OpResult bz = co_await worker_->qp(backup_node).Write(backup_slot, zero);
         ++result.rtts;

@@ -22,7 +22,7 @@ enum class KvStatus : uint8_t {
 
 struct KvResult {
   KvStatus status = KvStatus::kUnavailable;
-  std::vector<uint8_t> value;  // For gets.
+  sim::Bytes value;  // For gets (pool-backed: a fresh result is heap-free).
   int rtts = 0;                // Network roundtrips this op consumed.
   bool fast_path = false;      // Completed in the protocol's fast path.
   bool used_inplace = false;   // Gets: value served from in-place data.

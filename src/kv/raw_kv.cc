@@ -46,7 +46,7 @@ sim::Task<KvResult> RawKvSession::Get(uint64_t key) {
     co_return result;
   }
   const ReplicaLayout& rep = loc.layout->replicas[0];
-  std::vector<uint8_t> buf(8 + loc.layout->max_value);
+  sim::Bytes buf(8 + loc.layout->max_value);
   fabric::OpResult r = co_await worker_->qp(rep.node).Read(rep.meta_addr, buf);
   ++result.rtts;
   if (!r.ok()) {
@@ -73,7 +73,7 @@ sim::Task<KvResult> RawKvSession::Update(uint64_t key, std::span<const uint8_t> 
     co_return result;
   }
   const ReplicaLayout& rep = loc.layout->replicas[0];
-  std::vector<uint8_t> buf(8 + value.size());
+  sim::Bytes buf(8 + value.size());
   const uint64_t len = value.size();
   std::memcpy(buf.data(), &len, 8);
   std::memcpy(buf.data() + 8, value.data(), value.size());
@@ -114,7 +114,7 @@ sim::Task<KvResult> RawKvSession::Insert(uint64_t key, std::span<const uint8_t> 
   cache_->Put(key, std::move(entry));
 
   const ReplicaLayout& rep = loc.layout->replicas[0];
-  std::vector<uint8_t> buf(8 + value.size());
+  sim::Bytes buf(8 + value.size());
   const uint64_t len = value.size();
   std::memcpy(buf.data(), &len, 8);
   std::memcpy(buf.data() + 8, value.data(), value.size());
@@ -133,7 +133,7 @@ sim::Task<KvResult> RawKvSession::Remove(uint64_t key) {
     co_return result;
   }
   const ReplicaLayout& rep = loc.layout->replicas[0];
-  std::vector<uint8_t> zero(8, 0);
+  sim::Bytes zero(8, 0);
   fabric::OpResult r = co_await worker_->qp(rep.node).Write(rep.meta_addr, zero);
   ++result.rtts;
   cache_->Invalidate(key);

@@ -23,21 +23,33 @@ sim::Task<bool> CopyLocks(Worker* worker, const ObjectLayout* src, const ObjectL
                           int target) {
   const size_t region = static_cast<size_t>(src->tsl_region_bytes());
   const int writers = src->max_writers;
-  std::vector<uint64_t> merged(static_cast<size_t>(writers), 0);
-  bool any = false;
+  // Harvest every readable replica's lock array under ONE doorbell: the reads
+  // are independent, so serializing them (a doorbell and a full roundtrip
+  // each) was pure repair-time overhead. Buffer storage is stable across the
+  // await — vector-of-vectors growth moves the inner vector objects, never
+  // their heap blocks, so the spans captured by the lazy verb tasks stay
+  // valid.
+  sim::PoolVec<sim::Bytes> bufs;
+  sim::PoolVec<sim::Task<fabric::OpResult>> verbs;
   for (int r = 0; r < src->num_replicas; ++r) {
     const ReplicaLayout& rep = src->replicas[static_cast<size_t>(r)];
     if (worker->NodeQuorumExcluded(rep.node)) {
       continue;  // The node under repair itself.
     }
-    std::vector<uint8_t> buf(region);
-    fabric::OpResult res = co_await worker->qp(rep.node).Read(rep.tsl_addr, buf);
-    if (!res.ok()) {
-      co_return false;
+    bufs.emplace_back(region);
+    verbs.push_back(worker->qp(rep.node).Read(rep.tsl_addr, bufs.back()));
+  }
+  sim::PoolVec<fabric::OpResult> results =
+      co_await fabric::PostMany(worker->cpu(), worker->sim(), std::move(verbs));
+  sim::PoolVec<uint64_t> merged(static_cast<size_t>(writers), 0);
+  bool any = false;
+  for (size_t r = 0; r < results.size(); ++r) {
+    if (!results[r].ok()) {
+      co_return false;  // Lock state may live at a single survivor.
     }
     for (int i = 0; i < writers; ++i) {
       uint64_t word;
-      std::memcpy(&word, buf.data() + static_cast<size_t>(i) * 8, 8);
+      std::memcpy(&word, bufs[r].data() + static_cast<size_t>(i) * 8, 8);
       merged[static_cast<size_t>(i)] = MergeTslWord(merged[static_cast<size_t>(i)], word);
       any = any || word != 0;
     }
@@ -45,7 +57,7 @@ sim::Task<bool> CopyLocks(Worker* worker, const ObjectLayout* src, const ObjectL
   if (!any) {
     co_return true;  // No lock was ever taken on this object.
   }
-  std::vector<uint8_t> out(region);
+  sim::Bytes out(region);
   std::memcpy(out.data(), merged.data(), region);
   const ReplicaLayout& d = dst->replicas[static_cast<size_t>(target)];
   fabric::OpResult res = co_await worker->qp(d.node).Write(d.tsl_addr, out);

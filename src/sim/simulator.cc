@@ -22,6 +22,14 @@ Simulator::~Simulator() {
       }
     }
   }
+  for (L2Bucket& b : l2_buckets_) {
+    for (const L2Item& item : b.items) {
+      if (IsCallback(item.payload)) {
+        CallbackSlot* slot = SlotOf(item.payload);
+        slot->op(slot, /*run=*/false);
+      }
+    }
+  }
 }
 
 Simulator::CallbackSlot* Simulator::AllocSlot() {
@@ -87,14 +95,63 @@ Simulator::Event Simulator::HeapPopTop() {
   return top;
 }
 
-void Simulator::Rebase() {
-  // Precondition: wheel empty, heap nonempty. Anchor the window so that
-  // bucket index == at & kWheelMask needs no wrap handling.
-  base_ = heap_.front().at & ~kWheelMask;
-  const Time end = base_ + static_cast<Time>(kWheelSize);
+void Simulator::RebaseL2() {
+  // Precondition: both wheels empty, heap nonempty. Anchor the coarse level
+  // on the fine-window grid so every coarse bucket IS a fine window.
+  l2_base_ = heap_.front().at & ~kWheelMask;
+  l2_cursor_ = l2_base_;
+  const Time end = l2_base_ + kL2Span;
   while (!heap_.empty() && heap_.front().at < end) {
     const Event ev = HeapPopTop();  // (time, seq) order => FIFO per bucket.
-    WheelAppend(ev.at, ev.payload);
+    L2Append(ev.at, ev.payload);
+  }
+}
+
+void Simulator::PromoteNextL2Bucket() {
+  // Precondition: fine wheel empty, coarse level nonempty.
+  size_t idx = static_cast<size_t>((l2_cursor_ - l2_base_) >> kWheelBits);
+  size_t word = idx >> 6;
+  uint64_t bits = l2_bitmap_[word] & (~uint64_t{0} << (idx & 63));
+  while (bits == 0) {
+    bits = l2_bitmap_[++word];  // l2_count_ > 0 guarantees termination.
+  }
+  idx = (word << 6) + static_cast<size_t>(std::countr_zero(bits));
+  L2Bucket& b = l2_buckets_[idx];
+  base_ = l2_base_ + (static_cast<Time>(idx) << kWheelBits);
+  l2_cursor_ = base_ + static_cast<Time>(kWheelSize);
+  for (const L2Item& item : b.items) {
+    WheelAppend(item.at, item.payload);  // Append order is (time, seq) order.
+  }
+  l2_count_ -= b.items.size();
+  b.items.clear();  // Keeps capacity.
+  l2_bitmap_[word] &= ~(uint64_t{1} << (idx & 63));
+}
+
+bool Simulator::RefillL1() {
+  while (true) {
+    if (l2_count_ == 0) {
+      if (heap_.empty()) {
+        return false;
+      }
+      RebaseL2();
+    }
+    // Gap events: pushed while the fine wheel was empty, landing in the
+    // already-promoted region below l2_cursor_ (Push routed them to the
+    // heap). They belong to the CURRENT fine window — base_ is fresh, since
+    // l2_cursor_ == base_ + kWheelSize whenever a bucket has been promoted,
+    // and right after RebaseL2 the heap holds nothing below the horizon —
+    // and must dispatch before any unpromoted coarse bucket.
+    if (!heap_.empty() && heap_.front().at < l2_cursor_) {
+      while (!heap_.empty() && heap_.front().at < l2_cursor_) {
+        const Event ev = HeapPopTop();
+        WheelAppend(ev.at, ev.payload);
+      }
+      return true;
+    }
+    PromoteNextL2Bucket();
+    if (wheel_count_ > 0) {
+      return true;
+    }
   }
 }
 
@@ -124,11 +181,8 @@ void Simulator::Dispatch(uintptr_t payload) {
 }
 
 bool Simulator::Step() {
-  if (wheel_count_ == 0) {
-    if (heap_.empty()) {
-      return false;
-    }
-    Rebase();
+  if (wheel_count_ == 0 && !RefillL1()) {
+    return false;
   }
   const Time t = NextBucketTime(now_ > base_ ? now_ : base_);
   Bucket& b = buckets_[static_cast<size_t>(t & kWheelMask)];
@@ -150,20 +204,53 @@ void Simulator::Run() {
   }
 }
 
+bool Simulator::PeekNextTime(Time* out) const {
+  if (wheel_count_ > 0) {
+    // Fine-wheel events precede everything in the coarse level (>= l2_cursor_
+    // == window end) and anything in the heap (gap events migrate into the
+    // fine wheel before it refills; far events are beyond the horizon).
+    *out = NextBucketTime(now_ > base_ ? now_ : base_);
+    return true;
+  }
+  bool have = false;
+  Time best = 0;
+  if (!heap_.empty()) {
+    best = heap_.front().at;
+    have = true;
+  }
+  if (l2_count_ > 0) {
+    // Find the first nonempty coarse bucket; its start is a lower bound on
+    // its contents, so scan items for the true minimum only when that bound
+    // could beat the heap.
+    size_t idx = static_cast<size_t>((l2_cursor_ - l2_base_) >> kWheelBits);
+    size_t word = idx >> 6;
+    uint64_t bits = l2_bitmap_[word] & (~uint64_t{0} << (idx & 63));
+    while (bits == 0) {
+      bits = l2_bitmap_[++word];
+    }
+    idx = (word << 6) + static_cast<size_t>(std::countr_zero(bits));
+    const Time start = l2_base_ + (static_cast<Time>(idx) << kWheelBits);
+    if (!have || start < best) {
+      for (const L2Item& item : l2_buckets_[idx].items) {
+        if (!have || item.at < best) {
+          best = item.at;
+          have = true;
+        }
+      }
+    }
+  }
+  *out = best;
+  return have;
+}
+
 void Simulator::RunUntil(Time t) {
-  // Peek without rebasing: Rebase() must stay coupled to an immediate Step,
-  // otherwise the wheel could hold events while now_ < base_, breaking the
-  // invariant Push relies on (wheel nonempty => pushes land at >= base_).
+  // Peek without refilling: RefillL1/RebaseL2 must stay coupled to an
+  // immediate Step, otherwise a wheel could hold events while now_ lags its
+  // anchor, breaking the invariants Push relies on (fresh anchors whenever a
+  // level is nonempty).
   while (true) {
     Time next;
-    if (wheel_count_ > 0) {
-      next = NextBucketTime(now_ > base_ ? now_ : base_);
-    } else if (!heap_.empty()) {
-      next = heap_.front().at;
-    } else {
-      break;
-    }
-    if (next > t) {
+    if (!PeekNextTime(&next) || next > t) {
       break;
     }
     Step();

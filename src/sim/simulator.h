@@ -20,10 +20,17 @@
 //    window, with an occupancy bitmap for cursor advancement. Push and pop
 //    are O(1); bucket FIFO order IS (time, seq) order because a bucket holds
 //    a single timestamp and appends happen in scheduling order.
-//  * Far events (timeouts, quarantine expiries) overflow into a flat 4-ary
-//    min-heap of 24-byte PODs ordered by (time, seq); when the wheel drains,
-//    the window is re-based onto the earliest far event and every event
-//    inside the new window migrates into the wheel in (time, seq) order, so
+//  * Mid-range events (protocol timeouts, detection sweeps, lease and
+//    recycler rounds — everything from 2 us to ~2 ms) live in a SECOND,
+//    coarse wheel level: 1024 buckets of 2048 ns each, covering a ~2.1 ms
+//    horizon past the fine window. A coarse bucket spans exactly one fine
+//    window; when the fine wheel drains, the next nonempty coarse bucket is
+//    promoted wholesale (bucket append order is (time, seq) order, see
+//    Push), so ms-scale timers never touch the comparison-based heap.
+//  * Far events (beyond the coarse horizon) overflow into a flat 4-ary
+//    min-heap of 24-byte PODs ordered by (time, seq); when both wheels
+//    drain, the coarse level is re-based onto the earliest far event and
+//    every event inside the new horizon migrates up in (time, seq) order, so
 //    the global dispatch order is exactly the seed's.
 
 #ifndef SWARM_SRC_SIM_SIMULATOR_H_
@@ -39,6 +46,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/sim/pool.h"
 #include "src/sim/random.h"
 #include "src/sim/time.h"
 
@@ -46,7 +54,19 @@ namespace swarm::sim {
 
 class Simulator {
  public:
-  explicit Simulator(uint64_t seed = 1) : rng_(seed) { heap_.reserve(1024); }
+  explicit Simulator(uint64_t seed = 1) : rng_(seed) {
+    heap_.reserve(1024);
+    // Pre-size every bucket to one pool node (8 fine payloads / 4 coarse
+    // items fill a 64 B class exactly). Rebasing re-anchors the windows, so
+    // over a long run every bucket index gets touched eventually; paying the
+    // ~190 KB up front keeps first-touch growth off the steady-state path.
+    for (Bucket& b : buckets_) {
+      b.items.reserve(8);
+    }
+    for (L2Bucket& b : l2_buckets_) {
+      b.items.reserve(4);
+    }
+  }
   ~Simulator();
 
   Simulator(const Simulator&) = delete;
@@ -87,7 +107,7 @@ class Simulator {
   uint64_t events_processed() const { return events_processed_; }
   uint64_t coroutine_events() const { return coroutine_events_; }
   uint64_t callback_events() const { return events_processed_ - coroutine_events_; }
-  size_t queue_depth() const { return wheel_count_ + heap_.size(); }
+  size_t queue_depth() const { return wheel_count_ + l2_count_ + heap_.size(); }
   // Callback slots ever carved from slabs (pool high-water mark).
   size_t callback_pool_slots() const { return pool_slots_; }
 
@@ -107,9 +127,11 @@ class Simulator {
   auto WaitUntil(Time t) { return Delay(t - now_); }
 
  private:
-  // Sized so every callback the fabric and protocol layers schedule (the
-  // largest captures ~10 words of completion state) stays inline.
-  static constexpr size_t kInlineCallbackBytes = 120;
+  // Sized so every callback the fabric and protocol layers schedule stays
+  // inline. The largest is WriteThenCas's arrival lambda, which carries the
+  // whole CAS continuation (~180 bytes) so the pipelined series stays one
+  // scheduling unit.
+  static constexpr size_t kInlineCallbackBytes = 184;
   static constexpr size_t kSlabSlots = 256;
 
   // Wheel geometry: 1 ns buckets over a 2048 ns window, base-aligned so
@@ -118,6 +140,14 @@ class Simulator {
   static constexpr size_t kWheelSize = size_t{1} << kWheelBits;
   static constexpr Time kWheelMask = static_cast<Time>(kWheelSize - 1);
   static constexpr size_t kBitmapWords = kWheelSize / 64;
+
+  // Coarse level: 1024 buckets, each spanning one fine window (2048 ns), for
+  // a ~2.1 ms horizon. Anchored (not circular): promotion consumes buckets
+  // front to back and the level re-bases off the heap when it drains.
+  static constexpr size_t kL2Bits = 10;
+  static constexpr size_t kL2Buckets = size_t{1} << kL2Bits;
+  static constexpr Time kL2Span = static_cast<Time>(kL2Buckets) << kWheelBits;
+  static constexpr size_t kL2BitmapWords = kL2Buckets / 64;
 
   struct CallbackSlot {
     // Invokes (when `run`) and destroys the stored callable. Set by MakeSlot.
@@ -135,8 +165,22 @@ class Simulator {
   };
 
   struct Bucket {
-    std::vector<uintptr_t> items;  // FIFO: appended in scheduling order.
+    PoolVec<uintptr_t> items;  // FIFO: appended in scheduling order.
     size_t head = 0;
+  };
+
+  // Coarse-bucket entry: events in one coarse bucket carry mixed timestamps
+  // inside the bucket's 2048 ns span, so the time rides along. No seq: the
+  // bucket's append order IS (time, seq) order for same-time events (direct
+  // pushes append in seq order, and heap migration — which only happens into
+  // an empty level — pops in (time, seq) order).
+  struct L2Item {
+    Time at;
+    uintptr_t payload;
+  };
+
+  struct L2Bucket {
+    PoolVec<L2Item> items;
   };
 
   static bool IsCallback(uintptr_t payload) { return (payload & 1) != 0; }
@@ -159,14 +203,18 @@ class Simulator {
         f->~Fn();
       };
     } else {
-      // Oversized callable: one heap allocation, owned by the slot.
-      ::new (static_cast<void*>(slot->storage)) Fn*(new Fn(std::forward<F>(fn)));
+      // Oversized callable: one pooled allocation, owned by the slot. Still
+      // allocation-free at steady state — the spill block comes off the
+      // size-class free list like everything else.
+      void* mem = FramePool::Alloc(sizeof(Fn));
+      ::new (static_cast<void*>(slot->storage)) Fn*(::new (mem) Fn(std::forward<F>(fn)));
       slot->op = [](CallbackSlot* s, bool run) {
         Fn* f = *std::launder(reinterpret_cast<Fn**>(s->storage));
         if (run) {
           (*f)();
         }
-        delete f;
+        f->~Fn();
+        FramePool::Free(f, sizeof(Fn));
       };
     }
     return slot;
@@ -188,12 +236,18 @@ class Simulator {
     if (when < now_) {
       when = now_;
     }
-    // The wheel only accepts events inside its window. `when >= base_` holds
-    // whenever the wheel is nonempty (pushes clamp to now_, and now_ >= base_
-    // then); it is checked anyway so an invariant break cannot write outside
-    // the bitmap.
+    // The fine wheel only accepts events inside its window. `when >= base_`
+    // holds whenever the wheel is nonempty (pushes clamp to now_, and
+    // now_ >= base_ then); it is checked anyway so an invariant break cannot
+    // write outside the bitmap. The coarse level accepts events from its
+    // first UNPROMOTED bucket (l2_cursor_) to its horizon; everything else —
+    // beyond the horizon, or landing in the already-promoted gap while the
+    // fine wheel is empty — overflows to the heap, where RefillL1 picks it
+    // up in (time, seq) order.
     if (wheel_count_ > 0 && when >= base_ && when < base_ + static_cast<Time>(kWheelSize)) {
       WheelAppend(when, payload);
+    } else if (l2_count_ > 0 && when >= l2_cursor_ && when < l2_base_ + kL2Span) {
+      L2Append(when, payload);
     } else {
       HeapPush(Event{when, seq_++, payload});
     }
@@ -207,12 +261,34 @@ class Simulator {
     ++wheel_count_;
   }
 
-  // Re-anchors the (empty) wheel at the earliest far event and migrates
-  // every event inside the new window, in (time, seq) order.
-  void Rebase();
+  void L2Append(Time at, uintptr_t payload) {
+    const size_t idx = static_cast<size_t>((at - l2_base_) >> kWheelBits);
+    l2_buckets_[idx].items.push_back(L2Item{at, payload});
+    l2_bitmap_[idx >> 6] |= uint64_t{1} << (idx & 63);
+    ++l2_count_;
+  }
+
+  // Refills the (empty) fine wheel from the earliest pending source: gap
+  // events from the heap, the next nonempty coarse bucket, or — when the
+  // coarse level itself is empty — a coarse re-base off the heap. Returns
+  // false when nothing is pending anywhere.
+  bool RefillL1();
+
+  // Promotes the first nonempty coarse bucket into the fine wheel (append
+  // order preserved) and anchors the fine window on its span.
+  void PromoteNextL2Bucket();
+
+  // Re-anchors the (empty) coarse level at the earliest far event and
+  // migrates every heap event inside the new horizon, in (time, seq) order.
+  void RebaseL2();
 
   // First nonempty bucket time at or after `from` (wheel must be nonempty).
   Time NextBucketTime(Time from) const;
+
+  // Earliest pending event time across all three levels; false when empty.
+  // Pure peek: used by RunUntil, which must not re-anchor windows without
+  // immediately dispatching (Push's invariants key off fresh anchors).
+  bool PeekNextTime(Time* out) const;
 
   void HeapPush(Event ev);
   Event HeapPopTop();
@@ -225,9 +301,17 @@ class Simulator {
   uint64_t coroutine_events_ = 0;
   size_t wheel_count_ = 0;
   size_t pool_slots_ = 0;
-  std::vector<Event> heap_;
+  // Coarse level state; meaningful only while l2_count_ > 0. l2_cursor_ is
+  // the start of the first unpromoted bucket (== base_ + kWheelSize whenever
+  // a bucket has been promoted, because a coarse bucket IS a fine window).
+  Time l2_base_ = 0;
+  Time l2_cursor_ = 0;
+  size_t l2_count_ = 0;
+  PoolVec<Event> heap_;
   std::array<Bucket, kWheelSize> buckets_;
   std::array<uint64_t, kBitmapWords> bitmap_{};
+  std::array<L2Bucket, kL2Buckets> l2_buckets_;
+  std::array<uint64_t, kL2BitmapWords> l2_bitmap_{};
   std::vector<std::unique_ptr<CallbackSlot[]>> slabs_;
   CallbackSlot* free_slots_ = nullptr;
   Rng rng_;

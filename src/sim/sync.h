@@ -17,6 +17,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/sim/pool.h"
 #include "src/sim/simulator.h"
 #include "src/sim/task.h"
 #include "src/sim/time.h"
@@ -25,7 +26,15 @@ namespace swarm::sim {
 
 class Counter {
  public:
-  explicit Counter(Simulator* sim) : state_(std::make_shared<State>()) { state_->sim = sim; }
+  // State and Waiter nodes live on the frame pool (allocate_shared with
+  // PoolAlloc puts the object and its control block in one pooled slot), so
+  // quorum waits allocate nothing at steady state. The shared_ptr refcounts
+  // keep the lifetime rules identical to the heap version: a straggler
+  // completion or a pending timeout callback holds its own reference, so a
+  // recycled slot can never be reached through a stale pointer.
+  explicit Counter(Simulator* sim) : state_(std::allocate_shared<State>(PoolAlloc<State>{})) {
+    state_->sim = sim;
+  }
 
   void Add(int delta = 1) {
     state_->count += delta;
@@ -41,7 +50,7 @@ class Counter {
     if (s.count >= threshold) {
       co_return true;
     }
-    auto w = std::make_shared<Waiter>();
+    auto w = std::allocate_shared<Waiter>(PoolAlloc<Waiter>{});
     w->threshold = threshold;
     s.waiters.push_back(w);
     if (timeout >= 0) {
@@ -69,7 +78,7 @@ class Counter {
   struct State {
     Simulator* sim = nullptr;
     int count = 0;
-    std::vector<std::shared_ptr<Waiter>> waiters;
+    PoolVec<std::shared_ptr<Waiter>> waiters;
   };
 
   struct SuspendInto {
@@ -121,8 +130,8 @@ inline Task<void> SignalWhenDone(Task<void> t, Counter done) {
 template <typename A, typename B>
 Task<std::pair<A, B>> WhenBoth(Simulator* sim, Task<A> a, Task<B> b) {
   Counter done(sim);
-  auto ra = std::make_shared<A>();
-  auto rb = std::make_shared<B>();
+  auto ra = std::allocate_shared<A>(PoolAlloc<A>{});
+  auto rb = std::allocate_shared<B>(PoolAlloc<B>{});
   Spawn(StoreInto(std::move(a), ra, done));
   Spawn(StoreInto(std::move(b), rb, done));
   co_await done.WaitFor(2);

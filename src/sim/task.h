@@ -15,9 +15,12 @@
 #define SWARM_SRC_SIM_TASK_H_
 
 #include <coroutine>
+#include <cstddef>
 #include <exception>
 #include <optional>
 #include <utility>
+
+#include "src/sim/pool.h"
 
 namespace swarm::sim {
 
@@ -29,6 +32,12 @@ namespace internal {
 struct PromiseBase {
   std::coroutine_handle<> continuation;
   std::exception_ptr exception;
+
+  // Coroutine frames are the single largest per-op allocation class (every
+  // protocol step is a coroutine). Routing them through the size-class pool
+  // makes frame creation/destruction free-list pops at steady state.
+  static void* operator new(size_t n) { return FramePool::Alloc(n); }
+  static void operator delete(void* p, size_t n) { FramePool::Free(p, n); }
 
   struct FinalAwaiter {
     bool await_ready() const noexcept { return false; }
@@ -173,6 +182,9 @@ namespace internal {
 // alive for exactly as long as it needs.
 struct Detached {
   struct promise_type {
+    static void* operator new(size_t n) { return FramePool::Alloc(n); }
+    static void operator delete(void* p, size_t n) { FramePool::Free(p, n); }
+
     Detached get_return_object() { return {}; }
     std::suspend_never initial_suspend() noexcept { return {}; }
     std::suspend_never final_suspend() noexcept { return {}; }

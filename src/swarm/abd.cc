@@ -17,8 +17,8 @@ uint64_t AbdHash(uint64_t meta_addr, uint64_t len, std::span<const uint8_t> data
   return hash::HashMetaAndValue(hash::Mix64(meta_addr, len), data);
 }
 
-std::vector<uint8_t> AbdOopImage(uint64_t meta_addr, std::span<const uint8_t> value) {
-  std::vector<uint8_t> image(kOopHeaderBytes + value.size());
+sim::Bytes AbdOopImage(uint64_t meta_addr, std::span<const uint8_t> value) {
+  sim::Bytes image(kOopHeaderBytes + value.size());
   const uint64_t len = value.size();
   const uint64_t h = AbdHash(meta_addr, len, value);
   std::memcpy(image.data(), &h, 8);
@@ -32,7 +32,7 @@ struct Phase1State {
   std::array<Meta, kMaxReplicas> words{};
   std::array<bool, kMaxReplicas> oks{};
   std::array<uint32_t, kMaxReplicas> oop_idx{};
-  std::vector<uint8_t> value;  // Images are built per replica (per-node hash).
+  sim::Bytes value;  // Images are built per replica (per-node hash).
   bool moved = false;          // Some replica NACKed kMovedReplica.
 
   explicit Phase1State(sim::Simulator* s) : ok(s) {}
@@ -50,7 +50,7 @@ sim::Task<void> Phase1One(Worker* worker, const ObjectLayout* layout, int r,
   ph->oop_idx[idx] = oop;
 
   std::array<uint8_t, 8> word_buf{};
-  std::vector<uint8_t> image = AbdOopImage(rep.meta_addr, ph->value);
+  sim::Bytes image = AbdOopImage(rep.meta_addr, ph->value);
   auto wr = qp.Write(static_cast<uint64_t>(oop) * kOopGranuleBytes, image);
   auto rd = qp.Read(rep.meta_addr, word_buf);
   auto [w_res, r_res] =
@@ -147,7 +147,7 @@ sim::Task<void> RepairOne(Worker* worker, const ObjectLayout* layout, int r, Met
   OopPool& pool = worker->pool(rep.node);
   const uint32_t oop = pool.AllocIdx();
   const Meta desired = base.WithOop(oop);
-  std::vector<uint8_t> image = AbdOopImage(rep.meta_addr, img->value);
+  sim::Bytes image = AbdOopImage(rep.meta_addr, img->value);
   Meta prev;
   bool installed = false;
   fabric::OpResult res = co_await qp.WriteThenCas(static_cast<uint64_t>(oop) * kOopGranuleBytes,
@@ -205,7 +205,7 @@ sim::Task<bool> FenceTombstone(Worker* worker, const ObjectLayout* layout,
     co_return true;
   }
   const Meta repair = Meta::Pack(m.counter(), m.tid(), m.verified(), 0);
-  auto cs = std::make_shared<CasState>(worker->sim());
+  auto cs = sim::MakePooled<CasState>(worker->sim());
   ++*rtts;
   const bool fenced = co_await worker->BatchedQuorum(
       cs->ok, maj, worker->config().quorum_timeout, 0, usable, [&](int i) {
@@ -273,7 +273,7 @@ sim::Task<SgWriteResult> AbdObject::WriteAttempt(std::span<const uint8_t> value,
                                                  bool* retry_safe) {
   *retry_safe = false;
   SgWriteResult result;
-  auto ph = std::make_shared<Phase1State>(worker_->sim());
+  auto ph = sim::MakePooled<Phase1State>(worker_->sim());
   ph->value.assign(value.begin(), value.end());
 
   std::array<int, kMaxReplicas> order{};
@@ -335,7 +335,7 @@ sim::Task<SgWriteResult> AbdObject::WriteAttempt(std::span<const uint8_t> value,
 
   // Phase 2: install (m.counter + 1, tid) at a majority.
   const Meta fresh = Meta::Pack(m.counter() + 1, worker_->tid(), /*verified=*/true, 0);
-  auto cs = std::make_shared<CasState>(worker_->sim());
+  auto cs = sim::MakePooled<CasState>(worker_->sim());
   int launched = 0;
   {
     fabric::CpuBatch batch(worker_->cpu());  // One doorbell for all installs.
@@ -372,7 +372,7 @@ sim::Task<SgWriteResult> AbdObject::Delete() {
   const Meta tombstone = Meta::Tombstone(worker_->tid());
   constexpr int kMaxAttempts = 3;
   for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
-    auto cs = std::make_shared<CasState>(worker_->sim());
+    auto cs = sim::MakePooled<CasState>(worker_->sim());
     std::array<int, kMaxReplicas> order{};
     int usable = 0;
     LivePreferred(worker_, layout_, order, &usable);
@@ -432,7 +432,7 @@ sim::Task<bool> AbdObject::CopyReplicaInternal(const ObjectLayout* dst, int targ
   // the caller's worker has the target's node repair-excluded, so `order`
   // never includes it; for migration the vacated source slot is
   // region-fenced and the worker rides the fence-exempt repair channel.
-  auto ph = std::make_shared<Phase1State>(worker_->sim());
+  auto ph = sim::MakePooled<Phase1State>(worker_->sim());
   auto rd_one = [](Worker* worker, const ObjectLayout* layout, int r,
                    std::shared_ptr<Phase1State> st) -> sim::Task<void> {
     const ReplicaLayout& rep = layout->replicas[static_cast<size_t>(r)];
@@ -467,7 +467,7 @@ sim::Task<bool> AbdObject::CopyReplicaInternal(const ObjectLayout* dst, int targ
   if (m.empty()) {
     co_return true;  // Nothing ever committed: the wiped replica is correct.
   }
-  auto cs = std::make_shared<CasState>(worker_->sim());
+  auto cs = sim::MakePooled<CasState>(worker_->sim());
   if (m.deleted()) {
     if (skip_tombstones) {
       co_return true;  // Canary bug: the tombstone never reaches the node.
@@ -480,7 +480,7 @@ sim::Task<bool> AbdObject::CopyReplicaInternal(const ObjectLayout* dst, int targ
   }
 
   // Phase 2: resolve m's bytes from a surviving holder.
-  auto img = std::make_shared<Phase1State>(worker_->sim());
+  auto img = sim::MakePooled<Phase1State>(worker_->sim());
   bool value_ok = false;
   for (int r = 0; r < layout_->num_replicas && !value_ok; ++r) {
     const auto idx = static_cast<size_t>(r);
@@ -489,7 +489,7 @@ sim::Task<bool> AbdObject::CopyReplicaInternal(const ObjectLayout* dst, int targ
       continue;
     }
     const ReplicaLayout& rep = layout_->replicas[idx];
-    std::vector<uint8_t> buf(kOopHeaderBytes + layout_->max_value);
+    sim::Bytes buf(kOopHeaderBytes + layout_->max_value);
     fabric::OpResult res = co_await worker_->qp(rep.node).Read(ph->words[idx].oop_addr(), buf);
     if (!res.ok()) {
       continue;
@@ -528,7 +528,7 @@ sim::Task<SgReadResult> AbdObject::Read() {
       co_await worker_->RefreshEpoch();
     }
     // Phase 1: read the metadata word at a majority.
-    auto ph = std::make_shared<Phase1State>(worker_->sim());
+    auto ph = sim::MakePooled<Phase1State>(worker_->sim());
     auto rd_one = [](Worker* worker, const ObjectLayout* layout, int r,
                      std::shared_ptr<Phase1State> st) -> sim::Task<void> {
       const ReplicaLayout& rep = layout->replicas[static_cast<size_t>(r)];
@@ -616,7 +616,7 @@ sim::Task<SgReadResult> AbdObject::Read() {
     // Phase 2: chase the out-of-place pointer at a replica holding m.
     bool value_ok = false;
     bool chase_moved = false;
-    std::vector<uint8_t> value;
+    sim::Bytes value;
     for (int r = 0; r < layout_->num_replicas && !value_ok; ++r) {
       const auto idx = static_cast<size_t>(r);
       if (!ph->oks[idx] || ph->words[idx].same_write_key() != m.same_write_key() ||
@@ -624,7 +624,7 @@ sim::Task<SgReadResult> AbdObject::Read() {
         continue;
       }
       const ReplicaLayout& rep = layout_->replicas[idx];
-      std::vector<uint8_t> buf(kOopHeaderBytes + layout_->max_value);
+      sim::Bytes buf(kOopHeaderBytes + layout_->max_value);
       fabric::OpResult res =
           co_await worker_->qp(rep.node).Read(ph->words[idx].oop_addr(), buf);
       ++result.rtts;
@@ -654,9 +654,9 @@ sim::Task<SgReadResult> AbdObject::Read() {
 
     // Phase 3 (rare): write-back so a majority holds m before returning.
     if (holders < maj) {
-      auto img = std::make_shared<Phase1State>(worker_->sim());
+      auto img = sim::MakePooled<Phase1State>(worker_->sim());
       img->value = value;
-      auto cs = std::make_shared<CasState>(worker_->sim());
+      auto cs = sim::MakePooled<CasState>(worker_->sim());
       const Meta base = Meta::Pack(m.counter(), m.tid(), true, 0);
       {
         fabric::CpuBatch batch(worker_->cpu());

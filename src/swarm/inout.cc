@@ -7,7 +7,7 @@
 namespace swarm {
 namespace {
 
-Meta WordAt(const std::vector<uint8_t>& buf, size_t off) {
+Meta WordAt(const sim::Bytes& buf, size_t off) {
   uint64_t w;
   std::memcpy(&w, buf.data() + off, 8);
   return Meta(w);
@@ -15,8 +15,8 @@ Meta WordAt(const std::vector<uint8_t>& buf, size_t off) {
 
 }  // namespace
 
-std::vector<uint8_t> InOutReplica::OopImage(Meta full_word, std::span<const uint8_t> value) const {
-  std::vector<uint8_t> image(kOopHeaderBytes + value.size());
+sim::Bytes InOutReplica::OopImage(Meta full_word, std::span<const uint8_t> value) const {
+  sim::Bytes image(kOopHeaderBytes + value.size());
   const uint64_t word = full_word.raw();
   const uint64_t len = value.size();
   std::memcpy(image.data(), &word, 8);
@@ -32,7 +32,7 @@ sim::Task<NodeMaxResult> InOutReplica::WriteMaxImpl(Meta w, std::span<const uint
   const uint64_t slot_addr = SlotAddr(SlotOf(w.tid(), layout_->meta_slots));
 
   Meta w_full = w;
-  std::vector<uint8_t> image;
+  sim::Bytes image;
   const bool has_payload = !w.deleted();
   if (has_payload) {
     const uint32_t oop_idx = worker_->pool(rep_->node).AllocIdx();
@@ -43,7 +43,7 @@ sim::Task<NodeMaxResult> InOutReplica::WriteMaxImpl(Meta w, std::span<const uint
   // First attempt: expected from the cache; never CAS the slot downward.
   const Meta desired = TsLess(slot_expected, w_full) ? w_full : slot_expected;
   fabric::OpResult r;
-  std::vector<uint8_t> inplace_image;
+  sim::Bytes inplace_image;
   if (has_payload && refresh_inplace && has_inplace()) {
     // Direct verified write: refresh the in-place copy in the same pipelined
     // roundtrip. The hash binds the bytes to our full word, so readers only
@@ -149,7 +149,7 @@ sim::Task<NodeView> InOutReplica::ReadNode(bool want_inplace, uint32_t my_tid) {
   const size_t total =
       meta_bytes + (rd_inplace ? static_cast<size_t>(layout_->inplace_region_bytes()) : 0);
 
-  std::vector<uint8_t> buf(total);
+  sim::Bytes buf(total);
   fabric::OpResult r = co_await qp.Read(rep_->meta_addr, buf);
   if (!r.ok()) {
     view.status = r.status;
@@ -178,12 +178,12 @@ sim::Task<NodeView> InOutReplica::ReadNode(bool want_inplace, uint32_t my_tid) {
   co_return view;
 }
 
-sim::Task<std::optional<std::vector<uint8_t>>> InOutReplica::ReadOop(Meta word) {
+sim::Task<std::optional<sim::Bytes>> InOutReplica::ReadOop(Meta word) {
   if (word.oop() == 0) {
     co_return std::nullopt;
   }
   fabric::Qp& qp = worker_->qp(rep_->node);
-  std::vector<uint8_t> buf(kOopHeaderBytes + layout_->max_value);
+  sim::Bytes buf(kOopHeaderBytes + layout_->max_value);
   fabric::OpResult r = co_await qp.Read(word.oop_addr(), buf);
   if (!r.ok()) {
     co_return std::nullopt;
@@ -196,7 +196,7 @@ sim::Task<std::optional<std::vector<uint8_t>>> InOutReplica::ReadOop(Meta word) 
       len > layout_->max_value) {
     co_return std::nullopt;  // Buffer was recycled under us.
   }
-  co_return std::vector<uint8_t>(buf.begin() + kOopHeaderBytes,
+  co_return sim::Bytes(buf.begin() + kOopHeaderBytes,
                                  buf.begin() + kOopHeaderBytes + static_cast<long>(len));
 }
 
@@ -210,7 +210,7 @@ sim::Task<fabric::Status> InOutReplica::PromoteVerified(Meta node_word,
     // Pipelined [in-place WRITE → metadata CAS to the VERIFIED word]. The
     // hash binds the bytes to the verified word so readers accept them only
     // while that word is still the node's max.
-    std::vector<uint8_t> image(kInPlaceHeaderBytes + value.size());
+    sim::Bytes image(kInPlaceHeaderBytes + value.size());
     const uint64_t h = hash::HashMetaAndValue(vword.raw(), value);
     const uint64_t len = value.size();
     std::memcpy(image.data(), &h, 8);

@@ -34,9 +34,9 @@ struct NodeView {
   fabric::Status status = fabric::Status::kOk;
   Meta max;                    // ts-max over the metadata slots (full word, node-local oop).
   Meta my_slot;                // current content of this writer's slot (for CAS caching).
-  std::vector<Meta> slots;     // all K metadata words (for write-back CAS seeds).
+  sim::PoolVec<Meta> slots;    // all K metadata words (for write-back CAS seeds).
   bool inplace_valid = false;  // in-place bytes match `max`'s hash.
-  std::vector<uint8_t> value;  // in-place value, only if inplace_valid.
+  sim::Bytes value;            // in-place value, only if inplace_valid.
 
   bool ok() const { return status == fabric::Status::kOk; }
 
@@ -91,7 +91,7 @@ class InOutReplica {
 
   // Follows `word`'s out-of-place pointer. Returns the value, or nullopt if
   // the buffer no longer matches (recycled by its writer).
-  sim::Task<std::optional<std::vector<uint8_t>>> ReadOop(Meta word);
+  sim::Task<std::optional<sim::Bytes>> ReadOop(Meta word);
 
   // Flips `node_word` (our previously installed GUESSED word at this node) to
   // VERIFIED; if this replica is designated, refreshes in-place data in the
@@ -111,7 +111,7 @@ class InOutReplica {
   uint64_t SlotAddr(int slot) const { return rep_->meta_addr + static_cast<uint64_t>(slot) * 8; }
 
   // Builds [word][len][value] into a pool slot image.
-  std::vector<uint8_t> OopImage(Meta full_word, std::span<const uint8_t> value) const;
+  sim::Bytes OopImage(Meta full_word, std::span<const uint8_t> value) const;
 
   Worker* worker_;
   const ObjectLayout* layout_;

@@ -129,6 +129,14 @@ class OopPool {
       if (++head_ == quarantine_.size()) {
         quarantine_.clear();
         head_ = 0;
+      } else if (head_ >= 64 && head_ * 2 >= quarantine_.size()) {
+        // Compact the consumed prefix. Under steady churn the queue never
+        // fully drains (pushes and pops run at matched rates), so without
+        // this the dead prefix — and the vector — would grow forever. The
+        // erase shifts in place: capacity sticks at its high-water mark and
+        // steady-state recycling stays allocation-free.
+        quarantine_.erase(quarantine_.begin(), quarantine_.begin() + static_cast<long>(head_));
+        head_ = 0;
       }
       return idx;
     }
@@ -173,7 +181,7 @@ class OopPool {
   uint64_t chunk_base_ = 0;
   int next_in_chunk_ = 0;
   uint64_t chunks_ = 0;
-  std::vector<Quarantined> quarantine_;
+  sim::PoolVec<Quarantined> quarantine_;
   size_t head_ = 0;
 };
 

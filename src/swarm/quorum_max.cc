@@ -16,7 +16,7 @@ bool IsMoved(fabric::Status s) { return s == fabric::Status::kMovedReplica; }
 struct WrPhase {
   sim::Counter ok;
   Meta w;
-  std::vector<uint8_t> value;  // Stragglers keep using this after the caller returns.
+  sim::Bytes value;  // Stragglers keep using this after the caller returns.
   Meta m;                      // ts-max excluding `w` itself.
   std::array<Meta, kMaxReplicas> installed{};
   int max_retries = 0;
@@ -73,11 +73,11 @@ struct RdPhase {
   sim::Counter ok;
   std::array<Meta, kMaxReplicas> words{};
   std::array<bool, kMaxReplicas> oks{};
-  std::array<std::vector<Meta>, kMaxReplicas> slots;
+  std::array<sim::PoolVec<Meta>, kMaxReplicas> slots;
   bool have_inplace = false;
   bool moved = false;  // Some replica NACKed kMovedReplica.
   Meta inplace_word;
-  std::vector<uint8_t> inplace_value;
+  sim::Bytes inplace_value;
 
   explicit RdPhase(sim::Simulator* s) : ok(s) {}
 };
@@ -113,7 +113,7 @@ sim::Task<void> ReadOne(Worker* worker, const ObjectLayout* layout,
 struct RepairPhase {
   sim::Counter fixed;
   Meta base;  // (counter, tid, flag) of the max, oop stripped.
-  std::vector<uint8_t> value;
+  sim::Bytes value;
   bool moved = false;
 
   explicit RepairPhase(sim::Simulator* s) : fixed(s) {}
@@ -135,7 +135,7 @@ sim::Task<void> RepairOne(Worker* worker, const ObjectLayout* layout, int r, Met
 struct VwPhase {
   sim::Counter ok;
   Meta w;
-  std::vector<uint8_t> value;
+  sim::Bytes value;
   int max_retries = 0;
   bool moved = false;
 
@@ -163,7 +163,7 @@ sim::Task<void> WriteVerifiedOne(Worker* worker, const ObjectLayout* layout,
 }
 
 sim::Task<void> PromoteOne(Worker* worker, const ObjectLayout* layout, int r, Meta word,
-                           std::shared_ptr<std::vector<uint8_t>> value,
+                           std::shared_ptr<sim::Bytes> value,
                            std::shared_ptr<ObjectCache> cache) {
   InOutReplica rep(worker, layout, r);
   fabric::Status st = co_await rep.PromoteVerified(word, *value);
@@ -215,7 +215,7 @@ sim::Task<WriteReadOutcome> QuorumMax::WriteAndRead(Meta w, std::span<const uint
 }
 
 sim::Task<WriteReadOutcome> QuorumMax::WriteAndReadOnce(Meta w, std::span<const uint8_t> value) {
-  auto ph = std::make_shared<WrPhase>(worker_->sim());
+  auto ph = sim::MakePooled<WrPhase>(worker_->sim());
   ph->w = w;
   ph->value.assign(value.begin(), value.end());
 
@@ -270,7 +270,7 @@ sim::Task<ReadOutcome> QuorumMax::ReadQuorum(bool strong) {
 }
 
 sim::Task<ReadOutcome> QuorumMax::ReadQuorumOnce(bool strong) {
-  auto ph = std::make_shared<RdPhase>(worker_->sim());
+  auto ph = sim::MakePooled<RdPhase>(worker_->sim());
 
   std::array<int, kMaxReplicas> order{};
   int live = 0;
@@ -347,7 +347,7 @@ sim::Task<ReadOutcome> QuorumMax::ReadQuorumOnce(bool strong) {
         out.ok = false;  // Cannot repair without bytes; caller retries.
         co_return out;
       }
-      auto rp = std::make_shared<RepairPhase>(worker_->sim());
+      auto rp = sim::MakePooled<RepairPhase>(worker_->sim());
       rp->base = Meta::Pack(out.m.counter(), out.m.tid(), out.m.verified(), 0);
       rp->value = out.value;
       int launched = 0;
@@ -396,7 +396,7 @@ sim::Task<bool> QuorumMax::WriteVerified(Meta w, std::span<const uint8_t> value,
 }
 
 sim::Task<bool> QuorumMax::WriteVerifiedOnce(Meta w, std::span<const uint8_t> value, int* rtts) {
-  auto ph = std::make_shared<VwPhase>(worker_->sim());
+  auto ph = sim::MakePooled<VwPhase>(worker_->sim());
   ph->w = w.WithVerified();
   ph->value.assign(value.begin(), value.end());
 
@@ -426,9 +426,9 @@ sim::Task<bool> QuorumMax::WriteVerifiedOnce(Meta w, std::span<const uint8_t> va
 
 sim::Task<void> QuorumMax::Promote(Worker* worker, const ObjectLayout* layout,
                                    std::array<Meta, kMaxReplicas> installed,
-                                   std::vector<uint8_t> value,
+                                   sim::Bytes value,
                                    std::shared_ptr<ObjectCache> cache) {
-  auto shared_value = std::make_shared<std::vector<uint8_t>>(std::move(value));
+  auto shared_value = sim::MakePooled<sim::Bytes>(std::move(value));
   fabric::CpuBatch batch(worker->cpu());  // All promotions, one doorbell.
   for (int r = 0; r < layout->num_replicas; ++r) {
     const Meta word = installed[static_cast<size_t>(r)];
@@ -441,7 +441,7 @@ sim::Task<void> QuorumMax::Promote(Worker* worker, const ObjectLayout* layout,
 
 sim::Task<bool> QuorumMax::WriteBack(Meta m, std::span<const uint8_t> value,
                                      const ReadOutcome& from) {
-  auto rp = std::make_shared<RepairPhase>(worker_->sim());
+  auto rp = sim::MakePooled<RepairPhase>(worker_->sim());
   rp->base = Meta::Pack(m.counter(), m.tid(), m.verified(), 0);
   rp->value.assign(value.begin(), value.end());
   const int maj = layout_->majority();

@@ -56,7 +56,7 @@ struct ReadOutcome {
   bool value_ok = false;  // Bytes for `m` were resolved (meaningless for empty/tombstone).
   bool used_inplace = false;
   bool moved = false;     // kMovedReplica seen: re-locate via the index.
-  std::vector<uint8_t> value;
+  sim::Bytes value;
   std::array<Meta, kMaxReplicas> node_words{};  // Per-replica local max.
   std::array<bool, kMaxReplicas> node_ok{};
   int rtts = 0;
@@ -91,7 +91,7 @@ class QuorumMax {
   // caches track the flipped words and the next write's CAS stays 1-RT.
   static sim::Task<void> Promote(Worker* worker, const ObjectLayout* layout,
                                  std::array<Meta, kMaxReplicas> installed,
-                                 std::vector<uint8_t> value,
+                                 sim::Bytes value,
                                  std::shared_ptr<ObjectCache> cache = nullptr);
 
   // Repairs replicas holding stale words so that at least a majority carry

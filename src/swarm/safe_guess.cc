@@ -79,7 +79,7 @@ sim::Task<SgWriteResult> SafeGuessObject::Write(std::span<const uint8_t> value) 
     result.status = SgStatus::kOk;
     result.fast_path = true;
     sim::Spawn(QuorumMax::Promote(worker_, layout_, out.installed,
-                                  std::vector<uint8_t>(value.begin(), value.end()), cache_));
+                                  sim::Bytes(value.begin(), value.end()), cache_));
     co_return result;
   }
 
@@ -150,7 +150,7 @@ sim::Task<SgReadResult> SafeGuessObject::Read() {
   struct Seen {
     bool present = false;
     uint64_t write_key = 0;
-    std::vector<uint8_t> value;
+    sim::Bytes value;
   };
   std::array<Seen, kMaxTid + 1> seen{};
 

@@ -52,7 +52,7 @@ struct SgWriteResult {
 
 struct SgReadResult {
   SgStatus status = SgStatus::kUnavailable;
-  std::vector<uint8_t> value;
+  sim::Bytes value;
   bool fast_path = false;  // Returned a VERIFIED tuple from the first read.
   bool used_inplace = false;
   int rtts = 0;

@@ -65,7 +65,7 @@ sim::Task<TryLockResult> TimestampLock::TryLock(uint32_t counter, LockMode mode)
   TryLockResult result;
   constexpr int kMaxAttempts = 3;
   for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
-    auto phase = std::make_shared<LockPhase>(worker_->sim());
+    auto phase = sim::MakePooled<LockPhase>(worker_->sim());
     // Algorithm 9 contacts every replica; only a majority must answer. A
     // repairing replica is skipped outright: its CAS words are mid-restore
     // and counting it could manufacture a majority the opposite mode already

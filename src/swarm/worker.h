@@ -45,7 +45,8 @@ class Worker {
       : fabric_(fabric), tid_(tid), cpu_(cpu), clock_(clock), config_(config),
         known_failed_(std::move(known_failed)) {
     if (cpu != nullptr) {
-      cpu->Configure(&fabric->stats(), fabric->config().doorbell_batching);
+      cpu->Configure(&fabric->stats(), fabric->config().doorbell_batching,
+                     fabric->config().max_wqe_per_doorbell);
     }
     for (int n = 0; n < fabric->num_nodes(); ++n) {
       EnsureNode(n);

@@ -92,12 +92,12 @@ TEST(DoorbellBatching, PostManySpansNodes) {
 
   auto driver = [](TestEnv* env, Worker* w, std::vector<uint64_t> addrs, int n) -> Task<void> {
     std::vector<std::vector<uint8_t>> bufs(static_cast<size_t>(n), std::vector<uint8_t>(8));
-    std::vector<sim::Task<fabric::OpResult>> verbs;
+    sim::PoolVec<sim::Task<fabric::OpResult>> verbs;
     for (int i = 0; i < n; ++i) {
       verbs.push_back(w->qp(i).Read(addrs[static_cast<size_t>(i)], bufs[static_cast<size_t>(i)]));
     }
     const sim::Time busy_before = w->cpu()->busy_ns();
-    std::vector<fabric::OpResult> results =
+    sim::PoolVec<fabric::OpResult> results =
         co_await fabric::PostMany(w->cpu(), &env->sim, std::move(verbs));
     EXPECT_EQ(w->cpu()->busy_ns() - busy_before, env->fabric.config().submit_cost);
     EXPECT_EQ(results.size(), static_cast<size_t>(n));
@@ -133,7 +133,7 @@ TEST(DoorbellBatching, PerVerbCostChargesPerWqe) {
                    sim::Time submit) -> Task<void> {
     // K-verb doorbell: submit_cost + K*per_verb_cost, still ONE doorbell.
     std::vector<std::vector<uint8_t>> bufs(static_cast<size_t>(n), std::vector<uint8_t>(8));
-    std::vector<sim::Task<fabric::OpResult>> verbs;
+    sim::PoolVec<sim::Task<fabric::OpResult>> verbs;
     for (int i = 0; i < n; ++i) {
       verbs.push_back(w->qp(i).Read(addrs[static_cast<size_t>(i)], bufs[static_cast<size_t>(i)]));
     }

@@ -125,16 +125,16 @@ TEST(EpochFence, DoorbellBatchStraddlingAnEpochBumpIsFencedCoherently) {
   }
   const std::vector<uint8_t> payload = {0xAB, 0xCD, 0xEF, 0x12, 0x34, 0x56, 0x78, 0x9A};
 
-  std::vector<fabric::OpResult> first;
-  std::vector<fabric::OpResult> second;
+  sim::PoolVec<fabric::OpResult> first;
+  sim::PoolVec<fabric::OpResult> second;
   std::array<uint64_t, 3> words_after_fenced_batch{};
   bool done = false;
   auto driver = [](EpochEnv* f, Worker* w, const std::array<uint64_t, 3>* addrs,
-                   const std::vector<uint8_t>* payload, std::vector<fabric::OpResult>* first,
-                   std::vector<fabric::OpResult>* second, std::array<uint64_t, 3>* words,
+                   const std::vector<uint8_t>* payload, sim::PoolVec<fabric::OpResult>* first,
+                   sim::PoolVec<fabric::OpResult>* second, std::array<uint64_t, 3>* words,
                    bool* done) -> sim::Task<void> {
-    auto post_batch = [&]() -> sim::Task<std::vector<fabric::OpResult>> {
-      std::vector<sim::Task<fabric::OpResult>> verbs;
+    auto post_batch = [&]() -> sim::Task<sim::PoolVec<fabric::OpResult>> {
+      sim::PoolVec<sim::Task<fabric::OpResult>> verbs;
       for (int n = 0; n < 3; ++n) {
         verbs.push_back(w->qp(n).Write((*addrs)[static_cast<size_t>(n)], *payload));
       }

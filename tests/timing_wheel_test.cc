@@ -1,0 +1,200 @@
+// Boundary tests for the two-level timing wheel.
+//
+// The simulator's dispatch contract is: events run in (time, scheduling
+// order), regardless of which level — fine wheel (2048 x 1ns), coarse wheel
+// (1024 x 2048ns), or overflow heap — an event happens to be routed through,
+// and regardless of how windows are re-anchored along the way. These tests
+// pin that contract exactly at the places it could crack: the 2048 ns fine-
+// window edge, coarse-bucket promotion, the ~2.1 ms coarse horizon, and
+// RunUntil stopping on a boundary. All expectations are exact (single seed,
+// no jitter sources involved): any off-by-one in bucket indexing or anchor
+// math flips a concrete assertion.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/simulator.h"
+#include "src/sim/task.h"
+
+namespace swarm::sim {
+namespace {
+
+// Geometry mirrors of the simulator's private constants. If the wheel is
+// ever re-shaped these keep the boundary probes honest (values asserted
+// against observable behavior, not the private members).
+constexpr Time kFineWindow = 2048;             // 1ns x 2^11 buckets.
+constexpr Time kCoarseHorizon = 1024 * 2048;   // 2^21 ns ~ 2.1 ms.
+
+// Same virtual tick => dispatch in scheduling order (bucket FIFO), even when
+// the tick sits on the last bucket of the fine window.
+TEST(TimingWheel, SameTickDispatchesInSchedulingOrder) {
+  Simulator sim(1);
+  std::vector<int> order;
+  for (Time tick : {Time{100}, kFineWindow - 1, kFineWindow}) {
+    order.clear();
+    for (int i = 0; i < 5; ++i) {
+      sim.At(tick, [&order, i] { order.push_back(i); });
+    }
+    sim.Run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4})) << "tick=" << tick;
+  }
+}
+
+// Events straddling the fine-window edge (t = 2047 vs 2048 vs 2049 relative
+// to the anchor) dispatch in time order with FIFO inside each tick — no
+// off-by-one between "last bucket of this window" and "first bucket of the
+// next".
+TEST(TimingWheel, FineWindowEdgeOrdering) {
+  Simulator sim(1);
+  std::vector<int> order;
+  // Anchor the wheel at 0 with a throwaway event, then schedule the probes
+  // from inside it (wheel empty at that instant — the gap-event path).
+  sim.At(0, [&] {
+    sim.At(kFineWindow + 1, [&order] { order.push_back(5); });
+    sim.At(kFineWindow - 1, [&order] { order.push_back(1); });
+    sim.At(kFineWindow, [&order] { order.push_back(3); });
+    sim.At(kFineWindow - 1, [&order] { order.push_back(2); });
+    sim.At(kFineWindow, [&order] { order.push_back(4); });
+    sim.At(1, [&order] { order.push_back(0); });
+  });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+}
+
+// Timers spread across many coarse buckets (the ms-scale timer population
+// the second level exists for) dispatch in global (time, seq) order across
+// repeated bucket promotions.
+TEST(TimingWheel, CoarseBucketPromotionPreservesOrder) {
+  Simulator sim(1);
+  std::vector<Time> fire_times;
+  std::vector<int> order;
+  sim.At(0, [&] {
+    // Deliberately scheduled out of time order; ids encode expected order.
+    sim.At(5 * kFineWindow + 7, [&] { order.push_back(2); fire_times.push_back(sim.Now()); });
+    sim.At(2 * kFineWindow, [&] { order.push_back(1); fire_times.push_back(sim.Now()); });
+    sim.At(900 * kFineWindow + 1, [&] { order.push_back(4); fire_times.push_back(sim.Now()); });
+    sim.At(40 * kFineWindow - 1, [&] { order.push_back(3); fire_times.push_back(sim.Now()); });
+    sim.At(7, [&] { order.push_back(0); fire_times.push_back(sim.Now()); });
+  });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(fire_times, (std::vector<Time>{7, 2 * kFineWindow, 5 * kFineWindow + 7,
+                                           40 * kFineWindow - 1, 900 * kFineWindow + 1}));
+}
+
+// A coarse bucket holds MIXED timestamps within its 2048 ns span. Promotion
+// must fan them back out to per-ns fine buckets in time order, with FIFO for
+// the ties — including ties on the bucket's first and last nanosecond.
+TEST(TimingWheel, PromotedBucketFansOutInTimeOrder) {
+  Simulator sim(1);
+  std::vector<int> order;
+  const Time bucket = 3 * kFineWindow;  // Start of coarse bucket #3.
+  sim.At(0, [&] {
+    sim.At(bucket + kFineWindow - 1, [&order] { order.push_back(4); });
+    sim.At(bucket, [&order] { order.push_back(0); });
+    sim.At(bucket + 100, [&order] { order.push_back(2); });
+    sim.At(bucket, [&order] { order.push_back(1); });
+    sim.At(bucket + kFineWindow - 1, [&order] { order.push_back(5); });
+    sim.At(bucket + 100, [&order] { order.push_back(3); });
+  });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+}
+
+// Events at and beyond the coarse horizon overflow to the heap; when the
+// wheels drain, the coarse level re-bases onto them and the global order is
+// still exact — no gap and no double-dispatch at the horizon edge.
+TEST(TimingWheel, CoarseHorizonOverflowOrdering) {
+  Simulator sim(1);
+  std::vector<int> order;
+  sim.At(0, [&] {
+    sim.At(kCoarseHorizon + 1, [&order] { order.push_back(3); });
+    sim.At(kCoarseHorizon - 1, [&order] { order.push_back(1); });
+    sim.At(kCoarseHorizon, [&order] { order.push_back(2); });
+    sim.At(3 * kCoarseHorizon + 5, [&order] { order.push_back(4); });
+    sim.At(1000, [&order] { order.push_back(0); });
+    // Same-tick pair across a re-base: scheduled now, fires after the level
+    // re-anchors twice.
+    sim.At(3 * kCoarseHorizon + 5, [&order] { order.push_back(5); });
+  });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+}
+
+// RunUntil stops ON the boundary: events at exactly t run, events at t+1
+// do not, and the clock lands on t even when t is a window edge the wheel
+// has not anchored yet.
+TEST(TimingWheel, RunUntilStopsExactlyAtWindowEdge) {
+  Simulator sim(1);
+  std::vector<int> order;
+  sim.At(kFineWindow - 1, [&order] { order.push_back(0); });
+  sim.At(kFineWindow, [&order] { order.push_back(1); });
+  sim.At(kFineWindow + 1, [&order] { order.push_back(2); });
+
+  sim.RunUntil(kFineWindow - 1);
+  EXPECT_EQ(order, (std::vector<int>{0}));
+  EXPECT_EQ(sim.Now(), kFineWindow - 1);
+
+  sim.RunUntil(kFineWindow);
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+  EXPECT_EQ(sim.Now(), kFineWindow);
+
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+// RunUntil with nothing due advances the clock without disturbing pending
+// far events (the pure-peek property: no re-anchor without dispatch).
+TEST(TimingWheel, RunUntilIdleAdvanceKeepsFarEventsIntact) {
+  Simulator sim(1);
+  std::vector<Time> fired;
+  sim.At(2 * kCoarseHorizon, [&] { fired.push_back(sim.Now()); });
+  sim.RunUntil(500);
+  EXPECT_EQ(sim.Now(), Time{500});
+  EXPECT_TRUE(fired.empty());
+  sim.RunUntil(kCoarseHorizon);  // Still before the event; crosses the horizon.
+  EXPECT_TRUE(fired.empty());
+  sim.Run();
+  EXPECT_EQ(fired, (std::vector<Time>{2 * kCoarseHorizon}));
+}
+
+// Coroutine resumptions and callbacks scheduled for the same tick interleave
+// in scheduling order too — the payload tag (frame vs slot) must not affect
+// dispatch order.
+TEST(TimingWheel, CoroutinesAndCallbacksShareTickFifo) {
+  Simulator sim(1);
+  std::vector<int> order;
+  auto sleeper = [](Simulator* s, std::vector<int>* out, Time until, int id) -> Task<void> {
+    co_await s->WaitUntil(until);
+    out->push_back(id);
+  };
+  const Time tick = kFineWindow;  // First tick of the second window.
+  sim.At(0, [&] {
+    Spawn(sleeper(&sim, &order, tick, 0));  // Suspends; resumption queued first.
+    sim.At(tick, [&order] { order.push_back(1); });
+    Spawn(sleeper(&sim, &order, tick, 2));
+    sim.At(tick, [&order] { order.push_back(3); });
+  });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+// Delay(0) and Delay past-due clamp to "now": they run after the current
+// event completes, before time advances past now_, in scheduling order.
+TEST(TimingWheel, ZeroDelayRunsAtCurrentTickInOrder) {
+  Simulator sim(1);
+  std::vector<int> order;
+  sim.At(50, [&] {
+    sim.At(20, [&order] { order.push_back(0); });  // Past due: clamps to 50.
+    sim.At(50, [&order] { order.push_back(1); });
+    sim.After(0, [&order] { order.push_back(2); });
+  });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(sim.Now(), Time{50});
+}
+
+}  // namespace
+}  // namespace swarm::sim
