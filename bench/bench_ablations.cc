@@ -17,13 +17,14 @@
 #include <cstdio>
 
 #include "bench/common/harness.h"
+#include "bench/common/json_report.h"
 #include "bench/common/options.h"
 #include "bench/common/report.h"
 
 namespace swarm::bench {
 namespace {
 
-void ClockSkewSweep() {
+void ClockSkewSweep(JsonReport* rep, HostCostFooter* footer) {
   PrintHeader("Ablation A: clock skew vs Safe-Guess fast-path rate (YCSB A, 4 clients)");
   std::vector<std::vector<std::string>> rows;
   rows.push_back({"max_skew", "updates_1rt", "update_p50_us", "update_p99_us",
@@ -40,12 +41,18 @@ void ClockSkewSweep() {
     KvHarness harness(cfg);
     harness.Load();
     RunResults r = harness.Run();
+    footer->Add(harness);
     uint64_t one_rt = 0;
     uint64_t total = 0;
     for (const auto& [rt, n] : r.update_rtts) {
       total += n;
       one_rt += rt <= 1 ? n : 0;
     }
+    const std::string key = "skew" + std::to_string(skew_ns) + "ns";
+    rep->Metric(key + ".updates_1rt_pct", 100.0 * static_cast<double>(one_rt) /
+                                              static_cast<double>(total ? total : 1));
+    rep->Metric(key + ".update_p99_us", r.update_latency.PercentileUs(99));
+    rep->MetricU(key + ".clock_resyncs", harness.TotalClockResyncs());
     rows.push_back({skew_ns >= 1000 ? Fmt("%.0fus", static_cast<double>(skew_ns) / 1000.0)
                                     : Fmt("%.0fns", static_cast<double>(skew_ns)),
                     Fmt("%.1f%%", 100.0 * static_cast<double>(one_rt) /
@@ -60,7 +67,7 @@ void ClockSkewSweep() {
               "rate stays flat. Without re-sync, laggy writers would slow-path forever.\n");
 }
 
-void EscalationSweep() {
+void EscalationSweep(JsonReport* rep, HostCostFooter* footer) {
   PrintHeader("Ablation B: optimistic-majority escalation timeout (YCSB B, 4 clients)");
   std::vector<std::vector<std::string>> rows;
   rows.push_back({"timeout_us", "get_p50_us", "get_p99_us", "update_p99_us"});
@@ -75,6 +82,10 @@ void EscalationSweep() {
     KvHarness harness(cfg);
     harness.Load();
     RunResults r = harness.Run();
+    footer->Add(harness);
+    const std::string key = "esc" + std::to_string(timeout) + "ns";
+    rep->Metric(key + ".get_p99_us", r.get_latency.PercentileUs(99));
+    rep->Metric(key + ".update_p99_us", r.update_latency.PercentileUs(99));
     rows.push_back({Fmt("%.1f", static_cast<double>(timeout) / 1000.0),
                     Fmt("%.2f", r.get_latency.PercentileUs(50)),
                     Fmt("%.2f", r.get_latency.PercentileUs(99)),
@@ -85,7 +96,7 @@ void EscalationSweep() {
               "spurious escalations; too-loose ones delay failover (Fig. 11's blip).\n");
 }
 
-void ReplicationFreeLunchCheck() {
+void ReplicationFreeLunchCheck(JsonReport* rep, HostCostFooter* footer) {
   PrintHeader("Ablation C: what replication costs — SWARM-KV vs RAW per op type");
   std::vector<std::vector<std::string>> rows;
   rows.push_back({"workload", "raw_get", "swarm_get", "get_overhead", "raw_upd", "swarm_upd",
@@ -107,7 +118,13 @@ void ReplicationFreeLunchCheck() {
       } else {
         sw = harness.Run();
       }
+      footer->Add(harness);
     }
+    const std::string key = a ? "wlA" : "wlB";
+    rep->Metric(key + ".raw.get_p50_us", raw.get_latency.PercentileUs(50));
+    rep->Metric(key + ".swarm.get_p50_us", sw.get_latency.PercentileUs(50));
+    rep->Metric(key + ".raw.update_p50_us", raw.update_latency.PercentileUs(50));
+    rep->Metric(key + ".swarm.update_p50_us", sw.update_latency.PercentileUs(50));
     rows.push_back({a ? "A" : "B", Fmt("%.2f", raw.get_latency.PercentileUs(50)),
                     Fmt("%.2f", sw.get_latency.PercentileUs(50)),
                     Fmt("+%.0f%%", 100.0 * (sw.get_latency.PercentileUs(50) /
@@ -123,14 +140,19 @@ void ReplicationFreeLunchCheck() {
   std::printf("Paper: +27%% gets / +92%% updates (both sub-RTT absolute overhead).\n");
 }
 
-int Main() {
-  ClockSkewSweep();
-  EscalationSweep();
-  ReplicationFreeLunchCheck();
+int Main(int argc, char** argv) {
+  ParseBenchFlags(argc, argv);
+  JsonReport rep("ablations");
+  HostCostFooter footer;
+  ClockSkewSweep(&rep, &footer);
+  EscalationSweep(&rep, &footer);
+  ReplicationFreeLunchCheck(&rep, &footer);
+  footer.Flush(&rep);
+  rep.Write();
   return 0;
 }
 
 }  // namespace
 }  // namespace swarm::bench
 
-int main() { return swarm::bench::Main(); }
+int main(int argc, char** argv) { return swarm::bench::Main(argc, argv); }

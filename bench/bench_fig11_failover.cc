@@ -75,6 +75,21 @@ void RunOne(const char* store, JsonReport* rep, HostCostFooter* footer) {
   }
   rep->Metric(std::string(store) + ".post_crash_2ms.p50_us", post_crash.PercentileUs(50));
   rep->Metric(std::string(store) + ".post_crash_2ms.p99_us", post_crash.PercentileUs(99));
+  // Recovery timeline, bucket by bucket: the first ten 200 us buckets after
+  // the crash, gated individually so the SHAPE of the recovery (how fast
+  // latency decays back, how many ops land in each window) is part of the
+  // trajectory, not just the merged 2 ms aggregate. Missing buckets emit
+  // zeros so the key set is stable across runs.
+  for (int64_t b = 0; b < 10; ++b) {
+    const std::string bkey = std::string(store) + ".timeline.b" + std::to_string(b);
+    const auto hist_it = timeline.buckets.find(b);
+    const auto ops_it = timeline.ops.find(b);
+    rep->Metric(bkey + ".p50_us",
+                hist_it == timeline.buckets.end() ? 0.0 : hist_it->second.PercentileUs(50));
+    rep->Metric(bkey + ".p99_us",
+                hist_it == timeline.buckets.end() ? 0.0 : hist_it->second.PercentileUs(99));
+    rep->MetricU(bkey + ".ops", ops_it == timeline.ops.end() ? 0 : ops_it->second);
+  }
 
   std::printf("\n== %s (crash of node 0 at t=0) ==\n", store);
   std::printf("unavailable ops: %llu of %llu\n", static_cast<unsigned long long>(r.unavailable),

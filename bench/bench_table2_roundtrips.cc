@@ -13,13 +13,17 @@
 #include <cstdio>
 
 #include "bench/common/harness.h"
+#include "bench/common/json_report.h"
 #include "bench/common/options.h"
 #include "bench/common/report.h"
 
 namespace swarm::bench {
 namespace {
 
-int Main() {
+int Main(int argc, char** argv) {
+  ParseBenchFlags(argc, argv);
+  JsonReport rep("table2_roundtrips");
+  HostCostFooter footer;
   PrintHeader("Table 2: roundtrips for gets and updates (common case and 99th percentile)");
   std::vector<std::vector<std::string>> rows;
   rows.push_back({"system", "get_common", "update_common", "get_p99", "update_p99",
@@ -34,8 +38,15 @@ int Main() {
     KvHarness harness(cfg);
     harness.Load();
     RunResults r = harness.Run();
+    footer.Add(harness);
     auto [get_common, get_p99] = RttCommonAndP99(r.get_rtts);
     auto [up_common, up_p99] = RttCommonAndP99(r.update_rtts);
+    // Roundtrip counts are the bench's whole point: gate them both ways (an
+    // rtt change in either direction is a protocol-behavior change).
+    rep.MetricU(std::string(store) + ".get_common_rtts", static_cast<uint64_t>(get_common));
+    rep.MetricU(std::string(store) + ".update_common_rtts", static_cast<uint64_t>(up_common));
+    rep.MetricU(std::string(store) + ".get_p99_rtts", static_cast<uint64_t>(get_p99));
+    rep.MetricU(std::string(store) + ".update_p99_rtts", static_cast<uint64_t>(up_p99));
     rows.push_back({store, FmtU(static_cast<uint64_t>(get_common)),
                     FmtU(static_cast<uint64_t>(up_common)), FmtU(static_cast<uint64_t>(get_p99)),
                     FmtU(static_cast<uint64_t>(up_p99)), RttMix(r.get_rtts),
@@ -43,10 +54,12 @@ int Main() {
   }
   PrintTable(rows);
   std::printf("\nPaper: RAW 1/1 1/1; SWARM-KV 1/1 1/1; DM-ABD 2/2 2/2; FUSEE 1-2/4 2/5\n");
+  footer.Flush(&rep);
+  rep.Write();
   return 0;
 }
 
 }  // namespace
 }  // namespace swarm::bench
 
-int main() { return swarm::bench::Main(); }
+int main(int argc, char** argv) { return swarm::bench::Main(argc, argv); }

@@ -15,14 +15,19 @@
 #include <cstdio>
 
 #include "bench/common/harness.h"
+#include "bench/common/json_report.h"
 #include "bench/common/options.h"
 #include "bench/common/report.h"
 
 namespace swarm::bench {
 namespace {
 
-int Main() {
+int Main(int argc, char** argv) {
+  ParseBenchFlags(argc, argv);
   const uint64_t keys = EnvU64("SWARM_BENCH_T3_KEYS", 120000);
+  JsonReport rep("table3_resources");
+  rep.Label("t3_keys", std::to_string(keys));
+  HostCostFooter footer;
   PrintHeader("Table 3: resource consumption, YCSB B, 1KiB values, 4 clients");
   std::printf("(scaled run: %llu keys; disaggregated memory also extrapolated to 1M keys)\n",
               static_cast<unsigned long long>(keys));
@@ -55,6 +60,15 @@ int Main() {
     if (std::string(store) == "raw") {
       raw_per_key = per_key;
     }
+    footer.Add(harness);
+    // All four are deterministic virtual-time/accounting numbers. Names
+    // deliberately avoid the checker's directional suffixes (no "_pct"):
+    // resource CONSUMPTION drifting in either direction is a model change
+    // worth flagging, so both-ways gating is the right default.
+    rep.Metric(std::string(store) + ".cpu_util", cpu / 100.0);
+    rep.Metric(std::string(store) + ".cache_mib", cache_mib);
+    rep.Metric(std::string(store) + ".io_gbps", gbps);
+    rep.Metric(std::string(store) + ".disagg_gib", disagg / (1024.0 * 1024.0 * 1024.0));
     rows.push_back({store, Fmt("%.1f%%", cpu), Fmt("%.1f", cache_mib), Fmt("%.2f", gbps),
                     Fmt("%.2f", disagg / (1024.0 * 1024.0 * 1024.0)),
                     Fmt("%.2f", per_key * 1e6 / (1024.0 * 1024.0 * 1024.0)),
@@ -64,10 +78,12 @@ int Main() {
   std::printf("\nPaper: RAW 46.6%% / 22.9MiB / 6.55Gbps / 0.95GiB; DM-ABD 99%% / 22.9 / 6.99 /\n"
               "3.00 (3.16x); SWARM-KV 61.3%% / 30.5 / 7.41 / 4.06 (4.27x); FUSEE 74.2%% /\n"
               "22.9 / 8.15 / 2.04 (2.15x).\n");
+  footer.Flush(&rep);
+  rep.Write();
   return 0;
 }
 
 }  // namespace
 }  // namespace swarm::bench
 
-int main() { return swarm::bench::Main(); }
+int main(int argc, char** argv) { return swarm::bench::Main(argc, argv); }

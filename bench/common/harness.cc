@@ -19,7 +19,9 @@ KvHarness::KvHarness(HarnessConfig cfg) : cfg_(std::move(cfg)) {
   fabric_ = std::make_unique<fabric::Fabric>(sim_.get(), cfg_.fabric);
   index_ = std::make_unique<index::IndexService>(sim_.get(), fabric_.get(),
                                                  cfg_.fabric.one_way_delay,
-                                                 cfg_.fabric.delay_jitter, cfg_.fabric.submit_cost);
+                                                 cfg_.fabric.delay_jitter, cfg_.fabric.submit_cost,
+                                                 cfg_.index_shards);
+  index_->set_shard_service_time(cfg_.index_shard_service_time);
   membership_ = std::make_unique<membership::MembershipService>(sim_.get(), fabric_.get());
   fusee_ = std::make_unique<kv::FuseeStore>(fabric_.get());
   BuildClients();
@@ -30,7 +32,8 @@ void KvHarness::BuildClients() {
   for (int c = 0; c < cfg_.num_clients; ++c) {
     cpus_.push_back(std::make_unique<fabric::ClientCpu>(sim_.get()));
     caches_.push_back(std::make_unique<index::ClientCache>(
-        cfg_.cache_capacity, cfg_.store == "swarm" ? 32 : 24, cfg_.seed + static_cast<uint64_t>(c)));
+        cfg_.cache_capacity, cfg_.store == "swarm" ? 32 : 24, cfg_.seed + static_cast<uint64_t>(c),
+        cfg_.index_shards));
     const int64_t max_skew = cfg_.max_clock_skew_ns;
     const int64_t skew = max_skew > 0 ? sim_->rng().Range(-max_skew, max_skew) : 0;
     auto known_failed = std::make_shared<std::vector<bool>>(

@@ -40,6 +40,12 @@ struct HarnessConfig {
   ycsb::WorkloadConfig workload;
   int num_clients = 4;
   int workers_per_client = 1;  // Concurrent operations per client (§7.2).
+  // Index sharding (consistent hash of key): shards > 1 splits the service
+  // into independent shards and segments every client cache to match. The
+  // per-shard service occupancy models a real index server's serialization
+  // (0 keeps index ops latency-only, the pre-sharding behavior).
+  int index_shards = 1;
+  sim::Time index_shard_service_time = 0;
   uint64_t warmup_ops = 100000;
   uint64_t measure_ops = 100000;
   size_t cache_capacity = 0;  // Entries; 0 = unbounded.

@@ -32,6 +32,9 @@ BENCHES=(
   bench_fig11_failover
   bench_fig12_contention
   bench_fig13_max_buffers
+  bench_table2_roundtrips
+  bench_table3_resources
+  bench_ablations
 )
 
 for b in "${BENCHES[@]}"; do
@@ -45,5 +48,12 @@ done
 echo "== bench_event_loop $EXTRA_FLAG"
 # shellcheck disable=SC2086
 "$BUILD_DIR/bench_event_loop" $EXTRA_FLAG 500000 500000 20000 > /dev/null
+
+# The rtt-complexity binary emits its deterministic probe JSON up front;
+# the google-benchmark wall-clock fits are host-side only, so skip them here
+# (the filter matches nothing).
+echo "== bench_rtt_complexity $EXTRA_FLAG"
+# shellcheck disable=SC2086
+"$BUILD_DIR/bench_rtt_complexity" $EXTRA_FLAG --benchmark_filter='^$' > /dev/null
 
 echo "wrote $(ls "$OUT_DIR"/BENCH_*.json | wc -l) reports to $OUT_DIR"

@@ -1,0 +1,185 @@
+// Coalescing interval map over [begin, end) byte ranges — the core container
+// of the extent allocator (src/alloc/extent_allocator.h) and of the memory
+// node's retired-region fence set (src/fabric/memory_node.h).
+//
+// Two indexes are kept in lock-step:
+//   * by_addr_: begin -> end, ordered by address. Insertion coalesces with
+//     adjacent intervals, removal splits — so the map always holds the
+//     minimal set of maximal disjoint intervals, and overlap queries are
+//     O(log n) regardless of how many allocations ever touched the range.
+//   * by_size_: (length, begin), ordered by length. BestFit takes the
+//     smallest interval that can satisfy an aligned request, which keeps
+//     large extents intact for large requests (classic best-fit
+//     anti-fragmentation, the property tests/alloc_test.cc pins).
+//
+// Remove() is lenient: it removes the INTERSECTION of the given range with
+// the map. That is exactly what both users need — the allocator always
+// removes ranges it just found, and the fence set's RestoreRegion must cope
+// with a whole-extent fence being lifted slot-by-slot (migration flips
+// convert one extent-granularity fence into per-slot fences).
+
+#ifndef SWARM_SRC_ALLOC_FREE_MAP_H_
+#define SWARM_SRC_ALLOC_FREE_MAP_H_
+
+#include <cassert>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <utility>
+
+namespace swarm::alloc {
+
+class FreeMap {
+ public:
+  static constexpr uint64_t kNone = ~0ull;
+
+  // Inserts [begin, begin+len), coalescing with any adjacent or overlapping
+  // intervals (overlap is tolerated so fence re-arming is idempotent).
+  void Insert(uint64_t begin, uint64_t len) {
+    if (len == 0) {
+      return;
+    }
+    uint64_t end = begin + len;
+    // Swallow every interval that overlaps or touches [begin, end).
+    auto it = by_addr_.upper_bound(begin);
+    if (it != by_addr_.begin()) {
+      auto prev = std::prev(it);
+      if (prev->second >= begin) {
+        it = prev;
+      }
+    }
+    while (it != by_addr_.end() && it->first <= end) {
+      begin = std::min(begin, it->first);
+      end = std::max(end, it->second);
+      Unlink(it->first, it->second);
+      it = by_addr_.erase(it);
+    }
+    by_addr_.emplace(begin, end);
+    Link(begin, end);
+  }
+
+  // Removes the intersection of [begin, begin+len) with the map, splitting
+  // intervals as needed. Bytes outside the map are ignored.
+  void Remove(uint64_t begin, uint64_t len) {
+    if (len == 0 || by_addr_.empty()) {
+      return;
+    }
+    const uint64_t end = begin + len;
+    auto it = by_addr_.upper_bound(begin);
+    if (it != by_addr_.begin()) {
+      auto prev = std::prev(it);
+      if (prev->second > begin) {
+        it = prev;
+      }
+    }
+    while (it != by_addr_.end() && it->first < end) {
+      const uint64_t ib = it->first;
+      const uint64_t ie = it->second;
+      Unlink(ib, ie);
+      it = by_addr_.erase(it);
+      if (ib < begin) {
+        by_addr_.emplace(ib, begin);
+        Link(ib, begin);
+      }
+      if (ie > end) {
+        by_addr_.emplace(end, ie);
+        Link(end, ie);
+        break;
+      }
+    }
+  }
+
+  // True when [begin, begin+len) intersects any interval. len == 0 is
+  // treated as a 1-byte probe (same convention as MemoryNode::RegionRetired).
+  bool Overlaps(uint64_t begin, uint64_t len) const {
+    if (by_addr_.empty()) {
+      return false;
+    }
+    const uint64_t end = begin + (len > 0 ? len : 1);
+    auto it = by_addr_.upper_bound(begin);
+    if (it != by_addr_.begin()) {
+      auto prev = std::prev(it);
+      if (prev->second > begin) {
+        return true;
+      }
+    }
+    return it != by_addr_.end() && it->first < end;
+  }
+
+  // True when [begin, begin+len) lies entirely inside one interval.
+  bool Contains(uint64_t begin, uint64_t len) const {
+    if (by_addr_.empty()) {
+      return false;
+    }
+    auto it = by_addr_.upper_bound(begin);
+    if (it == by_addr_.begin()) {
+      return false;
+    }
+    auto prev = std::prev(it);
+    return prev->first <= begin && begin + len <= prev->second;
+  }
+
+  // Carves `len` bytes at `align` from the smallest interval that fits and
+  // returns the aligned address, or kNone. Remainders are re-inserted, so a
+  // carve never loses bytes to internal fragmentation.
+  uint64_t BestFit(uint64_t len, uint64_t align) {
+    assert(len > 0 && (align & (align - 1)) == 0);
+    for (auto it = by_size_.lower_bound({len, 0}); it != by_size_.end(); ++it) {
+      const uint64_t begin = it->second;
+      const uint64_t end = begin + it->first;
+      const uint64_t aligned = (begin + align - 1) & ~(align - 1);
+      if (aligned + len > end) {
+        continue;  // Alignment padding does not fit; try the next-larger one.
+      }
+      by_addr_.erase(begin);
+      by_size_.erase(it);
+      total_ -= end - begin;
+      if (aligned > begin) {
+        by_addr_.emplace(begin, aligned);
+        Link(begin, aligned);
+      }
+      if (aligned + len < end) {
+        by_addr_.emplace(aligned + len, end);
+        Link(aligned + len, end);
+      }
+      return aligned;
+    }
+    return kNone;
+  }
+
+  uint64_t total() const { return total_; }
+  uint64_t largest() const { return by_size_.empty() ? 0 : by_size_.rbegin()->first; }
+  size_t interval_count() const { return by_addr_.size(); }
+  bool empty() const { return by_addr_.empty(); }
+  void clear() {
+    by_addr_.clear();
+    by_size_.clear();
+    total_ = 0;
+  }
+
+  // Deterministic address-ordered walk: fn(begin, len).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const auto& [b, e] : by_addr_) {
+      fn(b, e - b);
+    }
+  }
+
+ private:
+  void Link(uint64_t begin, uint64_t end) {
+    by_size_.emplace(end - begin, begin);
+    total_ += end - begin;
+  }
+  void Unlink(uint64_t begin, uint64_t end) {
+    by_size_.erase({end - begin, begin});
+    total_ -= end - begin;
+  }
+
+  std::map<uint64_t, uint64_t> by_addr_;                 // begin -> end
+  std::set<std::pair<uint64_t, uint64_t>> by_size_;      // (len, begin)
+  uint64_t total_ = 0;
+};
+
+}  // namespace swarm::alloc
+
+#endif  // SWARM_SRC_ALLOC_FREE_MAP_H_

@@ -152,6 +152,7 @@ Fabric::Fabric(sim::Simulator* sim, FabricConfig config)
   nodes_.reserve(static_cast<size_t>(max_nodes_));
   for (int i = 0; i < config_.num_nodes; ++i) {
     nodes_.push_back(std::make_unique<MemoryNode>(config_.node_capacity_bytes));
+    nodes_.back()->set_now_fn([sim] { return sim->Now(); });
   }
   // Sized to the lifetime bound so hot-added nodes slot in without moving
   // any per-node state.
@@ -164,6 +165,7 @@ int Fabric::AddNode() {
     return -1;  // Admission plans are bounded by config.max_nodes.
   }
   nodes_.push_back(std::make_unique<MemoryNode>(config_.node_capacity_bytes));
+  nodes_.back()->set_now_fn([sim = sim_] { return sim->Now(); });
   nodes_.back()->set_fence_epoch(fence_epoch_);
   nodes_.back()->set_fence_enforced(fence_enforced_);
   return id;

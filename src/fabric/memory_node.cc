@@ -8,6 +8,8 @@ namespace swarm::fabric {
 MemoryNode::MemoryNode(uint64_t capacity_bytes)
     : mem_(static_cast<uint8_t*>(std::calloc(capacity_bytes, 1))), capacity_(capacity_bytes) {
   assert(mem_ != nullptr);
+  extent_.Reset(/*base=*/64, capacity_);  // Address 0 is reserved as null.
+  slab_.Reset(&extent_);
 }
 
 void MemoryNode::ReadInto(uint64_t addr, std::span<uint8_t> out) const {
@@ -42,46 +44,45 @@ uint64_t MemoryNode::CasWord(uint64_t addr, uint64_t expected, uint64_t desired)
 
 uint64_t MemoryNode::Allocate(uint64_t size, uint64_t align) {
   assert((align & (align - 1)) == 0 && "alignment must be a power of two");
-  const uint64_t aligned = (next_free_ + align - 1) & ~(align - 1);
-  assert(aligned + size <= capacity_ && "memory node out of capacity");
-  next_free_ = aligned + size;
-  return aligned;
+  const uint64_t addr = extent_.Allocate(size, align);
+  assert(addr != alloc::ExtentAllocator::kNone && "memory node out of capacity");
+  // Reused ranges carry old contents; the cluster invariant is that fresh
+  // buffers come back zeroed (§5.3.1), so clear on allocation.
+  std::memset(mem_.get() + addr, 0, size);
+  return addr;
 }
+
+void MemoryNode::Free(uint64_t addr, uint64_t size) { extent_.Free(addr, size); }
+
+uint64_t MemoryNode::AllocSlot(uint64_t slot_bytes) {
+  const uint64_t addr = slab_.AllocSlot(slot_bytes);
+  assert(addr != alloc::SlabAllocator::kNone && "memory node out of capacity");
+  std::memset(mem_.get() + addr, 0, slot_bytes);
+  return addr;
+}
+
+bool MemoryNode::FreeSlot(uint64_t addr) { return slab_.FreeSlot(addr); }
 
 void MemoryNode::Recover(bool preserve_reservations) {
   failed_ = false;
-  std::memset(mem_.get(), 0, next_free_);  // Only touched pages need clearing.
+  // Only touched pages need clearing.
+  std::memset(mem_.get(), 0, extent_.high_water());
   if (!preserve_reservations) {
-    next_free_ = 64;
+    extent_.Reset(/*base=*/64, capacity_);
+    slab_.Reset(&extent_);
   }
 }
 
 void MemoryNode::RetireRegion(uint64_t addr, uint64_t len) {
-  if (len == 0) {
-    return;
-  }
-  retired_.emplace_back(addr, addr + len);
+  retired_.Insert(addr, len);
 }
 
 void MemoryNode::RestoreRegion(uint64_t addr, uint64_t len) {
-  const std::pair<uint64_t, uint64_t> interval(addr, addr + len);
-  for (size_t i = 0; i < retired_.size(); ++i) {
-    if (retired_[i] == interval) {
-      retired_[i] = retired_.back();
-      retired_.pop_back();
-      return;
-    }
-  }
+  retired_.Remove(addr, len);
 }
 
 bool MemoryNode::RegionRetired(uint64_t addr, uint64_t len) const {
-  const uint64_t end = addr + (len > 0 ? len : 1);
-  for (const auto& [b, e] : retired_) {
-    if (addr < e && end > b) {
-      return true;
-    }
-  }
-  return false;
+  return retired_.Overlaps(addr, len);
 }
 
 }  // namespace swarm::fabric

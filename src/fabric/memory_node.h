@@ -1,9 +1,10 @@
 // A passive disaggregated-memory node.
 //
-// The node is a byte array plus a bump allocator. It runs no protocol logic
-// whatsoever — all intelligence lives in the clients, as required by SWARM's
-// setting (CXL-style memory, or RDMA NICs without two-sided ops). The fabric
-// layer decides *when* (in virtual time) each access executes; the node only
+// The node is a byte array plus an extent/slab allocator
+// (src/alloc/extent_allocator.h). It runs no protocol logic whatsoever — all
+// intelligence lives in the clients, as required by SWARM's setting
+// (CXL-style memory, or RDMA NICs without two-sided ops). The fabric layer
+// decides *when* (in virtual time) each access executes; the node only
 // performs the raw memory operation at that instant.
 
 #ifndef SWARM_SRC_FABRIC_MEMORY_NODE_H_
@@ -11,11 +12,13 @@
 
 #include <cstdint>
 #include <cstdlib>
+#include <functional>
 #include <memory>
 #include <span>
 #include <utility>
 #include <vector>
 
+#include "src/alloc/extent_allocator.h"
 #include "src/fabric/verbs.h"
 #include "src/sim/time.h"
 
@@ -33,12 +36,37 @@ class MemoryNode {
   // Atomic 64-bit CAS. Returns the previous value; swaps iff it == expected.
   uint64_t CasWord(uint64_t addr, uint64_t expected, uint64_t desired);
 
-  // --- Allocation (setup-time / client pre-allocation; zero-initialized). ---
-  // Returns the base address of a fresh region of `size` bytes with the given
-  // power-of-two alignment (default 8).
+  // --- Allocation (control plane; returned regions are zero-initialized). ---
+  // Returns the base address of a fresh extent of `size` bytes with the given
+  // power-of-two alignment (default 8), by best-fit over the coalescing free
+  // map.
   uint64_t Allocate(uint64_t size, uint64_t align = 8);
-  uint64_t bytes_allocated() const { return next_free_; }
+  // Returns [addr, addr+size) to the allocator. Freed ranges sit in a
+  // virtual-time quarantine (when a time source is wired via set_now_fn)
+  // long enough that no straggler verb against the old owner can still be in
+  // flight when the address is reused.
+  void Free(uint64_t addr, uint64_t size);
+  // Fixed-size slot in a slab extent (the per-replica object slots). Slots of
+  // one size class are contiguous within their extent, so repair can harvest
+  // and migration can fence a whole extent at once.
+  uint64_t AllocSlot(uint64_t slot_bytes);
+  bool FreeSlot(uint64_t addr);
+  // Extent descriptor for a slab slot address (nullptr if not a slab slot).
+  const alloc::SlabAllocator::Extent* SlotExtentOf(uint64_t addr) const {
+    return slab_.ExtentOf(addr);
+  }
+  // Virtual-time source for the free quarantines (wired by Fabric).
+  void set_now_fn(std::function<int64_t()> fn) {
+    extent_.set_now_fn(fn);
+    slab_.set_now_fn(std::move(fn));
+  }
+
+  // High-water footprint: 1 + the highest byte ever handed out. Monotone
+  // across frees (Recover() memsets this range; Table 3 reports it).
+  uint64_t bytes_allocated() const { return extent_.high_water(); }
+  uint64_t live_bytes() const { return extent_.live_bytes(); }
   uint64_t capacity() const { return capacity_; }
+  const alloc::ExtentAllocator& extent_allocator() const { return extent_; }
 
   // --- Failure injection. ---
   void Crash() { failed_ = true; }
@@ -102,7 +130,7 @@ class MemoryNode {
     if (!repair_channel && verb_epoch < fence_epoch_ && fence_enforced_) {
       return Status::kStaleEpoch;
     }
-    if (!repair_channel && !retired_.empty() && RegionRetired(addr, len)) {
+    if (!repair_channel && !retired_.empty() && retired_.Overlaps(addr, len)) {
       return Status::kMovedReplica;
     }
     return Status::kOk;
@@ -114,12 +142,15 @@ class MemoryNode {
   // coordinator's repair channel stays exempt so it can harvest the frozen
   // final state. Retirement survives Recover(preserve_reservations): a
   // crash-repair cycle must not resurrect a region whose ownership moved.
+  // The retired set is a coalescing interval map, so a migration can fence a
+  // whole slab extent with ONE interval and later lift it slot-by-slot
+  // (RestoreRegion removes the intersection, splitting as needed).
   void RetireRegion(uint64_t addr, uint64_t len);
-  // Aborted migration (pre-remap): lifts the fence so the cluster is exactly
-  // as before the attempt.
+  // Aborted migration (pre-remap) or retired-layout GC: lifts the fence so
+  // the range is admissible (and reusable) again.
   void RestoreRegion(uint64_t addr, uint64_t len);
   bool RegionRetired(uint64_t addr, uint64_t len) const;
-  size_t retired_region_count() const { return retired_.size(); }
+  size_t retired_region_count() const { return retired_.interval_count(); }
 
   // Extra per-op delay (simulates an overloaded or distant node).
   void set_extra_delay(sim::Time d) { extra_delay_ = d; }
@@ -131,15 +162,17 @@ class MemoryNode {
   };
 
   // calloc-backed so untouched pages cost nothing (multi-GiB nodes are cheap
-  // to model) and memory starts zeroed ("cleared buffers", §5.3.1).
+  // to model) and memory starts zeroed ("cleared buffers", §5.3.1). Allocate
+  // re-zeroes on reuse to preserve the invariant.
   std::unique_ptr<uint8_t[], FreeDeleter> mem_;
   uint64_t capacity_;
-  uint64_t next_free_ = 64;  // Address 0 is reserved as a null pointer.
+  alloc::ExtentAllocator extent_;  // Owns [64, capacity); 0 is null.
+  alloc::SlabAllocator slab_;
   bool failed_ = false;
   bool repair_fenced_ = false;
-  // Retired [begin, end) intervals, unordered; migrations retire a handful
-  // of regions per moved extent, so a linear overlap scan is fine.
-  std::vector<std::pair<uint64_t, uint64_t>> retired_;
+  // Retired intervals, coalescing. O(log n) overlap checks keep admission
+  // cheap even with thousands of long-lived migration fences.
+  alloc::FreeMap retired_;
   uint64_t fence_epoch_ = 0;  // 0 = never fenced; every stamp passes.
   bool fence_enforced_ = true;
   mutable uint64_t stale_landings_ = 0;

@@ -8,6 +8,21 @@
 // fabric-like access latency: every operation costs one client submission
 // plus a network roundtrip.
 //
+// The service is SHARDED by consistent hash of the key (ShardRouter): each
+// shard owns an independent map, retired list, and GC bookkeeping, and an
+// optional per-shard service occupancy (set_shard_service_time) models the
+// serialization a single index server would impose — N shards give N-way
+// service parallelism, which is what lets lookup/insert/retire throughput
+// scale past one server. One shard (the default) is byte-for-byte the old
+// single-service behavior.
+//
+// The service also maintains the cluster's inverse PlacementMap
+// (node -> slots): every insert/replace registers the layout's replica
+// slots, migration flips mark vacated slots moved, and the retired-layout GC
+// releases a dropped layout's slots back to the node allocators — lifting
+// the migration fences that protected them. Repair and drain walk this map,
+// making both O(slots-on-node) instead of O(store).
+//
 // Entries carry a generation number so that a delete's background unmap
 // (§5.3.2) cannot erase a newer mapping racing in from a re-insert.
 
@@ -23,6 +38,8 @@
 #include <vector>
 
 #include "src/fabric/fabric.h"
+#include "src/index/placement_map.h"
+#include "src/index/shard_router.h"
 #include "src/sim/simulator.h"
 #include "src/sim/task.h"
 #include "src/swarm/layout.h"
@@ -47,12 +64,14 @@ class IndexService {
   // leg and drop bursts trigger RPC retransmissions (the transport is
   // reliable, so a drop costs a retransmission timeout rather than losing
   // the operation — but the fault windows it opens between the data path and
-  // the index are real). Null keeps the service fault-free.
+  // the index are real). Null keeps the service fault-free. `shards` > 1
+  // splits the keyspace across independent shards (consistent hash).
   IndexService(sim::Simulator* sim, fabric::Fabric* fabric = nullptr,
                sim::Time one_way_delay = 680, sim::Time jitter = 90,
-               sim::Time submit_cost = 200)
+               sim::Time submit_cost = 200, int shards = 1)
       : sim_(sim), fabric_(fabric), one_way_(one_way_delay), jitter_(jitter),
-        submit_cost_(submit_cost) {}
+        submit_cost_(submit_cost), router_(shards),
+        shards_(static_cast<size_t>(router_.shards())) {}
 
   // One-roundtrip lookup. nullopt = key not mapped.
   sim::Task<std::optional<IndexEntry>> Lookup(uint64_t key, fabric::ClientCpu* cpu);
@@ -74,8 +93,8 @@ class IndexService {
   // concurrent delete unmapped the key, or a racing re-insert replaced it) —
   // the migration then aborts and the destination copy is abandoned. The old
   // layout enters the retired list as MOVED: still referenceable by stale
-  // caches (so GC keeps it quarantined), but its replica slots are
-  // permanently fenced, so repair must NOT restore them.
+  // caches (so GC keeps it quarantined), but its replica slots are fenced on
+  // the source nodes, so repair must NOT restore them.
   sim::Task<uint64_t> ReplaceLayout(uint64_t key, uint64_t expected_generation,
                                     std::shared_ptr<const ObjectLayout> layout,
                                     fabric::ClientCpu* cpu);
@@ -86,14 +105,20 @@ class IndexService {
   // coupled to the memory recycler's epochs (set_retirement_horizon): each
   // entry is tagged with the recycler epoch current at retirement, and once
   // the safe horizon passes it the layout is dropped for good.
+  //
+  // Externally-retired layouts (insert losers that never got a mapping) are
+  // registered in the placement map here so their replica slots are released
+  // at GC time — un-mapped layouts used to leak their slots forever.
   void Retire(std::shared_ptr<const ObjectLayout> layout) { Retire(std::move(layout), false); }
   // `moved` marks a layout retired by a migration flip rather than a delete:
   // its regions are fenced on the source nodes (kMovedReplica) and the
   // authoritative state lives in the replacement layout, so the repair walk
   // must skip it — restoring it would write stale state behind the fence.
   void Retire(std::shared_ptr<const ObjectLayout> layout, bool moved) {
-    retired_.push_back({std::move(layout), retire_epoch_fn_ ? retire_epoch_fn_() : 0, false, moved});
-    GcRetired();  // Opportunistic: churn keeps the list bounded by itself.
+    if (!moved) {
+      placement_.Register(/*key=*/0, layout);
+    }
+    RetireToShard(/*shard=*/0, std::move(layout), moved);
   }
 
   // One unmapped-but-still-referenceable layout: the recycler epoch that was
@@ -106,10 +131,12 @@ class IndexService {
   };
 
   // Retired layouts still inside the recycler's safe horizon, in retirement
-  // order. Repair must restore these too: a stale-cached client can still
-  // read a retired object, and a rejoined replica that misses its tombstone
-  // would pair with a stale survivor and resurrect the deleted value.
-  const std::vector<RetiredLayout>& retired() const { return retired_; }
+  // order, for ONE shard (default: shard 0 — the whole service when
+  // unsharded). Repair no longer walks this (the placement map covers
+  // retired slots too); it remains for tests and diagnostics.
+  const std::vector<RetiredLayout>& retired(int shard = 0) const {
+    return shards_[static_cast<size_t>(shard)].retired;
+  }
 
   // Couples retirement to the recycler (§4.5): `current_epoch` tags new
   // retirements, `safe_before` is Recycler::SafeReclaimBefore. SAFETY of the
@@ -138,92 +165,92 @@ class IndexService {
     gc_listeners_.push_back(std::move(fn));
   }
 
-  // Drops retired layouts the safe horizon has passed; returns how many were
-  // dropped. Called opportunistically on Retire and by the repair walk.
+  // Drops retired layouts the safe horizon has passed (each shard GCs its own
+  // list); returns how many were dropped. Called opportunistically on Retire
+  // and by the repair walk.
   //
-  // Dropped layouts leave the MODEL (repair stops restoring them, the 24 B/
-  // entry bookkeeping is gone) but their C++ objects are parked in a
-  // graveyard until the simulation ends: straggler coroutines (background
-  // promotions, write-back waves) hold raw ObjectLayout pointers, exactly
-  // like a real fenced client can still issue accesses at reclaimed
-  // addresses. Memory-node addresses are never reused by the bump allocator,
-  // so such touches are harmless — the graveyard is the client-side
-  // quarantine that makes them harmless in the simulator too.
-  size_t GcRetired() {
-    if (!safe_before_fn_ || retired_.empty()) {
-      return 0;
-    }
-    const uint64_t horizon = safe_before_fn_();
-    // Pass 1: tell caches to drop references to every horizon-passed layout
-    // (the §4.5 message). This releases their shared_ptr copies, so pass 2's
-    // use-count gate sees only genuine in-flight holders. Once notified, a
-    // retired layout can never re-enter a cache (it is unmapped; re-inserts
-    // build fresh layouts), so each layout is notified exactly once even
-    // when an in-flight holder pins it across many GC calls.
-    for (auto& r : retired_) {
-      if (r.epoch < horizon && !r.caches_notified) {
-        r.caches_notified = true;
-        for (auto& fn : gc_listeners_) {
-          fn(r.layout);
-        }
-      }
-    }
-    size_t kept = 0;
-    for (auto& r : retired_) {
-      // use_count == 1: only this retired entry still references the layout
-      // — no cache entry, no in-flight Located copy. Exact in the
-      // single-threaded simulation.
-      if (r.epoch >= horizon || r.layout.use_count() > 1) {
-        retired_[kept++] = std::move(r);
-      } else {
-        graveyard_.push_back(std::move(r.layout));
-      }
-    }
-    const size_t dropped = retired_.size() - kept;
-    retired_.resize(kept);
-    retired_dropped_ += dropped;
-    return dropped;
-  }
+  // Dropping a layout releases its placement-map slots: the node-side fences
+  // over vacated (moved) slots are lifted and the slots go back to the slab
+  // allocator — through its straggler quarantine, which is what makes the
+  // recycling safe even though straggler coroutines may hold raw
+  // ObjectLayout pointers a while longer (their C++ objects are parked in a
+  // graveyard until the simulation ends, mirroring a fenced client that can
+  // still issue accesses at reclaimed addresses).
+  size_t GcRetired();
 
   uint64_t retired_dropped() const { return retired_dropped_; }
 
   // Direct (zero-roundtrip) inspection, used by the benchmark harness to
   // pre-warm client caches as an infinitely long warm-up phase would.
   const IndexEntry* Peek(uint64_t key) const {
-    auto it = map_.find(key);
-    return it == map_.end() ? nullptr : &it->second;
+    const Shard& sh = shards_[static_cast<size_t>(router_.ShardOf(key))];
+    auto it = sh.map.find(key);
+    return it == sh.map.end() ? nullptr : &it->second;
   }
 
   const IndexStats& stats() const { return stats_; }
-  size_t size() const { return map_.size(); }
+  size_t size() const {
+    size_t n = 0;
+    for (const Shard& sh : shards_) {
+      n += sh.map.size();
+    }
+    return n;
+  }
+  int shard_count() const { return router_.shards(); }
 
-  // Deterministic (key-sorted) snapshot of the live mappings — the repair
-  // coordinator walks this to find every replica slot a recovering node
-  // hosts. Entries inserted after the snapshot need no repair: their writes
-  // quorum-excluded the recovering node, so any future majority intersects
-  // the replicas that did ack.
+  // Models the per-shard server occupancy: every op holds its shard for
+  // `t` ns of service time (FIFO). 0 (default) = infinitely fast servers,
+  // the pre-sharding behavior. With it, N shards give N-way parallelism —
+  // the scalability the fig8 key-count axis measures.
+  void set_shard_service_time(sim::Time t) { service_time_ = t; }
+
+  // The cluster's inverse placement map (node -> slots). Repair and
+  // migration walk this instead of the key-sorted store snapshot.
+  const PlacementMap& placement() const { return placement_; }
+
+  // Deterministic (key-sorted) snapshot of the live mappings across all
+  // shards — admission rebalancing scans this; repair does not (it walks the
+  // placement map). Entries inserted after the snapshot need no repair:
+  // their writes quorum-excluded the recovering node, so any future majority
+  // intersects the replicas that did ack.
   std::vector<std::pair<uint64_t, IndexEntry>> SnapshotSorted() const;
 
   // Approximate per-key memory footprint on the index servers (24 B location
   // record, as §5.2), for the resource accounting of Table 3.
-  uint64_t ModeledBytes() const { return map_.size() * 24; }
+  uint64_t ModeledBytes() const { return size() * 24; }
 
  private:
+  struct Shard {
+    std::unordered_map<uint64_t, IndexEntry> map;
+    std::vector<RetiredLayout> retired;
+    sim::Time busy_until = 0;
+  };
+
   // One network roundtrip to the index server, including client submission.
   // The request leg completes before the caller's map access; the response
   // leg after it — so chaos faults can delay a mutation's acknowledgement
   // past the instant the mapping became visible to other clients.
   sim::Task<void> Roundtrip(fabric::ClientCpu* cpu);
   sim::Task<void> Leg(bool response);
+  // FIFO occupancy of one shard's server (no-op when service_time_ == 0).
+  sim::Task<void> Occupy(int shard);
+
+  void RetireToShard(int shard, std::shared_ptr<const ObjectLayout> layout, bool moved) {
+    shards_[static_cast<size_t>(shard)].retired.push_back(
+        {std::move(layout), retire_epoch_fn_ ? retire_epoch_fn_() : 0, false, moved});
+    GcRetired();  // Opportunistic: churn keeps the lists bounded by itself.
+  }
 
   sim::Simulator* sim_;
   fabric::Fabric* fabric_;
   sim::Time one_way_;
   sim::Time jitter_;
   sim::Time submit_cost_;
-  uint64_t next_generation_ = 1;
-  std::unordered_map<uint64_t, IndexEntry> map_;
-  std::vector<RetiredLayout> retired_;
+  sim::Time service_time_ = 0;
+  uint64_t next_generation_ = 1;  // Global: generations order across shards.
+  ShardRouter router_;
+  std::vector<Shard> shards_;
+  PlacementMap placement_;
   std::vector<std::shared_ptr<const ObjectLayout>> graveyard_;  // Lifetime only.
   std::function<uint64_t()> retire_epoch_fn_;
   std::function<uint64_t()> safe_before_fn_;

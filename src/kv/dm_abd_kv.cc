@@ -40,7 +40,7 @@ std::shared_ptr<const ObjectLayout> DmAbdKvSession::AllocateForKey(uint64_t key)
   const int n = worker_->fabric()->num_nodes();
   int nodes[kMaxReplicas];
   const uint64_t h = hash::Mix64(key, 0x414244);  // "ABD"
-  PlaceReplicas(h, cfg.replicas, n, serving_.get(), nodes);
+  place_.Pick(h, cfg.replicas, n, serving_.get(), nodes);
   // One shared metadata word, no in-place region: pure out-of-place ABD.
   return std::make_shared<ObjectLayout>(AllocateObject(*worker_->fabric(), nodes, cfg.replicas,
                                                        /*meta_slots=*/1, /*max_writers=*/1,

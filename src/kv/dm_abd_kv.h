@@ -14,6 +14,7 @@
 #include "src/index/client_cache.h"
 #include "src/index/index_service.h"
 #include "src/kv/kv_types.h"
+#include "src/swarm/placement.h"
 #include "src/swarm/abd.h"
 #include "src/swarm/worker.h"
 
@@ -55,6 +56,7 @@ class DmAbdKvSession : public KvSession {
   index::IndexService* index_;
   index::ClientCache* cache_;
   std::shared_ptr<const std::vector<bool>> serving_;
+  PlacementProbe place_;  // Minimal-remap placement over the serving set.
 };
 
 }  // namespace swarm::kv

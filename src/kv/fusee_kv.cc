@@ -51,11 +51,14 @@ FuseeStore::KeyMeta& FuseeStore::MetaFor(uint64_t key) {
   const int n = fabric_->num_nodes();
   const uint64_t h = hash::Mix64(key, 0x465553454545);  // "FUSEE"
   int nodes[2];
-  PlaceReplicas(h, 2, n, serving_.get(), nodes);
+  place_.Pick(h, 2, n, serving_.get(), nodes);
   meta.primary = nodes[0];
   meta.backup = nodes[1];
-  meta.index_addr_primary = fabric_->node(meta.primary).Allocate(8);
-  meta.index_addr_backup = fabric_->node(meta.backup).Allocate(8);
+  // 8 B index slots come from the slab (size class 8) so a node's slots
+  // cluster into extents the repair/migration walks can harvest together.
+  meta.index_addr_primary = fabric_->node(meta.primary).AllocSlot(8);
+  meta.index_addr_backup = fabric_->node(meta.backup).AllocSlot(8);
+  RegisterKey(key, meta.primary, meta.backup);
   return directory_.emplace(key, meta).first->second;
 }
 
@@ -134,21 +137,36 @@ BlockParse ParseBlock(sim::Bytes block, uint32_t max_value, uint64_t word) {
 
 }  // namespace
 
+void FuseeStore::RegisterKey(uint64_t key, int primary, int backup) {
+  const auto need = static_cast<size_t>(std::max(primary, backup)) + 1;
+  if (node_keys_.size() < need) {
+    node_keys_.resize(need);
+  }
+  node_keys_[static_cast<size_t>(primary)].insert(key);
+  node_keys_[static_cast<size_t>(backup)].insert(key);
+}
+
+void FuseeStore::ReplaceHome(uint64_t key, int old_primary, int old_backup, int new_primary,
+                             int new_backup) {
+  node_keys_[static_cast<size_t>(old_primary)].erase(key);
+  node_keys_[static_cast<size_t>(old_backup)].erase(key);
+  RegisterKey(key, new_primary, new_backup);
+}
+
 sim::Task<repair::RepairOutcome> FuseeStore::RepairNode(int node, Worker* worker,
                                                         const repair::RepairConfig& config) {
   (void)config;  // FUSEE keeps no tombstones: a removed key IS the zero slot.
   repair::RepairOutcome out;
   out.complete = true;
-  // Index-guided log scan: the directory names every slot the node hosts;
-  // key-sorted for deterministic replay.
+  // Index-guided log scan over the node's inverse registry: O(keys-on-node),
+  // not O(directory). The set is ordered, so the walk replays
+  // deterministically; snapshot it first (concurrent inserts may grow it).
   std::vector<uint64_t> keys;
-  keys.reserve(directory_.size());
-  for (const auto& [key, meta] : directory_) {
-    if (meta.primary == node || meta.backup == node) {
-      keys.push_back(key);
-    }
+  if (static_cast<size_t>(node) < node_keys_.size()) {
+    const std::set<uint64_t>& hosted = node_keys_[static_cast<size_t>(node)];
+    keys.assign(hosted.begin(), hosted.end());
   }
-  std::sort(keys.begin(), keys.end());
+  out.slots_walked = keys.size();
   const uint32_t max_value = worker->config().max_value;
   for (uint64_t key : keys) {
     KeyMeta& meta = directory_.find(key)->second;
@@ -297,22 +315,23 @@ sim::Task<bool> FuseeStore::MigrateKey(uint64_t key, int from, Worker* worker,
   const int survivor = meta.primary == from ? meta.backup : meta.primary;
   int dest = -1;
   {
-    std::vector<int> candidates;
-    const int n = fabric_->num_nodes();
+    int candidates[PlacementProbe::kMaxNodes];
+    size_t num_candidates = 0;
+    const int n = std::min(fabric_->num_nodes(), PlacementProbe::kMaxNodes);
     for (int i = 0; i < n; ++i) {
       const auto idx = static_cast<size_t>(i);
       const bool serving = serving_ == nullptr || serving_->empty() ||
                            (idx < serving_->size() && (*serving_)[idx]);
       if (serving && !NodeFailed(i) && !worker->NodeQuorumExcluded(i) && i != from &&
           i != survivor) {
-        candidates.push_back(i);
+        candidates[num_candidates++] = i;
       }
     }
-    if (candidates.empty()) {
+    if (num_candidates == 0) {
       ++keys_aborted_;
       co_return false;
     }
-    dest = candidates[(key * 0x9E3779B97F4A7C15ull) % candidates.size()];
+    dest = candidates[(key * 0x9E3779B97F4A7C15ull) % num_candidates];
   }
   const int np = meta.primary == from ? dest : meta.primary;
   const int nb = meta.backup == from ? dest : meta.backup;
@@ -368,8 +387,8 @@ sim::Task<bool> FuseeStore::MigrateKey(uint64_t key, int from, Worker* worker,
   uint64_t np_slot = 0;
   uint64_t nb_slot = 0;
   if (harvested) {
-    np_slot = fabric_->node(np).Allocate(8);
-    nb_slot = fabric_->node(nb).Allocate(8);
+    np_slot = fabric_->node(np).AllocSlot(8);
+    nb_slot = fabric_->node(nb).AllocSlot(8);
   }
   if (harvested && word != 0) {
     np_oop = worker->pool(np).AllocIdx();
@@ -404,6 +423,13 @@ sim::Task<bool> FuseeStore::MigrateKey(uint64_t key, int from, Worker* worker,
     if (nb_oop != 0) {
       worker->pool(nb).Free(nb_oop);
     }
+    if (np_slot != 0) {
+      // Never published (the directory still names the old slots) and all
+      // writes against them have completed, so the fresh slots recycle
+      // safely.
+      fabric_->node(np).FreeSlot(np_slot);
+      fabric_->node(nb).FreeSlot(nb_slot);
+    }
     if (!disable_flip_fence) {
       fabric_->node(old_primary).RestoreRegion(old_slot_primary, 8);
       fabric_->node(old_backup).RestoreRegion(old_slot_backup, 8);
@@ -425,6 +451,7 @@ sim::Task<bool> FuseeStore::MigrateKey(uint64_t key, int from, Worker* worker,
   meta.index_addr_backup = nb_slot;
   meta.last_backup_oop = nb_oop;
   ++meta.moves;
+  ReplaceHome(key, old_primary, old_backup, np, nb);
   if (old_primary_oop != 0) {
     worker->pool(old_primary).Free(old_primary_oop);
   }
@@ -438,14 +465,13 @@ sim::Task<bool> FuseeStore::MigrateKey(uint64_t key, int from, Worker* worker,
 }
 
 sim::Task<uint64_t> FuseeStore::MigrateNode(int node, Worker* worker, bool disable_flip_fence) {
+  // Drain from the inverse registry — O(keys-on-node). Snapshot: MigrateKey
+  // mutates the set as it flips keys away.
   std::vector<uint64_t> keys;
-  keys.reserve(directory_.size());
-  for (const auto& [key, meta] : directory_) {
-    if (meta.primary == node || meta.backup == node) {
-      keys.push_back(key);
-    }
+  if (static_cast<size_t>(node) < node_keys_.size()) {
+    const std::set<uint64_t>& hosted = node_keys_[static_cast<size_t>(node)];
+    keys.assign(hosted.begin(), hosted.end());
   }
-  std::sort(keys.begin(), keys.end());
   uint64_t remaining = 0;
   for (uint64_t key : keys) {
     if (!co_await MigrateKey(key, node, worker, disable_flip_fence)) {

@@ -19,11 +19,13 @@
 #define SWARM_SRC_KV_FUSEE_KV_H_
 
 #include <memory>
+#include <set>
 #include <unordered_map>
 #include <vector>
 
 #include "src/index/client_cache.h"
 #include "src/kv/kv_types.h"
+#include "src/swarm/placement.h"
 #include "src/repair/repair.h"
 #include "src/swarm/worker.h"
 
@@ -133,7 +135,17 @@ class FuseeStore : public repair::RepairableStore {
 
   uint64_t ModeledIndexBytes() const { return directory_.size() * 2 * 8; }
 
+  // Inverse placement registry: the ordered key set each node hosts (as
+  // primary or backup). Repair and drain walk THIS — O(keys-on-node), not
+  // O(directory) — and migration flips keep it current.
+  uint64_t KeysOn(int node) const {
+    const auto idx = static_cast<size_t>(node);
+    return idx < node_keys_.size() ? node_keys_[idx].size() : 0;
+  }
+
  private:
+  void RegisterKey(uint64_t key, int primary, int backup);
+  void ReplaceHome(uint64_t key, int old_primary, int old_backup, int new_primary, int new_backup);
   fabric::Fabric* fabric_;
   sim::Time recovery_duration_;
   sim::Time recovering_until_ = 0;
@@ -143,7 +155,9 @@ class FuseeStore : public repair::RepairableStore {
   uint64_t keys_moved_ = 0;
   uint64_t keys_aborted_ = 0;
   std::shared_ptr<const std::vector<bool>> serving_;
+  PlacementProbe place_;  // Minimal-remap placement over the serving set.
   std::unordered_map<uint64_t, KeyMeta> directory_;
+  std::vector<std::set<uint64_t>> node_keys_;  // node -> keys hosted (ordered).
 };
 
 class FuseeKvSession : public KvSession {

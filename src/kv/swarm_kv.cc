@@ -80,7 +80,7 @@ std::shared_ptr<const ObjectLayout> SwarmKvSession::AllocateForKey(uint64_t key)
   const int n = worker_->fabric()->num_nodes();
   int nodes[kMaxReplicas];
   const uint64_t h = hash::Mix64(key, 0x535741524d); // "SWARM"
-  PlaceReplicas(h, cfg.replicas, n, serving_.get(), nodes);
+  place_.Pick(h, cfg.replicas, n, serving_.get(), nodes);
   return std::make_shared<ObjectLayout>(
       AllocateObject(*worker_->fabric(), nodes, cfg.replicas, cfg.meta_slots, cfg.max_writers,
                      cfg.max_value, cfg.inplace_copies));

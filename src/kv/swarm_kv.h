@@ -16,6 +16,7 @@
 #include "src/index/client_cache.h"
 #include "src/index/index_service.h"
 #include "src/kv/kv_types.h"
+#include "src/swarm/placement.h"
 #include "src/swarm/safe_guess.h"
 #include "src/swarm/worker.h"
 
@@ -72,6 +73,7 @@ class SwarmKvSession : public KvSession {
   index::IndexService* index_;
   index::ClientCache* cache_;
   std::shared_ptr<const std::vector<bool>> serving_;
+  PlacementProbe place_;  // Minimal-remap placement over the serving set.
 };
 
 }  // namespace swarm::kv

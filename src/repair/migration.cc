@@ -12,31 +12,27 @@ namespace swarm::repair {
 
 namespace {
 
-// Fence or unfence the three regions a replica slot owns. The metadata array
-// and the in-place region are allocated contiguously but retired separately
-// so the bookkeeping never depends on that adjacency.
+// Fence or unfence a replica slot. A replica is ONE contiguous slab slot
+// ([meta | in-place? | tsl], see AllocateObject), so one interval covers it.
 void SetSlotFence(fabric::MemoryNode& node, const ObjectLayout* layout, const ReplicaLayout& rep,
                   bool fenced) {
-  const auto apply = [&](uint64_t addr, uint64_t len) {
-    if (fenced) {
-      node.RetireRegion(addr, len);
-    } else {
-      node.RestoreRegion(addr, len);
-    }
-  };
-  apply(rep.meta_addr, layout->meta_region_bytes());
-  if (rep.inplace_addr != 0) {
-    apply(rep.inplace_addr, layout->inplace_region_bytes());
+  const uint64_t len = layout->replica_slot_bytes(rep.inplace_addr != 0);
+  if (fenced) {
+    node.RetireRegion(rep.meta_addr, len);
+  } else {
+    node.RestoreRegion(rep.meta_addr, len);
   }
-  apply(rep.tsl_addr, layout->tsl_region_bytes());
 }
 
 }  // namespace
 
 int MigrationService::PickDestination(uint64_t key, const ObjectLayout* layout) const {
-  std::vector<int> candidates;
+  // Stack buffer: the pick runs per migrated key inside bulk flows and must
+  // not allocate (the zero-alloc guard covers the chaos hot loops).
+  int candidates[kMaxNodes];
+  size_t num_candidates = 0;
   const int n = worker_->fabric()->num_nodes();
-  for (int i = 0; i < n; ++i) {
+  for (int i = 0; i < n && num_candidates < kMaxNodes; ++i) {
     if (!membership_->IsServing(i) || membership_->IsRepairing(i)) {
       continue;
     }
@@ -45,25 +41,34 @@ int MigrationService::PickDestination(uint64_t key, const ObjectLayout* layout) 
       hosts = hosts || layout->replicas[static_cast<size_t>(r)].node == i;
     }
     if (!hosts) {
-      candidates.push_back(i);
+      candidates[num_candidates++] = i;
     }
   }
-  if (candidates.empty()) {
+  if (num_candidates == 0) {
     return -1;
   }
   const uint64_t h = key * 0x9E3779B97F4A7C15ull;
-  return candidates[h % candidates.size()];
+  return candidates[h % num_candidates];
 }
 
 bool MigrationService::HostsReplicas(int node) const {
-  for (const auto& [key, entry] : index_->SnapshotSorted()) {
-    for (int r = 0; r < entry.layout->num_replicas; ++r) {
-      if (entry.layout->replicas[static_cast<size_t>(r)].node == node) {
-        return true;
-      }
-    }
-  }
-  return false;
+  // Walk the node's own slots in the inverse placement map — O(slots on the
+  // node) — counting only slots whose owner is the key's CURRENT mapping
+  // (retired layouts pinned by stale caches don't block a drain; their slots
+  // are released by the retired-layout GC).
+  bool hosts = false;
+  index_->placement().ForEachSlotOn(
+      node, [&](uint64_t addr, const index::PlacementMap::Slot& slot) {
+        (void)addr;
+        if (hosts || slot.moved) {
+          return;
+        }
+        const index::IndexEntry* e = index_->Peek(slot.key);
+        if (e != nullptr && e->layout.get() == slot.owner.get()) {
+          hosts = true;
+        }
+      });
+  return hosts;
 }
 
 sim::Task<MigrateStatus> MigrationService::MigrateKey(uint64_t key, int from, int onto) {
@@ -153,14 +158,59 @@ sim::Task<MigrateStatus> MigrationService::MigrateKey(uint64_t key, int from, in
   // --- abort --------------------------------------------------------------
   // Copy gave up (no surviving quorum within budget) or the flip guard
   // failed (racing delete / re-insert). Restore the fences and abandon L':
-  // the cluster is exactly as before the attempt.
+  // the cluster is exactly as before the attempt. The fresh destination slot
+  // was never published — no directory entry, no cached Located, and the
+  // coordinator's copy verbs have all completed — so it goes straight back
+  // to the slab (through its quarantine).
   if (fenced) {
     SetSlotFence(worker_->fabric()->node(from), src.get(), vacated, /*fenced=*/false);
   }
+  worker_->fabric()->node(dest).FreeSlot(dst->replicas[static_cast<size_t>(slot)].meta_addr);
   membership_->NoteOwnershipFlip();  // Un-fenced: stale holders re-learn again.
   ++keys_aborted_;
   --in_flight_;
   co_return MigrateStatus::kAborted;
+}
+
+sim::Task<uint64_t> MigrationService::MigrateExtent(int from, uint64_t addr, int onto) {
+  // --- plan: the extent's keys --------------------------------------------
+  // One slab extent holds same-sized replica slots back to back, and the
+  // inverse placement map walks them in address order — so an extent's live
+  // keys are one contiguous sub-range of the node's slot walk.
+  const auto* ext = worker_->fabric()->node(from).SlotExtentOf(addr);
+  if (ext == nullptr) {
+    co_return 0;
+  }
+  const uint64_t base = ext->base;
+  const uint64_t end = ext->base + ext->bytes;
+  std::vector<uint64_t> keys;
+  index_->placement().ForEachSlotOn(
+      from, [&](uint64_t slot_addr, const index::PlacementMap::Slot& slot) {
+        if (slot_addr < base || slot_addr >= end || slot.moved) {
+          return;
+        }
+        const index::IndexEntry* e = index_->Peek(slot.key);
+        if (e != nullptr && e->layout.get() == slot.owner.get()) {
+          keys.push_back(slot.key);
+        }
+      });
+  // --- fence + copy + flip, one slot at a time ----------------------------
+  // Each flip plants its own slot fence; the retired map COALESCES adjacent
+  // slots, so as the extent empties the fences merge into a single interval
+  // covering the vacated range — admission checks stay O(log intervals) no
+  // matter how many slots moved. Per-slot (rather than one up-front
+  // extent-wide) fencing keeps the extent's still-free slots allocatable and
+  // each aborted key's slot serving, with no fence fragments to reconcile.
+  uint64_t moved = 0;
+  for (uint64_t key : keys) {
+    if (co_await MigrateKey(key, from, onto) == MigrateStatus::kMoved) {
+      ++moved;
+    }
+  }
+  if (moved > 0) {
+    ++extents_moved_;
+  }
+  co_return moved;
 }
 
 sim::Task<int> MigrationService::AdmitAndRebalance(uint64_t max_keys) {
@@ -204,15 +254,24 @@ sim::Task<bool> MigrationService::Drain(int node, bool decommission) {
       co_await worker_->sim()->Delay(config_.round_retry_delay);
     }
     clean = true;
-    auto snapshot = index_->SnapshotSorted();
-    for (const auto& [key, entry] : snapshot) {
-      bool hosts = false;
-      for (int r = 0; r < entry.layout->num_replicas; ++r) {
-        hosts = hosts || entry.layout->replicas[static_cast<size_t>(r)].node == node;
-      }
-      if (!hosts) {
-        continue;
-      }
+    // Snapshot the node's live slots from the inverse placement map —
+    // O(slots on the node), address-ordered (deterministic for seed
+    // replay) — instead of scanning the whole store. A layout hosting two
+    // replicas here lists its key twice; the second MigrateKey simply moves
+    // the second replica.
+    std::vector<uint64_t> keys;
+    index_->placement().ForEachSlotOn(
+        node, [&](uint64_t addr, const index::PlacementMap::Slot& slot) {
+          (void)addr;
+          if (slot.moved) {
+            return;
+          }
+          const index::IndexEntry* e = index_->Peek(slot.key);
+          if (e != nullptr && e->layout.get() == slot.owner.get()) {
+            keys.push_back(slot.key);
+          }
+        });
+    for (uint64_t key : keys) {
       const MigrateStatus st = co_await MigrateKey(key, node, -1);
       clean = clean && (st == MigrateStatus::kMoved || st == MigrateStatus::kSkipped);
     }

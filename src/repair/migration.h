@@ -106,6 +106,13 @@ class MigrationService {
   // deterministically from the serving set.
   sim::Task<MigrateStatus> MigrateKey(uint64_t key, int from, int onto = -1);
 
+  // Extent-granularity move: migrates every key with a live replica slot in
+  // the slab extent containing `addr` on `from` (the inverse placement map
+  // lists them as one contiguous address range). Per-slot flip fences
+  // coalesce in the node's retired map into a single interval covering the
+  // vacated range. Returns the number of keys moved.
+  sim::Task<uint64_t> MigrateExtent(int from, uint64_t addr, int onto = -1);
+
   // Node admission: adds a fresh node to the fabric + membership (kJoining,
   // excluded from new placements), migrates up to `max_keys` keys onto it,
   // then marks it serving. Returns the new node id.
@@ -130,10 +137,14 @@ class MigrationService {
   uint64_t drains_completed() const { return drains_completed_; }
   uint64_t drains_aborted() const { return drains_aborted_; }
   uint64_t nodes_admitted() const { return nodes_admitted_; }
+  uint64_t extents_moved() const { return extents_moved_; }
 
   const MigrationConfig& config() const { return config_; }
 
  private:
+  // Destination-pick stack buffer bound (mirrors PlacementProbe::kMaxNodes).
+  static constexpr size_t kMaxNodes = 256;
+
   // Deterministic destination pick: serving, not repairing, not already in
   // the layout. -1 when no node qualifies.
   int PickDestination(uint64_t key, const ObjectLayout* layout) const;
@@ -153,6 +164,7 @@ class MigrationService {
   uint64_t drains_completed_ = 0;
   uint64_t drains_aborted_ = 0;
   uint64_t nodes_admitted_ = 0;
+  uint64_t extents_moved_ = 0;
 };
 
 }  // namespace swarm::repair

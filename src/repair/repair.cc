@@ -11,51 +11,49 @@ sim::Task<RepairOutcome> IndexRepairSource::RepairNode(int node, Worker* worker,
                                                        const RepairConfig& config) {
   RepairOutcome out;
   out.complete = true;
-  // Key-sorted snapshot of live mappings plus every retired layout, in a
-  // deterministic walk order for seed replay. Mappings inserted after the
-  // snapshot wrote to quorums that excluded `node`. Retired layouts matter
-  // too: stale-cached clients still read them, and a rejoined replica that
-  // misses its tombstone would pair with a stale survivor and resurrect the
-  // deleted value.
-  std::vector<std::shared_ptr<const ObjectLayout>> layouts;
-  for (auto& [key, entry] : index_->SnapshotSorted()) {
-    layouts.push_back(entry.layout);
-  }
   // Prune first: layouts past the recycler's safe horizon can no longer be
-  // referenced by any client, so repair need not re-walk them every round.
+  // referenced by any client, so repair need not re-walk them every round
+  // (the GC also releases their slots, shrinking this very walk).
   (void)index_->GcRetired();
-  for (const auto& retired : index_->retired()) {
-    if (retired.moved) {
-      // Migrated away: the replacement layout (reachable through the live
-      // snapshot) is the authority now, and the vacated slots are
-      // region-fenced — restoring state behind the fence would only fight
-      // the migration that retired them.
-      continue;
-    }
-    layouts.push_back(retired.layout);
-  }
-  for (const auto& layout_sp : layouts) {
+  // Walk the inverse placement map: exactly the replica slots hosted on
+  // `node`, in address order (deterministic for seed replay) — O(slots on
+  // the node), not O(store). The map covers live mappings AND retired
+  // layouts that stale-cached clients can still reference (a rejoined
+  // replica that misses its tombstone would pair with a stale survivor and
+  // resurrect the deleted value). Mappings inserted after this snapshot
+  // wrote to quorums that excluded `node`. The snapshot holds shared_ptrs so
+  // a mid-walk GC round cannot drop a layout under the repair.
+  std::vector<std::pair<std::shared_ptr<const ObjectLayout>, int>> slots;
+  index_->placement().ForEachSlotOn(
+      node, [&](uint64_t addr, const index::PlacementMap::Slot& slot) {
+        (void)addr;
+        ++out.slots_walked;
+        if (slot.moved) {
+          // Migrated away: the replacement layout (registered over the slots
+          // it kept) is the authority now, and this vacated slot is
+          // region-fenced — restoring state behind the fence would only
+          // fight the migration that retired it.
+          return;
+        }
+        slots.emplace_back(slot.owner, slot.replica);
+      });
+  for (const auto& [layout_sp, r] : slots) {
     const ObjectLayout* layout = layout_sp.get();
-    for (int r = 0; r < layout->num_replicas; ++r) {
-      if (layout->replicas[static_cast<size_t>(r)].node != node) {
-        continue;
-      }
-      bool ok;
-      if (protocol_ == LayoutProtocol::kAbd) {
-        AbdObject obj(worker, layout, worker->SlotCacheFor(layout));
-        ok = co_await obj.RepairReplica(r, config.skip_tombstone_repair);
-      } else {
-        // Same-layout copy: harvest from the survivors, install into the
-        // rejoining replica (src/repair/quorum_copy.h).
-        ok = co_await CopySafeGuessReplica(worker, layout_sp, layout_sp.get(), r,
-                                           config.skip_tombstone_repair);
-      }
-      if (ok) {
-        ++out.slots_repaired;
-      } else {
-        ++out.slots_failed;
-        out.complete = false;
-      }
+    bool ok;
+    if (protocol_ == LayoutProtocol::kAbd) {
+      AbdObject obj(worker, layout, worker->SlotCacheFor(layout));
+      ok = co_await obj.RepairReplica(r, config.skip_tombstone_repair);
+    } else {
+      // Same-layout copy: harvest from the survivors, install into the
+      // rejoining replica (src/repair/quorum_copy.h).
+      ok = co_await CopySafeGuessReplica(worker, layout_sp, layout_sp.get(), r,
+                                         config.skip_tombstone_repair);
+    }
+    if (ok) {
+      ++out.slots_repaired;
+    } else {
+      ++out.slots_failed;
+      out.complete = false;
     }
   }
   co_return out;
@@ -76,6 +74,7 @@ sim::Task<bool> RepairService::RepairRounds(int node, uint64_t* residual_failed)
     for (RepairableStore* s : stores_) {
       RepairOutcome out = co_await s->RepairNode(node, worker_, config_);
       slots_repaired_ += out.slots_repaired;
+      slots_walked_ += out.slots_walked;
       *residual_failed += out.slots_failed;
       complete = complete && out.complete;
     }

@@ -49,6 +49,10 @@ struct RepairOutcome {
   bool complete = false;       // Every slot restored (or nothing to restore).
   uint64_t slots_repaired = 0;
   uint64_t slots_failed = 0;   // Slots whose source quorum did not answer.
+  // Slots the walk visited on the node — the repair's work metric. With the
+  // inverse placement map this is O(slots-on-node), not O(store); the scale
+  // soak asserts the ratio stays flat as the store grows.
+  uint64_t slots_walked = 0;
 };
 
 // Fault-injection knobs for the canary gallery (tests/chaos_replay_test.cc):
@@ -161,6 +165,9 @@ class RepairService {
   uint64_t repairs_aborted() const { return repairs_aborted_; }
   uint64_t repairs_resumed() const { return repairs_resumed_; }
   uint64_t slots_repaired() const { return slots_repaired_; }
+  // Total slots walked across every repair round — the measured repair cost
+  // (proportional to slots-on-node, not store size).
+  uint64_t slots_walked() const { return slots_walked_; }
 
   const RepairConfig& config() const { return config_; }
 
@@ -198,6 +205,7 @@ class RepairService {
   uint64_t repairs_aborted_ = 0;
   uint64_t repairs_resumed_ = 0;
   uint64_t slots_repaired_ = 0;
+  uint64_t slots_walked_ = 0;
 };
 
 }  // namespace swarm::repair

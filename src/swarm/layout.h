@@ -19,6 +19,7 @@
 
 #include <array>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "src/fabric/fabric.h"
@@ -52,6 +53,20 @@ struct ObjectLayout {
   uint64_t meta_region_bytes() const { return static_cast<uint64_t>(meta_slots) * 8; }
   uint64_t tsl_region_bytes() const { return static_cast<uint64_t>(max_writers) * 8; }
   uint64_t inplace_region_bytes() const { return kInPlaceHeaderBytes + max_value; }
+
+  // One replica occupies ONE contiguous slab slot:
+  //   [meta | in-place (designated replicas only) | tsl]
+  // so a single interval fences it and a single FreeSlot releases it.
+  uint64_t replica_slot_bytes(bool with_inplace) const {
+    const uint64_t inplace =
+        with_inplace ? (inplace_region_bytes() + 7) & ~uint64_t{7} : 0;
+    return meta_region_bytes() + inplace + tsl_region_bytes();
+  }
+  // [addr, addr+len) of replica r's slot, for fencing/freeing.
+  std::pair<uint64_t, uint64_t> replica_slot(int r) const {
+    const ReplicaLayout& rep = replicas[static_cast<size_t>(r)];
+    return {rep.meta_addr, replica_slot_bytes(rep.inplace_addr != 0)};
+  }
 };
 
 // Allocates one object's replicas on the given nodes. `inplace_copies`
@@ -70,17 +85,20 @@ inline ObjectLayout AllocateObject(fabric::Fabric& fabric, const int* nodes, int
     ReplicaLayout& rep = layout.replicas[static_cast<size_t>(r)];
     rep.node = nodes[r];
     fabric::MemoryNode& node = fabric.node(nodes[r]);
-    // The in-place region is allocated contiguously after the metadata array
-    // so both can be fetched in a single READ (§4.3: "the in-place data
-    // buffer is located next to the 8 B metadata").
-    if (r < inplace_copies) {
-      rep.meta_addr = node.Allocate(layout.meta_region_bytes() + layout.inplace_region_bytes());
+    // One slab slot per replica: [meta | in-place? | tsl]. The in-place
+    // region sits contiguously after the metadata array so both can be
+    // fetched in a single READ (§4.3: "the in-place data buffer is located
+    // next to the 8 B metadata"); the timestamp locks ride in the same slot
+    // so the whole replica is one fence/free interval.
+    const bool with_inplace = r < inplace_copies;
+    rep.meta_addr = node.AllocSlot(layout.replica_slot_bytes(with_inplace));
+    if (with_inplace) {
       rep.inplace_addr = rep.meta_addr + layout.meta_region_bytes();
+      rep.tsl_addr = rep.inplace_addr + ((layout.inplace_region_bytes() + 7) & ~uint64_t{7});
     } else {
-      rep.meta_addr = node.Allocate(layout.meta_region_bytes());
       rep.inplace_addr = 0;
+      rep.tsl_addr = rep.meta_addr + layout.meta_region_bytes();
     }
-    rep.tsl_addr = node.Allocate(layout.tsl_region_bytes());
   }
   return layout;
 }

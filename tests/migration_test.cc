@@ -443,6 +443,65 @@ TEST(MigrationSwarm, DrainDecommissionsTheNode) {
   EXPECT_TRUE(done);
 }
 
+TEST(MigrationSwarm, MigrateExtentEmptiesTheExtent) {
+  MigrationFixture f(repair::LayoutProtocol::kSafeGuess);
+  auto kv = f.MakeSession(repair::LayoutProtocol::kSafeGuess);
+  bool done = false;
+  auto driver = [](MigrationFixture* f, kv::KvSession* kv, bool* done) -> Task<void> {
+    for (uint64_t key = 0; key < 24; ++key) {
+      EXPECT_TRUE((co_await kv->Insert(key, ValN(24, static_cast<uint8_t>(key)))).ok());
+    }
+    // Probe node 0's first placement-map slot; its slab extent is the target.
+    uint64_t probe = 0;
+    bool found = false;
+    f->index.placement().ForEachSlotOn(
+        0, [&](uint64_t addr, const index::PlacementMap::Slot& slot) {
+          if (!found && !slot.moved) {
+            probe = addr;
+            found = true;
+          }
+        });
+    EXPECT_TRUE(found);
+    if (!found) {
+      co_return;
+    }
+    const auto* ext = f->env.fabric.node(0).SlotExtentOf(probe);
+    EXPECT_NE(ext, nullptr);
+    const uint64_t ext_base = ext->base;
+    const uint64_t ext_end = ext->base + ext->bytes;
+
+    const uint64_t moved = co_await f->migration.MigrateExtent(0, probe);
+    EXPECT_GT(moved, 0u);
+    EXPECT_EQ(f->migration.extents_moved(), 1u);
+
+    // The extent holds no current-mapping slot anymore — only moved (fenced)
+    // remnants awaiting the retired-layout GC.
+    bool live_left = false;
+    f->index.placement().ForEachSlotOn(
+        0, [&](uint64_t addr, const index::PlacementMap::Slot& slot) {
+          if (addr < ext_base || addr >= ext_end || slot.moved) {
+            return;
+          }
+          const index::IndexEntry* e = f->index.Peek(slot.key);
+          if (e != nullptr && e->layout.get() == slot.owner.get()) {
+            live_left = true;
+          }
+        });
+    EXPECT_FALSE(live_left) << "a live slot survived the extent move";
+
+    // Every key still serves with its data intact.
+    for (uint64_t key = 0; key < 24; ++key) {
+      kv::KvResult g = co_await kv->Get(key);
+      EXPECT_EQ(g.status, kv::KvStatus::kOk) << "key " << key;
+      EXPECT_EQ(g.value, ValN(24, static_cast<uint8_t>(key))) << "key " << key;
+    }
+    *done = true;
+  };
+  Spawn(driver(&f, kv.get(), &done));
+  f.env.sim.Run();
+  EXPECT_TRUE(done);
+}
+
 // --- FUSEE: the two-slot re-homing variant ---------------------------------
 
 struct FuseeMigrationFixture {

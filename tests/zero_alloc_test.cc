@@ -32,6 +32,7 @@
 #include "src/kv/fusee_kv.h"
 #include "src/kv/swarm_kv.h"
 #include "src/sim/pool.h"
+#include "src/swarm/placement.h"
 #include "tests/support/test_env.h"
 
 // --- Global operator-new counting hooks (whole-binary, this TU defines). ---
@@ -176,6 +177,25 @@ TEST(ZeroAlloc, FuseeSteadyStateReadWriteIsHeapFree) {
   Worker& w = env.MakeWorker();
   kv::FuseeKvSession kv(&w, &store, &cache);
   EXPECT_EQ(MeasureSteadyState(&env, &kv, /*keys=*/4), 0u);
+}
+
+// Placement is on the insert/migration planning path: both the classic
+// modular pick and the serving-probe pick must stay heap-free — the probe
+// is stateless, so it gets no warmup allowance at all.
+TEST(ZeroAlloc, PlacementPickIsHeapFree) {
+  if (kPoolBypassed) {
+    GTEST_SKIP() << "pool bypassed under ASan; allocation counting is meaningless";
+  }
+  std::vector<bool> serving(16, true);
+  serving[3] = false;
+  PlacementProbe probe;
+  int nodes[4];
+  const uint64_t before = g_heap_allocs;
+  for (uint64_t h = 0; h < 10000; ++h) {
+    PlaceReplicas(h, 3, 16, &serving, nodes);
+    probe.Pick(h, 3, 16, &serving, nodes);
+  }
+  EXPECT_EQ(g_heap_allocs - before, 0u);
 }
 
 // The pool itself must also be quiescent at steady state: no slab refills
