@@ -39,6 +39,10 @@ const char* FaultKindName(FaultKind kind) {
       return "migrate";
     case FaultKind::kMigrateDone:
       return "migrate_done";
+    case FaultKind::kClientSplit:
+      return "client_split";
+    case FaultKind::kClientSplitHeal:
+      return "client_split_heal";
   }
   return "?";
 }
@@ -59,6 +63,16 @@ ChaosEngine::ChaosEngine(fabric::Fabric* fabric, membership::MembershipService* 
   fabric_->set_link_delay_fn(
       [this](int node, bool /*response*/) { return spike_delay_[static_cast<size_t>(node)]; });
   fabric_->set_drop_fn([this](int node, bool response, int qp_tag) {
+    // A live split-brain severs cross-side (client, node) pairs outright —
+    // deterministically and before any Rng draw, so the split's drops never
+    // perturb the random stream the probabilistic faults consume.
+    if (client_split_.active && qp_tag >= 0 && node < fabric_->num_nodes()) {
+      const bool client_b = (client_split_.client_side >> qp_tag) & 1;
+      const bool node_b = (client_split_.node_side >> node) & 1;
+      if (client_b != node_b) {
+        return true;
+      }
+    }
     // Consumes Rng only while a burst is active, so installing the engine
     // does not perturb fault-free runs.
     double p = response ? drop_ack_p_[static_cast<size_t>(node)]
@@ -110,7 +124,8 @@ void ChaosEngine::InjectOne() {
     }
   }
   const bool lease_ok = membership_ != nullptr && membership_->HasRegisteredClients();
-  std::array<Class, 9> classes{{
+  const bool split_ok = config_.qp_tag_count >= 2 && fabric_->num_nodes() >= 2;
+  std::array<Class, 10> classes{{
       {crash_candidate && crashed_count_ < config_.max_crashed ? config_.crash_weight : 0.0,
        &ChaosEngine::InjectCrash},
       {config_.delay_weight, &ChaosEngine::InjectDelaySpike},
@@ -118,6 +133,7 @@ void ChaosEngine::InjectOne() {
       {config_.qp_tag_count > 0 ? config_.qp_drop_weight : 0.0,
        &ChaosEngine::InjectQpDropBurst},
       {config_.partition_weight, &ChaosEngine::InjectPartition},
+      {split_ok ? config_.client_split_weight : 0.0, &ChaosEngine::InjectClientSplit},
       {migration_fn_ && migrations_started_ < config_.max_migrations ? config_.migration_weight
                                                                      : 0.0,
        &ChaosEngine::InjectMigration},
@@ -314,6 +330,41 @@ void ChaosEngine::InjectPartition() {
   });
 }
 
+void ChaosEngine::InjectClientSplit() {
+  // Cut the client population and the node set into two non-empty halves
+  // each: cross-side traffic drops entirely, both directions, so the two
+  // client groups run against disjoint cluster views until the heal. A
+  // group facing a replica minority sees its quorums starve (ops go
+  // pending/unavailable, exactly the possibly-applied regime), while the
+  // other group keeps committing — and any location cache either group
+  // populated before the cut goes stale against the other's progress.
+  const int tags = std::min(config_.qp_tag_count, 63);
+  const int nodes = std::min(fabric_->num_nodes(), 63);
+  // Non-trivial bitmasks: [1, 2^k - 2] keeps both sides populated.
+  const uint64_t client_side =
+      1 + sim_->rng().Below((uint64_t{1} << tags) - 2);
+  const uint64_t node_side =
+      1 + sim_->rng().Below((uint64_t{1} << nodes) - 2);
+  const sim::Time duration =
+      config_.min_client_split_duration +
+      static_cast<sim::Time>(
+          sim_->rng().Below(static_cast<uint64_t>(config_.max_client_split_duration -
+                                                  config_.min_client_split_duration) +
+                            1));
+  client_split_.active = true;
+  client_split_.client_side = client_side;
+  client_split_.node_side = node_side;
+  const uint64_t gen = ++client_split_.gen;
+  Record(FaultKind::kClientSplit, -1, (client_side << 16) | node_side);
+  sim_->After(duration, [this, gen] {
+    // A newer split supersedes this heal.
+    if (client_split_.gen == gen) {
+      client_split_.active = false;
+      Record(FaultKind::kClientSplitHeal, -1, 0);
+    }
+  });
+}
+
 void ChaosEngine::InjectMigration() {
   ++migrations_started_;
   Record(FaultKind::kMigrateStart, -1, static_cast<uint64_t>(migrations_started_));
@@ -371,7 +422,7 @@ std::string ChaosEngine::TraceSummary() const {
   }
   std::string out;
   for (uint8_t k = static_cast<uint8_t>(FaultKind::kCrash);
-       k <= static_cast<uint8_t>(FaultKind::kMigrateDone); ++k) {
+       k <= static_cast<uint8_t>(FaultKind::kClientSplitHeal); ++k) {
     const int c = counts[k];
     if (c == 0) {
       continue;

@@ -63,6 +63,13 @@ enum class FaultKind : uint8_t {
                     // set_migration_fn hook (param = ordinal)
   kMigrateDone,     // the lifecycle completed (param: 0 = success, 1 = it
                     // aborted/was skipped — the cluster stayed as before)
+  kClientSplit,     // client split-brain began: the client population (by QP
+                    // tag) and the memory nodes are each cut in two, and
+                    // every message between a client and a far-side node
+                    // drops in BOTH directions — two groups of writers each
+                    // see only their half of the cluster (param =
+                    // client-group bitmask << 16 | node-side bitmask)
+  kClientSplitHeal, // the split-brain healed
 };
 
 const char* FaultKindName(FaultKind kind);
@@ -151,6 +158,23 @@ struct ChaosConfig {
   double qp_drop_weight = 0.0;
   int qp_tag_count = 0;
 
+  // Client split-brain partitions (the adversary family no single-link
+  // fault can express): the client population — every QP tag in
+  // [0, qp_tag_count) — is cut into two non-empty groups and the memory
+  // nodes into two non-empty sides, and for the sampled duration every
+  // message between a group-A client and a side-B node (and vice versa)
+  // drops in BOTH directions. The two groups keep operating against
+  // disjoint cluster halves: the group holding a replica minority
+  // accumulates possibly-applied writes and stale caches while the
+  // majority group commits — exactly the regime where stale-location and
+  // tombstone races hide. The index RPC link is deliberately NOT split
+  // (it models an independent control plane; per-client index reachability
+  // has no QP tag to key on). Requires qp_tag_count >= 2 and at least two
+  // memory nodes; one split is live at a time, a new one supersedes.
+  double client_split_weight = 0.0;
+  sim::Time min_client_split_duration = 40 * sim::kMicrosecond;
+  sim::Time max_client_split_duration = 200 * sim::kMicrosecond;
+
   // Whether spikes/drops may also hit the index service's RPC link
   // (fabric::Fabric::index_link()), opening index/data inconsistency
   // windows. Opt-in: enable it only when an IndexService is actually wired
@@ -220,6 +244,7 @@ class ChaosEngine {
   void InjectDropBurst();
   void InjectQpDropBurst();
   void InjectPartition();
+  void InjectClientSplit();
   void InjectMigration();
   void InjectLeaseExpiry();
   void InjectDetectionSweep();
@@ -255,6 +280,16 @@ class ChaosEngine {
   };
   std::vector<QpBurst> qp_bursts_;
   uint64_t next_qp_burst_id_ = 0;
+  // The live client split-brain, consulted by the drop hook. Bit t of
+  // client_side / bit n of node_side put tag t / node n in group B; a
+  // cross-side (client, node) pair drops every message while active.
+  struct ClientSplit {
+    bool active = false;
+    uint64_t gen = 0;
+    uint64_t client_side = 0;
+    uint64_t node_side = 0;
+  };
+  ClientSplit client_split_;
   std::vector<bool> crashed_;
   int crashed_count_ = 0;
 

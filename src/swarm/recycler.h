@@ -43,9 +43,14 @@
 
 namespace swarm {
 
-// A client's side of the recycling protocol. Real clients would hook
-// `drain` to wait for their outstanding chases; the simulation models that
-// as a bounded virtual delay.
+// A client's side of the recycling protocol. An UNCOUPLED participant
+// models the drain as a bounded virtual delay (ack_delay) — fine for pure
+// protocol tests, but it lets an ack overtake the client's own still-running
+// operation, so the published horizon can pass memory a live op is chasing
+// (the use-count gate in IndexService::GcRetired was papering over exactly
+// that). CoupleDrain wires the participant to the client's real op stream:
+// the ack then completes only after every operation in flight at the drain's
+// start has responded, which is the §4.5 contract.
 class RecyclerParticipant {
  public:
   RecyclerParticipant(sim::Simulator* sim, uint32_t client_id, sim::Time ack_delay)
@@ -58,6 +63,19 @@ class RecyclerParticipant {
   // Simulates a client crash: it will never acknowledge again.
   void Crash() { crashed_ = true; }
 
+  // Couples epoch acks to a real op stream (e.g. kv::TrackedKvSession):
+  // `barrier_fn` returns the next op sequence number, `oldest_fn` the oldest
+  // sequence still in flight (== barrier when idle). An ack captures the
+  // barrier when the drain starts and completes only once every older op has
+  // responded; ops that start after the barrier never delay it, so a busy
+  // client still acks in bounded time.
+  void CoupleDrain(std::function<uint64_t()> barrier_fn, std::function<uint64_t()> oldest_fn,
+                   sim::Time drain_poll = 2000) {
+    barrier_fn_ = std::move(barrier_fn);
+    oldest_fn_ = std::move(oldest_fn);
+    drain_poll_ = drain_poll;
+  }
+
   // Called (over the network) by the coordinator: drain reads older than
   // `epoch`, then publish.
   sim::Task<void> AckEpoch(uint64_t epoch, sim::Counter acks) {
@@ -65,6 +83,12 @@ class RecyclerParticipant {
       co_return;  // Never answers; the lease will expire.
     }
     co_await sim_->Delay(ack_delay_);
+    if (barrier_fn_) {
+      const uint64_t barrier = barrier_fn_();
+      while (oldest_fn_() < barrier) {
+        co_await sim_->Delay(drain_poll_);
+      }
+    }
     if (epoch > published_epoch_) {
       published_epoch_ = epoch;
     }
@@ -75,6 +99,9 @@ class RecyclerParticipant {
   sim::Simulator* sim_;
   uint32_t client_id_;
   sim::Time ack_delay_;
+  std::function<uint64_t()> barrier_fn_;
+  std::function<uint64_t()> oldest_fn_;
+  sim::Time drain_poll_ = 2000;
   uint64_t published_epoch_ = 0;
   bool crashed_ = false;
 };

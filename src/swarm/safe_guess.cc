@@ -1,12 +1,35 @@
 #include "src/swarm/safe_guess.h"
 
 #include <array>
+#include <cstdio>
+#include <cstdlib>
 
 #include "src/swarm/timestamp_lock.h"
 
 namespace swarm {
+namespace {
+
+// A layout's TSL region holds exactly max_writers lock words; a writer whose
+// tid indexes past it CASes the NEIGHBORING slab slot's words (see
+// ProtocolConfig::enforce_writer_bounds). Every mutating entry point checks
+// before touching the fabric so the misconfiguration dies at the first write
+// instead of corrupting an unrelated object.
+void CheckWriterBound(Worker* worker, const ObjectLayout* layout) {
+  if (!worker->config().enforce_writer_bounds ||
+      worker->tid() < static_cast<uint32_t>(layout->max_writers)) {
+    return;
+  }
+  std::fprintf(stderr,
+               "safe_guess: writer tid=%u outside layout TSL bound max_writers=%d; "
+               "ProtocolConfig.max_writers must cover every writer tid\n",
+               worker->tid(), layout->max_writers);
+  std::abort();
+}
+
+}  // namespace
 
 sim::Task<SgWriteResult> SafeGuessObject::Write(std::span<const uint8_t> value) {
+  CheckWriterBound(worker_, layout_);
   SgWriteResult result;
   QuorumMax reg(worker_, layout_, cache_);
 
@@ -116,6 +139,7 @@ sim::Task<SgWriteResult> SafeGuessObject::Write(std::span<const uint8_t> value) 
 }
 
 sim::Task<SgWriteResult> SafeGuessObject::Delete() {
+  CheckWriterBound(worker_, layout_);
   SgWriteResult result;
   QuorumMax reg(worker_, layout_, cache_);
   const Meta tombstone = Meta::Tombstone(worker_->tid());

@@ -1,12 +1,16 @@
 #include "src/verify/lincheck.h"
 
 #include <algorithm>
+#include <bit>
+#include <cstring>
 #include <limits>
 #include <map>
 #include <optional>
 #include <set>
 #include <unordered_set>
 #include <utility>
+
+#include "src/sim/pool.h"
 
 namespace swarm::verify {
 namespace {
@@ -194,21 +198,27 @@ struct DfsStateHash {
   }
 };
 
-// Wing&Gong just-in-time DFS over one window. `AddInit` explores every
-// reachable state from one initial register value; `finals()` accumulates
-// the values the register can hold once all completed ops are linearized —
-// including states where leftover pending writes did or did not apply, so
-// chaining windows through the value set stays exact. With `decide_only` it
-// stops at the first complete state (the last window needs no finals).
+// Wing&Gong just-in-time DFS over one window, PR-4 scan-based edition:
+// the enabling rule rescans every op per DFS node and the memo copies the
+// full bitset per state. Kept verbatim as the differential oracle for
+// FrontierWindowDfs below (CheckBaseline) — the two engines explore the
+// identical state space, so their verdicts must agree on every history.
+//
+// `AddInit` explores every reachable state from one initial register value;
+// `finals()` accumulates the values the register can hold once all
+// completed ops are linearized — including states where leftover pending
+// writes did or did not apply, so chaining windows through the value set
+// stays exact. With `decide_only` it stops at the first complete state (the
+// last window needs no finals).
 //
 // The state memo persists across a window's inits: a DFS state (linearized
 // set, register value) fully determines its remaining exploration no matter
 // which init reached it, so states shared between inits are explored once.
 // (Root states never collide with memoized interior states — an empty mask
 // occurs only at a root, and the inits are distinct.)
-class WindowDfs {
+class ScanWindowDfs {
  public:
-  WindowDfs(const CellOp* ops, size_t n, CheckStats* stats)
+  ScanWindowDfs(const CellOp* ops, size_t n, CheckStats* stats)
       : ops_(ops), n_(n), words_((n + 63) / 64), stats_(stats) {
     completed_total_ = 0;
     for (size_t i = 0; i < n_; ++i) {
@@ -286,6 +296,339 @@ class WindowDfs {
   bool found_ = false;
 };
 
+// --- Frontier engine: the production WindowDfs for 10^5-op histories. ----
+
+// One 64-byte node of the persistent linearized-set bitset, sized to the
+// FramePool's smallest class: a refcount plus 7 mask words (448 ops per
+// chunk). Chunks are shared copy-on-write between the DFS cursor and every
+// memoized state: sibling states differ in one bit, so they share every
+// chunk except the one holding it — a memoized state costs O(1) new chunks
+// where the scan engine copies the whole mask.
+struct MaskChunk {
+  uint32_t refs = 0;
+  uint32_t pad = 0;
+  uint64_t words[7] = {};
+};
+static_assert(sizeof(MaskChunk) == 64, "MaskChunk must fill one pool node");
+
+constexpr size_t kChunkWords = 7;
+constexpr size_t kChunkBits = kChunkWords * 64;
+
+MaskChunk* NewChunk() {
+  auto* c = static_cast<MaskChunk*>(sim::FramePool::Alloc(sizeof(MaskChunk)));
+  c->refs = 1;
+  std::memset(c->words, 0, sizeof(c->words));
+  return c;
+}
+
+MaskChunk* CopyChunk(const MaskChunk* src) {
+  auto* c = static_cast<MaskChunk*>(sim::FramePool::Alloc(sizeof(MaskChunk)));
+  c->refs = 1;
+  std::memcpy(c->words, src->words, sizeof(c->words));
+  return c;
+}
+
+void UnrefChunk(MaskChunk* c) {
+  if (--c->refs == 0) {
+    sim::FramePool::Free(c, sizeof(MaskChunk));
+  }
+}
+
+// Deterministic per-bit Zobrist keys: flipping bit i XORs SplitMix64(i)
+// into the state hash, so the memo hash is maintained in O(1) per
+// linearize/backtrack instead of rehashing the mask.
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+// A memoized (linearized set, register value) state. The chunk pointers are
+// stored inline for windows up to 2 chunks (896 ops — the common case after
+// quiescent-point splitting) and in a pool-allocated array beyond that; the
+// representation is implied by the window's chunk count, so no tag is kept.
+struct MemoEntry {
+  uint64_t hash = 0;
+  uint64_t value = 0;
+  union {
+    MaskChunk* inline_chunks[2];
+    MaskChunk** chunks;
+  };
+
+  MemoEntry() : inline_chunks{nullptr, nullptr} {}
+
+  MaskChunk* const* ptrs(size_t nchunks) const {
+    return nchunks <= 2 ? inline_chunks : chunks;
+  }
+  MaskChunk** ptrs(size_t nchunks) {
+    return nchunks <= 2 ? inline_chunks : chunks;
+  }
+};
+
+struct MemoHash {
+  size_t operator()(const MemoEntry& e) const { return static_cast<size_t>(e.hash); }
+};
+
+// Exact equality: chunk pointer identity first (the persistent sharing makes
+// this the overwhelmingly common hit), content comparison as the fallback —
+// COW round trips can produce distinct chunks with equal bits, and a missed
+// dedup only costs time while a spurious one would be unsound.
+struct MemoEq {
+  size_t nchunks;
+  bool operator()(const MemoEntry& a, const MemoEntry& b) const {
+    if (a.hash != b.hash || a.value != b.value) {
+      return false;
+    }
+    MaskChunk* const* pa = a.ptrs(nchunks);
+    MaskChunk* const* pb = b.ptrs(nchunks);
+    for (size_t c = 0; c < nchunks; ++c) {
+      if (pa[c] != pb[c] &&
+          std::memcmp(pa[c]->words, pb[c]->words, sizeof(pa[c]->words)) != 0) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+// The production Wing&Gong DFS: same state space, inits contract, finals
+// and decide_only semantics as ScanWindowDfs, with two structural upgrades
+// that take checked histories from ~2k to 10^5 ops:
+//
+//  * Frontier in invocation order. Preprocess hands the window's ops sorted
+//    by invocation; the unlinearized ones are kept in a doubly-linked list
+//    in that order, and a min segment tree over their deadlines gives the
+//    enabling horizon at the root. A candidate scan walks the list and
+//    STOPS at the first op invoked past the horizon — everything later is
+//    disabled too — so a DFS node costs O(candidates + log n), not O(n).
+//    Linearize unlinks + lifts the op's tree leaf to +inf; backtrack relinks
+//    (LIFO order makes the splice exact) and restores the leaf.
+//  * Persistent memo. The cursor state is an array of refcounted MaskChunks
+//    mutated copy-on-write; memo inserts share the cursor's chunks instead
+//    of copying the mask, and the state hash rides Zobrist keys so hashing
+//    is O(1) per step. See MaskChunk/MemoEntry above.
+//
+// The DFS itself is an explicit-stack loop — a 10^5-op window would
+// overflow the call stack at recursion depth n. Candidate iteration order
+// matches the scan engine exactly (both visit unlinearized ops in
+// invocation order), so the two engines explore identical trees.
+class FrontierWindowDfs {
+ public:
+  FrontierWindowDfs(const CellOp* ops, size_t n, CheckStats* stats)
+      : ops_(ops),
+        n_(n),
+        nchunks_((n + kChunkBits - 1) / kChunkBits),
+        stats_(stats),
+        visited_(16, MemoHash{}, MemoEq{nchunks_}) {
+    completed_total_ = 0;
+    zob_.resize(n_);
+    for (size_t i = 0; i < n_; ++i) {
+      completed_total_ += ops_[i].pending ? 0 : 1;
+      zob_[i] = SplitMix64(i + 0x5eed5eedull);
+    }
+    // Doubly-linked frontier over [0, n) in invocation order, sentinel n.
+    next_.resize(n_ + 1);
+    prev_.resize(n_ + 1);
+    for (size_t i = 0; i <= n_; ++i) {
+      next_[i] = i + 1 <= n_ ? i + 1 : 0;
+      prev_[i] = i > 0 ? i - 1 : n_;
+    }
+    next_[n_] = n_ > 0 ? 0 : n_;
+    // Min segment tree over deadlines; linearized leaves lift to +inf.
+    segn_ = std::bit_ceil(std::max<size_t>(n_, 1));
+    seg_.assign(2 * segn_, kNoDeadline);
+    for (size_t i = 0; i < n_; ++i) {
+      seg_[segn_ + i] = ops_[i].deadline;
+    }
+    for (size_t p = segn_ - 1; p >= 1; --p) {
+      seg_[p] = std::min(seg_[2 * p], seg_[2 * p + 1]);
+    }
+    cur_.resize(nchunks_);
+    for (auto& c : cur_) {
+      c = NewChunk();
+    }
+  }
+
+  FrontierWindowDfs(const FrontierWindowDfs&) = delete;
+  FrontierWindowDfs& operator=(const FrontierWindowDfs&) = delete;
+
+  ~FrontierWindowDfs() {
+    for (const MemoEntry& e : visited_) {
+      MaskChunk* const* p = e.ptrs(nchunks_);
+      for (size_t c = 0; c < nchunks_; ++c) {
+        UnrefChunk(p[c]);
+      }
+      if (nchunks_ > 2) {
+        sim::FramePool::Free(e.chunks, nchunks_ * sizeof(MaskChunk*));
+      }
+    }
+    for (MaskChunk* c : cur_) {
+      UnrefChunk(c);
+    }
+  }
+
+  // Returns true iff decide_only and a complete state was reached. The
+  // frontier list, segment tree and cursor bitset are fully restored on
+  // exit (every descent is undone), so inits reuse them directly.
+  bool AddInit(uint64_t init, bool decide_only) {
+    decide_only_ = decide_only;
+    found_ = false;
+    cur_value_ = init;
+    if (EnterState(completed_total_)) {
+      stack_.clear();
+      stack_.push_back(Frame{next_[n_], kNone, init, completed_total_});
+    }
+    while (!stack_.empty()) {
+      Frame& f = stack_.back();
+      size_t i = f.cursor;
+      if (found_) {
+        i = n_;  // Decided: unwind, restoring the shared structures.
+      }
+      const sim::Time horizon = seg_[1];
+      while (i != n_) {
+        const CellOp& op = ops_[i];
+        if (op.invoked > horizon) {
+          i = n_;  // Invocation-sorted: every later op is disabled too.
+          break;
+        }
+        if (!op.is_write && op.value != cur_value_) {
+          i = next_[i];  // A read must return the current value.
+          continue;
+        }
+        break;
+      }
+      if (i == n_) {
+        if (f.op_in != kNone) {
+          Undo(f.op_in, f.value_before);
+        }
+        stack_.pop_back();
+        continue;
+      }
+      f.cursor = next_[i];
+      const uint64_t value_before = cur_value_;
+      Apply(i);
+      const size_t left = f.completed_left - (ops_[i].pending ? 0 : 1);
+      if (EnterState(left)) {
+        stack_.push_back(Frame{next_[n_], i, value_before, left});
+      } else {
+        Undo(i, value_before);  // Memoized (or decided at entry).
+      }
+    }
+    return found_;
+  }
+
+  const std::set<uint64_t>& finals() const { return finals_; }
+
+ private:
+  static constexpr size_t kNone = static_cast<size_t>(-1);
+
+  struct Frame {
+    size_t cursor;          // Next frontier position to try (n_ = done).
+    size_t op_in;           // Op linearized to enter this state (kNone: root).
+    uint64_t value_before;  // Register value to restore on exit.
+    size_t completed_left;
+  };
+
+  void SegSet(size_t i, sim::Time v) {
+    size_t p = segn_ + i;
+    seg_[p] = v;
+    for (p >>= 1; p >= 1; p >>= 1) {
+      seg_[p] = std::min(seg_[2 * p], seg_[2 * p + 1]);
+    }
+  }
+
+  // Copy-on-write bit flips over the cursor chunks: exclusive ownership is
+  // re-established (64-byte copy) only when a memoized state still shares
+  // the chunk.
+  void FlipBit(size_t i) {
+    const size_t c = i / kChunkBits;
+    MaskChunk*& chunk = cur_[c];
+    if (chunk->refs > 1) {
+      MaskChunk* copy = CopyChunk(chunk);
+      --chunk->refs;
+      chunk = copy;
+    }
+    chunk->words[(i % kChunkBits) >> 6] ^= 1ull << (i & 63);
+    bit_hash_ ^= zob_[i];
+  }
+
+  void Apply(size_t i) {
+    FlipBit(i);
+    next_[prev_[i]] = next_[i];  // Unlink; i keeps its links for the relink.
+    prev_[next_[i]] = prev_[i];
+    SegSet(i, kNoDeadline);
+    if (ops_[i].is_write) {
+      cur_value_ = ops_[i].value;
+    }
+  }
+
+  void Undo(size_t i, uint64_t value_before) {
+    FlipBit(i);
+    next_[prev_[i]] = i;  // LIFO discipline makes the splice exact.
+    prev_[next_[i]] = i;
+    SegSet(i, ops_[i].deadline);
+    cur_value_ = value_before;
+  }
+
+  // Memo lookup/insert for the cursor state. Returns true iff the state is
+  // new and its candidates should be explored; handles finals/decide_only
+  // exactly like ScanWindowDfs::Dfs's prologue.
+  bool EnterState(size_t completed_left) {
+    MemoEntry probe;
+    probe.hash = SplitMix64(bit_hash_ ^ (cur_value_ * 0x9E3779B97F4A7C15ull));
+    probe.value = cur_value_;
+    if (nchunks_ <= 2) {
+      for (size_t c = 0; c < nchunks_; ++c) {
+        probe.inline_chunks[c] = cur_[c];
+      }
+    } else {
+      probe.chunks = cur_.data();
+    }
+    if (visited_.find(probe) != visited_.end()) {
+      return false;
+    }
+    MemoEntry own = probe;
+    if (nchunks_ > 2) {
+      own.chunks =
+          static_cast<MaskChunk**>(sim::FramePool::Alloc(nchunks_ * sizeof(MaskChunk*)));
+      std::copy(cur_.begin(), cur_.end(), own.chunks);
+    }
+    for (MaskChunk* c : cur_) {
+      ++c->refs;
+    }
+    visited_.insert(own);
+    ++stats_->states;
+    if (completed_left == 0) {
+      finals_.insert(cur_value_);
+      if (decide_only_) {
+        found_ = true;
+        return false;
+      }
+    }
+    return true;
+  }
+
+  const CellOp* ops_;
+  size_t n_;
+  size_t nchunks_;
+  size_t completed_total_ = 0;
+  CheckStats* stats_;
+  std::vector<uint64_t> zob_;
+  std::vector<size_t> next_;
+  std::vector<size_t> prev_;
+  size_t segn_ = 1;
+  std::vector<sim::Time> seg_;
+  std::vector<MaskChunk*> cur_;  // Cursor bitset (COW handles).
+  uint64_t cur_value_ = 0;
+  uint64_t bit_hash_ = 0;  // XOR of zob_[i] over set bits.
+  std::vector<Frame> stack_;
+  std::unordered_set<MemoEntry, MemoHash, MemoEq, sim::PoolAlloc<MemoEntry>> visited_;
+  std::set<uint64_t> finals_;
+  bool decide_only_ = false;
+  bool found_ = false;
+};
+
 struct CellFailure {
   Window window;
   std::vector<uint64_t> inits;  // Register values possible at window entry.
@@ -293,9 +636,10 @@ struct CellFailure {
 
 // Checks one cell's retained ops starting from any of `inits`, chaining the
 // windows through the reachable-value sets.
-std::optional<CellFailure> RunCell(const std::vector<CellOp>& ops,
-                                   const std::vector<uint64_t>& init_values,
-                                   CheckStats* stats) {
+template <typename Dfs>
+std::optional<CellFailure> RunCellT(const std::vector<CellOp>& ops,
+                                    const std::vector<uint64_t>& init_values,
+                                    CheckStats* stats) {
   const std::vector<Window> windows = SplitWindows(ops);
   std::vector<uint64_t> inits = init_values;
   for (size_t wi = 0; wi < windows.size(); ++wi) {
@@ -303,7 +647,7 @@ std::optional<CellFailure> RunCell(const std::vector<CellOp>& ops,
     ++stats->windows;
     stats->max_window_ops = std::max(stats->max_window_ops, static_cast<uint64_t>(w.count));
     const bool last = wi + 1 == windows.size();
-    WindowDfs dfs(ops.data() + w.first, w.count, stats);
+    Dfs dfs(ops.data() + w.first, w.count, stats);
     for (uint64_t init : inits) {
       if (dfs.AddInit(init, last)) {
         return std::nullopt;  // Accepted; no later window needs the finals.
@@ -315,6 +659,17 @@ std::optional<CellFailure> RunCell(const std::vector<CellOp>& ops,
     inits.assign(dfs.finals().begin(), dfs.finals().end());
   }
   return std::nullopt;
+}
+
+// kFrontier is the production engine; kScan is the retained PR-4 engine
+// behind CheckBaseline, the frontier engine's differential oracle.
+enum class Engine { kFrontier, kScan };
+
+std::optional<CellFailure> RunCell(const std::vector<CellOp>& ops,
+                                   const std::vector<uint64_t>& init_values, CheckStats* stats,
+                                   Engine engine = Engine::kFrontier) {
+  return engine == Engine::kScan ? RunCellT<ScanWindowDfs>(ops, init_values, stats)
+                                 : RunCellT<FrontierWindowDfs>(ops, init_values, stats);
 }
 
 // Truncates a failing window at virtual time `cut`: ops invoked later are
@@ -338,6 +693,17 @@ CellInput TruncateAt(const CellInput& in, sim::Time cut) {
 
 // Shrinks a failing window to the earliest truncation that is already
 // rejected and fills the report from it.
+//
+// Rejection is MONOTONE in the cut time, which makes this a binary search
+// (O(log n) truncation re-checks — at 10^5-op windows a linear sweep would
+// dwarf the check itself): suppose T(t') is linearizable for a cut t' > t,
+// with witness L'. Every op of T(t) that completed by t has all its
+// linearization points at or before t, while every op T(t') has beyond
+// T(t) was invoked after t — so in L' those extra ops sit strictly after
+// all of T(t)'s completed ops, and T(t)'s in-flight ops (pending in both
+// views, hence optional and explanation-free) are the only ops interleaved
+// with them. Deleting the extra ops from L' therefore leaves a valid
+// witness for T(t): rejected cuts form a suffix of the sorted completions.
 void MinimizeFailure(const CellInput& window_ops, const std::vector<uint64_t>& inits,
                      uint64_t key, CheckResult* res) {
   res->linearizable = false;
@@ -356,23 +722,38 @@ void MinimizeFailure(const CellInput& window_ops, const std::vector<uint64_t>& i
   // possibly already in the register — those values can explain reads
   // without any write, so they are ambient for the capping rule.
   const std::set<uint64_t> ambient(inits.begin(), inits.end());
-  for (const auto& [cut, culprit_id] : completions) {
-    const CellInput truncated = TruncateAt(window_ops, cut);
+  auto rejected = [&](size_t k) {
+    ++res->stats.minimize_probes;
+    const CellInput truncated = TruncateAt(window_ops, completions[k].first);
     const std::vector<CellOp> retained = Preprocess(truncated, ambient);
-    if (!RunCell(retained, inits, &scratch).has_value()) {
-      continue;  // Still linearizable up to this completion.
+    return RunCellT<FrontierWindowDfs>(retained, inits, &scratch).has_value();
+  };
+
+  // The cut at the last completion keeps every completed op and only drops
+  // later-invoked pending ops, which no completed op can observe — so it
+  // fails whenever the window fails. Guard anyway and degrade to reporting
+  // the whole window if the invariant is ever violated.
+  if (!completions.empty() && rejected(completions.size() - 1)) {
+    size_t lo = 0;
+    size_t hi = completions.size() - 1;
+    while (lo < hi) {
+      const size_t mid = lo + (hi - lo) / 2;
+      if (rejected(mid)) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
     }
+    const auto& [cut, culprit_id] = completions[hi];
     res->culprit = culprit_id;
     res->window_end = cut;
     res->window_begin = cut;
-    for (const auto& [id, op] : truncated) {
+    for (const auto& [id, op] : TruncateAt(window_ops, cut)) {
       res->window_begin = std::min(res->window_begin, op.invoked);
       res->window_ops.push_back(id);
     }
     return;
   }
-  // Unreachable in practice (the full window is a failing truncation), but
-  // degrade gracefully: report the whole window.
   res->window_end = 0;
   res->window_begin = kNoDeadline;
   for (const auto& [id, op] : window_ops) {
@@ -384,9 +765,10 @@ void MinimizeFailure(const CellInput& window_ops, const std::vector<uint64_t>& i
   }
 }
 
-// Shared engine behind Check / CheckReport. Returns early without a report
-// when `res` is null.
-bool CheckImpl(const std::vector<HistoryOp>& ops, CheckResult* res) {
+// Shared pipeline behind Check / CheckReport / CheckBaseline. Returns early
+// without a report when `res` is null.
+bool CheckImpl(const std::vector<HistoryOp>& ops, CheckResult* res,
+               Engine engine = Engine::kFrontier) {
   std::map<uint64_t, CellInput> cells;  // Ordered: deterministic reports.
   for (size_t i = 0; i < ops.size(); ++i) {
     cells[ops[i].key].push_back({i, ops[i]});
@@ -400,12 +782,12 @@ bool CheckImpl(const std::vector<HistoryOp>& ops, CheckResult* res) {
     // acceptance-sound (see Preprocess) — only a REJECTION needs the exact,
     // uncapped re-run before it may be believed.
     const std::vector<CellOp> capped = Preprocess(input, {}, /*optimistic=*/true);
-    if (!RunCell(capped, {0}, stats).has_value()) {
+    if (!RunCell(capped, {0}, stats, engine).has_value()) {
       continue;
     }
     ++stats->fallback_cells;
     const std::vector<CellOp> retained = Preprocess(input);
-    std::optional<CellFailure> fail = RunCell(retained, {0}, stats);
+    std::optional<CellFailure> fail = RunCell(retained, {0}, stats, engine);
     if (!fail.has_value()) {
       continue;
     }
@@ -459,6 +841,10 @@ CheckResult LinearizabilityChecker::CheckReport(const std::vector<HistoryOp>& op
   CheckResult res;
   res.linearizable = CheckImpl(ops, &res);
   return res;
+}
+
+bool LinearizabilityChecker::CheckBaseline(const std::vector<HistoryOp>& ops) {
+  return CheckImpl(ops, nullptr, Engine::kScan);
 }
 
 // --- The pre-PR-4 bitmask DFS, kept verbatim as a differential oracle. ----

@@ -36,15 +36,34 @@
 //    of register values reachable at each cut, so concurrent tails with
 //    ambiguous outcomes stay exact.
 //
-// The state memo is a hashed set over (linearized-set bitset, register
-// value) with the bitset stored in dynamic words — no 63-op cap. The old
-// uint64-mask DFS is kept verbatim behind CheckLegacy() as a differential
-// oracle (tests/lincheck_test.cc runs both over randomized histories).
+// Scaling to 10^5-op histories (see src/verify/README.md for the design
+// note) the DFS itself is frontier-driven and its memo is persistent:
+//
+//  * Enabling rule in O(log n): ops are kept in a doubly-linked frontier
+//    list ordered by invocation time with a min-deadline segment tree over
+//    the unlinearized set. Candidates are scanned in invocation order and
+//    the scan STOPS at the first op invoked after the enabling horizon
+//    (the tree root) — the old engine's O(n) rescan per DFS node is gone.
+//  * Persistent bitset memo: the (linearized-set, register value) states
+//    are stored as arrays of refcounted 64-byte chunks (FramePool slabs)
+//    shared copy-on-write between the DFS cursor and every memoized state.
+//    Sibling states share all chunks except the one they differ in, so a
+//    memoized state costs O(1) chunks instead of an O(n/64)-word copy.
+//
+// Two older engines are kept as differential oracles
+// (tests/lincheck_test.cc runs all of them over randomized histories):
+// CheckLegacy() is the pre-PR-4 single-window uint64-mask DFS (≤63 ops),
+// and CheckBaseline() is the PR-4 scan-based engine — same reduction
+// pipeline, linear enabling scan, per-state bitset copies.
 //
 // On failure, CheckReport() shrinks the failing cell to a minimal
 // non-linearizable window: the shortest truncation of the cell (later ops
 // dropped, in-flight ops re-marked pending) that is already rejected,
 // reported as op ids + time bounds + the op whose completion broke it.
+// Rejection is monotone in the truncation cut (each truncation is exactly
+// the history an observer records at that instant), so the minimizer
+// binary-searches the completions — O(log n) truncation re-checks even for
+// a 10^5-op window (stats.minimize_probes counts them).
 //
 // Values are plain uint64 (0 = the initial/empty value). Writes should use
 // distinct values for the strongest discrimination; duplicates are handled
@@ -82,6 +101,8 @@ struct CheckStats {
   uint64_t max_window_ops = 0; // Largest window handed to the DFS.
   uint64_t fallback_cells = 0; // Cells re-checked exactly after the
                                // optimistic pending-remove cap rejected.
+  uint64_t minimize_probes = 0; // Truncation re-checks run by the failure
+                                // minimizer (binary search: O(log n)).
 };
 
 // Verdict plus, on failure, the minimal non-linearizable window.
@@ -111,6 +132,13 @@ class LinearizabilityChecker {
   // Same decision procedure, plus stats and a minimal failing window on
   // rejection.
   static CheckResult CheckReport(const std::vector<HistoryOp>& ops);
+
+  // The PR-4 scan-based engine: identical reduction pipeline (cells,
+  // pending closure, windows), but the DFS rescans all ops per node and
+  // copies the full bitset per memoized state. Decision only. Kept as the
+  // differential oracle for the frontier engine — tests/lincheck_test.cc
+  // requires verdict agreement over 10k randomized histories.
+  static bool CheckBaseline(const std::vector<HistoryOp>& ops);
 
   // The pre-PR-4 bitmask DFS, unchanged: single register (keys ignored),
   // rejects histories longer than 63 ops outright. Kept as the differential

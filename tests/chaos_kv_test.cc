@@ -27,7 +27,9 @@ namespace {
 using sim::Spawn;
 using testing::ChaosEnv;
 using testing::ChaosHistories;
+using testing::CheckerScaleSoakSpec;
 using testing::CheckHistories;
+using testing::DriveScaleScenarios;
 using testing::DriveScenarios;
 using testing::DriveSoakScenarios;
 using testing::ForcedSeed;
@@ -35,6 +37,7 @@ using testing::KvChaosClient;
 using testing::LongHorizonSoakSpec;
 using testing::ScenarioSpec;
 using testing::SeedMessage;
+using testing::SplitBrainSoakSpec;
 
 // Shared scenario epilogue: linearizability check + replayable seed message.
 // Soak runners also pass a wall-clock budget for the CHECK itself — the
@@ -43,9 +46,30 @@ using testing::SeedMessage;
 // `max_window_ops`, when nonzero, bounds the largest window the splitter
 // handed to the DFS — the remove-heavy soak's structural guard that pending
 // removes no longer swallow the whole cell.
+// `min_ops_fraction` is the degenerate-soak bar: the fraction of issued ops
+// that must appear in the recorded history. FUSEE's split-brain regimes
+// lower it — every cross-side verb fails into a 500 us STORE-WIDE recovery
+// stall, so stalls chain across the fault horizon and a large minority of
+// ops (mostly reads) die unavailable. That blindness is the finding, not a
+// broken scenario; the surviving majority still must linearize.
+// Wall-clock check budgets are waived under sanitizers: shadow-memory
+// bookkeeping slows the checker several-fold, so the budget would gate CI
+// on sanitizer overhead rather than checker complexity. The check itself
+// (and the min-ops degeneracy bar) still runs.
+#if defined(__SANITIZE_ADDRESS__)
+#define SWARM_CHECK_BUDGET_WAIVED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define SWARM_CHECK_BUDGET_WAIVED 1
+#endif
+#endif
+#ifndef SWARM_CHECK_BUDGET_WAIVED
+#define SWARM_CHECK_BUDGET_WAIVED 0
+#endif
+
 void ExpectLinearizable(const ChaosHistories& hist, const ScenarioSpec& spec,
                         const chaos::ChaosEngine& engine, double check_budget_s = 0.0,
-                        uint64_t max_window_ops = 0) {
+                        uint64_t max_window_ops = 0, double min_ops_fraction = 0.75) {
   const auto start = std::chrono::steady_clock::now();
   testing::CheckStats stats;
   const std::string violation = CheckHistories(hist, &stats);
@@ -69,12 +93,16 @@ void ExpectLinearizable(const ChaosHistories& hist, const ScenarioSpec& spec,
     for (const auto& [key, key_ops] : hist.per_key) {
       ops += key_ops.size();
     }
-    EXPECT_LT(secs, check_budget_s)
-        << "checking " << ops << " ops across " << hist.per_key.size() << " keys took " << secs
-        << " s\n  " << SeedMessage(spec, engine);
+    if (!SWARM_CHECK_BUDGET_WAIVED) {
+      EXPECT_LT(secs, check_budget_s)
+          << "checking " << ops << " ops across " << hist.per_key.size() << " keys took " << secs
+          << " s\n  " << SeedMessage(spec, engine);
+    }
     // A soak that recorded far fewer ops than its spec issued has silently
     // degenerated (e.g. everything went unavailable) and proves nothing.
-    EXPECT_GE(ops, static_cast<size_t>(spec.clients * spec.ops_per_client * 3 / 4))
+    EXPECT_GE(ops, static_cast<size_t>(
+                       static_cast<double>(spec.clients * spec.ops_per_client) *
+                       min_ops_fraction))
         << SeedMessage(spec, engine);
   }
   if (max_window_ops > 0 && stats.fallback_cells == 0) {
@@ -122,14 +150,16 @@ void RunSwarmKvScenario(const ScenarioSpec& spec, double check_budget_s = 0.0,
   std::vector<std::unique_ptr<RecyclerParticipant>> participants;
   std::vector<std::unique_ptr<index::ClientCache>> caches;
   std::vector<std::unique_ptr<kv::SwarmKvSession>> sessions;
+  std::vector<std::unique_ptr<kv::TrackedKvSession>> tracked;
   ChaosHistories hist;
   for (int i = 0; i < spec.clients; ++i) {
     Worker& w = c.MakeSkewedWorker(spec);
     caches.push_back(std::make_unique<index::ClientCache>());
     sessions.push_back(std::make_unique<kv::SwarmKvSession>(&w, &index, caches.back().get()));
-    participants.push_back(std::make_unique<RecyclerParticipant>(
-        &c.env.sim, 100 + static_cast<uint32_t>(i),
-        /*ack_delay=*/1500 + 137 * static_cast<sim::Time>(i)));
+    tracked.push_back(std::make_unique<kv::TrackedKvSession>(sessions.back().get()));
+    // Coupled participant: this client's epoch acks drain its in-flight op.
+    participants.push_back(
+        testing::MakeCoupledParticipant(&c.env.sim, i, tracked.back().get()));
     recycler.Register(participants.back().get());
   }
   c.engine.set_epoch_churn([&recycler]() -> sim::Task<void> {
@@ -144,8 +174,8 @@ void RunSwarmKvScenario(const ScenarioSpec& spec, double check_budget_s = 0.0,
     }
   });
   for (int i = 0; i < spec.clients; ++i) {
-    Spawn(KvChaosClient(&c.env, sessions[static_cast<size_t>(i)].get(),
-                        spec.seed * 131 + static_cast<uint64_t>(i), spec, &hist, mix));
+    Spawn(KvChaosClient(&c.env, tracked[static_cast<size_t>(i)].get(),
+                        spec.seed * 131 + static_cast<uint64_t>(i), spec, &hist, mix, i));
   }
   c.engine.Start();
   c.env.sim.Run();
@@ -169,14 +199,15 @@ void RunDmAbdScenario(const ScenarioSpec& spec, double check_budget_s = 0.0) {
   }
   for (int i = 0; i < spec.clients; ++i) {
     Spawn(KvChaosClient(&c.env, sessions[static_cast<size_t>(i)].get(),
-                        spec.seed * 131 + static_cast<uint64_t>(i), spec, &hist));
+                        spec.seed * 131 + static_cast<uint64_t>(i), spec, &hist, {}, i));
   }
   c.engine.Start();
   c.env.sim.Run();
   ExpectLinearizable(hist, spec, c.engine, check_budget_s);
 }
 
-void RunFuseeScenario(const ScenarioSpec& spec, double check_budget_s = 0.0) {
+void RunFuseeScenario(const ScenarioSpec& spec, double check_budget_s = 0.0,
+                      double min_ops_fraction = 0.75) {
   ChaosEnv c(spec);
   // Short recovery so the multi-phase failover completes inside the
   // scenario; FUSEE blocks all progress while it runs (§7.7).
@@ -191,11 +222,12 @@ void RunFuseeScenario(const ScenarioSpec& spec, double check_budget_s = 0.0) {
   }
   for (int i = 0; i < spec.clients; ++i) {
     Spawn(KvChaosClient(&c.env, sessions[static_cast<size_t>(i)].get(),
-                        spec.seed * 131 + static_cast<uint64_t>(i), spec, &hist));
+                        spec.seed * 131 + static_cast<uint64_t>(i), spec, &hist, {}, i));
   }
   c.engine.Start();
   c.env.sim.Run();
-  ExpectLinearizable(hist, spec, c.engine, check_budget_s);
+  ExpectLinearizable(hist, spec, c.engine, check_budget_s, /*max_window_ops=*/0,
+                     min_ops_fraction);
 }
 
 // ---------- Crash-recover scenarios (restart → repair → readmit) ----------
@@ -259,14 +291,15 @@ void RunCrashRecoverSwarmScenario(const ScenarioSpec& spec, bool stale_client = 
   std::vector<std::unique_ptr<RecyclerParticipant>> participants;
   std::vector<std::unique_ptr<index::ClientCache>> caches;
   std::vector<std::unique_ptr<kv::SwarmKvSession>> sessions;
+  std::vector<std::unique_ptr<kv::TrackedKvSession>> tracked;
   ChaosHistories hist;
   for (int i = 0; i < spec.clients; ++i) {
     Worker& w = stale_client && i == 0 ? c.MakeDeafWorker(spec) : c.MakeSkewedWorker(spec);
     caches.push_back(std::make_unique<index::ClientCache>());
     sessions.push_back(std::make_unique<kv::SwarmKvSession>(&w, &index, caches.back().get()));
-    participants.push_back(std::make_unique<RecyclerParticipant>(
-        &c.env.sim, 100 + static_cast<uint32_t>(i),
-        /*ack_delay=*/1500 + 137 * static_cast<sim::Time>(i)));
+    tracked.push_back(std::make_unique<kv::TrackedKvSession>(sessions.back().get()));
+    participants.push_back(
+        testing::MakeCoupledParticipant(&c.env.sim, i, tracked.back().get()));
     recycler.Register(participants.back().get());
   }
   repair::RepairService repair(&c.membership, &c.env.MakeWorker(0));
@@ -285,7 +318,7 @@ void RunCrashRecoverSwarmScenario(const ScenarioSpec& spec, bool stale_client = 
     }
   });
   for (int i = 0; i < spec.clients; ++i) {
-    Spawn(KvChaosClient(&c.env, sessions[static_cast<size_t>(i)].get(),
+    Spawn(KvChaosClient(&c.env, tracked[static_cast<size_t>(i)].get(),
                         spec.seed * 131 + static_cast<uint64_t>(i), spec, &hist));
   }
   c.engine.Start();
@@ -768,6 +801,140 @@ TEST(ChaosSwarmKvSoak, RemoveHeavySingleKeySoakChecksWithinBudget) {
                        spec.faults.drop_ack_weight = 4.0;
                        return spec;
                      });
+}
+
+// ---------- Client split-brain scenarios ----------
+//
+// The adversary the single-link partitions never modeled: the CLIENT
+// population is cut into two groups that each reach a disjoint subset of the
+// nodes, so both sides keep completing quorum ops against different replica
+// subsets for the split's whole duration, and the merged history is what the
+// checker must reconcile. Short spec for seed breadth; the soak variant
+// below layers splits onto the full long-horizon mix.
+
+ScenarioSpec ClientSplitSpec(uint64_t seed) {
+  ScenarioSpec spec = KvSpec(seed);
+  spec.mean_think = 16000;  // Stretch the workload past a full split.
+  spec.faults.horizon = 240 * sim::kMicrosecond;
+  spec.faults.qp_tag_count = spec.clients;  // Splits group clients by QP tag.
+  spec.faults.client_split_weight = 2.5;
+  spec.faults.min_client_split_duration = 40 * sim::kMicrosecond;
+  spec.faults.max_client_split_duration = 120 * sim::kMicrosecond;
+  return spec;
+}
+
+TEST(ChaosSwarmKv, ClientSplitBrainStaysLinearizable) {
+  DriveScenarios(15000, [](const ScenarioSpec& s) { RunSwarmKvScenario(s); }, [](uint64_t seed) {
+    ScenarioSpec spec = ClientSplitSpec(seed);
+    spec.faults.lease_weight = 0.4;
+    spec.faults.churn_weight = 0.4;
+    return spec;
+  });
+}
+
+TEST(ChaosDmAbdKv, ClientSplitBrainStaysLinearizable) {
+  DriveScenarios(15300, [](const ScenarioSpec& s) { RunDmAbdScenario(s); },
+                 [](uint64_t seed) { return ClientSplitSpec(seed); });
+}
+
+TEST(ChaosFuseeKv, ClientSplitBrainStaysLinearizable) {
+  DriveScenarios(15600, [](const ScenarioSpec& s) { RunFuseeScenario(s); }, [](uint64_t seed) {
+    ScenarioSpec spec = ClientSplitSpec(seed);
+    // Cross-side drops read as failed nodes to FUSEE's synchronous
+    // replication and each costs a recovery stall; shorter splits and milder
+    // background drops keep the scenario moving.
+    spec.faults.max_drop_p = 0.15;
+    spec.faults.max_client_split_duration = 80 * sim::kMicrosecond;
+    return spec;
+  });
+}
+
+TEST(ChaosSwarmKvSoak, ClientSplitBrainSoakStaysLinearizable) {
+  DriveSoakScenarios(44000,
+                     [](const ScenarioSpec& spec) {
+                       RunSwarmKvScenario(spec, kSoakCheckBudgetSeconds);
+                     },
+                     [](uint64_t seed) {
+                       ScenarioSpec spec = SplitBrainSoakSpec(seed);
+                       spec.faults.lease_weight = 0.5;
+                       spec.faults.churn_weight = 0.5;
+                       return spec;
+                     });
+}
+
+TEST(ChaosDmAbdKvSoak, ClientSplitBrainSoakStaysLinearizable) {
+  DriveSoakScenarios(45000,
+                     [](const ScenarioSpec& spec) {
+                       RunDmAbdScenario(spec, kSoakCheckBudgetSeconds);
+                     },
+                     [](uint64_t seed) { return SplitBrainSoakSpec(seed); });
+}
+
+TEST(ChaosFuseeKvSoak, ClientSplitBrainSoakStaysLinearizable) {
+  DriveSoakScenarios(46000,
+                     [](const ScenarioSpec& spec) {
+                       // min_ops_fraction 0.5: splits blind FUSEE (see
+                       // ExpectLinearizable) — recovery stalls chain across
+                       // the horizon and ~40% of ops die unavailable.
+                       RunFuseeScenario(spec, kSoakCheckBudgetSeconds,
+                                        /*min_ops_fraction=*/0.5);
+                     },
+                     [](uint64_t seed) {
+                       ScenarioSpec spec = SplitBrainSoakSpec(seed);
+                       spec.faults.max_drop_p = 0.12;
+                       spec.faults.client_split_weight = 0.5;
+                       spec.faults.min_client_split_duration = 30 * sim::kMicrosecond;
+                       spec.faults.max_client_split_duration = 80 * sim::kMicrosecond;
+                       return spec;
+                     });
+}
+
+// ---------- Checker-scale storms: 10^5 ops per scenario ----------
+//
+// 10 clients x 10,000 ops over 64 keys under client split-brain plus
+// multi-tenant Zipfian hot-key contention (theta=0.99, 5 tenants on rotated
+// hot sets — the examples/ workload promoted into the fault regime). The
+// hottest cells run to ~10^4 ops, the scale the frontier DFS + persistent
+// memo were built for; the 60 s budget is the acceptance bar and is pure
+// check time, not simulation time. Suites are named *ScaleSoak* so the
+// chaos-soak CI jobs can exclude them; the checker-scale job runs them with
+// CHAOS_SCALE_SCENARIOS raised (locally they default to one scenario each).
+
+constexpr double kScaleCheckBudgetSeconds = 60.0;
+
+TEST(ChaosSwarmKvScaleSoak, HundredThousandOpStormStaysLinearizable) {
+  DriveScaleScenarios(47000,
+                      [](const ScenarioSpec& spec) {
+                        RunSwarmKvScenario(spec, kScaleCheckBudgetSeconds);
+                      },
+                      [](uint64_t seed) {
+                        ScenarioSpec spec = CheckerScaleSoakSpec(seed);
+                        spec.faults.lease_weight = 0.5;
+                        spec.faults.churn_weight = 0.5;
+                        return spec;
+                      });
+}
+
+TEST(ChaosDmAbdKvScaleSoak, HundredThousandOpStormStaysLinearizable) {
+  DriveScaleScenarios(48000,
+                      [](const ScenarioSpec& spec) {
+                        RunDmAbdScenario(spec, kScaleCheckBudgetSeconds);
+                      },
+                      [](uint64_t seed) { return CheckerScaleSoakSpec(seed); });
+}
+
+TEST(ChaosFuseeKvScaleSoak, HundredThousandOpStormStaysLinearizable) {
+  DriveScaleScenarios(49000,
+                      [](const ScenarioSpec& spec) {
+                        RunFuseeScenario(spec, kScaleCheckBudgetSeconds,
+                                         /*min_ops_fraction=*/0.5);
+                      },
+                      [](uint64_t seed) {
+                        ScenarioSpec spec = CheckerScaleSoakSpec(seed);
+                        spec.faults.max_drop_p = 0.10;
+                        spec.faults.max_client_split_duration = 100 * sim::kMicrosecond;
+                        return spec;
+                      });
 }
 
 }  // namespace

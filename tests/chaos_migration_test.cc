@@ -118,15 +118,16 @@ void RunMigrationSwarmScenario(const ScenarioSpec& spec) {
   std::vector<std::unique_ptr<RecyclerParticipant>> participants;
   std::vector<std::unique_ptr<index::ClientCache>> caches;
   std::vector<std::unique_ptr<kv::SwarmKvSession>> sessions;
+  std::vector<std::unique_ptr<kv::TrackedKvSession>> tracked;
   ChaosHistories hist;
   for (int i = 0; i < spec.clients; ++i) {
     Worker& w = c.MakeSkewedWorker(spec);
     caches.push_back(std::make_unique<index::ClientCache>());
     sessions.push_back(std::make_unique<kv::SwarmKvSession>(&w, &index, caches.back().get()));
     sessions.back()->set_serving(c.membership.serving());  // Placement filter.
-    participants.push_back(std::make_unique<RecyclerParticipant>(
-        &c.env.sim, 100 + static_cast<uint32_t>(i),
-        /*ack_delay=*/1500 + 137 * static_cast<sim::Time>(i)));
+    tracked.push_back(std::make_unique<kv::TrackedKvSession>(sessions.back().get()));
+    participants.push_back(
+        testing::MakeCoupledParticipant(&c.env.sim, i, tracked.back().get()));
     recycler.Register(participants.back().get());
   }
   repair::RepairService repair(&c.membership, &c.env.MakeWorker(0));
@@ -149,7 +150,7 @@ void RunMigrationSwarmScenario(const ScenarioSpec& spec) {
     }
   });
   for (int i = 0; i < spec.clients; ++i) {
-    Spawn(KvChaosClient(&c.env, sessions[static_cast<size_t>(i)].get(),
+    Spawn(KvChaosClient(&c.env, tracked[static_cast<size_t>(i)].get(),
                         spec.seed * 131 + static_cast<uint64_t>(i), spec, &hist));
   }
   c.engine.Start();

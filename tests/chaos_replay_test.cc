@@ -87,13 +87,15 @@ RunDigest RunFullMixScenario(uint64_t seed) {
   std::vector<std::unique_ptr<RecyclerParticipant>> participants;
   std::vector<std::unique_ptr<index::ClientCache>> caches;
   std::vector<std::unique_ptr<kv::SwarmKvSession>> sessions;
+  std::vector<std::unique_ptr<kv::TrackedKvSession>> tracked;
   ChaosHistories hist;
   for (int i = 0; i < spec.clients; ++i) {
     Worker& w = c.MakeSkewedWorker(spec);
     caches.push_back(std::make_unique<index::ClientCache>());
     sessions.push_back(std::make_unique<kv::SwarmKvSession>(&w, &index, caches.back().get()));
-    participants.push_back(std::make_unique<RecyclerParticipant>(
-        &c.env.sim, 100 + static_cast<uint32_t>(i), 1500 + 137 * static_cast<sim::Time>(i)));
+    tracked.push_back(std::make_unique<kv::TrackedKvSession>(sessions.back().get()));
+    participants.push_back(
+        testing::MakeCoupledParticipant(&c.env.sim, i, tracked.back().get()));
     recycler.Register(participants.back().get());
   }
   c.engine.set_epoch_churn([&recycler]() -> Task<void> {
@@ -101,7 +103,7 @@ RunDigest RunFullMixScenario(uint64_t seed) {
     return recycler.RunRound();
   });
   for (int i = 0; i < spec.clients; ++i) {
-    Spawn(KvChaosClient(&c.env, sessions[static_cast<size_t>(i)].get(),
+    Spawn(KvChaosClient(&c.env, tracked[static_cast<size_t>(i)].get(),
                         spec.seed * 131 + static_cast<uint64_t>(i), spec, &hist));
   }
   c.engine.Start();
@@ -743,15 +745,16 @@ CanaryOutcome RunMigrationFenceCanaryScenario(uint64_t seed, bool flip_fence) {
   std::vector<std::unique_ptr<RecyclerParticipant>> participants;
   std::vector<std::unique_ptr<index::ClientCache>> caches;
   std::vector<std::unique_ptr<kv::SwarmKvSession>> sessions;
+  std::vector<std::unique_ptr<kv::TrackedKvSession>> tracked;
   ChaosHistories hist;
   for (int i = 0; i < spec.clients; ++i) {
     Worker& w = c.MakeSkewedWorker(spec);
     caches.push_back(std::make_unique<index::ClientCache>());
     sessions.push_back(std::make_unique<kv::SwarmKvSession>(&w, &index, caches.back().get()));
     sessions.back()->set_serving(c.membership.serving());
-    participants.push_back(std::make_unique<RecyclerParticipant>(
-        &c.env.sim, 100 + static_cast<uint32_t>(i),
-        /*ack_delay=*/1500 + 137 * static_cast<sim::Time>(i)));
+    tracked.push_back(std::make_unique<kv::TrackedKvSession>(sessions.back().get()));
+    participants.push_back(
+        testing::MakeCoupledParticipant(&c.env.sim, i, tracked.back().get()));
     recycler.Register(participants.back().get());
   }
   repair::MigrationConfig mcfg;
@@ -774,7 +777,7 @@ CanaryOutcome RunMigrationFenceCanaryScenario(uint64_t seed, bool flip_fence) {
     }
   });
   for (int i = 0; i < spec.clients; ++i) {
-    Spawn(KvChaosClient(&c.env, sessions[static_cast<size_t>(i)].get(),
+    Spawn(KvChaosClient(&c.env, tracked[static_cast<size_t>(i)].get(),
                         spec.seed * 131 + static_cast<uint64_t>(i), spec, &hist));
   }
   c.engine.Start();
@@ -1042,6 +1045,104 @@ TEST(ChaosQpDrop, BurstsTargetOnlyTheTaggedQp) {
   EXPECT_GT(victim_failures, 0) << "bursts " << bursts;
   EXPECT_EQ(bystander_failures, 0)
       << "per-QP bursts leaked onto an untagged client's QP (bursts=" << bursts << ")";
+}
+
+// ---------- The undersized-writer-bound canary ----------
+//
+// The bug the 10-client checker-scale storms caught (first at seed 47000 of
+// ChaosSwarmKvScaleSoak): ProtocolConfig.max_writers stayed at the default
+// W=8 while the spec ran 10 client writers. A layout's TSL region holds
+// exactly W lock words, so tids 8–9 CASed PAST their object's slab slot into
+// the NEIGHBORING object's words. Their tombstone-bounce arbitration then
+// read that foreign memory as a garbage lock counter (always "higher"),
+// lost write-locks no reader ever took, and reported kOk for writes that
+// never took effect — after which reads returned older values written
+// before those acknowledged writes, a real-time-order violation. Pre-fix
+// (enforce_writer_bounds OFF: ChaosEnv keeps W=8 verbatim and Safe-Guess's
+// fail-fast bound check stands down) the checker must catch the violation
+// within a bounded seed budget and replay it byte-identically; the fixed
+// configuration (auto-sized W, check armed) must stay green on the same
+// seeds.
+
+ScenarioSpec WriterBoundCanarySpec(uint64_t seed) {
+  ScenarioSpec spec;
+  spec.seed = seed;
+  spec.clients = 10;  // Two writers past the default W=8 TSL bound.
+  spec.keys = 4;      // Dense slab neighborhood: OOB lock words hit live objects.
+  spec.ops_per_client = 400;
+  spec.value_size = 16;
+  spec.mean_think = 4000;
+  spec.faults.horizon = 3 * sim::kMillisecond;
+  spec.faults.mean_gap = 150 * sim::kMicrosecond;
+  spec.faults.max_crashed = 1;
+  spec.faults.restart = false;  // Crash-stop: histories stay checkable.
+  spec.faults.max_drop_p = 0.20;
+  spec.faults.qp_drop_weight = 0.5;
+  spec.faults.qp_tag_count = spec.clients;
+  spec.faults.client_split_weight = 1.0;
+  return spec;
+}
+
+CanaryOutcome RunWriterBoundCanaryScenario(uint64_t seed, bool enforce_bounds) {
+  const ScenarioSpec spec = WriterBoundCanarySpec(seed);
+  ProtocolConfig pcfg = testing::TestEnv::DefaultProtocol();
+  // OFF = the pre-fix build: ChaosEnv::SizeProtocolFor leaves W=8 for the 10
+  // writers and the protocol's own bound check does not abort, reproducing
+  // the historical out-of-bounds lock arbitration byte-for-byte.
+  pcfg.enforce_writer_bounds = enforce_bounds;
+
+  ChaosEnv c(spec, testing::TestEnv::DefaultFabric(), pcfg);
+  index::IndexService index(&c.env.sim, &c.env.fabric);
+  std::vector<std::unique_ptr<index::ClientCache>> caches;
+  std::vector<std::unique_ptr<kv::SwarmKvSession>> sessions;
+  ChaosHistories hist;
+  for (int i = 0; i < spec.clients; ++i) {
+    Worker& w = c.MakeSkewedWorker(spec);
+    caches.push_back(std::make_unique<index::ClientCache>());
+    sessions.push_back(std::make_unique<kv::SwarmKvSession>(&w, &index, caches.back().get()));
+  }
+  // Remove-heavy mix: the corruption bites inside the tombstone-bounce
+  // arbitration, so removes (and the re-inserts/updates that bounce off
+  // their tombstones) dominate the dice.
+  const testing::KvOpMix mix{0.30, 0.60, 0.75};
+  for (int i = 0; i < spec.clients; ++i) {
+    Spawn(KvChaosClient(&c.env, sessions[static_cast<size_t>(i)].get(),
+                        spec.seed * 131 + static_cast<uint64_t>(i), spec, &hist, mix, i));
+  }
+  c.engine.Start();
+  c.env.sim.Run();
+
+  CanaryOutcome out;
+  out.violation = CheckHistories(hist);
+  out.violated = !out.violation.empty();
+  out.trace_hash = c.engine.TraceHash();
+  return out;
+}
+
+TEST(ChaosReplay, TenWriterStormWithSizedTslStaysLinearizable) {
+  // The canary seeds under the FIXED build — ChaosEnv widens the TSL region
+  // to the client population and the bound check is armed. Must be clean on
+  // the exact seeds the pre-fix canary scans, or the canary proves nothing.
+  uint64_t forced = 0;
+  if (testing::ForcedSeed(&forced)) {
+    CanaryOutcome out = RunWriterBoundCanaryScenario(forced, /*enforce_bounds=*/true);
+    ASSERT_FALSE(out.violated) << "seed " << forced << ": " << out.violation;
+    return;
+  }
+  for (int i = 0; i < 40; ++i) {
+    const uint64_t seed = 18000 + static_cast<uint64_t>(i);
+    CanaryOutcome out = RunWriterBoundCanaryScenario(seed, /*enforce_bounds=*/true);
+    ASSERT_FALSE(out.violated) << "seed " << seed << ": " << out.violation;
+  }
+}
+
+TEST(ChaosCanary, UndersizedWriterBoundIsCaughtAndReplays) {
+  ExpectCanaryCaught(
+      18000,
+      [](uint64_t seed) {
+        return RunWriterBoundCanaryScenario(seed, /*enforce_bounds=*/false);
+      },
+      "undersized-writer-bound");
 }
 
 TEST(ChaosCanary, WeakQuorumBugIsCaughtAndItsSeedReplays) {

@@ -29,9 +29,13 @@ HistoryOp R(uint64_t v, sim::Time inv, sim::Time resp) { return {false, v, inv, 
 HistoryOp PW(uint64_t v, sim::Time inv) { return {true, v, inv, 0, true}; }
 HistoryOp PR(sim::Time inv) { return {false, 0, inv, 0, true}; }
 
-// Both engines plus the report must agree on every handwritten shape.
+// All engines plus the report must agree on every handwritten shape: the
+// frontier engine (Check), the retained scan engine (CheckBaseline), the
+// legacy bitmask DFS where it applies, and CheckReport's verdict.
 void ExpectVerdict(const std::vector<HistoryOp>& ops, bool linearizable) {
   EXPECT_EQ(LinearizabilityChecker::Check(ops), linearizable);
+  EXPECT_EQ(LinearizabilityChecker::CheckBaseline(ops), linearizable)
+      << "scan baseline disagrees";
   if (ops.size() <= 63) {
     EXPECT_EQ(LinearizabilityChecker::CheckLegacy(ops), linearizable)
         << "legacy oracle disagrees";
@@ -392,8 +396,9 @@ TEST(LincheckDifferential, TenThousandRandomHistoriesAgreeWithLegacyDfs) {
     }
     const bool legacy = LinearizabilityChecker::CheckLegacy(h);
     const bool wgl = LinearizabilityChecker::Check(h);
+    const bool scan = LinearizabilityChecker::CheckBaseline(h);
     rejected += wgl ? 0 : 1;
-    if (legacy != wgl) {
+    if (legacy != wgl || scan != wgl) {
       std::string dump;
       for (const HistoryOp& op : h) {
         dump += std::string(op.is_write ? " W(" : " R(") + std::to_string(op.value) + ")@" +
@@ -401,13 +406,62 @@ TEST(LincheckDifferential, TenThousandRandomHistoriesAgreeWithLegacyDfs) {
                 (op.pending ? "p" : ".." + std::to_string(op.responded));
       }
       FAIL() << "verdicts disagree on iteration " << iter << " (legacy=" << legacy
-             << " wgl=" << wgl << "):" << dump;
+             << " wgl=" << wgl << " scan=" << scan << "):" << dump;
     }
   }
   // The sweep must actually discriminate: a generator that only produces
   // trivially-accepted histories would prove nothing.
   EXPECT_GT(rejected, 1000);
   EXPECT_LT(rejected, 9000);
+}
+
+// The frontier engine vs. the retained scan engine BEYOND the legacy cap:
+// medium multi-key histories with enough overlap that windows hold dozens
+// of concurrent ops, exercising the COW chunk memo and the frontier list
+// through nontrivial backtracking. Verdicts must match exactly.
+TEST(LincheckDifferential, FrontierAgreesWithScanBaselineOnMediumHistories) {
+  sim::Rng rng(20260808);
+  int rejected = 0;
+  for (int iter = 0; iter < 2000; ++iter) {
+    const int n = 20 + static_cast<int>(rng.Below(80));
+    const uint64_t values = 1 + rng.Below(6);
+    const uint64_t keys = 1 + rng.Below(3);
+    std::vector<HistoryOp> h;
+    h.reserve(static_cast<size_t>(n));
+    // A rolling clock with short overlaps keeps windows at a handful of
+    // concurrent ops — the regime both engines must traverse identically.
+    // (Fully random invocations at n≈100 would put the whole history in one
+    // window and make BOTH engines exponential; window size, not history
+    // length, bounds WGL cost.)
+    sim::Time t = 0;
+    std::vector<uint64_t> current(keys, 0);  // Tracked committed value per key.
+    for (int i = 0; i < n; ++i) {
+      HistoryOp op;
+      op.is_write = rng.Chance(0.5);
+      op.key = rng.Below(keys);
+      t += 1 + static_cast<sim::Time>(rng.Below(20));
+      op.invoked = t;
+      op.responded = t + 1 + static_cast<sim::Time>(rng.Below(40));
+      op.pending = rng.Chance(0.15);
+      if (op.is_write) {
+        op.value = rng.Below(values + 1);
+        if (!op.pending) {
+          current[op.key] = op.value;
+        }
+      } else {
+        // Mostly-plausible reads (overlap still produces honest rejections),
+        // rarely a corrupt one — so both verdicts stay well represented.
+        op.value = rng.Chance(0.03) ? rng.Below(values + 1) : current[op.key];
+      }
+      h.push_back(op);
+    }
+    const bool frontier = LinearizabilityChecker::Check(h);
+    const bool scan = LinearizabilityChecker::CheckBaseline(h);
+    rejected += frontier ? 0 : 1;
+    ASSERT_EQ(frontier, scan) << "engines disagree on iteration " << iter;
+  }
+  EXPECT_GT(rejected, 200);
+  EXPECT_LT(rejected, 1900);
 }
 
 // ---------- The soak acceptance bar ----------
@@ -492,6 +546,82 @@ TEST(LincheckSoak, TwoThousandOpMultiKeyHistoryChecksUnderFiveSeconds) {
   EXPECT_LT(secs, 5.0) << report.Describe(h);
   EXPECT_EQ(report.stats.cells, 64u);
   EXPECT_GE(report.stats.windows, report.stats.cells);
+}
+
+// The tentpole bar: a 10^5-op / 64-key chaos-shaped history — 50x the
+// previous soak scale — checks in well under the 60 s CI budget (it runs in
+// about a second; the bound leaves room for slow shared runners and ASan).
+TEST(LincheckSoak, HundredThousandOpMultiKeyHistoryChecksUnderSixtySeconds) {
+  sim::Rng rng(11);
+  std::vector<HistoryOp> h;
+  std::vector<uint64_t> current(64, 0);
+  uint64_t next_value = 1;
+  sim::Time t = 0;
+  while (h.size() < 100000) {
+    const uint64_t key = rng.Below(64);
+    t += 1 + static_cast<sim::Time>(rng.Below(40));
+    HistoryOp op;
+    op.key = key;
+    op.invoked = t;
+    op.responded = t + 1 + static_cast<sim::Time>(rng.Below(200));
+    if (rng.Chance(0.45)) {
+      op.is_write = true;
+      op.value = next_value++;
+      if (rng.Chance(0.08)) {
+        op.pending = true;
+      } else {
+        current[key] = op.value;
+      }
+    } else {
+      op.is_write = false;
+      op.value = current[key];
+    }
+    h.push_back(op);
+  }
+  const auto start = std::chrono::steady_clock::now();
+  CheckResult report = LinearizabilityChecker::CheckReport(h);
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  EXPECT_LT(secs, 60.0) << report.Describe(h);
+  EXPECT_EQ(report.stats.cells, 64u);
+  EXPECT_GE(report.stats.windows, report.stats.cells);
+}
+
+// ---------- Minimizer cost and report shape at scale ----------
+
+// The failure minimizer binary-searches the completion cuts, so even a
+// many-thousand-op failing window costs O(log n) truncation re-checks —
+// and the culprit/window naming must survive the frontier rewrite.
+TEST(LincheckSoak, MinimizerProbesStaySubLinearAtScale) {
+  // A 10,000-write chain where every write overlaps the next — no quiescent
+  // point ever occurs, so the whole cell is ONE window — capped by a stale
+  // read overlapping the chain's tail. The minimizer faces 10,001
+  // completions; a linear truncation sweep would re-check the giant window
+  // per completion (the pre-rewrite behavior, quadratic and minutes-slow),
+  // while the binary search must land the same earliest failing cut in
+  // O(log n) probes.
+  std::vector<HistoryOp> h;
+  const uint64_t kWrites = 10000;
+  for (uint64_t i = 1; i <= kWrites; ++i) {
+    const sim::Time t = static_cast<sim::Time>(10 * i);
+    h.push_back(W(i, t, t + 15));  // Overlaps W(i+1) invoked at t + 10.
+  }
+  // Stale read of the first value, still overlapping W(kWrites): every
+  // write must linearize before it, so value 1 is impossible.
+  const sim::Time tail = static_cast<sim::Time>(10 * kWrites);
+  h.push_back(R(1, tail + 5, tail + 20));
+  const auto start = std::chrono::steady_clock::now();
+  CheckResult report = LinearizabilityChecker::CheckReport(h);
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  ASSERT_FALSE(report.linearizable);
+  EXPECT_EQ(report.culprit, h.size() - 1) << report.Describe(h).substr(0, 400);
+  EXPECT_EQ(report.stats.max_window_ops, kWrites + 1) << "expected one giant window";
+  // ceil(log2(10001)) = 14 plus the suffix guard probe, with slack — far
+  // below the 10,001 probes of a linear sweep.
+  EXPECT_GT(report.stats.minimize_probes, 1u);
+  EXPECT_LE(report.stats.minimize_probes, 24u);
+  EXPECT_LT(secs, 10.0) << "minimization dominated the check";
 }
 
 }  // namespace

@@ -6,7 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <span>
+
 #include "src/fabric/fabric.h"
+#include "src/kv/tracked_session.h"
 #include "src/sim/simulator.h"
 
 namespace swarm {
@@ -158,6 +162,83 @@ TEST(Recycler, SafeHorizonWaitsForInFlightRepair) {
   EXPECT_EQ(env.recycler.SafeReclaimBefore(), 1u);
   EXPECT_GE(horizon_advanced_at, repair_done_at)
       << "the safe horizon advanced past an in-flight repair";
+}
+
+// A stand-in store whose every op takes a fixed virtual time — long enough
+// to straddle a recycling round, like a real op chasing an out-of-place
+// pointer across delay spikes.
+struct SlowSession : kv::KvSession {
+  SlowSession(sim::Simulator* s, sim::Time l) : sim(s), latency(l) {}
+  sim::Task<kv::KvResult> Get(uint64_t) override { return Op(); }
+  sim::Task<kv::KvResult> Update(uint64_t, std::span<const uint8_t>) override { return Op(); }
+  sim::Task<kv::KvResult> Insert(uint64_t, std::span<const uint8_t>) override { return Op(); }
+  sim::Task<kv::KvResult> Remove(uint64_t) override { return Op(); }
+  sim::Task<kv::KvResult> Op() {
+    co_await sim->Delay(latency);
+    co_return kv::KvResult{kv::KvStatus::kOk};
+  }
+  sim::Simulator* sim;
+  sim::Time latency;
+};
+
+TEST(Recycler, SyntheticAckAdvancesHorizonPastLiveOpCoupledAckDoesNot) {
+  // THE REGRESSION the TrackedKvSession coupling closes: an UNCOUPLED
+  // participant acknowledges an epoch after its synthetic delay even while
+  // the client's own operation is still mid-flight — the safe horizon then
+  // passes buffers that op may still be reading, and only the index GC's
+  // use-count crutch kept the simulation honest. A COUPLED participant's
+  // ack first drains every op in flight at the drain's start (§4.5's
+  // "readers acknowledge" actually meaning something).
+  for (const bool coupled : {false, true}) {
+    RecyclerEnv env;
+    SlowSession slow(&env.sim, /*latency=*/3 * sim::kMillisecond);
+    kv::TrackedKvSession session(&slow);
+    RecyclerParticipant p(&env.sim, 1, /*ack_delay=*/300);
+    if (coupled) {
+      p.CoupleDrain([&session] { return session.next_seq(); },
+                    [&session] { return session.oldest_inflight(); });
+    }
+    env.recycler.Register(&p);
+
+    sim::Time op_done_at = 0;
+    auto op = [](kv::TrackedKvSession* s, sim::Simulator* sim,
+                 sim::Time* done) -> sim::Task<void> {
+      (void)co_await s->Get(7);
+      *done = sim->Now();
+    };
+    sim::Time horizon_at = 0;
+    auto watcher = [](RecyclerEnv* env, sim::Time* at) -> sim::Task<void> {
+      while (env->recycler.SafeReclaimBefore() == 0) {
+        co_await env->sim.Delay(100);
+      }
+      *at = env->sim.Now();
+    };
+    // Real clients renew continuously; keep the lease fresh past the drain
+    // so the round's only way forward is the ack itself.
+    auto heartbeats = [](RecyclerEnv* env) -> sim::Task<void> {
+      for (int i = 0; i < 12; ++i) {
+        env->recycler.HeartbeatAll();
+        co_await env->sim.Delay(500 * sim::kMicrosecond);
+      }
+    };
+    sim::Spawn(op(&session, &env.sim, &op_done_at));  // In flight at round start.
+    sim::Spawn(env.recycler.RunRound());
+    sim::Spawn(watcher(&env, &horizon_at));
+    sim::Spawn(heartbeats(&env));
+    env.sim.Run();
+
+    ASSERT_EQ(env.recycler.SafeReclaimBefore(), 1u) << "coupled=" << coupled;
+    EXPECT_EQ(env.recycler.fenced_clients(), 0u) << "coupled=" << coupled;
+    ASSERT_GT(op_done_at, 0u) << "coupled=" << coupled;
+    if (coupled) {
+      EXPECT_GE(horizon_at, op_done_at)
+          << "a coupled ack let the safe horizon pass a live op";
+    } else {
+      // The old synthetic behavior, demonstrably unsafe: the horizon moved
+      // while the op was still in flight.
+      EXPECT_LT(horizon_at, op_done_at);
+    }
+  }
 }
 
 TEST(Membership, NodeCrashNotificationReachesSubscribers) {

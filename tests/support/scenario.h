@@ -22,12 +22,16 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/kv/kv_types.h"
+#include "src/kv/tracked_session.h"
 #include "src/membership/membership.h"
 #include "src/sim/chaos.h"
+#include "src/swarm/recycler.h"
+#include "src/ycsb/workload.h"
 #include "tests/support/lincheck.h"
 #include "tests/support/test_env.h"
 
@@ -59,6 +63,19 @@ inline int SoakScenarioCount(int fallback = kDefaultSoakScenarios) {
   return fallback;
 }
 
+// Checker-scale soaks (10^5 ops) are ~50x a long-horizon soak, so they get
+// their own knob and default to ONE scenario per suite locally; the CI
+// checker-scale job raises it.
+inline int ScaleScenarioCount(int fallback = 1) {
+  if (const char* s = std::getenv("CHAOS_SCALE_SCENARIOS")) {
+    const long v = std::strtol(s, nullptr, 10);
+    if (v > 0) {
+      return static_cast<int>(v);
+    }
+  }
+  return fallback;
+}
+
 // Replay mode: CHAOS_SEED pins every suite to one seed.
 inline bool ForcedSeed(uint64_t* seed) {
   if (const char* s = std::getenv("CHAOS_SEED")) {
@@ -78,6 +95,15 @@ struct ScenarioSpec {
   uint32_t value_size = 16;
   sim::Time mean_think = 6000;     // Mean gap between a client's ops.
   int64_t max_clock_skew = 5000;   // Per-client GuessClock skew bound, ns.
+  // Hot-key contention (multi-tenant Zipfian storms): when zipf_theta > 0,
+  // KvChaosClient draws keys Zipfian(theta)-skewed instead of uniformly.
+  // With tenants > 1, client c belongs to tenant (c % tenants) and its
+  // distribution is rotated by the tenant's block offset, so each tenant
+  // hammers a DIFFERENT hot key while all tenants share the full key space
+  // — per-key cells stay dense (the checker-scale regime) without
+  // partitioning the store into disjoint namespaces.
+  double zipf_theta = 0.0;
+  int tenants = 1;
   chaos::ChaosConfig faults;
 };
 
@@ -107,6 +133,50 @@ inline ScenarioSpec LongHorizonSoakSpec(uint64_t seed) {
   return spec;
 }
 
+// The long-horizon regime plus recurring client split-brain partitions:
+// the client population is repeatedly cut into two groups that each see a
+// disjoint subset of the nodes (chaos::ChaosConfig::client_split_weight), so
+// both sides keep completing ops against different replica subsets and the
+// merged history is what the checker must reconcile. The weight makes splits
+// the single most likely fault class; everything else from the soak mix
+// stays in.
+inline ScenarioSpec SplitBrainSoakSpec(uint64_t seed) {
+  ScenarioSpec spec = LongHorizonSoakSpec(seed);
+  spec.faults.client_split_weight = 1.5;
+  spec.faults.min_client_split_duration = 40 * sim::kMicrosecond;
+  spec.faults.max_client_split_duration = 200 * sim::kMicrosecond;
+  return spec;
+}
+
+// Checker-scale soak: 10^5 ops (10 clients x 10,000 ops over 64 keys,
+// ~100 ms of virtual time) under client split-brain + multi-tenant Zipfian
+// hot-key contention. The fault horizon covers the first ~40 ms so the tail
+// drains cleanly and histories complete. This is the regime the frontier
+// checker + persistent memo were built for: the hottest tenant keys
+// accumulate 10^4-op cells, which the scan-based engine's O(n) enabling
+// rescan and per-state bitset copies made intractable. Suites assert a
+// wall-clock budget on the check itself (<60 s, see chaos_kv_test.cc).
+inline ScenarioSpec CheckerScaleSoakSpec(uint64_t seed) {
+  ScenarioSpec spec;
+  spec.seed = seed;
+  spec.clients = 10;
+  spec.keys = 64;
+  spec.ops_per_client = 10000;  // 100,000 ops total.
+  spec.value_size = 16;
+  spec.mean_think = 5000;
+  spec.zipf_theta = 0.99;
+  spec.tenants = 5;
+  spec.faults.horizon = 40 * sim::kMillisecond;
+  spec.faults.mean_gap = 150 * sim::kMicrosecond;  // ~250 faults per scenario.
+  spec.faults.max_crashed = 1;
+  spec.faults.restart = false;  // Crash-stop unless the suite wires repair.
+  spec.faults.max_drop_p = 0.20;
+  spec.faults.qp_drop_weight = 0.5;
+  spec.faults.qp_tag_count = spec.clients;
+  spec.faults.client_split_weight = 1.0;
+  return spec;
+}
+
 // Simulator + fabric + membership + chaos engine wired the way a chaos
 // scenario needs them. Workers subscribe to membership notifications and
 // share the membership service's per-node `repairing` set, so quorum
@@ -114,10 +184,24 @@ inline ScenarioSpec LongHorizonSoakSpec(uint64_t seed) {
 // also carries a membership epoch (§5.4 QP revocation) pushed by the
 // service, so every chaos suite exercises the epoch-fenced verb path.
 struct ChaosEnv {
+  // Every chaos client worker is a writer, so a spec with more clients than
+  // the configured W must widen each object's TSL region: a writer tid past
+  // the region would CAS the neighboring slab slot's words and mis-arbitrate
+  // its own guesses (caught by the 10-client checker-scale storms; see the
+  // UndersizedWriterBound canary in chaos_replay_test.cc). A caller that
+  // turns enforce_writer_bounds off keeps its config verbatim — that is the
+  // canary's pre-fix reproduction path.
+  static ProtocolConfig SizeProtocolFor(const ScenarioSpec& spec, ProtocolConfig pcfg) {
+    if (pcfg.enforce_writer_bounds) {
+      pcfg.max_writers = std::max(pcfg.max_writers, spec.clients);
+    }
+    return pcfg;
+  }
+
   explicit ChaosEnv(const ScenarioSpec& spec,
                     fabric::FabricConfig fcfg = TestEnv::DefaultFabric(),
                     ProtocolConfig pcfg = TestEnv::DefaultProtocol())
-      : env(spec.seed, fcfg, pcfg),
+      : env(spec.seed, fcfg, SizeProtocolFor(spec, pcfg)),
         membership(&env.sim, &env.fabric, /*detection_delay=*/50 * sim::kMicrosecond),
         engine(&env.fabric, &membership, spec.faults) {
     membership.Subscribe(env.known_failed);
@@ -162,6 +246,22 @@ struct ChaosEnv {
   int next_chaos_tag_ = 0;
 };
 
+// Client `client`'s recycling participant, COUPLED to its real op stream:
+// the epoch ack drains the session's in-flight ops
+// (RecyclerParticipant::CoupleDrain) instead of completing after a purely
+// synthetic delay — the §4.5 contract the safe-reclaim horizon claims. The
+// staggered ack_delay still models the network + scheduling latency in front
+// of the drain.
+inline std::unique_ptr<RecyclerParticipant> MakeCoupledParticipant(
+    sim::Simulator* sim, int client, kv::TrackedKvSession* session) {
+  auto p = std::make_unique<RecyclerParticipant>(
+      sim, 100 + static_cast<uint32_t>(client),
+      /*ack_delay=*/1500 + 137 * static_cast<sim::Time>(client));
+  p->CoupleDrain([session] { return session->next_seq(); },
+                 [session] { return session->oldest_inflight(); });
+  return p;
+}
+
 inline std::vector<uint8_t> EncodeValue(uint64_t v, uint32_t size) {
   std::vector<uint8_t> b(std::max<uint32_t>(size, 8));
   std::memcpy(b.data(), &v, 8);
@@ -201,12 +301,23 @@ struct KvOpMix {
 // ambiguity LinearizabilityChecker::Check resolves.
 inline sim::Task<void> KvChaosClient(TestEnv* env, kv::KvSession* kv, uint64_t rng_seed,
                                      const ScenarioSpec& spec, ChaosHistories* hist,
-                                     KvOpMix mix = {}) {
+                                     KvOpMix mix = {}, int client = 0) {
   sim::Rng rng(rng_seed);
+  // Zipfian hot-key mode: rank 0 (the hottest key) maps to the client's
+  // tenant offset, so tenants contend on different hot keys over the shared
+  // key space. Draws come from the client's own rng — determinism per
+  // (spec, seed) is unchanged.
+  ycsb::ZipfianGenerator zipf(spec.keys, spec.zipf_theta > 0.0 ? spec.zipf_theta : 0.99);
+  const uint64_t tenant_offset =
+      spec.tenants > 1
+          ? static_cast<uint64_t>(client % spec.tenants) * (spec.keys / spec.tenants)
+          : 0;
   for (int i = 0; i < spec.ops_per_client; ++i) {
     co_await env->sim.Delay(1 + static_cast<sim::Time>(
                                     rng.Below(static_cast<uint64_t>(2 * spec.mean_think))));
-    const uint64_t key = rng.Below(spec.keys);
+    const uint64_t key = spec.zipf_theta > 0.0
+                             ? (zipf.Next(rng) + tenant_offset) % spec.keys
+                             : rng.Below(spec.keys);
     const double dice = rng.Double();
     HistoryOp op;
     op.invoked = env->sim.Now();
@@ -318,6 +429,12 @@ void DriveScenarios(uint64_t seed_base, RunFn run, SpecFn make_spec) {
 template <typename RunFn, typename SpecFn>
 void DriveSoakScenarios(uint64_t seed_base, RunFn run, SpecFn make_spec) {
   DriveScenariosN(SoakScenarioCount(), seed_base, run, make_spec);
+}
+
+// Checker-scale suites: CHAOS_SCALE_SCENARIOS scenarios each (default 1).
+template <typename RunFn, typename SpecFn>
+void DriveScaleScenarios(uint64_t seed_base, RunFn run, SpecFn make_spec) {
+  DriveScenariosN(ScaleScenarioCount(), seed_base, run, make_spec);
 }
 
 // Failure annotation: the seed, how to replay it, and what was injected.
