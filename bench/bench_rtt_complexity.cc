@@ -27,6 +27,7 @@
 #include "src/swarm/safe_guess.h"
 #include "src/swarm/timestamp_lock.h"
 #include "tests/support/test_env.h"
+#include "src/util/discard.h"
 
 namespace swarm {
 namespace {
@@ -55,7 +56,7 @@ Probe ProbeQuorumMaxWrite() {
   auto body = [&](Probe* p) -> sim::Task<void> {
     QuorumMax reg(&w, &layout, cache);
     // Warm the slot caches with one write, then measure the steady state.
-    (void)co_await reg.WriteAndRead(Meta::Pack(10, 0, false, 0), ValN(64, 1));
+    swarm::DiscardStatus(co_await reg.WriteAndRead(Meta::Pack(10, 0, false, 0), ValN(64, 1)));
     const sim::Time start = env.sim.Now();
     WriteReadOutcome out = co_await reg.WriteAndRead(Meta::Pack(20, 0, false, 0), ValN(64, 2));
     p->latency = env.sim.Now() - start;
@@ -91,7 +92,7 @@ Probe ProbeQuorumMaxReadRepair() {
     // Value at a single replica: the read must chase + write back.
     InOutReplica rep(&w, &layout, 1);
     Meta cache;
-    (void)co_await rep.WriteMax(Meta::Pack(50, 0, false, 0), ValN(64, 1), &cache);
+    swarm::DiscardStatus(co_await rep.WriteMax(Meta::Pack(50, 0, false, 0), ValN(64, 1), &cache));
     QuorumMax reg(&rdr, &layout, std::make_shared<ObjectCache>());
     ReadOutcome rd = co_await reg.ReadQuorum(true);
     p->rtts = rd.rtts;
@@ -118,7 +119,7 @@ Probe ProbeSafeGuessWriteFastPath() {
   auto cache = env.MakeCache();
   auto body = [&](Probe* p) -> sim::Task<void> {
     SafeGuessObject obj(&w, &layout, cache);
-    (void)co_await obj.Write(ValN(64, 1));
+    swarm::DiscardStatus(co_await obj.Write(ValN(64, 1)));
     co_await env.sim.Delay(20000);
     const sim::Time start = env.sim.Now();
     SgWriteResult r = co_await obj.Write(ValN(64, 2));
@@ -135,7 +136,7 @@ Probe ProbeSafeGuessReadVerified() {
   auto cache = env.MakeCache();
   auto body = [&](Probe* p) -> sim::Task<void> {
     SafeGuessObject obj(&w, &layout, cache);
-    (void)co_await obj.Write(ValN(64, 1));
+    swarm::DiscardStatus(co_await obj.Write(ValN(64, 1)));
     co_await env.sim.Delay(20000);
     const sim::Time start = env.sim.Now();
     SgReadResult r = co_await obj.Read();
@@ -158,15 +159,15 @@ std::pair<sim::Time, sim::Time> ProbeGuessVsDiscover() {
   sim::Time abd_lat = 0;
   auto body = [&](Probe*) -> sim::Task<void> {
     SafeGuessObject obj(&w, &sg_layout, std::make_shared<ObjectCache>());
-    (void)co_await obj.Write(ValN(64, 1));
+    swarm::DiscardStatus(co_await obj.Write(ValN(64, 1)));
     sim::Time start = env.sim.Now();
-    (void)co_await obj.Write(ValN(64, 2));
+    swarm::DiscardStatus(co_await obj.Write(ValN(64, 2)));
     sg_lat = env.sim.Now() - start;
 
     AbdObject abd_obj(&w, &abd_layout, std::make_shared<ObjectCache>());
-    (void)co_await abd_obj.Write(ValN(64, 1));
+    swarm::DiscardStatus(co_await abd_obj.Write(ValN(64, 1)));
     start = env.sim.Now();
-    (void)co_await abd_obj.Write(ValN(64, 2));
+    swarm::DiscardStatus(co_await abd_obj.Write(ValN(64, 2)));
     abd_lat = env.sim.Now() - start;
   };
   Probe p;
@@ -306,7 +307,7 @@ void BM_SimulatorEventThroughput(benchmark::State& state) {
     auto body = [&](Probe*) -> sim::Task<void> {
       std::vector<uint8_t> buf(64);
       for (int i = 0; i < 1000; ++i) {
-        (void)co_await w.qp(0).Read(addr, buf);
+        swarm::DiscardStatus(co_await w.qp(0).Read(addr, buf));
       }
     };
     Probe p;

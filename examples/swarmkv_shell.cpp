@@ -87,9 +87,9 @@ struct Shell {
   kv::KvResult RunOp(Fn&& make_task) {
     kv::KvResult result;
     bool done = false;
-    auto driver = [](kv::KvResult* out, bool* done, sim::Task<kv::KvResult> t) -> sim::Task<void> {
+    auto driver = [](kv::KvResult* out, bool* done2, sim::Task<kv::KvResult> t) -> sim::Task<void> {
       *out = co_await std::move(t);
-      *done = true;
+      *done2 = true;
     };
     sim::Spawn(driver(&result, &done, make_task()));
     sim.Run();

@@ -116,6 +116,7 @@ uint64_t SlabAllocator::AllocSlot(uint64_t slot_bytes) {
   ExtentState& st = extents_by_base_.at(base);
   assert(st.free_mask != 0);
   const int slot = __builtin_ctzll(st.free_mask);
+  assert(slot >= 0 && slot < kSlotsPerExtent);
   st.free_mask &= ~(uint64_t{1} << slot);
   ++st.ext.live_slots;
   ++live_slots_;

@@ -1,11 +1,13 @@
 #include "src/fabric/fabric.h"
 
+#include "src/util/annotations.h"
+
 #include <algorithm>
 #include <memory>
 
 namespace swarm::fabric {
 
-sim::Task<void> ClientCpu::Consume(sim::Time cost) {
+SWARM_HOT_PATH sim::Task<void> ClientCpu::Consume(sim::Time cost) {
   const sim::Time start = std::max(sim_->Now(), busy_until_);
   busy_until_ = start + cost;
   busy_ns_ += cost;
@@ -14,7 +16,7 @@ sim::Task<void> ClientCpu::Consume(sim::Time cost) {
   }
 }
 
-sim::Task<void> ClientCpu::Submit(sim::Time cost, sim::Time wqe_cost, int wqes) {
+SWARM_HOT_PATH sim::Task<void> ClientCpu::Submit(sim::Time cost, sim::Time wqe_cost, int wqes) {
   if (batch_depth_ == 0) {
     if (stats_ != nullptr) {
       ++stats_->doorbells;
@@ -223,7 +225,7 @@ std::shared_ptr<OpState> MakeOpState() {
 
 }  // namespace
 
-sim::Task<OpResult> Qp::Read(uint64_t addr, std::span<uint8_t> out) {
+SWARM_HOT_PATH sim::Task<OpResult> Qp::Read(uint64_t addr, std::span<uint8_t> out) {
   Fabric& f = *fabric_;
   const FabricConfig& cfg = f.config();
   if (revoked_) {
@@ -267,11 +269,11 @@ sim::Task<OpResult> Qp::Read(uint64_t addr, std::span<uint8_t> out) {
     sim->At(exec, [&f, sim, st, done, node_id, repair_ch, verb_epoch, addr, out_ptr, out_len,
                    departure, exec]() mutable {
       MemoryNode& node = f.node(node_id);
-      const FabricConfig& cfg = f.config();
+      const FabricConfig& ncfg = f.config();
       const Status adm = node.VerbStatus(repair_ch, verb_epoch, addr, out_len);
       if (adm == Status::kNodeFailed) {
         st->result.status = Status::kNodeFailed;
-        sim->At(std::max(sim->Now(), departure + cfg.failure_detect_delay),
+        sim->At(std::max(sim->Now(), departure + ncfg.failure_detect_delay),
                 [done]() mutable { done.Add(1); });
         return;
       }
@@ -282,13 +284,13 @@ sim::Task<OpResult> Qp::Read(uint64_t addr, std::span<uint8_t> out) {
         st->result.status = adm;
         f.stats().bytes_from_nodes += kAckBytes;
         const sim::Time complete =
-            exec + cfg.node_op_cost + f.SampleDelay() + f.LinkExtraDelay(node_id, true);
+            exec + ncfg.node_op_cost + f.SampleDelay() + f.LinkExtraDelay(node_id, true);
         sim->At(complete, [done]() mutable { done.Add(1); });
         return;
       }
       node.ReadInto(addr, std::span<uint8_t>(out_ptr, out_len));
       f.stats().bytes_from_nodes += kVerbHeaderBytes + out_len;
-      const sim::Time complete = exec + cfg.node_op_cost + cfg.read_extra + f.SampleDelay() +
+      const sim::Time complete = exec + ncfg.node_op_cost + ncfg.read_extra + f.SampleDelay() +
                                  f.LinkExtraDelay(node_id, true) + f.TransferTime(out_len);
       sim->At(complete, [done]() mutable { done.Add(1); });
     });
@@ -301,7 +303,7 @@ sim::Task<OpResult> Qp::Read(uint64_t addr, std::span<uint8_t> out) {
   co_return st->result;
 }
 
-sim::Task<OpResult> Qp::Write(uint64_t addr, std::span<const uint8_t> data) {
+SWARM_HOT_PATH sim::Task<OpResult> Qp::Write(uint64_t addr, std::span<const uint8_t> data) {
   Fabric& f = *fabric_;
   const FabricConfig& cfg = f.config();
   if (revoked_) {
@@ -344,17 +346,17 @@ sim::Task<OpResult> Qp::Write(uint64_t addr, std::span<const uint8_t> data) {
   // NACK at response speed — unless the response leg drops, which hides the
   // NACK and looks like a node failure to the client.
   auto reject = [&f, sim, st, done, node_id, departure](Status adm, bool lost_resp) mutable {
-    const FabricConfig& cfg = f.config();
+    const FabricConfig& ncfg = f.config();
     if ((adm == Status::kStaleEpoch || adm == Status::kMovedReplica) && !lost_resp) {
       st->result.status = adm;
       f.stats().bytes_from_nodes += kAckBytes;
       const sim::Time complete =
-          sim->Now() + cfg.node_op_cost + f.SampleDelay() + f.LinkExtraDelay(node_id, true);
+          sim->Now() + ncfg.node_op_cost + f.SampleDelay() + f.LinkExtraDelay(node_id, true);
       sim->At(complete, [done]() mutable { done.Add(1); });
       return;
     }
     st->result.status = Status::kNodeFailed;
-    sim->At(std::max(sim->Now(), departure + cfg.failure_detect_delay),
+    sim->At(std::max(sim->Now(), departure + ncfg.failure_detect_delay),
             [done]() mutable { done.Add(1); });
   };
 
@@ -378,9 +380,9 @@ sim::Task<OpResult> Qp::Write(uint64_t addr, std::span<const uint8_t> data) {
         return;
       }
       f.stats().bytes_from_nodes += kAckBytes;
-      const FabricConfig& cfg = f.config();
+      const FabricConfig& ncfg = f.config();
       const sim::Time complete =
-          sim->Now() + cfg.node_op_cost + f.SampleDelay() + f.LinkExtraDelay(node_id, true);
+          sim->Now() + ncfg.node_op_cost + f.SampleDelay() + f.LinkExtraDelay(node_id, true);
       sim->At(complete, [done]() mutable { done.Add(1); });
     };
     if (staged) {
@@ -401,7 +403,7 @@ sim::Task<OpResult> Qp::Write(uint64_t addr, std::span<const uint8_t> data) {
   co_return st->result;
 }
 
-sim::Task<OpResult> Qp::Cas(uint64_t addr, uint64_t expected, uint64_t desired) {
+SWARM_HOT_PATH sim::Task<OpResult> Qp::Cas(uint64_t addr, uint64_t expected, uint64_t desired) {
   Fabric& f = *fabric_;
   const FabricConfig& cfg = f.config();
   if (revoked_) {
@@ -441,12 +443,12 @@ sim::Task<OpResult> Qp::Cas(uint64_t addr, uint64_t expected, uint64_t desired) 
     sim->At(exec, [&f, sim, st, done, node_id, repair_ch, verb_epoch, addr, expected, desired,
                    departure, drop_resp]() mutable {
       MemoryNode& node = f.node(node_id);
-      const FabricConfig& cfg = f.config();
+      const FabricConfig& ncfg = f.config();
       const Status adm = node.VerbStatus(repair_ch, verb_epoch, addr, 8);
       if (adm == Status::kNodeFailed || (adm != Status::kOk && drop_resp)) {
         // A NACK whose response leg drops looks like a node failure.
         st->result.status = Status::kNodeFailed;
-        sim->At(std::max(sim->Now(), departure + cfg.failure_detect_delay),
+        sim->At(std::max(sim->Now(), departure + ncfg.failure_detect_delay),
                 [done]() mutable { done.Add(1); });
         return;
       }
@@ -454,21 +456,21 @@ sim::Task<OpResult> Qp::Cas(uint64_t addr, uint64_t expected, uint64_t desired) 
         st->result.status = adm;
         f.stats().bytes_from_nodes += kAckBytes;
         const sim::Time complete =
-            sim->Now() + cfg.node_op_cost + f.SampleDelay() + f.LinkExtraDelay(node_id, true);
+            sim->Now() + ncfg.node_op_cost + f.SampleDelay() + f.LinkExtraDelay(node_id, true);
         sim->At(complete, [done]() mutable { done.Add(1); });
         return;
       }
       const uint64_t old = node.CasWord(addr, expected, desired);
       if (drop_resp) {
         st->result.status = Status::kNodeFailed;
-        sim->At(std::max(sim->Now(), departure + cfg.failure_detect_delay),
+        sim->At(std::max(sim->Now(), departure + ncfg.failure_detect_delay),
                 [done]() mutable { done.Add(1); });
         return;
       }
       st->result.old_value = old;
       f.stats().bytes_from_nodes += kAckBytes + 8;
       const sim::Time complete =
-          sim->Now() + cfg.node_op_cost + f.SampleDelay() + f.LinkExtraDelay(node_id, true);
+          sim->Now() + ncfg.node_op_cost + f.SampleDelay() + f.LinkExtraDelay(node_id, true);
       sim->At(complete, [done]() mutable { done.Add(1); });
     });
   });
@@ -480,7 +482,7 @@ sim::Task<OpResult> Qp::Cas(uint64_t addr, uint64_t expected, uint64_t desired) 
   co_return st->result;
 }
 
-sim::Task<OpResult> Qp::WriteThenCas(uint64_t waddr, std::span<const uint8_t> data, uint64_t caddr,
+SWARM_HOT_PATH sim::Task<OpResult> Qp::WriteThenCas(uint64_t waddr, std::span<const uint8_t> data, uint64_t caddr,
                                      uint64_t expected, uint64_t desired) {
   Fabric& f = *fabric_;
   const FabricConfig& cfg = f.config();
@@ -527,12 +529,12 @@ sim::Task<OpResult> Qp::WriteThenCas(uint64_t waddr, std::span<const uint8_t> da
   auto cas_body = [&f, sim, st, done, node_id, repair_ch, verb_epoch, caddr, expected, desired,
                    departure, drop_resp]() mutable {
     MemoryNode& node = f.node(node_id);
-    const FabricConfig& cfg = f.config();
+    const FabricConfig& ncfg = f.config();
     const Status adm = node.VerbStatus(repair_ch, verb_epoch, caddr, 8);
     if (adm == Status::kNodeFailed || (adm != Status::kOk && drop_resp)) {
       // A NACK whose response leg drops looks like a node failure.
       st->result.status = Status::kNodeFailed;
-      sim->At(std::max(sim->Now(), departure + cfg.failure_detect_delay),
+      sim->At(std::max(sim->Now(), departure + ncfg.failure_detect_delay),
               [done]() mutable { done.Add(1); });
       return;
     }
@@ -540,21 +542,21 @@ sim::Task<OpResult> Qp::WriteThenCas(uint64_t waddr, std::span<const uint8_t> da
       st->result.status = adm;
       f.stats().bytes_from_nodes += kAckBytes;
       const sim::Time complete =
-          sim->Now() + cfg.node_op_cost + f.SampleDelay() + f.LinkExtraDelay(node_id, true);
+          sim->Now() + ncfg.node_op_cost + f.SampleDelay() + f.LinkExtraDelay(node_id, true);
       sim->At(complete, [done]() mutable { done.Add(1); });
       return;
     }
     const uint64_t old = node.CasWord(caddr, expected, desired);
     if (drop_resp) {
       st->result.status = Status::kNodeFailed;
-      sim->At(std::max(sim->Now(), departure + cfg.failure_detect_delay),
+      sim->At(std::max(sim->Now(), departure + ncfg.failure_detect_delay),
               [done]() mutable { done.Add(1); });
       return;
     }
     st->result.old_value = old;
     f.stats().bytes_from_nodes += kAckBytes + 8;
     const sim::Time complete =
-        sim->Now() + cfg.node_op_cost + f.SampleDelay() + f.LinkExtraDelay(node_id, true);
+        sim->Now() + ncfg.node_op_cost + f.SampleDelay() + f.LinkExtraDelay(node_id, true);
     sim->At(complete, [done]() mutable { done.Add(1); });
   };
 

@@ -434,7 +434,7 @@ sim::Task<sim::PoolVec<OpResult>> PostMany(ClientCpu* cpu, sim::Simulator* sim,
 // resumed. `results[i]` is meaningful only where `completed[i]` is set;
 // stragglers that finish later update the (refcounted, pooled) shared block,
 // never this snapshot.
-struct QuorumOutcome {
+struct [[nodiscard]] QuorumOutcome {
   bool reached = false;  // Quorum hit (false = timeout expired first).
   int completed_count = 0;
   sim::PoolVec<OpResult> results;

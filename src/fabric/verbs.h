@@ -16,7 +16,10 @@
 
 namespace swarm::fabric {
 
-enum class Status : uint8_t {
+// [[nodiscard]]: a verb status that goes unread is exactly the bug class the
+// chaos engine kept catching (dropped commit-critical completions). Route
+// intentional drops through swarm::DiscardStatus (src/util/discard.h).
+enum class [[nodiscard]] Status : uint8_t {
   kOk = 0,
   // The target node crashed (or is unreachable); the op completed locally
   // with an error after the configured detection timeout.
@@ -36,7 +39,7 @@ enum class Status : uint8_t {
   kMovedReplica = 3,
 };
 
-struct OpResult {
+struct [[nodiscard]] OpResult {
   Status status = Status::kOk;
   // For CAS: the value the word held just before the CAS executed.
   uint64_t old_value = 0;

@@ -1,6 +1,7 @@
 #include "src/kv/dm_abd_kv.h"
 
 #include "src/hash/xxhash.h"
+#include "src/util/discard.h"
 #include "src/sim/sync.h"
 #include "src/swarm/placement.h"
 
@@ -8,7 +9,10 @@ namespace swarm::kv {
 namespace {
 
 sim::Task<void> UnmapLater(index::IndexService* index, uint64_t key, uint64_t generation) {
-  (void)co_await index->RemoveIfGeneration(key, generation, nullptr);
+  // Best-effort tombstone unmap: the generation guard makes a lost or
+  // duplicated attempt harmless (a newer mapping wins), so the outcome
+  // carries no actionable signal for this detached cleanup task.
+  DiscardStatus(co_await index->RemoveIfGeneration(key, generation, nullptr));
 }
 
 KvStatus MapStatus(SgStatus s) {

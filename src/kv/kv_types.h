@@ -13,14 +13,17 @@
 
 namespace swarm::kv {
 
-enum class KvStatus : uint8_t {
+// [[nodiscard]] (here and on KvResult): an unread KV status is the
+// statically detectable shape of the chaos-found dropped-completion bugs;
+// intentional drops go through swarm::DiscardStatus (src/util/discard.h).
+enum class [[nodiscard]] KvStatus : uint8_t {
   kOk = 0,
   kNotFound,     // Key absent (never inserted, or deleted).
   kExists,       // Insert found an existing live mapping and updated it.
   kUnavailable,  // Quorum lost / store recovering.
 };
 
-struct KvResult {
+struct [[nodiscard]] KvResult {
   KvStatus status = KvStatus::kUnavailable;
   sim::Bytes value;  // For gets (pool-backed: a fresh result is heap-free).
   int rtts = 0;                // Network roundtrips this op consumed.

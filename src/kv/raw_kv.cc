@@ -3,12 +3,16 @@
 #include <cstring>
 
 #include "src/hash/xxhash.h"
+#include "src/util/discard.h"
 
 namespace swarm::kv {
 namespace {
 
 sim::Task<void> UnmapLater(index::IndexService* index, uint64_t key, uint64_t generation) {
-  (void)co_await index->RemoveIfGeneration(key, generation, nullptr);
+  // Best-effort tombstone unmap: the generation guard makes a lost or
+  // duplicated attempt harmless (a newer mapping wins), so the outcome
+  // carries no actionable signal for this detached cleanup task.
+  DiscardStatus(co_await index->RemoveIfGeneration(key, generation, nullptr));
 }
 
 }  // namespace
@@ -41,28 +45,40 @@ sim::Task<RawKvSession::Located> RawKvSession::Locate(uint64_t key, KvResult* re
 sim::Task<KvResult> RawKvSession::Get(uint64_t key) {
   KvResult result;
   Located loc = co_await Locate(key, &result);
-  if (!loc.found) {
-    result.status = KvStatus::kNotFound;
+  for (;;) {
+    if (!loc.found) {
+      result.status = KvStatus::kNotFound;
+      co_return result;
+    }
+    const ReplicaLayout& rep = loc.layout->replicas[0];
+    sim::Bytes buf(8 + loc.layout->max_value);
+    fabric::OpResult r = co_await worker_->qp(rep.node).Read(rep.meta_addr, buf);
+    ++result.rtts;
+    if (!r.ok()) {
+      result.status = KvStatus::kUnavailable;
+      co_return result;
+    }
+    uint64_t len;
+    std::memcpy(&len, buf.data(), 8);
+    if (len == 0 || len > loc.layout->max_value) {
+      if (loc.cache_hit) {
+        // A tombstone beneath a CACHED location can belong to a mapping that
+        // was deleted and re-inserted since we cached it — absence is only
+        // believable off the index. The re-locate is cache-miss by
+        // construction, so this cannot loop.
+        cache_->Invalidate(key);
+        result.cache_hit = false;
+        loc = co_await Locate(key, &result);
+        continue;
+      }
+      result.status = KvStatus::kNotFound;  // Deleted (or garbage under a torn write).
+      co_return result;
+    }
+    result.status = KvStatus::kOk;
+    result.fast_path = result.cache_hit;
+    result.value.assign(buf.begin() + 8, buf.begin() + 8 + static_cast<long>(len));
     co_return result;
   }
-  const ReplicaLayout& rep = loc.layout->replicas[0];
-  sim::Bytes buf(8 + loc.layout->max_value);
-  fabric::OpResult r = co_await worker_->qp(rep.node).Read(rep.meta_addr, buf);
-  ++result.rtts;
-  if (!r.ok()) {
-    result.status = KvStatus::kUnavailable;
-    co_return result;
-  }
-  uint64_t len;
-  std::memcpy(&len, buf.data(), 8);
-  if (len == 0 || len > loc.layout->max_value) {
-    result.status = KvStatus::kNotFound;  // Deleted (or garbage under a torn write).
-    co_return result;
-  }
-  result.status = KvStatus::kOk;
-  result.fast_path = result.cache_hit;
-  result.value.assign(buf.begin() + 8, buf.begin() + 8 + static_cast<long>(len));
-  co_return result;
 }
 
 sim::Task<KvResult> RawKvSession::Update(uint64_t key, std::span<const uint8_t> value) {
@@ -128,18 +144,42 @@ sim::Task<KvResult> RawKvSession::Insert(uint64_t key, std::span<const uint8_t> 
 sim::Task<KvResult> RawKvSession::Remove(uint64_t key) {
   KvResult result;
   Located loc = co_await Locate(key, &result);
-  if (!loc.found) {
-    result.status = KvStatus::kNotFound;
-    co_return result;
+  for (;;) {
+    if (!loc.found) {
+      result.status = KvStatus::kNotFound;
+      co_return result;
+    }
+    const ReplicaLayout& rep = loc.layout->replicas[0];
+    sim::Bytes zero(8, 0);
+    fabric::OpResult r = co_await worker_->qp(rep.node).Write(rep.meta_addr, zero);
+    ++result.rtts;
+    cache_->Invalidate(key);
+    if (!r.ok()) {
+      // Outcome unknown: the background unmap settles it either way (its
+      // generation guard lets a racing re-insert win).
+      sim::Spawn(UnmapLater(index_, key, loc.generation));
+      result.status = KvStatus::kUnavailable;
+      co_return result;
+    }
+    // The generation-guarded unmap is this store's only stale-mapping
+    // detector, so its result is commit-critical: `false` under a CACHED
+    // location means the mapping we just tombstoned was already dead —
+    // deleted and re-inserted since we cached it — and the live object is
+    // untouched. SwarmKv/DmAbd catch that case as kDeleted off the
+    // replicated tombstone (§5.3.4); RAW's single blind write cannot, and
+    // fire-and-forgetting the unmap here used to turn such a remove into a
+    // silent no-op reported as kOk.
+    const bool removed =
+        co_await index_->RemoveIfGeneration(key, loc.generation, worker_->cpu());
+    ++result.rtts;
+    if (removed || !loc.cache_hit) {
+      // Fresh-index `!removed`: a concurrent remove won the race (possibly
+      // with a re-insert behind it); ours linearizes just before it.
+      result.status = KvStatus::kOk;
+      co_return result;
+    }
+    loc = co_await Locate(key, &result);  // Invalidated above: goes to the index.
   }
-  const ReplicaLayout& rep = loc.layout->replicas[0];
-  sim::Bytes zero(8, 0);
-  fabric::OpResult r = co_await worker_->qp(rep.node).Write(rep.meta_addr, zero);
-  ++result.rtts;
-  cache_->Invalidate(key);
-  sim::Spawn(UnmapLater(index_, key, loc.generation));
-  result.status = r.ok() ? KvStatus::kOk : KvStatus::kUnavailable;
-  co_return result;
 }
 
 }  // namespace swarm::kv

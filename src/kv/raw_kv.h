@@ -6,6 +6,15 @@
 //
 // Per-key layout on its single node: [len 8 B][value]. Gets read the whole
 // region; updates write [len][value] blindly in place.
+//
+// Stale location caches: with no replicated tombstone to bounce off, a
+// cached location can silently go dead under a delete + re-insert. Gets
+// re-locate through the index when a cached region reads as tombstoned, and
+// removes await the generation-guarded unmap (retrying against the index
+// when the cached generation lost) so kOk is never reported for a remove
+// that provably had no effect. Updates stay blind — a lost update into a
+// dead region is exactly the anomaly the replicated stores' metadata
+// machinery exists to prevent, and the latency floor keeps it.
 
 #ifndef SWARM_SRC_KV_RAW_KV_H_
 #define SWARM_SRC_KV_RAW_KV_H_

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "src/hash/xxhash.h"
+#include "src/util/discard.h"
 #include "src/sim/sync.h"
 #include "src/swarm/placement.h"
 
@@ -10,7 +11,10 @@ namespace swarm::kv {
 namespace {
 
 sim::Task<void> UnmapLater(index::IndexService* index, uint64_t key, uint64_t generation) {
-  (void)co_await index->RemoveIfGeneration(key, generation, nullptr);
+  // Best-effort tombstone unmap: the generation guard makes a lost or
+  // duplicated attempt harmless (a newer mapping wins), so the outcome
+  // carries no actionable signal for this detached cleanup task.
+  DiscardStatus(co_await index->RemoveIfGeneration(key, generation, nullptr));
 }
 
 KvStatus MapStatus(SgStatus s) {
@@ -64,7 +68,10 @@ sim::Task<SwarmKvSession::Located> SwarmKvSession::Locate(uint64_t key, bool see
     // latest metadata buffers (seeding the In-n-Out slot caches for the
     // one-roundtrip CAS-max).
     QuorumMax reg(worker_, loc.layout.get(), loc.obj_cache);
-    (void)co_await reg.ReadQuorum(/*strong=*/false);
+    // Pure cache-seeding prefetch: the quorum's value/status is irrelevant
+    // here — a failed seed just means the upcoming CAS-max pays the extra
+    // roundtrip it would have paid anyway.
+    DiscardStatus(co_await reg.ReadQuorum(/*strong=*/false));
     ++result->rtts;
   }
   index::CacheEntry entry;
@@ -287,7 +294,11 @@ sim::Task<KvResult> SwarmKvSession::Insert(uint64_t key, std::span<const uint8_t
       // The existing mapping is tombstoned: overwrite it (§5.3.1) by
       // unmapping and retrying the insert with fresh replicas.
       cache_->Invalidate(key);
-      (void)co_await index_->RemoveIfGeneration(key, loc.generation, worker_->cpu());
+      // Generation-guarded unmap of a tombstone before retrying the insert:
+      // if it loses (concurrent remap won), the next InsertIfAbsent round
+      // observes the winner — either outcome converges, so the result is
+      // intentionally dropped.
+      DiscardStatus(co_await index_->RemoveIfGeneration(key, loc.generation, worker_->cpu()));
       ++result.rtts;
       continue;
     }

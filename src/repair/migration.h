@@ -78,7 +78,7 @@ struct MigrationConfig {
 };
 
 // Per-key outcome of one migration attempt.
-enum class MigrateStatus : uint8_t {
+enum class [[nodiscard]] MigrateStatus : uint8_t {
   kMoved,          // Copied, flipped; the old slot is fenced for good.
   kSkipped,        // Key unmapped, not hosted by the source, or source busy
                    // (under repair) — nothing was changed.

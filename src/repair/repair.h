@@ -45,7 +45,7 @@
 
 namespace swarm::repair {
 
-struct RepairOutcome {
+struct [[nodiscard]] RepairOutcome {
   bool complete = false;       // Every slot restored (or nothing to restore).
   uint64_t slots_repaired = 0;
   uint64_t slots_failed = 0;   // Slots whose source quorum did not answer.

@@ -16,6 +16,7 @@
 #ifndef SWARM_SRC_SWARM_INOUT_H_
 #define SWARM_SRC_SWARM_INOUT_H_
 
+#include <cassert>
 #include <cstdint>
 #include <optional>
 #include <span>
@@ -30,7 +31,7 @@
 namespace swarm {
 
 // Result of reading one replica's metadata array (+ optional in-place data).
-struct NodeView {
+struct [[nodiscard]] NodeView {
   fabric::Status status = fabric::Status::kOk;
   Meta max;                    // ts-max over the metadata slots (full word, node-local oop).
   Meta my_slot;                // current content of this writer's slot (for CAS caching).
@@ -55,7 +56,7 @@ struct NodeView {
 };
 
 // Result of a single-node max-write.
-struct NodeMaxResult {
+struct [[nodiscard]] NodeMaxResult {
   fabric::Status status = fabric::Status::kOk;
   Meta installed;  // the word now in our slot if we won; default if we lost.
   Meta observed;   // ts-max word observed at the slot during the op.
@@ -108,7 +109,13 @@ class InOutReplica {
   sim::Task<NodeMaxResult> WriteMaxImpl(Meta w, std::span<const uint8_t> value, Meta slot_expected,
                                         bool refresh_inplace);
 
-  uint64_t SlotAddr(int slot) const { return rep_->meta_addr + static_cast<uint64_t>(slot) * 8; }
+  // All callers derive `slot` via SlotOf(tid, meta_slots), so the bound holds
+  // by construction; the assert keeps the slab-neighbor corruption class
+  // (PR-9 seed 47000) impossible to reintroduce silently.
+  uint64_t SlotAddr(int slot) const {
+    assert(slot >= 0 && slot < layout_->meta_slots);
+    return rep_->meta_addr + static_cast<uint64_t>(slot) * 8;
+  }
 
   // Builds [word][len][value] into a pool slot image.
   sim::Bytes OopImage(Meta full_word, std::span<const uint8_t> value) const;

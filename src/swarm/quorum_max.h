@@ -31,7 +31,7 @@
 
 namespace swarm {
 
-struct WriteReadOutcome {
+struct [[nodiscard]] WriteReadOutcome {
   bool ok = false;  // A majority acknowledged the write.
   // ts-max across the quorum EXCLUDING the write itself — the `m` that
   // Safe-Guess compares against its guess (Algorithm 2 line 7).
@@ -50,7 +50,7 @@ struct WriteReadOutcome {
   int rtts = 0;
 };
 
-struct ReadOutcome {
+struct [[nodiscard]] ReadOutcome {
   bool ok = false;        // A majority answered.
   Meta m;                 // Global ts-max (full word as seen at some replica).
   bool value_ok = false;  // Bytes for `m` were resolved (meaningless for empty/tombstone).

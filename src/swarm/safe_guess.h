@@ -29,7 +29,7 @@
 
 namespace swarm {
 
-enum class SgStatus : uint8_t {
+enum class [[nodiscard]] SgStatus : uint8_t {
   kOk = 0,
   kNotFound,    // Register never written (empty replicas, §5.3.1).
   kDeleted,     // Register carries the delete tombstone (§5.3.2).
@@ -43,14 +43,14 @@ enum class SgStatus : uint8_t {
   kMoved,
 };
 
-struct SgWriteResult {
+struct [[nodiscard]] SgWriteResult {
   SgStatus status = SgStatus::kUnavailable;
   bool fast_path = false;  // Guess proven fresh in one roundtrip.
   bool lock_lost = false;  // Slow path resolved by a reader committing our guess.
   int rtts = 0;
 };
 
-struct SgReadResult {
+struct [[nodiscard]] SgReadResult {
   SgStatus status = SgStatus::kUnavailable;
   sim::Bytes value;
   bool fast_path = false;  // Returned a VERIFIED tuple from the first read.

@@ -20,7 +20,7 @@
 
 namespace swarm {
 
-struct TryLockResult {
+struct [[nodiscard]] TryLockResult {
   bool acquired = false;
   // False when no majority of lock replicas answered (crashed fabric); the
   // caller treats this as "not acquired", which is always safe.

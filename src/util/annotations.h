@@ -1,0 +1,25 @@
+// Source annotations consumed by the static-analysis suite (tools/lint/).
+//
+// SWARM_HOT_PATH marks a function as steady-state hot path: it must not
+// reach a heap allocation (raw `new`, `std::function`, allocating standard
+// containers). The runtime complement is tests/zero_alloc_test.cc, which
+// counts operator-new calls over warm measured rounds; the static check
+// (tools/lint/check_protocol_invariants.py, pass `swarm-hot-path-alloc`)
+// catches the regression at lint time instead of at test time, and also
+// covers code paths the zero-alloc harness does not execute.
+//
+// Under clang the macro expands to [[clang::annotate("swarm::hot_path")]]
+// so AST-level tooling sees it; under gcc (which warns on unknown
+// attribute namespaces) it expands to nothing — the lint suite recognises
+// the macro token itself, so the check works identically on both.
+
+#ifndef SWARM_SRC_UTIL_ANNOTATIONS_H_
+#define SWARM_SRC_UTIL_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define SWARM_HOT_PATH [[clang::annotate("swarm::hot_path")]]
+#else
+#define SWARM_HOT_PATH
+#endif
+
+#endif  // SWARM_SRC_UTIL_ANNOTATIONS_H_

@@ -18,6 +18,7 @@
 #include "src/swarm/quorum_max.h"
 #include "src/swarm/timestamp_lock.h"
 #include "tests/support/test_env.h"
+#include "src/util/discard.h"
 
 namespace swarm {
 namespace {
@@ -38,14 +39,14 @@ TEST(DoorbellBatching, QuorumWriteConsumesOneSubmitCost) {
   const sim::Time submit = env.fabric.config().submit_cost;
 
   auto driver = [](TestEnv* env, Worker* w, const ObjectLayout* layout,
-                   std::shared_ptr<ObjectCache> cache, sim::Time submit) -> Task<void> {
-    QuorumMax reg(w, layout, cache);
+                   std::shared_ptr<ObjectCache> cache2, sim::Time submit2) -> Task<void> {
+    QuorumMax reg(w, layout, cache2);
     const sim::Time busy_before = w->cpu()->busy_ns();
     const uint64_t verbs_before = env->fabric.stats().ops_issued;
     WriteReadOutcome wr = co_await reg.WriteAndRead(Meta::Pack(5, 0, false, 0), ValN(32, 0xC3));
     EXPECT_TRUE(wr.ok);
     // The first wave reached a majority without retries: one doorbell.
-    EXPECT_EQ(w->cpu()->busy_ns() - busy_before, submit);
+    EXPECT_EQ(w->cpu()->busy_ns() - busy_before, submit2);
     // ... despite posting several verbs (a WriteThenCas counts two).
     EXPECT_GE(env->fabric.stats().ops_issued - verbs_before, 4u);
   };
@@ -90,18 +91,18 @@ TEST(DoorbellBatching, PostManySpansNodes) {
     env.fabric.node(i).StoreWord(addrs.back(), 100 + static_cast<uint64_t>(i));
   }
 
-  auto driver = [](TestEnv* env, Worker* w, std::vector<uint64_t> addrs, int n) -> Task<void> {
-    std::vector<std::vector<uint8_t>> bufs(static_cast<size_t>(n), std::vector<uint8_t>(8));
+  auto driver = [](TestEnv* env, Worker* w, std::vector<uint64_t> addrs2, int n2) -> Task<void> {
+    std::vector<std::vector<uint8_t>> bufs(static_cast<size_t>(n2), std::vector<uint8_t>(8));
     sim::PoolVec<sim::Task<fabric::OpResult>> verbs;
-    for (int i = 0; i < n; ++i) {
-      verbs.push_back(w->qp(i).Read(addrs[static_cast<size_t>(i)], bufs[static_cast<size_t>(i)]));
+    for (int i = 0; i < n2; ++i) {
+      verbs.push_back(w->qp(i).Read(addrs2[static_cast<size_t>(i)], bufs[static_cast<size_t>(i)]));
     }
     const sim::Time busy_before = w->cpu()->busy_ns();
     sim::PoolVec<fabric::OpResult> results =
         co_await fabric::PostMany(w->cpu(), &env->sim, std::move(verbs));
     EXPECT_EQ(w->cpu()->busy_ns() - busy_before, env->fabric.config().submit_cost);
-    EXPECT_EQ(results.size(), static_cast<size_t>(n));
-    for (int i = 0; i < n && results.size() == static_cast<size_t>(n); ++i) {
+    EXPECT_EQ(results.size(), static_cast<size_t>(n2));
+    for (int i = 0; i < n2 && results.size() == static_cast<size_t>(n2); ++i) {
       EXPECT_TRUE(results[static_cast<size_t>(i)].ok());
       uint64_t word = 0;
       std::memcpy(&word, bufs[static_cast<size_t>(i)].data(), 8);
@@ -129,30 +130,30 @@ TEST(DoorbellBatching, PerVerbCostChargesPerWqe) {
   }
   const sim::Time submit = env.fabric.config().submit_cost;
 
-  auto driver = [](TestEnv* env, Worker* w, std::vector<uint64_t> addrs, int n,
-                   sim::Time submit) -> Task<void> {
+  auto driver = [](TestEnv* env, Worker* w, std::vector<uint64_t> addrs2, int n2,
+                   sim::Time submit2) -> Task<void> {
     // K-verb doorbell: submit_cost + K*per_verb_cost, still ONE doorbell.
-    std::vector<std::vector<uint8_t>> bufs(static_cast<size_t>(n), std::vector<uint8_t>(8));
+    std::vector<std::vector<uint8_t>> bufs(static_cast<size_t>(n2), std::vector<uint8_t>(8));
     sim::PoolVec<sim::Task<fabric::OpResult>> verbs;
-    for (int i = 0; i < n; ++i) {
-      verbs.push_back(w->qp(i).Read(addrs[static_cast<size_t>(i)], bufs[static_cast<size_t>(i)]));
+    for (int i = 0; i < n2; ++i) {
+      verbs.push_back(w->qp(i).Read(addrs2[static_cast<size_t>(i)], bufs[static_cast<size_t>(i)]));
     }
     const sim::Time busy0 = w->cpu()->busy_ns();
     const uint64_t doorbells0 = env->fabric.stats().doorbells;
-    (void)co_await fabric::PostMany(w->cpu(), &env->sim, std::move(verbs));
-    EXPECT_EQ(w->cpu()->busy_ns() - busy0, submit + static_cast<sim::Time>(n) * 25);
+    swarm::DiscardStatus(co_await fabric::PostMany(w->cpu(), &env->sim, std::move(verbs)));
+    EXPECT_EQ(w->cpu()->busy_ns() - busy0, submit2 + static_cast<sim::Time>(n2) * 25);
     EXPECT_EQ(env->fabric.stats().doorbells - doorbells0, 1u);
 
     // Unbatched single verb: submit_cost + one per_verb_cost.
     std::vector<uint8_t> buf(8);
     const sim::Time busy1 = w->cpu()->busy_ns();
-    (void)co_await w->qp(0).Read(addrs[0], buf);
-    EXPECT_EQ(w->cpu()->busy_ns() - busy1, submit + 25);
+    swarm::DiscardStatus(co_await w->qp(0).Read(addrs2[0], buf));
+    EXPECT_EQ(w->cpu()->busy_ns() - busy1, submit2 + 25);
 
     // A pipelined WRITE->CAS series is one doorbell but TWO WQEs.
     const sim::Time busy2 = w->cpu()->busy_ns();
-    (void)co_await w->qp(0).WriteThenCas(addrs[0], buf, addrs[0], 0, 1);
-    EXPECT_EQ(w->cpu()->busy_ns() - busy2, submit + 2 * 25);
+    swarm::DiscardStatus(co_await w->qp(0).WriteThenCas(addrs2[0], buf, addrs2[0], 0, 1));
+    EXPECT_EQ(w->cpu()->busy_ns() - busy2, submit2 + 2 * 25);
   };
   Spawn(driver(&env, &w, addrs, n, submit));
   env.sim.Run();
@@ -181,8 +182,8 @@ KvTrace RunKv(uint64_t seed, bool batching) {
   kv::SwarmKvSession kv(&w, &index, &cache);
 
   KvTrace trace;
-  auto client = [](TestEnv* env, kv::SwarmKvSession* kv, uint64_t seed, KvTrace* t) -> Task<void> {
-    sim::Rng rng(seed);
+  auto client = [](TestEnv* env, kv::SwarmKvSession* kv, uint64_t seed2, KvTrace* t) -> Task<void> {
+    sim::Rng rng(seed2);
     for (int i = 0; i < 40; ++i) {
       co_await env->sim.Delay(static_cast<sim::Time>(rng.Below(3000)));
       const uint64_t key = rng.Below(6);

@@ -28,6 +28,7 @@
 #include "src/swarm/quorum_max.h"
 #include "src/swarm/recycler.h"
 #include "tests/support/scenario.h"
+#include "src/util/discard.h"
 
 namespace swarm {
 namespace {
@@ -420,16 +421,16 @@ CanaryOutcome RunTombstoneCanaryScenario(uint64_t seed, repair::RepairConfig rcf
   auto reader = [](ChaosEnv* c, kv::SwarmKvSession* s, uint64_t rng_seed,
                    ChaosHistories* hist) -> Task<void> {
     sim::Rng rng(rng_seed);
-    auto one_get = [](ChaosEnv* c, kv::SwarmKvSession* s, ChaosHistories* hist) -> Task<void> {
+    auto one_get = [](ChaosEnv* c2, kv::SwarmKvSession* s2, ChaosHistories* hist2) -> Task<void> {
       HistoryOp op;
-      op.invoked = c->env.sim.Now();
-      kv::KvResult r = co_await s->Get(kKey);
-      op.responded = c->env.sim.Now();
+      op.invoked = c2->env.sim.Now();
+      kv::KvResult r = co_await s2->Get(kKey);
+      op.responded = c2->env.sim.Now();
       if (r.status != kv::KvStatus::kUnavailable) {
         op.value = r.status == kv::KvStatus::kOk ? DecodeValue(r.value) : 0;
-        hist->per_key[kKey].push_back(op);
+        hist2->per_key[kKey].push_back(op);
       } else {
-        ++hist->failed_reads;
+        ++hist2->failed_reads;
       }
     };
     // Keep the cached mapping fresh until the sleep point...
@@ -581,13 +582,13 @@ CanaryOutcome RunStaleEpochCanaryScenario(uint64_t seed, bool epoch_fencing) {
   const uint64_t v = hist.next_value++;
 
   auto write_task = [](testing::TestEnv* env, Worker* w, const ObjectLayout* lo,
-                       uint64_t v, ChaosHistories* hist) -> Task<void> {
+                       uint64_t v2, ChaosHistories* hist) -> Task<void> {
     SafeGuessObject obj(w, lo, w->SlotCacheFor(lo));
     HistoryOp op;
     op.is_write = true;
-    op.value = v;
+    op.value = v2;
     op.invoked = env->sim.Now();
-    SgWriteResult r = co_await obj.Write(testing::EncodeValue(v, 16));
+    SgWriteResult r = co_await obj.Write(testing::EncodeValue(v2, 16));
     op.responded = env->sim.Now();
     op.pending = r.status != SgStatus::kOk;
     hist->per_key[0].push_back(op);
@@ -628,22 +629,22 @@ CanaryOutcome RunStaleEpochCanaryScenario(uint64_t seed, bool epoch_fencing) {
   };
   auto script = [](testing::TestEnv* env, membership::MembershipService* ms,
                    index::IndexService* index, repair::RepairService* repair,
-                   std::shared_ptr<ObjectLayout> lo, sim::Time t_remove, sim::Time t_crash,
-                   sim::Time t_repair, sim::Time spike, sim::Time* delay1,
-                   bool* drop2) -> Task<void> {
-    (void)co_await index->InsertIfAbsent(0, lo, nullptr);
-    // Faults arm just before the remove posts; the spike is sampled by the
+                   std::shared_ptr<ObjectLayout> lo, sim::Time t_remove2, sim::Time t_crash2,
+                   sim::Time t_repair2, sim::Time spike2, sim::Time* delay1,
+                   bool* second_drop) -> Task<void> {
+    swarm::DiscardStatus(co_await index->InsertIfAbsent(0, lo, nullptr));
+    // Faults arm just before the remove posts; the spike2 is sampled by the
     // remover's node-1 pair at its departure.
-    co_await env->sim.WaitUntil(t_remove - 200);
-    *delay1 = spike;
-    *drop2 = true;
-    co_await env->sim.WaitUntil(t_crash);
+    co_await env->sim.WaitUntil(t_remove2 - 200);
+    *delay1 = spike2;
+    *second_drop = true;
+    co_await env->sim.WaitUntil(t_crash2);
     ms->CrashNode(0);
     *delay1 = 0;  // Future verbs travel clean; the stranded pair keeps its delay.
-    co_await env->sim.WaitUntil(t_crash + 6 * sim::kMicrosecond);
-    *drop2 = false;
-    co_await env->sim.WaitUntil(t_repair);
-    (void)co_await repair->RecoverAndRepair(0);
+    co_await env->sim.WaitUntil(t_crash2 + 6 * sim::kMicrosecond);
+    *second_drop = false;
+    co_await env->sim.WaitUntil(t_repair2);
+    swarm::DiscardStatus(co_await repair->RecoverAndRepair(0));
   };
 
   Spawn(write_task(&env, &writer, layout.get(), v, &hist));

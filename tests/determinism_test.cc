@@ -37,8 +37,8 @@ Trace RunWorkload(uint64_t seed) {
   kv::SwarmKvSession b(&w2, &index, &cache);
 
   Trace trace;
-  auto client = [](TestEnv* env, kv::SwarmKvSession* kv, uint64_t seed, Trace* t) -> Task<void> {
-    sim::Rng rng(seed);
+  auto client = [](TestEnv* env, kv::SwarmKvSession* kv, uint64_t seed2, Trace* t) -> Task<void> {
+    sim::Rng rng(seed2);
     for (int i = 0; i < 30; ++i) {
       co_await env->sim.Delay(static_cast<sim::Time>(rng.Below(5000)));
       const uint64_t key = rng.Below(8);

@@ -86,20 +86,20 @@ TEST(EpochFence, StaleClientFencedMidVerb) {
 
   std::array<fabric::Status, 3> seen{};
   bool done = false;
-  auto driver = [](EpochEnv* f, Worker* w, uint64_t addr, std::array<fabric::Status, 3>* seen,
-                   bool* done) -> sim::Task<void> {
+  auto driver = [](EpochEnv* /*f*/, Worker* w, uint64_t addr2, std::array<fabric::Status, 3>* seen,
+                   bool* done2) -> sim::Task<void> {
     std::array<uint8_t, 8> buf{};
     // In-flight fence: the crash lands 200 ns after this read departs.
-    fabric::OpResult r = co_await w->qp(1).Read(addr, buf);
+    fabric::OpResult r = co_await w->qp(1).Read(addr2, buf);
     (*seen)[0] = r.status;
     // Revoked QP: fails fast, locally, without re-validation.
-    r = co_await w->qp(1).Read(addr, buf);
+    r = co_await w->qp(1).Read(addr2, buf);
     (*seen)[1] = r.status;
     // Re-validated + re-armed: the retry carries the fresh stamp and lands.
     co_await w->RefreshEpoch();
-    r = co_await w->qp(1).Read(addr, buf);
+    r = co_await w->qp(1).Read(addr2, buf);
     (*seen)[2] = r.status;
-    *done = true;
+    *done2 = true;
   };
   f.env.sim.After(200, [&f] { f.membership.CrashNode(2); });
   sim::Spawn(driver(&f, &w, addr, &seen, &done));
@@ -132,7 +132,7 @@ TEST(EpochFence, DoorbellBatchStraddlingAnEpochBumpIsFencedCoherently) {
   auto driver = [](EpochEnv* f, Worker* w, const std::array<uint64_t, 3>* addrs,
                    const std::vector<uint8_t>* payload, sim::PoolVec<fabric::OpResult>* first,
                    sim::PoolVec<fabric::OpResult>* second, std::array<uint64_t, 3>* words,
-                   bool* done) -> sim::Task<void> {
+                   bool* done2) -> sim::Task<void> {
     auto post_batch = [&]() -> sim::Task<sim::PoolVec<fabric::OpResult>> {
       sim::PoolVec<sim::Task<fabric::OpResult>> verbs;
       for (int n = 0; n < 3; ++n) {
@@ -147,7 +147,7 @@ TEST(EpochFence, DoorbellBatchStraddlingAnEpochBumpIsFencedCoherently) {
     }
     co_await w->RefreshEpoch();
     *second = co_await post_batch();
-    *done = true;
+    *done2 = true;
   };
   f.env.sim.After(300, [&f] { f.membership.CrashNode(3); });
   sim::Spawn(driver(&f, &w, &addrs, &payload, &first, &second, &words_after_fenced_batch, &done));
@@ -177,13 +177,13 @@ TEST(EpochFence, RepairChannelPassesTheEpochFence) {
 
   bool done = false;
   fabric::Status status{};
-  auto driver = [](EpochEnv* f, Worker* w, uint64_t addr, fabric::Status* status,
-                   bool* done) -> sim::Task<void> {
+  auto driver = [](EpochEnv* f, Worker* w, uint64_t addr2, fabric::Status* status,
+                   bool* done2) -> sim::Task<void> {
     (void)f;
     std::array<uint8_t, 8> buf{};
-    fabric::OpResult r = co_await w->qp(1).Read(addr, buf);
+    fabric::OpResult r = co_await w->qp(1).Read(addr2, buf);
     *status = r.status;
-    *done = true;
+    *done2 = true;
   };
   sim::Spawn(driver(&f, &w, addr, &status, &done));
   f.env.sim.Run();
@@ -203,13 +203,13 @@ TEST(EpochFence, CanaryKnobRestoresPreFixBehavior) {
 
   bool done = false;
   fabric::Status status{};
-  auto driver = [](EpochEnv* f, Worker* w, uint64_t addr, fabric::Status* status,
-                   bool* done) -> sim::Task<void> {
+  auto driver = [](EpochEnv* f, Worker* w, uint64_t addr2, fabric::Status* status,
+                   bool* done2) -> sim::Task<void> {
     (void)f;
     std::array<uint8_t, 8> buf{};
-    fabric::OpResult r = co_await w->qp(1).Read(addr, buf);
+    fabric::OpResult r = co_await w->qp(1).Read(addr2, buf);
     *status = r.status;
-    *done = true;
+    *done2 = true;
   };
   f.env.sim.After(200, [&f] { f.membership.CrashNode(2); });
   sim::Spawn(driver(&f, &w, addr, &status, &done));

@@ -9,6 +9,7 @@
 #include "src/fabric/fabric.h"
 #include "src/sim/simulator.h"
 #include "src/sim/sync.h"
+#include "src/util/discard.h"
 
 namespace swarm::fabric {
 namespace {
@@ -30,7 +31,7 @@ Task<void> HammerNode(Fabric* f, int ops, sim::Counter done) {
   uint64_t addr = f->node(0).Allocate(8);
   std::vector<uint8_t> buf(8);
   for (int i = 0; i < ops; ++i) {
-    (void)co_await qp.Read(addr, buf);
+    swarm::DiscardStatus(co_await qp.Read(addr, buf));
   }
   done.Add(1);
 }
@@ -68,7 +69,7 @@ TEST(FabricLoad, LoneOpUnaffectedByOccupancyModel) {
     uint64_t addr = f->node(0).Allocate(8);
     std::vector<uint8_t> buf(8);
     const Time t0 = f->sim()->Now();
-    (void)co_await qp.Read(addr, buf);
+    swarm::DiscardStatus(co_await qp.Read(addr, buf));
     *lat = f->sim()->Now() - t0;
   };
   Spawn(op(&fabric, &latency));
@@ -90,7 +91,7 @@ TEST(FabricLoad, BandwidthScalesTransferTime) {
     uint64_t addr = f->node(0).Allocate(1 << 16);
     std::vector<uint8_t> data(size, 1);
     const Time t0 = f->sim()->Now();
-    (void)co_await qp.Write(addr, data);
+    swarm::DiscardStatus(co_await qp.Write(addr, data));
     *lat = f->sim()->Now() - t0;
   };
   Spawn(op(&fabric, 64, &small_lat));
@@ -112,10 +113,10 @@ TEST(FabricLoad, PipelinedOpFailsAtomically) {
   uint64_t caddr = fabric.node(0).Allocate(8);
 
   Status status = Status::kOk;
-  auto op = [](Fabric* f, uint64_t waddr, uint64_t caddr, Status* st) -> Task<void> {
+  auto op = [](Fabric* f, uint64_t waddr2, uint64_t caddr2, Status* st) -> Task<void> {
     Qp qp(f, 0, nullptr);
     std::vector<uint8_t> data(64, 0xAB);
-    OpResult r = co_await qp.WriteThenCas(waddr, data, caddr, 0, 77);
+    OpResult r = co_await qp.WriteThenCas(waddr2, data, caddr2, 0, 77);
     *st = r.status;
   };
   Spawn(op(&fabric, waddr, caddr, &status));
@@ -141,8 +142,8 @@ TEST(FabricLoad, ManyQpsKeepPerQpFifo) {
     for (int i = 1; i <= count; ++i) {
       std::vector<uint8_t> v(8, static_cast<uint8_t>(i));
       // Issue without waiting: all in flight simultaneously on one QP.
-      sim::Spawn([](Qp* qp, uint64_t addr, std::vector<uint8_t> data) -> Task<void> {
-        (void)co_await qp->Write(addr, data);
+      sim::Spawn([](Qp* qp, uint64_t addr2, std::vector<uint8_t> data) -> Task<void> {
+        swarm::DiscardStatus(co_await qp->Write(addr2, data));
       }(&qp, addr, std::move(v)));
       co_await f->sim()->Delay(10);
     }

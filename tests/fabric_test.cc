@@ -3,6 +3,7 @@
 // client CPU submission model.
 
 #include "src/fabric/fabric.h"
+#include "src/util/discard.h"
 
 #include <gtest/gtest.h>
 
@@ -130,7 +131,7 @@ Task<void> TornReadProbe(Fabric* f, uint64_t addr, size_t len, bool* saw_torn, b
                          bool* saw_new) {
   Qp qp(f, 0, nullptr);
   std::vector<uint8_t> out(len);
-  (void)co_await qp.Read(addr, out);
+  swarm::DiscardStatus(co_await qp.Read(addr, out));
   bool first_new = out[0] == 0xBB;
   bool last_new = out[len - 1] == 0xBB;
   if (first_new && !last_new) {
@@ -145,7 +146,7 @@ Task<void> TornReadProbe(Fabric* f, uint64_t addr, size_t len, bool* saw_torn, b
 Task<void> BigWrite(Fabric* f, uint64_t addr, size_t len) {
   Qp qp(f, 0, nullptr);  // Distinct Qp object: no FIFO ordering vs the readers.
   std::vector<uint8_t> data(len, 0xBB);
-  (void)co_await qp.Write(addr, data);
+  swarm::DiscardStatus(co_await qp.Write(addr, data));
 }
 
 TEST(Fabric, LargeWritesCanTear) {
@@ -183,10 +184,10 @@ Task<void> PipelinedWriteCas(Fabric* f, uint64_t waddr, uint64_t caddr, Time* rt
   *cas_ok = r.ok() && r.old_value == 0;
 }
 
-Task<void> OrderProbe(Fabric* f, uint64_t waddr, uint64_t caddr, size_t len, bool* violation) {
+Task<void> OrderProbe(Fabric* f, uint64_t waddr, uint64_t /*caddr*/, size_t len, bool* violation) {
   Qp qp(f, 0, nullptr);
   std::vector<uint8_t> buf(len + 8);
-  (void)co_await qp.Read(waddr, buf);  // Covers [write buffer][cas word].
+  swarm::DiscardStatus(co_await qp.Read(waddr, buf));  // Covers [write buffer][cas word].
   uint64_t cas_word;
   std::memcpy(&cas_word, buf.data() + len, 8);
   if (cas_word == 1) {
@@ -289,7 +290,7 @@ Task<void> IssueNOps(Fabric* f, ClientCpu* cpu, int n, Time* total) {
   std::vector<uint8_t> out(8);
   Time start = f->sim()->Now();
   for (int i = 0; i < n; ++i) {
-    (void)co_await qp.Read(addr, out);
+    swarm::DiscardStatus(co_await qp.Read(addr, out));
   }
   *total = f->sim()->Now() - start;
 }

@@ -32,7 +32,7 @@ TEST_P(SlotWidthSweep, NodeMaxIsMaxOverAllWriters) {
   ObjectLayout layout = env.MakeObject();
 
   bool done = false;
-  auto driver = [](TestEnv* env, const ObjectLayout* layout, bool* done) -> Task<void> {
+  auto driver = [](TestEnv* env, const ObjectLayout* layout, bool* done2) -> Task<void> {
     // 8 writers install increasing counters in arbitrary slot mapping.
     uint32_t max_counter = 0;
     for (uint32_t tid = 0; tid < 8; ++tid) {
@@ -52,7 +52,7 @@ TEST_P(SlotWidthSweep, NodeMaxIsMaxOverAllWriters) {
     EXPECT_TRUE(view.ok());
     EXPECT_EQ(view.max.counter(), max_counter);
     EXPECT_EQ(view.slots.size(), static_cast<size_t>(layout->meta_slots));
-    *done = true;
+    *done2 = true;
   };
   Spawn(driver(&env, &layout, &done));
   env.sim.Run();
@@ -74,27 +74,27 @@ TEST_P(InPlaceSizeSweep, PromoteThenReadInPlace) {
   ObjectLayout layout = env.MakeObject();
 
   bool done = false;
-  auto driver = [](TestEnv* env, const ObjectLayout* layout, uint32_t size,
-                   bool* done) -> Task<void> {
+  auto driver = [](TestEnv* env, const ObjectLayout* layout, uint32_t size2,
+                   bool* done2) -> Task<void> {
     Worker& w = env->MakeWorker();
     InOutReplica rep(&w, layout, 0);
     Meta cache;
-    auto value = ValN(size, 0x3D);
+    auto value = ValN(size2, 0x3D);
     NodeMaxResult wr = co_await rep.WriteMax(Meta::Pack(9, w.tid(), false, 0), value, &cache);
     EXPECT_FALSE(wr.installed.empty());
     EXPECT_EQ(co_await rep.PromoteVerified(wr.installed, value), fabric::Status::kOk);
     NodeView view = co_await rep.ReadNode(true, w.tid());
     EXPECT_TRUE(view.inplace_valid);
-    EXPECT_EQ(view.value.size(), size);
+    EXPECT_EQ(view.value.size(), size2);
     EXPECT_EQ(view.value, value);
     // Short values must not leak stale bytes: write a shorter value on top.
-    auto shorter = ValN(size / 2 + 1, 0x5E);
+    auto shorter = ValN(size2 / 2 + 1, 0x5E);
     NodeMaxResult wr2 = co_await rep.WriteMax(Meta::Pack(10, w.tid(), false, 0), shorter, &cache);
     EXPECT_EQ(co_await rep.PromoteVerified(wr2.installed, shorter), fabric::Status::kOk);
     NodeView view2 = co_await rep.ReadNode(true, w.tid());
     EXPECT_TRUE(view2.inplace_valid);
     EXPECT_EQ(view2.value, shorter);
-    *done = true;
+    *done2 = true;
   };
   Spawn(driver(&env, &layout, size, &done));
   env.sim.Run();
@@ -119,7 +119,7 @@ TEST(InOutContention, SharedSlotRetriesBoundedByWriters) {
 
   int max_retries = 0;
   int completions = 0;
-  auto writer = [](TestEnv* env, Worker* w, const ObjectLayout* layout, uint32_t counter,
+  auto writer = [](TestEnv* /*env*/, Worker* w, const ObjectLayout* layout, uint32_t counter,
                    int* max_retries, int* completions) -> Task<void> {
     InOutReplica rep(w, layout, 0);
     Meta cache;
@@ -148,7 +148,7 @@ TEST(InOutContention, PerWriterSlotsEliminateRetries) {
 
   int total_retries = 0;
   int completions = 0;
-  auto writer = [](TestEnv* env, Worker* w, const ObjectLayout* layout, uint32_t counter,
+  auto writer = [](TestEnv* /*env*/, Worker* w, const ObjectLayout* layout, uint32_t counter,
                    int* total_retries, int* completions) -> Task<void> {
     InOutReplica rep(w, layout, 0);
     Meta cache;

@@ -24,11 +24,11 @@ TEST(InOut, WriteThenReadInPlaceAfterPromotion) {
   auto value = ValN(48, 0x5A);
 
   auto driver = [](Worker* w, const ObjectLayout* layout,
-                   std::vector<uint8_t> value) -> Task<void> {
+                   std::vector<uint8_t> value2) -> Task<void> {
     InOutReplica rep(w, layout, 0);
     Meta cache;
     const Meta word = Meta::Pack(100, w->tid(), false, 0);
-    NodeMaxResult wr = co_await rep.WriteMax(word, value, &cache);
+    NodeMaxResult wr = co_await rep.WriteMax(word, value2, &cache);
     EXPECT_TRUE(wr.ok());
     EXPECT_FALSE(wr.installed.empty());
     EXPECT_EQ(wr.cas_retries, 0);
@@ -46,16 +46,16 @@ TEST(InOut, WriteThenReadInPlaceAfterPromotion) {
     auto oop = co_await rep.ReadOop(v1.max);
     EXPECT_TRUE(oop.has_value());
     if (oop.has_value()) {
-      EXPECT_EQ(*oop, value);
+      EXPECT_EQ(*oop, value2);
     }
 
     // Promote to VERIFIED: refreshes in-place data in the same roundtrip.
-    EXPECT_EQ(co_await rep.PromoteVerified(wr.installed, value), fabric::Status::kOk);
+    EXPECT_EQ(co_await rep.PromoteVerified(wr.installed, value2), fabric::Status::kOk);
     NodeView v2 = co_await rep.ReadNode(true, w->tid());
     EXPECT_TRUE(v2.ok());
     EXPECT_TRUE(v2.max.verified());
     EXPECT_TRUE(v2.inplace_valid);
-    EXPECT_EQ(v2.value, value);
+    EXPECT_EQ(v2.value, value2);
   };
   Spawn(driver(&w, &layout, value));
   env.sim.Run();

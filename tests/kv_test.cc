@@ -89,6 +89,63 @@ TEST_P(KvCrud, FullLifecycle) {
 
 INSTANTIATE_TEST_SUITE_P(Stores, KvCrud, ::testing::Values("swarm", "raw", "dmabd", "fusee"));
 
+// Regression: a remove through a stale cached location used to
+// fire-and-forget the generation-guarded unmap, tombstone a dead region,
+// and report kOk while the re-inserted live mapping survived untouched.
+TEST(RawKv, StaleCachedRemoveDeletesTheLiveMapping) {
+  KvFixture fx;
+  auto a = fx.Make("raw");
+  index::ClientCache cache_b;
+  Worker& wb = fx.env.MakeWorker();
+  RawKvSession b(&wb, &fx.indexsvc, &cache_b);
+
+  bool done = false;
+  auto driver = [](KvSession* a, KvSession* b, bool* done2) -> Task<void> {
+    // Seed a's cache, then delete + re-insert the key through b: a's cached
+    // location now points at a dead region and a stale generation.
+    EXPECT_TRUE((co_await a->Insert(1, ValN(16, 0xA1))).ok());
+    EXPECT_EQ((co_await b->Remove(1)).status, KvStatus::kOk);
+    EXPECT_TRUE((co_await b->Insert(1, ValN(16, 0xB2))).ok());
+    // The stale-cached remove must kill the LIVE mapping before claiming
+    // kOk...
+    KvResult rm = co_await a->Remove(1);
+    EXPECT_EQ(rm.status, KvStatus::kOk);
+    // ... so absence is observable afterwards from every vantage point.
+    KvResult g = co_await b->Get(1);
+    EXPECT_EQ(g.status, KvStatus::kNotFound);
+    *done2 = true;
+  };
+  Spawn(driver(a.get(), &b, &done));
+  fx.env.sim.Run();
+  EXPECT_TRUE(done);
+}
+
+// Regression companion: a get through the same stale cached location reads
+// the dead region's tombstone and used to report kNotFound while the
+// re-inserted value was live — it must re-locate through the index instead.
+TEST(RawKv, StaleCachedGetFollowsTheReinsertedKey) {
+  KvFixture fx;
+  auto a = fx.Make("raw");
+  index::ClientCache cache_b;
+  Worker& wb = fx.env.MakeWorker();
+  RawKvSession b(&wb, &fx.indexsvc, &cache_b);
+
+  bool done = false;
+  auto driver = [](KvSession* a, KvSession* b, bool* done2) -> Task<void> {
+    EXPECT_TRUE((co_await a->Insert(1, ValN(16, 0xA1))).ok());
+    EXPECT_EQ((co_await b->Remove(1)).status, KvStatus::kOk);
+    EXPECT_TRUE((co_await b->Insert(1, ValN(16, 0xB2))).ok());
+    KvResult g = co_await a->Get(1);
+    EXPECT_EQ(g.status, KvStatus::kOk);
+    EXPECT_EQ(g.value, ValN(16, 0xB2));
+    EXPECT_EQ(g.rtts, 3);  // Dead-region read + index re-locate + live read.
+    *done2 = true;
+  };
+  Spawn(driver(a.get(), &b, &done));
+  fx.env.sim.Run();
+  EXPECT_TRUE(done);
+}
+
 TEST(SwarmKv, SteadyStateOpsAreSingleRoundtrip) {
   KvFixture fx;
   auto kv = fx.Make("swarm");
@@ -272,11 +329,11 @@ TEST(SwarmKv, InsertRaceTurnsIntoUpdate) {
 
   // Both clients must now read a single winning value.
   bool checked = false;
-  auto check = [](KvSession* kv, bool* checked) -> Task<void> {
+  auto check = [](KvSession* kv, bool* checked2) -> Task<void> {
     KvResult g = co_await kv->Get(11);
     EXPECT_EQ(g.status, KvStatus::kOk);
     EXPECT_EQ(g.value.size(), 16u);
-    *checked = true;
+    *checked2 = true;
   };
   Spawn(check(a.get(), &checked));
   fx.env.sim.Run();

@@ -179,7 +179,7 @@ void RunMoveFlipServes(repair::LayoutProtocol protocol) {
   MigrationFixture f(protocol);
   auto kv = f.MakeSession(protocol);
   bool done = false;
-  auto driver = [](MigrationFixture* f, kv::KvSession* kv, bool* done) -> Task<void> {
+  auto driver = [](MigrationFixture* f, kv::KvSession* kv, bool* done2) -> Task<void> {
     EXPECT_TRUE((co_await kv->Insert(7, ValN(32, 0xAB))).ok());
 
     const index::IndexEntry* before = f->index.Peek(7);
@@ -227,7 +227,7 @@ void RunMoveFlipServes(repair::LayoutProtocol protocol) {
     g = co_await kv->Get(7);
     EXPECT_EQ(g.status, kv::KvStatus::kOk);
     EXPECT_EQ(g.value, ValN(32, 0xCD));
-    *done = true;
+    *done2 = true;
   };
   Spawn(driver(&f, kv.get(), &done));
   f.env.sim.Run();
@@ -249,7 +249,7 @@ void RunAbortRestoresExactly(repair::LayoutProtocol protocol) {
   MigrationFixture f(protocol, mcfg);
   auto kv = f.MakeSession(protocol);
   bool done = false;
-  auto driver = [](MigrationFixture* f, kv::KvSession* kv, bool* done) -> Task<void> {
+  auto driver = [](MigrationFixture* f, kv::KvSession* kv, bool* done2) -> Task<void> {
     EXPECT_TRUE((co_await kv->Insert(7, ValN(32, 0x5A))).ok());
 
     const index::IndexEntry* before = f->index.Peek(7);
@@ -301,7 +301,7 @@ void RunAbortRestoresExactly(repair::LayoutProtocol protocol) {
     kv::KvResult g = co_await kv->Get(7);
     EXPECT_EQ(g.status, kv::KvStatus::kOk);
     EXPECT_EQ(g.value, ValN(32, 0x5A));
-    *done = true;
+    *done2 = true;
   };
   Spawn(driver(&f, kv.get(), &done));
   f.env.sim.Run();
@@ -320,7 +320,7 @@ TEST(MigrationSwarm, RepairArbitrationSkipsBusyNodes) {
   MigrationFixture f(repair::LayoutProtocol::kSafeGuess);
   auto kv = f.MakeSession(repair::LayoutProtocol::kSafeGuess);
   bool done = false;
-  auto driver = [](MigrationFixture* f, kv::KvSession* kv, bool* done) -> Task<void> {
+  auto driver = [](MigrationFixture* f, kv::KvSession* kv, bool* done2) -> Task<void> {
     EXPECT_TRUE((co_await kv->Insert(7, ValN(16, 1))).ok());
     const index::IndexEntry* entry = f->index.Peek(7);
     EXPECT_NE(entry, nullptr);
@@ -367,7 +367,7 @@ TEST(MigrationSwarm, RepairArbitrationSkipsBusyNodes) {
     if (after != nullptr) {
       EXPECT_EQ(after->layout.get(), layout.get());
     }
-    *done = true;
+    *done2 = true;
   };
   Spawn(driver(&f, kv.get(), &done));
   f.env.sim.Run();
@@ -378,7 +378,7 @@ TEST(MigrationSwarm, AdmitAndRebalanceFillsTheNewNode) {
   MigrationFixture f(repair::LayoutProtocol::kSafeGuess);
   auto kv = f.MakeSession(repair::LayoutProtocol::kSafeGuess);
   bool done = false;
-  auto driver = [](MigrationFixture* f, kv::KvSession* kv, bool* done) -> Task<void> {
+  auto driver = [](MigrationFixture* f, kv::KvSession* kv, bool* done2) -> Task<void> {
     for (uint64_t k = 0; k < 6; ++k) {
       EXPECT_TRUE((co_await kv->Insert(k, ValN(16, static_cast<uint8_t>(k + 1)))).ok());
     }
@@ -404,7 +404,7 @@ TEST(MigrationSwarm, AdmitAndRebalanceFillsTheNewNode) {
       EXPECT_EQ(g.status, kv::KvStatus::kOk) << "key " << k;
       EXPECT_EQ(g.value, ValN(16, static_cast<uint8_t>(k + 1))) << "key " << k;
     }
-    *done = true;
+    *done2 = true;
   };
   Spawn(driver(&f, kv.get(), &done));
   f.env.sim.Run();
@@ -415,7 +415,7 @@ TEST(MigrationSwarm, DrainDecommissionsTheNode) {
   MigrationFixture f(repair::LayoutProtocol::kSafeGuess);
   auto kv = f.MakeSession(repair::LayoutProtocol::kSafeGuess);
   bool done = false;
-  auto driver = [](MigrationFixture* f, kv::KvSession* kv, bool* done) -> Task<void> {
+  auto driver = [](MigrationFixture* f, kv::KvSession* kv, bool* done2) -> Task<void> {
     for (uint64_t k = 0; k < 6; ++k) {
       EXPECT_TRUE((co_await kv->Insert(k, ValN(16, static_cast<uint8_t>(k + 1)))).ok());
     }
@@ -436,7 +436,7 @@ TEST(MigrationSwarm, DrainDecommissionsTheNode) {
       EXPECT_EQ(g.status, kv::KvStatus::kOk) << "key " << k;
       EXPECT_EQ(g.value, ValN(16, static_cast<uint8_t>(k + 1))) << "key " << k;
     }
-    *done = true;
+    *done2 = true;
   };
   Spawn(driver(&f, kv.get(), &done));
   f.env.sim.Run();
@@ -447,7 +447,7 @@ TEST(MigrationSwarm, MigrateExtentEmptiesTheExtent) {
   MigrationFixture f(repair::LayoutProtocol::kSafeGuess);
   auto kv = f.MakeSession(repair::LayoutProtocol::kSafeGuess);
   bool done = false;
-  auto driver = [](MigrationFixture* f, kv::KvSession* kv, bool* done) -> Task<void> {
+  auto driver = [](MigrationFixture* f, kv::KvSession* kv, bool* done2) -> Task<void> {
     for (uint64_t key = 0; key < 24; ++key) {
       EXPECT_TRUE((co_await kv->Insert(key, ValN(24, static_cast<uint8_t>(key)))).ok());
     }
@@ -495,7 +495,7 @@ TEST(MigrationSwarm, MigrateExtentEmptiesTheExtent) {
       EXPECT_EQ(g.status, kv::KvStatus::kOk) << "key " << key;
       EXPECT_EQ(g.value, ValN(24, static_cast<uint8_t>(key))) << "key " << key;
     }
-    *done = true;
+    *done2 = true;
   };
   Spawn(driver(&f, kv.get(), &done));
   f.env.sim.Run();
@@ -531,7 +531,7 @@ struct FuseeMigrationFixture {
 TEST(MigrationFusee, MoveRehomesBothSlots) {
   FuseeMigrationFixture f;
   bool done = false;
-  auto driver = [](FuseeMigrationFixture* f, bool* done) -> Task<void> {
+  auto driver = [](FuseeMigrationFixture* f, bool* done2) -> Task<void> {
     EXPECT_TRUE((co_await f->session.Insert(7, ValN(32, 0xEE))).ok());
     kv::FuseeStore::KeyMeta& meta = f->store.MetaFor(7);
     const int old_primary = meta.primary;
@@ -553,7 +553,7 @@ TEST(MigrationFusee, MoveRehomesBothSlots) {
     g = co_await f->session.Get(7);
     EXPECT_EQ(g.status, kv::KvStatus::kOk);
     EXPECT_EQ(g.value, ValN(32, 0xDD));
-    *done = true;
+    *done2 = true;
   };
   Spawn(driver(&f, &done));
   f.env.sim.Run();
@@ -563,7 +563,7 @@ TEST(MigrationFusee, MoveRehomesBothSlots) {
 TEST(MigrationFusee, RecoveryArbitrationAborts) {
   FuseeMigrationFixture f;
   bool done = false;
-  auto driver = [](FuseeMigrationFixture* f, bool* done) -> Task<void> {
+  auto driver = [](FuseeMigrationFixture* f, bool* done2) -> Task<void> {
     EXPECT_TRUE((co_await f->session.Insert(7, ValN(16, 1))).ok());
     kv::FuseeStore::KeyMeta& meta = f->store.MetaFor(7);
     const int primary = meta.primary;
@@ -577,7 +577,7 @@ TEST(MigrationFusee, RecoveryArbitrationAborts) {
 
     // A never-placed key is a clean no-op.
     EXPECT_TRUE(co_await f->store.MigrateKey(999, 0, &f->coordinator));
-    *done = true;
+    *done2 = true;
   };
   Spawn(driver(&f, &done));
   f.env.sim.Run();
@@ -587,7 +587,7 @@ TEST(MigrationFusee, RecoveryArbitrationAborts) {
 TEST(MigrationFusee, MigrateNodeDrainsEveryKey) {
   FuseeMigrationFixture f;
   bool done = false;
-  auto driver = [](FuseeMigrationFixture* f, bool* done) -> Task<void> {
+  auto driver = [](FuseeMigrationFixture* f, bool* done2) -> Task<void> {
     for (uint64_t k = 0; k < 6; ++k) {
       EXPECT_TRUE((co_await f->session.Insert(k, ValN(16, static_cast<uint8_t>(k + 1)))).ok());
     }
@@ -604,7 +604,7 @@ TEST(MigrationFusee, MigrateNodeDrainsEveryKey) {
     }
     f->membership.Decommission(0);
     EXPECT_TRUE(f->membership.IsRetired(0));
-    *done = true;
+    *done2 = true;
   };
   Spawn(driver(&f, &done));
   f.env.sim.Run();

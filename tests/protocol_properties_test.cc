@@ -13,6 +13,7 @@
 #include "src/swarm/safe_guess.h"
 #include "tests/support/lincheck.h"
 #include "tests/support/test_env.h"
+#include "src/util/discard.h"
 
 namespace swarm {
 namespace {
@@ -163,8 +164,8 @@ TEST_P(QuorumMaxProperty, ReadsAreMutuallyMonotonic) {
     QuorumMax reg(w, layout, w->SlotCacheFor(layout));
     for (uint32_t i = 1; i <= 12; ++i) {
       co_await env->sim.Delay(static_cast<sim::Time>(env->sim.rng().Below(5000)));
-      (void)co_await reg.WriteAndRead(Meta::Pack(i * 100 + w->tid(), w->tid(), false, 0),
-                                      ValN(16, static_cast<uint8_t>(i)));
+      swarm::DiscardStatus(co_await reg.WriteAndRead(Meta::Pack(i * 100 + w->tid(), w->tid(), false, 0),
+                                      ValN(16, static_cast<uint8_t>(i))));
     }
   };
   auto reader = [](TestEnv* env, Worker* w, const ObjectLayout* layout, bool* bad) -> Task<void> {
@@ -196,8 +197,8 @@ TEST_P(QuorumMaxProperty, WriteReadMonotonicity) {
   TestEnv env(GetParam());
   ObjectLayout layout = env.MakeObject();
   bool done = false;
-  auto driver = [](TestEnv* env, Worker* w, Worker* r, const ObjectLayout* layout,
-                   bool* done) -> Task<void> {
+  auto driver = [](TestEnv* /*env*/, Worker* w, Worker* r, const ObjectLayout* layout,
+                   bool* done2) -> Task<void> {
     QuorumMax wreg(w, layout, w->SlotCacheFor(layout));
     QuorumMax rreg(r, layout, r->SlotCacheFor(layout));
     for (uint32_t i = 1; i <= 10; ++i) {
@@ -208,7 +209,7 @@ TEST_P(QuorumMaxProperty, WriteReadMonotonicity) {
       EXPECT_TRUE(rd.ok);
       EXPECT_GE(rd.m.ts_order_key(), word.ts_order_key()) << "iteration " << i;
     }
-    *done = true;
+    *done2 = true;
   };
   Spawn(driver(&env, &env.MakeWorker(), &env.MakeWorker(), &layout, &done));
   env.sim.Run();
@@ -235,11 +236,11 @@ TEST_P(TearSweep, ReadsNeverReturnTornValues) {
 
   bool corrupted = false;
   auto writer = [](TestEnv* env, Worker* w, const ObjectLayout* layout,
-                   uint32_t vsize) -> Task<void> {
+                   uint32_t vsize2) -> Task<void> {
     SafeGuessObject obj(w, layout, w->SlotCacheFor(layout));
     for (uint8_t i = 1; i <= 15; ++i) {
       co_await env->sim.Delay(static_cast<sim::Time>(env->sim.rng().Below(3000)));
-      (void)co_await obj.Write(ValN(vsize, i));  // Uniform fill: tears detectable.
+      swarm::DiscardStatus(co_await obj.Write(ValN(vsize2, i)));  // Uniform fill: tears detectable.
     }
   };
   auto reader = [](TestEnv* env, Worker* w, const ObjectLayout* layout, bool* bad) -> Task<void> {

@@ -3,6 +3,7 @@
 // roundtrips, escalation on node failure.
 
 #include "src/swarm/quorum_max.h"
+#include "src/util/discard.h"
 
 #include <gtest/gtest.h>
 
@@ -24,8 +25,8 @@ TEST(QuorumMax, WriteThenStrongReadReturnsValue) {
   auto cache = env.MakeCache();
 
   auto driver = [](Worker* w, const ObjectLayout* layout,
-                   std::shared_ptr<ObjectCache> cache) -> Task<void> {
-    QuorumMax reg(w, layout, cache);
+                   std::shared_ptr<ObjectCache> cache2) -> Task<void> {
+    QuorumMax reg(w, layout, cache2);
     auto value = ValN(40, 0xAB);
     WriteReadOutcome wr = co_await reg.WriteAndRead(Meta::Pack(10, 0, false, 0), value);
     EXPECT_TRUE(wr.ok);
@@ -56,7 +57,7 @@ TEST(QuorumMax, ReadReportsMaxOfConcurrentWrites) {
   auto writer = [](Worker* w, const ObjectLayout* layout, uint32_t counter,
                    uint8_t fill) -> Task<void> {
     QuorumMax reg(w, layout, std::make_shared<ObjectCache>());
-    (void)co_await reg.WriteAndRead(Meta::Pack(counter, w->tid(), false, 0), ValN(16, fill));
+    swarm::DiscardStatus(co_await reg.WriteAndRead(Meta::Pack(counter, w->tid(), false, 0), ValN(16, fill)));
   };
   auto reader = [](Worker* w, const ObjectLayout* layout) -> Task<void> {
     co_await w->sim()->Delay(20000);  // After both writes settle.
@@ -119,8 +120,8 @@ TEST(QuorumMax, VerifiedReadIsOneRoundtripAfterPromotion) {
   auto cache = env.MakeCache();
 
   auto driver = [](Worker* w, const ObjectLayout* layout,
-                   std::shared_ptr<ObjectCache> cache) -> Task<void> {
-    QuorumMax reg(w, layout, cache);
+                   std::shared_ptr<ObjectCache> cache2) -> Task<void> {
+    QuorumMax reg(w, layout, cache2);
     auto value = ValN(32, 5);
     WriteReadOutcome wr = co_await reg.WriteAndRead(Meta::Pack(10, 0, false, 0), value);
     EXPECT_TRUE(wr.ok);
@@ -147,11 +148,11 @@ TEST(QuorumMax, GuessedReadFallsBackToOopChase) {
   auto cache = env.MakeCache();
 
   auto driver = [](Worker* w, const ObjectLayout* layout,
-                   std::shared_ptr<ObjectCache> cache) -> Task<void> {
-    QuorumMax reg(w, layout, cache);
+                   std::shared_ptr<ObjectCache> cache2) -> Task<void> {
+    QuorumMax reg(w, layout, cache2);
     auto value = ValN(32, 6);
     // No promotion: in-place data never written, read must chase the pointer.
-    (void)co_await reg.WriteAndRead(Meta::Pack(10, 0, false, 0), value);
+    swarm::DiscardStatus(co_await reg.WriteAndRead(Meta::Pack(10, 0, false, 0), value));
     ReadOutcome rd = co_await reg.ReadQuorum(true);
     EXPECT_TRUE(rd.ok);
     EXPECT_TRUE(rd.value_ok);
@@ -170,8 +171,8 @@ TEST(QuorumMax, SurvivesMinorityCrashViaEscalation) {
   auto cache = env.MakeCache();
 
   auto driver = [](Worker* w, const ObjectLayout* layout,
-                   std::shared_ptr<ObjectCache> cache) -> Task<void> {
-    QuorumMax reg(w, layout, cache);
+                   std::shared_ptr<ObjectCache> cache2) -> Task<void> {
+    QuorumMax reg(w, layout, cache2);
     auto value = ValN(16, 9);
     WriteReadOutcome wr = co_await reg.WriteAndRead(Meta::Pack(10, 0, false, 0), value);
     EXPECT_TRUE(wr.ok);
@@ -203,8 +204,8 @@ TEST(QuorumMax, MajorityCrashMakesOpsUnavailable) {
   env.fabric.Crash(layout.replicas[1].node);
 
   auto driver = [](Worker* w, const ObjectLayout* layout,
-                   std::shared_ptr<ObjectCache> cache) -> Task<void> {
-    QuorumMax reg(w, layout, cache);
+                   std::shared_ptr<ObjectCache> cache2) -> Task<void> {
+    QuorumMax reg(w, layout, cache2);
     WriteReadOutcome wr = co_await reg.WriteAndRead(Meta::Pack(10, 0, false, 0), ValN(8, 1));
     EXPECT_FALSE(wr.ok);
     ReadOutcome rd = co_await reg.ReadQuorum(true);
@@ -221,9 +222,9 @@ TEST(QuorumMax, TombstoneReadNeedsNoValue) {
   auto cache = env.MakeCache();
 
   auto driver = [](Worker* w, const ObjectLayout* layout,
-                   std::shared_ptr<ObjectCache> cache) -> Task<void> {
-    QuorumMax reg(w, layout, cache);
-    (void)co_await reg.WriteAndRead(Meta::Pack(10, 0, false, 0), ValN(8, 1));
+                   std::shared_ptr<ObjectCache> cache2) -> Task<void> {
+    QuorumMax reg(w, layout, cache2);
+    swarm::DiscardStatus(co_await reg.WriteAndRead(Meta::Pack(10, 0, false, 0), ValN(8, 1)));
     EXPECT_TRUE(co_await reg.WriteVerified(Meta::Tombstone(w->tid()), {}));
     ReadOutcome rd = co_await reg.ReadQuorum(true);
     EXPECT_TRUE(rd.ok);

@@ -175,7 +175,9 @@ struct SlowSession : kv::KvSession {
   sim::Task<kv::KvResult> Remove(uint64_t) override { return Op(); }
   sim::Task<kv::KvResult> Op() {
     co_await sim->Delay(latency);
-    co_return kv::KvResult{kv::KvStatus::kOk};
+    kv::KvResult ok;
+    ok.status = kv::KvStatus::kOk;
+    co_return ok;
   }
   sim::Simulator* sim;
   sim::Time latency;

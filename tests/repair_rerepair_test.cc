@@ -8,6 +8,7 @@
 // readmission re-triggers it, and the slot — including its data — recovers.
 
 #include "src/repair/repair.h"
+#include "src/util/discard.h"
 
 #include <gtest/gtest.h>
 
@@ -66,16 +67,16 @@ TEST(RepairDarkSlot, GiveUpIsReRepairedAfterUnrelatedReadmission) {
   bool done = false;
   auto driver = [](DarkSlotFixture* f, repair::RepairService* svc, Worker* writer,
                    std::shared_ptr<const ObjectLayout> layout,
-                   std::shared_ptr<ObjectCache> cache, const std::vector<uint8_t>* value,
-                   bool* node2_unreachable, bool* done) -> sim::Task<void> {
-    (void)co_await f->index.InsertIfAbsent(1, layout, nullptr);
-    QuorumMax reg(writer, layout.get(), cache);
+                   std::shared_ptr<ObjectCache> cache2, const std::vector<uint8_t>* value,
+                   bool* node2_unreachable2, bool* done2) -> sim::Task<void> {
+    swarm::DiscardStatus(co_await f->index.InsertIfAbsent(1, layout, nullptr));
+    QuorumMax reg(writer, layout.get(), cache2);
     const Meta word = Meta::Pack(5, writer->tid(), /*verified=*/true, 0);
     EXPECT_TRUE(co_await reg.WriteVerified(word, *value));
 
     // Crash node 0 with node 2 unreachable: the repair has no surviving
     // quorum for the object and must give up after its round budget.
-    *node2_unreachable = true;
+    *node2_unreachable2 = true;
     f->membership.CrashNode(0);
     co_await f->env.sim.Delay(20 * sim::kMicrosecond);
     EXPECT_FALSE(co_await svc->RecoverAndRepair(0));
@@ -89,7 +90,7 @@ TEST(RepairDarkSlot, GiveUpIsReRepairedAfterUnrelatedReadmission) {
 
     // The blocker clears, and an UNRELATED node's repair completes: its
     // readmission must re-trigger node 0's repair.
-    *node2_unreachable = false;
+    *node2_unreachable2 = false;
     f->membership.CrashNode(3);
     co_await f->env.sim.Delay(20 * sim::kMicrosecond);
     EXPECT_TRUE(co_await svc->RecoverAndRepair(3));
@@ -106,7 +107,7 @@ TEST(RepairDarkSlot, GiveUpIsReRepairedAfterUnrelatedReadmission) {
     EXPECT_TRUE(m.ok);
     EXPECT_TRUE(m.value_ok);
     EXPECT_EQ(m.value, *value);
-    *done = true;
+    *done2 = true;
   };
   sim::Spawn(driver(&f, &svc, &writer, layout, cache, &value, &node2_unreachable, &done));
   f.env.sim.Run();
@@ -144,14 +145,14 @@ TEST(RepairDarkSlot, FreshLifecycleSupersedesDarkBookkeeping) {
   bool done = false;
   auto driver = [](DarkSlotFixture* f, repair::RepairService* svc, Worker* writer,
                    std::shared_ptr<const ObjectLayout> layout,
-                   std::shared_ptr<ObjectCache> cache, const std::vector<uint8_t>* value,
-                   bool* node2_unreachable, bool* done) -> sim::Task<void> {
-    (void)co_await f->index.InsertIfAbsent(1, layout, nullptr);
-    QuorumMax reg(writer, layout.get(), cache);
+                   std::shared_ptr<ObjectCache> cache2, const std::vector<uint8_t>* value,
+                   bool* node2_unreachable2, bool* done2) -> sim::Task<void> {
+    swarm::DiscardStatus(co_await f->index.InsertIfAbsent(1, layout, nullptr));
+    QuorumMax reg(writer, layout.get(), cache2);
     EXPECT_TRUE(
         co_await reg.WriteVerified(Meta::Pack(5, writer->tid(), true, 0), *value));
 
-    *node2_unreachable = true;
+    *node2_unreachable2 = true;
     f->membership.CrashNode(0);
     co_await f->env.sim.Delay(20 * sim::kMicrosecond);
     EXPECT_FALSE(co_await svc->RecoverAndRepair(0));
@@ -160,7 +161,7 @@ TEST(RepairDarkSlot, FreshLifecycleSupersedesDarkBookkeeping) {
     // The dark node crashes again; the fresh lifecycle (blocker cleared)
     // completes and must leave no residual dark entry behind.
     f->membership.CrashNode(0);
-    *node2_unreachable = false;
+    *node2_unreachable2 = false;
     co_await f->env.sim.Delay(20 * sim::kMicrosecond);
     EXPECT_TRUE(co_await svc->RecoverAndRepair(0));
     EXPECT_TRUE(svc->dark_nodes().empty());
@@ -171,7 +172,7 @@ TEST(RepairDarkSlot, FreshLifecycleSupersedesDarkBookkeeping) {
     EXPECT_TRUE(m.ok);
     EXPECT_TRUE(m.value_ok);
     EXPECT_EQ(m.value, *value);
-    *done = true;
+    *done2 = true;
   };
   sim::Spawn(driver(&f, &svc, &writer, layout, cache, &value, &node2_unreachable, &done));
   f.env.sim.Run();

@@ -45,7 +45,7 @@ TEST(SafeGuessPaths, WaitFreeEscapeAfterTwoTuplesFromSameWriter) {
 
   bool done = false;
   auto driver = [](TestEnv* env, Worker* helper, Worker* reader_w, const ObjectLayout* layout,
-                   bool* done) -> Task<void> {
+                   bool* done2) -> Task<void> {
     // A "writer" (tid 5) that saw an even higher timestamp holds its lock in
     // WRITE mode at a high counter, so no reader can ever lock any of its
     // guessed timestamps (the lock is never released, Algorithm 9).
@@ -59,11 +59,11 @@ TEST(SafeGuessPaths, WaitFreeEscapeAfterTwoTuplesFromSameWriter) {
     // Start the reader; while it loops (it can never lock ts 100 because of
     // the higher WRITE lock), install a SECOND tuple from the same writer.
     sim::Counter read_done(&env->sim);
-    auto read_task = [](Worker* w, const ObjectLayout* layout, sim::Counter done,
+    auto read_task = [](Worker* w, const ObjectLayout* layout2, sim::Counter done2,
                         SgReadResult* out) -> Task<void> {
-      SafeGuessObject obj(w, layout, w->SlotCacheFor(layout));
+      SafeGuessObject obj(w, layout2, w->SlotCacheFor(layout2));
       *out = co_await obj.Read();
-      done.Add(1);
+      done2.Add(1);
     };
     auto result = std::make_shared<SgReadResult>();
     Spawn(read_task(reader_w, layout, read_done, result.get()));
@@ -78,7 +78,7 @@ TEST(SafeGuessPaths, WaitFreeEscapeAfterTwoTuplesFromSameWriter) {
     EXPECT_EQ(result->status, SgStatus::kOk);
     EXPECT_EQ(result->value, ValN(8, 0xAA));
     EXPECT_GE(result->iterations, 2);
-    *done = true;
+    *done2 = true;
   };
   Spawn(driver(&env, &helper, &reader_w, &layout, &done));
   env.sim.Run();
@@ -93,7 +93,7 @@ TEST(SafeGuessPaths, WriterLockLostMeansReaderCommittedItsGuess) {
 
   bool done = false;
   auto driver = [](TestEnv* env, Worker* fresh, Worker* laggy, const ObjectLayout* layout,
-                   bool* done) -> Task<void> {
+                   bool* done2) -> Task<void> {
     co_await env->sim.Delay(100 * sim::kMicrosecond);
     // The fast-clock writer installs a value far in the "future".
     SafeGuessObject a(fresh, layout, fresh->SlotCacheFor(layout));
@@ -124,7 +124,7 @@ TEST(SafeGuessPaths, WriterLockLostMeansReaderCommittedItsGuess) {
     SgReadResult rd = co_await a.Read();
     EXPECT_EQ(rd.status, SgStatus::kOk);
     EXPECT_EQ(rd.value, ValN(8, 1));
-    *done = true;
+    *done2 = true;
   };
   Spawn(driver(&env, &fresh, &laggy, &layout, &done));
   env.sim.Run();
@@ -140,7 +140,7 @@ TEST(SafeGuessPaths, ReaderPromotesGuessedTupleToVerified) {
 
   bool done = false;
   auto driver = [](TestEnv* env, Worker* helper, Worker* r1, Worker* r2,
-                   const ObjectLayout* layout, bool* done) -> Task<void> {
+                   const ObjectLayout* layout, bool* done2) -> Task<void> {
     // A guessed tuple with no writer around to promote it (writer "crashed"
     // right after its fast path returned).
     co_await InstallGuessed(helper, layout, 300, 3, ValN(8, 0x77));
@@ -162,7 +162,7 @@ TEST(SafeGuessPaths, ReaderPromotesGuessedTupleToVerified) {
     EXPECT_EQ(second.value, ValN(8, 0x77));
     EXPECT_EQ(second.iterations, 1);
     EXPECT_TRUE(second.fast_path);
-    *done = true;
+    *done2 = true;
   };
   Spawn(driver(&env, &helper, &reader1, &reader2, &layout, &done));
   env.sim.Run();
@@ -180,7 +180,7 @@ TEST(SafeGuessPaths, ReadersNeverBlockOnWriterCrashMidWrite) {
 
   bool done = false;
   auto driver = [](TestEnv* env, Worker* helper, Worker* r1, Worker* r2,
-                   const ObjectLayout* layout, bool* done) -> Task<void> {
+                   const ObjectLayout* layout, bool* done2) -> Task<void> {
     // Baseline value everywhere.
     SafeGuessObject base(helper, layout, helper->SlotCacheFor(layout));
     (void)co_await base.Write(ValN(8, 0x11));
@@ -201,7 +201,7 @@ TEST(SafeGuessPaths, ReadersNeverBlockOnWriterCrashMidWrite) {
     // every later reader must agree — no new/old inversion.
     SgReadResult c = co_await o1.Read();
     EXPECT_EQ(c.value, b.value);
-    *done = true;
+    *done2 = true;
   };
   Spawn(driver(&env, &helper, &r1, &r2, &layout, &done));
   env.sim.Run();

@@ -29,8 +29,8 @@ TEST(SafeGuess, WriteIsFastPathWhenUncontended) {
   auto cache = env.MakeCache();
 
   auto driver = [](Worker* w, const ObjectLayout* layout,
-                   std::shared_ptr<ObjectCache> cache) -> Task<void> {
-    SafeGuessObject obj(w, layout, cache);
+                   std::shared_ptr<ObjectCache> cache2) -> Task<void> {
+    SafeGuessObject obj(w, layout, cache2);
     const sim::Time start = w->sim()->Now();
     SgWriteResult r = co_await obj.Write(ValN(32, 1));
     const sim::Time latency = w->sim()->Now() - start;

@@ -90,9 +90,9 @@ SoakResult RunSoak(uint64_t seed, int num_nodes, uint64_t keys, int crashes) {
   SoakResult result;
   auto driver = [](TestEnv* env, membership::MembershipService* membership,
                    index::IndexService* index, repair::RepairService* svc,
-                   kv::SwarmKvSession* kv, uint64_t keys, int crashes,
+                   kv::SwarmKvSession* kv, uint64_t keys2, int crashes2,
                    SoakResult* out) -> sim::Task<void> {
-    for (uint64_t key = 0; key < keys; ++key) {
+    for (uint64_t key = 0; key < keys2; ++key) {
       kv::KvResult r = co_await kv->Insert(key, ValN(48, static_cast<uint8_t>(key)));
       EXPECT_TRUE(r.ok()) << "insert failed at key " << key;
       if (!r.ok()) {
@@ -101,12 +101,12 @@ SoakResult RunSoak(uint64_t seed, int num_nodes, uint64_t keys, int crashes) {
     }
     // Update a 1-in-64 sample so repaired state is post-insert, not just the
     // initial image.
-    for (uint64_t key = 0; key < keys; key += 64) {
+    for (uint64_t key = 0; key < keys2; key += 64) {
       kv::KvResult r = co_await kv->Update(key, ValN(48, static_cast<uint8_t>(key + 1)));
       EXPECT_TRUE(r.ok());
     }
     out->store_size = index->size();
-    for (int c = 0; c < crashes; ++c) {
+    for (int c = 0; c < crashes2; ++c) {
       const int node = c;  // Distinct nodes, deterministic.
       const uint64_t walked_before = svc->slots_walked();
       const uint64_t repaired_before = svc->slots_repaired();
@@ -118,8 +118,8 @@ SoakResult RunSoak(uint64_t seed, int num_nodes, uint64_t keys, int crashes) {
       out->slots_walked += svc->slots_walked() - walked_before;
       out->slots_repaired += svc->slots_repaired() - repaired_before;
       // Spot-check reads through quorums that may include the repaired
-      // replica: a 1-in-256 sample plus the updated keys' neighborhood.
-      for (uint64_t key = 0; key < keys; key += 257) {
+      // replica: a 1-in-256 sample plus the updated keys2' neighborhood.
+      for (uint64_t key = 0; key < keys2; key += 257) {
         kv::KvResult r = co_await kv->Get(key);
         const bool ok = r.ok() && r.value.size() == 48;
         EXPECT_TRUE(ok) << "post-repair read of key " << key << " failed";

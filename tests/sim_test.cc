@@ -163,8 +163,8 @@ TEST(Counter, ThresholdWakesWaiter) {
   Simulator sim;
   Counter c(&sim);
   bool reached = false;
-  auto waiter = [](Counter c, bool* r) -> Task<void> {
-    *r = co_await c.WaitFor(3);
+  auto waiter = [](Counter c2, bool* r) -> Task<void> {
+    *r = co_await c2.WaitFor(3);
   };
   Spawn(waiter(c, &reached));
   sim.Run();
@@ -182,8 +182,8 @@ TEST(Counter, AlreadyReachedReturnsImmediately) {
   Counter c(&sim);
   c.Add(5);
   bool reached = false;
-  auto waiter = [](Counter c, bool* r) -> Task<void> {
-    *r = co_await c.WaitFor(3);
+  auto waiter = [](Counter c2, bool* r) -> Task<void> {
+    *r = co_await c2.WaitFor(3);
   };
   Spawn(waiter(c, &reached));
   sim.Run();
@@ -195,8 +195,8 @@ TEST(Counter, TimeoutReturnsFalse) {
   Counter c(&sim);
   bool result = true;
   Time when = -1;
-  auto waiter = [](Simulator* sim, Counter c, bool* r, Time* w) -> Task<void> {
-    *r = co_await c.WaitFor(2, 1000);
+  auto waiter = [](Simulator* sim, Counter c2, bool* r, Time* w) -> Task<void> {
+    *r = co_await c2.WaitFor(2, 1000);
     *w = sim->Now();
   };
   Spawn(waiter(&sim, c, &result, &when));
@@ -210,8 +210,8 @@ TEST(Counter, ReachedBeforeTimeoutReturnsTrue) {
   Simulator sim;
   Counter c(&sim);
   bool result = false;
-  auto waiter = [](Counter c, bool* r) -> Task<void> {
-    *r = co_await c.WaitFor(2, 1000);
+  auto waiter = [](Counter c2, bool* r) -> Task<void> {
+    *r = co_await c2.WaitFor(2, 1000);
   };
   Spawn(waiter(c, &result));
   sim.At(500, [&] { c.Add(2); });
@@ -224,8 +224,8 @@ TEST(Counter, LateSignalAfterTimeoutIsHarmless) {
   Simulator sim;
   Counter c(&sim);
   bool result = true;
-  auto waiter = [](Counter c, bool* r) -> Task<void> {
-    *r = co_await c.WaitFor(1, 100);
+  auto waiter = [](Counter c2, bool* r) -> Task<void> {
+    *r = co_await c2.WaitFor(1, 100);
   };
   Spawn(waiter(c, &result));
   sim.At(5000, [&] { c.Add(1); });
@@ -238,8 +238,8 @@ TEST(Counter, MultipleWaitersDifferentThresholds) {
   Simulator sim;
   Counter c(&sim);
   int wakes = 0;
-  auto waiter = [](Counter c, int threshold, int* wakes) -> Task<void> {
-    co_await c.WaitFor(threshold);
+  auto waiter = [](Counter c2, int threshold, int* wakes) -> Task<void> {
+    co_await c2.WaitFor(threshold);
     ++*wakes;
   };
   for (int t = 1; t <= 5; ++t) {

@@ -162,7 +162,7 @@ TEST(IndexService, InsertLookupRemoveRoundtrip) {
   sim::Simulator sim;
   index::IndexService index(&sim);
   bool done = false;
-  auto driver = [](sim::Simulator* sim, index::IndexService* index, bool* done) -> sim::Task<void> {
+  auto driver = [](sim::Simulator* /*sim*/, index::IndexService* index, bool* done2) -> sim::Task<void> {
     auto layout = std::make_shared<ObjectLayout>();
     auto [inserted, entry] = co_await index->InsertIfAbsent(7, layout, nullptr);
     EXPECT_TRUE(inserted);
@@ -179,7 +179,7 @@ TEST(IndexService, InsertLookupRemoveRoundtrip) {
     EXPECT_TRUE(co_await index->RemoveIfGeneration(7, entry.generation, nullptr));
     auto gone = co_await index->Lookup(7, nullptr);
     EXPECT_FALSE(gone.has_value());
-    *done = true;
+    *done2 = true;
   };
   sim::Spawn(driver(&sim, &index, &done));
   sim.Run();

@@ -139,12 +139,12 @@ TEST(TimestampLock, SurvivesMinorityCrash) {
   env.fabric.Crash(0);  // One of three replicas.
 
   bool done = false;
-  auto driver = [](Worker* w, const ObjectLayout* layout, bool* done) -> Task<void> {
+  auto driver = [](Worker* w, const ObjectLayout* layout, bool* done2) -> Task<void> {
     TimestampLock lock(w, layout, 0);
     TryLockResult r = co_await lock.TryLock(5, LockMode::kWrite);
     EXPECT_TRUE(r.quorum_ok);
     EXPECT_TRUE(r.acquired);
-    *done = true;
+    *done2 = true;
   };
   Spawn(driver(&w, &layout, &done));
   env.sim.Run();
@@ -159,12 +159,12 @@ TEST(TimestampLock, MajorityCrashReturnsUnacquired) {
   env.fabric.Crash(1);
 
   bool done = false;
-  auto driver = [](Worker* w, const ObjectLayout* layout, bool* done) -> Task<void> {
+  auto driver = [](Worker* w, const ObjectLayout* layout, bool* done2) -> Task<void> {
     TimestampLock lock(w, layout, 0);
     TryLockResult r = co_await lock.TryLock(5, LockMode::kWrite);
     EXPECT_FALSE(r.quorum_ok);
     EXPECT_FALSE(r.acquired);  // Not acquired is always safe.
-    *done = true;
+    *done2 = true;
   };
   Spawn(driver(&w, &layout, &done));
   env.sim.Run();

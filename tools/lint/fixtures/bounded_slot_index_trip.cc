@@ -1,0 +1,28 @@
+// MUST-TRIP fixture for swarm-bounded-slot-index.
+//
+// Reconstructs the PR-9 seed-47000 bug verbatim in shape: timestamp-lock
+// slot addressing `tsl_addr + tid * 8` with no dominating bound check on
+// `tid`. With a 10-writer storm against a max_writers=8 slab, tids 8..9
+// computed lock words PAST the slab slot and CAS'd the neighboring
+// object's memory — writes reported kOk that never took effect.
+
+#include "fixture_stubs.h"
+
+namespace swarm::fixture {
+
+sim::Task<OpResult> LockSlotCas(Qp& qp, uint64_t tsl_addr, uint32_t tid,
+                                uint64_t expected, uint64_t desired) {
+  // trip: `tid` reaches address arithmetic unbounded — nothing between
+  // function entry and this expression compares it to the slab's writer
+  // count.
+  uint64_t lock_addr = tsl_addr + tid * 8;
+  co_return co_await qp.Cas(lock_addr, expected, desired);
+}
+
+sim::Task<OpResult> ReplicaWordRead(Qp& qp, uint64_t base_addr, uint32_t slot,
+                                    Span out) {
+  // trip: same shape through a direct verb argument.
+  co_return co_await qp.Read(base_addr + slot * 64, out);
+}
+
+}  // namespace swarm::fixture

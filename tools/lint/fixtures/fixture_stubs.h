@@ -1,0 +1,53 @@
+// Shared declaration scaffolding for the lint fixtures. The fixtures are
+// LINT inputs, not build inputs — this header keeps them reading like real
+// tree code (same type names, same call shapes) without pulling in the
+// real headers. The checker never resolves includes; it sees each fixture
+// file on its own.
+
+#ifndef SWARM_TOOLS_LINT_FIXTURES_FIXTURE_STUBS_H_
+#define SWARM_TOOLS_LINT_FIXTURES_FIXTURE_STUBS_H_
+
+#include <cstdint>
+
+#define SWARM_HOT_PATH [[clang::annotate("swarm::hot_path")]]
+
+namespace swarm::fixture {
+
+enum class Status : uint8_t { kOk, kNodeFailed, kStaleEpoch, kMovedReplica };
+enum class KvStatus : uint8_t { kOk, kNotFound, kUnavailable };
+
+struct OpResult {
+  Status status = Status::kOk;
+  uint64_t old_value = 0;
+  bool ok() const { return status == Status::kOk; }
+};
+
+struct KvResult {
+  KvStatus status = KvStatus::kUnavailable;
+};
+
+namespace sim {
+template <typename T>
+struct Task {};
+}  // namespace sim
+
+struct Span {};
+
+struct Qp {
+  sim::Task<OpResult> Read(uint64_t addr, Span out);
+  sim::Task<OpResult> Write(uint64_t addr, Span data);
+  sim::Task<OpResult> Cas(uint64_t addr, uint64_t expected, uint64_t desired);
+};
+
+struct Worker {
+  sim::Task<void> RefreshEpoch();
+};
+
+template <typename T>
+void DiscardStatus(T&&) {}
+
+KvResult Classify(OpResult r);
+
+}  // namespace swarm::fixture
+
+#endif  // SWARM_TOOLS_LINT_FIXTURES_FIXTURE_STUBS_H_

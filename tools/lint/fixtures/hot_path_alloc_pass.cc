@@ -1,0 +1,53 @@
+// MUST-PASS fixture for swarm-hot-path-alloc: the same submit shape kept
+// pool-backed (the PR-7 idiom — FramePool slabs, PoolVec containers,
+// allocate_shared with a PoolAlloc), plus an UNTAGGED function that may
+// allocate freely.
+
+#include <memory>
+#include <vector>
+
+#include "fixture_stubs.h"
+
+namespace swarm::fixture {
+
+struct FramePool {
+  static void* Alloc(unsigned long n);
+  static void Free(void* p, unsigned long n);
+};
+
+template <typename T>
+struct PoolAlloc {
+  using value_type = T;
+  T* allocate(unsigned long n);
+  void deallocate(T* p, unsigned long n);
+};
+
+template <typename T>
+struct PoolVec {
+  void push_back(const T&);
+};
+
+struct PooledCompletion {
+  static void* operator new(unsigned long n) { return FramePool::Alloc(n); }
+  static void operator delete(void* p, unsigned long n) { FramePool::Free(p, n); }
+};
+
+SWARM_HOT_PATH void SubmitVerbPooled(PoolVec<int>* log, int node) {
+  // Pool-routed state block: operator new resolves to FramePool::Alloc.
+  auto* state = new (FramePool::Alloc(sizeof(PooledCompletion))) PooledCompletion();
+  PoolVec<int> pending;  // Pool-backed container: free-list pops when warm.
+  pending.push_back(node);
+  log->push_back(node);
+  auto shared = std::allocate_shared<int>(PoolAlloc<int>{});  // Pooled idiom.
+  (void)shared;
+  (void)state;
+}
+
+void ColdPathSetup(std::vector<int>* out) {
+  // Untagged: setup/recovery code allocates freely.
+  out->push_back(1);
+  auto big = std::make_unique<int[]>(1024);
+  (void)big;
+}
+
+}  // namespace swarm::fixture

@@ -1,0 +1,39 @@
+// MUST-TRIP fixture for swarm-hot-path-alloc.
+//
+// Reconstructs the PR-7 bug class: heap allocations creeping onto the
+// steady-state verb path (per-op std::function callbacks, result vectors,
+// shared-state blocks) — guarded at runtime by tests/zero_alloc_test.cc,
+// and here at lint time for paths the harness never executes. The tagged
+// function and everything it reaches in this file must stay on the pool.
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "fixture_stubs.h"
+
+namespace swarm::fixture {
+
+struct Completion {
+  std::function<void()> cb;  // Fine here: this struct is not hot-tagged...
+};
+
+static void RecordCompletion(std::vector<int>* log, int node) {
+  // ...but this helper is REACHED from the hot-tagged function below, so
+  // its allocations count against the hot path.
+  log->push_back(node);
+  auto scratch = std::make_unique<int[]>(64);  // trip: reached allocation
+  (void)scratch;
+}
+
+SWARM_HOT_PATH void SubmitVerb(std::vector<int>* log, int node) {
+  auto* state = new Completion();     // trip: raw `new` on the hot path
+  std::function<void()> on_complete;  // trip: std::function local allocates
+  on_complete = [node] {};
+  std::vector<int> pending;           // trip: allocating container local
+  pending.push_back(node);
+  RecordCompletion(log, node);        // trip: transitive, via RecordCompletion
+  delete state;
+}
+
+}  // namespace swarm::fixture

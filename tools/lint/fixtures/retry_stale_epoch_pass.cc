@@ -1,0 +1,48 @@
+// MUST-PASS fixture for swarm-retry-stale-epoch: the same retry loop with
+// the §5.4 arm — kStaleEpoch refreshes the client's membership epoch and
+// retries, never counting against the failure budget — plus the
+// centralized-handler variant (the arm lives in a same-file helper the
+// loop calls, the FUSEE idiom).
+
+#include "fixture_stubs.h"
+
+namespace swarm::fixture {
+
+sim::Task<bool> WriteWithRetriesFenced(Worker& worker, Qp& qp, uint64_t addr,
+                                       Span data) {
+  for (int round = 0; round < 8; ++round) {
+    auto r = co_await qp.Write(addr, data);
+    if (r.status == Status::kOk) {
+      co_return true;
+    }
+    if (r.status == Status::kStaleEpoch) {
+      co_await worker.RefreshEpoch();  // §5.4: re-validate, re-arm, retry.
+      --round;                         // Fences don't burn failure budget.
+      continue;
+    }
+    if (r.status == Status::kNodeFailed) {
+      continue;
+    }
+  }
+  co_return false;
+}
+
+sim::Task<void> HandleVerbFailure(Worker& worker, Status status) {
+  if (status == Status::kStaleEpoch) {
+    co_await worker.RefreshEpoch();
+  }
+}
+
+sim::Task<bool> WriteWithCentralHandler(Worker& worker, Qp& qp, uint64_t addr,
+                                        Span data) {
+  for (int round = 0; round < 8; ++round) {
+    auto r = co_await qp.Write(addr, data);
+    if (r.status == Status::kOk) {
+      co_return true;
+    }
+    co_await HandleVerbFailure(worker, r.status);
+  }
+  co_return false;
+}
+
+}  // namespace swarm::fixture

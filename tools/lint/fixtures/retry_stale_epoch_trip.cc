@@ -1,0 +1,28 @@
+// MUST-TRIP fixture for swarm-retry-stale-epoch.
+//
+// The PR-5 §5.4 invariant: a verb rejected with kStaleEpoch had NO effect
+// and its completion carries NO information about object state — the
+// client must re-validate its membership epoch and retry. A retry loop
+// that reasons about completion statuses but lacks the kStaleEpoch arm
+// (this fixture treats every non-kOk status as a node failure) converts a
+// membership transition into false evidence of failure.
+
+#include "fixture_stubs.h"
+
+namespace swarm::fixture {
+
+sim::Task<bool> WriteWithRetries(Qp& qp, uint64_t addr, Span data) {
+  for (int round = 0; round < 8; ++round) {
+    auto r = co_await qp.Write(addr, data);  // trip: loop has no kStaleEpoch arm
+    if (r.status == Status::kOk) {
+      co_return true;
+    }
+    if (r.status == Status::kNodeFailed) {
+      continue;  // Treats EVERY rejection as a failed node — including a
+                 // stale-epoch fence, which says nothing about the node.
+    }
+  }
+  co_return false;
+}
+
+}  // namespace swarm::fixture
